@@ -1,0 +1,104 @@
+// Experiment E8: the horizontal (pivot / triangle-inequality) pruning
+// ablation.
+//
+// For each pivot count P, the engine first computes exact pivot-to-all
+// correlations per window (P*N cells) and then prunes any pair whose
+// intersected triangle-inequality upper bound falls below beta. The bound
+// is a theorem, so results stay exact; the question the ablation answers is
+// whether the pruned cells pay for the pivot scans. Pruning shines on
+// block-structured data (pivots inside a block certify that cross-block
+// pairs cannot clear the threshold).
+
+#include <cstdio>
+
+#include "engine/dangoron_engine.h"
+#include "eval/table.h"
+#include "eval/workloads.h"
+#include "tomborg/tomborg.h"
+
+namespace dangoron {
+namespace {
+
+Status RunGrid(const char* workload_name, const TimeSeriesMatrix& data,
+               const SlidingQuery& query, Table* table) {
+  for (const int32_t pivots : {0, 2, 4, 8, 16}) {
+    DangoronOptions options;
+    options.enable_jumping = false;  // isolate the horizontal effect
+    options.horizontal_pruning = pivots > 0;
+    options.num_pivots = pivots;
+    DangoronEngine engine(options);
+    ASSIGN_OR_RETURN(EngineRun run, RunEngineTimed(&engine, data, query, 2));
+    const EngineStats& stats = run.stats;
+    table->AddRow()
+        .Add(workload_name)
+        .AddInt(pivots)
+        .AddTime(run.query_seconds)
+        .AddPercent(static_cast<double>(stats.cells_horizontal_pruned) /
+                    static_cast<double>(stats.cells_total))
+        .AddInt(stats.pivot_evaluations)
+        .AddInt(run.result.TotalEdges());
+  }
+  return Status::Ok();
+}
+
+int Run() {
+  std::printf("E8: horizontal pruning ablation (jumping disabled; exact "
+              "results by construction)\n\n");
+  Table table({"workload", "pivots", "query", "pruned cells",
+               "pivot evals", "edges"});
+
+  {
+    ClimateWorkload workload;
+    workload.num_stations = 64;
+    workload.num_hours = 24 * 182;
+    const auto data = workload.Generate();
+    if (!data.ok()) {
+      std::fprintf(stderr, "climate: %s\n",
+                   data.status().ToString().c_str());
+      return 1;
+    }
+    const Status status =
+        RunGrid("climate", *data, workload.DefaultQuery(0.85), &table);
+    if (!status.ok()) {
+      std::fprintf(stderr, "climate grid: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  {
+    TomborgSpec spec;
+    spec.num_series = 64;
+    spec.length = 24 * 182;
+    spec.correlation.family = CorrelationFamily::kBlock;
+    spec.correlation.a = 0.9;
+    spec.correlation.b = 0.1;
+    spec.correlation.blocks = 8;
+    const auto dataset = GenerateTomborg(spec);
+    if (!dataset.ok()) {
+      std::fprintf(stderr, "tomborg: %s\n",
+                   dataset.status().ToString().c_str());
+      return 1;
+    }
+    SlidingQuery query;
+    query.start = 0;
+    query.end = spec.length;
+    query.window = 24 * 30;
+    query.step = 24;
+    query.threshold = 0.85;
+    const Status status = RunGrid("block(8)", dataset->data, query, &table);
+    if (!status.ok()) {
+      std::fprintf(stderr, "block grid: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("expected shape: pruned fraction rises with pivots, strongest "
+              "on block-structured data; edges identical in every row\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dangoron
+
+int main() { return dangoron::Run(); }

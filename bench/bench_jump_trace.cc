@@ -1,0 +1,158 @@
+// Experiment E3 (paper Figure 2): the jumping structure of Dangoron.
+//
+// Figure 2 illustrates a single pair walking across sliding windows:
+// exact evaluations (blue = below threshold), an upper-bound binary search
+// fixing the jump length (red = bound crossing), skipped windows (green).
+// This binary reconstructs that trace on a real pair and prints the
+// skip map plus aggregate jump statistics per threshold.
+
+#include <cstdio>
+
+#include "bound/bounds.h"
+#include "engine/dangoron_engine.h"
+#include "eval/table.h"
+#include "eval/workloads.h"
+#include "sketch/basic_window_index.h"
+
+namespace dangoron {
+namespace {
+
+int Run() {
+  ClimateWorkload workload;
+  workload.num_stations = 32;
+  workload.num_hours = 24 * 365;
+  const auto data = workload.Generate();
+  if (!data.ok()) {
+    std::fprintf(stderr, "workload: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+
+  const int64_t b = 24;
+  BasicWindowIndexOptions index_options;
+  index_options.basic_window = b;
+  const auto index = BasicWindowIndex::Build(*data, index_options);
+  if (!index.ok()) {
+    std::fprintf(stderr, "index: %s\n", index.status().ToString().c_str());
+    return 1;
+  }
+
+  const SlidingQuery query = workload.DefaultQuery(0.8);
+  const int64_t ns = query.window / b;
+  const int64_t m = query.step / b;
+  const int64_t num_windows = query.NumWindows();
+  const TemporalBound bound(&*index, ns, m);
+
+  // Pick the pair with the most volatile correlation (crosses the threshold
+  // both ways) so the trace shows all three cell kinds of Figure 2.
+  int64_t best_pair = 0;
+  int64_t best_crossings = -1;
+  for (int64_t p = 0; p < index->num_pairs(); ++p) {
+    int64_t crossings = 0;
+    bool above = false;
+    for (int64_t k = 0; k < num_windows; ++k) {
+      const bool now =
+          index->PairRangeCorrelation(p, k * m, k * m + ns) >= query.threshold;
+      if (k > 0 && now != above) {
+        ++crossings;
+      }
+      above = now;
+    }
+    if (crossings > best_crossings) {
+      best_crossings = crossings;
+      best_pair = p;
+    }
+  }
+  int64_t i = 0;
+  int64_t j = 0;
+  BasicWindowIndex::PairFromId(best_pair, index->num_series(), &i, &j);
+  std::printf("E3: jump trace of pair (%lld, %lld), beta=%.2f, %lld windows, "
+              "%lld threshold crossings\n\n",
+              static_cast<long long>(i), static_cast<long long>(j),
+              query.threshold, static_cast<long long>(num_windows),
+              static_cast<long long>(best_crossings));
+
+  // Walk the pair exactly as DangoronEngine does, recording the map:
+  //   E = exact evaluation below threshold (blue in Figure 2)
+  //   # = exact evaluation at/above threshold (edge emitted)
+  //   . = window skipped by a jump (green)
+  std::string map(static_cast<size_t>(num_windows), '?');
+  int64_t jumps = 0;
+  int64_t skipped = 0;
+  int64_t evaluated = 0;
+  int64_t k = 0;
+  while (k < num_windows) {
+    const int64_t w0 = k * m;
+    const double corr = index->PairRangeCorrelation(best_pair, w0, w0 + ns);
+    ++evaluated;
+    if (corr >= query.threshold) {
+      map[static_cast<size_t>(k)] = '#';
+      ++k;
+      continue;
+    }
+    map[static_cast<size_t>(k)] = 'E';
+    const int64_t skip = bound.MaxSkippableBelow(best_pair, w0, corr,
+                                                 query.threshold,
+                                                 num_windows - 1 - k);
+    for (int64_t d = 1; d <= skip; ++d) {
+      map[static_cast<size_t>(k + d)] = '.';
+    }
+    if (skip > 0) {
+      ++jumps;
+      skipped += skip;
+    }
+    k += skip + 1;
+  }
+
+  std::printf("legend: E exact<beta (blue)  # edge (exact>=beta)  "
+              ". skipped by jump (green)\n");
+  for (int64_t start = 0; start < num_windows; start += 84) {
+    const int64_t end = std::min(num_windows, start + 84);
+    std::printf("  w%03lld  %s\n", static_cast<long long>(start),
+                map.substr(static_cast<size_t>(start),
+                           static_cast<size_t>(end - start))
+                    .c_str());
+  }
+  std::printf("\npair trace: %lld evaluated, %lld skipped in %lld jumps "
+              "(%.1f%% of windows skipped)\n\n",
+              static_cast<long long>(evaluated),
+              static_cast<long long>(skipped),
+              static_cast<long long>(jumps),
+              100.0 * static_cast<double>(skipped) /
+                  static_cast<double>(num_windows));
+
+  // Aggregate jump behaviour across all pairs per threshold.
+  Table table({"beta", "cells total", "evaluated", "jumped", "jumps",
+               "mean jump len", "skip rate"});
+  for (const double beta : {0.5, 0.7, 0.8, 0.9, 0.95}) {
+    DangoronOptions options;
+    options.enable_jumping = true;
+    DangoronEngine engine(options);
+    SlidingQuery q = query;
+    q.threshold = beta;
+    const auto run = RunEngine(&engine, *data, q);
+    if (!run.ok()) {
+      std::fprintf(stderr, "engine: %s\n", run.status().ToString().c_str());
+      return 1;
+    }
+    const EngineStats& stats = run->stats;
+    table.AddRow()
+        .AddDouble(beta, 2)
+        .AddInt(stats.cells_total)
+        .AddInt(stats.cells_evaluated)
+        .AddInt(stats.cells_jumped)
+        .AddInt(stats.jumps)
+        .AddDouble(stats.jumps > 0 ? static_cast<double>(stats.cells_jumped) /
+                                         static_cast<double>(stats.jumps)
+                                   : 0.0,
+                   2)
+        .AddPercent(static_cast<double>(stats.cells_jumped) /
+                    static_cast<double>(stats.cells_total));
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace dangoron
+
+int main() { return dangoron::Run(); }

@@ -1,0 +1,166 @@
+// Experiment E10: microkernel costs underlying the experiment tables
+// (google-benchmark). These pin the constants the analytical cost model in
+// DESIGN.md argues with: per-cell evaluation cost of each engine family,
+// sketch build throughput, FFT throughput for Tomborg.
+
+#include <benchmark/benchmark.h>
+
+#include <complex>
+#include <vector>
+
+#include "bound/bounds.h"
+#include "common/rng.h"
+#include "corr/pearson.h"
+#include "dft/fft.h"
+#include "sketch/basic_window_index.h"
+#include "ts/generators.h"
+
+namespace dangoron {
+namespace {
+
+// ------------------------------------------------------- Pearson kernels --
+
+void BM_PearsonNaive(benchmark::State& state) {
+  const int64_t window = state.range(0);
+  Rng rng(1);
+  std::vector<double> x, y;
+  GenerateCorrelatedPair(window, 0.5, &rng, &x, &y);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PearsonNaive(x, y));
+  }
+  state.SetItemsProcessed(state.iterations() * window);
+}
+BENCHMARK(BM_PearsonNaive)->Arg(24)->Arg(720)->Arg(8760);
+
+void BM_SlidingMomentsStep(benchmark::State& state) {
+  const int64_t step = state.range(0);
+  Rng rng(2);
+  std::vector<double> x, y;
+  GenerateCorrelatedPair(1 << 20, 0.5, &rng, &x, &y);
+  SlidingPairMoments moments(x, y, 0, 720);
+  int64_t position = 0;
+  for (auto _ : state) {
+    if (position + step + 720 >= static_cast<int64_t>(x.size())) {
+      state.PauseTiming();
+      moments = SlidingPairMoments(x, y, 0, 720);
+      position = 0;
+      state.ResumeTiming();
+    }
+    moments.Slide(step);
+    position += step;
+    benchmark::DoNotOptimize(moments.Correlation());
+  }
+}
+BENCHMARK(BM_SlidingMomentsStep)->Arg(1)->Arg(24);
+
+// ------------------------------------------------------------ Sketch ops --
+
+struct IndexFixture {
+  TimeSeriesMatrix data;
+  std::optional<BasicWindowIndex> index;
+
+  explicit IndexFixture(int64_t n = 32, int64_t nb = 365, int64_t b = 24) {
+    Rng rng(3);
+    data = GenerateWhiteNoise(n, nb * b, &rng);
+    BasicWindowIndexOptions options;
+    options.basic_window = b;
+    auto built = BasicWindowIndex::Build(data, options);
+    index.emplace(std::move(*built));
+  }
+};
+
+void BM_SketchPairRangeCorrelation(benchmark::State& state) {
+  static IndexFixture* fixture = new IndexFixture();
+  const BasicWindowIndex& index = *fixture->index;
+  int64_t w = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.PairRangeCorrelation(7, w, w + 30));
+    w = (w + 1) % (index.num_basic_windows() - 30);
+  }
+}
+BENCHMARK(BM_SketchPairRangeCorrelation);
+
+void BM_TsubasaStyleRecombination(benchmark::State& state) {
+  // O(ns) per-window recombination: the baseline's per-cell cost.
+  const int64_t ns = state.range(0);
+  static IndexFixture* fixture = new IndexFixture();
+  const BasicWindowIndex& index = *fixture->index;
+  int64_t w = 0;
+  for (auto _ : state) {
+    double dot = 0.0;
+    for (int64_t k = 0; k < ns; ++k) {
+      dot += index.DotRange(7, w + k, w + k + 1);
+    }
+    benchmark::DoNotOptimize(dot);
+    w = (w + 1) % (index.num_basic_windows() - ns);
+  }
+  state.SetItemsProcessed(state.iterations() * ns);
+}
+BENCHMARK(BM_TsubasaStyleRecombination)->Arg(7)->Arg(30)->Arg(60);
+
+void BM_SketchBuildPerPair(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(4);
+  TimeSeriesMatrix data = GenerateWhiteNoise(n, 24 * 365, &rng);
+  BasicWindowIndexOptions options;
+  options.basic_window = 24;
+  for (auto _ : state) {
+    auto index = BasicWindowIndex::Build(data, options);
+    benchmark::DoNotOptimize(index.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * n * (n - 1) / 2);
+}
+BENCHMARK(BM_SketchBuildPerPair)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------------------------ Jump search --
+
+void BM_JumpBinarySearch(benchmark::State& state) {
+  static IndexFixture* fixture = new IndexFixture();
+  const BasicWindowIndex& index = *fixture->index;
+  const TemporalBound bound(&index, 30, 1);
+  int64_t w = 0;
+  const int64_t limit = index.num_basic_windows() - 160;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bound.MaxSkippableBelow(3, w, 0.1, 0.8, 128));
+    w = (w + 1) % limit;
+  }
+}
+BENCHMARK(BM_JumpBinarySearch);
+
+// ------------------------------------------------------------------- FFT --
+
+void BM_Fft(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(5);
+  std::vector<std::complex<double>> data(static_cast<size_t>(n));
+  for (auto& v : data) {
+    v = {rng.NextGaussian(), rng.NextGaussian()};
+  }
+  for (auto _ : state) {
+    std::vector<std::complex<double>> work = data;
+    benchmark::DoNotOptimize(Fft(&work, false).ok());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Fft)->Arg(1024)->Arg(8760)->Arg(16384);
+
+void BM_InverseRealDft(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(6);
+  std::vector<double> series(static_cast<size_t>(n));
+  for (double& v : series) {
+    v = rng.NextGaussian();
+  }
+  const auto spectrum = RealDft(series);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(InverseRealDft(*spectrum, n).ok());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_InverseRealDft)->Arg(4096)->Arg(8760);
+
+}  // namespace
+}  // namespace dangoron
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Experiment E5: scaling in the number of series N.
+//
+// Both engines are quadratic in N (all-pairs), so times grow ~4x per N
+// doubling; the *ratio* between them — Dangoron's advantage — should hold
+// across the sweep. Uses a half-year of hourly data to keep the largest
+// configuration's pair sketches in memory.
+
+#include <cstdio>
+
+#include "engine/dangoron_engine.h"
+#include "engine/tsubasa_engine.h"
+#include "eval/table.h"
+#include "eval/workloads.h"
+
+namespace dangoron {
+namespace {
+
+int Run() {
+  std::printf("E5: scaling in N (half hourly year, l=30d, eta=1d, "
+              "beta=0.8)\n\n");
+  Table table({"N", "pairs", "tsubasa", "dangoron", "speedup",
+               "sketch MiB", "prepare"});
+
+  for (const int64_t n : {32, 64, 128, 192, 256}) {
+    ClimateWorkload workload;
+    workload.num_stations = n;
+    workload.num_hours = 24 * 182;
+    const auto data = workload.Generate();
+    if (!data.ok()) {
+      std::fprintf(stderr, "workload: %s\n",
+                   data.status().ToString().c_str());
+      return 1;
+    }
+    const SlidingQuery query = workload.DefaultQuery(0.8);
+
+    double tsubasa_seconds = 0.0;
+    {
+      TsubasaEngine engine;
+      const auto run = RunEngineTimed(&engine, *data, query, 2);
+      if (!run.ok()) {
+        std::fprintf(stderr, "tsubasa: %s\n",
+                     run.status().ToString().c_str());
+        return 1;
+      }
+      tsubasa_seconds = run->query_seconds;
+    }
+
+    DangoronOptions options;
+    options.enable_jumping = true;
+    DangoronEngine engine(options);
+    const auto run = RunEngineTimed(&engine, *data, query, 2);
+    if (!run.ok()) {
+      std::fprintf(stderr, "dangoron: %s\n",
+                   run.status().ToString().c_str());
+      return 1;
+    }
+
+    // Sketch memory: reproduce the index configuration to account bytes.
+    BasicWindowIndexOptions index_options;
+    index_options.basic_window = 24;
+    const auto index = BasicWindowIndex::Build(*data, index_options);
+    const double sketch_mib =
+        index.ok() ? static_cast<double>(index->MemoryBytes()) / (1 << 20)
+                   : 0.0;
+
+    table.AddRow()
+        .AddInt(n)
+        .AddInt(n * (n - 1) / 2)
+        .AddTime(tsubasa_seconds)
+        .AddTime(run->query_seconds)
+        .AddRatio(tsubasa_seconds / run->query_seconds)
+        .AddDouble(sketch_mib, 1)
+        .AddTime(run->prepare_seconds);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("expected shape: both quadratic in N; speedup roughly flat\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dangoron
+
+int main() { return dangoron::Run(); }

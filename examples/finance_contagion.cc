@@ -1,0 +1,107 @@
+// Financial contagion example: sliding correlation networks on asset
+// returns (Kenett et al. 2010; Tilfani et al. 2021).
+//
+// In crises, asset correlations jump ("correlation contagion") — the
+// correlation network densifies abruptly. This example synthesizes a
+// regime-switching return panel, tracks network density across sliding
+// windows with Dangoron, and recovers the hidden crisis regime from the
+// density series alone.
+
+#include <cstdio>
+#include <vector>
+
+#include "engine/dangoron_engine.h"
+#include "eval/table.h"
+#include "network/network.h"
+#include "ts/generators.h"
+
+namespace dangoron {
+namespace {
+
+int Run() {
+  FinanceSpec spec;
+  spec.num_assets = 48;
+  spec.num_steps = 4096;
+  spec.calm_correlation = 0.15;
+  spec.crisis_correlation = 0.7;
+  spec.seed = 5;
+  auto dataset = GenerateFinance(spec);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "generate: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  int64_t crisis_steps = 0;
+  for (const int regime : dataset->crisis_regime) {
+    crisis_steps += regime;
+  }
+  std::printf("assets: %lld, steps: %lld (%lld crisis steps, %.1f%%)\n",
+              static_cast<long long>(spec.num_assets),
+              static_cast<long long>(spec.num_steps),
+              static_cast<long long>(crisis_steps),
+              100.0 * static_cast<double>(crisis_steps) /
+                  static_cast<double>(spec.num_steps));
+
+  // 64-step windows sliding by 16; threshold between the calm (~0.15) and
+  // crisis (~0.7) pairwise correlation levels.
+  DangoronOptions options;
+  options.basic_window = 16;
+  DangoronEngine engine(options);
+  if (Status status = engine.Prepare(dataset->returns); !status.ok()) {
+    std::fprintf(stderr, "prepare: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  SlidingQuery query;
+  query.start = 0;
+  query.end = spec.num_steps;
+  query.window = 64;
+  query.step = 16;
+  query.threshold = 0.4;
+  auto result = engine.Query(query);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  // Classify each window by its network density, then score against the
+  // hidden regime (a window counts as crisis if >= half its steps are).
+  const DynamicsSummary dynamics = SummarizeDynamics(*result);
+  const double density_bar = 0.2;
+  int64_t agree = 0;
+  Table table({"window", "steps", "density", "-> classified", "true regime"});
+  for (int64_t k = 0; k < result->num_windows(); ++k) {
+    const int64_t t0 = query.start + k * query.step;
+    int64_t crisis_in_window = 0;
+    for (int64_t t = t0; t < t0 + query.window; ++t) {
+      crisis_in_window += dataset->crisis_regime[static_cast<size_t>(t)];
+    }
+    const bool truly_crisis = crisis_in_window * 2 >= query.window;
+    const bool classified_crisis =
+        dynamics.density_per_window[static_cast<size_t>(k)] > density_bar;
+    if (truly_crisis == classified_crisis) {
+      ++agree;
+    }
+    if (k % 25 == 0 || truly_crisis != classified_crisis) {
+      table.AddRow()
+          .AddInt(k)
+          .Add(std::to_string(t0) + "-" + std::to_string(t0 + query.window))
+          .AddPercent(dynamics.density_per_window[static_cast<size_t>(k)])
+          .Add(classified_crisis ? "CRISIS" : "calm")
+          .Add(truly_crisis ? "CRISIS" : "calm");
+    }
+  }
+  std::printf("\n%s\n", table.ToString().c_str());
+  std::printf("density-based regime detection agrees with the hidden regime "
+              "on %lld/%lld windows (%.1f%%)\n",
+              static_cast<long long>(agree),
+              static_cast<long long>(result->num_windows()),
+              100.0 * static_cast<double>(agree) /
+                  static_cast<double>(result->num_windows()));
+  return 0;
+}
+
+}  // namespace
+}  // namespace dangoron
+
+int main() { return dangoron::Run(); }

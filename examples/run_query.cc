@@ -1,0 +1,131 @@
+// run_query: the library as a command-line tool.
+//
+// Usage:
+//   run_query <data.{csv,dgrn}> <engine>[:options] <window> <step> <beta>
+//             [abs] [out.csv]
+//
+//   engine: naive | tsubasa | dangoron | parcorr, with factory options,
+//           e.g. "dangoron:basic_window=24,jump=on,threads=4"
+//   abs:    pass the literal token 'abs' for |corr| >= beta edges
+//   out:    long-format CSV (window,i,j,correlation)
+//
+// Example:
+//   ./build/examples/tomborg_generate 32 4096 block pink 1 /tmp/d.csv
+//   ./build/examples/run_query /tmp/d.csv dangoron 512 128 0.8 /tmp/net.csv
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "engine/factory.h"
+#include "network/export.h"
+#include "ts/csv.h"
+#include "ts/dataset_io.h"
+#include "ts/resample.h"
+
+namespace dangoron {
+namespace {
+
+int Run(int argc, char** argv) {
+  if (argc < 6) {
+    std::fprintf(stderr,
+                 "usage: %s <data.{csv,dgrn}> <engine>[:opts] <window> "
+                 "<step> <beta> [abs] [out.csv]\n  engines: %s\n",
+                 argv[0], KnownEngineNames().c_str());
+    return 2;
+  }
+  const std::string data_path = argv[1];
+  const std::string engine_spec = argv[2];
+
+  // Load data: binary dataset or CSV by extension.
+  Result<TimeSeriesMatrix> data =
+      EndsWith(data_path, ".dgrn") ? LoadDataset(data_path)
+                                   : LoadCsv(data_path);
+  if (!data.ok()) {
+    std::fprintf(stderr, "load: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  if (data->CountMissing() > 0) {
+    std::printf("interpolating %lld missing cells\n",
+                static_cast<long long>(data->CountMissing()));
+    if (Status status = InterpolateMissing(&*data); !status.ok()) {
+      std::fprintf(stderr, "interpolate: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Engine spec "name" or "name:options".
+  std::string engine_name = engine_spec;
+  std::string engine_options;
+  if (const size_t colon = engine_spec.find(':');
+      colon != std::string::npos) {
+    engine_name = engine_spec.substr(0, colon);
+    engine_options = engine_spec.substr(colon + 1);
+  }
+  auto engine = CreateEngine(engine_name, engine_options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+
+  SlidingQuery query;
+  query.start = 0;
+  query.end = data->length();
+  query.window = std::atoll(argv[3]);
+  query.step = std::atoll(argv[4]);
+  query.threshold = std::atof(argv[5]);
+  int next_arg = 6;
+  if (argc > next_arg && std::string(argv[next_arg]) == "abs") {
+    query.absolute = true;
+    ++next_arg;
+  }
+  const std::string out_path = argc > next_arg ? argv[next_arg] : "";
+
+  std::printf("data: %lld series x %lld points; engine: %s; query: %s%s\n",
+              static_cast<long long>(data->num_series()),
+              static_cast<long long>(data->length()),
+              (*engine)->name().c_str(), query.ToString().c_str(),
+              query.absolute ? " (absolute)" : "");
+
+  Stopwatch prepare_watch;
+  if (Status status = (*engine)->Prepare(*data); !status.ok()) {
+    std::fprintf(stderr, "prepare: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  const double prepare_seconds = prepare_watch.ElapsedSeconds();
+
+  Stopwatch query_watch;
+  auto result = (*engine)->Query(query);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const double query_seconds = query_watch.ElapsedSeconds();
+
+  const EngineStats& stats = (*engine)->stats();
+  std::printf("prepare %.3f s, query %.3f s; %lld windows, %lld edges "
+              "(%lld/%lld cells evaluated, %lld jumped, %lld pruned)\n",
+              prepare_seconds, query_seconds,
+              static_cast<long long>(result->num_windows()),
+              static_cast<long long>(result->TotalEdges()),
+              static_cast<long long>(stats.cells_evaluated),
+              static_cast<long long>(stats.cells_total),
+              static_cast<long long>(stats.cells_jumped),
+              static_cast<long long>(stats.cells_horizontal_pruned));
+
+  if (!out_path.empty()) {
+    if (Status status = WriteSeriesCsv(*result, out_path); !status.ok()) {
+      std::fprintf(stderr, "export: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dangoron
+
+int main(int argc, char** argv) { return dangoron::Run(argc, argv); }

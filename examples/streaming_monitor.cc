@@ -1,0 +1,112 @@
+// Streaming monitor example: online network construction on live data.
+//
+// The paper's problem statement asks for "efficiency of network
+// construction and updates for large-scale data to achieve interactivity".
+// This example simulates a live feed (a regime-switching return stream
+// arriving tick by tick), maintains the correlation network *online* with
+// StreamingNetworkBuilder, and raises alerts the moment network density
+// crosses a contagion threshold — without ever materializing the full
+// history.
+
+#include <cstdio>
+
+#include "network/network.h"
+#include "stream/streaming_builder.h"
+#include "ts/generators.h"
+
+namespace dangoron {
+namespace {
+
+int Run() {
+  // The "live" source: regime-switching returns (see finance_contagion).
+  FinanceSpec spec;
+  spec.num_assets = 32;
+  spec.num_steps = 4096;
+  spec.calm_correlation = 0.12;
+  spec.crisis_correlation = 0.7;
+  spec.seed = 21;
+  auto dataset = GenerateFinance(spec);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "generate: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  StreamingOptions options;
+  options.basic_window = 16;
+  options.window = 64;
+  options.step = 16;
+  options.threshold = 0.4;
+  auto builder =
+      StreamingNetworkBuilder::Create(spec.num_assets, options);
+  if (!builder.ok()) {
+    std::fprintf(stderr, "create: %s\n",
+                 builder.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("streaming %lld ticks of %lld assets "
+              "(window %lld, step %lld, beta %.2f)\n\n",
+              static_cast<long long>(spec.num_steps),
+              static_cast<long long>(spec.num_assets),
+              static_cast<long long>(options.window),
+              static_cast<long long>(options.step), options.threshold);
+
+  const double alert_density = 0.25;
+  bool alert_active = false;
+  int64_t alerts = 0;
+  int64_t alerts_during_crisis = 0;
+
+  std::vector<double> column(static_cast<size_t>(spec.num_assets));
+  for (int64_t t = 0; t < spec.num_steps; ++t) {
+    for (int64_t a = 0; a < spec.num_assets; ++a) {
+      column[static_cast<size_t>(a)] = dataset->returns.Get(a, t);
+    }
+    if (Status status = builder->Append(column); !status.ok()) {
+      std::fprintf(stderr, "append: %s\n", status.ToString().c_str());
+      return 1;
+    }
+
+    // Drain snapshots as they become ready (at most one per step boundary).
+    while (builder->ReadySnapshots() > 0) {
+      auto snapshot = builder->PopSnapshot();
+      if (!snapshot.ok()) {
+        std::fprintf(stderr, "pop: %s\n",
+                     snapshot.status().ToString().c_str());
+        return 1;
+      }
+      const NetworkSnapshot network(spec.num_assets, snapshot->edges);
+      const double density = network.Density();
+      const bool hot = density > alert_density;
+      if (hot && !alert_active) {
+        ++alerts;
+        const bool in_crisis =
+            dataset->crisis_regime[static_cast<size_t>(t - 1)] == 1;
+        alerts_during_crisis += in_crisis ? 1 : 0;
+        std::printf("tick %5lld  ALERT  density %.2f (%lld edges, "
+                    "window %lld)%s\n",
+                    static_cast<long long>(t), density,
+                    static_cast<long long>(network.num_edges()),
+                    static_cast<long long>(snapshot->window_index),
+                    in_crisis ? "  [true crisis]" : "");
+      } else if (!hot && alert_active) {
+        std::printf("tick %5lld  clear  density %.2f\n",
+                    static_cast<long long>(t), density);
+      }
+      alert_active = hot;
+    }
+  }
+
+  std::printf("\n%lld alerts, %lld during true crisis regimes\n",
+              static_cast<long long>(alerts),
+              static_cast<long long>(alerts_during_crisis));
+  std::printf("columns processed: %lld (memory stays O(N^2 * window), "
+              "independent of stream length)\n",
+              static_cast<long long>(builder->columns_seen()));
+  return 0;
+}
+
+}  // namespace
+}  // namespace dangoron
+
+int main() { return dangoron::Run(); }

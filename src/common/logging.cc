@@ -1,0 +1,85 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <mutex>
+
+namespace dangoron {
+
+namespace {
+
+std::atomic<int> g_min_severity{static_cast<int>(LogSeverity::kInfo)};
+
+// Serializes whole log lines so concurrent threads do not interleave.
+std::mutex& LogMutex() {
+  static std::mutex* mutex = new std::mutex;
+  return *mutex;
+}
+
+char SeverityLetter(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kInfo:
+      return 'I';
+    case LogSeverity::kWarning:
+      return 'W';
+    case LogSeverity::kError:
+      return 'E';
+    case LogSeverity::kFatal:
+      return 'F';
+  }
+  return '?';
+}
+
+const char* Basename(const char* path) {
+  const char* base = path;
+  for (const char* p = path; *p != '\0'; ++p) {
+    if (*p == '/') {
+      base = p + 1;
+    }
+  }
+  return base;
+}
+
+}  // namespace
+
+LogSeverity MinLogSeverity() {
+  return static_cast<LogSeverity>(g_min_severity.load(std::memory_order_relaxed));
+}
+
+void SetMinLogSeverity(LogSeverity severity) {
+  g_min_severity.store(static_cast<int>(severity), std::memory_order_relaxed);
+}
+
+namespace internal {
+
+LogMessage::LogMessage(const char* file, int line, LogSeverity severity)
+    : severity_(severity) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  std::tm tm_buf{};
+  localtime_r(&seconds, &tm_buf);
+  char time_text[32];
+  std::snprintf(time_text, sizeof(time_text), "%02d:%02d:%02d", tm_buf.tm_hour,
+                tm_buf.tm_min, tm_buf.tm_sec);
+  stream_ << SeverityLetter(severity) << ' ' << time_text << ' '
+          << Basename(file) << ':' << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  const bool emit = static_cast<int>(severity_) >=
+                    static_cast<int>(MinLogSeverity()) ||
+                    severity_ == LogSeverity::kFatal;
+  if (emit) {
+    std::lock_guard<std::mutex> lock(LogMutex());
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (severity_ == LogSeverity::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal
+
+}  // namespace dangoron

@@ -1,0 +1,107 @@
+#ifndef DANGORON_COMMON_LOGGING_H_
+#define DANGORON_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace dangoron {
+
+enum class LogSeverity : int { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+/// Returns the minimum severity that is actually emitted (default: kInfo).
+LogSeverity MinLogSeverity();
+
+/// Overrides the minimum emitted severity (e.g. to silence benches).
+void SetMinLogSeverity(LogSeverity severity);
+
+namespace internal {
+
+/// Stream-style log line collector; emits on destruction. kFatal aborts.
+class LogMessage {
+ public:
+  LogMessage(const char* file, int line, LogSeverity severity);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when a log statement is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define DANGORON_LOG_INFO                                \
+  ::dangoron::internal::LogMessage(__FILE__, __LINE__,   \
+                                   ::dangoron::LogSeverity::kInfo)
+#define DANGORON_LOG_WARNING                             \
+  ::dangoron::internal::LogMessage(__FILE__, __LINE__,   \
+                                   ::dangoron::LogSeverity::kWarning)
+#define DANGORON_LOG_ERROR                               \
+  ::dangoron::internal::LogMessage(__FILE__, __LINE__,   \
+                                   ::dangoron::LogSeverity::kError)
+#define DANGORON_LOG_FATAL                               \
+  ::dangoron::internal::LogMessage(__FILE__, __LINE__,   \
+                                   ::dangoron::LogSeverity::kFatal)
+
+#define LOG(severity) DANGORON_LOG_##severity
+
+/// Aborts with a message when `condition` is false. Always on, all builds:
+/// used for programmer errors (bad indices, broken invariants), never for
+/// recoverable input errors, which return Status.
+#define CHECK(condition)                                        \
+  if (!(condition))                                             \
+  LOG(FATAL) << "Check failed: " #condition " "
+
+#define CHECK_OP(a, b, op)                                       \
+  if (!((a)op(b)))                                               \
+  LOG(FATAL) << "Check failed: " #a " " #op " " #b " (" << (a)   \
+             << " vs " << (b) << ") "
+
+#define CHECK_EQ(a, b) CHECK_OP(a, b, ==)
+#define CHECK_NE(a, b) CHECK_OP(a, b, !=)
+#define CHECK_LT(a, b) CHECK_OP(a, b, <)
+#define CHECK_LE(a, b) CHECK_OP(a, b, <=)
+#define CHECK_GT(a, b) CHECK_OP(a, b, >)
+#define CHECK_GE(a, b) CHECK_OP(a, b, >=)
+
+#ifdef NDEBUG
+#define DCHECK(condition) \
+  while (false) ::dangoron::internal::NullStream()
+#define DCHECK_EQ(a, b) DCHECK((a) == (b))
+#define DCHECK_NE(a, b) DCHECK((a) != (b))
+#define DCHECK_LT(a, b) DCHECK((a) < (b))
+#define DCHECK_LE(a, b) DCHECK((a) <= (b))
+#define DCHECK_GT(a, b) DCHECK((a) > (b))
+#define DCHECK_GE(a, b) DCHECK((a) >= (b))
+#else
+#define DCHECK(condition) CHECK(condition)
+#define DCHECK_EQ(a, b) CHECK_EQ(a, b)
+#define DCHECK_NE(a, b) CHECK_NE(a, b)
+#define DCHECK_LT(a, b) CHECK_LT(a, b)
+#define DCHECK_LE(a, b) CHECK_LE(a, b)
+#define DCHECK_GT(a, b) CHECK_GT(a, b)
+#define DCHECK_GE(a, b) CHECK_GE(a, b)
+#endif
+
+}  // namespace dangoron
+
+#endif  // DANGORON_COMMON_LOGGING_H_

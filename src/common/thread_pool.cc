@@ -1,0 +1,92 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+
+#include "common/logging.h"
+
+namespace dangoron {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads <= 0) {
+      num_threads = 1;
+    }
+  }
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::Schedule(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CHECK(!shutting_down_) << "Schedule() after shutdown";
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(int64_t num_blocks,
+                             const std::function<void(int64_t)>& body) {
+  if (num_blocks <= 0) {
+    return;
+  }
+  if (num_threads() == 1 || num_blocks == 1) {
+    for (int64_t i = 0; i < num_blocks; ++i) {
+      body(i);
+    }
+    return;
+  }
+  // One task per block; blocks are expected to be coarse (engines partition
+  // pair ranges into O(threads) blocks).
+  for (int64_t i = 0; i < num_blocks; ++i) {
+    Schedule([&body, i] { body(i); });
+  }
+  Wait();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // shutting_down_ is set and no work remains.
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) {
+        work_done_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace dangoron

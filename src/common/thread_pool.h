@@ -1,0 +1,58 @@
+#ifndef DANGORON_COMMON_THREAD_POOL_H_
+#define DANGORON_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dangoron {
+
+/// Fixed-size worker pool.
+///
+/// Engines use `ParallelFor` over statically partitioned blocks so results
+/// are deterministic regardless of the number of threads: the work
+/// decomposition never depends on scheduling order, only the execution
+/// interleaving does, and blocks write to disjoint output slots.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (>= 1). `num_threads == 0`
+  /// selects the hardware concurrency.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task for asynchronous execution.
+  void Schedule(std::function<void()> task);
+
+  /// Blocks until every scheduled task has finished.
+  void Wait();
+
+  /// Runs `body(block_index)` for block_index in [0, num_blocks) across the
+  /// pool and waits for completion. Runs inline when the pool has one thread
+  /// or there is a single block.
+  void ParallelFor(int64_t num_blocks,
+                   const std::function<void(int64_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable work_done_;
+  int64_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace dangoron
+
+#endif  // DANGORON_COMMON_THREAD_POOL_H_

@@ -1,0 +1,210 @@
+#include "corr/pearson.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_utils.h"
+
+namespace dangoron {
+
+double PearsonNaive(std::span<const double> x, std::span<const double> y) {
+  DCHECK_EQ(x.size(), y.size());
+  if (x.empty()) {
+    return 0.0;
+  }
+  const double n = static_cast<double>(x.size());
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  for (size_t t = 0; t < x.size(); ++t) {
+    mean_x += x[t];
+    mean_y += y[t];
+  }
+  mean_x /= n;
+  mean_y /= n;
+  double cov = 0.0;
+  double var_x = 0.0;
+  double var_y = 0.0;
+  for (size_t t = 0; t < x.size(); ++t) {
+    const double dx = x[t] - mean_x;
+    const double dy = y[t] - mean_y;
+    cov += dx * dy;
+    var_x += dx * dx;
+    var_y += dy * dy;
+  }
+  constexpr double kEps = 1e-12;
+  if (var_x <= kEps || var_y <= kEps) {
+    return 0.0;
+  }
+  return ClampCorrelation(cov / std::sqrt(var_x * var_y));
+}
+
+double PearsonFromMoments(double n, double sx, double sy, double sxx,
+                          double syy, double sxy) {
+  const double cov = sxy - sx * sy / n;
+  const double var_x = sxx - sx * sx / n;
+  const double var_y = syy - sy * sy / n;
+  constexpr double kEps = 1e-12;
+  if (var_x <= kEps || var_y <= kEps) {
+    return 0.0;
+  }
+  return ClampCorrelation(cov / std::sqrt(var_x * var_y));
+}
+
+double CombinePearsonEq1(int64_t b, std::span<const BasicWindowStats> x,
+                         std::span<const BasicWindowStats> y,
+                         std::span<const double> c) {
+  DCHECK_EQ(x.size(), y.size());
+  DCHECK_EQ(x.size(), c.size());
+  if (x.empty()) {
+    return 0.0;
+  }
+  const double bw = static_cast<double>(b);
+  const double ns = static_cast<double>(x.size());
+
+  // Global means over the query window from the per-window means.
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    mean_x += x[i].mean;
+    mean_y += y[i].mean;
+  }
+  mean_x /= ns;
+  mean_y /= ns;
+
+  double numerator = 0.0;
+  double denom_x = 0.0;
+  double denom_y = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i].mean - mean_x;
+    const double dy = y[i].mean - mean_y;
+    numerator += bw * (x[i].stddev * y[i].stddev * c[i] + dx * dy);
+    denom_x += bw * (x[i].stddev * x[i].stddev + dx * dx);
+    denom_y += bw * (y[i].stddev * y[i].stddev + dy * dy);
+  }
+  constexpr double kEps = 1e-12;
+  if (denom_x <= kEps || denom_y <= kEps) {
+    return 0.0;
+  }
+  return ClampCorrelation(numerator / (std::sqrt(denom_x) * std::sqrt(denom_y)));
+}
+
+std::vector<BasicWindowStats> ComputeBasicWindowStats(
+    std::span<const double> series, int64_t b) {
+  CHECK_GT(b, 0);
+  const int64_t nb = static_cast<int64_t>(series.size()) / b;
+  std::vector<BasicWindowStats> stats(static_cast<size_t>(nb));
+  for (int64_t w = 0; w < nb; ++w) {
+    const std::span<const double> window =
+        series.subspan(static_cast<size_t>(w * b), static_cast<size_t>(b));
+    double sum = 0.0;
+    double sumsq = 0.0;
+    for (const double v : window) {
+      sum += v;
+      sumsq += v * v;
+    }
+    const double n = static_cast<double>(b);
+    const double mean = sum / n;
+    const double var = sumsq / n - mean * mean;
+    stats[static_cast<size_t>(w)] = {mean, var > 0.0 ? std::sqrt(var) : 0.0};
+  }
+  return stats;
+}
+
+std::vector<double> ComputeBasicWindowCorrelations(std::span<const double> x,
+                                                   std::span<const double> y,
+                                                   int64_t b) {
+  CHECK_GT(b, 0);
+  CHECK_EQ(x.size(), y.size());
+  const int64_t nb = static_cast<int64_t>(x.size()) / b;
+  std::vector<double> correlations(static_cast<size_t>(nb));
+  for (int64_t w = 0; w < nb; ++w) {
+    correlations[static_cast<size_t>(w)] =
+        PearsonNaive(x.subspan(static_cast<size_t>(w * b),
+                               static_cast<size_t>(b)),
+                     y.subspan(static_cast<size_t>(w * b),
+                               static_cast<size_t>(b)));
+  }
+  return correlations;
+}
+
+SlidingPairMoments::SlidingPairMoments(std::span<const double> x,
+                                       std::span<const double> y,
+                                       int64_t start, int64_t window)
+    : x_(x), y_(y), start_(start), window_(window) {
+  CHECK_GE(start, 0);
+  CHECK_GT(window, 0);
+  CHECK_LE(static_cast<size_t>(start + window), x.size());
+  CHECK_EQ(x.size(), y.size());
+  for (int64_t t = start; t < start + window; ++t) {
+    const double xv = x_[static_cast<size_t>(t)];
+    const double yv = y_[static_cast<size_t>(t)];
+    sx_ += xv;
+    sy_ += yv;
+    sxx_ += xv * xv;
+    syy_ += yv * yv;
+    sxy_ += xv * yv;
+  }
+}
+
+void SlidingPairMoments::Slide(int64_t step) {
+  CHECK_GE(step, 0);
+  CHECK_LE(static_cast<size_t>(start_ + step + window_), x_.size());
+  for (int64_t t = start_; t < start_ + step; ++t) {
+    const double xv = x_[static_cast<size_t>(t)];
+    const double yv = y_[static_cast<size_t>(t)];
+    sx_ -= xv;
+    sy_ -= yv;
+    sxx_ -= xv * xv;
+    syy_ -= yv * yv;
+    sxy_ -= xv * yv;
+  }
+  for (int64_t t = start_ + window_; t < start_ + window_ + step; ++t) {
+    const double xv = x_[static_cast<size_t>(t)];
+    const double yv = y_[static_cast<size_t>(t)];
+    sx_ += xv;
+    sy_ += yv;
+    sxx_ += xv * xv;
+    syy_ += yv * yv;
+    sxy_ += xv * yv;
+  }
+  start_ += step;
+}
+
+double SlidingPairMoments::Correlation() const {
+  return PearsonFromMoments(static_cast<double>(window_), sx_, sy_, sxx_,
+                            syy_, sxy_);
+}
+
+Result<std::vector<double>> ExactCorrelationMatrix(
+    const TimeSeriesMatrix& data, int64_t start, int64_t window,
+    ThreadPool* pool) {
+  if (data.empty()) {
+    return Status::InvalidArgument("ExactCorrelationMatrix: empty matrix");
+  }
+  if (start < 0 || window <= 0 || start + window > data.length()) {
+    return Status::OutOfRange("ExactCorrelationMatrix: window [", start, ", ",
+                              start + window, ") out of [0, ", data.length(),
+                              ")");
+  }
+  const int64_t n = data.num_series();
+  std::vector<double> matrix(static_cast<size_t>(n * n), 0.0);
+  auto fill_row = [&](int64_t i) {
+    matrix[static_cast<size_t>(i * n + i)] = 1.0;
+    std::span<const double> xi = data.RowRange(i, start, window);
+    for (int64_t j = i + 1; j < n; ++j) {
+      const double c = PearsonNaive(xi, data.RowRange(j, start, window));
+      matrix[static_cast<size_t>(i * n + j)] = c;
+      matrix[static_cast<size_t>(j * n + i)] = c;
+    }
+  };
+  if (pool != nullptr && pool->num_threads() > 1) {
+    pool->ParallelFor(n, fill_row);
+  } else {
+    for (int64_t i = 0; i < n; ++i) {
+      fill_row(i);
+    }
+  }
+  return matrix;
+}
+
+}  // namespace dangoron

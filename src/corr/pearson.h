@@ -1,0 +1,87 @@
+#ifndef DANGORON_CORR_PEARSON_H_
+#define DANGORON_CORR_PEARSON_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "ts/time_series_matrix.h"
+
+namespace dangoron {
+
+/// Exact Pearson correlation of two equally sized spans, two-pass
+/// (numerically the most stable form; the oracle all other kernels are
+/// tested against). Returns 0 when either input is constant.
+double PearsonNaive(std::span<const double> x, std::span<const double> y);
+
+/// Pearson correlation from raw moments over `n` points:
+/// sx = sum x, sy = sum y, sxx = sum x^2, syy = sum y^2, sxy = sum x*y.
+/// Returns 0 when either variance vanishes; the result is clamped to [-1, 1].
+double PearsonFromMoments(double n, double sx, double sy, double sxx,
+                          double syy, double sxy);
+
+/// Statistics of one basic window of one series, the inputs of the paper's
+/// Equation 1.
+struct BasicWindowStats {
+  double mean = 0.0;
+  double stddev = 0.0;  ///< population std-dev within the window
+};
+
+/// Equation 1 of the paper, literal form: combines `ns` equally sized basic
+/// windows (size `b` each) into the exact query-window correlation, given
+/// per-window stats of x and y and per-window correlations `c`.
+///
+///   Corr(x, y) = sum_i B (sx_i sy_i c_i + dx_i dy_i)
+///              / sqrt(sum_i B (sx_i^2 + dx_i^2)) sqrt(sum_i B (sy_i^2 + dy_i^2))
+///
+/// where dx_i = mean_i(x) - mean(x). Returns 0 on zero variance.
+double CombinePearsonEq1(int64_t b, std::span<const BasicWindowStats> x,
+                         std::span<const BasicWindowStats> y,
+                         std::span<const double> c);
+
+/// Per-window stats of a series cut into floor(len / b) basic windows.
+std::vector<BasicWindowStats> ComputeBasicWindowStats(
+    std::span<const double> series, int64_t b);
+
+/// Per-basic-window correlations of two series (inputs for Eq. 1 / Eq. 2).
+std::vector<double> ComputeBasicWindowCorrelations(
+    std::span<const double> x, std::span<const double> y, int64_t b);
+
+/// Incrementally maintained moments of one pair over a sliding window;
+/// the exact-update path of Dangoron's incremental mode and the test oracle
+/// for prefix-based range evaluation.
+class SlidingPairMoments {
+ public:
+  /// Initializes over window [start, start + window) of x and y.
+  SlidingPairMoments(std::span<const double> x, std::span<const double> y,
+                     int64_t start, int64_t window);
+
+  /// Slides the window forward by `step` (caller keeps it in bounds).
+  void Slide(int64_t step);
+
+  /// Correlation of the current window.
+  double Correlation() const;
+
+  int64_t start() const { return start_; }
+
+ private:
+  std::span<const double> x_;
+  std::span<const double> y_;
+  int64_t start_ = 0;
+  int64_t window_ = 0;
+  double sx_ = 0.0, sy_ = 0.0, sxx_ = 0.0, syy_ = 0.0, sxy_ = 0.0;
+};
+
+/// Dense exact correlation matrix over columns [start, start + window) of
+/// `data`; entry (i, j) is Pearson of series i and j (diagonal = 1).
+/// The reference for accuracy evaluation; O(N^2 * window), parallelized over
+/// rows when a pool is given.
+Result<std::vector<double>> ExactCorrelationMatrix(
+    const TimeSeriesMatrix& data, int64_t start, int64_t window,
+    ThreadPool* pool = nullptr);
+
+}  // namespace dangoron
+
+#endif  // DANGORON_CORR_PEARSON_H_

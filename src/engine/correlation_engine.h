@@ -1,0 +1,41 @@
+#ifndef DANGORON_ENGINE_CORRELATION_ENGINE_H_
+#define DANGORON_ENGINE_CORRELATION_ENGINE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "engine/query.h"
+#include "ts/time_series_matrix.h"
+
+namespace dangoron {
+
+/// Common interface of all sliding-window correlation engines.
+///
+/// Lifecycle: construct with engine-specific options, `Prepare` once against
+/// a data matrix (index/sketch construction — the paper's build phase, timed
+/// separately from queries), then `Query` any number of times. The data
+/// matrix must outlive the engine. Engines are not thread-safe across
+/// concurrent Query calls; parallelism lives *inside* an engine.
+class CorrelationEngine {
+ public:
+  virtual ~CorrelationEngine() = default;
+
+  /// Engine name used in benchmark tables ("dangoron", "tsubasa", ...).
+  virtual std::string name() const = 0;
+
+  /// Builds the engine's index over `data`.
+  virtual Status Prepare(const TimeSeriesMatrix& data) = 0;
+
+  /// Runs one sliding query; requires a successful Prepare.
+  virtual Result<CorrelationMatrixSeries> Query(const SlidingQuery& query) = 0;
+
+  /// Counters of the most recent Query.
+  const EngineStats& stats() const { return stats_; }
+
+ protected:
+  EngineStats stats_;
+};
+
+}  // namespace dangoron
+
+#endif  // DANGORON_ENGINE_CORRELATION_ENGINE_H_

@@ -1,0 +1,278 @@
+#include "engine/dangoron_engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/math_utils.h"
+
+namespace dangoron {
+
+DangoronEngine::DangoronEngine(const DangoronOptions& options)
+    : options_(options) {}
+
+Status DangoronEngine::Prepare(const TimeSeriesMatrix& data) {
+  if (options_.basic_window <= 0) {
+    return Status::InvalidArgument("DangoronEngine: basic_window must be > 0");
+  }
+  if (options_.horizontal_pruning && options_.num_pivots <= 0) {
+    return Status::InvalidArgument(
+        "DangoronEngine: horizontal pruning needs num_pivots > 0");
+  }
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  } else {
+    pool_.reset();
+  }
+  BasicWindowIndexOptions index_options;
+  index_options.basic_window = options_.basic_window;
+  index_options.build_pair_sketches = true;
+  ASSIGN_OR_RETURN(BasicWindowIndex index,
+                   BasicWindowIndex::Build(data, index_options, pool_.get()));
+  index_ = std::move(index);
+  data_ = &data;
+  return Status::Ok();
+}
+
+Result<CorrelationMatrixSeries> DangoronEngine::Query(
+    const SlidingQuery& query) {
+  if (data_ == nullptr || !index_.has_value()) {
+    return Status::FailedPrecondition("DangoronEngine: Prepare not called");
+  }
+  RETURN_IF_ERROR(query.Validate(data_->length()));
+  const int64_t b = options_.basic_window;
+  if (query.start % b != 0 || query.window % b != 0 || query.step % b != 0) {
+    return Status::InvalidArgument(
+        "DangoronEngine: query start/window/step must be multiples of the "
+        "basic window ",
+        b, " (got start=", query.start, " window=", query.window,
+        " step=", query.step,
+        "); use TsubasaEngine for arbitrary alignment");
+  }
+  stats_.Reset();
+
+  const int64_t n = data_->num_series();
+  const int64_t num_windows = query.NumWindows();
+  const int64_t num_pairs = n * (n - 1) / 2;
+  const int64_t base_w0 = query.start / b;
+  const int64_t ns = query.window / b;
+  const int64_t m = query.step / b;
+  stats_.num_windows = num_windows;
+  stats_.num_pairs = num_pairs;
+  stats_.cells_total = num_windows * num_pairs;
+
+  // The last window must be fully covered by indexed basic windows.
+  const int64_t last_needed_bw = base_w0 + (num_windows - 1) * m + ns;
+  if (last_needed_bw > index_->num_basic_windows()) {
+    return Status::OutOfRange(
+        "DangoronEngine: query needs basic windows up to ", last_needed_bw,
+        " but only ", index_->num_basic_windows(), " are indexed");
+  }
+
+  // Pivot correlations for horizontal pruning: pivot_corrs[k * P * n + p * n
+  // + s] = corr(pivot_p, series_s) in window k, computed exactly in O(1)
+  // per cell from the pair sketches.
+  std::vector<double> pivot_corrs;
+  if (options_.horizontal_pruning) {
+    const int64_t P = options_.num_pivots;
+    pivots_.clear();
+    for (int64_t p = 0; p < P; ++p) {
+      pivots_.push_back(p * n / P);  // evenly spaced, deterministic
+    }
+    pivot_corrs.assign(static_cast<size_t>(num_windows * P * n), 1.0);
+    for (int64_t k = 0; k < num_windows; ++k) {
+      const int64_t w0 = base_w0 + k * m;
+      for (int64_t p = 0; p < P; ++p) {
+        const int64_t z = pivots_[static_cast<size_t>(p)];
+        for (int64_t s = 0; s < n; ++s) {
+          if (s == z) {
+            continue;  // stays 1.0
+          }
+          const int64_t pair = BasicWindowIndex::PairId(z, s, n);
+          pivot_corrs[static_cast<size_t>((k * P + p) * n + s)] =
+              index_->PairRangeCorrelationIJ(pair, std::min(z, s),
+                                             std::max(z, s), w0, w0 + ns);
+          ++stats_.pivot_evaluations;
+        }
+      }
+    }
+  } else {
+    pivots_.clear();
+  }
+
+  CorrelationMatrixSeries series(query, n);
+
+  // Pair-block decomposition: contiguous ranges of pair ids, processed
+  // independently. Deterministic regardless of thread count.
+  const int64_t num_blocks =
+      options_.num_threads > 1
+          ? std::min<int64_t>(num_pairs,
+                              static_cast<int64_t>(options_.num_threads) * 8)
+          : 1;
+  const int64_t block_size = num_blocks > 0 ? CeilDiv(num_pairs, num_blocks) : 0;
+
+  std::vector<std::vector<std::vector<Edge>>> block_windows(
+      static_cast<size_t>(num_blocks));
+  std::vector<EngineStats> block_stats(static_cast<size_t>(num_blocks));
+
+  auto run_block = [&](int64_t block) {
+    const int64_t pair_begin = block * block_size;
+    const int64_t pair_end = std::min(num_pairs, pair_begin + block_size);
+    auto& local = block_windows[static_cast<size_t>(block)];
+    local.assign(static_cast<size_t>(num_windows), {});
+    ProcessPairBlock(query, pair_begin, pair_end, base_w0, ns, m, pivot_corrs,
+                     &local, &block_stats[static_cast<size_t>(block)]);
+  };
+
+  if (pool_ != nullptr && num_blocks > 1) {
+    pool_->ParallelFor(num_blocks, run_block);
+  } else {
+    for (int64_t block = 0; block < num_blocks; ++block) {
+      run_block(block);
+    }
+  }
+
+  // Deterministic merge in block order, then canonical sort by (i, j).
+  if (num_blocks == 1) {
+    for (int64_t k = 0; k < num_windows; ++k) {
+      *series.MutableWindow(k) =
+          std::move(block_windows[0][static_cast<size_t>(k)]);
+    }
+  } else {
+    for (int64_t k = 0; k < num_windows; ++k) {
+      std::vector<Edge>* out = series.MutableWindow(k);
+      size_t total = 0;
+      for (const auto& local : block_windows) {
+        total += local[static_cast<size_t>(k)].size();
+      }
+      out->reserve(total);
+      for (const auto& local : block_windows) {
+        const auto& edges = local[static_cast<size_t>(k)];
+        out->insert(out->end(), edges.begin(), edges.end());
+      }
+    }
+  }
+  series.SortWindows();
+
+  for (const EngineStats& s : block_stats) {
+    stats_.cells_evaluated += s.cells_evaluated;
+    stats_.cells_jumped += s.cells_jumped;
+    stats_.cells_horizontal_pruned += s.cells_horizontal_pruned;
+    stats_.jumps += s.jumps;
+  }
+  return series;
+}
+
+void DangoronEngine::ProcessPairBlock(
+    const SlidingQuery& query, int64_t pair_begin, int64_t pair_end,
+    int64_t base_w0, int64_t ns, int64_t m,
+    const std::vector<double>& pivot_corrs,
+    std::vector<std::vector<Edge>>* local_windows,
+    EngineStats* local_stats) const {
+  const BasicWindowIndex& index = *index_;
+  const int64_t n = index.num_series();
+  const int64_t num_windows = query.NumWindows();
+  const double beta = query.threshold;
+  const TemporalBound bound(&index, ns, m);
+  const int64_t P = options_.horizontal_pruning ? options_.num_pivots : 0;
+
+  int64_t i = 0;
+  int64_t j = 0;
+  if (pair_begin < pair_end) {
+    BasicWindowIndex::PairFromId(pair_begin, n, &i, &j);
+  }
+  for (int64_t pair = pair_begin; pair < pair_end; ++pair) {
+    int64_t k = 0;
+    while (k < num_windows) {
+      const int64_t w0 = base_w0 + k * m;
+
+      if (P > 0) {
+        // Horizontal pruning: intersect the triangle-inequality intervals
+        // across pivots; if the intersected interval cannot contain an
+        // edge value, this cell is pruned. In absolute mode that requires
+        // the whole interval inside (-beta, beta).
+        double upper = 1.0;
+        double lower = -1.0;
+        for (int64_t p = 0; p < P; ++p) {
+          const double c_iz =
+              pivot_corrs[static_cast<size_t>((k * P + p) * n + i)];
+          const double c_jz =
+              pivot_corrs[static_cast<size_t>((k * P + p) * n + j)];
+          const HorizontalBound hb = HorizontalBoundFromPivot(c_iz, c_jz);
+          upper = std::min(upper, hb.upper);
+          lower = std::max(lower, hb.lower);
+          if (upper < beta && (!query.absolute || lower > -beta)) {
+            break;
+          }
+        }
+        if (upper < beta && (!query.absolute || lower > -beta)) {
+          ++local_stats->cells_horizontal_pruned;
+          ++k;
+          continue;
+        }
+      }
+
+      const double corr =
+          index.PairRangeCorrelationIJ(pair, i, j, w0, w0 + ns);
+      ++local_stats->cells_evaluated;
+
+      int64_t max_steps = num_windows - 1 - k;
+      if (options_.max_jump_steps > 0) {
+        max_steps = std::min(max_steps, options_.max_jump_steps);
+      }
+
+      if (query.IsEdge(corr)) {
+        (*local_windows)[static_cast<size_t>(k)].push_back(
+            Edge{static_cast<int32_t>(i), static_cast<int32_t>(j), corr});
+        if (options_.enable_jumping && options_.enable_above_jumping) {
+          // Edge persists while it provably stays on the same side of its
+          // threshold: >= beta for positive edges, <= -beta for negative
+          // (absolute-mode) edges.
+          const int64_t skip =
+              corr >= beta
+                  ? bound.MaxSkippableAbove(pair, w0, corr, beta, max_steps)
+                  : bound.MaxSkippableBelow(pair, w0, corr, -beta,
+                                            max_steps);
+          if (skip > 0) {
+            // Skipped windows stay edges; report the anchor value (the
+            // bound certifies threshold crossing, not the exact value).
+            for (int64_t d = 1; d <= skip; ++d) {
+              (*local_windows)[static_cast<size_t>(k + d)].push_back(
+                  Edge{static_cast<int32_t>(i), static_cast<int32_t>(j),
+                       corr});
+            }
+            local_stats->cells_jumped += skip;
+            ++local_stats->jumps;
+            k += skip;
+          }
+        }
+        ++k;
+      } else {
+        if (options_.enable_jumping) {
+          // A non-edge is skippable while the bounds confine it below beta
+          // (plain mode) or inside (-beta, beta) (absolute mode).
+          const int64_t skip =
+              query.absolute
+                  ? bound.MaxSkippableWithin(pair, w0, corr, -beta, beta,
+                                             max_steps)
+                  : bound.MaxSkippableBelow(pair, w0, corr, beta, max_steps);
+          if (skip > 0) {
+            // Windows k+1 .. k+skip are assumed non-edges: nothing emitted.
+            local_stats->cells_jumped += skip;
+            ++local_stats->jumps;
+            k += skip;
+          }
+        }
+        ++k;
+      }
+    }
+
+    // Advance (i, j) to the next canonical pair.
+    ++j;
+    if (j >= n) {
+      ++i;
+      j = i + 1;
+    }
+  }
+}
+
+}  // namespace dangoron

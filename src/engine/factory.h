@@ -1,0 +1,32 @@
+#ifndef DANGORON_ENGINE_FACTORY_H_
+#define DANGORON_ENGINE_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "engine/correlation_engine.h"
+
+namespace dangoron {
+
+/// Constructs an engine by name with `key=value` options — the wiring for
+/// CLI tools and config-driven benchmark harnesses.
+///
+/// Names: "naive", "tsubasa", "dangoron", "parcorr".
+/// Options (comma separated, unknown keys are errors):
+///   common:    threads=<int>
+///   tsubasa:   basic_window=<int>
+///   dangoron:  basic_window=<int>, jump=<on|off>, above_jump=<on|off>,
+///              max_jump=<int>, horizontal=<on|off>, pivots=<int>
+///   parcorr:   dim=<int>, seed=<int>, verify=<on|off>, margin=<double>
+///
+/// Example: CreateEngine("dangoron", "basic_window=24,jump=on,pivots=8").
+Result<std::unique_ptr<CorrelationEngine>> CreateEngine(
+    const std::string& name, const std::string& options_text = "");
+
+/// Names accepted by CreateEngine, for help text.
+std::string KnownEngineNames();
+
+}  // namespace dangoron
+
+#endif  // DANGORON_ENGINE_FACTORY_H_

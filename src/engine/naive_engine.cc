@@ -1,0 +1,54 @@
+#include "engine/naive_engine.h"
+
+#include "corr/pearson.h"
+
+namespace dangoron {
+
+Status NaiveEngine::Prepare(const TimeSeriesMatrix& data) {
+  if (data.empty()) {
+    return Status::InvalidArgument("NaiveEngine: empty matrix");
+  }
+  if (data.CountMissing() > 0) {
+    return Status::FailedPrecondition(
+        "NaiveEngine: data contains missing values; run InterpolateMissing "
+        "first");
+  }
+  data_ = &data;
+  return Status::Ok();
+}
+
+Result<CorrelationMatrixSeries> NaiveEngine::Query(const SlidingQuery& query) {
+  if (data_ == nullptr) {
+    return Status::FailedPrecondition("NaiveEngine: Prepare not called");
+  }
+  RETURN_IF_ERROR(query.Validate(data_->length()));
+  stats_.Reset();
+
+  const int64_t n = data_->num_series();
+  const int64_t num_windows = query.NumWindows();
+  stats_.num_windows = num_windows;
+  stats_.num_pairs = n * (n - 1) / 2;
+  stats_.cells_total = stats_.num_windows * stats_.num_pairs;
+
+  CorrelationMatrixSeries series(query, n);
+  for (int64_t k = 0; k < num_windows; ++k) {
+    const int64_t window_start = query.start + k * query.step;
+    std::vector<Edge>* edges = series.MutableWindow(k);
+    for (int64_t i = 0; i < n; ++i) {
+      std::span<const double> xi =
+          data_->RowRange(i, window_start, query.window);
+      for (int64_t j = i + 1; j < n; ++j) {
+        const double c =
+            PearsonNaive(xi, data_->RowRange(j, window_start, query.window));
+        ++stats_.cells_evaluated;
+        if (query.IsEdge(c)) {
+          edges->push_back(Edge{static_cast<int32_t>(i),
+                                static_cast<int32_t>(j), c});
+        }
+      }
+    }
+  }
+  return series;
+}
+
+}  // namespace dangoron

@@ -1,0 +1,27 @@
+#ifndef DANGORON_ENGINE_NAIVE_ENGINE_H_
+#define DANGORON_ENGINE_NAIVE_ENGINE_H_
+
+#include "engine/correlation_engine.h"
+
+namespace dangoron {
+
+/// Brute-force reference: every pair of every window is computed from raw
+/// values in O(window) — O(N^2 * l) per window, no index at all. The ground
+/// truth for correctness tests and the leftmost column of the speedup
+/// tables; intractable beyond small configurations, which is the paper's
+/// point of departure.
+class NaiveEngine : public CorrelationEngine {
+ public:
+  NaiveEngine() = default;
+
+  std::string name() const override { return "naive"; }
+  Status Prepare(const TimeSeriesMatrix& data) override;
+  Result<CorrelationMatrixSeries> Query(const SlidingQuery& query) override;
+
+ private:
+  const TimeSeriesMatrix* data_ = nullptr;
+};
+
+}  // namespace dangoron
+
+#endif  // DANGORON_ENGINE_NAIVE_ENGINE_H_

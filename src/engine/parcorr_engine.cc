@@ -1,0 +1,163 @@
+#include "engine/parcorr_engine.h"
+
+#include <cmath>
+
+#include "common/math_utils.h"
+#include "common/rng.h"
+#include "corr/pearson.h"
+
+namespace dangoron {
+
+ParCorrEngine::ParCorrEngine(const ParCorrOptions& options)
+    : options_(options) {}
+
+Status ParCorrEngine::Prepare(const TimeSeriesMatrix& data) {
+  if (options_.sketch_dim <= 0) {
+    return Status::InvalidArgument("ParCorrEngine: sketch_dim must be > 0");
+  }
+  if (data.empty()) {
+    return Status::InvalidArgument("ParCorrEngine: empty matrix");
+  }
+  if (data.CountMissing() > 0) {
+    return Status::FailedPrecondition(
+        "ParCorrEngine: data contains missing values; run "
+        "InterpolateMissing first");
+  }
+  data_ = &data;
+
+  const int64_t length = data.length();
+  const int64_t d = options_.sketch_dim;
+  Rng rng(options_.seed);
+  signs_.resize(static_cast<size_t>(d * length));
+  for (float& sign : signs_) {
+    sign = static_cast<float>(rng.NextSign());
+  }
+
+  const int64_t n = data.num_series();
+  sum_prefix_.assign(static_cast<size_t>(n * (length + 1)), 0.0);
+  sumsq_prefix_.assign(static_cast<size_t>(n * (length + 1)), 0.0);
+  for (int64_t s = 0; s < n; ++s) {
+    std::span<const double> row = data.Row(s);
+    double sum = 0.0;
+    double sumsq = 0.0;
+    const size_t base = static_cast<size_t>(s * (length + 1));
+    for (int64_t t = 0; t < length; ++t) {
+      const double v = row[static_cast<size_t>(t)];
+      sum += v;
+      sumsq += v * v;
+      sum_prefix_[base + static_cast<size_t>(t) + 1] = sum;
+      sumsq_prefix_[base + static_cast<size_t>(t) + 1] = sumsq;
+    }
+  }
+  return Status::Ok();
+}
+
+Result<CorrelationMatrixSeries> ParCorrEngine::Query(
+    const SlidingQuery& query) {
+  if (data_ == nullptr) {
+    return Status::FailedPrecondition("ParCorrEngine: Prepare not called");
+  }
+  RETURN_IF_ERROR(query.Validate(data_->length()));
+  stats_.Reset();
+
+  const int64_t n = data_->num_series();
+  const int64_t length = data_->length();
+  const int64_t d = options_.sketch_dim;
+  const int64_t num_windows = query.NumWindows();
+  stats_.num_windows = num_windows;
+  stats_.num_pairs = n * (n - 1) / 2;
+  stats_.cells_total = stats_.num_windows * stats_.num_pairs;
+
+  CorrelationMatrixSeries series(query, n);
+
+  // Sketches of the current window, sketch_[s * d + q], maintained
+  // incrementally across sliding steps (ParCorr's core trick: the
+  // projection is linear in the window content, so one step costs
+  // O(d * step) per series instead of O(d * window)).
+  std::vector<double> sketches(static_cast<size_t>(n * d), 0.0);
+  auto add_range = [&](int64_t t0, int64_t t1, double coefficient) {
+    for (int64_t s = 0; s < n; ++s) {
+      std::span<const double> row = data_->Row(s);
+      double* sketch = &sketches[static_cast<size_t>(s * d)];
+      for (int64_t t = t0; t < t1; ++t) {
+        const double v = coefficient * row[static_cast<size_t>(t)];
+        const float* sign_col = &signs_[static_cast<size_t>(t)];
+        for (int64_t q = 0; q < d; ++q) {
+          sketch[q] += static_cast<double>(sign_col[q * length]) * v;
+        }
+      }
+    }
+  };
+
+  // Initial window.
+  add_range(query.start, query.start + query.window, +1.0);
+
+  const double count = static_cast<double>(query.window);
+  for (int64_t k = 0; k < num_windows; ++k) {
+    const int64_t a = query.start + k * query.step;
+    if (k > 0) {
+      // Slide: remove departed columns, add entered ones.
+      add_range(a - query.step, a, -1.0);
+      add_range(a + query.window - query.step, a + query.window, +1.0);
+    }
+
+    std::vector<Edge>* edges = series.MutableWindow(k);
+    for (int64_t i = 0; i < n; ++i) {
+      const size_t pi = static_cast<size_t>(i * (length + 1));
+      const double sx = sum_prefix_[pi + static_cast<size_t>(a + query.window)] -
+                        sum_prefix_[pi + static_cast<size_t>(a)];
+      const double sxx =
+          sumsq_prefix_[pi + static_cast<size_t>(a + query.window)] -
+          sumsq_prefix_[pi + static_cast<size_t>(a)];
+      const double var_x = sxx - sx * sx / count;
+      if (var_x <= 1e-12) {
+        continue;  // constant series: no edges by convention
+      }
+      const double* sketch_i = &sketches[static_cast<size_t>(i * d)];
+      for (int64_t j = i + 1; j < n; ++j) {
+        const size_t pj = static_cast<size_t>(j * (length + 1));
+        const double sy =
+            sum_prefix_[pj + static_cast<size_t>(a + query.window)] -
+            sum_prefix_[pj + static_cast<size_t>(a)];
+        const double syy =
+            sumsq_prefix_[pj + static_cast<size_t>(a + query.window)] -
+            sumsq_prefix_[pj + static_cast<size_t>(a)];
+        const double var_y = syy - sy * sy / count;
+        if (var_y <= 1e-12) {
+          continue;
+        }
+        const double* sketch_j = &sketches[static_cast<size_t>(j * d)];
+        double dot_estimate = 0.0;
+        for (int64_t q = 0; q < d; ++q) {
+          dot_estimate += sketch_i[q] * sketch_j[q];
+        }
+        dot_estimate /= static_cast<double>(d);
+        ++stats_.cells_evaluated;
+
+        const double cov = dot_estimate - sx * sy / count;
+        double c = ClampCorrelation(cov / std::sqrt(var_x * var_y));
+        bool candidate;
+        if (options_.verify_candidates) {
+          const double bar = query.threshold - options_.candidate_margin;
+          candidate = query.absolute ? std::fabs(c) >= bar : c >= bar;
+        } else {
+          candidate = query.IsEdge(c);
+        }
+        if (candidate) {
+          if (options_.verify_candidates) {
+            c = PearsonNaive(data_->RowRange(i, a, query.window),
+                             data_->RowRange(j, a, query.window));
+            if (!query.IsEdge(c)) {
+              continue;  // false candidate removed by verification
+            }
+          }
+          edges->push_back(
+              Edge{static_cast<int32_t>(i), static_cast<int32_t>(j), c});
+        }
+      }
+    }
+  }
+  return series;
+}
+
+}  // namespace dangoron

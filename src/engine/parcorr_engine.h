@@ -1,0 +1,63 @@
+#ifndef DANGORON_ENGINE_PARCORR_ENGINE_H_
+#define DANGORON_ENGINE_PARCORR_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/correlation_engine.h"
+
+namespace dangoron {
+
+/// Options of the ParCorr baseline.
+struct ParCorrOptions {
+  /// Sketch dimension `d`: higher is more accurate and slower. The estimate
+  /// error of a correlation scales like 1/sqrt(d).
+  int32_t sketch_dim = 64;
+  /// Seed of the Rademacher projection matrix.
+  uint64_t seed = 0xbadc0ffee;
+  /// When true, pairs whose *estimated* correlation clears
+  /// `threshold - candidate_margin` are verified exactly against raw data
+  /// (ParCorr's filter-and-verify usage): verification removes every false
+  /// positive, and the margin recovers near-threshold underestimates at the
+  /// cost of extra verifications.
+  bool verify_candidates = false;
+
+  /// Candidate slack below the threshold when verifying; a natural setting
+  /// is ~2/sqrt(sketch_dim), two standard deviations of the estimate error.
+  /// Ignored unless verify_candidates is set.
+  double candidate_margin = 0.0;
+};
+
+/// Reimplementation of the ParCorr estimator (Yagoubi et al., DMKD'18):
+/// random Rademacher projections of windows, maintained *incrementally*
+/// across sliding steps, giving an unbiased estimate of the window inner
+/// product and hence an approximate Pearson correlation per pair.
+///
+/// sketch_q(x, window W) = sum_{t in W} r_q(t) * x_t,   r_q(t) in {-1, +1}
+/// E[ (1/d) sum_q sketch_q(x) sketch_q(y) ] = sum_{t in W} x_t y_t
+///
+/// Window means/stddevs are exact (per-series prefix sums), so all
+/// approximation error sits in the covariance estimate, matching the
+/// original design. Estimated values are clamped to [-1, 1].
+class ParCorrEngine : public CorrelationEngine {
+ public:
+  explicit ParCorrEngine(const ParCorrOptions& options = {});
+
+  std::string name() const override { return "parcorr"; }
+  Status Prepare(const TimeSeriesMatrix& data) override;
+  Result<CorrelationMatrixSeries> Query(const SlidingQuery& query) override;
+
+ private:
+  ParCorrOptions options_;
+  const TimeSeriesMatrix* data_ = nullptr;
+  /// Rademacher signs, d x L, laid out sign_[q * L + t].
+  std::vector<float> signs_;
+  /// Per-series prefix sums over raw columns: sum and sum-of-squares,
+  /// (L + 1) entries per series.
+  std::vector<double> sum_prefix_;
+  std::vector<double> sumsq_prefix_;
+};
+
+}  // namespace dangoron
+
+#endif  // DANGORON_ENGINE_PARCORR_ENGINE_H_

@@ -1,0 +1,78 @@
+#include "engine/query.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace dangoron {
+
+Status SlidingQuery::Validate(int64_t series_length) const {
+  if (window <= 0) {
+    return Status::InvalidArgument("query window must be positive, got ",
+                                   window);
+  }
+  if (step <= 0) {
+    return Status::InvalidArgument("query step must be positive, got ", step);
+  }
+  if (start < 0 || end > series_length || start >= end) {
+    return Status::OutOfRange("query range [", start, ", ", end,
+                              ") invalid for series length ", series_length);
+  }
+  if (end - start < window) {
+    return Status::InvalidArgument("query range of ", end - start,
+                                   " columns shorter than one window of ",
+                                   window);
+  }
+  if (threshold < -1.0 || threshold > 1.0) {
+    return Status::InvalidArgument("threshold must be in [-1, 1], got ",
+                                   std::to_string(threshold));
+  }
+  if (absolute && threshold < 0.0) {
+    return Status::InvalidArgument(
+        "absolute-mode threshold must be in [0, 1], got ",
+        std::to_string(threshold));
+  }
+  return Status::Ok();
+}
+
+std::string SlidingQuery::ToString() const {
+  return StrFormat("range=[%lld,%lld) l=%lld eta=%lld beta=%.3f windows=%lld",
+                   static_cast<long long>(start), static_cast<long long>(end),
+                   static_cast<long long>(window),
+                   static_cast<long long>(step), threshold,
+                   static_cast<long long>(NumWindows()));
+}
+
+int64_t CorrelationMatrixSeries::TotalEdges() const {
+  int64_t total = 0;
+  for (const std::vector<Edge>& window : windows_) {
+    total += static_cast<int64_t>(window.size());
+  }
+  return total;
+}
+
+std::vector<double> CorrelationMatrixSeries::ToDense(int64_t k) const {
+  CHECK_GE(k, 0);
+  CHECK_LT(k, num_windows());
+  std::vector<double> dense(static_cast<size_t>(num_series_ * num_series_),
+                            0.0);
+  for (int64_t i = 0; i < num_series_; ++i) {
+    dense[static_cast<size_t>(i * num_series_ + i)] = 1.0;
+  }
+  for (const Edge& edge : windows_[static_cast<size_t>(k)]) {
+    dense[static_cast<size_t>(edge.i) * num_series_ + edge.j] = edge.value;
+    dense[static_cast<size_t>(edge.j) * num_series_ + edge.i] = edge.value;
+  }
+  return dense;
+}
+
+void CorrelationMatrixSeries::SortWindows() {
+  for (std::vector<Edge>& window : windows_) {
+    std::sort(window.begin(), window.end(), [](const Edge& a, const Edge& b) {
+      return a.i != b.i ? a.i < b.i : a.j < b.j;
+    });
+  }
+}
+
+}  // namespace dangoron

@@ -1,0 +1,121 @@
+#ifndef DANGORON_ENGINE_QUERY_H_
+#define DANGORON_ENGINE_QUERY_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dangoron {
+
+/// The sliding-window correlation query of the paper's problem definition:
+/// over columns [start, end), compute a correlation matrix per window of
+/// size `window`, advancing by `step`, reporting entries >= `threshold`
+/// (everything below is 0 — i.e. absent from the sparse result).
+struct SlidingQuery {
+  int64_t start = 0;      ///< s — first column of the query range
+  int64_t end = 0;        ///< e — one past the last column
+  int64_t window = 0;     ///< l — query window size (columns)
+  int64_t step = 0;       ///< eta — sliding step (columns)
+  double threshold = 0.8; ///< beta — minimum reported correlation
+  /// When true, an edge is reported when |corr| >= beta (anti-correlations
+  /// count — the convention of climate teleconnection networks); the edge
+  /// keeps the signed value. beta must then be in [0, 1].
+  bool absolute = false;
+
+  /// True when `value` clears the edge threshold under this query's rule.
+  bool IsEdge(double value) const {
+    return (absolute ? (value <= -threshold || value >= threshold)
+                     : value >= threshold);
+  }
+
+  /// Number of windows (gamma + 1); 0 when the range cannot fit one window.
+  int64_t NumWindows() const {
+    if (end - start < window || window <= 0 || step <= 0) {
+      return 0;
+    }
+    return (end - start - window) / step + 1;
+  }
+
+  /// Validates basic well-formedness against a series length.
+  Status Validate(int64_t series_length) const;
+
+  std::string ToString() const;
+};
+
+/// One reported entry of a thresholded correlation matrix: an edge of the
+/// correlation network snapshot.
+struct Edge {
+  int32_t i = 0;
+  int32_t j = 0;      ///< i < j (matrices are symmetric; diagonal implied)
+  double value = 0.0; ///< Pearson correlation, >= query threshold
+};
+
+inline bool operator==(const Edge& a, const Edge& b) {
+  return a.i == b.i && a.j == b.j && a.value == b.value;
+}
+
+/// The query result: a sequence of sparse thresholded correlation matrices,
+/// window k covering columns [start + k*step, start + k*step + window).
+/// Edges within a window are sorted by (i, j).
+class CorrelationMatrixSeries {
+ public:
+  CorrelationMatrixSeries() = default;
+  CorrelationMatrixSeries(SlidingQuery query, int64_t num_series)
+      : query_(query), num_series_(num_series),
+        windows_(static_cast<size_t>(query.NumWindows())) {}
+
+  const SlidingQuery& query() const { return query_; }
+  int64_t num_series() const { return num_series_; }
+  int64_t num_windows() const { return static_cast<int64_t>(windows_.size()); }
+
+  std::span<const Edge> WindowEdges(int64_t k) const {
+    return windows_[static_cast<size_t>(k)];
+  }
+  std::vector<Edge>* MutableWindow(int64_t k) {
+    return &windows_[static_cast<size_t>(k)];
+  }
+
+  /// Total edges across all windows.
+  int64_t TotalEdges() const;
+
+  /// Densifies window `k` into a full num_series x num_series matrix
+  /// (row-major, diagonal 1, sub-threshold entries 0).
+  std::vector<double> ToDense(int64_t k) const;
+
+  /// Sorts every window's edges by (i, j); engines call this once after
+  /// filling windows out of order.
+  void SortWindows();
+
+ private:
+  SlidingQuery query_;
+  int64_t num_series_ = 0;
+  std::vector<std::vector<Edge>> windows_;
+};
+
+/// Counters every engine fills during a query; the benchmark harness prints
+/// them next to the timings.
+struct EngineStats {
+  int64_t num_windows = 0;
+  int64_t num_pairs = 0;
+  /// pair-window cells in the full problem (num_windows * num_pairs).
+  int64_t cells_total = 0;
+  /// cells whose correlation was explicitly evaluated.
+  int64_t cells_evaluated = 0;
+  /// cells skipped by temporal jumps.
+  int64_t cells_jumped = 0;
+  /// cells skipped by the horizontal bound.
+  int64_t cells_horizontal_pruned = 0;
+  /// number of jump decisions taken.
+  int64_t jumps = 0;
+  /// exact evaluations spent on pivot columns (horizontal pruning overhead).
+  int64_t pivot_evaluations = 0;
+
+  void Reset() { *this = EngineStats(); }
+};
+
+}  // namespace dangoron
+
+#endif  // DANGORON_ENGINE_QUERY_H_

@@ -1,0 +1,192 @@
+#include "linalg/decompositions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace dangoron {
+
+Result<Matrix> CholeskyFactor(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("CholeskyFactor: matrix is ", a.rows(),
+                                   "x", a.cols(), ", not square");
+  }
+  if (!a.IsSymmetric(1e-9)) {
+    return Status::InvalidArgument("CholeskyFactor: matrix is not symmetric");
+  }
+  const int64_t n = a.rows();
+  Matrix lower(n, n);
+  for (int64_t j = 0; j < n; ++j) {
+    double diag = a.At(j, j);
+    for (int64_t k = 0; k < j; ++k) {
+      diag -= lower.At(j, k) * lower.At(j, k);
+    }
+    if (diag <= 0.0) {
+      return Status::FailedPrecondition(
+          "CholeskyFactor: matrix is not positive definite (pivot ", j, ")");
+    }
+    const double ljj = std::sqrt(diag);
+    lower.At(j, j) = ljj;
+    for (int64_t i = j + 1; i < n; ++i) {
+      double sum = a.At(i, j);
+      for (int64_t k = 0; k < j; ++k) {
+        sum -= lower.At(i, k) * lower.At(j, k);
+      }
+      lower.At(i, j) = sum / ljj;
+    }
+  }
+  return lower;
+}
+
+Result<EigenDecomposition> JacobiEigenSymmetric(const Matrix& a,
+                                                int max_sweeps,
+                                                double off_diag_tol) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("JacobiEigenSymmetric: not square");
+  }
+  if (!a.IsSymmetric(1e-9)) {
+    return Status::InvalidArgument("JacobiEigenSymmetric: not symmetric");
+  }
+  const int64_t n = a.rows();
+  Matrix work = a;
+  Matrix vectors = Matrix::Identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off_diag_max = 0.0;
+    for (int64_t p = 0; p < n; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) {
+        off_diag_max = std::fmax(off_diag_max, std::fabs(work.At(p, q)));
+      }
+    }
+    if (off_diag_max < off_diag_tol) {
+      break;
+    }
+    for (int64_t p = 0; p < n; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) {
+        const double apq = work.At(p, q);
+        if (std::fabs(apq) < off_diag_tol * 1e-2) {
+          continue;
+        }
+        const double app = work.At(p, p);
+        const double aqq = work.At(q, q);
+        // Classic Jacobi rotation angle.
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) +
+                          std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (int64_t k = 0; k < n; ++k) {
+          const double akp = work.At(k, p);
+          const double akq = work.At(k, q);
+          work.At(k, p) = c * akp - s * akq;
+          work.At(k, q) = s * akp + c * akq;
+        }
+        for (int64_t k = 0; k < n; ++k) {
+          const double apk = work.At(p, k);
+          const double aqk = work.At(q, k);
+          work.At(p, k) = c * apk - s * aqk;
+          work.At(q, k) = s * apk + c * aqk;
+        }
+        for (int64_t k = 0; k < n; ++k) {
+          const double vkp = vectors.At(k, p);
+          const double vkq = vectors.At(k, q);
+          vectors.At(k, p) = c * vkp - s * vkq;
+          vectors.At(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  EigenDecomposition decomposition;
+  decomposition.eigenvalues.resize(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    decomposition.eigenvalues[static_cast<size_t>(i)] = work.At(i, i);
+  }
+  // Sort eigenpairs descending by eigenvalue.
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int64_t x, int64_t y) {
+    return decomposition.eigenvalues[static_cast<size_t>(x)] >
+           decomposition.eigenvalues[static_cast<size_t>(y)];
+  });
+  std::vector<double> sorted_values(static_cast<size_t>(n));
+  Matrix sorted_vectors(n, n);
+  for (int64_t j = 0; j < n; ++j) {
+    const int64_t src = order[static_cast<size_t>(j)];
+    sorted_values[static_cast<size_t>(j)] =
+        decomposition.eigenvalues[static_cast<size_t>(src)];
+    for (int64_t i = 0; i < n; ++i) {
+      sorted_vectors.At(i, j) = vectors.At(i, src);
+    }
+  }
+  decomposition.eigenvalues = std::move(sorted_values);
+  decomposition.eigenvectors = std::move(sorted_vectors);
+  return decomposition;
+}
+
+Result<Matrix> NearestCorrelationMatrix(const Matrix& a, double min_eigenvalue,
+                                        int max_iterations) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("NearestCorrelationMatrix: not square");
+  }
+  const int64_t n = a.rows();
+  Matrix current = a;
+  // Symmetrize defensively.
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      const double mean = 0.5 * (current.At(i, j) + current.At(j, i));
+      current.At(i, j) = mean;
+      current.At(j, i) = mean;
+    }
+  }
+
+  for (int iteration = 0; iteration < max_iterations; ++iteration) {
+    ASSIGN_OR_RETURN(EigenDecomposition eigen,
+                     JacobiEigenSymmetric(current));
+    bool needed_clipping = false;
+    for (double& value : eigen.eigenvalues) {
+      if (value < min_eigenvalue) {
+        value = min_eigenvalue;
+        needed_clipping = true;
+      }
+    }
+    // Reassemble V * diag(lambda) * V^T.
+    Matrix scaled = eigen.eigenvectors;
+    for (int64_t j = 0; j < n; ++j) {
+      const double lambda = eigen.eigenvalues[static_cast<size_t>(j)];
+      for (int64_t i = 0; i < n; ++i) {
+        scaled.At(i, j) *= lambda;
+      }
+    }
+    current = scaled.Multiply(eigen.eigenvectors.Transposed());
+
+    // Renormalize to a unit diagonal: D^{-1/2} A D^{-1/2}.
+    for (int64_t i = 0; i < n; ++i) {
+      const double d = current.At(i, i);
+      if (d <= 0.0) {
+        return Status::Internal(
+            "NearestCorrelationMatrix: non-positive diagonal after "
+            "projection");
+      }
+    }
+    std::vector<double> scale(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      scale[static_cast<size_t>(i)] = 1.0 / std::sqrt(current.At(i, i));
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        current.At(i, j) *= scale[static_cast<size_t>(i)] *
+                            scale[static_cast<size_t>(j)];
+      }
+    }
+
+    if (!needed_clipping) {
+      break;
+    }
+  }
+  return current;
+}
+
+}  // namespace dangoron

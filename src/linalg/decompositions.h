@@ -1,0 +1,42 @@
+#ifndef DANGORON_LINALG_DECOMPOSITIONS_H_
+#define DANGORON_LINALG_DECOMPOSITIONS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace dangoron {
+
+/// Lower-triangular Cholesky factor L with A = L * L^T.
+///
+/// `A` must be symmetric positive definite; a non-PD matrix yields
+/// FailedPrecondition (Tomborg then routes it through PSD repair first).
+Result<Matrix> CholeskyFactor(const Matrix& a);
+
+/// Eigendecomposition of a symmetric matrix: A = V diag(lambda) V^T with
+/// orthonormal columns of V. Eigenvalues are sorted descending.
+struct EigenDecomposition {
+  std::vector<double> eigenvalues;
+  Matrix eigenvectors;  ///< column j pairs with eigenvalues[j]
+};
+
+/// Cyclic Jacobi rotations for symmetric matrices. Converges quadratically;
+/// `max_sweeps` bounds work, `off_diag_tol` is the convergence threshold on
+/// the largest remaining off-diagonal magnitude.
+Result<EigenDecomposition> JacobiEigenSymmetric(const Matrix& a,
+                                                int max_sweeps = 64,
+                                                double off_diag_tol = 1e-11);
+
+/// Projects a symmetric matrix with unit diagonal intent to the "nearest"
+/// valid correlation matrix: clip eigenvalues at `min_eigenvalue`,
+/// reassemble, and renormalize the diagonal to exactly 1 (one step of
+/// Higham's alternating projections, iterated until the diagonal constraint
+/// and PSD constraint are jointly satisfied or `max_iterations` is hit).
+Result<Matrix> NearestCorrelationMatrix(const Matrix& a,
+                                        double min_eigenvalue = 1e-6,
+                                        int max_iterations = 8);
+
+}  // namespace dangoron
+
+#endif  // DANGORON_LINALG_DECOMPOSITIONS_H_

@@ -1,0 +1,58 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+namespace dangoron {
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (int64_t i = 0; i < rows_; ++i) {
+    for (int64_t k = 0; k < cols_; ++k) {
+      const double a = At(i, k);
+      if (a == 0.0) {
+        continue;
+      }
+      for (int64_t j = 0; j < other.cols_; ++j) {
+        out.At(i, j) += a * other.At(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (int64_t i = 0; i < rows_; ++i) {
+    for (int64_t j = 0; j < cols_; ++j) {
+      out.At(j, i) = At(i, j);
+    }
+  }
+  return out;
+}
+
+double Matrix::MaxAbsDiff(const Matrix& other) const {
+  CHECK_EQ(rows_, other.rows_);
+  CHECK_EQ(cols_, other.cols_);
+  double max_diff = 0.0;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    max_diff = std::fmax(max_diff, std::fabs(values_[i] - other.values_[i]));
+  }
+  return max_diff;
+}
+
+bool Matrix::IsSymmetric(double tol) const {
+  if (rows_ != cols_) {
+    return false;
+  }
+  for (int64_t i = 0; i < rows_; ++i) {
+    for (int64_t j = i + 1; j < cols_; ++j) {
+      if (std::fabs(At(i, j) - At(j, i)) > tol) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace dangoron

@@ -1,0 +1,72 @@
+#ifndef DANGORON_LINALG_MATRIX_H_
+#define DANGORON_LINALG_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace dangoron {
+
+/// Minimal dense row-major matrix of doubles, sized for the Tomborg
+/// correlation-matrix pipeline (N up to a few thousand).
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int64_t rows, int64_t cols)
+      : rows_(rows), cols_(cols),
+        values_(static_cast<size_t>(rows * cols), 0.0) {
+    CHECK_GE(rows, 0);
+    CHECK_GE(cols, 0);
+  }
+
+  /// Identity matrix of size n.
+  static Matrix Identity(int64_t n) {
+    Matrix m(n, n);
+    for (int64_t i = 0; i < n; ++i) {
+      m.At(i, i) = 1.0;
+    }
+    return m;
+  }
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+
+  double& At(int64_t i, int64_t j) {
+    DCHECK_GE(i, 0);
+    DCHECK_LT(i, rows_);
+    DCHECK_GE(j, 0);
+    DCHECK_LT(j, cols_);
+    return values_[static_cast<size_t>(i * cols_ + j)];
+  }
+  double At(int64_t i, int64_t j) const {
+    DCHECK_GE(i, 0);
+    DCHECK_LT(i, rows_);
+    DCHECK_GE(j, 0);
+    DCHECK_LT(j, cols_);
+    return values_[static_cast<size_t>(i * cols_ + j)];
+  }
+
+  /// C = this * other.
+  Matrix Multiply(const Matrix& other) const;
+
+  /// Transposed copy.
+  Matrix Transposed() const;
+
+  /// Largest |a_ij - b_ij|; both matrices must have equal shapes.
+  double MaxAbsDiff(const Matrix& other) const;
+
+  /// True when |a_ij - a_ji| <= tol for all i, j (square matrices only).
+  bool IsSymmetric(double tol = 1e-12) const;
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<double> values_;
+};
+
+}  // namespace dangoron
+
+#endif  // DANGORON_LINALG_MATRIX_H_

@@ -1,0 +1,74 @@
+#include "network/accuracy.h"
+
+#include <cmath>
+
+namespace dangoron {
+
+EdgeAccuracy CompareWindowEdges(std::span<const Edge> truth,
+                                std::span<const Edge> test) {
+  EdgeAccuracy accuracy;
+  size_t x = 0;
+  size_t y = 0;
+  double squared_error = 0.0;
+  auto less = [](const Edge& a, const Edge& b) {
+    return a.i != b.i ? a.i < b.i : a.j < b.j;
+  };
+  while (x < truth.size() && y < test.size()) {
+    if (less(truth[x], test[y])) {
+      ++accuracy.false_negatives;
+      ++x;
+    } else if (less(test[y], truth[x])) {
+      ++accuracy.false_positives;
+      ++y;
+    } else {
+      ++accuracy.true_positives;
+      const double diff = truth[x].value - test[y].value;
+      squared_error += diff * diff;
+      ++x;
+      ++y;
+    }
+  }
+  accuracy.false_negatives += static_cast<int64_t>(truth.size() - x);
+  accuracy.false_positives += static_cast<int64_t>(test.size() - y);
+  accuracy.value_rmse =
+      accuracy.true_positives > 0
+          ? std::sqrt(squared_error /
+                      static_cast<double>(accuracy.true_positives))
+          : 0.0;
+  return accuracy;
+}
+
+Result<SeriesAccuracy> CompareSeries(const CorrelationMatrixSeries& truth,
+                                     const CorrelationMatrixSeries& test) {
+  if (truth.num_windows() != test.num_windows()) {
+    return Status::InvalidArgument("CompareSeries: window counts differ (",
+                                   truth.num_windows(), " vs ",
+                                   test.num_windows(), ")");
+  }
+  SeriesAccuracy aggregate;
+  double f1_sum = 0.0;
+  double rmse_weighted = 0.0;
+  for (int64_t k = 0; k < truth.num_windows(); ++k) {
+    const EdgeAccuracy window =
+        CompareWindowEdges(truth.WindowEdges(k), test.WindowEdges(k));
+    aggregate.total.true_positives += window.true_positives;
+    aggregate.total.false_positives += window.false_positives;
+    aggregate.total.false_negatives += window.false_negatives;
+    rmse_weighted += window.value_rmse * window.value_rmse *
+                     static_cast<double>(window.true_positives);
+    f1_sum += window.F1();
+    ++aggregate.windows_compared;
+  }
+  aggregate.total.value_rmse =
+      aggregate.total.true_positives > 0
+          ? std::sqrt(rmse_weighted /
+                      static_cast<double>(aggregate.total.true_positives))
+          : 0.0;
+  aggregate.mean_f1 =
+      aggregate.windows_compared > 0
+          ? f1_sum / static_cast<double>(aggregate.windows_compared)
+          : 1.0;
+  return aggregate;
+}
+
+}  // namespace dangoron

@@ -1,0 +1,60 @@
+#ifndef DANGORON_NETWORK_ACCURACY_H_
+#define DANGORON_NETWORK_ACCURACY_H_
+
+#include <cstdint>
+#include <span>
+
+#include "common/status.h"
+#include "engine/query.h"
+
+namespace dangoron {
+
+/// Edge-detection quality of one window against exact ground truth,
+/// treating "edge" (correlation >= beta) as the positive class — the paper's
+/// accuracy measure for approximate engines (Dangoron jump mode, ParCorr).
+struct EdgeAccuracy {
+  int64_t true_positives = 0;
+  int64_t false_positives = 0;
+  int64_t false_negatives = 0;
+  /// Root-mean-square error of the values on true-positive edges.
+  double value_rmse = 0.0;
+
+  double Precision() const {
+    const int64_t denom = true_positives + false_positives;
+    return denom == 0 ? 1.0
+                      : static_cast<double>(true_positives) /
+                            static_cast<double>(denom);
+  }
+  double Recall() const {
+    const int64_t denom = true_positives + false_negatives;
+    return denom == 0 ? 1.0
+                      : static_cast<double>(true_positives) /
+                            static_cast<double>(denom);
+  }
+  double F1() const {
+    const double p = Precision();
+    const double r = Recall();
+    return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+};
+
+/// Compares one window's edge list against ground truth (both sorted by
+/// (i, j), as engines emit them).
+EdgeAccuracy CompareWindowEdges(std::span<const Edge> truth,
+                                std::span<const Edge> test);
+
+/// Accuracy aggregated over every window of a query result.
+struct SeriesAccuracy {
+  EdgeAccuracy total;           ///< micro-aggregated counts over all windows
+  double mean_f1 = 1.0;         ///< macro mean of per-window F1
+  int64_t windows_compared = 0;
+};
+
+/// Compares two query results window by window; they must stem from the
+/// same query geometry (same window count).
+Result<SeriesAccuracy> CompareSeries(const CorrelationMatrixSeries& truth,
+                                     const CorrelationMatrixSeries& test);
+
+}  // namespace dangoron
+
+#endif  // DANGORON_NETWORK_ACCURACY_H_

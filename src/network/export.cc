@@ -1,0 +1,83 @@
+#include "network/export.h"
+
+#include <cmath>
+#include <fstream>
+
+#include "common/strings.h"
+
+namespace dangoron {
+
+namespace {
+
+std::string NodeName(const std::vector<std::string>& names, int64_t v) {
+  if (static_cast<size_t>(v) < names.size() && !names[static_cast<size_t>(v)].empty()) {
+    return names[static_cast<size_t>(v)];
+  }
+  return std::to_string(v);
+}
+
+}  // namespace
+
+Status WriteEdgeList(const NetworkSnapshot& network,
+                     const std::vector<std::string>& names,
+                     const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open edge list for writing: ", path);
+  }
+  for (const Edge& edge : network.edges()) {
+    out << NodeName(names, edge.i) << '\t' << NodeName(names, edge.j) << '\t'
+        << StrFormat("%.6f", edge.value) << '\n';
+  }
+  if (!out) {
+    return Status::IoError("error writing edge list: ", path);
+  }
+  return Status::Ok();
+}
+
+Status WriteGraphviz(const NetworkSnapshot& network,
+                     const std::vector<std::string>& names,
+                     const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open DOT file for writing: ", path);
+  }
+  out << "graph correlation_network {\n";
+  out << "  layout=neato;\n  node [shape=circle, fontsize=10];\n";
+  for (int64_t v = 0; v < network.num_nodes(); ++v) {
+    out << "  \"" << NodeName(names, v) << "\";\n";
+  }
+  for (const Edge& edge : network.edges()) {
+    out << "  \"" << NodeName(names, edge.i) << "\" -- \""
+        << NodeName(names, edge.j) << "\" [weight="
+        << StrFormat("%.4f", edge.value)
+        << ", penwidth=" << StrFormat("%.2f", 0.5 + 3.0 * std::fabs(edge.value))
+        << "];\n";
+  }
+  out << "}\n";
+  if (!out) {
+    return Status::IoError("error writing DOT file: ", path);
+  }
+  return Status::Ok();
+}
+
+Status WriteSeriesCsv(const CorrelationMatrixSeries& series,
+                      const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open series CSV for writing: ", path);
+  }
+  out << "window,i,j,correlation\n";
+  for (int64_t k = 0; k < series.num_windows(); ++k) {
+    for (const Edge& edge : series.WindowEdges(k)) {
+      out << k << ',' << edge.i << ',' << edge.j << ','
+          << StrFormat("%.6f", edge.value) << '\n';
+    }
+  }
+  if (!out) {
+    return Status::IoError("error writing series CSV: ", path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace dangoron

@@ -1,0 +1,222 @@
+#include "sketch/basic_window_index.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_utils.h"
+
+namespace dangoron {
+
+namespace {
+
+// Pearson from raw moments over n points; 0 when either side is constant
+// (an undefined correlation is reported as "no edge", mirroring how the
+// benchmark treats dead sensors).
+double PearsonFromMomentsImpl(double n, double sx, double sy, double sxx,
+                              double syy, double sxy) {
+  const double cov = sxy - sx * sy / n;
+  const double var_x = sxx - sx * sx / n;
+  const double var_y = syy - sy * sy / n;
+  constexpr double kEps = 1e-12;
+  if (var_x <= kEps || var_y <= kEps) {
+    return 0.0;
+  }
+  return ClampCorrelation(cov / std::sqrt(var_x * var_y));
+}
+
+}  // namespace
+
+int64_t BasicWindowIndex::PairId(int64_t i, int64_t j, int64_t num_series) {
+  DCHECK_NE(i, j);
+  if (i > j) {
+    std::swap(i, j);
+  }
+  DCHECK_GE(i, 0);
+  DCHECK_LT(j, num_series);
+  // Row-major upper triangle: offset of row i plus column displacement.
+  return i * (2 * num_series - i - 1) / 2 + (j - i - 1);
+}
+
+void BasicWindowIndex::PairFromId(int64_t pair_id, int64_t num_series,
+                                  int64_t* i, int64_t* j) {
+  // Invert the triangular offset by scanning rows; engines call this once
+  // per pair block, not per cell, so the O(N) scan is immaterial.
+  int64_t row = 0;
+  int64_t remaining = pair_id;
+  while (remaining >= num_series - row - 1) {
+    remaining -= num_series - row - 1;
+    ++row;
+    DCHECK_LT(row, num_series);
+  }
+  *i = row;
+  *j = row + 1 + remaining;
+}
+
+Result<BasicWindowIndex> BasicWindowIndex::Build(
+    const TimeSeriesMatrix& data, const BasicWindowIndexOptions& options,
+    ThreadPool* pool) {
+  if (data.empty()) {
+    return Status::InvalidArgument("BasicWindowIndex: empty matrix");
+  }
+  if (options.basic_window <= 0) {
+    return Status::InvalidArgument("BasicWindowIndex: basic_window must be > 0");
+  }
+  if (data.length() < options.basic_window) {
+    return Status::InvalidArgument("BasicWindowIndex: series length ",
+                                   data.length(),
+                                   " shorter than one basic window of ",
+                                   options.basic_window);
+  }
+  if (data.CountMissing() > 0) {
+    return Status::FailedPrecondition(
+        "BasicWindowIndex: data contains missing values; run "
+        "InterpolateMissing first");
+  }
+
+  BasicWindowIndex index;
+  index.data_ = &data;
+  index.basic_window_ = options.basic_window;
+  index.num_basic_windows_ = data.length() / options.basic_window;
+  index.num_series_ = data.num_series();
+  index.num_pairs_ = data.num_series() * (data.num_series() - 1) / 2;
+  index.has_pair_sketches_ = options.build_pair_sketches;
+
+  const int64_t nb = index.num_basic_windows_;
+  const int64_t b = index.basic_window_;
+  const int64_t n = index.num_series_;
+
+  // Per-series prefixes.
+  index.series_sum_prefix_.assign(static_cast<size_t>(n * (nb + 1)), 0.0);
+  index.series_sumsq_prefix_.assign(static_cast<size_t>(n * (nb + 1)), 0.0);
+  for (int64_t s = 0; s < n; ++s) {
+    std::span<const double> row = data.Row(s);
+    double sum_acc = 0.0;
+    double sumsq_acc = 0.0;
+    index.series_sum_prefix_[index.Sx(s, 0)] = 0.0;
+    index.series_sumsq_prefix_[index.Sx(s, 0)] = 0.0;
+    for (int64_t w = 0; w < nb; ++w) {
+      for (int64_t t = w * b; t < (w + 1) * b; ++t) {
+        const double v = row[static_cast<size_t>(t)];
+        sum_acc += v;
+        sumsq_acc += v * v;
+      }
+      index.series_sum_prefix_[index.Sx(s, w + 1)] = sum_acc;
+      index.series_sumsq_prefix_[index.Sx(s, w + 1)] = sumsq_acc;
+    }
+  }
+
+  if (!options.build_pair_sketches) {
+    return index;
+  }
+
+  index.pair_dot_prefix_.assign(
+      static_cast<size_t>(index.num_pairs_ * (nb + 1)), 0.0);
+  index.pair_one_minus_corr_prefix_.assign(
+      static_cast<size_t>(index.num_pairs_ * (nb + 1)), 0.0);
+
+  // One block per first-series row keeps blocks coarse and cache friendly:
+  // row i covers pairs (i, i+1..n-1) whose ids are contiguous.
+  auto build_row = [&](int64_t i) {
+    std::span<const double> xi = data.Row(i);
+    for (int64_t j = i + 1; j < n; ++j) {
+      std::span<const double> xj = data.Row(j);
+      const int64_t p = PairId(i, j, n);
+      double dot_acc = 0.0;
+      double omc_acc = 0.0;
+      index.pair_dot_prefix_[index.Px(p, 0)] = 0.0;
+      index.pair_one_minus_corr_prefix_[index.Px(p, 0)] = 0.0;
+      for (int64_t w = 0; w < nb; ++w) {
+        double dot = 0.0;
+        for (int64_t t = w * b; t < (w + 1) * b; ++t) {
+          dot += xi[static_cast<size_t>(t)] * xj[static_cast<size_t>(t)];
+        }
+        dot_acc += dot;
+        index.pair_dot_prefix_[index.Px(p, w + 1)] = dot_acc;
+
+        // Basic-window correlation c_w from the already built per-series
+        // prefixes plus this window's dot.
+        const double sx = index.SumRange(i, w, w + 1);
+        const double sy = index.SumRange(j, w, w + 1);
+        const double sxx = index.SumSqRange(i, w, w + 1);
+        const double syy = index.SumSqRange(j, w, w + 1);
+        const double c = PearsonFromMomentsImpl(static_cast<double>(b), sx,
+                                                sy, sxx, syy, dot);
+        omc_acc += 1.0 - c;
+        index.pair_one_minus_corr_prefix_[index.Px(p, w + 1)] = omc_acc;
+      }
+    }
+  };
+
+  if (pool != nullptr && pool->num_threads() > 1) {
+    pool->ParallelFor(n, [&](int64_t i) { build_row(i); });
+  } else {
+    for (int64_t i = 0; i < n; ++i) {
+      build_row(i);
+    }
+  }
+  return index;
+}
+
+double BasicWindowIndex::WindowMean(int64_t s, int64_t w) const {
+  return SumRange(s, w, w + 1) / static_cast<double>(basic_window_);
+}
+
+double BasicWindowIndex::WindowStdDev(int64_t s, int64_t w) const {
+  const double n = static_cast<double>(basic_window_);
+  const double mean = SumRange(s, w, w + 1) / n;
+  const double var = SumSqRange(s, w, w + 1) / n - mean * mean;
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+double BasicWindowIndex::PairWindowCorrelation(int64_t p, int64_t w) const {
+  DCHECK(has_pair_sketches_);
+  // Recover c_w = 1 - [prefix(w+1) - prefix(w)].
+  return 1.0 - OneMinusCorrRange(p, w, w + 1);
+}
+
+double BasicWindowIndex::PairRangeCorrelation(int64_t p, int64_t lo,
+                                              int64_t hi) const {
+  int64_t i = 0;
+  int64_t j = 0;
+  PairFromId(p, num_series_, &i, &j);
+  return PairRangeCorrelationIJ(p, i, j, lo, hi);
+}
+
+double BasicWindowIndex::PairRangeCorrelationIJ(int64_t p, int64_t i,
+                                                int64_t j, int64_t lo,
+                                                int64_t hi) const {
+  DCHECK(has_pair_sketches_);
+  DCHECK_LT(lo, hi);
+  DCHECK_EQ(PairId(i, j, num_series_), p);
+  const double n = static_cast<double>((hi - lo) * basic_window_);
+  return PearsonFromMomentsImpl(n, SumRange(i, lo, hi), SumRange(j, lo, hi),
+                                SumSqRange(i, lo, hi), SumSqRange(j, lo, hi),
+                                DotRange(p, lo, hi));
+}
+
+double BasicWindowIndex::RangeCorrelationFromRaw(int64_t i, int64_t j,
+                                                 int64_t lo,
+                                                 int64_t hi) const {
+  DCHECK_LT(lo, hi);
+  const int64_t start = lo * basic_window_;
+  const int64_t count = (hi - lo) * basic_window_;
+  std::span<const double> x = data_->RowRange(i, start, count);
+  std::span<const double> y = data_->RowRange(j, start, count);
+  double dot = 0.0;
+  for (int64_t t = 0; t < count; ++t) {
+    dot += x[static_cast<size_t>(t)] * y[static_cast<size_t>(t)];
+  }
+  return PearsonFromMomentsImpl(static_cast<double>(count),
+                                SumRange(i, lo, hi), SumRange(j, lo, hi),
+                                SumSqRange(i, lo, hi), SumSqRange(j, lo, hi),
+                                dot);
+}
+
+int64_t BasicWindowIndex::MemoryBytes() const {
+  return static_cast<int64_t>(
+      (series_sum_prefix_.size() + series_sumsq_prefix_.size() +
+       pair_dot_prefix_.size() + pair_one_minus_corr_prefix_.size()) *
+      sizeof(double));
+}
+
+}  // namespace dangoron

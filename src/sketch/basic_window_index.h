@@ -1,0 +1,138 @@
+#ifndef DANGORON_SKETCH_BASIC_WINDOW_INDEX_H_
+#define DANGORON_SKETCH_BASIC_WINDOW_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "ts/time_series_matrix.h"
+
+namespace dangoron {
+
+/// Options for building a BasicWindowIndex.
+struct BasicWindowIndexOptions {
+  /// Size `b` of each basic window (columns). The series is cut into
+  /// floor(L / b) full basic windows; a ragged tail is ignored by the index
+  /// (engines handle it from raw data when needed).
+  int64_t basic_window = 24;
+  /// When true, per-pair sketches (inner products and the Eq. 2 jump prefix)
+  /// are built: O(N^2 * nb) memory. Engines that only need per-series
+  /// statistics can turn this off.
+  bool build_pair_sketches = true;
+};
+
+/// The basic-window sketch of the paper (Section 3): per-series and per-pair
+/// statistics at basic-window granularity, with prefix sums along the
+/// basic-window axis so any *aligned* range statistic is O(1).
+///
+/// Layout notes:
+/// - Pairs (i, j), i < j, are addressed by a canonical dense id, see PairId.
+/// - All prefix arrays have nb + 1 entries per series/pair, so a range
+///   [lo, hi) reduces to two loads and a subtract.
+///
+/// The index borrows the data matrix; it must outlive the index.
+class BasicWindowIndex {
+ public:
+  /// Builds the index over all columns of `data`. When `pool` is non-null,
+  /// pair sketches are built in parallel. Fails when the matrix is empty,
+  /// contains NaN (interpolate first), or is shorter than one basic window.
+  static Result<BasicWindowIndex> Build(
+      const TimeSeriesMatrix& data, const BasicWindowIndexOptions& options,
+      ThreadPool* pool = nullptr);
+
+  int64_t basic_window() const { return basic_window_; }
+  int64_t num_basic_windows() const { return num_basic_windows_; }
+  int64_t num_series() const { return num_series_; }
+  int64_t num_pairs() const { return num_pairs_; }
+  bool has_pair_sketches() const { return has_pair_sketches_; }
+  const TimeSeriesMatrix& data() const { return *data_; }
+
+  /// Canonical id of pair (i, j), i != j, in [0, N*(N-1)/2).
+  static int64_t PairId(int64_t i, int64_t j, int64_t num_series);
+
+  /// Inverse of PairId.
+  static void PairFromId(int64_t pair_id, int64_t num_series, int64_t* i,
+                         int64_t* j);
+
+  // --- per-series, basic-window-aligned range statistics (O(1)) ---
+
+  /// Sum of series `s` over basic windows [lo, hi).
+  double SumRange(int64_t s, int64_t lo, int64_t hi) const {
+    return series_sum_prefix_[Sx(s, hi)] - series_sum_prefix_[Sx(s, lo)];
+  }
+  /// Sum of squares of series `s` over basic windows [lo, hi).
+  double SumSqRange(int64_t s, int64_t lo, int64_t hi) const {
+    return series_sumsq_prefix_[Sx(s, hi)] - series_sumsq_prefix_[Sx(s, lo)];
+  }
+
+  /// Mean of series `s` within basic window `w` (for Eq. 1).
+  double WindowMean(int64_t s, int64_t w) const;
+  /// Population standard deviation of series `s` within basic window `w`.
+  double WindowStdDev(int64_t s, int64_t w) const;
+
+  // --- per-pair statistics (require pair sketches) ---
+
+  /// Inner product sum_t x_t * y_t of pair `p` over basic windows [lo, hi).
+  double DotRange(int64_t p, int64_t lo, int64_t hi) const {
+    return pair_dot_prefix_[Px(p, hi)] - pair_dot_prefix_[Px(p, lo)];
+  }
+
+  /// Pearson correlation of the pair within basic window `w` (the `c_i` of
+  /// Eq. 1 / Eq. 2); 0 when either side is constant in the window.
+  double PairWindowCorrelation(int64_t p, int64_t w) const;
+
+  /// Sum over basic windows [lo, hi) of (1 - c_i): the Eq. 2 jump budget.
+  /// Monotone non-negative in hi, enabling binary search.
+  double OneMinusCorrRange(int64_t p, int64_t lo, int64_t hi) const {
+    return pair_one_minus_corr_prefix_[Px(p, hi)] -
+           pair_one_minus_corr_prefix_[Px(p, lo)];
+  }
+
+  /// Exact Pearson correlation of pair id `p` over basic windows [lo, hi),
+  /// combined from the sketch in O(1) (moment form of Eq. 1). Returns 0 when
+  /// either series is constant over the range.
+  double PairRangeCorrelation(int64_t p, int64_t lo, int64_t hi) const;
+
+  /// Same as PairRangeCorrelation but with the pair's series ids supplied by
+  /// the caller, avoiding the O(N) id inversion — the per-cell hot path of
+  /// the engines, which already track (i, j) while walking pair blocks.
+  double PairRangeCorrelationIJ(int64_t p, int64_t i, int64_t j, int64_t lo,
+                                int64_t hi) const;
+
+  /// Exact Pearson correlation of (i, j) over basic windows [lo, hi) using
+  /// per-series prefixes and a raw-data dot product: O(b * (hi - lo)) but
+  /// requires no pair sketches (used by pivot scans and sketchless modes).
+  double RangeCorrelationFromRaw(int64_t i, int64_t j, int64_t lo,
+                                 int64_t hi) const;
+
+  /// Bytes of sketch storage (diagnostics for the build benches).
+  int64_t MemoryBytes() const;
+
+ private:
+  BasicWindowIndex() = default;
+
+  size_t Sx(int64_t s, int64_t w) const {
+    return static_cast<size_t>(s * (num_basic_windows_ + 1) + w);
+  }
+  size_t Px(int64_t p, int64_t w) const {
+    return static_cast<size_t>(p * (num_basic_windows_ + 1) + w);
+  }
+
+  const TimeSeriesMatrix* data_ = nullptr;
+  int64_t basic_window_ = 0;
+  int64_t num_basic_windows_ = 0;
+  int64_t num_series_ = 0;
+  int64_t num_pairs_ = 0;
+  bool has_pair_sketches_ = false;
+
+  // Prefix arrays, one row per series/pair, nb + 1 entries each.
+  std::vector<double> series_sum_prefix_;
+  std::vector<double> series_sumsq_prefix_;
+  std::vector<double> pair_dot_prefix_;
+  std::vector<double> pair_one_minus_corr_prefix_;
+};
+
+}  // namespace dangoron
+
+#endif  // DANGORON_SKETCH_BASIC_WINDOW_INDEX_H_

@@ -1,0 +1,147 @@
+#include "tomborg/correlation_spec.h"
+
+#include <cmath>
+
+#include "common/math_utils.h"
+#include "common/strings.h"
+#include "linalg/decompositions.h"
+
+namespace dangoron {
+
+namespace {
+
+const char* FamilyName(CorrelationFamily family) {
+  switch (family) {
+    case CorrelationFamily::kConstant:
+      return "constant";
+    case CorrelationFamily::kUniform:
+      return "uniform";
+    case CorrelationFamily::kClippedNormal:
+      return "normal";
+    case CorrelationFamily::kBeta:
+      return "beta";
+    case CorrelationFamily::kBlock:
+      return "block";
+    case CorrelationFamily::kHub:
+      return "hub";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string CorrelationSpec::ToString() const {
+  return StrFormat("%s(a=%.2f,b=%.2f)", FamilyName(family), a, b);
+}
+
+double SampleGamma(double shape, Rng* rng) {
+  // Marsaglia & Tsang (2000). For shape < 1 use the boost
+  // Gamma(shape) = Gamma(shape + 1) * U^(1/shape).
+  if (shape < 1.0) {
+    const double u = rng->NextDouble();
+    return SampleGamma(shape + 1.0, rng) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  while (true) {
+    double x = 0.0;
+    double v = 0.0;
+    do {
+      x = rng->NextGaussian();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = rng->NextDouble();
+    if (u < 1.0 - 0.0331 * x * x * x * x) {
+      return d * v;
+    }
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v;
+    }
+  }
+}
+
+double SampleBeta(double alpha, double beta, Rng* rng) {
+  const double x = SampleGamma(alpha, rng);
+  const double y = SampleGamma(beta, rng);
+  return x / (x + y);
+}
+
+Result<Matrix> DrawTargetCorrelation(const CorrelationSpec& spec, int64_t n,
+                                     Rng* rng) {
+  if (n <= 1) {
+    return Status::InvalidArgument("DrawTargetCorrelation: need n > 1, got ",
+                                   n);
+  }
+  Matrix target(n, n);
+  for (int64_t i = 0; i < n; ++i) {
+    target.At(i, i) = 1.0;
+  }
+
+  // Per-series block / hub labels where relevant.
+  std::vector<int64_t> block_of(static_cast<size_t>(n), 0);
+  if (spec.family == CorrelationFamily::kBlock) {
+    if (spec.blocks <= 0) {
+      return Status::InvalidArgument("DrawTargetCorrelation: blocks <= 0");
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      block_of[static_cast<size_t>(i)] = i * spec.blocks / n;
+    }
+  }
+  std::vector<bool> is_hub(static_cast<size_t>(n), false);
+  if (spec.family == CorrelationFamily::kHub) {
+    if (spec.hubs <= 0 || spec.hubs > n) {
+      return Status::InvalidArgument("DrawTargetCorrelation: bad hub count");
+    }
+    for (int64_t h = 0; h < spec.hubs; ++h) {
+      is_hub[static_cast<size_t>(h * n / spec.hubs)] = true;
+    }
+  }
+
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      double value = 0.0;
+      switch (spec.family) {
+        case CorrelationFamily::kConstant:
+          value = spec.a;
+          break;
+        case CorrelationFamily::kUniform:
+          value = rng->NextUniform(spec.a, spec.b);
+          break;
+        case CorrelationFamily::kClippedNormal:
+          value = rng->NextGaussian(spec.a, spec.b);
+          break;
+        case CorrelationFamily::kBeta:
+          value = spec.lo +
+                  (spec.hi - spec.lo) * SampleBeta(spec.a, spec.b, rng);
+          break;
+        case CorrelationFamily::kBlock:
+          value = block_of[static_cast<size_t>(i)] ==
+                          block_of[static_cast<size_t>(j)]
+                      ? spec.a
+                      : spec.b;
+          break;
+        case CorrelationFamily::kHub:
+          value = (is_hub[static_cast<size_t>(i)] ||
+                   is_hub[static_cast<size_t>(j)])
+                      ? spec.a
+                      : spec.b;
+          break;
+      }
+      if (spec.jitter > 0.0) {
+        value += rng->NextGaussian(0.0, spec.jitter);
+      }
+      value = Clamp(value, -0.99, 0.99);
+      target.At(i, j) = value;
+      target.At(j, i) = value;
+    }
+  }
+  return target;
+}
+
+Result<Matrix> RepairToCorrelationMatrix(const Matrix& target) {
+  return NearestCorrelationMatrix(target, /*min_eigenvalue=*/1e-4,
+                                  /*max_iterations=*/10);
+}
+
+}  // namespace dangoron

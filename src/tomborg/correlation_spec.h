@@ -1,0 +1,67 @@
+#ifndef DANGORON_TOMBORG_CORRELATION_SPEC_H_
+#define DANGORON_TOMBORG_CORRELATION_SPEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace dangoron {
+
+/// Families of off-diagonal correlation distributions Tomborg can draw the
+/// target matrix C from — step (1) of the paper's pipeline. Each family
+/// stresses engines differently: e.g. kUniform spreads mass across the
+/// threshold, kBlock creates dense communities (many edges), kHub creates
+/// skewed degree distributions, kClippedNormal concentrates mass near its
+/// mean (pruning-friendly or -hostile depending on the mean vs beta).
+enum class CorrelationFamily {
+  kConstant,       ///< every off-diagonal equals `a`
+  kUniform,        ///< Uniform[a, b]
+  kClippedNormal,  ///< Normal(a, b) clipped to [-0.99, 0.99]
+  kBeta,           ///< Beta(a, b) rescaled to [lo, hi]
+  kBlock,          ///< `blocks` communities: intra = a, inter = b (+ jitter)
+  kHub,            ///< `hubs` high-degree series: hub rows = a, rest = b
+};
+
+/// Declarative description of the target correlation matrix.
+struct CorrelationSpec {
+  CorrelationFamily family = CorrelationFamily::kUniform;
+  /// Family parameters (see CorrelationFamily comments).
+  double a = 0.0;
+  double b = 1.0;
+  /// Rescale range of kBeta.
+  double lo = -1.0;
+  double hi = 1.0;
+  /// Community count of kBlock.
+  int64_t blocks = 4;
+  /// Hub count of kHub.
+  int64_t hubs = 4;
+  /// Gaussian jitter applied to each off-diagonal after drawing.
+  double jitter = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Draws a symmetric matrix with unit diagonal whose off-diagonals follow
+/// `spec`. The draw is *not* necessarily positive semidefinite — run it
+/// through RepairToCorrelationMatrix before synthesis.
+Result<Matrix> DrawTargetCorrelation(const CorrelationSpec& spec, int64_t n,
+                                     Rng* rng);
+
+/// Projects `target` to a valid (PSD, unit-diagonal) correlation matrix.
+/// Thin wrapper over NearestCorrelationMatrix with Tomborg defaults; the
+/// repaired matrix is what the generator then realizes, and callers should
+/// measure realized accuracy against the *repaired* matrix.
+Result<Matrix> RepairToCorrelationMatrix(const Matrix& target);
+
+/// Gamma(shape >= 0) variate via Marsaglia-Tsang (used by the Beta family).
+double SampleGamma(double shape, Rng* rng);
+
+/// Beta(alpha, beta) variate in [0, 1].
+double SampleBeta(double alpha, double beta, Rng* rng);
+
+}  // namespace dangoron
+
+#endif  // DANGORON_TOMBORG_CORRELATION_SPEC_H_

@@ -1,0 +1,160 @@
+#include "tomborg/tomborg.h"
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "common/strings.h"
+#include "corr/pearson.h"
+#include "dft/fft.h"
+#include "linalg/decompositions.h"
+
+namespace dangoron {
+
+double EnvelopeMagnitude(SpectralEnvelope envelope, int64_t k,
+                         int64_t n_bins) {
+  // k ranges over positive-frequency bins 1 .. n_bins (DC handled by the
+  // caller). Magnitudes are relative; correlation is scale invariant.
+  const double f = static_cast<double>(k) / static_cast<double>(n_bins);
+  switch (envelope) {
+    case SpectralEnvelope::kWhite:
+      return 1.0;
+    case SpectralEnvelope::kPink:
+      return 1.0 / std::sqrt(f + 1e-3);
+    case SpectralEnvelope::kSeasonal: {
+      // Sharp peaks at 3 "seasonal" frequencies over a weak pink floor.
+      double magnitude = 0.15 / std::sqrt(f + 1e-3);
+      for (const double peak : {0.01, 0.02, 0.08}) {
+        const double detune = (f - peak) / 0.002;
+        magnitude += 8.0 * std::exp(-detune * detune);
+      }
+      return magnitude;
+    }
+    case SpectralEnvelope::kHighPass:
+      return f >= 0.5 ? 1.0 : 0.02;
+  }
+  return 1.0;
+}
+
+std::string TomborgSpec::ToString() const {
+  const char* envelope_name = "?";
+  switch (envelope) {
+    case SpectralEnvelope::kWhite:
+      envelope_name = "white";
+      break;
+    case SpectralEnvelope::kPink:
+      envelope_name = "pink";
+      break;
+    case SpectralEnvelope::kSeasonal:
+      envelope_name = "seasonal";
+      break;
+    case SpectralEnvelope::kHighPass:
+      envelope_name = "highpass";
+      break;
+  }
+  return StrFormat("tomborg(n=%lld,L=%lld,%s,%s)",
+                   static_cast<long long>(num_series),
+                   static_cast<long long>(length),
+                   correlation.ToString().c_str(), envelope_name);
+}
+
+Result<TomborgDataset> GenerateTomborg(const TomborgSpec& spec) {
+  if (spec.num_series <= 1) {
+    return Status::InvalidArgument("GenerateTomborg: need >= 2 series");
+  }
+  if (spec.length < 8) {
+    return Status::InvalidArgument("GenerateTomborg: length too short: ",
+                                   spec.length);
+  }
+  Rng rng(spec.seed);
+  const int64_t n = spec.num_series;
+  const int64_t length = spec.length;
+
+  // Step 1: target correlation matrix, repaired to PSD with unit diagonal.
+  ASSIGN_OR_RETURN(Matrix drawn,
+                   DrawTargetCorrelation(spec.correlation, n, &rng));
+  ASSIGN_OR_RETURN(Matrix target, RepairToCorrelationMatrix(drawn));
+  ASSIGN_OR_RETURN(Matrix cholesky, CholeskyFactor(target));
+
+  // Step 2: frequency-space coefficients. Every positive-frequency bin gets
+  // an independent complex Gaussian vector mixed by the Cholesky factor, so
+  // each bin individually carries correlation `target`; the envelope only
+  // reweights bins and cancels out of the realized correlation.
+  const int64_t half = length / 2;  // bins 0..half
+  std::vector<std::vector<std::complex<double>>> spectra(
+      static_cast<size_t>(n),
+      std::vector<std::complex<double>>(static_cast<size_t>(half + 1),
+                                        {0.0, 0.0}));
+
+  std::vector<double> g_re(static_cast<size_t>(n));
+  std::vector<double> g_im(static_cast<size_t>(n));
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  const bool even_length = (length % 2 == 0);
+  for (int64_t k = 1; k <= half; ++k) {
+    const bool nyquist = even_length && k == half;
+    const double magnitude = EnvelopeMagnitude(spec.envelope, k, half);
+    if (magnitude == 0.0) {
+      continue;
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      if (nyquist) {
+        // The Nyquist coefficient of a real series must be real.
+        g_re[static_cast<size_t>(i)] = rng.NextGaussian();
+        g_im[static_cast<size_t>(i)] = 0.0;
+      } else {
+        g_re[static_cast<size_t>(i)] = rng.NextGaussian() * inv_sqrt2;
+        g_im[static_cast<size_t>(i)] = rng.NextGaussian() * inv_sqrt2;
+      }
+    }
+    // u = L * g (lower-triangular multiply), scaled by the envelope.
+    for (int64_t i = 0; i < n; ++i) {
+      double u_re = 0.0;
+      double u_im = 0.0;
+      for (int64_t c = 0; c <= i; ++c) {
+        const double l = cholesky.At(i, c);
+        u_re += l * g_re[static_cast<size_t>(c)];
+        u_im += l * g_im[static_cast<size_t>(c)];
+      }
+      spectra[static_cast<size_t>(i)][static_cast<size_t>(k)] =
+          std::complex<double>(magnitude * u_re, magnitude * u_im);
+    }
+  }
+
+  // Step 3: real-valued inverse DFT per series.
+  TomborgDataset dataset;
+  dataset.data = TimeSeriesMatrix(n, length);
+  dataset.target = std::move(target);
+  for (int64_t i = 0; i < n; ++i) {
+    ASSIGN_OR_RETURN(std::vector<double> series,
+                     InverseRealDft(spectra[static_cast<size_t>(i)], length));
+    std::span<double> row = dataset.data.Row(i);
+    std::copy(series.begin(), series.end(), row.begin());
+  }
+  return dataset;
+}
+
+Result<RealizationError> MeasureRealization(const TimeSeriesMatrix& data,
+                                            const Matrix& target) {
+  if (data.num_series() != target.rows() || target.rows() != target.cols()) {
+    return Status::InvalidArgument("MeasureRealization: shape mismatch");
+  }
+  ASSIGN_OR_RETURN(std::vector<double> sample,
+                   ExactCorrelationMatrix(data, 0, data.length()));
+  const int64_t n = data.num_series();
+  RealizationError error;
+  double sum_sq = 0.0;
+  int64_t count = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      const double diff =
+          sample[static_cast<size_t>(i * n + j)] - target.At(i, j);
+      error.max_abs = std::fmax(error.max_abs, std::fabs(diff));
+      sum_sq += diff * diff;
+      ++count;
+    }
+  }
+  error.rms = count > 0 ? std::sqrt(sum_sq / static_cast<double>(count)) : 0.0;
+  return error;
+}
+
+}  // namespace dangoron

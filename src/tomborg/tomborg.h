@@ -1,0 +1,73 @@
+#ifndef DANGORON_TOMBORG_TOMBORG_H_
+#define DANGORON_TOMBORG_TOMBORG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "tomborg/correlation_spec.h"
+#include "ts/time_series_matrix.h"
+
+namespace dangoron {
+
+/// Spectral envelopes shaping each generated series in frequency space —
+/// step (2) of the Tomborg pipeline. The envelope multiplies the magnitude
+/// of every frequency bin, so it controls *how the correlation is spread
+/// over frequencies*; that is precisely what breaks frequency-transform
+/// competitors whose sketches keep only a few coefficients, and what the
+/// robustness benchmark sweeps.
+enum class SpectralEnvelope {
+  kWhite,        ///< flat spectrum: energy spread over all frequencies
+  kPink,         ///< 1/f: energy concentrated at low frequencies
+  kSeasonal,     ///< sharp peaks at a few periods over a weak 1/f floor
+  kHighPass,     ///< energy only above half the Nyquist band
+};
+
+/// Returns the (unnormalized) envelope magnitude of frequency bin `k` of
+/// `n_bins` positive-frequency bins.
+double EnvelopeMagnitude(SpectralEnvelope envelope, int64_t k, int64_t n_bins);
+
+/// Full Tomborg dataset description.
+struct TomborgSpec {
+  int64_t num_series = 64;
+  int64_t length = 4096;
+  CorrelationSpec correlation;
+  SpectralEnvelope envelope = SpectralEnvelope::kWhite;
+  uint64_t seed = 2023;
+
+  std::string ToString() const;
+};
+
+/// Generated dataset plus the exact (post-repair) target it realizes.
+struct TomborgDataset {
+  TimeSeriesMatrix data;
+  /// The PSD-repaired correlation matrix the series were mixed from; sample
+  /// correlations of `data` converge to this as `length` grows.
+  Matrix target;
+};
+
+/// Runs the full Tomborg pipeline:
+///   (1) draw C from `spec.correlation` and repair it to a valid
+///       correlation matrix,
+///   (2) draw per-frequency complex Gaussian coefficient vectors, mix them
+///       with the Cholesky factor of C, and shape them with the envelope
+///       (the DFT preserves inner products, so mixing per frequency bin
+///       realizes C in the time domain),
+///   (3) transform each series back with the real-valued inverse DFT.
+Result<TomborgDataset> GenerateTomborg(const TomborgSpec& spec);
+
+/// Max-abs and RMS deviation between the sample correlation matrix of
+/// `data` (over all columns) and `target` — the generator's own quality
+/// check, also used by tests.
+struct RealizationError {
+  double max_abs = 0.0;
+  double rms = 0.0;
+};
+Result<RealizationError> MeasureRealization(const TimeSeriesMatrix& data,
+                                            const Matrix& target);
+
+}  // namespace dangoron
+
+#endif  // DANGORON_TOMBORG_TOMBORG_H_

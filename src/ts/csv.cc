@@ -1,0 +1,135 @@
+#include "ts/csv.h"
+
+#include <fstream>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace dangoron {
+
+namespace {
+
+// Parses one CSV cell: empty or missing_token -> NaN, otherwise a double.
+Result<double> ParseCell(std::string_view cell, const std::string& missing) {
+  const std::string_view trimmed = Trim(cell);
+  if (trimmed.empty() || trimmed == missing) {
+    return MissingValue();
+  }
+  return ParseDouble(trimmed);
+}
+
+}  // namespace
+
+Result<TimeSeriesMatrix> LoadCsv(const std::string& path,
+                                 const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open CSV file: ", path);
+  }
+  std::vector<std::vector<std::string>> cells;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (Trim(line).empty()) {
+      continue;
+    }
+    cells.push_back(Split(line, options.delimiter));
+  }
+  if (cells.empty()) {
+    return Status::InvalidArgument("CSV file has no data rows: ", path);
+  }
+
+  std::vector<std::string> header;
+  size_t first_data_row = 0;
+  if (options.has_header) {
+    for (const std::string& name : cells[0]) {
+      header.emplace_back(Trim(name));
+    }
+    first_data_row = 1;
+    if (cells.size() == 1) {
+      return Status::InvalidArgument("CSV file has only a header: ", path);
+    }
+  }
+
+  const size_t num_columns = cells[first_data_row].size();
+  for (size_t r = first_data_row; r < cells.size(); ++r) {
+    if (cells[r].size() != num_columns) {
+      return Status::InvalidArgument("CSV row ", r, " has ", cells[r].size(),
+                                     " cells, expected ", num_columns, ": ",
+                                     path);
+    }
+  }
+
+  if (options.series_in_rows) {
+    // Row layout: optional leading name cell, then values.
+    std::vector<std::vector<double>> rows;
+    std::vector<std::string> names;
+    for (size_t r = first_data_row; r < cells.size(); ++r) {
+      size_t first_value = 0;
+      std::string name;
+      // A non-numeric first cell is the series name.
+      if (!cells[r].empty() && !ParseCell(cells[r][0], options.missing_token).ok()) {
+        name = std::string(Trim(cells[r][0]));
+        first_value = 1;
+      }
+      std::vector<double> row;
+      row.reserve(num_columns - first_value);
+      for (size_t c = first_value; c < cells[r].size(); ++c) {
+        ASSIGN_OR_RETURN(const double value,
+                         ParseCell(cells[r][c], options.missing_token));
+        row.push_back(value);
+      }
+      rows.push_back(std::move(row));
+      names.push_back(name.empty() ? "series" + std::to_string(rows.size() - 1)
+                                   : name);
+    }
+    ASSIGN_OR_RETURN(TimeSeriesMatrix matrix,
+                     TimeSeriesMatrix::FromRows(std::move(rows)));
+    RETURN_IF_ERROR(matrix.SetSeriesNames(std::move(names)));
+    return matrix;
+  }
+
+  // Column layout: each column is a series; transpose while parsing.
+  const size_t num_rows = cells.size() - first_data_row;
+  std::vector<std::vector<double>> series(num_columns,
+                                          std::vector<double>(num_rows));
+  for (size_t r = 0; r < num_rows; ++r) {
+    for (size_t c = 0; c < num_columns; ++c) {
+      ASSIGN_OR_RETURN(
+          const double value,
+          ParseCell(cells[r + first_data_row][c], options.missing_token));
+      series[c][r] = value;
+    }
+  }
+  ASSIGN_OR_RETURN(TimeSeriesMatrix matrix,
+                   TimeSeriesMatrix::FromRows(std::move(series)));
+  if (!header.empty() && header.size() == num_columns) {
+    RETURN_IF_ERROR(matrix.SetSeriesNames(std::move(header)));
+  }
+  return matrix;
+}
+
+Status WriteCsv(const TimeSeriesMatrix& matrix, const std::string& path,
+                char delimiter) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open CSV file for writing: ", path);
+  }
+  for (int64_t i = 0; i < matrix.num_series(); ++i) {
+    out << matrix.SeriesName(i);
+    for (const double v : matrix.Row(i)) {
+      out << delimiter;
+      if (IsMissing(v)) {
+        out << "NA";
+      } else {
+        out << StrFormat("%.10g", v);
+      }
+    }
+    out << '\n';
+  }
+  if (!out) {
+    return Status::IoError("error writing CSV file: ", path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace dangoron

@@ -1,0 +1,39 @@
+#ifndef DANGORON_TS_CSV_H_
+#define DANGORON_TS_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "ts/time_series_matrix.h"
+
+namespace dangoron {
+
+/// Options controlling CSV layout interpretation.
+struct CsvOptions {
+  /// Column separator.
+  char delimiter = ',';
+  /// When true, the first row holds names and is not data.
+  bool has_header = false;
+  /// When true, each CSV *row* is one series; otherwise each *column* is one
+  /// series (the common layout for exported sensor tables).
+  bool series_in_rows = true;
+  /// Cells equal to this text (after trimming) become NaN; empty cells are
+  /// always missing.
+  std::string missing_token = "NA";
+};
+
+/// Loads a CSV file into a TimeSeriesMatrix.
+///
+/// With `series_in_rows == false` the header (when present) provides series
+/// names; with `series_in_rows == true` the first column is used as the
+/// series name when it is not numeric.
+Result<TimeSeriesMatrix> LoadCsv(const std::string& path,
+                                 const CsvOptions& options = {});
+
+/// Writes `matrix` (one series per row, name in the first column) to `path`.
+Status WriteCsv(const TimeSeriesMatrix& matrix, const std::string& path,
+                char delimiter = ',');
+
+}  // namespace dangoron
+
+#endif  // DANGORON_TS_CSV_H_

@@ -1,0 +1,146 @@
+#include "ts/dataset_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace dangoron {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'G', 'R', 'N'};
+constexpr uint32_t kVersion = 1;
+// Caps protect against allocating absurd buffers from a corrupt header.
+constexpr int64_t kMaxSeries = 1 << 24;
+constexpr int64_t kMaxLength = int64_t{1} << 36;
+constexpr uint32_t kMaxNameBytes = 1 << 16;
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+uint64_t Fnv1a64(const void* data, size_t size) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+Status SaveDataset(const TimeSeriesMatrix& matrix, const std::string& path) {
+  if (matrix.empty()) {
+    return Status::InvalidArgument("SaveDataset: empty matrix");
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IoError("cannot open dataset for writing: ", path);
+  }
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kVersion);
+  WritePod(out, matrix.num_series());
+  WritePod(out, matrix.length());
+  for (int64_t s = 0; s < matrix.num_series(); ++s) {
+    const std::string name = matrix.SeriesName(s);
+    const uint32_t size = static_cast<uint32_t>(name.size());
+    WritePod(out, size);
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+  }
+  const std::vector<double>& values = matrix.values();
+  out.write(reinterpret_cast<const char*>(values.data()),
+            static_cast<std::streamsize>(values.size() * sizeof(double)));
+  const uint64_t checksum =
+      Fnv1a64(values.data(), values.size() * sizeof(double));
+  WritePod(out, checksum);
+  if (!out) {
+    return Status::IoError("error writing dataset: ", path);
+  }
+  return Status::Ok();
+}
+
+Result<TimeSeriesMatrix> LoadDataset(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open dataset: ", path);
+  }
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::DataLoss("not a dangoron dataset (bad magic): ", path);
+  }
+  uint32_t version = 0;
+  if (!ReadPod(in, &version) || version != kVersion) {
+    return Status::DataLoss("unsupported dataset version ", version, ": ",
+                            path);
+  }
+  int64_t num_series = 0;
+  int64_t length = 0;
+  if (!ReadPod(in, &num_series) || !ReadPod(in, &length)) {
+    return Status::DataLoss("truncated dataset header: ", path);
+  }
+  if (num_series <= 0 || num_series > kMaxSeries || length <= 0 ||
+      length > kMaxLength) {
+    return Status::DataLoss("implausible dataset dimensions ", num_series,
+                            " x ", length, ": ", path);
+  }
+  std::vector<std::string> names;
+  names.reserve(static_cast<size_t>(num_series));
+  for (int64_t s = 0; s < num_series; ++s) {
+    uint32_t size = 0;
+    if (!ReadPod(in, &size) || size > kMaxNameBytes) {
+      return Status::DataLoss("corrupt series name (series ", s, "): ",
+                              path);
+    }
+    std::string name(size, '\0');
+    in.read(name.data(), size);
+    if (!in) {
+      return Status::DataLoss("truncated series name (series ", s, "): ",
+                              path);
+    }
+    names.push_back(std::move(name));
+  }
+
+  TimeSeriesMatrix matrix(num_series, length);
+  std::vector<double> values(static_cast<size_t>(num_series * length));
+  in.read(reinterpret_cast<char*>(values.data()),
+          static_cast<std::streamsize>(values.size() * sizeof(double)));
+  if (!in) {
+    return Status::DataLoss("truncated dataset values: ", path);
+  }
+  uint64_t stored_checksum = 0;
+  if (!ReadPod(in, &stored_checksum)) {
+    return Status::DataLoss("missing dataset checksum: ", path);
+  }
+  const uint64_t computed =
+      Fnv1a64(values.data(), values.size() * sizeof(double));
+  if (computed != stored_checksum) {
+    return Status::DataLoss("dataset checksum mismatch (corrupt file): ",
+                            path);
+  }
+  // No trailing garbage allowed.
+  in.peek();
+  if (!in.eof()) {
+    return Status::DataLoss("trailing bytes after dataset payload: ", path);
+  }
+
+  for (int64_t s = 0; s < num_series; ++s) {
+    std::span<double> row = matrix.Row(s);
+    std::memcpy(row.data(), values.data() + s * length,
+                static_cast<size_t>(length) * sizeof(double));
+  }
+  RETURN_IF_ERROR(matrix.SetSeriesNames(std::move(names)));
+  return matrix;
+}
+
+}  // namespace dangoron

@@ -1,0 +1,38 @@
+#ifndef DANGORON_TS_DATASET_IO_H_
+#define DANGORON_TS_DATASET_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "ts/time_series_matrix.h"
+
+namespace dangoron {
+
+/// Compact binary persistence for TimeSeriesMatrix — the interchange format
+/// for generated benchmark datasets (CSV is ~3x larger and lossy unless
+/// printed at full precision).
+///
+/// Layout (little-endian):
+///   magic   "DGRN"            4 bytes
+///   version u32               currently 1
+///   num_series i64, length i64
+///   names: per series, u32 byte count + bytes
+///   values: num_series * length doubles, row-major
+///   checksum u64 (FNV-1a over the value bytes)
+///
+/// Readers validate magic, version, sane dimensions, exact file size, and
+/// the checksum, so corrupted or truncated files fail loudly (DataLoss)
+/// instead of producing silently wrong benchmark numbers.
+
+/// Writes `matrix` to `path` in the binary format above.
+Status SaveDataset(const TimeSeriesMatrix& matrix, const std::string& path);
+
+/// Loads a matrix previously written by SaveDataset.
+Result<TimeSeriesMatrix> LoadDataset(const std::string& path);
+
+/// FNV-1a 64-bit over a byte buffer (exposed for tests).
+uint64_t Fnv1a64(const void* data, size_t size);
+
+}  // namespace dangoron
+
+#endif  // DANGORON_TS_DATASET_IO_H_

@@ -1,0 +1,121 @@
+#include "ts/time_series_matrix.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace dangoron {
+
+double MissingValue() { return std::numeric_limits<double>::quiet_NaN(); }
+
+bool IsMissing(double value) { return std::isnan(value); }
+
+TimeSeriesMatrix::TimeSeriesMatrix(int64_t num_series, int64_t length)
+    : num_series_(num_series), length_(length) {
+  CHECK_GE(num_series, 0);
+  CHECK_GE(length, 0);
+  values_.assign(static_cast<size_t>(num_series * length), 0.0);
+}
+
+Result<TimeSeriesMatrix> TimeSeriesMatrix::FromRows(
+    std::vector<std::vector<double>> rows) {
+  if (rows.empty()) {
+    return Status::InvalidArgument("FromRows: no rows given");
+  }
+  const int64_t length = static_cast<int64_t>(rows[0].size());
+  if (length == 0) {
+    return Status::InvalidArgument("FromRows: rows are empty");
+  }
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (static_cast<int64_t>(rows[i].size()) != length) {
+      return Status::InvalidArgument("FromRows: ragged rows; row 0 has ",
+                                     length, " values but row ", i, " has ",
+                                     rows[i].size());
+    }
+  }
+  TimeSeriesMatrix matrix(static_cast<int64_t>(rows.size()), length);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::span<double> row = matrix.Row(static_cast<int64_t>(i));
+    std::copy(rows[i].begin(), rows[i].end(), row.begin());
+  }
+  return matrix;
+}
+
+std::span<const double> TimeSeriesMatrix::RowRange(int64_t i, int64_t start,
+                                                   int64_t count) const {
+  DCHECK_GE(i, 0);
+  DCHECK_LT(i, num_series_);
+  DCHECK_GE(start, 0);
+  DCHECK_GE(count, 0);
+  DCHECK_LE(start + count, length_);
+  return std::span<const double>(values_.data() + i * length_ + start,
+                                 static_cast<size_t>(count));
+}
+
+std::string TimeSeriesMatrix::SeriesName(int64_t i) const {
+  DCHECK_GE(i, 0);
+  DCHECK_LT(i, num_series_);
+  if (static_cast<size_t>(i) < names_.size() && !names_[i].empty()) {
+    return names_[i];
+  }
+  return "series" + std::to_string(i);
+}
+
+Status TimeSeriesMatrix::SetSeriesNames(std::vector<std::string> names) {
+  if (static_cast<int64_t>(names.size()) != num_series_) {
+    return Status::InvalidArgument("SetSeriesNames: got ", names.size(),
+                                   " names for ", num_series_, " series");
+  }
+  names_ = std::move(names);
+  return Status::Ok();
+}
+
+Result<TimeSeriesMatrix> TimeSeriesMatrix::SliceColumns(int64_t start,
+                                                        int64_t count) const {
+  if (start < 0 || count < 0 || start + count > length_) {
+    return Status::OutOfRange("SliceColumns: [", start, ", ", start + count,
+                              ") out of [0, ", length_, ")");
+  }
+  TimeSeriesMatrix out(num_series_, count);
+  for (int64_t i = 0; i < num_series_; ++i) {
+    std::span<const double> src = RowRange(i, start, count);
+    std::span<double> dst = out.Row(i);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  out.names_ = names_;
+  return out;
+}
+
+Result<TimeSeriesMatrix> TimeSeriesMatrix::SelectSeries(
+    const std::vector<int64_t>& indices) const {
+  for (const int64_t index : indices) {
+    if (index < 0 || index >= num_series_) {
+      return Status::OutOfRange("SelectSeries: index ", index,
+                                " out of [0, ", num_series_, ")");
+    }
+  }
+  TimeSeriesMatrix out(static_cast<int64_t>(indices.size()), length_);
+  std::vector<std::string> names;
+  names.reserve(indices.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    std::span<const double> src = Row(indices[i]);
+    std::span<double> dst = out.Row(static_cast<int64_t>(i));
+    std::copy(src.begin(), src.end(), dst.begin());
+    names.push_back(SeriesName(indices[i]));
+  }
+  out.names_ = std::move(names);
+  return out;
+}
+
+int64_t TimeSeriesMatrix::CountMissing() const {
+  int64_t count = 0;
+  for (const double v : values_) {
+    if (IsMissing(v)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace dangoron

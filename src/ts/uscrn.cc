@@ -1,0 +1,231 @@
+#include "ts/uscrn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace dangoron {
+
+namespace {
+
+// USCRN missing codes: -9999.0 (temperatures, radiation) and -99999
+// (some gauge fields). Treat anything at or below -9998 as missing.
+bool IsUscrnMissingCode(double value) { return value <= -9998.0; }
+
+// Parses "YYYYMMDD" and "HHMM" into hours since epoch.
+Result<int64_t> ParseUtcHour(std::string_view date_text,
+                             std::string_view time_text) {
+  ASSIGN_OR_RETURN(const int64_t date, ParseInt64(date_text));
+  ASSIGN_OR_RETURN(const int64_t time, ParseInt64(time_text));
+  const int year = static_cast<int>(date / 10000);
+  const int month = static_cast<int>((date / 100) % 100);
+  const int day = static_cast<int>(date % 100);
+  const int hour = static_cast<int>(time / 100);
+  const int minute = static_cast<int>(time % 100);
+  if (month < 1 || month > 12 || day < 1 || day > 31 || hour < 0 ||
+      hour > 24 || minute != 0) {
+    return Status::InvalidArgument("bad USCRN timestamp: date=",
+                                   std::string(date_text), " time=",
+                                   std::string(time_text));
+  }
+  // hourly02 stamps the *end* of the hour; 2400 rolls into the next day and
+  // is already consistent under plain hour arithmetic.
+  return DaysFromCivil(year, month, day) * 24 + hour;
+}
+
+}  // namespace
+
+int64_t DaysFromCivil(int year, int month, int day) {
+  // Howard Hinnant's algorithm (public domain).
+  year -= month <= 2;
+  const int64_t era = (year >= 0 ? year : year - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(year - era * 400);  // [0, 399]
+  const unsigned doy = static_cast<unsigned>(
+      (153 * (month + (month > 2 ? -3 : 9)) + 2) / 5 + day - 1);  // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;  // [0, 146096]
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t days, int* year, int* month, int* day) {
+  days += 719468;
+  const int64_t era = (days >= 0 ? days : days - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(days - era * 146097);
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;  // [0, 399]
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);  // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                       // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;               // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : -9);                    // [1, 12]
+  *year = static_cast<int>(y + (m <= 2));
+  *month = static_cast<int>(m);
+  *day = static_cast<int>(d);
+}
+
+Result<std::vector<UscrnObservation>> ReadUscrnFile(
+    const std::string& path, const UscrnReadOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open USCRN file: ", path);
+  }
+  const int field_index = static_cast<int>(options.field);
+  std::vector<UscrnObservation> observations;
+  std::string line;
+  int64_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (Trim(line).empty()) {
+      continue;
+    }
+    const std::vector<std::string> fields = SplitWhitespace(line);
+    if (static_cast<int>(fields.size()) < options.min_fields) {
+      return Status::DataLoss("USCRN row with ", fields.size(), " fields (< ",
+                              options.min_fields, ") at ", path, ":",
+                              line_number);
+    }
+    if (field_index >= static_cast<int>(fields.size())) {
+      return Status::DataLoss("USCRN row lacks field ", field_index, " at ",
+                              path, ":", line_number);
+    }
+    UscrnObservation obs;
+    {
+      auto wbanno = ParseInt64(fields[static_cast<int>(UscrnField::kWbanno)]);
+      if (!wbanno.ok()) {
+        return Status::DataLoss("bad WBANNO at ", path, ":", line_number,
+                                " (", wbanno.status().message(), ")");
+      }
+      obs.wbanno = *wbanno;
+    }
+    {
+      auto hour =
+          ParseUtcHour(fields[static_cast<int>(UscrnField::kUtcDate)],
+                       fields[static_cast<int>(UscrnField::kUtcTime)]);
+      if (!hour.ok()) {
+        return Status::DataLoss("bad timestamp at ", path, ":", line_number,
+                                " (", hour.status().message(), ")");
+      }
+      obs.utc_hour = *hour;
+    }
+    {
+      auto lon = ParseDouble(fields[static_cast<int>(UscrnField::kLongitude)]);
+      auto lat = ParseDouble(fields[static_cast<int>(UscrnField::kLatitude)]);
+      if (!lon.ok() || !lat.ok()) {
+        return Status::DataLoss("bad coordinates at ", path, ":", line_number);
+      }
+      obs.longitude = *lon;
+      obs.latitude = *lat;
+    }
+    {
+      auto value = ParseDouble(fields[static_cast<size_t>(field_index)]);
+      if (!value.ok()) {
+        return Status::DataLoss("bad value field at ", path, ":", line_number,
+                                " (", value.status().message(), ")");
+      }
+      obs.value = IsUscrnMissingCode(*value) ? MissingValue() : *value;
+    }
+    observations.push_back(obs);
+  }
+  if (observations.empty()) {
+    return Status::InvalidArgument("USCRN file has no observations: ", path);
+  }
+  return observations;
+}
+
+Result<TimeSeriesMatrix> LoadUscrnStations(
+    const std::vector<std::string>& station_files,
+    const UscrnReadOptions& options) {
+  if (station_files.empty()) {
+    return Status::InvalidArgument("LoadUscrnStations: no files given");
+  }
+  std::vector<std::vector<UscrnObservation>> streams;
+  streams.reserve(station_files.size());
+  int64_t grid_start = std::numeric_limits<int64_t>::min();
+  int64_t grid_end = std::numeric_limits<int64_t>::max();
+  for (const std::string& path : station_files) {
+    ASSIGN_OR_RETURN(std::vector<UscrnObservation> stream,
+                     ReadUscrnFile(path, options));
+    // Files are chronologically sorted in the real product; tolerate minor
+    // disorder by sorting.
+    std::sort(stream.begin(), stream.end(),
+              [](const UscrnObservation& a, const UscrnObservation& b) {
+                return a.utc_hour < b.utc_hour;
+              });
+    grid_start = std::max(grid_start, stream.front().utc_hour);
+    grid_end = std::min(grid_end, stream.back().utc_hour);
+    streams.push_back(std::move(stream));
+  }
+  if (grid_end < grid_start) {
+    return Status::FailedPrecondition(
+        "USCRN stations have no overlapping time range");
+  }
+  const int64_t length = grid_end - grid_start + 1;
+  TimeSeriesMatrix matrix(static_cast<int64_t>(streams.size()), length);
+  std::vector<std::string> names;
+  names.reserve(streams.size());
+  for (size_t s = 0; s < streams.size(); ++s) {
+    std::span<double> row = matrix.Row(static_cast<int64_t>(s));
+    std::fill(row.begin(), row.end(), MissingValue());
+    for (const UscrnObservation& obs : streams[s]) {
+      const int64_t slot = obs.utc_hour - grid_start;
+      if (slot >= 0 && slot < length) {
+        row[static_cast<size_t>(slot)] = obs.value;
+      }
+    }
+    names.push_back(std::to_string(streams[s].front().wbanno));
+  }
+  RETURN_IF_ERROR(matrix.SetSeriesNames(std::move(names)));
+  return matrix;
+}
+
+Status WriteUscrnFile(const std::string& path, int64_t wbanno,
+                      double longitude, double latitude, int64_t start_hour,
+                      std::span<const double> values, UscrnField field) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open USCRN file for writing: ", path);
+  }
+  const int field_index = static_cast<int>(field);
+  for (size_t t = 0; t < values.size(); ++t) {
+    const int64_t hour = start_hour + static_cast<int64_t>(t);
+    int year = 0;
+    int month = 0;
+    int day = 0;
+    CivilFromDays(hour / 24, &year, &month, &day);
+    const int hh = static_cast<int>(hour % 24);
+
+    std::vector<std::string> fields(kUscrnFieldCount, "-9999.0");
+    fields[static_cast<int>(UscrnField::kWbanno)] = std::to_string(wbanno);
+    fields[static_cast<int>(UscrnField::kUtcDate)] =
+        StrFormat("%04d%02d%02d", year, month, day);
+    fields[static_cast<int>(UscrnField::kUtcTime)] = StrFormat("%02d00", hh);
+    // LST date/time: mirror UTC (synthetic stations live at UTC offsets of 0).
+    fields[3] = fields[static_cast<int>(UscrnField::kUtcDate)];
+    fields[4] = fields[static_cast<int>(UscrnField::kUtcTime)];
+    fields[5] = "2.623";  // CRX_VN datalogger version, arbitrary but plausible
+    fields[static_cast<int>(UscrnField::kLongitude)] =
+        StrFormat("%.2f", longitude);
+    fields[static_cast<int>(UscrnField::kLatitude)] =
+        StrFormat("%.2f", latitude);
+    const double v = values[t];
+    fields[static_cast<size_t>(field_index)] =
+        IsMissing(v) ? "-9999.0" : StrFormat("%.1f", v);
+
+    for (int f = 0; f < kUscrnFieldCount; ++f) {
+      if (f != 0) {
+        out << ' ';
+      }
+      out << fields[static_cast<size_t>(f)];
+    }
+    out << '\n';
+  }
+  if (!out) {
+    return Status::IoError("error writing USCRN file: ", path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace dangoron

@@ -1,0 +1,85 @@
+#ifndef DANGORON_TS_USCRN_H_
+#define DANGORON_TS_USCRN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ts/time_series_matrix.h"
+
+namespace dangoron {
+
+/// Column indices (0-based) of the NOAA/NCEI USCRN `hourly02` product used in
+/// the paper's evaluation
+/// (https://www.ncei.noaa.gov/pub/data/uscrn/products/hourly02/). A row is 38
+/// whitespace-separated fields; the ones named here are the commonly analyzed
+/// observables.
+enum class UscrnField : int {
+  kWbanno = 0,
+  kUtcDate = 1,
+  kUtcTime = 2,
+  kLongitude = 6,
+  kLatitude = 7,
+  kTCalc = 8,      ///< calculated average air temperature, deg C
+  kTHrAvg = 9,     ///< average air temperature over the hour, deg C
+  kPCalc = 12,     ///< total precipitation, mm
+  kSolarad = 13,   ///< average global solar radiation, W/m^2
+  kSurTemp = 20,   ///< infrared surface temperature, deg C
+  kRhHrAvg = 26,   ///< relative humidity average, %
+};
+
+/// Total fields per hourly02 row.
+inline constexpr int kUscrnFieldCount = 38;
+
+/// One parsed hourly observation of a single station.
+struct UscrnObservation {
+  int64_t wbanno = 0;
+  /// Hours since 1970-01-01T00:00Z derived from UTC_DATE/UTC_TIME.
+  int64_t utc_hour = 0;
+  double longitude = 0.0;
+  double latitude = 0.0;
+  /// Value of the selected field (NaN when the file carried a -9999 code).
+  double value = 0.0;
+};
+
+/// Options for reading a station file.
+struct UscrnReadOptions {
+  /// Which observable to extract.
+  UscrnField field = UscrnField::kTCalc;
+  /// Rows with fewer fields than this are rejected (real files have 38, but
+  /// trailing soil fields are absent at some stations' older years).
+  int min_fields = 14;
+};
+
+/// Parses one USCRN hourly02 station file into observations (file order).
+/// Malformed rows produce an error Status naming the line.
+Result<std::vector<UscrnObservation>> ReadUscrnFile(
+    const std::string& path, const UscrnReadOptions& options = {});
+
+/// Converts per-station observation streams into a synchronized
+/// TimeSeriesMatrix on a common hourly grid covering
+/// [max(first hours), min(last hours)] across stations; slots a station did
+/// not report become NaN (fill them with InterpolateMissing). Station order
+/// follows `station_files`; series are named by WBANNO.
+Result<TimeSeriesMatrix> LoadUscrnStations(
+    const std::vector<std::string>& station_files,
+    const UscrnReadOptions& options = {});
+
+/// Writes a synthetic station in the hourly02 format (38 fields per row,
+/// -9999 for missing / unmodeled observables): the inverse of ReadUscrnFile
+/// for the selected field, used to exercise the real parser offline.
+Status WriteUscrnFile(const std::string& path, int64_t wbanno,
+                      double longitude, double latitude, int64_t start_hour,
+                      std::span<const double> values,
+                      UscrnField field = UscrnField::kTCalc);
+
+/// Days since 1970-01-01 for a civil date (proleptic Gregorian).
+int64_t DaysFromCivil(int year, int month, int day);
+
+/// Inverse of DaysFromCivil.
+void CivilFromDays(int64_t days, int* year, int* month, int* day);
+
+}  // namespace dangoron
+
+#endif  // DANGORON_TS_USCRN_H_

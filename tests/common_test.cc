@@ -1,0 +1,322 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/math_utils.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+
+namespace dangoron {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status status = Status::InvalidArgument("bad value: ", 42);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad value: 42");
+  EXPECT_EQ(status.ToString(), "INVALID_ARGUMENT: bad value: 42");
+}
+
+TEST(StatusTest, FactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 7;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 7);
+  EXPECT_EQ(*result, 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = Status::NotFound("missing");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> HelperParsePositive(int v) {
+  if (v <= 0) {
+    return Status::InvalidArgument("not positive");
+  }
+  return v * 2;
+}
+
+Status HelperUseAssignOrReturn(int v, int* out) {
+  ASSIGN_OR_RETURN(const int doubled, HelperParsePositive(v));
+  *out = doubled;
+  return Status::Ok();
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  int out = 0;
+  EXPECT_TRUE(HelperUseAssignOrReturn(5, &out).ok());
+  EXPECT_EQ(out, 10);
+  const Status status = HelperUseAssignOrReturn(-1, &out);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+// --------------------------------------------------------------- Strings --
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  const std::vector<std::string> fields = Split("a,,b,", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[2], "b");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(StringsTest, SplitWhitespaceDropsRuns) {
+  const std::vector<std::string> fields =
+      SplitWhitespace("  alpha \t beta\n gamma  ");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "alpha");
+  EXPECT_EQ(fields[1], "beta");
+  EXPECT_EQ(fields[2], "gamma");
+}
+
+TEST(StringsTest, TrimBothEnds) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t\n "), "");
+  EXPECT_EQ(Trim("abc"), "abc");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("dangoron", "dan"));
+  EXPECT_FALSE(StartsWith("dan", "dangoron"));
+  EXPECT_TRUE(EndsWith("table.csv", ".csv"));
+  EXPECT_FALSE(EndsWith("csv", "table.csv"));
+}
+
+TEST(StringsTest, ParseDoubleStrict) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.25").value(), 3.25);
+  EXPECT_DOUBLE_EQ(ParseDouble(" -9999.0 ").value(), -9999.0);
+  EXPECT_DOUBLE_EQ(ParseDouble("1e3").value(), 1000.0);
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("12abc").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+}
+
+TEST(StringsTest, ParseInt64Strict) {
+  EXPECT_EQ(ParseInt64("42").value(), 42);
+  EXPECT_EQ(ParseInt64("-7").value(), -7);
+  EXPECT_FALSE(ParseInt64("4.2").ok());
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("99999999999999999999999").ok());
+}
+
+TEST(StringsTest, StrFormatBasics) {
+  EXPECT_EQ(StrFormat("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+}
+
+TEST(StringsTest, ThousandsSeparators) {
+  EXPECT_EQ(WithThousandsSeparators(0), "0");
+  EXPECT_EQ(WithThousandsSeparators(999), "999");
+  EXPECT_EQ(WithThousandsSeparators(1000), "1,000");
+  EXPECT_EQ(WithThousandsSeparators(1234567), "1,234,567");
+  EXPECT_EQ(WithThousandsSeparators(-1234567), "-1,234,567");
+}
+
+// ------------------------------------------------------------------- Rng --
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() != b.NextU64()) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BoundedIsUnbiasedEnough) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    ++counts[rng.NextBounded(10)];
+  }
+  for (const int count : counts) {
+    EXPECT_NEAR(count, trials / 10, trials / 100);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0.0;
+  double sumsq = 0.0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  EXPECT_NEAR(sum / trials, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / trials, 1.0, 0.02);
+}
+
+TEST(RngTest, NextIntCoversRangeInclusive) {
+  Rng rng(23);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.NextInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(29);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = values;
+  rng.Shuffle(&shuffled);
+  std::multiset<int> a(values.begin(), values.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, ForkStreamsAreIndependentlySeeded) {
+  Rng parent(31);
+  Rng child_a = parent.Fork(0);
+  Rng child_b = parent.Fork(1);
+  EXPECT_NE(child_a.NextU64(), child_b.NextU64());
+}
+
+// ------------------------------------------------------------ Math utils --
+
+TEST(MathTest, AlmostEqual) {
+  EXPECT_TRUE(AlmostEqual(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(AlmostEqual(1.0, 1.001));
+  EXPECT_TRUE(AlmostEqual(1e12, 1e12 + 1.0, 1e-9, 1e-9));
+}
+
+TEST(MathTest, MeanAndVariance) {
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(values), 2.5);
+  EXPECT_DOUBLE_EQ(PopulationVariance(values), 1.25);
+  EXPECT_DOUBLE_EQ(PopulationStdDev(values), std::sqrt(1.25));
+  EXPECT_DOUBLE_EQ(Mean(std::span<const double>()), 0.0);
+}
+
+TEST(MathTest, KahanSumSurvivesCancellation) {
+  std::vector<double> values;
+  values.push_back(1.0);
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back(1e-16);
+  }
+  EXPECT_NEAR(Sum(values), 1.0 + 1000 * 1e-16, 1e-18);
+}
+
+TEST(MathTest, PowersOfTwo) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(1024));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(12));
+  EXPECT_EQ(NextPowerOfTwo(1), 1);
+  EXPECT_EQ(NextPowerOfTwo(5), 8);
+  EXPECT_EQ(NextPowerOfTwo(1024), 1024);
+  EXPECT_EQ(NextPowerOfTwo(1025), 2048);
+}
+
+TEST(MathTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(10, 5), 2);
+  EXPECT_EQ(CeilDiv(11, 5), 3);
+  EXPECT_EQ(CeilDiv(0, 5), 0);
+}
+
+TEST(MathTest, ClampCorrelation) {
+  EXPECT_DOUBLE_EQ(ClampCorrelation(1.0000001), 1.0);
+  EXPECT_DOUBLE_EQ(ClampCorrelation(-1.5), -1.0);
+  EXPECT_DOUBLE_EQ(ClampCorrelation(0.5), 0.5);
+}
+
+// ------------------------------------------------------------ ThreadPool --
+
+TEST(ThreadPoolTest, RunsAllScheduledTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Schedule([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllBlocks) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  pool.ParallelFor(64, [&hits](int64_t block) {
+    hits[static_cast<size_t>(block)].fetch_add(1);
+  });
+  for (const auto& hit : hits) {
+    EXPECT_EQ(hit.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  int counter = 0;  // no atomics needed: must run on the calling thread
+  pool.ParallelFor(10, [&counter](int64_t) { ++counter; });
+  EXPECT_EQ(counter, 10);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ZeroBlocksIsNoOp) {
+  ThreadPool pool(2);
+  bool touched = false;
+  pool.ParallelFor(0, [&touched](int64_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+}  // namespace
+}  // namespace dangoron

@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "corr/pearson.h"
+#include "ts/generators.h"
+
+namespace dangoron {
+namespace {
+
+TEST(PearsonNaiveTest, PerfectPositiveCorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonNaive(x, y), 1.0, 1e-12);
+}
+
+TEST(PearsonNaiveTest, PerfectNegativeCorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {8, 6, 4, 2};
+  EXPECT_NEAR(PearsonNaive(x, y), -1.0, 1e-12);
+}
+
+TEST(PearsonNaiveTest, ShiftAndScaleInvariance) {
+  Rng rng(1);
+  std::vector<double> x(200);
+  std::vector<double> y(200);
+  for (size_t t = 0; t < x.size(); ++t) {
+    x[t] = rng.NextGaussian();
+    y[t] = rng.NextGaussian();
+  }
+  const double base = PearsonNaive(x, y);
+  std::vector<double> x_scaled(x.size());
+  for (size_t t = 0; t < x.size(); ++t) {
+    x_scaled[t] = 3.5 * x[t] + 100.0;
+  }
+  EXPECT_NEAR(PearsonNaive(x_scaled, y), base, 1e-10);
+  // Negative scale flips the sign.
+  for (size_t t = 0; t < x.size(); ++t) {
+    x_scaled[t] = -2.0 * x[t];
+  }
+  EXPECT_NEAR(PearsonNaive(x_scaled, y), -base, 1e-10);
+}
+
+TEST(PearsonNaiveTest, ConstantSeriesGivesZero) {
+  const std::vector<double> x = {3, 3, 3, 3};
+  const std::vector<double> y = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(PearsonNaive(x, y), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonNaive(y, x), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonNaive(x, x), 0.0);
+}
+
+TEST(PearsonNaiveTest, EmptyGivesZero) {
+  EXPECT_DOUBLE_EQ(
+      PearsonNaive(std::span<const double>(), std::span<const double>()), 0.0);
+}
+
+TEST(PearsonNaiveTest, SymmetricInArguments) {
+  Rng rng(2);
+  std::vector<double> x(64);
+  std::vector<double> y(64);
+  for (size_t t = 0; t < x.size(); ++t) {
+    x[t] = rng.NextGaussian();
+    y[t] = rng.NextGaussian();
+  }
+  EXPECT_DOUBLE_EQ(PearsonNaive(x, y), PearsonNaive(y, x));
+}
+
+TEST(PearsonMomentsTest, AgreesWithNaive) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int64_t n = rng.NextInt(4, 300);
+    std::vector<double> x(static_cast<size_t>(n));
+    std::vector<double> y(static_cast<size_t>(n));
+    double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+    for (int64_t t = 0; t < n; ++t) {
+      x[static_cast<size_t>(t)] = rng.NextGaussian(5.0, 2.0);
+      y[static_cast<size_t>(t)] = rng.NextGaussian(-1.0, 0.5);
+      sx += x[static_cast<size_t>(t)];
+      sy += y[static_cast<size_t>(t)];
+      sxx += x[static_cast<size_t>(t)] * x[static_cast<size_t>(t)];
+      syy += y[static_cast<size_t>(t)] * y[static_cast<size_t>(t)];
+      sxy += x[static_cast<size_t>(t)] * y[static_cast<size_t>(t)];
+    }
+    EXPECT_NEAR(PearsonFromMoments(static_cast<double>(n), sx, sy, sxx, syy,
+                                   sxy),
+                PearsonNaive(x, y), 1e-8)
+        << "trial " << trial;
+  }
+}
+
+TEST(PearsonMomentsTest, ClampsRoundoffOverflow) {
+  // Construct moments that algebraically exceed 1 by roundoff.
+  const double n = 4;
+  const double sx = 10, sxx = 30;  // x = (1,2,3,4): var = 5
+  EXPECT_LE(PearsonFromMoments(n, sx, sx, sxx, sxx, sxx + 1e-9), 1.0);
+}
+
+// Eq. 1 property sweep: the literal paper combination must equal the naive
+// Pearson for every geometry.
+class Eq1Sweep
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t>> {};
+
+TEST_P(Eq1Sweep, MatchesNaivePearson) {
+  const int64_t b = std::get<0>(GetParam());
+  const int64_t ns = std::get<1>(GetParam());
+  const int64_t length = b * ns;
+  Rng rng(static_cast<uint64_t>(1000 + b * 37 + ns));
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<double> x;
+    std::vector<double> y;
+    // Mix of correlated and independent pairs across trials.
+    const double rho = trial / 5.0;
+    GenerateCorrelatedPair(length, rho, &rng, &x, &y);
+
+    const std::vector<BasicWindowStats> stats_x =
+        ComputeBasicWindowStats(x, b);
+    const std::vector<BasicWindowStats> stats_y =
+        ComputeBasicWindowStats(y, b);
+    const std::vector<double> c = ComputeBasicWindowCorrelations(x, y, b);
+    ASSERT_EQ(static_cast<int64_t>(stats_x.size()), ns);
+
+    const double combined = CombinePearsonEq1(b, stats_x, stats_y, c);
+    const double exact = PearsonNaive(x, y);
+    EXPECT_NEAR(combined, exact, 1e-9)
+        << "b=" << b << " ns=" << ns << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, Eq1Sweep,
+    ::testing::Combine(::testing::Values<int64_t>(2, 4, 8, 24, 50),
+                       ::testing::Values<int64_t>(1, 2, 5, 12, 30)));
+
+TEST(CombineEq1Test, SingleWindowReducesToWindowCorrelation) {
+  Rng rng(17);
+  std::vector<double> x, y;
+  GenerateCorrelatedPair(48, 0.6, &rng, &x, &y);
+  const auto sx = ComputeBasicWindowStats(x, 48);
+  const auto sy = ComputeBasicWindowStats(y, 48);
+  const auto c = ComputeBasicWindowCorrelations(x, y, 48);
+  EXPECT_NEAR(CombinePearsonEq1(48, sx, sy, c), c[0], 1e-12);
+}
+
+TEST(CombineEq1Test, ZeroVarianceReturnsZero) {
+  const std::vector<BasicWindowStats> flat = {{1.0, 0.0}, {1.0, 0.0}};
+  const std::vector<double> c = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(CombinePearsonEq1(4, flat, flat, c), 0.0);
+}
+
+// ----------------------------------------------------- Sliding moments ---
+
+TEST(SlidingMomentsTest, MatchesNaiveAcrossSlides) {
+  Rng rng(23);
+  const int64_t length = 500;
+  std::vector<double> x, y;
+  GenerateCorrelatedPair(length, 0.4, &rng, &x, &y);
+
+  const int64_t window = 64;
+  const int64_t step = 8;
+  SlidingPairMoments moments(x, y, 0, window);
+  for (int64_t start = 0; start + window <= length; start += step) {
+    if (start > 0) {
+      moments.Slide(step);
+    }
+    const double expected = PearsonNaive(
+        std::span<const double>(x).subspan(static_cast<size_t>(start),
+                                           static_cast<size_t>(window)),
+        std::span<const double>(y).subspan(static_cast<size_t>(start),
+                                           static_cast<size_t>(window)));
+    EXPECT_NEAR(moments.Correlation(), expected, 1e-7) << "start=" << start;
+  }
+}
+
+TEST(SlidingMomentsTest, VariableStepSizes) {
+  Rng rng(29);
+  std::vector<double> x, y;
+  GenerateCorrelatedPair(300, -0.3, &rng, &x, &y);
+  SlidingPairMoments moments(x, y, 0, 50);
+  int64_t position = 0;
+  for (const int64_t step : {1, 3, 10, 25, 50}) {
+    moments.Slide(step);
+    position += step;
+    const double expected = PearsonNaive(
+        std::span<const double>(x).subspan(static_cast<size_t>(position), 50),
+        std::span<const double>(y).subspan(static_cast<size_t>(position), 50));
+    EXPECT_NEAR(moments.Correlation(), expected, 1e-7);
+  }
+}
+
+// ----------------------------------------------- Exact matrix reference --
+
+TEST(ExactMatrixTest, DiagonalIsOneAndSymmetric) {
+  Rng rng(31);
+  TimeSeriesMatrix data = GenerateWhiteNoise(6, 128, &rng);
+  const auto matrix = ExactCorrelationMatrix(data, 0, 128);
+  ASSERT_TRUE(matrix.ok());
+  for (int64_t i = 0; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ((*matrix)[static_cast<size_t>(i * 6 + i)], 1.0);
+    for (int64_t j = 0; j < 6; ++j) {
+      EXPECT_DOUBLE_EQ((*matrix)[static_cast<size_t>(i * 6 + j)],
+                       (*matrix)[static_cast<size_t>(j * 6 + i)]);
+    }
+  }
+}
+
+TEST(ExactMatrixTest, WindowingSelectsColumns) {
+  // Two series correlated in the first half, anti-correlated in the second.
+  const int64_t half = 64;
+  TimeSeriesMatrix data(2, 2 * half);
+  Rng rng(37);
+  for (int64_t t = 0; t < half; ++t) {
+    const double v = rng.NextGaussian();
+    data.Set(0, t, v);
+    data.Set(1, t, v);
+  }
+  for (int64_t t = half; t < 2 * half; ++t) {
+    const double v = rng.NextGaussian();
+    data.Set(0, t, v);
+    data.Set(1, t, -v);
+  }
+  const auto first = ExactCorrelationMatrix(data, 0, half);
+  const auto second = ExactCorrelationMatrix(data, half, half);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_NEAR((*first)[1], 1.0, 1e-9);
+  EXPECT_NEAR((*second)[1], -1.0, 1e-9);
+}
+
+TEST(ExactMatrixTest, ParallelMatchesSequential) {
+  Rng rng(41);
+  TimeSeriesMatrix data = GenerateWhiteNoise(20, 256, &rng);
+  const auto sequential = ExactCorrelationMatrix(data, 16, 128);
+  ThreadPool pool(4);
+  const auto parallel = ExactCorrelationMatrix(data, 16, 128, &pool);
+  ASSERT_TRUE(sequential.ok());
+  ASSERT_TRUE(parallel.ok());
+  for (size_t i = 0; i < sequential->size(); ++i) {
+    EXPECT_DOUBLE_EQ((*sequential)[i], (*parallel)[i]);
+  }
+}
+
+TEST(ExactMatrixTest, RejectsBadWindows) {
+  Rng rng(43);
+  TimeSeriesMatrix data = GenerateWhiteNoise(3, 64, &rng);
+  EXPECT_FALSE(ExactCorrelationMatrix(data, -1, 10).ok());
+  EXPECT_FALSE(ExactCorrelationMatrix(data, 0, 0).ok());
+  EXPECT_FALSE(ExactCorrelationMatrix(data, 60, 10).ok());
+}
+
+}  // namespace
+}  // namespace dangoron

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/rng.h"
+#include "ts/dataset_io.h"
+#include "ts/generators.h"
+
+namespace dangoron {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("dangoron_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  std::string File(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  std::filesystem::path path_;
+};
+
+TEST(Fnv1aTest, KnownVectors) {
+  // Standard FNV-1a 64-bit test vectors.
+  EXPECT_EQ(Fnv1a64("", 0), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a64("a", 1), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(Fnv1a64("foobar", 6), 0x85944171f73967e8ULL);
+}
+
+TEST(DatasetIoTest, RoundTripPreservesEverything) {
+  TempDir dir;
+  Rng rng(1);
+  TimeSeriesMatrix matrix = GenerateWhiteNoise(7, 123, &rng);
+  ASSERT_TRUE(matrix
+                  .SetSeriesNames({"alpha", "beta", "gamma", "delta",
+                                   "epsilon", "zeta", "eta"})
+                  .ok());
+  matrix.Set(3, 50, MissingValue());  // NaN must round-trip too
+
+  const std::string path = dir.File("data.dgrn");
+  ASSERT_TRUE(SaveDataset(matrix, path).ok());
+  const auto loaded = LoadDataset(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_series(), 7);
+  EXPECT_EQ(loaded->length(), 123);
+  EXPECT_EQ(loaded->SeriesName(2), "gamma");
+  for (int64_t s = 0; s < 7; ++s) {
+    for (int64_t t = 0; t < 123; ++t) {
+      if (s == 3 && t == 50) {
+        EXPECT_TRUE(IsMissing(loaded->Get(s, t)));
+      } else {
+        EXPECT_DOUBLE_EQ(loaded->Get(s, t), matrix.Get(s, t))
+            << s << "," << t;
+      }
+    }
+  }
+}
+
+TEST(DatasetIoTest, EmptyMatrixRejected) {
+  TempDir dir;
+  EXPECT_FALSE(SaveDataset(TimeSeriesMatrix(), dir.File("x.dgrn")).ok());
+}
+
+TEST(DatasetIoTest, MissingFileIsIoError) {
+  EXPECT_EQ(LoadDataset("/nonexistent/nope.dgrn").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(DatasetIoTest, BadMagicIsDataLoss) {
+  TempDir dir;
+  const std::string path = dir.File("bad.dgrn");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOPE this is not a dataset";
+  }
+  const auto result = LoadDataset(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(DatasetIoTest, TruncationIsDataLoss) {
+  TempDir dir;
+  Rng rng(2);
+  const TimeSeriesMatrix matrix = GenerateWhiteNoise(4, 64, &rng);
+  const std::string path = dir.File("full.dgrn");
+  ASSERT_TRUE(SaveDataset(matrix, path).ok());
+
+  // Truncate at several byte offsets; every cut must fail loudly.
+  const auto full_size = std::filesystem::file_size(path);
+  for (const double fraction : {0.1, 0.5, 0.9, 0.999}) {
+    const std::string cut = dir.File("cut.dgrn");
+    std::filesystem::copy_file(
+        path, cut, std::filesystem::copy_options::overwrite_existing);
+    std::filesystem::resize_file(
+        cut, static_cast<uintmax_t>(static_cast<double>(full_size) * fraction));
+    const auto result = LoadDataset(cut);
+    ASSERT_FALSE(result.ok()) << "fraction " << fraction;
+    EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+  }
+}
+
+TEST(DatasetIoTest, BitFlipIsDetectedByChecksum) {
+  TempDir dir;
+  Rng rng(3);
+  const TimeSeriesMatrix matrix = GenerateWhiteNoise(3, 32, &rng);
+  const std::string path = dir.File("flip.dgrn");
+  ASSERT_TRUE(SaveDataset(matrix, path).ok());
+
+  // Flip one byte in the middle of the value payload.
+  std::fstream file(path,
+                    std::ios::binary | std::ios::in | std::ios::out);
+  file.seekg(0, std::ios::end);
+  const auto size = static_cast<int64_t>(file.tellg());
+  const int64_t target = size / 2;
+  file.seekg(target);
+  char byte = 0;
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x40);
+  file.seekp(target);
+  file.write(&byte, 1);
+  file.close();
+
+  const auto result = LoadDataset(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(DatasetIoTest, TrailingGarbageIsDataLoss) {
+  TempDir dir;
+  Rng rng(4);
+  const TimeSeriesMatrix matrix = GenerateWhiteNoise(2, 16, &rng);
+  const std::string path = dir.File("trailing.dgrn");
+  ASSERT_TRUE(SaveDataset(matrix, path).ok());
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "extra";
+  }
+  const auto result = LoadDataset(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace dangoron

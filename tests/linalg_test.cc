@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/decompositions.h"
+#include "linalg/matrix.h"
+
+namespace dangoron {
+namespace {
+
+Matrix RandomSymmetric(int64_t n, Rng* rng) {
+  Matrix m(n, n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i; j < n; ++j) {
+      const double v = rng->NextGaussian();
+      m.At(i, j) = v;
+      m.At(j, i) = v;
+    }
+  }
+  return m;
+}
+
+// SPD matrix via A = B * B^T + n * I.
+Matrix RandomSpd(int64_t n, Rng* rng) {
+  Matrix b(n, n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      b.At(i, j) = rng->NextGaussian();
+    }
+  }
+  Matrix a = b.Multiply(b.Transposed());
+  for (int64_t i = 0; i < n; ++i) {
+    a.At(i, i) += static_cast<double>(n);
+  }
+  return a;
+}
+
+TEST(MatrixTest, IdentityAndMultiply) {
+  const Matrix eye = Matrix::Identity(3);
+  Matrix m(3, 3);
+  int value = 1;
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      m.At(i, j) = value++;
+    }
+  }
+  const Matrix product = m.Multiply(eye);
+  EXPECT_DOUBLE_EQ(product.MaxAbsDiff(m), 0.0);
+}
+
+TEST(MatrixTest, TransposeInvolution) {
+  Rng rng(1);
+  Matrix m(4, 6);
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 6; ++j) {
+      m.At(i, j) = rng.NextGaussian();
+    }
+  }
+  const Matrix round_trip = m.Transposed().Transposed();
+  EXPECT_DOUBLE_EQ(round_trip.MaxAbsDiff(m), 0.0);
+}
+
+TEST(MatrixTest, IsSymmetricDetects) {
+  Rng rng(2);
+  Matrix sym = RandomSymmetric(5, &rng);
+  EXPECT_TRUE(sym.IsSymmetric());
+  sym.At(1, 3) += 1e-3;
+  EXPECT_FALSE(sym.IsSymmetric());
+  EXPECT_FALSE(Matrix(2, 3).IsSymmetric());
+}
+
+// ---------------------------------------------------------------- Cholesky
+
+TEST(CholeskyTest, ReconstructsSpdMatrix) {
+  Rng rng(3);
+  for (const int64_t n : {1, 2, 5, 16, 40}) {
+    const Matrix a = RandomSpd(n, &rng);
+    const auto lower = CholeskyFactor(a);
+    ASSERT_TRUE(lower.ok()) << "n=" << n;
+    const Matrix rebuilt = lower->Multiply(lower->Transposed());
+    EXPECT_LT(rebuilt.MaxAbsDiff(a), 1e-8 * n) << "n=" << n;
+    // Factor must be lower triangular.
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = i + 1; j < n; ++j) {
+        EXPECT_DOUBLE_EQ(lower->At(i, j), 0.0);
+      }
+    }
+  }
+}
+
+TEST(CholeskyTest, RejectsIndefiniteMatrix) {
+  Matrix a(2, 2);
+  a.At(0, 0) = 1.0;
+  a.At(1, 1) = -1.0;
+  EXPECT_FALSE(CholeskyFactor(a).ok());
+}
+
+TEST(CholeskyTest, RejectsNonSquareAndAsymmetric) {
+  EXPECT_FALSE(CholeskyFactor(Matrix(2, 3)).ok());
+  Matrix asym(2, 2);
+  asym.At(0, 1) = 0.5;
+  asym.At(1, 0) = -0.5;
+  asym.At(0, 0) = asym.At(1, 1) = 1.0;
+  EXPECT_FALSE(CholeskyFactor(asym).ok());
+}
+
+// ------------------------------------------------------------------ Jacobi
+
+TEST(JacobiTest, DiagonalMatrixEigenvalues) {
+  Matrix d(3, 3);
+  d.At(0, 0) = 3.0;
+  d.At(1, 1) = -1.0;
+  d.At(2, 2) = 2.0;
+  const auto eigen = JacobiEigenSymmetric(d);
+  ASSERT_TRUE(eigen.ok());
+  // Sorted descending.
+  EXPECT_NEAR(eigen->eigenvalues[0], 3.0, 1e-12);
+  EXPECT_NEAR(eigen->eigenvalues[1], 2.0, 1e-12);
+  EXPECT_NEAR(eigen->eigenvalues[2], -1.0, 1e-12);
+}
+
+TEST(JacobiTest, KnownTwoByTwo) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  Matrix a(2, 2);
+  a.At(0, 0) = 2.0;
+  a.At(0, 1) = 1.0;
+  a.At(1, 0) = 1.0;
+  a.At(1, 1) = 2.0;
+  const auto eigen = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(eigen.ok());
+  EXPECT_NEAR(eigen->eigenvalues[0], 3.0, 1e-10);
+  EXPECT_NEAR(eigen->eigenvalues[1], 1.0, 1e-10);
+}
+
+TEST(JacobiTest, ReconstructionAndOrthogonality) {
+  Rng rng(7);
+  for (const int64_t n : {2, 6, 12, 25}) {
+    const Matrix a = RandomSymmetric(n, &rng);
+    const auto eigen = JacobiEigenSymmetric(a);
+    ASSERT_TRUE(eigen.ok()) << "n=" << n;
+
+    // V diag(lambda) V^T == A.
+    Matrix scaled = eigen->eigenvectors;
+    for (int64_t j = 0; j < n; ++j) {
+      for (int64_t i = 0; i < n; ++i) {
+        scaled.At(i, j) *= eigen->eigenvalues[static_cast<size_t>(j)];
+      }
+    }
+    const Matrix rebuilt = scaled.Multiply(eigen->eigenvectors.Transposed());
+    EXPECT_LT(rebuilt.MaxAbsDiff(a), 1e-8 * n) << "n=" << n;
+
+    // V^T V == I.
+    const Matrix gram =
+        eigen->eigenvectors.Transposed().Multiply(eigen->eigenvectors);
+    EXPECT_LT(gram.MaxAbsDiff(Matrix::Identity(n)), 1e-9 * n) << "n=" << n;
+
+    // Eigenvalue sum equals trace.
+    double trace = 0.0;
+    double eigen_sum = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      trace += a.At(i, i);
+      eigen_sum += eigen->eigenvalues[static_cast<size_t>(i)];
+    }
+    EXPECT_NEAR(eigen_sum, trace, 1e-8 * n);
+  }
+}
+
+TEST(JacobiTest, RejectsBadInput) {
+  EXPECT_FALSE(JacobiEigenSymmetric(Matrix(2, 3)).ok());
+  Matrix asym(2, 2);
+  asym.At(0, 1) = 1.0;
+  EXPECT_FALSE(JacobiEigenSymmetric(asym).ok());
+}
+
+// ------------------------------------------------- Nearest correlation ---
+
+TEST(NearestCorrelationTest, ValidMatrixIsAlmostUnchanged) {
+  // A tiny well-conditioned correlation matrix should survive repair.
+  Matrix c(3, 3);
+  for (int64_t i = 0; i < 3; ++i) {
+    c.At(i, i) = 1.0;
+  }
+  c.At(0, 1) = c.At(1, 0) = 0.5;
+  c.At(0, 2) = c.At(2, 0) = 0.2;
+  c.At(1, 2) = c.At(2, 1) = 0.3;
+  const auto repaired = NearestCorrelationMatrix(c);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_LT(repaired->MaxAbsDiff(c), 1e-6);
+}
+
+TEST(NearestCorrelationTest, RepairsInvalidMatrix) {
+  // rho(0,1) = rho(0,2) = 0.9 with rho(1,2) = -0.9 is infeasible.
+  Matrix c(3, 3);
+  for (int64_t i = 0; i < 3; ++i) {
+    c.At(i, i) = 1.0;
+  }
+  c.At(0, 1) = c.At(1, 0) = 0.9;
+  c.At(0, 2) = c.At(2, 0) = 0.9;
+  c.At(1, 2) = c.At(2, 1) = -0.9;
+  const auto repaired = NearestCorrelationMatrix(c);
+  ASSERT_TRUE(repaired.ok());
+
+  // Unit diagonal.
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(repaired->At(i, i), 1.0, 1e-9);
+  }
+  // Positive semidefinite (all eigenvalues >= 0 within tolerance).
+  const auto eigen = JacobiEigenSymmetric(*repaired);
+  ASSERT_TRUE(eigen.ok());
+  for (const double lambda : eigen->eigenvalues) {
+    EXPECT_GE(lambda, -1e-8);
+  }
+  // Cholesky must now succeed (with the min eigenvalue margin).
+  EXPECT_TRUE(CholeskyFactor(*repaired).ok());
+}
+
+TEST(NearestCorrelationTest, RandomInfeasibleMatricesBecomeFactorizable) {
+  Rng rng(11);
+  for (int trial = 0; trial < 5; ++trial) {
+    const int64_t n = 12;
+    Matrix c(n, n);
+    for (int64_t i = 0; i < n; ++i) {
+      c.At(i, i) = 1.0;
+      for (int64_t j = i + 1; j < n; ++j) {
+        const double v = rng.NextUniform(-0.95, 0.95);
+        c.At(i, j) = v;
+        c.At(j, i) = v;
+      }
+    }
+    const auto repaired = NearestCorrelationMatrix(c);
+    ASSERT_TRUE(repaired.ok()) << "trial " << trial;
+    EXPECT_TRUE(CholeskyFactor(*repaired).ok()) << "trial " << trial;
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        EXPECT_LE(std::fabs(repaired->At(i, j)), 1.0 + 1e-9);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dangoron

@@ -1,0 +1,169 @@
+// Numerical-robustness suite: the moment-form kernels used by the sketches
+// are algebraically exact but can lose precision under large offsets or
+// near-constant data; these tests pin the operating envelope the engines
+// rely on (climate data: offsets ~1e2; finance: values ~1e-2).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "corr/pearson.h"
+#include "engine/dangoron_engine.h"
+#include "engine/naive_engine.h"
+#include "sketch/basic_window_index.h"
+#include "ts/generators.h"
+
+namespace dangoron {
+namespace {
+
+// Adds `offset` to every value of both series and checks the kernels agree
+// with the two-pass oracle within `tolerance`.
+void CheckOffsetStability(double offset, double tolerance) {
+  Rng rng(static_cast<uint64_t>(std::fabs(offset)) + 17);
+  const int64_t length = 480;
+  std::vector<double> x;
+  std::vector<double> y;
+  GenerateCorrelatedPair(length, 0.6, &rng, &x, &y);
+  for (int64_t t = 0; t < length; ++t) {
+    x[static_cast<size_t>(t)] += offset;
+    y[static_cast<size_t>(t)] += offset;
+  }
+  const double oracle = PearsonNaive(x, y);
+
+  // Moment form, directly.
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  for (int64_t t = 0; t < length; ++t) {
+    sx += x[static_cast<size_t>(t)];
+    sy += y[static_cast<size_t>(t)];
+    sxx += x[static_cast<size_t>(t)] * x[static_cast<size_t>(t)];
+    syy += y[static_cast<size_t>(t)] * y[static_cast<size_t>(t)];
+    sxy += x[static_cast<size_t>(t)] * y[static_cast<size_t>(t)];
+  }
+  EXPECT_NEAR(PearsonFromMoments(static_cast<double>(length), sx, sy, sxx,
+                                 syy, sxy),
+              oracle, tolerance)
+      << "offset " << offset;
+
+  // Sketch path (what the engines actually execute).
+  auto matrix = TimeSeriesMatrix::FromRows({x, y});
+  ASSERT_TRUE(matrix.ok());
+  BasicWindowIndexOptions options;
+  options.basic_window = 24;
+  const auto index = BasicWindowIndex::Build(*matrix, options);
+  ASSERT_TRUE(index.ok());
+  EXPECT_NEAR(index->PairRangeCorrelation(0, 0, length / 24), oracle,
+              tolerance)
+      << "offset " << offset;
+}
+
+TEST(NumericsTest, ModerateOffsetsAreExact) {
+  // Climate-scale offsets (temperatures ~1e2): full precision expected.
+  CheckOffsetStability(0.0, 1e-10);
+  CheckOffsetStability(100.0, 1e-8);
+  CheckOffsetStability(-273.15, 1e-8);
+}
+
+TEST(NumericsTest, LargeOffsetsDegradeGracefully) {
+  // 1e6 offsets: moment cancellation costs ~12 of the 16 available digits,
+  // leaving ~3 correct digits in the correlation — degraded but bounded,
+  // and still far inside any thresholding use. (Data at such offsets
+  // should be centered before ingestion; this pins the failure mode.)
+  CheckOffsetStability(1e6, 5e-3);
+}
+
+TEST(NumericsTest, TinyScalesAreExact) {
+  // Finance-scale values (~1e-2) must not lose precision.
+  Rng rng(23);
+  const int64_t length = 480;
+  std::vector<double> x;
+  std::vector<double> y;
+  GenerateCorrelatedPair(length, 0.4, &rng, &x, &y);
+  for (int64_t t = 0; t < length; ++t) {
+    x[static_cast<size_t>(t)] *= 1e-2;
+    y[static_cast<size_t>(t)] *= 1e-2;
+  }
+  const double oracle = PearsonNaive(x, y);
+  auto matrix = TimeSeriesMatrix::FromRows({x, y});
+  ASSERT_TRUE(matrix.ok());
+  BasicWindowIndexOptions options;
+  options.basic_window = 24;
+  const auto index = BasicWindowIndex::Build(*matrix, options);
+  ASSERT_TRUE(index.ok());
+  EXPECT_NEAR(index->PairRangeCorrelation(0, 0, length / 24), oracle, 1e-10);
+}
+
+TEST(NumericsTest, NearConstantSeriesDoNotExplode) {
+  // Variance 1e-16 relative to an offset of 1e2: the zero-variance guard
+  // must kick in rather than dividing by a catastrophically cancelled
+  // denominator.
+  const int64_t length = 96;
+  TimeSeriesMatrix data(2, length);
+  Rng rng(29);
+  for (int64_t t = 0; t < length; ++t) {
+    data.Set(0, t, 100.0 + 1e-9 * rng.NextGaussian());
+    data.Set(1, t, rng.NextGaussian());
+  }
+  BasicWindowIndexOptions options;
+  options.basic_window = 24;
+  const auto index = BasicWindowIndex::Build(data, options);
+  ASSERT_TRUE(index.ok());
+  const double c = index->PairRangeCorrelation(0, 0, length / 24);
+  EXPECT_TRUE(std::isfinite(c));
+  EXPECT_LE(std::fabs(c), 1.0);
+}
+
+TEST(NumericsTest, EngineResultsClampedToValidRange) {
+  // Whatever roundoff happens inside the sketches, emitted edge values must
+  // stay inside [-1, 1].
+  Rng rng(31);
+  TimeSeriesMatrix data = GenerateWhiteNoise(8, 24 * 20, &rng);
+  // Make two rows identical: exact correlation 1 is the worst clamp case.
+  for (int64_t t = 0; t < data.length(); ++t) {
+    data.Set(1, t, data.Get(0, t));
+  }
+  SlidingQuery query;
+  query.start = 0;
+  query.end = data.length();
+  query.window = 24 * 5;
+  query.step = 24;
+  query.threshold = 0.9;
+  DangoronEngine engine;
+  ASSERT_TRUE(engine.Prepare(data).ok());
+  auto result = engine.Query(query);
+  ASSERT_TRUE(result.ok());
+  int64_t perfect_edges = 0;
+  for (int64_t k = 0; k < result->num_windows(); ++k) {
+    for (const Edge& edge : result->WindowEdges(k)) {
+      EXPECT_LE(edge.value, 1.0);
+      EXPECT_GE(edge.value, -1.0);
+      perfect_edges += (edge.i == 0 && edge.j == 1) ? 1 : 0;
+    }
+  }
+  // The identical pair is an edge in every window.
+  EXPECT_EQ(perfect_edges, result->num_windows());
+}
+
+TEST(NumericsTest, LongSeriesPrefixSumsStayAccurate) {
+  // A year of hourly data accumulates ~1e4 terms per prefix entry; compare
+  // a far-range sketch correlation against the two-pass oracle.
+  Rng rng(37);
+  std::vector<double> x;
+  std::vector<double> y;
+  GenerateCorrelatedPair(24 * 365, 0.7, &rng, &x, &y);
+  auto matrix = TimeSeriesMatrix::FromRows({x, y});
+  ASSERT_TRUE(matrix.ok());
+  BasicWindowIndexOptions options;
+  options.basic_window = 24;
+  const auto index = BasicWindowIndex::Build(*matrix, options);
+  ASSERT_TRUE(index.ok());
+  const int64_t nb = index->num_basic_windows();
+  const double oracle =
+      PearsonNaive(std::span<const double>(x).last(30 * 24),
+                   std::span<const double>(y).last(30 * 24));
+  EXPECT_NEAR(index->PairRangeCorrelation(0, nb - 30, nb), oracle, 1e-8);
+}
+
+}  // namespace
+}  // namespace dangoron

@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/rng.h"
+#include "corr/pearson.h"
+#include "sketch/basic_window_index.h"
+#include "ts/generators.h"
+
+namespace dangoron {
+namespace {
+
+TEST(PairIdTest, RoundTripsAllPairs) {
+  for (const int64_t n : {2, 3, 5, 17, 64}) {
+    int64_t expected_id = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = i + 1; j < n; ++j) {
+        const int64_t id = BasicWindowIndex::PairId(i, j, n);
+        EXPECT_EQ(id, expected_id) << "n=" << n;
+        int64_t ri = 0;
+        int64_t rj = 0;
+        BasicWindowIndex::PairFromId(id, n, &ri, &rj);
+        EXPECT_EQ(ri, i);
+        EXPECT_EQ(rj, j);
+        ++expected_id;
+      }
+    }
+    EXPECT_EQ(expected_id, n * (n - 1) / 2);
+  }
+}
+
+TEST(PairIdTest, OrderInsensitive) {
+  EXPECT_EQ(BasicWindowIndex::PairId(3, 7, 10),
+            BasicWindowIndex::PairId(7, 3, 10));
+}
+
+TEST(BasicWindowIndexTest, RejectsBadInput) {
+  Rng rng(1);
+  TimeSeriesMatrix data = GenerateWhiteNoise(4, 100, &rng);
+
+  BasicWindowIndexOptions options;
+  options.basic_window = 0;
+  EXPECT_FALSE(BasicWindowIndex::Build(data, options).ok());
+
+  options.basic_window = 200;  // longer than the series
+  EXPECT_FALSE(BasicWindowIndex::Build(data, options).ok());
+
+  options.basic_window = 10;
+  TimeSeriesMatrix empty;
+  EXPECT_FALSE(BasicWindowIndex::Build(empty, options).ok());
+
+  data.Set(1, 5, MissingValue());
+  EXPECT_FALSE(BasicWindowIndex::Build(data, options).ok());
+}
+
+TEST(BasicWindowIndexTest, RaggedTailIsTruncated) {
+  Rng rng(2);
+  TimeSeriesMatrix data = GenerateWhiteNoise(2, 103, &rng);
+  BasicWindowIndexOptions options;
+  options.basic_window = 10;
+  const auto index = BasicWindowIndex::Build(data, options);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->num_basic_windows(), 10);
+  EXPECT_EQ(index->basic_window(), 10);
+  EXPECT_EQ(index->num_series(), 2);
+  EXPECT_EQ(index->num_pairs(), 1);
+}
+
+TEST(BasicWindowIndexTest, PerSeriesPrefixSumsMatchDirect) {
+  Rng rng(3);
+  TimeSeriesMatrix data = GenerateWhiteNoise(3, 96, &rng);
+  BasicWindowIndexOptions options;
+  options.basic_window = 8;
+  const auto index = BasicWindowIndex::Build(data, options);
+  ASSERT_TRUE(index.ok());
+
+  for (int64_t s = 0; s < 3; ++s) {
+    for (int64_t lo = 0; lo < 12; ++lo) {
+      for (int64_t hi = lo + 1; hi <= 12; ++hi) {
+        double sum = 0.0;
+        double sumsq = 0.0;
+        for (int64_t t = lo * 8; t < hi * 8; ++t) {
+          const double v = data.Get(s, t);
+          sum += v;
+          sumsq += v * v;
+        }
+        EXPECT_NEAR(index->SumRange(s, lo, hi), sum, 1e-9);
+        EXPECT_NEAR(index->SumSqRange(s, lo, hi), sumsq, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(BasicWindowIndexTest, WindowMeanAndStdMatchOracle) {
+  Rng rng(4);
+  TimeSeriesMatrix data = GenerateWhiteNoise(2, 64, &rng);
+  BasicWindowIndexOptions options;
+  options.basic_window = 16;
+  const auto index = BasicWindowIndex::Build(data, options);
+  ASSERT_TRUE(index.ok());
+
+  for (int64_t s = 0; s < 2; ++s) {
+    const auto stats = ComputeBasicWindowStats(data.Row(s), 16);
+    for (int64_t w = 0; w < 4; ++w) {
+      EXPECT_NEAR(index->WindowMean(s, w), stats[static_cast<size_t>(w)].mean,
+                  1e-10);
+      EXPECT_NEAR(index->WindowStdDev(s, w),
+                  stats[static_cast<size_t>(w)].stddev, 1e-10);
+    }
+  }
+}
+
+TEST(BasicWindowIndexTest, PairWindowCorrelationMatchesOracle) {
+  Rng rng(5);
+  std::vector<double> x, y;
+  GenerateCorrelatedPair(120, 0.7, &rng, &x, &y);
+  auto matrix = TimeSeriesMatrix::FromRows({x, y});
+  ASSERT_TRUE(matrix.ok());
+  BasicWindowIndexOptions options;
+  options.basic_window = 12;
+  const auto index = BasicWindowIndex::Build(*matrix, options);
+  ASSERT_TRUE(index.ok());
+
+  const std::vector<double> oracle = ComputeBasicWindowCorrelations(x, y, 12);
+  for (int64_t w = 0; w < 10; ++w) {
+    EXPECT_NEAR(index->PairWindowCorrelation(0, w),
+                oracle[static_cast<size_t>(w)], 1e-9)
+        << "w=" << w;
+  }
+}
+
+TEST(BasicWindowIndexTest, OneMinusCorrRangeIsMonotonePrefix) {
+  Rng rng(6);
+  TimeSeriesMatrix data = GenerateWhiteNoise(2, 200, &rng);
+  BasicWindowIndexOptions options;
+  options.basic_window = 10;
+  const auto index = BasicWindowIndex::Build(data, options);
+  ASSERT_TRUE(index.ok());
+  double previous = 0.0;
+  for (int64_t hi = 1; hi <= 20; ++hi) {
+    const double value = index->OneMinusCorrRange(0, 0, hi);
+    // c in [-1, 1] so each term (1 - c) is in [0, 2]: non-decreasing prefix.
+    EXPECT_GE(value, previous - 1e-12);
+    EXPECT_LE(value - previous, 2.0 + 1e-12);
+    previous = value;
+  }
+}
+
+// Parameterized: exact range correlation from the sketch must equal the
+// naive Pearson over the same columns for every geometry.
+class SketchRangeSweep
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t>> {};
+
+TEST_P(SketchRangeSweep, RangeCorrelationMatchesNaive) {
+  const int64_t b = std::get<0>(GetParam());
+  const int64_t num_series = std::get<1>(GetParam());
+  const int64_t nb = 15;
+  Rng rng(static_cast<uint64_t>(100 + b + num_series));
+  TimeSeriesMatrix data = GenerateWhiteNoise(num_series, b * nb, &rng);
+  BasicWindowIndexOptions options;
+  options.basic_window = b;
+  const auto index = BasicWindowIndex::Build(data, options);
+  ASSERT_TRUE(index.ok());
+
+  for (int64_t i = 0; i < num_series; ++i) {
+    for (int64_t j = i + 1; j < num_series; ++j) {
+      const int64_t p = BasicWindowIndex::PairId(i, j, num_series);
+      for (const auto& [lo, hi] :
+           {std::pair<int64_t, int64_t>{0, nb}, {0, 3}, {5, 9}, {nb - 2, nb}}) {
+        const double expected = PearsonNaive(
+            data.RowRange(i, lo * b, (hi - lo) * b),
+            data.RowRange(j, lo * b, (hi - lo) * b));
+        EXPECT_NEAR(index->PairRangeCorrelation(p, lo, hi), expected, 1e-8)
+            << "pair (" << i << "," << j << ") range [" << lo << "," << hi
+            << ")";
+        EXPECT_NEAR(index->RangeCorrelationFromRaw(i, j, lo, hi), expected,
+                    1e-8);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, SketchRangeSweep,
+    ::testing::Combine(::testing::Values<int64_t>(4, 9, 24),
+                       ::testing::Values<int64_t>(2, 5, 8)));
+
+TEST(BasicWindowIndexTest, ParallelBuildMatchesSequential) {
+  Rng rng(7);
+  TimeSeriesMatrix data = GenerateWhiteNoise(10, 240, &rng);
+  BasicWindowIndexOptions options;
+  options.basic_window = 24;
+  const auto sequential = BasicWindowIndex::Build(data, options);
+  ThreadPool pool(4);
+  const auto parallel = BasicWindowIndex::Build(data, options, &pool);
+  ASSERT_TRUE(sequential.ok());
+  ASSERT_TRUE(parallel.ok());
+  for (int64_t p = 0; p < sequential->num_pairs(); ++p) {
+    for (int64_t w = 0; w < sequential->num_basic_windows(); ++w) {
+      EXPECT_DOUBLE_EQ(sequential->DotRange(p, w, w + 1),
+                       parallel->DotRange(p, w, w + 1));
+      EXPECT_DOUBLE_EQ(sequential->PairWindowCorrelation(p, w),
+                       parallel->PairWindowCorrelation(p, w));
+    }
+  }
+}
+
+TEST(BasicWindowIndexTest, NoPairSketchesMode) {
+  Rng rng(8);
+  TimeSeriesMatrix data = GenerateWhiteNoise(4, 64, &rng);
+  BasicWindowIndexOptions options;
+  options.basic_window = 8;
+  options.build_pair_sketches = false;
+  const auto index = BasicWindowIndex::Build(data, options);
+  ASSERT_TRUE(index.ok());
+  EXPECT_FALSE(index->has_pair_sketches());
+  // Per-series statistics still work.
+  EXPECT_NEAR(index->SumRange(0, 0, 8),
+              [&] {
+                double sum = 0;
+                for (int64_t t = 0; t < 64; ++t) sum += data.Get(0, t);
+                return sum;
+              }(),
+              1e-9);
+  // Raw-data range correlation works without pair sketches.
+  const double expected =
+      PearsonNaive(data.RowRange(0, 0, 64), data.RowRange(1, 0, 64));
+  EXPECT_NEAR(index->RangeCorrelationFromRaw(0, 1, 0, 8), expected, 1e-9);
+}
+
+TEST(BasicWindowIndexTest, MemoryAccounting) {
+  Rng rng(9);
+  TimeSeriesMatrix data = GenerateWhiteNoise(4, 64, &rng);
+  BasicWindowIndexOptions options;
+  options.basic_window = 8;
+  const auto with_pairs = BasicWindowIndex::Build(data, options);
+  options.build_pair_sketches = false;
+  const auto without_pairs = BasicWindowIndex::Build(data, options);
+  ASSERT_TRUE(with_pairs.ok());
+  ASSERT_TRUE(without_pairs.ok());
+  EXPECT_GT(with_pairs->MemoryBytes(), without_pairs->MemoryBytes());
+  EXPECT_GT(without_pairs->MemoryBytes(), 0);
+}
+
+}  // namespace
+}  // namespace dangoron

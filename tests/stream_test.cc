@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/dangoron_engine.h"
+#include "stream/streaming_builder.h"
+#include "ts/generators.h"
+
+namespace dangoron {
+namespace {
+
+StreamingOptions SmallOptions() {
+  StreamingOptions options;
+  options.basic_window = 8;
+  options.window = 32;   // ns = 4
+  options.step = 8;      // m = 1
+  options.threshold = 0.7;
+  return options;
+}
+
+TEST(StreamingBuilderTest, CreateValidation) {
+  StreamingOptions options = SmallOptions();
+  EXPECT_TRUE(StreamingNetworkBuilder::Create(4, options).ok());
+  EXPECT_FALSE(StreamingNetworkBuilder::Create(1, options).ok());
+
+  options.window = 30;  // not a multiple of b=8
+  EXPECT_FALSE(StreamingNetworkBuilder::Create(4, options).ok());
+  options = SmallOptions();
+  options.step = 12;
+  EXPECT_FALSE(StreamingNetworkBuilder::Create(4, options).ok());
+  options = SmallOptions();
+  options.basic_window = 0;
+  EXPECT_FALSE(StreamingNetworkBuilder::Create(4, options).ok());
+  options = SmallOptions();
+  options.threshold = 2.0;
+  EXPECT_FALSE(StreamingNetworkBuilder::Create(4, options).ok());
+}
+
+TEST(StreamingBuilderTest, AppendValidation) {
+  auto builder = StreamingNetworkBuilder::Create(3, SmallOptions());
+  ASSERT_TRUE(builder.ok());
+  const std::vector<double> wrong_size = {1.0, 2.0};
+  EXPECT_FALSE(builder->Append(wrong_size).ok());
+  const std::vector<double> with_nan = {1.0, MissingValue(), 2.0};
+  EXPECT_FALSE(builder->Append(with_nan).ok());
+  const std::vector<double> good = {1.0, 2.0, 3.0};
+  EXPECT_TRUE(builder->Append(good).ok());
+  EXPECT_EQ(builder->columns_seen(), 1);
+}
+
+TEST(StreamingBuilderTest, NoSnapshotBeforeFirstFullWindow) {
+  auto builder = StreamingNetworkBuilder::Create(2, SmallOptions());
+  ASSERT_TRUE(builder.ok());
+  Rng rng(1);
+  std::vector<double> column(2);
+  for (int64_t t = 0; t < 31; ++t) {  // one short of the window
+    column[0] = rng.NextGaussian();
+    column[1] = rng.NextGaussian();
+    ASSERT_TRUE(builder->Append(column).ok());
+  }
+  EXPECT_EQ(builder->ReadySnapshots(), 0);
+  EXPECT_FALSE(builder->PopSnapshot().ok());
+
+  column[0] = rng.NextGaussian();
+  column[1] = rng.NextGaussian();
+  ASSERT_TRUE(builder->Append(column).ok());
+  EXPECT_EQ(builder->ReadySnapshots(), 1);
+}
+
+TEST(StreamingBuilderTest, SnapshotIndexingAndCadence) {
+  StreamingOptions options = SmallOptions();
+  options.step = 16;  // m = 2
+  auto builder = StreamingNetworkBuilder::Create(2, options);
+  ASSERT_TRUE(builder.ok());
+  Rng rng(2);
+  std::vector<double> column(2);
+  // 96 columns: windows at bw counts 4, 6, 8, ... -> columns 32, 48, ... 96.
+  for (int64_t t = 0; t < 96; ++t) {
+    column[0] = rng.NextGaussian();
+    column[1] = rng.NextGaussian();
+    ASSERT_TRUE(builder->Append(column).ok());
+  }
+  EXPECT_EQ(builder->ReadySnapshots(), 5);  // at columns 32,48,64,80,96
+  for (int64_t expected = 0; expected < 5; ++expected) {
+    auto snapshot = builder->PopSnapshot();
+    ASSERT_TRUE(snapshot.ok());
+    EXPECT_EQ(snapshot->window_index, expected);
+    EXPECT_EQ(snapshot->start_column, expected * options.step);
+  }
+  EXPECT_EQ(builder->ReadySnapshots(), 0);
+}
+
+// The load-bearing property: streaming output == offline exact engine.
+TEST(StreamingBuilderTest, MatchesOfflineEngineExactly) {
+  ClimateSpec spec;
+  spec.num_stations = 10;
+  spec.num_hours = 24 * 40;
+  spec.seed = 77;
+  auto dataset = GenerateClimate(spec);
+  ASSERT_TRUE(dataset.ok());
+  const TimeSeriesMatrix& data = dataset->data;
+
+  StreamingOptions options;
+  options.basic_window = 24;
+  options.window = 24 * 7;
+  options.step = 24;
+  options.threshold = 0.75;
+
+  auto builder = StreamingNetworkBuilder::Create(data.num_series(), options);
+  ASSERT_TRUE(builder.ok());
+  ASSERT_TRUE(builder->AppendColumns(data, 0, data.length()).ok());
+
+  DangoronOptions engine_options;
+  engine_options.basic_window = 24;
+  engine_options.enable_jumping = false;
+  DangoronEngine engine(engine_options);
+  ASSERT_TRUE(engine.Prepare(data).ok());
+  SlidingQuery query;
+  query.start = 0;
+  query.end = data.length();
+  query.window = options.window;
+  query.step = options.step;
+  query.threshold = options.threshold;
+  auto offline = engine.Query(query);
+  ASSERT_TRUE(offline.ok());
+
+  ASSERT_EQ(builder->ReadySnapshots(), offline->num_windows());
+  for (int64_t k = 0; k < offline->num_windows(); ++k) {
+    auto snapshot = builder->PopSnapshot();
+    ASSERT_TRUE(snapshot.ok());
+    EXPECT_EQ(snapshot->window_index, k);
+    const auto expected = offline->WindowEdges(k);
+    ASSERT_EQ(snapshot->edges.size(), expected.size()) << "window " << k;
+    for (size_t e = 0; e < expected.size(); ++e) {
+      EXPECT_EQ(snapshot->edges[e].i, expected[e].i);
+      EXPECT_EQ(snapshot->edges[e].j, expected[e].j);
+      EXPECT_NEAR(snapshot->edges[e].value, expected[e].value, 1e-9)
+          << "window " << k;
+    }
+  }
+}
+
+TEST(StreamingBuilderTest, IncrementalFeedMatchesBulkFeed) {
+  Rng rng(5);
+  TimeSeriesMatrix data = GenerateWhiteNoise(6, 24 * 20, &rng);
+
+  StreamingOptions options;
+  options.basic_window = 24;
+  options.window = 24 * 5;
+  options.step = 24 * 2;
+  options.threshold = 0.0;  // dense: stresses the value path
+
+  auto bulk = StreamingNetworkBuilder::Create(6, options);
+  ASSERT_TRUE(bulk.ok());
+  ASSERT_TRUE(bulk->AppendColumns(data, 0, data.length()).ok());
+
+  auto piecewise = StreamingNetworkBuilder::Create(6, options);
+  ASSERT_TRUE(piecewise.ok());
+  int64_t position = 0;
+  Rng chunk_rng(9);
+  while (position < data.length()) {
+    const int64_t chunk = std::min<int64_t>(
+        data.length() - position, chunk_rng.NextInt(1, 50));
+    ASSERT_TRUE(piecewise->AppendColumns(data, position, chunk).ok());
+    position += chunk;
+  }
+
+  ASSERT_EQ(bulk->ReadySnapshots(), piecewise->ReadySnapshots());
+  while (bulk->ReadySnapshots() > 0) {
+    auto a = bulk->PopSnapshot();
+    auto b = piecewise->PopSnapshot();
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a->edges.size(), b->edges.size());
+    for (size_t e = 0; e < a->edges.size(); ++e) {
+      EXPECT_DOUBLE_EQ(a->edges[e].value, b->edges[e].value);
+    }
+  }
+}
+
+TEST(StreamingBuilderTest, PartialTailIsBuffered) {
+  auto builder = StreamingNetworkBuilder::Create(2, SmallOptions());
+  ASSERT_TRUE(builder.ok());
+  Rng rng(11);
+  std::vector<double> column(2);
+  // 35 columns = 4 full basic windows + 3 buffered ticks.
+  for (int64_t t = 0; t < 35; ++t) {
+    column[0] = rng.NextGaussian();
+    column[1] = rng.NextGaussian();
+    ASSERT_TRUE(builder->Append(column).ok());
+  }
+  EXPECT_EQ(builder->columns_seen(), 35);
+  EXPECT_EQ(builder->ReadySnapshots(), 1);  // only the window at column 32
+}
+
+}  // namespace
+}  // namespace dangoron

@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "corr/pearson.h"
+#include "linalg/decompositions.h"
+#include "tomborg/correlation_spec.h"
+#include "tomborg/tomborg.h"
+
+namespace dangoron {
+namespace {
+
+// ----------------------------------------------------- Gamma / Beta draws --
+
+TEST(SamplingTest, GammaMoments) {
+  Rng rng(1);
+  for (const double shape : {0.5, 1.0, 2.0, 7.5}) {
+    double sum = 0.0;
+    double sumsq = 0.0;
+    const int trials = 60000;
+    for (int t = 0; t < trials; ++t) {
+      const double g = SampleGamma(shape, &rng);
+      EXPECT_GE(g, 0.0);
+      sum += g;
+      sumsq += g * g;
+    }
+    const double mean = sum / trials;
+    const double var = sumsq / trials - mean * mean;
+    EXPECT_NEAR(mean, shape, 0.06 * std::max(1.0, shape)) << shape;
+    EXPECT_NEAR(var, shape, 0.12 * std::max(1.0, shape)) << shape;
+  }
+}
+
+TEST(SamplingTest, BetaMoments) {
+  Rng rng(2);
+  const double alpha = 2.0;
+  const double beta = 5.0;
+  double sum = 0.0;
+  const int trials = 60000;
+  for (int t = 0; t < trials; ++t) {
+    const double b = SampleBeta(alpha, beta, &rng);
+    EXPECT_GE(b, 0.0);
+    EXPECT_LE(b, 1.0);
+    sum += b;
+  }
+  EXPECT_NEAR(sum / trials, alpha / (alpha + beta), 0.01);
+}
+
+// -------------------------------------------------------- Target drawing --
+
+TEST(DrawTargetTest, UnitDiagonalAndSymmetry) {
+  Rng rng(3);
+  CorrelationSpec spec;
+  spec.family = CorrelationFamily::kUniform;
+  spec.a = -0.5;
+  spec.b = 0.9;
+  const auto target = DrawTargetCorrelation(spec, 12, &rng);
+  ASSERT_TRUE(target.ok());
+  EXPECT_TRUE(target->IsSymmetric());
+  for (int64_t i = 0; i < 12; ++i) {
+    EXPECT_DOUBLE_EQ(target->At(i, i), 1.0);
+    for (int64_t j = 0; j < 12; ++j) {
+      EXPECT_LE(std::fabs(target->At(i, j)), 1.0);
+    }
+  }
+  EXPECT_FALSE(DrawTargetCorrelation(spec, 1, &rng).ok());
+}
+
+TEST(DrawTargetTest, ConstantFamily) {
+  Rng rng(4);
+  CorrelationSpec spec;
+  spec.family = CorrelationFamily::kConstant;
+  spec.a = 0.42;
+  const auto target = DrawTargetCorrelation(spec, 6, &rng);
+  ASSERT_TRUE(target.ok());
+  for (int64_t i = 0; i < 6; ++i) {
+    for (int64_t j = i + 1; j < 6; ++j) {
+      EXPECT_DOUBLE_EQ(target->At(i, j), 0.42);
+    }
+  }
+}
+
+TEST(DrawTargetTest, BlockFamilyStructure) {
+  Rng rng(5);
+  CorrelationSpec spec;
+  spec.family = CorrelationFamily::kBlock;
+  spec.a = 0.8;   // intra
+  spec.b = 0.05;  // inter
+  spec.blocks = 3;
+  const auto target = DrawTargetCorrelation(spec, 9, &rng);
+  ASSERT_TRUE(target.ok());
+  // Series 0-2, 3-5, 6-8 form blocks.
+  EXPECT_DOUBLE_EQ(target->At(0, 2), 0.8);
+  EXPECT_DOUBLE_EQ(target->At(3, 5), 0.8);
+  EXPECT_DOUBLE_EQ(target->At(0, 3), 0.05);
+  EXPECT_DOUBLE_EQ(target->At(2, 8), 0.05);
+}
+
+TEST(DrawTargetTest, HubFamilyStructure) {
+  Rng rng(6);
+  CorrelationSpec spec;
+  spec.family = CorrelationFamily::kHub;
+  spec.a = 0.7;  // hub rows
+  spec.b = 0.0;  // background
+  spec.hubs = 2;
+  const auto target = DrawTargetCorrelation(spec, 8, &rng);
+  ASSERT_TRUE(target.ok());
+  // Hubs at indices 0 and 4.
+  EXPECT_DOUBLE_EQ(target->At(0, 1), 0.7);
+  EXPECT_DOUBLE_EQ(target->At(4, 5), 0.7);
+  EXPECT_DOUBLE_EQ(target->At(1, 2), 0.0);
+}
+
+TEST(DrawTargetTest, BetaFamilyRespectsRange) {
+  Rng rng(7);
+  CorrelationSpec spec;
+  spec.family = CorrelationFamily::kBeta;
+  spec.a = 2.0;
+  spec.b = 2.0;
+  spec.lo = 0.2;
+  spec.hi = 0.6;
+  const auto target = DrawTargetCorrelation(spec, 10, &rng);
+  ASSERT_TRUE(target.ok());
+  for (int64_t i = 0; i < 10; ++i) {
+    for (int64_t j = i + 1; j < 10; ++j) {
+      EXPECT_GE(target->At(i, j), 0.2);
+      EXPECT_LE(target->At(i, j), 0.6);
+    }
+  }
+}
+
+TEST(RepairTest, OutputIsFactorizable) {
+  Rng rng(8);
+  CorrelationSpec spec;
+  spec.family = CorrelationFamily::kUniform;
+  spec.a = -0.9;
+  spec.b = 0.9;
+  const auto drawn = DrawTargetCorrelation(spec, 20, &rng);
+  ASSERT_TRUE(drawn.ok());
+  const auto repaired = RepairToCorrelationMatrix(*drawn);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_TRUE(CholeskyFactor(*repaired).ok());
+  for (int64_t i = 0; i < 20; ++i) {
+    EXPECT_NEAR(repaired->At(i, i), 1.0, 1e-9);
+  }
+}
+
+// ------------------------------------------------------------- Envelopes --
+
+TEST(EnvelopeTest, ShapesBehave) {
+  const int64_t bins = 1000;
+  // Pink decays with frequency.
+  EXPECT_GT(EnvelopeMagnitude(SpectralEnvelope::kPink, 10, bins),
+            EnvelopeMagnitude(SpectralEnvelope::kPink, 500, bins));
+  // White is flat.
+  EXPECT_DOUBLE_EQ(EnvelopeMagnitude(SpectralEnvelope::kWhite, 1, bins),
+                   EnvelopeMagnitude(SpectralEnvelope::kWhite, 999, bins));
+  // High-pass suppresses low frequencies.
+  EXPECT_LT(EnvelopeMagnitude(SpectralEnvelope::kHighPass, 10, bins),
+            EnvelopeMagnitude(SpectralEnvelope::kHighPass, 900, bins));
+  // Seasonal peaks near its seasonal frequencies.
+  EXPECT_GT(EnvelopeMagnitude(SpectralEnvelope::kSeasonal, 10, bins),
+            EnvelopeMagnitude(SpectralEnvelope::kSeasonal, 400, bins));
+}
+
+// ------------------------------------------------------------- Pipeline --
+
+TEST(TomborgTest, RejectsBadSpecs) {
+  TomborgSpec spec;
+  spec.num_series = 1;
+  EXPECT_FALSE(GenerateTomborg(spec).ok());
+  spec.num_series = 4;
+  spec.length = 4;
+  EXPECT_FALSE(GenerateTomborg(spec).ok());
+}
+
+TEST(TomborgTest, RealizesConstantTarget) {
+  TomborgSpec spec;
+  spec.num_series = 8;
+  spec.length = 8192;
+  spec.correlation.family = CorrelationFamily::kConstant;
+  spec.correlation.a = 0.6;
+  spec.seed = 11;
+  const auto dataset = GenerateTomborg(spec);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->data.num_series(), 8);
+  EXPECT_EQ(dataset->data.length(), 8192);
+
+  const auto error = MeasureRealization(dataset->data, dataset->target);
+  ASSERT_TRUE(error.ok());
+  EXPECT_LT(error->max_abs, 0.08);
+  EXPECT_LT(error->rms, 0.04);
+}
+
+TEST(TomborgTest, RealizationErrorShrinksWithLength) {
+  TomborgSpec spec;
+  spec.num_series = 6;
+  spec.correlation.family = CorrelationFamily::kUniform;
+  spec.correlation.a = -0.3;
+  spec.correlation.b = 0.7;
+  spec.seed = 13;
+
+  spec.length = 512;
+  const auto short_run = GenerateTomborg(spec);
+  ASSERT_TRUE(short_run.ok());
+  const auto short_error =
+      MeasureRealization(short_run->data, short_run->target);
+  ASSERT_TRUE(short_error.ok());
+
+  spec.length = 16384;
+  const auto long_run = GenerateTomborg(spec);
+  ASSERT_TRUE(long_run.ok());
+  const auto long_error = MeasureRealization(long_run->data, long_run->target);
+  ASSERT_TRUE(long_error.ok());
+
+  EXPECT_LT(long_error->rms, short_error->rms);
+}
+
+TEST(TomborgTest, EnvelopeSweepStillRealizesTarget) {
+  // Correlation is envelope invariant in expectation: each envelope must
+  // realize the same block target, with looser tolerance for kSeasonal
+  // whose energy concentrates in few effective bins.
+  for (const SpectralEnvelope envelope :
+       {SpectralEnvelope::kWhite, SpectralEnvelope::kPink,
+        SpectralEnvelope::kSeasonal, SpectralEnvelope::kHighPass}) {
+    TomborgSpec spec;
+    spec.num_series = 6;
+    spec.length = 8192;
+    spec.envelope = envelope;
+    spec.correlation.family = CorrelationFamily::kBlock;
+    spec.correlation.a = 0.75;
+    spec.correlation.b = 0.1;
+    spec.correlation.blocks = 2;
+    spec.seed = 17;
+    const auto dataset = GenerateTomborg(spec);
+    ASSERT_TRUE(dataset.ok());
+    const auto error = MeasureRealization(dataset->data, dataset->target);
+    ASSERT_TRUE(error.ok());
+    const double tolerance =
+        envelope == SpectralEnvelope::kSeasonal ? 0.35 : 0.1;
+    EXPECT_LT(error->max_abs, tolerance)
+        << "envelope " << static_cast<int>(envelope);
+  }
+}
+
+TEST(TomborgTest, SeriesAreZeroMean) {
+  TomborgSpec spec;
+  spec.num_series = 4;
+  spec.length = 2048;
+  spec.seed = 19;
+  const auto dataset = GenerateTomborg(spec);
+  ASSERT_TRUE(dataset.ok());
+  for (int64_t s = 0; s < 4; ++s) {
+    double mean = 0.0;
+    for (const double v : dataset->data.Row(s)) {
+      mean += v;
+    }
+    mean /= static_cast<double>(dataset->data.length());
+    // DC coefficient is zero, so the sample mean is exactly ~0.
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+  }
+}
+
+TEST(TomborgTest, DeterministicForSeed) {
+  TomborgSpec spec;
+  spec.num_series = 4;
+  spec.length = 1024;
+  spec.seed = 23;
+  const auto a = GenerateTomborg(spec);
+  const auto b = GenerateTomborg(spec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (int64_t s = 0; s < 4; ++s) {
+    for (int64_t t = 0; t < 1024; ++t) {
+      EXPECT_DOUBLE_EQ(a->data.Get(s, t), b->data.Get(s, t));
+    }
+  }
+}
+
+TEST(TomborgTest, OddLengthWorks) {
+  TomborgSpec spec;
+  spec.num_series = 4;
+  spec.length = 1001;  // exercises the Bluestein + odd-length iDFT path
+  spec.correlation.family = CorrelationFamily::kConstant;
+  spec.correlation.a = 0.5;
+  spec.seed = 29;
+  const auto dataset = GenerateTomborg(spec);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->data.length(), 1001);
+  const auto error = MeasureRealization(dataset->data, dataset->target);
+  ASSERT_TRUE(error.ok());
+  EXPECT_LT(error->max_abs, 0.2);
+}
+
+}  // namespace
+}  // namespace dangoron

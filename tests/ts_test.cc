@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/rng.h"
+#include "ts/csv.h"
+#include "ts/resample.h"
+#include "ts/time_series_matrix.h"
+
+namespace dangoron {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("dangoron_ts_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  std::string File(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  std::filesystem::path path_;
+};
+
+// ------------------------------------------------------ TimeSeriesMatrix --
+
+TEST(TimeSeriesMatrixTest, ConstructionAndAccess) {
+  TimeSeriesMatrix matrix(3, 5);
+  EXPECT_EQ(matrix.num_series(), 3);
+  EXPECT_EQ(matrix.length(), 5);
+  EXPECT_FALSE(matrix.empty());
+  matrix.Set(1, 2, 42.0);
+  EXPECT_DOUBLE_EQ(matrix.Get(1, 2), 42.0);
+  EXPECT_DOUBLE_EQ(matrix.Row(1)[2], 42.0);
+  EXPECT_DOUBLE_EQ(matrix.Get(0, 0), 0.0);
+}
+
+TEST(TimeSeriesMatrixTest, FromRowsValidation) {
+  EXPECT_FALSE(TimeSeriesMatrix::FromRows({}).ok());
+  EXPECT_FALSE(TimeSeriesMatrix::FromRows({{}}).ok());
+  EXPECT_FALSE(TimeSeriesMatrix::FromRows({{1.0, 2.0}, {1.0}}).ok());
+  const auto ok = TimeSeriesMatrix::FromRows({{1.0, 2.0}, {3.0, 4.0}});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_DOUBLE_EQ(ok->Get(1, 0), 3.0);
+}
+
+TEST(TimeSeriesMatrixTest, NamesDefaultAndCustom) {
+  TimeSeriesMatrix matrix(2, 3);
+  EXPECT_EQ(matrix.SeriesName(0), "series0");
+  EXPECT_FALSE(matrix.SetSeriesNames({"only-one"}).ok());
+  ASSERT_TRUE(matrix.SetSeriesNames({"alpha", "beta"}).ok());
+  EXPECT_EQ(matrix.SeriesName(1), "beta");
+}
+
+TEST(TimeSeriesMatrixTest, SliceColumns) {
+  TimeSeriesMatrix matrix(2, 6);
+  for (int64_t t = 0; t < 6; ++t) {
+    matrix.Set(0, t, static_cast<double>(t));
+    matrix.Set(1, t, static_cast<double>(10 * t));
+  }
+  const auto slice = matrix.SliceColumns(2, 3);
+  ASSERT_TRUE(slice.ok());
+  EXPECT_EQ(slice->length(), 3);
+  EXPECT_DOUBLE_EQ(slice->Get(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(slice->Get(1, 2), 40.0);
+  EXPECT_FALSE(matrix.SliceColumns(4, 5).ok());
+  EXPECT_FALSE(matrix.SliceColumns(-1, 2).ok());
+}
+
+TEST(TimeSeriesMatrixTest, SelectSeries) {
+  TimeSeriesMatrix matrix(3, 2);
+  matrix.Set(2, 0, 7.0);
+  ASSERT_TRUE(matrix.SetSeriesNames({"a", "b", "c"}).ok());
+  const auto selected = matrix.SelectSeries({2, 0});
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected->num_series(), 2);
+  EXPECT_DOUBLE_EQ(selected->Get(0, 0), 7.0);
+  EXPECT_EQ(selected->SeriesName(0), "c");
+  EXPECT_FALSE(matrix.SelectSeries({3}).ok());
+}
+
+TEST(TimeSeriesMatrixTest, MissingValues) {
+  TimeSeriesMatrix matrix(1, 4);
+  EXPECT_EQ(matrix.CountMissing(), 0);
+  matrix.Set(0, 1, MissingValue());
+  EXPECT_TRUE(IsMissing(matrix.Get(0, 1)));
+  EXPECT_FALSE(IsMissing(matrix.Get(0, 0)));
+  EXPECT_EQ(matrix.CountMissing(), 1);
+}
+
+// ------------------------------------------------------------------- CSV --
+
+TEST(CsvTest, RowLayoutRoundTrip) {
+  TempDir dir;
+  TimeSeriesMatrix matrix(2, 4);
+  for (int64_t t = 0; t < 4; ++t) {
+    matrix.Set(0, t, static_cast<double>(t) + 0.5);
+    matrix.Set(1, t, static_cast<double>(-t));
+  }
+  matrix.Set(1, 2, MissingValue());
+  ASSERT_TRUE(matrix.SetSeriesNames({"north", "south"}).ok());
+  const std::string path = dir.File("round.csv");
+  ASSERT_TRUE(WriteCsv(matrix, path).ok());
+
+  const auto loaded = LoadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_series(), 2);
+  EXPECT_EQ(loaded->length(), 4);
+  EXPECT_EQ(loaded->SeriesName(0), "north");
+  EXPECT_DOUBLE_EQ(loaded->Get(0, 3), 3.5);
+  EXPECT_TRUE(IsMissing(loaded->Get(1, 2)));
+}
+
+TEST(CsvTest, ColumnLayoutWithHeader) {
+  TempDir dir;
+  const std::string path = dir.File("columns.csv");
+  {
+    std::ofstream out(path);
+    out << "s1,s2\n1.0,4.0\n2.0,5.0\n3.0,6.0\n";
+  }
+  CsvOptions options;
+  options.has_header = true;
+  options.series_in_rows = false;
+  const auto loaded = LoadCsv(path, options);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_series(), 2);
+  EXPECT_EQ(loaded->length(), 3);
+  EXPECT_EQ(loaded->SeriesName(1), "s2");
+  EXPECT_DOUBLE_EQ(loaded->Get(1, 2), 6.0);
+}
+
+TEST(CsvTest, Errors) {
+  TempDir dir;
+  EXPECT_FALSE(LoadCsv(dir.File("nonexistent.csv")).ok());
+
+  const std::string ragged = dir.File("ragged.csv");
+  {
+    std::ofstream out(ragged);
+    out << "1,2,3\n4,5\n";
+  }
+  EXPECT_FALSE(LoadCsv(ragged).ok());
+
+  const std::string empty = dir.File("empty.csv");
+  { std::ofstream out(empty); }
+  EXPECT_FALSE(LoadCsv(empty).ok());
+}
+
+// -------------------------------------------------------------- Resample --
+
+TEST(InterpolateTest, FillsInteriorGapsLinearly) {
+  TimeSeriesMatrix matrix(1, 5);
+  matrix.Set(0, 0, 0.0);
+  matrix.Set(0, 1, MissingValue());
+  matrix.Set(0, 2, MissingValue());
+  matrix.Set(0, 3, 3.0);
+  matrix.Set(0, 4, 4.0);
+  ASSERT_TRUE(InterpolateMissing(&matrix).ok());
+  EXPECT_DOUBLE_EQ(matrix.Get(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(matrix.Get(0, 2), 2.0);
+  EXPECT_EQ(matrix.CountMissing(), 0);
+}
+
+TEST(InterpolateTest, ExtendsEdges) {
+  TimeSeriesMatrix matrix(1, 4);
+  matrix.Set(0, 0, MissingValue());
+  matrix.Set(0, 1, 5.0);
+  matrix.Set(0, 2, 7.0);
+  matrix.Set(0, 3, MissingValue());
+  ASSERT_TRUE(InterpolateMissing(&matrix).ok());
+  EXPECT_DOUBLE_EQ(matrix.Get(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(matrix.Get(0, 3), 7.0);
+}
+
+TEST(InterpolateTest, AllMissingSeriesIsError) {
+  TimeSeriesMatrix matrix(1, 3);
+  for (int64_t t = 0; t < 3; ++t) {
+    matrix.Set(0, t, MissingValue());
+  }
+  EXPECT_FALSE(InterpolateMissing(&matrix).ok());
+}
+
+TEST(AggregateTest, MeanBuckets) {
+  TimeSeriesMatrix matrix(1, 7);
+  for (int64_t t = 0; t < 7; ++t) {
+    matrix.Set(0, t, static_cast<double>(t));
+  }
+  const auto aggregated = AggregateMean(matrix, 3);
+  ASSERT_TRUE(aggregated.ok());
+  EXPECT_EQ(aggregated->length(), 2);  // tail dropped
+  EXPECT_DOUBLE_EQ(aggregated->Get(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(aggregated->Get(0, 1), 4.0);
+}
+
+TEST(AggregateTest, NanAwareBuckets) {
+  TimeSeriesMatrix matrix(1, 4);
+  matrix.Set(0, 0, 2.0);
+  matrix.Set(0, 1, MissingValue());
+  matrix.Set(0, 2, MissingValue());
+  matrix.Set(0, 3, MissingValue());
+  const auto aggregated = AggregateMean(matrix, 2);
+  ASSERT_TRUE(aggregated.ok());
+  EXPECT_DOUBLE_EQ(aggregated->Get(0, 0), 2.0);     // single observed value
+  EXPECT_TRUE(IsMissing(aggregated->Get(0, 1)));    // all-missing bucket
+}
+
+TEST(AggregateTest, Errors) {
+  TimeSeriesMatrix matrix(1, 4);
+  EXPECT_FALSE(AggregateMean(matrix, 0).ok());
+  EXPECT_FALSE(AggregateMean(matrix, 5).ok());
+}
+
+TEST(AlignOffsetsTest, ShiftsToCommonRange) {
+  // Series 0 starts at t=0, series 1 at t=2 (its column 0 is instant 2).
+  TimeSeriesMatrix matrix(2, 6);
+  for (int64_t t = 0; t < 6; ++t) {
+    matrix.Set(0, t, static_cast<double>(t));        // value = instant
+    matrix.Set(1, t, static_cast<double>(t) + 2.0);  // value = instant
+  }
+  const auto aligned = AlignOffsets(matrix, {0, 2});
+  ASSERT_TRUE(aligned.ok());
+  EXPECT_EQ(aligned->length(), 4);  // overlap [2, 6)
+  // After alignment both rows should report the same instants.
+  for (int64_t t = 0; t < 4; ++t) {
+    EXPECT_DOUBLE_EQ(aligned->Get(0, t), aligned->Get(1, t));
+  }
+}
+
+TEST(AlignOffsetsTest, Errors) {
+  TimeSeriesMatrix matrix(2, 4);
+  EXPECT_FALSE(AlignOffsets(matrix, {0}).ok());
+  EXPECT_FALSE(AlignOffsets(matrix, {0, 100}).ok());  // no overlap
+}
+
+TEST(DropSparseTest, DropsBeyondThreshold) {
+  TimeSeriesMatrix matrix(3, 4);
+  matrix.Set(1, 0, MissingValue());
+  matrix.Set(1, 1, MissingValue());
+  matrix.Set(1, 2, MissingValue());
+  matrix.Set(2, 0, MissingValue());
+  const auto kept = DropSparseSeries(matrix, 0.3);
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(kept->num_series(), 2);  // series 1 (75% missing) dropped
+
+  // Dropping everything is an error.
+  TimeSeriesMatrix all_missing(1, 2);
+  all_missing.Set(0, 0, MissingValue());
+  all_missing.Set(0, 1, MissingValue());
+  EXPECT_FALSE(DropSparseSeries(all_missing, 0.5).ok());
+}
+
+}  // namespace
+}  // namespace dangoron

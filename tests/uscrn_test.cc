@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "common/rng.h"
+#include "ts/resample.h"
+#include "ts/uscrn.h"
+
+namespace dangoron {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("dangoron_uscrn_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  std::string File(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  std::filesystem::path path_;
+};
+
+// ------------------------------------------------------------ Civil dates --
+
+TEST(CivilDateTest, EpochAndKnownDates) {
+  EXPECT_EQ(DaysFromCivil(1970, 1, 1), 0);
+  EXPECT_EQ(DaysFromCivil(1970, 1, 2), 1);
+  EXPECT_EQ(DaysFromCivil(1969, 12, 31), -1);
+  EXPECT_EQ(DaysFromCivil(2000, 3, 1), 11017);
+  EXPECT_EQ(DaysFromCivil(2020, 1, 1), 18262);
+}
+
+TEST(CivilDateTest, RoundTripAcrossLeapYears) {
+  for (int64_t days = -1000; days <= 30000; days += 13) {
+    int year = 0;
+    int month = 0;
+    int day = 0;
+    CivilFromDays(days, &year, &month, &day);
+    EXPECT_EQ(DaysFromCivil(year, month, day), days) << "days=" << days;
+  }
+}
+
+TEST(CivilDateTest, LeapDayHandling) {
+  const int64_t leap = DaysFromCivil(2020, 2, 29);
+  int year = 0;
+  int month = 0;
+  int day = 0;
+  CivilFromDays(leap, &year, &month, &day);
+  EXPECT_EQ(year, 2020);
+  EXPECT_EQ(month, 2);
+  EXPECT_EQ(day, 29);
+  // Non-leap century year 1900: Feb 28 + 1 day = Mar 1.
+  CivilFromDays(DaysFromCivil(1900, 2, 28) + 1, &year, &month, &day);
+  EXPECT_EQ(month, 3);
+  EXPECT_EQ(day, 1);
+}
+
+// ----------------------------------------------------------- Write / read --
+
+TEST(UscrnRoundTripTest, WriterOutputParsesBack) {
+  TempDir dir;
+  Rng rng(1);
+  std::vector<double> values(48);
+  for (double& v : values) {
+    v = rng.NextUniform(-10.0, 35.0);
+  }
+  values[7] = MissingValue();  // a dropout hour
+
+  const std::string path = dir.File("station.txt");
+  const int64_t start_hour = DaysFromCivil(2020, 1, 1) * 24;
+  ASSERT_TRUE(WriteUscrnFile(path, 23907, -98.07, 34.95, start_hour, values)
+                  .ok());
+
+  const auto observations = ReadUscrnFile(path);
+  ASSERT_TRUE(observations.ok());
+  ASSERT_EQ(observations->size(), values.size());
+  for (size_t t = 0; t < values.size(); ++t) {
+    const UscrnObservation& obs = (*observations)[t];
+    EXPECT_EQ(obs.wbanno, 23907);
+    EXPECT_EQ(obs.utc_hour, start_hour + static_cast<int64_t>(t));
+    EXPECT_NEAR(obs.longitude, -98.07, 1e-9);
+    EXPECT_NEAR(obs.latitude, 34.95, 1e-9);
+    if (IsMissing(values[t])) {
+      EXPECT_TRUE(IsMissing(obs.value));
+    } else {
+      // Writer rounds to one decimal, the product's precision.
+      EXPECT_NEAR(obs.value, values[t], 0.051);
+    }
+  }
+}
+
+TEST(UscrnRoundTripTest, RowsHaveFullFieldCount) {
+  TempDir dir;
+  const std::string path = dir.File("fields.txt");
+  const std::vector<double> values = {20.0, 21.0};
+  ASSERT_TRUE(WriteUscrnFile(path, 1, 0.0, 0.0, 0, values).ok());
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    int fields = 0;
+    bool in_field = false;
+    for (const char c : line) {
+      if (c != ' ' && !in_field) {
+        ++fields;
+        in_field = true;
+      } else if (c == ' ') {
+        in_field = false;
+      }
+    }
+    EXPECT_EQ(fields, kUscrnFieldCount);
+  }
+}
+
+TEST(UscrnReadTest, MalformedRowsAreDataLoss) {
+  TempDir dir;
+  const std::string path = dir.File("bad.txt");
+  {
+    std::ofstream out(path);
+    out << "23907 20200101\n";  // far too few fields
+  }
+  const auto result = ReadUscrnFile(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(UscrnReadTest, BadTimestampRejected) {
+  TempDir dir;
+  const std::string path = dir.File("badtime.txt");
+  {
+    std::ofstream out(path);
+    // 38 fields but month 13.
+    out << "23907 20201301 0100";
+    for (int f = 3; f < kUscrnFieldCount; ++f) {
+      out << " 0.0";
+    }
+    out << "\n";
+  }
+  EXPECT_FALSE(ReadUscrnFile(path).ok());
+}
+
+TEST(UscrnReadTest, MissingFileAndEmptyFile) {
+  TempDir dir;
+  EXPECT_FALSE(ReadUscrnFile(dir.File("nope.txt")).ok());
+  const std::string empty = dir.File("empty.txt");
+  { std::ofstream out(empty); }
+  EXPECT_FALSE(ReadUscrnFile(empty).ok());
+}
+
+TEST(UscrnReadTest, SelectableField) {
+  TempDir dir;
+  const std::string path = dir.File("precip.txt");
+  const std::vector<double> values = {1.5, 2.5};
+  ASSERT_TRUE(WriteUscrnFile(path, 5, 0.0, 0.0, 0, values,
+                             UscrnField::kPCalc)
+                  .ok());
+  UscrnReadOptions options;
+  options.field = UscrnField::kPCalc;
+  const auto observations = ReadUscrnFile(path, options);
+  ASSERT_TRUE(observations.ok());
+  EXPECT_NEAR((*observations)[0].value, 1.5, 1e-9);
+  // Reading T_CALC from the same file sees the -9999 placeholder -> NaN.
+  const auto as_temp = ReadUscrnFile(path);
+  ASSERT_TRUE(as_temp.ok());
+  EXPECT_TRUE(IsMissing((*as_temp)[0].value));
+}
+
+// ------------------------------------------------------- Station loading --
+
+TEST(UscrnLoadTest, SynchronizesOverlappingStations) {
+  TempDir dir;
+  Rng rng(2);
+  // Station A covers hours [0, 100), station B covers [40, 140).
+  std::vector<double> a(100);
+  std::vector<double> b(100);
+  for (double& v : a) {
+    v = rng.NextUniform(0.0, 30.0);
+  }
+  for (double& v : b) {
+    v = rng.NextUniform(0.0, 30.0);
+  }
+  const std::string path_a = dir.File("a.txt");
+  const std::string path_b = dir.File("b.txt");
+  ASSERT_TRUE(WriteUscrnFile(path_a, 100, -100, 40, 0, a).ok());
+  ASSERT_TRUE(WriteUscrnFile(path_b, 200, -101, 41, 40, b).ok());
+
+  const auto matrix = LoadUscrnStations({path_a, path_b});
+  ASSERT_TRUE(matrix.ok());
+  EXPECT_EQ(matrix->num_series(), 2);
+  // Overlap is [40, 99] inclusive = 60 hourly slots.
+  EXPECT_EQ(matrix->length(), 60);
+  EXPECT_EQ(matrix->SeriesName(0), "100");
+  EXPECT_EQ(matrix->SeriesName(1), "200");
+  // First column corresponds to absolute hour 40.
+  EXPECT_NEAR(matrix->Get(0, 0), a[40], 0.051);
+  EXPECT_NEAR(matrix->Get(1, 0), b[0], 0.051);
+
+  // The full pipeline: interpolate and verify no missing remain.
+  TimeSeriesMatrix filled = *matrix;
+  ASSERT_TRUE(InterpolateMissing(&filled).ok());
+  EXPECT_EQ(filled.CountMissing(), 0);
+}
+
+TEST(UscrnLoadTest, DisjointStationsFail) {
+  TempDir dir;
+  const std::vector<double> values(10, 20.0);
+  const std::string path_a = dir.File("a.txt");
+  const std::string path_b = dir.File("b.txt");
+  ASSERT_TRUE(WriteUscrnFile(path_a, 1, 0, 0, 0, values).ok());
+  ASSERT_TRUE(WriteUscrnFile(path_b, 2, 0, 0, 1000, values).ok());
+  EXPECT_FALSE(LoadUscrnStations({path_a, path_b}).ok());
+  EXPECT_FALSE(LoadUscrnStations({}).ok());
+}
+
+}  // namespace
+}  // namespace dangoron
