@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/math_utils.h"
+#include "corr/block_kernel.h"
 
 namespace dangoron {
 
@@ -31,8 +32,7 @@ double PearsonNaive(std::span<const double> x, std::span<const double> y) {
     var_x += dx * dx;
     var_y += dy * dy;
   }
-  constexpr double kEps = 1e-12;
-  if (var_x <= kEps || var_y <= kEps) {
+  if (var_x <= kMomentVarianceEps || var_y <= kMomentVarianceEps) {
     return 0.0;
   }
   return ClampCorrelation(cov / std::sqrt(var_x * var_y));
@@ -43,8 +43,7 @@ double PearsonFromMoments(double n, double sx, double sy, double sxx,
   const double cov = sxy - sx * sy / n;
   const double var_x = sxx - sx * sx / n;
   const double var_y = syy - sy * sy / n;
-  constexpr double kEps = 1e-12;
-  if (var_x <= kEps || var_y <= kEps) {
+  if (var_x <= kMomentVarianceEps || var_y <= kMomentVarianceEps) {
     return 0.0;
   }
   return ClampCorrelation(cov / std::sqrt(var_x * var_y));
@@ -81,8 +80,7 @@ double CombinePearsonEq1(int64_t b, std::span<const BasicWindowStats> x,
     denom_x += bw * (x[i].stddev * x[i].stddev + dx * dx);
     denom_y += bw * (y[i].stddev * y[i].stddev + dy * dy);
   }
-  constexpr double kEps = 1e-12;
-  if (denom_x <= kEps || denom_y <= kEps) {
+  if (denom_x <= kMomentVarianceEps || denom_y <= kMomentVarianceEps) {
     return 0.0;
   }
   return ClampCorrelation(numerator / (std::sqrt(denom_x) * std::sqrt(denom_y)));
@@ -188,20 +186,49 @@ Result<std::vector<double>> ExactCorrelationMatrix(
   }
   const int64_t n = data.num_series();
   std::vector<double> matrix(static_cast<size_t>(n * n), 0.0);
-  auto fill_row = [&](int64_t i) {
-    matrix[static_cast<size_t>(i * n + i)] = 1.0;
-    std::span<const double> xi = data.RowRange(i, start, window);
-    for (int64_t j = i + 1; j < n; ++j) {
-      const double c = PearsonNaive(xi, data.RowRange(j, start, window));
-      matrix[static_cast<size_t>(i * n + j)] = c;
-      matrix[static_cast<size_t>(j * n + i)] = c;
+
+  // z-normalize every series over the window into a time-major buffer (two
+  // pass, like PearsonNaive), so each entry is a plain dot product computed
+  // by the blocked Gram kernel. Constant series get all-zero rows: their
+  // off-diagonal correlations are 0, matching PearsonNaive's guard.
+  std::vector<double> zt(static_cast<size_t>(window * n), 0.0);
+  auto normalize_series = [&](int64_t s) {
+    std::span<const double> x = data.RowRange(s, start, window);
+    double mean = 0.0;
+    for (const double v : x) {
+      mean += v;
+    }
+    mean /= static_cast<double>(window);
+    double centered_ss = 0.0;
+    for (const double v : x) {
+      const double d = v - mean;
+      centered_ss += d * d;
+    }
+    if (centered_ss <= kMomentVarianceEps) {
+      return;  // z row stays zero
+    }
+    const double scale = 1.0 / std::sqrt(centered_ss);
+    double* z = zt.data() + static_cast<size_t>(s);
+    for (int64_t t = 0; t < window; ++t) {
+      z[t * n] = (x[static_cast<size_t>(t)] - mean) * scale;
     }
   };
   if (pool != nullptr && pool->num_threads() > 1) {
-    pool->ParallelFor(n, fill_row);
+    pool->ParallelFor(n, normalize_series);
   } else {
-    for (int64_t i = 0; i < n; ++i) {
-      fill_row(i);
+    for (int64_t s = 0; s < n; ++s) {
+      normalize_series(s);
+    }
+  }
+
+  GramUpperTriangle(zt.data(), n, 0, window, matrix.data(), pool);
+
+  for (int64_t i = 0; i < n; ++i) {
+    matrix[static_cast<size_t>(i * n + i)] = 1.0;
+    for (int64_t j = i + 1; j < n; ++j) {
+      const double c = ClampCorrelation(matrix[static_cast<size_t>(i * n + j)]);
+      matrix[static_cast<size_t>(i * n + j)] = c;
+      matrix[static_cast<size_t>(j * n + i)] = c;
     }
   }
   return matrix;

@@ -76,8 +76,10 @@ class SlidingPairMoments {
 
 /// Dense exact correlation matrix over columns [start, start + window) of
 /// `data`; entry (i, j) is Pearson of series i and j (diagonal = 1).
-/// The reference for accuracy evaluation; O(N^2 * window), parallelized over
-/// rows when a pool is given.
+/// The reference for accuracy evaluation. Computed as a blocked Gram matrix
+/// of window-z-normalized series (see corr/block_kernel.h), parallelized
+/// over row tiles when a pool is given; results are deterministic for any
+/// thread count and match PearsonNaive within roundoff.
 Result<std::vector<double>> ExactCorrelationMatrix(
     const TimeSeriesMatrix& data, int64_t start, int64_t window,
     ThreadPool* pool = nullptr);

@@ -1,9 +1,11 @@
 #include "engine/dangoron_engine.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.h"
 #include "common/math_utils.h"
+#include "corr/block_kernel.h"
 
 namespace dangoron {
 
@@ -68,9 +70,39 @@ Result<CorrelationMatrixSeries> DangoronEngine::Query(
         " but only ", index_->num_basic_windows(), " are indexed");
   }
 
+  // Hoisted per-(window, series) range moments, window-major [k * n + s]:
+  // the query-range sum and the reciprocal of the centered root sum of
+  // squares (0 for a degenerate series, making every correlation with it
+  // exactly 0, the PearsonFromMoments guard). Computed once so neither the
+  // pivot precomputation nor the pair loop ever divides or square-roots per
+  // cell. Parallel over windows; identical for any thread count.
+  const double window_count = static_cast<double>(query.window);
+  std::vector<double> range_sum(static_cast<size_t>(num_windows * n));
+  std::vector<double> range_inv_css(static_cast<size_t>(num_windows * n));
+  auto fill_window_moments = [&](int64_t k) {
+    const int64_t w0 = base_w0 + k * m;
+    double* sums = range_sum.data() + k * n;
+    double* invs = range_inv_css.data() + k * n;
+    for (int64_t s = 0; s < n; ++s) {
+      const double sum = index_->SumRange(s, w0, w0 + ns);
+      const double css =
+          index_->SumSqRange(s, w0, w0 + ns) - sum * sum / window_count;
+      sums[s] = sum;
+      invs[s] = css > kMomentVarianceEps ? 1.0 / std::sqrt(css) : 0.0;
+    }
+  };
+  if (pool_ != nullptr && num_windows > 1) {
+    pool_->ParallelFor(num_windows, fill_window_moments);
+  } else {
+    for (int64_t k = 0; k < num_windows; ++k) {
+      fill_window_moments(k);
+    }
+  }
+
   // Pivot correlations for horizontal pruning: pivot_corrs[k * P * n + p * n
   // + s] = corr(pivot_p, series_s) in window k, computed exactly in O(1)
-  // per cell from the pair sketches.
+  // per cell from the pair sketches and the hoisted moments, parallel over
+  // windows.
   std::vector<double> pivot_corrs;
   if (options_.horizontal_pruning) {
     const int64_t P = options_.num_pivots;
@@ -79,22 +111,34 @@ Result<CorrelationMatrixSeries> DangoronEngine::Query(
       pivots_.push_back(p * n / P);  // evenly spaced, deterministic
     }
     pivot_corrs.assign(static_cast<size_t>(num_windows * P * n), 1.0);
-    for (int64_t k = 0; k < num_windows; ++k) {
+    auto fill_window_pivots = [&](int64_t k) {
       const int64_t w0 = base_w0 + k * m;
+      const double* sums = range_sum.data() + k * n;
+      const double* invs = range_inv_css.data() + k * n;
       for (int64_t p = 0; p < P; ++p) {
         const int64_t z = pivots_[static_cast<size_t>(p)];
+        double* out = pivot_corrs.data() + (k * P + p) * n;
+        const double sum_z = sums[z];
+        const double inv_z = invs[z];
         for (int64_t s = 0; s < n; ++s) {
           if (s == z) {
             continue;  // stays 1.0
           }
           const int64_t pair = BasicWindowIndex::PairId(z, s, n);
-          pivot_corrs[static_cast<size_t>((k * P + p) * n + s)] =
-              index_->PairRangeCorrelationIJ(pair, std::min(z, s),
-                                             std::max(z, s), w0, w0 + ns);
-          ++stats_.pivot_evaluations;
+          const double cov = index_->DotRange(pair, w0, w0 + ns) -
+                             sum_z * sums[s] / window_count;
+          out[s] = ClampCorrelation(cov * inv_z * invs[s]);
         }
       }
+    };
+    if (pool_ != nullptr && num_windows > 1) {
+      pool_->ParallelFor(num_windows, fill_window_pivots);
+    } else {
+      for (int64_t k = 0; k < num_windows; ++k) {
+        fill_window_pivots(k);
+      }
     }
+    stats_.pivot_evaluations += num_windows * P * (n - 1);
   } else {
     pivots_.clear();
   }
@@ -119,8 +163,9 @@ Result<CorrelationMatrixSeries> DangoronEngine::Query(
     const int64_t pair_end = std::min(num_pairs, pair_begin + block_size);
     auto& local = block_windows[static_cast<size_t>(block)];
     local.assign(static_cast<size_t>(num_windows), {});
-    ProcessPairBlock(query, pair_begin, pair_end, base_w0, ns, m, pivot_corrs,
-                     &local, &block_stats[static_cast<size_t>(block)]);
+    ProcessPairBlock(query, pair_begin, pair_end, base_w0, ns, m, range_sum,
+                     range_inv_css, pivot_corrs, &local,
+                     &block_stats[static_cast<size_t>(block)]);
   };
 
   if (pool_ != nullptr && num_blocks > 1) {
@@ -165,6 +210,8 @@ Result<CorrelationMatrixSeries> DangoronEngine::Query(
 void DangoronEngine::ProcessPairBlock(
     const SlidingQuery& query, int64_t pair_begin, int64_t pair_end,
     int64_t base_w0, int64_t ns, int64_t m,
+    const std::vector<double>& range_sum,
+    const std::vector<double>& range_inv_css,
     const std::vector<double>& pivot_corrs,
     std::vector<std::vector<Edge>>* local_windows,
     EngineStats* local_stats) const {
@@ -172,6 +219,7 @@ void DangoronEngine::ProcessPairBlock(
   const int64_t n = index.num_series();
   const int64_t num_windows = query.NumWindows();
   const double beta = query.threshold;
+  const double inv_count = 1.0 / static_cast<double>(query.window);
   const TemporalBound bound(&index, ns, m);
   const int64_t P = options_.horizontal_pruning ? options_.num_pivots : 0;
 
@@ -192,12 +240,9 @@ void DangoronEngine::ProcessPairBlock(
         // the whole interval inside (-beta, beta).
         double upper = 1.0;
         double lower = -1.0;
-        for (int64_t p = 0; p < P; ++p) {
-          const double c_iz =
-              pivot_corrs[static_cast<size_t>((k * P + p) * n + i)];
-          const double c_jz =
-              pivot_corrs[static_cast<size_t>((k * P + p) * n + j)];
-          const HorizontalBound hb = HorizontalBoundFromPivot(c_iz, c_jz);
+        const double* pc = pivot_corrs.data() + k * P * n;
+        for (int64_t p = 0; p < P; ++p, pc += n) {
+          const HorizontalBound hb = HorizontalBoundFromPivot(pc[i], pc[j]);
           upper = std::min(upper, hb.upper);
           lower = std::max(lower, hb.lower);
           if (upper < beta && (!query.absolute || lower > -beta)) {
@@ -211,8 +256,14 @@ void DangoronEngine::ProcessPairBlock(
         }
       }
 
-      const double corr =
-          index.PairRangeCorrelationIJ(pair, i, j, w0, w0 + ns);
+      // O(1) exact range correlation from the dot prefix and the hoisted
+      // moments: no divide or sqrt per cell.
+      const double* sums = range_sum.data() + k * n;
+      const double cov = index.DotRange(pair, w0, w0 + ns) -
+                         sums[i] * sums[j] * inv_count;
+      const double corr = ClampCorrelation(
+          cov * range_inv_css[static_cast<size_t>(k * n + i)] *
+          range_inv_css[static_cast<size_t>(k * n + j)]);
       ++local_stats->cells_evaluated;
 
       int64_t max_steps = num_windows - 1 - k;

@@ -71,9 +71,16 @@ class DangoronEngine : public CorrelationEngine {
  private:
   // Processes pairs [pair_begin, pair_end) sequentially, filling
   // `local_windows` (one edge vector per window) and `local_stats`.
+  // `range_sum` / `range_inv_css` are the hoisted per-(window, series) query
+  // range sums and reciprocal centered root-sum-of-squares (0 for degenerate
+  // series), window-major [k * n + s]: the per-cell correlation is then two
+  // prefix loads, one fused subtract, and two multiplies — no divide or
+  // sqrt on the hot path.
   void ProcessPairBlock(const SlidingQuery& query, int64_t pair_begin,
                         int64_t pair_end, int64_t base_w0, int64_t ns,
-                        int64_t m, const std::vector<double>& pivot_corrs,
+                        int64_t m, const std::vector<double>& range_sum,
+                        const std::vector<double>& range_inv_css,
+                        const std::vector<double>& pivot_corrs,
                         std::vector<std::vector<Edge>>* local_windows,
                         EngineStats* local_stats) const;
 

@@ -34,12 +34,14 @@ Result<CorrelationMatrixSeries> NaiveEngine::Query(const SlidingQuery& query) {
   for (int64_t k = 0; k < num_windows; ++k) {
     const int64_t window_start = query.start + k * query.step;
     std::vector<Edge>* edges = series.MutableWindow(k);
+    // Every pair of the window in one blocked z-normalized Gram pass; the
+    // brute force stays O(N^2 * l) per window but runs at kernel speed.
+    ASSIGN_OR_RETURN(std::vector<double> matrix,
+                     ExactCorrelationMatrix(*data_, window_start,
+                                            query.window));
     for (int64_t i = 0; i < n; ++i) {
-      std::span<const double> xi =
-          data_->RowRange(i, window_start, query.window);
       for (int64_t j = i + 1; j < n; ++j) {
-        const double c =
-            PearsonNaive(xi, data_->RowRange(j, window_start, query.window));
+        const double c = matrix[static_cast<size_t>(i * n + j)];
         ++stats_.cells_evaluated;
         if (query.IsEdge(c)) {
           edges->push_back(Edge{static_cast<int32_t>(i),

@@ -29,8 +29,13 @@ Status ParCorrEngine::Prepare(const TimeSeriesMatrix& data) {
   const int64_t d = options_.sketch_dim;
   Rng rng(options_.seed);
   signs_.resize(static_cast<size_t>(d * length));
-  for (float& sign : signs_) {
-    sign = static_cast<float>(rng.NextSign());
+  // Draw in (q, t) order — the same stream position per (q, t) as the
+  // historical q-major layout — but store time-major for the update loop.
+  for (int64_t q = 0; q < d; ++q) {
+    for (int64_t t = 0; t < length; ++t) {
+      signs_[static_cast<size_t>(t * d + q)] =
+          static_cast<float>(rng.NextSign());
+    }
   }
 
   const int64_t n = data.num_series();
@@ -81,9 +86,9 @@ Result<CorrelationMatrixSeries> ParCorrEngine::Query(
       double* sketch = &sketches[static_cast<size_t>(s * d)];
       for (int64_t t = t0; t < t1; ++t) {
         const double v = coefficient * row[static_cast<size_t>(t)];
-        const float* sign_col = &signs_[static_cast<size_t>(t)];
+        const float* sign_col = &signs_[static_cast<size_t>(t * d)];
         for (int64_t q = 0; q < d; ++q) {
-          sketch[q] += static_cast<double>(sign_col[q * length]) * v;
+          sketch[q] += static_cast<double>(sign_col[q]) * v;
         }
       }
     }

@@ -50,7 +50,10 @@ class ParCorrEngine : public CorrelationEngine {
  private:
   ParCorrOptions options_;
   const TimeSeriesMatrix* data_ = nullptr;
-  /// Rademacher signs, d x L, laid out sign_[q * L + t].
+  /// Rademacher signs, time-major: signs_[t * d + q]. One time step's d
+  /// signs are contiguous, so the incremental sketch update's inner loop
+  /// over q is a unit-stride FMA stream. (The (q, t) -> sign mapping is
+  /// generation-order stable, so estimates are layout-independent.)
   std::vector<float> signs_;
   /// Per-series prefix sums over raw columns: sum and sum-of-squares,
   /// (L + 1) entries per series.

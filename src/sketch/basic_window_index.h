@@ -2,10 +2,12 @@
 #define DANGORON_SKETCH_BASIC_WINDOW_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "corr/block_kernel.h"
 #include "ts/time_series_matrix.h"
 
 namespace dangoron {
@@ -20,6 +22,13 @@ struct BasicWindowIndexOptions {
   /// are built: O(N^2 * nb) memory. Engines that only need per-series
   /// statistics can turn this off.
   bool build_pair_sketches = true;
+  /// Build the pair sketches with the blocked z-normalized Gram kernel
+  /// (default): each basic window's N x N correlation tile is computed as a
+  /// cache-blocked rank-b update over per-window z-normalized data. Turn off
+  /// to use the seed's per-pair scalar loop — the equivalence oracle of the
+  /// kernel tests and the baseline of bench_microkernels; both paths agree
+  /// within 1e-9 and each is bit-deterministic across thread counts.
+  bool use_blocked_kernel = true;
 };
 
 /// The basic-window sketch of the paper (Section 3): per-series and per-pair
@@ -41,6 +50,18 @@ class BasicWindowIndex {
       const TimeSeriesMatrix& data, const BasicWindowIndexOptions& options,
       ThreadPool* pool = nullptr);
 
+  /// Returns sketch storage to the process-wide recycler (see .cc): a
+  /// rebuild-heavy workload re-faulting hundreds of MB of freshly mmapped
+  /// pages per build would otherwise spend more time in the kernel's page
+  /// zeroing than in the kernels.
+  ~BasicWindowIndex();
+  BasicWindowIndex(BasicWindowIndex&&) noexcept = default;
+  /// Recycles the assignee's previous sketch storage before taking over
+  /// `other`'s — a defaulted move would free it through plain unique_ptr
+  /// deletion, silently bypassing the recycler in the engine re-Prepare
+  /// loop it exists for.
+  BasicWindowIndex& operator=(BasicWindowIndex&& other) noexcept;
+
   int64_t basic_window() const { return basic_window_; }
   int64_t num_basic_windows() const { return num_basic_windows_; }
   int64_t num_series() const { return num_series_; }
@@ -51,7 +72,7 @@ class BasicWindowIndex {
   /// Canonical id of pair (i, j), i != j, in [0, N*(N-1)/2).
   static int64_t PairId(int64_t i, int64_t j, int64_t num_series);
 
-  /// Inverse of PairId.
+  /// Inverse of PairId, in O(1) via the closed-form triangular root.
   static void PairFromId(int64_t pair_id, int64_t num_series, int64_t* i,
                          int64_t* j);
 
@@ -112,11 +133,24 @@ class BasicWindowIndex {
  private:
   BasicWindowIndex() = default;
 
+  /// Blocked build of the pair sketches (see
+  /// BasicWindowIndexOptions::use_blocked_kernel); fills pair_dot_prefix_
+  /// and pair_one_minus_corr_prefix_ from per-window z-normalized panels.
+  void BuildPairSketchesBlocked(const NormalizedPanels& panels,
+                                ThreadPool* pool);
+  /// The seed's scalar per-pair reference build of the same sketches.
+  void BuildPairSketchesScalar(const TimeSeriesMatrix& data, ThreadPool* pool);
+
   size_t Sx(int64_t s, int64_t w) const {
     return static_cast<size_t>(s * (num_basic_windows_ + 1) + w);
   }
+  /// Pair rows are padded: kPairRowPad leading slack doubles put prefix
+  /// slot w = 8k + 1 on a 64-byte boundary (with the 64-byte-aligned base
+  /// and the 8-multiple row stride), so the build's batched 8-window runs
+  /// land as full aligned cache lines eligible for non-temporal stores.
+  static constexpr int64_t kPairRowPad = 7;
   size_t Px(int64_t p, int64_t w) const {
-    return static_cast<size_t>(p * (num_basic_windows_ + 1) + w);
+    return static_cast<size_t>(p * pair_row_stride_ + kPairRowPad + w);
   }
 
   const TimeSeriesMatrix* data_ = nullptr;
@@ -126,11 +160,21 @@ class BasicWindowIndex {
   int64_t num_pairs_ = 0;
   bool has_pair_sketches_ = false;
 
-  // Prefix arrays, one row per series/pair, nb + 1 entries each.
+  // Prefix arrays, one row per series/pair. Series rows have nb + 1
+  // entries; pair rows are padded to pair_row_stride_ (see kPairRowPad).
+  // The pair arrays are allocated *uninitialized* (every slot is written
+  // during the build): at scale they are the dominant allocation, and the
+  // redundant zeroing pass costs a full sweep of memory bandwidth. The
+  // storage members own the memory; the aligned pointers index it.
   std::vector<double> series_sum_prefix_;
   std::vector<double> series_sumsq_prefix_;
-  std::vector<double> pair_dot_prefix_;
-  std::vector<double> pair_one_minus_corr_prefix_;
+  std::unique_ptr<double[]> pair_dot_storage_;
+  std::unique_ptr<double[]> pair_omc_storage_;
+  double* pair_dot_prefix_ = nullptr;
+  double* pair_one_minus_corr_prefix_ = nullptr;
+  int64_t pair_row_stride_ = 0;
+  size_t pair_prefix_size_ = 0;
+  size_t pair_storage_size_ = 0;
 };
 
 }  // namespace dangoron

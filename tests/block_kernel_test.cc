@@ -1,0 +1,338 @@
+#include "corr/block_kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "corr/pearson.h"
+#include "engine/dangoron_engine.h"
+#include "engine/naive_engine.h"
+#include "sketch/basic_window_index.h"
+#include "ts/generators.h"
+
+namespace dangoron {
+namespace {
+
+// Random data with deliberately hostile windows: a dead (constant) sensor, a
+// series that flatlines in some basic windows only, and an exact duplicate
+// pair — every eps-guard and clamp path of the kernels gets exercised.
+TimeSeriesMatrix HostileData(int64_t n, int64_t length, int64_t b,
+                             uint64_t seed) {
+  Rng rng(seed);
+  TimeSeriesMatrix data = GenerateWhiteNoise(n, length, &rng);
+  for (int64_t t = 0; t < length; ++t) {
+    data.Set(0, t, 42.0);                    // dead sensor
+    data.Set(2, t, data.Get(1, t));          // exact duplicate of series 1
+    if ((t / b) % 3 == 1) {
+      data.Set(3, t, -7.5);                  // flatlines every third window
+    }
+  }
+  return data;
+}
+
+TEST(GramAccumulateTileTest, MatchesNaiveDotProducts) {
+  const int64_t n = 7;
+  const int64_t steps = 1200;  // crosses the internal time-chunk boundary
+  Rng rng(11);
+  std::vector<double> zt(static_cast<size_t>(steps * n));
+  for (double& v : zt) {
+    v = rng.NextGaussian();
+  }
+  std::vector<double> full(static_cast<size_t>(n * n), 0.0);
+  GramAccumulateTile(zt.data(), n, 0, steps, 0, n, 0, n,
+                     /*upper_only=*/false, full.data(), n);
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t c = 0; c < n; ++c) {
+      double expected = 0.0;
+      for (int64_t t = 0; t < steps; ++t) {
+        expected += zt[static_cast<size_t>(t * n + r)] *
+                    zt[static_cast<size_t>(t * n + c)];
+      }
+      EXPECT_NEAR(full[static_cast<size_t>(r * n + c)], expected, 1e-9)
+          << "(" << r << ", " << c << ")";
+    }
+  }
+
+  // upper_only leaves the diagonal and lower triangle untouched.
+  std::vector<double> upper(static_cast<size_t>(n * n), -99.0);
+  GramAccumulateTile(zt.data(), n, 0, steps, 0, n, 0, n,
+                     /*upper_only=*/true, upper.data(), n);
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t c = 0; c < n; ++c) {
+      if (c > r) {
+        EXPECT_DOUBLE_EQ(upper[static_cast<size_t>(r * n + c)],
+                         full[static_cast<size_t>(r * n + c)]);
+      } else {
+        EXPECT_EQ(upper[static_cast<size_t>(r * n + c)], -99.0);
+      }
+    }
+  }
+}
+
+TEST(GramAccumulateTileTest, DisjointTimeRangesCompose) {
+  const int64_t n = 5;
+  const int64_t steps = 700;
+  Rng rng(13);
+  std::vector<double> zt(static_cast<size_t>(steps * n));
+  for (double& v : zt) {
+    v = rng.NextGaussian();
+  }
+  std::vector<double> whole(static_cast<size_t>(n * n), 0.0);
+  GramAccumulateTile(zt.data(), n, 0, steps, 0, n, 0, n, false, whole.data(),
+                     n);
+  std::vector<double> pieces(static_cast<size_t>(n * n), 0.0);
+  GramAccumulateTile(zt.data(), n, 0, 300, 0, n, 0, n, false, pieces.data(),
+                     n, /*accumulate=*/true);
+  GramAccumulateTile(zt.data(), n, 300, steps, 0, n, 0, n, false,
+                     pieces.data(), n, /*accumulate=*/true);
+  for (size_t v = 0; v < whole.size(); ++v) {
+    EXPECT_NEAR(pieces[v], whole[v], 1e-9);
+  }
+}
+
+TEST(NormalizedPanelsTest, MatchesWindowStatsAndZeroesDegenerates) {
+  const int64_t n = 61;  // not a multiple of kCorrTile: real padding
+  const int64_t b = 16;
+  const int64_t nb = 7;
+  TimeSeriesMatrix data = HostileData(n, nb * b, b, 17);
+  const NormalizedPanels panels = BuildNormalizedPanels(data, b);
+  ASSERT_EQ(panels.num_windows, nb);
+  ASSERT_EQ(panels.num_tiles, (n + kCorrTile - 1) / kCorrTile);
+
+  for (int64_t s = 0; s < n; ++s) {
+    const auto stats = ComputeBasicWindowStats(data.Row(s), b);
+    const int64_t tile = s / kCorrTile;
+    const int64_t sp = s % kCorrTile;
+    for (int64_t w = 0; w < nb; ++w) {
+      const double mean = panels.mean[static_cast<size_t>(w * n + s)];
+      const double sd = panels.stddev[static_cast<size_t>(w * n + s)];
+      EXPECT_NEAR(mean, stats[static_cast<size_t>(w)].mean, 1e-10);
+      EXPECT_NEAR(sd, stats[static_cast<size_t>(w)].stddev, 1e-10);
+      const double* panel = panels.Panel(w, tile);
+      double sum = 0.0;
+      double sumsq = 0.0;
+      for (int64_t t = 0; t < b; ++t) {
+        const double z = panel[t * kCorrTile + sp];
+        sum += z;
+        sumsq += z * z;
+      }
+      if (sd == 0.0) {
+        // Degenerate window: the z row must be exactly zero.
+        EXPECT_EQ(sum, 0.0) << "s=" << s << " w=" << w;
+        EXPECT_EQ(sumsq, 0.0);
+      } else {
+        EXPECT_NEAR(sum, 0.0, 1e-9);
+        EXPECT_NEAR(sumsq, 1.0, 1e-9);  // unit centered sum of squares
+      }
+    }
+  }
+
+  // Padding columns past num_series stay exactly zero.
+  const int64_t last_tile = panels.num_tiles - 1;
+  for (int64_t w = 0; w < nb; ++w) {
+    const double* panel = panels.Panel(w, last_tile);
+    for (int64_t t = 0; t < b; ++t) {
+      for (int64_t sp = n - last_tile * kCorrTile; sp < kCorrTile; ++sp) {
+        EXPECT_EQ(panel[t * kCorrTile + sp], 0.0) << "w=" << w << " t=" << t;
+      }
+    }
+  }
+
+  // Parallel build is bit-identical.
+  ThreadPool pool(4);
+  const NormalizedPanels parallel = BuildNormalizedPanels(data, b, &pool);
+  for (size_t v = 0; v < panels.values.size(); ++v) {
+    EXPECT_EQ(panels.values[v], parallel.values[v]);
+  }
+}
+
+// The core equivalence claim of the blocked build: identical sketch
+// semantics as the scalar reference path, and per-window correlations equal
+// to the two-pass PearsonNaive oracle — including eps-guarded windows.
+TEST(BlockedIndexBuildTest, MatchesScalarPathAndPearsonNaive) {
+  const int64_t n = 9;
+  const int64_t b = 24;
+  const int64_t nb = 12;
+  TimeSeriesMatrix data = HostileData(n, nb * b, b, 23);
+
+  BasicWindowIndexOptions blocked;
+  blocked.basic_window = b;
+  BasicWindowIndexOptions scalar = blocked;
+  scalar.use_blocked_kernel = false;
+
+  const auto blocked_index = BasicWindowIndex::Build(data, blocked);
+  const auto scalar_index = BasicWindowIndex::Build(data, scalar);
+  ASSERT_TRUE(blocked_index.ok());
+  ASSERT_TRUE(scalar_index.ok());
+
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      const int64_t p = BasicWindowIndex::PairId(i, j, n);
+      const auto oracle =
+          ComputeBasicWindowCorrelations(data.Row(i), data.Row(j), b);
+      for (int64_t w = 0; w < nb; ++w) {
+        EXPECT_NEAR(blocked_index->PairWindowCorrelation(p, w),
+                    oracle[static_cast<size_t>(w)], 1e-9)
+            << "pair (" << i << ", " << j << ") window " << w;
+        EXPECT_NEAR(blocked_index->PairWindowCorrelation(p, w),
+                    scalar_index->PairWindowCorrelation(p, w), 1e-9);
+        EXPECT_NEAR(blocked_index->DotRange(p, w, w + 1),
+                    scalar_index->DotRange(p, w, w + 1), 1e-7)
+            << "pair (" << i << ", " << j << ") window " << w;
+      }
+      // Aligned range correlations (the engine hot path) against the
+      // two-pass oracle over the raw columns.
+      for (const auto& [lo, hi] : {std::pair<int64_t, int64_t>{0, nb},
+                                   {2, 7},
+                                   {nb - 3, nb}}) {
+        const double expected =
+            PearsonNaive(data.RowRange(i, lo * b, (hi - lo) * b),
+                         data.RowRange(j, lo * b, (hi - lo) * b));
+        EXPECT_NEAR(blocked_index->PairRangeCorrelation(p, lo, hi), expected,
+                    1e-9)
+            << "pair (" << i << ", " << j << ") range [" << lo << ", " << hi
+            << ")";
+      }
+    }
+  }
+}
+
+TEST(BlockedIndexBuildTest, ThreadedBuildIsBitIdentical) {
+  // More series than one tile so several (window, tile) tasks exist.
+  const int64_t n = 101;
+  const int64_t b = 8;
+  const int64_t nb = 6;
+  Rng rng(29);
+  TimeSeriesMatrix data = GenerateWhiteNoise(n, nb * b, &rng);
+  BasicWindowIndexOptions options;
+  options.basic_window = b;
+  const auto sequential = BasicWindowIndex::Build(data, options);
+  ASSERT_TRUE(sequential.ok());
+  for (const int threads : {2, 5}) {
+    ThreadPool pool(threads);
+    const auto parallel = BasicWindowIndex::Build(data, options, &pool);
+    ASSERT_TRUE(parallel.ok());
+    for (int64_t p = 0; p < sequential->num_pairs(); ++p) {
+      for (int64_t w = 0; w < nb; ++w) {
+        EXPECT_DOUBLE_EQ(sequential->DotRange(p, w, w + 1),
+                         parallel->DotRange(p, w, w + 1));
+        EXPECT_DOUBLE_EQ(sequential->PairWindowCorrelation(p, w),
+                         parallel->PairWindowCorrelation(p, w));
+      }
+    }
+  }
+}
+
+TEST(ExactCorrelationMatrixTest, MatchesPearsonNaiveOnHostileData) {
+  const int64_t n = 61;  // spans two kernel tiles
+  const int64_t length = 200;
+  TimeSeriesMatrix data = HostileData(n, length, 24, 31);
+  const auto matrix = ExactCorrelationMatrix(data, 8, 144);
+  ASSERT_TRUE(matrix.ok());
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      const double expected =
+          PearsonNaive(data.RowRange(i, 8, 144), data.RowRange(j, 8, 144));
+      EXPECT_NEAR((*matrix)[static_cast<size_t>(i * n + j)], expected, 1e-9)
+          << "(" << i << ", " << j << ")";
+    }
+  }
+}
+
+// Engine-level acceptance: the new build path must not change which edges
+// any engine reports, at any thread count.
+TEST(EngineEdgeSetTest, UnchangedByBlockedBuildAcrossThreadCounts) {
+  const int64_t n = 24;
+  const int64_t b = 16;
+  TimeSeriesMatrix data = HostileData(n, b * 40, b, 37);
+
+  SlidingQuery query;
+  query.start = 0;
+  query.end = data.length();
+  query.window = b * 8;
+  query.step = b * 2;
+  query.threshold = 0.35;
+  query.absolute = true;
+
+  // Oracle edge set from the two-pass PearsonNaive, directly off raw data —
+  // deliberately NOT an engine, so the oracle shares no code with the
+  // blocked kernels under test (NaiveEngine itself now routes through
+  // ExactCorrelationMatrix).
+  CorrelationMatrixSeries truth(query, n);
+  for (int64_t k = 0; k < truth.num_windows(); ++k) {
+    const int64_t window_start = query.start + k * query.step;
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = i + 1; j < n; ++j) {
+        const double c =
+            PearsonNaive(data.RowRange(i, window_start, query.window),
+                         data.RowRange(j, window_start, query.window));
+        if (query.IsEdge(c)) {
+          truth.MutableWindow(k)->push_back(
+              Edge{static_cast<int32_t>(i), static_cast<int32_t>(j), c});
+        }
+      }
+    }
+  }
+  ASSERT_GT(truth.TotalEdges(), 0);
+
+  // NaiveEngine (which routes through the blocked exact kernel) must agree
+  // with the independent oracle: same edges, values within roundoff.
+  NaiveEngine naive;
+  ASSERT_TRUE(naive.Prepare(data).ok());
+  const auto naive_result = naive.Query(query);
+  ASSERT_TRUE(naive_result.ok());
+  for (int64_t k = 0; k < truth.num_windows(); ++k) {
+    const auto expected = truth.WindowEdges(k);
+    const auto actual = naive_result->WindowEdges(k);
+    ASSERT_EQ(actual.size(), expected.size()) << "window " << k;
+    for (size_t e = 0; e < expected.size(); ++e) {
+      EXPECT_EQ(actual[e].i, expected[e].i);
+      EXPECT_EQ(actual[e].j, expected[e].j);
+      EXPECT_NEAR(actual[e].value, expected[e].value, 1e-9);
+    }
+  }
+
+  for (const int threads : {1, 2, 4}) {
+    for (const bool jumping : {false, true}) {
+      DangoronOptions options;
+      options.basic_window = b;
+      options.enable_jumping = jumping;
+      options.num_threads = threads;
+      DangoronEngine engine(options);
+      ASSERT_TRUE(engine.Prepare(data).ok());
+      const auto result = engine.Query(query);
+      ASSERT_TRUE(result.ok());
+      ASSERT_EQ(result->num_windows(), truth.num_windows());
+      int64_t mismatched_cells = 0;
+      for (int64_t k = 0; k < truth.num_windows(); ++k) {
+        const auto expected = truth.WindowEdges(k);
+        const auto actual = result->WindowEdges(k);
+        if (!jumping) {
+          // Incremental mode is exact: identical edge sets, equal values.
+          ASSERT_EQ(actual.size(), expected.size())
+              << "threads=" << threads << " window " << k;
+          for (size_t e = 0; e < expected.size(); ++e) {
+            EXPECT_EQ(actual[e].i, expected[e].i);
+            EXPECT_EQ(actual[e].j, expected[e].j);
+            EXPECT_NEAR(actual[e].value, expected[e].value, 1e-9);
+          }
+        } else {
+          mismatched_cells += std::abs(static_cast<int64_t>(actual.size()) -
+                                       static_cast<int64_t>(expected.size()));
+        }
+      }
+      if (jumping) {
+        // Jump mode is approximate by design; on this workload it must
+        // still find the overwhelming majority of edges.
+        EXPECT_LT(mismatched_cells, truth.TotalEdges() / 10)
+            << "threads=" << threads;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dangoron

@@ -12,7 +12,7 @@ namespace dangoron {
 namespace {
 
 TEST(PairIdTest, RoundTripsAllPairs) {
-  for (const int64_t n : {2, 3, 5, 17, 64}) {
+  for (const int64_t n : {2, 3, 5, 17, 64, 129, 500}) {
     int64_t expected_id = 0;
     for (int64_t i = 0; i < n; ++i) {
       for (int64_t j = i + 1; j < n; ++j) {
@@ -27,6 +27,27 @@ TEST(PairIdTest, RoundTripsAllPairs) {
       }
     }
     EXPECT_EQ(expected_id, n * (n - 1) / 2);
+  }
+}
+
+TEST(PairIdTest, ClosedFormInversionSurvivesHugeN) {
+  // The closed-form sqrt inversion must stay exact far beyond any size the
+  // exhaustive round trip can cover, including the first and last ids of
+  // each row, where an off-by-one triangular root would show.
+  for (const int64_t n : {100000, 1 << 20}) {
+    for (const int64_t i : {int64_t{0}, int64_t{1}, n / 3, n - 3, n - 2}) {
+      for (const int64_t j : {i + 1, i + 2, (i + n) / 2, n - 1}) {
+        if (j <= i || j >= n) {
+          continue;
+        }
+        int64_t ri = 0;
+        int64_t rj = 0;
+        BasicWindowIndex::PairFromId(BasicWindowIndex::PairId(i, j, n), n,
+                                     &ri, &rj);
+        EXPECT_EQ(ri, i) << "n=" << n << " j=" << j;
+        EXPECT_EQ(rj, j) << "n=" << n << " i=" << i;
+      }
+    }
   }
 }
 
