@@ -1,0 +1,223 @@
+// Serving-layer benchmarks: what the shared sketch cache and per-window
+// result cache buy under single- and multi-client load. The cold numbers
+// pay dataset prepare plus full pair evaluation; warm numbers measure the
+// steady state a production server actually runs in.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "serve/server.h"
+#include "ts/generators.h"
+
+namespace dangoron {
+namespace {
+
+constexpr int64_t kBasicWindow = 24;
+
+TimeSeriesMatrix BenchData(int64_t n, int64_t num_basic_windows,
+                           uint64_t seed) {
+  Rng rng(seed);
+  return GenerateWhiteNoise(n, num_basic_windows * kBasicWindow, &rng);
+}
+
+SlidingQuery BenchQuery(int64_t num_basic_windows) {
+  SlidingQuery query;
+  query.start = 0;
+  query.end = num_basic_windows * kBasicWindow;
+  query.window = 30 * kBasicWindow;
+  query.step = kBasicWindow;
+  query.threshold = 0.7;
+  return query;
+}
+
+DangoronServerOptions BenchServerOptions() {
+  DangoronServerOptions options;
+  options.num_threads = 0;  // hardware concurrency
+  options.basic_window = kBasicWindow;
+  return options;
+}
+
+// Cold submission: a fresh server per iteration, so the query pays dataset
+// prepare (index build) plus the full per-window evaluation.
+void BM_ServerColdQuery(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t nb = 90;
+  TimeSeriesMatrix data = BenchData(n, nb, 11);
+  const SlidingQuery query = BenchQuery(nb);
+  for (auto _ : state) {
+    state.PauseTiming();
+    DangoronServer server(BenchServerOptions());
+    benchmark::DoNotOptimize(server.AddDataset("d", data).ok());
+    state.ResumeTiming();
+    auto result = server.Query("d", query);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_ServerColdQuery)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+// Warm repeat: the steady state — prepared sketch and every window served
+// from cache; the query only assembles the response.
+void BM_ServerWarmQuery(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t nb = 90;
+  DangoronServer server(BenchServerOptions());
+  benchmark::DoNotOptimize(server.AddDataset("d", BenchData(n, nb, 11)).ok());
+  const SlidingQuery query = BenchQuery(nb);
+  benchmark::DoNotOptimize(server.Query("d", query).ok());  // fill caches
+  for (auto _ : state) {
+    auto result = server.Query("d", query);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_ServerWarmQuery)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+// Warm overlap: shifted ranges against a warm server — measures partial
+// window reuse plus evaluation of the uncached remainder.
+void BM_ServerWarmOverlapQuery(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t nb = 180;
+  DangoronServer server(BenchServerOptions());
+  benchmark::DoNotOptimize(server.AddDataset("d", BenchData(n, nb, 12)).ok());
+  SlidingQuery query = BenchQuery(nb);
+  benchmark::DoNotOptimize(server.Query("d", query).ok());
+  int64_t shift = 0;
+  for (auto _ : state) {
+    SlidingQuery shifted = query;
+    shifted.start = shift * kBasicWindow;
+    auto result = server.Query("d", shifted);
+    benchmark::DoNotOptimize(result.ok());
+    shift = (shift + 7) % 60;
+  }
+}
+BENCHMARK(BM_ServerWarmOverlapQuery)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+// Multi-client throughput: each benchmark thread is a client submitting the
+// same rotating set of overlapping queries to one shared server.
+void BM_ServerMultiClient(benchmark::State& state) {
+  static DangoronServer* server = [] {
+    auto* s = new DangoronServer(BenchServerOptions());
+    CHECK(s->AddDataset("d", BenchData(64, 180, 13)).ok());
+    return s;
+  }();
+  const SlidingQuery base = BenchQuery(180);
+  int64_t shift = state.thread_index();
+  for (auto _ : state) {
+    SlidingQuery query = base;
+    query.start = (shift % 60) * kBasicWindow;
+    auto result = server->Query("d", query);
+    benchmark::DoNotOptimize(result.ok());
+    shift += 7;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServerMultiClient)->Threads(1)->Threads(4)->Threads(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// ------------------------------------------------ cold vs warm JSON -------
+
+// Machine-readable cold/warm comparison mirroring BENCH_kernels.json: the
+// serving layer's acceptance number is the warm speedup (prepare amortized
+// across repeat queries).
+void WriteServingComparisonJson(const char* path) {
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  const int64_t nb = 90;
+  std::fprintf(out, "[\n");
+  bool first = true;
+  for (const int64_t n : {32, 128}) {
+    TimeSeriesMatrix data = BenchData(n, nb, 14);
+    const SlidingQuery query = BenchQuery(nb);
+
+    double cold_s = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      DangoronServer server(BenchServerOptions());
+      CHECK(server.AddDataset("d", data).ok());
+      Stopwatch timer;
+      CHECK(server.Query("d", query).ok());
+      cold_s = std::min(cold_s, timer.ElapsedSeconds());
+    }
+
+    DangoronServer server(BenchServerOptions());
+    CHECK(server.AddDataset("d", data).ok());
+    CHECK(server.Query("d", query).ok());
+    double warm_s = 1e300;
+    for (int rep = 0; rep < 5; ++rep) {
+      Stopwatch timer;
+      CHECK(server.Query("d", query).ok());
+      warm_s = std::min(warm_s, timer.ElapsedSeconds());
+    }
+
+    std::fprintf(out,
+                 "%s  {\"bench\": \"serving_cold_warm\", \"n_series\": %lld, "
+                 "\"num_basic_windows\": %lld, \"basic_window\": %lld,\n"
+                 "   \"cold_ms\": %.3f, \"warm_ms\": %.3f, "
+                 "\"warm_speedup\": %.1f}",
+                 first ? "" : ",\n", static_cast<long long>(n),
+                 static_cast<long long>(nb),
+                 static_cast<long long>(kBasicWindow), cold_s * 1e3,
+                 warm_s * 1e3, cold_s / warm_s);
+    first = false;
+    std::fprintf(stderr,
+                 "serving n=%lld: cold %.2f ms, warm %.3f ms, speedup %.0fx\n",
+                 static_cast<long long>(n), cold_s * 1e3, warm_s * 1e3,
+                 cold_s / warm_s);
+  }
+  std::fprintf(out, "\n]\n");
+  std::fclose(out);
+}
+
+}  // namespace
+}  // namespace dangoron
+
+int main(int argc, char** argv) {
+  // Like bench_microkernels: the JSON comparison runs on full sweeps only;
+  // --serving_comparison=on|off overrides either way.
+  bool list_only = false;
+  bool filtered = false;
+  int forced = 0;  // +1 on, -1 off
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg.starts_with("--benchmark_list_tests")) {
+      list_only = true;
+    } else if (arg.starts_with("--benchmark_filter")) {
+      filtered = true;
+    }
+    if (arg == "--serving_comparison=on") {
+      forced = 1;
+    } else if (arg == "--serving_comparison=off") {
+      forced = -1;
+    } else {
+      argv[out++] = argv[i];  // strip our flag before benchmark parsing
+    }
+  }
+  argv[out] = nullptr;  // keep the argv[argc] == NULL invariant
+  argc = out;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  const bool run_comparison =
+      forced == 1 || (forced == 0 && !list_only && !filtered);
+  if (run_comparison) {
+    dangoron::WriteServingComparisonJson("BENCH_serving.json");
+  }
+  return 0;
+}

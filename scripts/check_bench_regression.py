@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for the blocked sketch-build kernel.
+
+Compares a freshly measured BENCH_kernels.json against the committed
+baseline and fails (exit 1) when the blocked kernel's throughput regressed
+by more than the tolerance.
+
+Raw ns-per-pair-window numbers are machine-dependent — CI runners are not
+the machine that produced the committed baseline — so the gate compares the
+*blocked-vs-scalar speedup measured within one run*. The scalar reference
+loop is deliberately plain (no tiling, no vectors beyond what the compiler
+auto-emits), making it a stable yardstick across microarchitectures: a fresh
+speedup below (1 - tolerance) x the baseline speedup means the blocked
+kernel lost ground in hardware-normalized terms, i.e. a real code
+regression rather than a slower runner.
+
+Usage:
+  check_bench_regression.py --baseline BENCH_kernels.json \
+      --fresh build/BENCH_kernels.json [--tolerance 0.25]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_entries(path):
+    with open(path) as f:
+        data = json.load(f)
+    entries = {}
+    for entry in data:
+        key = (entry["kernel"], entry["n_series"])
+        entries[key] = entry
+    return entries
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_kernels.json")
+    parser.add_argument("--fresh", required=True,
+                        help="JSON emitted by this run's bench_microkernels")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional speedup loss (default 0.25)")
+    args = parser.parse_args()
+
+    baseline = load_entries(args.baseline)
+    fresh = load_entries(args.fresh)
+
+    failures = []
+    print(f"{'kernel':<16} {'n':>5} {'base speedup':>13} "
+          f"{'fresh speedup':>14} {'floor':>8}  verdict")
+    for key, base_entry in sorted(baseline.items()):
+        kernel, n = key
+        fresh_entry = fresh.get(key)
+        if fresh_entry is None:
+            failures.append(f"{kernel} n={n}: missing from fresh run")
+            print(f"{kernel:<16} {n:>5} {'-':>13} {'-':>14} {'-':>8}  MISSING")
+            continue
+        base_speedup = base_entry["speedup"]
+        fresh_speedup = fresh_entry["speedup"]
+        floor = (1.0 - args.tolerance) * base_speedup
+        ok = fresh_speedup >= floor
+        print(f"{kernel:<16} {n:>5} {base_speedup:>13.3f} "
+              f"{fresh_speedup:>14.3f} {floor:>8.3f}  "
+              f"{'ok' if ok else 'REGRESSED'}")
+        if not ok:
+            failures.append(
+                f"{kernel} n={n}: speedup {fresh_speedup:.3f} < floor "
+                f"{floor:.3f} (baseline {base_speedup:.3f}, "
+                f"tolerance {args.tolerance:.0%})")
+
+    if failures:
+        print("\nbench regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nbench regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,6 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 
 #include "common/logging.h"
@@ -56,12 +57,49 @@ void ThreadPool::ParallelFor(int64_t num_blocks,
     }
     return;
   }
-  // One task per block; blocks are expected to be coarse (engines partition
-  // pair ranges into O(threads) blocks).
-  for (int64_t i = 0; i < num_blocks; ++i) {
-    Schedule([&body, i] { body(i); });
+  // Per-call completion state instead of the pool-global in_flight_ counter:
+  // the caller claims blocks from the shared atomic alongside the scheduled
+  // helpers, so the loop drains even when the caller *is* a pool worker and
+  // every other worker is busy — waiting on the global counter from a worker
+  // would deadlock (the waiting task is itself in flight).
+  struct ForState {
+    std::atomic<int64_t> next{0};
+    std::atomic<int64_t> completed{0};
+    int64_t total = 0;
+    std::mutex mutex;
+    std::condition_variable done;
+  };
+  auto state = std::make_shared<ForState>();
+  state->total = num_blocks;
+  const std::function<void(int64_t)>* body_ptr = &body;
+
+  // Helpers only dereference `body_ptr` after claiming a block, and every
+  // block is claimed before the caller returns, so a helper that dequeues
+  // late finds the work exhausted and never touches the dangling pointer
+  // (the shared state keeps its own lifetime).
+  auto run_blocks = [state, body_ptr] {
+    int64_t i;
+    while ((i = state->next.fetch_add(1, std::memory_order_relaxed)) <
+           state->total) {
+      (*body_ptr)(i);
+      if (state->completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          state->total) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->done.notify_all();
+      }
+    }
+  };
+
+  const int64_t helpers =
+      std::min<int64_t>(num_threads(), num_blocks) - 1;
+  for (int64_t h = 0; h < helpers; ++h) {
+    Schedule(run_blocks);
   }
-  Wait();
+  run_blocks();
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done.wait(lock, [&] {
+    return state->completed.load(std::memory_order_acquire) == state->total;
+  });
 }
 
 void ThreadPool::WorkerLoop() {

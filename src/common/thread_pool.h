@@ -5,8 +5,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace dangoron {
@@ -17,6 +20,12 @@ namespace dangoron {
 /// are deterministic regardless of the number of threads: the work
 /// decomposition never depends on scheduling order, only the execution
 /// interleaving does, and blocks write to disjoint output slots.
+///
+/// `ParallelFor` is reentrant: a task running on the pool may itself call
+/// `ParallelFor` (the serving layer runs whole queries as pool tasks, and
+/// each query parallelizes its pair blocks on the same pool). The calling
+/// thread claims blocks alongside the workers, so the loop completes even
+/// when every worker is busy with other tasks.
 class ThreadPool {
  public:
   /// Creates a pool with `num_threads` workers (>= 1). `num_threads == 0`
@@ -32,12 +41,27 @@ class ThreadPool {
   /// Enqueues a task for asynchronous execution.
   void Schedule(std::function<void()> task);
 
-  /// Blocks until every scheduled task has finished.
+  /// Enqueues `fn` and returns a future for its result — the submission
+  /// primitive of the serving layer. The future's wait is safe from any
+  /// thread *except* a pool worker whose waited-on task is still queued
+  /// (callers that both produce and consume on the pool must fulfill their
+  /// own work before waiting on others', see DangoronServer).
+  template <typename Fn>
+  auto Async(Fn fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> future = task->get_future();
+    Schedule([task]() { (*task)(); });
+    return future;
+  }
+
+  /// Blocks until every task passed to `Schedule`/`Async` has finished.
+  /// Must not be called from a pool worker.
   void Wait();
 
   /// Runs `body(block_index)` for block_index in [0, num_blocks) across the
   /// pool and waits for completion. Runs inline when the pool has one thread
-  /// or there is a single block.
+  /// or there is a single block. Safe to call from inside a pool task.
   void ParallelFor(int64_t num_blocks,
                    const std::function<void(int64_t)>& body);
 

@@ -9,219 +9,31 @@
 
 namespace dangoron {
 
-DangoronEngine::DangoronEngine(const DangoronOptions& options)
-    : options_(options) {}
+namespace {
 
-Status DangoronEngine::Prepare(const TimeSeriesMatrix& data) {
-  if (options_.basic_window <= 0) {
-    return Status::InvalidArgument("DangoronEngine: basic_window must be > 0");
-  }
-  if (options_.horizontal_pruning && options_.num_pivots <= 0) {
-    return Status::InvalidArgument(
-        "DangoronEngine: horizontal pruning needs num_pivots > 0");
-  }
-  if (options_.num_threads > 1) {
-    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
-  } else {
-    pool_.reset();
-  }
-  BasicWindowIndexOptions index_options;
-  index_options.basic_window = options_.basic_window;
-  index_options.build_pair_sketches = true;
-  ASSIGN_OR_RETURN(BasicWindowIndex index,
-                   BasicWindowIndex::Build(data, index_options, pool_.get()));
-  index_ = std::move(index);
-  data_ = &data;
-  return Status::Ok();
-}
-
-Result<CorrelationMatrixSeries> DangoronEngine::Query(
-    const SlidingQuery& query) {
-  if (data_ == nullptr || !index_.has_value()) {
-    return Status::FailedPrecondition("DangoronEngine: Prepare not called");
-  }
-  RETURN_IF_ERROR(query.Validate(data_->length()));
-  const int64_t b = options_.basic_window;
-  if (query.start % b != 0 || query.window % b != 0 || query.step % b != 0) {
-    return Status::InvalidArgument(
-        "DangoronEngine: query start/window/step must be multiples of the "
-        "basic window ",
-        b, " (got start=", query.start, " window=", query.window,
-        " step=", query.step,
-        "); use TsubasaEngine for arbitrary alignment");
-  }
-  stats_.Reset();
-
-  const int64_t n = data_->num_series();
-  const int64_t num_windows = query.NumWindows();
-  const int64_t num_pairs = n * (n - 1) / 2;
-  const int64_t base_w0 = query.start / b;
-  const int64_t ns = query.window / b;
-  const int64_t m = query.step / b;
-  stats_.num_windows = num_windows;
-  stats_.num_pairs = num_pairs;
-  stats_.cells_total = num_windows * num_pairs;
-
-  // The last window must be fully covered by indexed basic windows.
-  const int64_t last_needed_bw = base_w0 + (num_windows - 1) * m + ns;
-  if (last_needed_bw > index_->num_basic_windows()) {
-    return Status::OutOfRange(
-        "DangoronEngine: query needs basic windows up to ", last_needed_bw,
-        " but only ", index_->num_basic_windows(), " are indexed");
-  }
-
-  // Hoisted per-(window, series) range moments, window-major [k * n + s]:
-  // the query-range sum and the reciprocal of the centered root sum of
-  // squares (0 for a degenerate series, making every correlation with it
-  // exactly 0, the PearsonFromMoments guard). Computed once so neither the
-  // pivot precomputation nor the pair loop ever divides or square-roots per
-  // cell. Parallel over windows; identical for any thread count.
-  const double window_count = static_cast<double>(query.window);
-  std::vector<double> range_sum(static_cast<size_t>(num_windows * n));
-  std::vector<double> range_inv_css(static_cast<size_t>(num_windows * n));
-  auto fill_window_moments = [&](int64_t k) {
-    const int64_t w0 = base_w0 + k * m;
-    double* sums = range_sum.data() + k * n;
-    double* invs = range_inv_css.data() + k * n;
-    for (int64_t s = 0; s < n; ++s) {
-      const double sum = index_->SumRange(s, w0, w0 + ns);
-      const double css =
-          index_->SumSqRange(s, w0, w0 + ns) - sum * sum / window_count;
-      sums[s] = sum;
-      invs[s] = css > kMomentVarianceEps ? 1.0 / std::sqrt(css) : 0.0;
-    }
-  };
-  if (pool_ != nullptr && num_windows > 1) {
-    pool_->ParallelFor(num_windows, fill_window_moments);
-  } else {
-    for (int64_t k = 0; k < num_windows; ++k) {
-      fill_window_moments(k);
-    }
-  }
-
-  // Pivot correlations for horizontal pruning: pivot_corrs[k * P * n + p * n
-  // + s] = corr(pivot_p, series_s) in window k, computed exactly in O(1)
-  // per cell from the pair sketches and the hoisted moments, parallel over
-  // windows.
-  std::vector<double> pivot_corrs;
-  if (options_.horizontal_pruning) {
-    const int64_t P = options_.num_pivots;
-    pivots_.clear();
-    for (int64_t p = 0; p < P; ++p) {
-      pivots_.push_back(p * n / P);  // evenly spaced, deterministic
-    }
-    pivot_corrs.assign(static_cast<size_t>(num_windows * P * n), 1.0);
-    auto fill_window_pivots = [&](int64_t k) {
-      const int64_t w0 = base_w0 + k * m;
-      const double* sums = range_sum.data() + k * n;
-      const double* invs = range_inv_css.data() + k * n;
-      for (int64_t p = 0; p < P; ++p) {
-        const int64_t z = pivots_[static_cast<size_t>(p)];
-        double* out = pivot_corrs.data() + (k * P + p) * n;
-        const double sum_z = sums[z];
-        const double inv_z = invs[z];
-        for (int64_t s = 0; s < n; ++s) {
-          if (s == z) {
-            continue;  // stays 1.0
-          }
-          const int64_t pair = BasicWindowIndex::PairId(z, s, n);
-          const double cov = index_->DotRange(pair, w0, w0 + ns) -
-                             sum_z * sums[s] / window_count;
-          out[s] = ClampCorrelation(cov * inv_z * invs[s]);
-        }
-      }
-    };
-    if (pool_ != nullptr && num_windows > 1) {
-      pool_->ParallelFor(num_windows, fill_window_pivots);
-    } else {
-      for (int64_t k = 0; k < num_windows; ++k) {
-        fill_window_pivots(k);
-      }
-    }
-    stats_.pivot_evaluations += num_windows * P * (n - 1);
-  } else {
-    pivots_.clear();
-  }
-
-  CorrelationMatrixSeries series(query, n);
-
-  // Pair-block decomposition: contiguous ranges of pair ids, processed
-  // independently. Deterministic regardless of thread count.
-  const int64_t num_blocks =
-      options_.num_threads > 1
-          ? std::min<int64_t>(num_pairs,
-                              static_cast<int64_t>(options_.num_threads) * 8)
-          : 1;
-  const int64_t block_size = num_blocks > 0 ? CeilDiv(num_pairs, num_blocks) : 0;
-
-  std::vector<std::vector<std::vector<Edge>>> block_windows(
-      static_cast<size_t>(num_blocks));
-  std::vector<EngineStats> block_stats(static_cast<size_t>(num_blocks));
-
-  auto run_block = [&](int64_t block) {
-    const int64_t pair_begin = block * block_size;
-    const int64_t pair_end = std::min(num_pairs, pair_begin + block_size);
-    auto& local = block_windows[static_cast<size_t>(block)];
-    local.assign(static_cast<size_t>(num_windows), {});
-    ProcessPairBlock(query, pair_begin, pair_end, base_w0, ns, m, range_sum,
-                     range_inv_css, pivot_corrs, &local,
-                     &block_stats[static_cast<size_t>(block)]);
-  };
-
-  if (pool_ != nullptr && num_blocks > 1) {
-    pool_->ParallelFor(num_blocks, run_block);
-  } else {
-    for (int64_t block = 0; block < num_blocks; ++block) {
-      run_block(block);
-    }
-  }
-
-  // Deterministic merge in block order, then canonical sort by (i, j).
-  if (num_blocks == 1) {
-    for (int64_t k = 0; k < num_windows; ++k) {
-      *series.MutableWindow(k) =
-          std::move(block_windows[0][static_cast<size_t>(k)]);
-    }
-  } else {
-    for (int64_t k = 0; k < num_windows; ++k) {
-      std::vector<Edge>* out = series.MutableWindow(k);
-      size_t total = 0;
-      for (const auto& local : block_windows) {
-        total += local[static_cast<size_t>(k)].size();
-      }
-      out->reserve(total);
-      for (const auto& local : block_windows) {
-        const auto& edges = local[static_cast<size_t>(k)];
-        out->insert(out->end(), edges.begin(), edges.end());
-      }
-    }
-  }
-  series.SortWindows();
-
-  for (const EngineStats& s : block_stats) {
-    stats_.cells_evaluated += s.cells_evaluated;
-    stats_.cells_jumped += s.cells_jumped;
-    stats_.cells_horizontal_pruned += s.cells_horizontal_pruned;
-    stats_.jumps += s.jumps;
-  }
-  return series;
-}
-
-void DangoronEngine::ProcessPairBlock(
-    const SlidingQuery& query, int64_t pair_begin, int64_t pair_end,
-    int64_t base_w0, int64_t ns, int64_t m,
-    const std::vector<double>& range_sum,
-    const std::vector<double>& range_inv_css,
-    const std::vector<double>& pivot_corrs,
-    std::vector<std::vector<Edge>>* local_windows,
-    EngineStats* local_stats) const {
-  const BasicWindowIndex& index = *index_;
+// Processes pairs [pair_begin, pair_end) sequentially, filling
+// `local_windows` (one edge vector per window) and `local_stats`.
+// `range_sum` / `range_inv_css` are the hoisted per-(window, series) query
+// range sums and reciprocal centered root-sum-of-squares (0 for degenerate
+// series), window-major [k * n + s]: the per-cell correlation is then two
+// prefix loads, one fused subtract, and two multiplies — no divide or
+// sqrt on the hot path. Reads only immutable state, so pair blocks of any
+// number of concurrent queries may run against one shared index.
+void ProcessPairBlock(const DangoronOptions& options,
+                      const BasicWindowIndex& index, const SlidingQuery& query,
+                      int64_t pair_begin, int64_t pair_end, int64_t base_w0,
+                      int64_t ns, int64_t m,
+                      const std::vector<double>& range_sum,
+                      const std::vector<double>& range_inv_css,
+                      const std::vector<double>& pivot_corrs,
+                      std::vector<std::vector<Edge>>* local_windows,
+                      EngineStats* local_stats) {
   const int64_t n = index.num_series();
   const int64_t num_windows = query.NumWindows();
   const double beta = query.threshold;
   const double inv_count = 1.0 / static_cast<double>(query.window);
   const TemporalBound bound(&index, ns, m);
-  const int64_t P = options_.horizontal_pruning ? options_.num_pivots : 0;
+  const int64_t P = options.horizontal_pruning ? options.num_pivots : 0;
 
   int64_t i = 0;
   int64_t j = 0;
@@ -267,14 +79,14 @@ void DangoronEngine::ProcessPairBlock(
       ++local_stats->cells_evaluated;
 
       int64_t max_steps = num_windows - 1 - k;
-      if (options_.max_jump_steps > 0) {
-        max_steps = std::min(max_steps, options_.max_jump_steps);
+      if (options.max_jump_steps > 0) {
+        max_steps = std::min(max_steps, options.max_jump_steps);
       }
 
       if (query.IsEdge(corr)) {
         (*local_windows)[static_cast<size_t>(k)].push_back(
             Edge{static_cast<int32_t>(i), static_cast<int32_t>(j), corr});
-        if (options_.enable_jumping && options_.enable_above_jumping) {
+        if (options.enable_jumping && options.enable_above_jumping) {
           // Edge persists while it provably stays on the same side of its
           // threshold: >= beta for positive edges, <= -beta for negative
           // (absolute-mode) edges.
@@ -298,7 +110,7 @@ void DangoronEngine::ProcessPairBlock(
         }
         ++k;
       } else {
-        if (options_.enable_jumping) {
+        if (options.enable_jumping) {
           // A non-edge is skippable while the bounds confine it below beta
           // (plain mode) or inside (-beta, beta) (absolute mode).
           const int64_t skip =
@@ -324,6 +136,236 @@ void DangoronEngine::ProcessPairBlock(
       j = i + 1;
     }
   }
+}
+
+}  // namespace
+
+DangoronEngine::DangoronEngine(const DangoronOptions& options)
+    : options_(options) {}
+
+Result<BasicWindowIndex> DangoronEngine::BuildIndex(
+    const TimeSeriesMatrix& data, const DangoronOptions& options,
+    ThreadPool* pool) {
+  if (options.basic_window <= 0) {
+    return Status::InvalidArgument("DangoronEngine: basic_window must be > 0");
+  }
+  BasicWindowIndexOptions index_options;
+  index_options.basic_window = options.basic_window;
+  index_options.build_pair_sketches = true;
+  return BasicWindowIndex::Build(data, index_options, pool);
+}
+
+Status DangoronEngine::Prepare(const TimeSeriesMatrix& data) {
+  if (options_.horizontal_pruning && options_.num_pivots <= 0) {
+    return Status::InvalidArgument(
+        "DangoronEngine: horizontal pruning needs num_pivots > 0");
+  }
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  } else {
+    pool_.reset();
+  }
+  ASSIGN_OR_RETURN(BasicWindowIndex index,
+                   BuildIndex(data, options_, pool_.get()));
+  index_ = std::move(index);
+  data_ = &data;
+  return Status::Ok();
+}
+
+Result<CorrelationMatrixSeries> DangoronEngine::Query(
+    const SlidingQuery& query) {
+  if (data_ == nullptr || !index_.has_value()) {
+    return Status::FailedPrecondition("DangoronEngine: Prepare not called");
+  }
+  stats_.Reset();
+  return QueryPrepared(options_, *index_, query, pool_.get(), &stats_,
+                       &pivots_);
+}
+
+Result<CorrelationMatrixSeries> DangoronEngine::QueryPrepared(
+    const DangoronOptions& options, const BasicWindowIndex& index,
+    const SlidingQuery& query, ThreadPool* pool, EngineStats* stats,
+    std::vector<int64_t>* pivots_out) {
+  const int64_t b = options.basic_window;
+  if (b != index.basic_window()) {
+    return Status::InvalidArgument(
+        "DangoronEngine: options.basic_window ", b,
+        " does not match the prepared index's ", index.basic_window());
+  }
+  RETURN_IF_ERROR(query.Validate(index.data().length()));
+  if (query.start % b != 0 || query.window % b != 0 || query.step % b != 0) {
+    return Status::InvalidArgument(
+        "DangoronEngine: query start/window/step must be multiples of the "
+        "basic window ",
+        b, " (got start=", query.start, " window=", query.window,
+        " step=", query.step,
+        "); use TsubasaEngine for arbitrary alignment");
+  }
+  if (options.horizontal_pruning && options.num_pivots <= 0) {
+    return Status::InvalidArgument(
+        "DangoronEngine: horizontal pruning needs num_pivots > 0");
+  }
+  EngineStats local_stats;
+  if (stats == nullptr) {
+    stats = &local_stats;
+  }
+
+  const int64_t n = index.num_series();
+  const int64_t num_windows = query.NumWindows();
+  const int64_t num_pairs = n * (n - 1) / 2;
+  const int64_t base_w0 = query.start / b;
+  const int64_t ns = query.window / b;
+  const int64_t m = query.step / b;
+  stats->num_windows = num_windows;
+  stats->num_pairs = num_pairs;
+  stats->cells_total = num_windows * num_pairs;
+
+  // The last window must be fully covered by indexed basic windows.
+  const int64_t last_needed_bw = base_w0 + (num_windows - 1) * m + ns;
+  if (last_needed_bw > index.num_basic_windows()) {
+    return Status::OutOfRange(
+        "DangoronEngine: query needs basic windows up to ", last_needed_bw,
+        " but only ", index.num_basic_windows(), " are indexed");
+  }
+
+  const int num_pool_threads = pool != nullptr ? pool->num_threads() : 1;
+
+  // Hoisted per-(window, series) range moments, window-major [k * n + s]:
+  // the query-range sum and the reciprocal of the centered root sum of
+  // squares (0 for a degenerate series, making every correlation with it
+  // exactly 0, the PearsonFromMoments guard). Computed once so neither the
+  // pivot precomputation nor the pair loop ever divides or square-roots per
+  // cell. Parallel over windows; identical for any thread count.
+  const double window_count = static_cast<double>(query.window);
+  std::vector<double> range_sum(static_cast<size_t>(num_windows * n));
+  std::vector<double> range_inv_css(static_cast<size_t>(num_windows * n));
+  auto fill_window_moments = [&](int64_t k) {
+    const int64_t w0 = base_w0 + k * m;
+    double* sums = range_sum.data() + k * n;
+    double* invs = range_inv_css.data() + k * n;
+    for (int64_t s = 0; s < n; ++s) {
+      const double sum = index.SumRange(s, w0, w0 + ns);
+      const double css =
+          index.SumSqRange(s, w0, w0 + ns) - sum * sum / window_count;
+      sums[s] = sum;
+      invs[s] = css > kMomentVarianceEps ? 1.0 / std::sqrt(css) : 0.0;
+    }
+  };
+  if (pool != nullptr && num_pool_threads > 1 && num_windows > 1) {
+    pool->ParallelFor(num_windows, fill_window_moments);
+  } else {
+    for (int64_t k = 0; k < num_windows; ++k) {
+      fill_window_moments(k);
+    }
+  }
+
+  // Pivot correlations for horizontal pruning: pivot_corrs[k * P * n + p * n
+  // + s] = corr(pivot_p, series_s) in window k, computed exactly in O(1)
+  // per cell from the pair sketches and the hoisted moments, parallel over
+  // windows.
+  std::vector<double> pivot_corrs;
+  std::vector<int64_t> pivots;
+  if (options.horizontal_pruning) {
+    const int64_t P = options.num_pivots;
+    for (int64_t p = 0; p < P; ++p) {
+      pivots.push_back(p * n / P);  // evenly spaced, deterministic
+    }
+    pivot_corrs.assign(static_cast<size_t>(num_windows * P * n), 1.0);
+    auto fill_window_pivots = [&](int64_t k) {
+      const int64_t w0 = base_w0 + k * m;
+      const double* sums = range_sum.data() + k * n;
+      const double* invs = range_inv_css.data() + k * n;
+      for (int64_t p = 0; p < P; ++p) {
+        const int64_t z = pivots[static_cast<size_t>(p)];
+        double* out = pivot_corrs.data() + (k * P + p) * n;
+        const double sum_z = sums[z];
+        const double inv_z = invs[z];
+        for (int64_t s = 0; s < n; ++s) {
+          if (s == z) {
+            continue;  // stays 1.0
+          }
+          const int64_t pair = BasicWindowIndex::PairId(z, s, n);
+          const double cov = index.DotRange(pair, w0, w0 + ns) -
+                             sum_z * sums[s] / window_count;
+          out[s] = ClampCorrelation(cov * inv_z * invs[s]);
+        }
+      }
+    };
+    if (pool != nullptr && num_pool_threads > 1 && num_windows > 1) {
+      pool->ParallelFor(num_windows, fill_window_pivots);
+    } else {
+      for (int64_t k = 0; k < num_windows; ++k) {
+        fill_window_pivots(k);
+      }
+    }
+    stats->pivot_evaluations += num_windows * P * (n - 1);
+  }
+  if (pivots_out != nullptr) {
+    *pivots_out = pivots;
+  }
+
+  CorrelationMatrixSeries series(query, n);
+
+  // Pair-block decomposition: contiguous ranges of pair ids, processed
+  // independently. Deterministic regardless of thread count.
+  const int64_t num_blocks =
+      num_pool_threads > 1
+          ? std::min<int64_t>(num_pairs,
+                              static_cast<int64_t>(num_pool_threads) * 8)
+          : 1;
+  const int64_t block_size = num_blocks > 0 ? CeilDiv(num_pairs, num_blocks) : 0;
+
+  std::vector<std::vector<std::vector<Edge>>> block_windows(
+      static_cast<size_t>(num_blocks));
+  std::vector<EngineStats> block_stats(static_cast<size_t>(num_blocks));
+
+  auto run_block = [&](int64_t block) {
+    const int64_t pair_begin = block * block_size;
+    const int64_t pair_end = std::min(num_pairs, pair_begin + block_size);
+    auto& local = block_windows[static_cast<size_t>(block)];
+    local.assign(static_cast<size_t>(num_windows), {});
+    ProcessPairBlock(options, index, query, pair_begin, pair_end, base_w0, ns,
+                     m, range_sum, range_inv_css, pivot_corrs, &local,
+                     &block_stats[static_cast<size_t>(block)]);
+  };
+
+  if (pool != nullptr && num_blocks > 1) {
+    pool->ParallelFor(num_blocks, run_block);
+  } else {
+    for (int64_t block = 0; block < num_blocks; ++block) {
+      run_block(block);
+    }
+  }
+
+  // Deterministic merge in block order, then canonical sort by (i, j).
+  if (num_blocks == 1) {
+    for (int64_t k = 0; k < num_windows; ++k) {
+      *series.MutableWindow(k) =
+          std::move(block_windows[0][static_cast<size_t>(k)]);
+    }
+  } else {
+    for (int64_t k = 0; k < num_windows; ++k) {
+      std::vector<Edge>* out = series.MutableWindow(k);
+      size_t total = 0;
+      for (const auto& local : block_windows) {
+        total += local[static_cast<size_t>(k)].size();
+      }
+      out->reserve(total);
+      for (const auto& local : block_windows) {
+        const auto& edges = local[static_cast<size_t>(k)];
+        out->insert(out->end(), edges.begin(), edges.end());
+      }
+    }
+  }
+  series.SortWindows();
+
+  for (const EngineStats& s : block_stats) {
+    stats->cells_evaluated += s.cells_evaluated;
+    stats->cells_jumped += s.cells_jumped;
+    stats->cells_horizontal_pruned += s.cells_horizontal_pruned;
+    stats->jumps += s.jumps;
+  }
+  return series;
 }
 
 }  // namespace dangoron

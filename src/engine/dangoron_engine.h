@@ -68,22 +68,24 @@ class DangoronEngine : public CorrelationEngine {
   /// The pivot series indices used by the last horizontally pruned query.
   const std::vector<int64_t>& pivots() const { return pivots_; }
 
- private:
-  // Processes pairs [pair_begin, pair_end) sequentially, filling
-  // `local_windows` (one edge vector per window) and `local_stats`.
-  // `range_sum` / `range_inv_css` are the hoisted per-(window, series) query
-  // range sums and reciprocal centered root-sum-of-squares (0 for degenerate
-  // series), window-major [k * n + s]: the per-cell correlation is then two
-  // prefix loads, one fused subtract, and two multiplies — no divide or
-  // sqrt on the hot path.
-  void ProcessPairBlock(const SlidingQuery& query, int64_t pair_begin,
-                        int64_t pair_end, int64_t base_w0, int64_t ns,
-                        int64_t m, const std::vector<double>& range_sum,
-                        const std::vector<double>& range_inv_css,
-                        const std::vector<double>& pivot_corrs,
-                        std::vector<std::vector<Edge>>* local_windows,
-                        EngineStats* local_stats) const;
+  /// The build half of Prepare as a pure function of (data, options): the
+  /// index a serving layer constructs once and shares read-only. `pool` may
+  /// be null (serial build).
+  static Result<BasicWindowIndex> BuildIndex(const TimeSeriesMatrix& data,
+                                             const DangoronOptions& options,
+                                             ThreadPool* pool);
 
+  /// The query half against an externally owned, immutable index — the
+  /// const-correct shared path of the serving layer. Touches only local
+  /// state, so any number of concurrent calls may share one `index` (and one
+  /// reentrant `pool`). `options.basic_window` must match the index's.
+  /// `stats` and `pivots_out` are optional outputs; `pool` may be null.
+  static Result<CorrelationMatrixSeries> QueryPrepared(
+      const DangoronOptions& options, const BasicWindowIndex& index,
+      const SlidingQuery& query, ThreadPool* pool, EngineStats* stats,
+      std::vector<int64_t>* pivots_out = nullptr);
+
+ private:
   DangoronOptions options_;
   const TimeSeriesMatrix* data_ = nullptr;
   std::optional<BasicWindowIndex> index_;

@@ -7,6 +7,7 @@
 #include "engine/naive_engine.h"
 #include "engine/parcorr_engine.h"
 #include "engine/tsubasa_engine.h"
+#include "serve/server.h"
 
 namespace dangoron {
 
@@ -156,5 +157,40 @@ Result<std::unique_ptr<CorrelationEngine>> CreateEngine(
 }
 
 std::string KnownEngineNames() { return "naive, tsubasa, dangoron, parcorr"; }
+
+Result<std::unique_ptr<DangoronServer>> CreateServer(
+    const std::string& options_text) {
+  auto options_or = ParseOptions(options_text);
+  if (!options_or.ok()) {
+    return options_or.status();
+  }
+  std::map<std::string, std::string> options = std::move(*options_or);
+
+  DangoronServerOptions server_options;
+  int64_t threads = server_options.num_threads;
+  int64_t sketch_cache_mb = server_options.sketch_cache_bytes >> 20;
+  int64_t result_cache_mb = server_options.result_cache_bytes >> 20;
+  RETURN_IF_ERROR(ConsumeInt(&options, "threads", &threads));
+  RETURN_IF_ERROR(
+      ConsumeInt(&options, "basic_window", &server_options.basic_window));
+  RETURN_IF_ERROR(ConsumeInt(&options, "sketch_cache_mb", &sketch_cache_mb));
+  RETURN_IF_ERROR(ConsumeInt(&options, "result_cache_mb", &result_cache_mb));
+  RETURN_IF_ERROR(RejectLeftovers(options, "server"));
+  if (threads < 0) {
+    return Status::InvalidArgument("server: threads must be >= 0, got ",
+                                   threads);
+  }
+  if (server_options.basic_window <= 0) {
+    return Status::InvalidArgument("server: basic_window must be > 0, got ",
+                                   server_options.basic_window);
+  }
+  if (sketch_cache_mb < 0 || result_cache_mb < 0) {
+    return Status::InvalidArgument("server: cache budgets must be >= 0");
+  }
+  server_options.num_threads = static_cast<int32_t>(threads);
+  server_options.sketch_cache_bytes = sketch_cache_mb << 20;
+  server_options.result_cache_bytes = result_cache_mb << 20;
+  return std::make_unique<DangoronServer>(server_options);
+}
 
 }  // namespace dangoron

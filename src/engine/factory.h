@@ -9,6 +9,10 @@
 
 namespace dangoron {
 
+// Declared only: engine-only users (CLI tools, benches) should not compile
+// the serving stack. Callers of CreateServer include serve/server.h.
+class DangoronServer;
+
 /// Constructs an engine by name with `key=value` options — the wiring for
 /// CLI tools and config-driven benchmark harnesses.
 ///
@@ -26,6 +30,19 @@ Result<std::unique_ptr<CorrelationEngine>> CreateEngine(
 
 /// Names accepted by CreateEngine, for help text.
 std::string KnownEngineNames();
+
+/// Constructs a DangoronServer from `key=value` options — the wiring for
+/// deployments that configure the serving layer from a flag or config file.
+///
+/// Options (comma separated, unknown keys are errors):
+///   threads=<int>            worker threads (0 = hardware concurrency)
+///   basic_window=<int>       prepare granularity
+///   sketch_cache_mb=<int>    prepared-sketch LRU budget in MiB
+///   result_cache_mb=<int>    window-result cache budget in MiB
+///
+/// Example: CreateServer("threads=8,basic_window=24,sketch_cache_mb=512").
+Result<std::unique_ptr<DangoronServer>> CreateServer(
+    const std::string& options_text = "");
 
 }  // namespace dangoron
 

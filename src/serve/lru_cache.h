@@ -1,0 +1,121 @@
+#ifndef DANGORON_SERVE_LRU_CACHE_H_
+#define DANGORON_SERVE_LRU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace dangoron {
+
+/// Counters a byte-budgeted cache exposes for the server's stats surface.
+struct LruCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t insertions = 0;
+  int64_t evictions = 0;
+  int64_t bytes = 0;    ///< bytes currently retained
+  int64_t entries = 0;  ///< entries currently retained
+};
+
+/// Thread-safe LRU cache of shared immutable values under a byte budget.
+///
+/// Values are `shared_ptr<const V>`: eviction only drops the cache's
+/// reference, so readers that already hold a handle keep a consistent view —
+/// the value's storage dies (and, for sketches, returns to the process-wide
+/// recycler) when the last in-flight user releases it. An entry whose cost
+/// alone exceeds the budget is evicted immediately after insertion; callers
+/// still use the handle they passed in.
+template <typename Key, typename V, typename KeyHash>
+class LruByteCache {
+ public:
+  explicit LruByteCache(int64_t byte_budget) : byte_budget_(byte_budget) {}
+
+  LruByteCache(const LruByteCache&) = delete;
+  LruByteCache& operator=(const LruByteCache&) = delete;
+
+  /// Returns the cached value (bumping its recency) or nullptr.
+  std::shared_ptr<const V> Get(const Key& key) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++stats_.misses;
+      return nullptr;
+    }
+    ++stats_.hits;
+    lru_.splice(lru_.end(), lru_, it->second);  // back = most recent
+    return it->second->value;
+  }
+
+  /// Inserts (or refreshes) `value` at a cost of `bytes`, then evicts from
+  /// the least recently used end until the budget holds.
+  void Put(const Key& key, std::shared_ptr<const V> value, int64_t bytes) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (bytes > byte_budget_) {
+      // An entry that can never fit must not flush the warm entries on its
+      // way through; reject it (dropping any stale version under the key).
+      auto it = map_.find(key);
+      if (it != map_.end()) {
+        stats_.bytes -= it->second->bytes;
+        lru_.erase(it->second);
+        map_.erase(it);
+      }
+      ++stats_.evictions;
+      stats_.entries = static_cast<int64_t>(lru_.size());
+      return;
+    }
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      stats_.bytes += bytes - it->second->bytes;
+      it->second->value = std::move(value);
+      it->second->bytes = bytes;
+      lru_.splice(lru_.end(), lru_, it->second);
+    } else {
+      lru_.push_back(Entry{key, std::move(value), bytes});
+      map_.emplace(key, std::prev(lru_.end()));
+      stats_.bytes += bytes;
+      ++stats_.insertions;
+    }
+    while (stats_.bytes > byte_budget_ && !lru_.empty()) {
+      stats_.bytes -= lru_.front().bytes;
+      map_.erase(lru_.front().key);
+      lru_.pop_front();
+      ++stats_.evictions;
+    }
+    stats_.entries = static_cast<int64_t>(lru_.size());
+  }
+
+  int64_t byte_budget() const { return byte_budget_; }
+
+  LruCacheStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+
+ private:
+  struct Entry {
+    Key key;
+    std::shared_ptr<const V> value;
+    int64_t bytes = 0;
+  };
+
+  mutable std::mutex mutex_;
+  int64_t byte_budget_;
+  std::list<Entry> lru_;  // front = least recently used
+  std::unordered_map<Key, typename std::list<Entry>::iterator, KeyHash> map_;
+  LruCacheStats stats_;
+};
+
+/// splitmix64 finalizer — the mixing step of the cache key hashes.
+inline uint64_t MixHash(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace dangoron
+
+#endif  // DANGORON_SERVE_LRU_CACHE_H_

@@ -1,0 +1,352 @@
+#include "serve/server.h"
+
+#include <utility>
+
+#include "engine/dangoron_engine.h"
+
+namespace dangoron {
+
+namespace {
+
+// The evaluation mode of the serving layer: exact incremental — a window's
+// edge set must not depend on the query range it was computed for, or
+// cross-query reuse would change results.
+DangoronOptions ServingEngineOptions(int64_t basic_window) {
+  DangoronOptions options;
+  options.basic_window = basic_window;
+  options.enable_jumping = false;
+  options.horizontal_pruning = false;
+  return options;
+}
+
+}  // namespace
+
+DangoronServer::DangoronServer(const DangoronServerOptions& options)
+    : options_(options),
+      sketch_cache_(options.sketch_cache_bytes),
+      result_cache_(options.result_cache_bytes),
+      pool_(std::make_unique<ThreadPool>(options.num_threads)) {}
+
+DangoronServer::~DangoronServer() {
+  // Drain before member teardown begins: in-flight query tasks schedule
+  // ParallelFor helpers on the pool, which the pool's own destructor (it
+  // runs with shutdown already flagged) would refuse. Wait() covers those
+  // helpers too — a task registers them before it completes, so the
+  // in-flight count stays nonzero until the whole query is done.
+  pool_->Wait();
+}
+
+Status DangoronServer::AddDataset(
+    const std::string& name, std::shared_ptr<const TimeSeriesMatrix> data) {
+  if (name.empty()) {
+    return Status::InvalidArgument("AddDataset: empty name");
+  }
+  if (data == nullptr || data->empty()) {
+    return Status::InvalidArgument("AddDataset: empty dataset '", name, "'");
+  }
+  if (data->CountMissing() > 0) {
+    return Status::FailedPrecondition(
+        "AddDataset: dataset '", name,
+        "' contains missing values; run InterpolateMissing first");
+  }
+  if (data->length() < options_.basic_window) {
+    return Status::InvalidArgument(
+        "AddDataset: dataset '", name, "' has length ", data->length(),
+        ", shorter than one basic window of ", options_.basic_window);
+  }
+  RegisteredDataset registered;
+  registered.fingerprint = data->ContentFingerprint();
+  registered.data = std::move(data);
+  std::lock_guard<std::mutex> lock(datasets_mutex_);
+  datasets_[name] = std::move(registered);
+  return Status::Ok();
+}
+
+Status DangoronServer::AddDataset(const std::string& name,
+                                  TimeSeriesMatrix data) {
+  return AddDataset(name,
+                    std::make_shared<const TimeSeriesMatrix>(std::move(data)));
+}
+
+Status DangoronServer::RemoveDataset(const std::string& name) {
+  std::lock_guard<std::mutex> lock(datasets_mutex_);
+  if (datasets_.erase(name) == 0) {
+    return Status::NotFound("RemoveDataset: unknown dataset '", name, "'");
+  }
+  return Status::Ok();
+}
+
+Result<uint64_t> DangoronServer::DatasetFingerprint(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(datasets_mutex_);
+  auto it = datasets_.find(name);
+  if (it == datasets_.end()) {
+    return Status::NotFound("DatasetFingerprint: unknown dataset '", name,
+                            "'");
+  }
+  return it->second.fingerprint;
+}
+
+std::future<Result<ServeResult>> DangoronServer::Submit(
+    const std::string& dataset, const SlidingQuery& query) {
+  RegisteredDataset registered;
+  {
+    std::lock_guard<std::mutex> lock(datasets_mutex_);
+    auto it = datasets_.find(dataset);
+    if (it == datasets_.end()) {
+      std::promise<Result<ServeResult>> failed;
+      failed.set_value(
+          Status::NotFound("Submit: unknown dataset '", dataset, "'"));
+      return failed.get_future();
+    }
+    registered = it->second;
+  }
+  return pool_->Async([this, data = std::move(registered.data),
+                       fingerprint = registered.fingerprint,
+                       query]() mutable -> Result<ServeResult> {
+    return RunQuery(std::move(data), fingerprint, query);
+  });
+}
+
+Result<ServeResult> DangoronServer::Query(const std::string& dataset,
+                                          const SlidingQuery& query) {
+  return Submit(dataset, query).get();
+}
+
+Result<std::shared_ptr<const PreparedDataset>> DangoronServer::GetOrPrepare(
+    std::shared_ptr<const TimeSeriesMatrix> data, uint64_t fingerprint,
+    bool* shared) {
+  const SketchCacheKey key{fingerprint, options_.basic_window};
+  if (auto cached = sketch_cache_.Get(key)) {
+    *shared = true;
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.prepares_shared;
+    return cached;
+  }
+
+  std::promise<std::shared_ptr<const PreparedDataset>> promise;
+  std::shared_future<std::shared_ptr<const PreparedDataset>> join;
+  bool producer = false;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    auto it = inflight_prepares_.find(key);
+    if (it != inflight_prepares_.end()) {
+      join = it->second;
+    } else {
+      producer = true;
+      inflight_prepares_.emplace(key, promise.get_future().share());
+    }
+  }
+
+  if (!producer) {
+    // Another query is building this sketch right now; its task fulfills
+    // the future before it waits on anything, so this cannot cycle.
+    if (auto prepared = join.get()) {
+      *shared = true;
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.prepares_shared;
+      return prepared;
+    }
+    // The producer's build failed; fall through and pay our own build so
+    // one failure does not poison every waiter with an opaque error.
+  }
+
+  auto prepared_or =
+      PreparedDataset::Create(std::move(data), options_.basic_window,
+                              pool_.get(), fingerprint);
+  std::shared_ptr<const PreparedDataset> prepared =
+      prepared_or.ok() ? *prepared_or : nullptr;
+  if (producer) {
+    if (prepared != nullptr) {
+      // Publish to the cache before retiring the in-flight entry so a new
+      // query always finds one of the two.
+      sketch_cache_.Put(key, prepared, prepared->MemoryBytes());
+    }
+    {
+      std::lock_guard<std::mutex> lock(inflight_mutex_);
+      inflight_prepares_.erase(key);
+    }
+    promise.set_value(prepared);
+  } else if (prepared != nullptr) {
+    sketch_cache_.Put(key, prepared, prepared->MemoryBytes());
+  }
+  if (!prepared_or.ok()) {
+    return prepared_or.status();
+  }
+  *shared = false;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.prepares_built;
+  }
+  return prepared;
+}
+
+Result<ServeResult> DangoronServer::RunQuery(
+    std::shared_ptr<const TimeSeriesMatrix> data, uint64_t fingerprint,
+    const SlidingQuery& query) {
+  RETURN_IF_ERROR(query.Validate(data->length()));
+  const int64_t b = options_.basic_window;
+  if (query.start % b != 0 || query.window % b != 0 || query.step % b != 0) {
+    return Status::InvalidArgument(
+        "DangoronServer: query start/window/step must be multiples of the "
+        "server basic window ",
+        b, " (got start=", query.start, " window=", query.window,
+        " step=", query.step, ")");
+  }
+
+  ServeResult out;
+  ASSIGN_OR_RETURN(std::shared_ptr<const PreparedDataset> prepared,
+                   GetOrPrepare(data, fingerprint, &out.prepared_from_cache));
+
+  const int64_t n = data->num_series();
+  const int64_t num_windows = query.NumWindows();
+  const int64_t ns = query.window / b;
+  const int64_t m = query.step / b;
+  const int64_t base_w0 = query.start / b;
+  if (base_w0 + (num_windows - 1) * m + ns >
+      prepared->index().num_basic_windows()) {
+    return Status::OutOfRange(
+        "DangoronServer: query needs basic windows up to ",
+        base_w0 + (num_windows - 1) * m + ns, " but only ",
+        prepared->index().num_basic_windows(), " are indexed");
+  }
+  auto key_for = [&](int64_t k) {
+    return WindowKey::Make(fingerprint, b, ns, base_w0 + k * m,
+                           query.threshold, query.absolute);
+  };
+
+  // Triage every window under one lock: cached, claimed by us, or in flight
+  // on a concurrent query. Claims are registered before any evaluation so
+  // an identical concurrent submission joins instead of recomputing.
+  std::vector<WindowEdges> got(static_cast<size_t>(num_windows));
+  std::vector<int64_t> mine;
+  struct Join {
+    int64_t k = 0;
+    std::shared_future<WindowEdges> future;
+  };
+  std::vector<Join> joins;
+  std::vector<std::promise<WindowEdges>> promises;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    for (int64_t k = 0; k < num_windows; ++k) {
+      if (auto cached = result_cache_.Get(key_for(k))) {
+        got[static_cast<size_t>(k)] = std::move(cached);
+        ++out.windows_from_cache;
+        continue;
+      }
+      auto it = inflight_windows_.find(key_for(k));
+      if (it != inflight_windows_.end()) {
+        joins.push_back(Join{k, it->second});
+      } else {
+        mine.push_back(k);
+      }
+    }
+    promises.resize(mine.size());
+    for (size_t idx = 0; idx < mine.size(); ++idx) {
+      inflight_windows_.emplace(key_for(mine[idx]),
+                                promises[idx].get_future().share());
+    }
+  }
+
+  // Evaluate claimed windows in maximal contiguous runs — one QueryPrepared
+  // per run keeps the pair-block sweep batched — and fulfill each window's
+  // promise as it lands. Every claim is fulfilled (with null on failure)
+  // before this task waits on anyone else's future: that ordering is the
+  // no-deadlock invariant of the dedup protocol.
+  const DangoronOptions engine_options = ServingEngineOptions(b);
+  auto retire = [&](size_t idx, WindowEdges edges) {
+    {
+      std::lock_guard<std::mutex> lock(inflight_mutex_);
+      inflight_windows_.erase(key_for(mine[idx]));
+    }
+    promises[idx].set_value(std::move(edges));
+  };
+  Status failure = Status::Ok();
+  size_t idx = 0;
+  while (idx < mine.size() && failure.ok()) {
+    size_t run_end = idx + 1;
+    while (run_end < mine.size() &&
+           mine[run_end] == mine[run_end - 1] + 1) {
+      ++run_end;
+    }
+    const int64_t k0 = mine[idx];
+    const int64_t k1 = mine[run_end - 1];
+    SlidingQuery sub = query;
+    sub.start = query.start + k0 * query.step;
+    sub.end = sub.start + (k1 - k0) * query.step + query.window;
+    auto series_or = DangoronEngine::QueryPrepared(
+        engine_options, prepared->index(), sub, pool_.get(), nullptr);
+    if (!series_or.ok()) {
+      failure = series_or.status();
+      break;
+    }
+    for (size_t r = idx; r < run_end; ++r) {
+      const int64_t k = mine[r];
+      auto edges = std::make_shared<std::vector<Edge>>(
+          std::move(*series_or->MutableWindow(k - k0)));
+      result_cache_.Put(key_for(k), edges, WindowEdgesBytes(*edges));
+      retire(r, edges);
+      got[static_cast<size_t>(k)] = std::move(edges);
+      ++out.windows_computed;
+    }
+    idx = run_end;
+  }
+  if (!failure.ok()) {
+    for (size_t r = idx; r < mine.size(); ++r) {
+      retire(r, nullptr);
+    }
+    return failure;
+  }
+
+  // Join windows claimed by concurrent queries. A null result means that
+  // query failed after claiming; evaluate the window ourselves rather than
+  // inheriting its error.
+  for (Join& join : joins) {
+    WindowEdges edges = join.future.get();
+    if (edges == nullptr) {
+      SlidingQuery sub = query;
+      sub.start = query.start + join.k * query.step;
+      sub.end = sub.start + query.window;
+      ASSIGN_OR_RETURN(CorrelationMatrixSeries single,
+                       DangoronEngine::QueryPrepared(
+                           engine_options, prepared->index(), sub,
+                           pool_.get(), nullptr));
+      edges = std::make_shared<std::vector<Edge>>(
+          std::move(*single.MutableWindow(0)));
+      result_cache_.Put(key_for(join.k), edges, WindowEdgesBytes(*edges));
+      ++out.windows_computed;
+    } else {
+      ++out.windows_joined;
+    }
+    got[static_cast<size_t>(join.k)] = std::move(edges);
+  }
+
+  // Assemble the response from the shared per-window edge sets.
+  CorrelationMatrixSeries series(query, n);
+  for (int64_t k = 0; k < num_windows; ++k) {
+    *series.MutableWindow(k) = *got[static_cast<size_t>(k)];
+  }
+  out.series = std::move(series);
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.queries;
+    stats_.windows_computed += out.windows_computed;
+    stats_.windows_from_cache += out.windows_from_cache;
+    stats_.windows_joined += out.windows_joined;
+  }
+  return out;
+}
+
+DangoronServerStats DangoronServer::stats() const {
+  DangoronServerStats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    snapshot = stats_;
+  }
+  snapshot.sketch_cache = sketch_cache_.stats();
+  snapshot.result_cache = result_cache_.stats();
+  return snapshot;
+}
+
+}  // namespace dangoron

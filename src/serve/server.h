@@ -1,0 +1,178 @@
+#ifndef DANGORON_SERVE_SERVER_H_
+#define DANGORON_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "engine/query.h"
+#include "serve/sketch_cache.h"
+#include "serve/window_result_cache.h"
+#include "ts/time_series_matrix.h"
+
+namespace dangoron {
+
+/// Options of the serving layer.
+struct DangoronServerOptions {
+  /// Worker threads shared by all in-flight queries (0 = hardware
+  /// concurrency). One pool serves both query tasks and their inner
+  /// pair-block parallelism.
+  int32_t num_threads = 0;
+
+  /// Basic window granularity datasets are prepared at; query start /
+  /// window / step must be multiples of it.
+  int64_t basic_window = 24;
+
+  /// Byte budget of the prepared-sketch LRU cache (sketch storage + data).
+  int64_t sketch_cache_bytes = int64_t{1} << 30;
+
+  /// Byte budget of the per-window edge-set cache.
+  int64_t result_cache_bytes = int64_t{64} << 20;
+};
+
+/// Per-query outcome: the result series plus where its pieces came from.
+struct ServeResult {
+  CorrelationMatrixSeries series;
+  /// The prepared sketch was a cache (or in-flight dedup) hit — this query
+  /// paid no index build.
+  bool prepared_from_cache = false;
+  int64_t windows_from_cache = 0;  ///< served from the window-result cache
+  int64_t windows_computed = 0;    ///< evaluated by this query
+  int64_t windows_joined = 0;      ///< awaited from a concurrent query
+};
+
+/// Aggregate server counters (monotonic since construction).
+struct DangoronServerStats {
+  int64_t queries = 0;
+  int64_t prepares_built = 0;      ///< index builds actually paid
+  int64_t prepares_shared = 0;     ///< sketch cache or in-flight dedup hits
+  int64_t windows_computed = 0;
+  int64_t windows_from_cache = 0;
+  int64_t windows_joined = 0;
+  LruCacheStats sketch_cache;
+  LruCacheStats result_cache;
+};
+
+/// Multi-tenant serving layer over the Dangoron sketch machinery: callers
+/// register datasets once and submit any number of concurrent
+/// `SlidingQuery`s; the server shares everything shareable between them.
+///
+/// - `PreparedDataset` handles (dataset fingerprint -> built
+///   BasicWindowIndex) are constructed once, deduplicated even across
+///   *concurrent* first queries, held in an LRU sketch cache under a byte
+///   budget, and shared read-only; eviction composes with the sketch
+///   storage recycler (see SketchCache).
+/// - Per-window edge sets are cached and deduplicated: overlapping queries
+///   (same dataset / basic window / threshold / window size, overlapping
+///   ranges) reuse each other's windows instead of re-walking pair blocks,
+///   and N identical concurrent submissions evaluate each window once.
+/// - Queries run as tasks on one shared ThreadPool and parallelize their
+///   pair blocks on the same pool (`Submit` returns a future immediately).
+///
+/// Queries are answered in exact incremental mode (no Eq. 2 jumping):
+/// jumping makes a window's result depend on the query's range, which would
+/// poison cross-query reuse; exactness is also what makes results
+/// byte-stable under every cache hit/miss/eviction interleaving (values
+/// match NaiveEngine up to floating-point roundoff).
+///
+/// Thread-safe: every public method may be called from any thread.
+class DangoronServer {
+ public:
+  explicit DangoronServer(const DangoronServerOptions& options = {});
+  /// Drains in-flight queries before tearing down shared state.
+  ~DangoronServer();
+
+  DangoronServer(const DangoronServer&) = delete;
+  DangoronServer& operator=(const DangoronServer&) = delete;
+
+  const DangoronServerOptions& options() const { return options_; }
+
+  /// Registers `data` under `name` (cheap: fingerprint only, no build — the
+  /// first query pays the prepare). Re-registering a name replaces it;
+  /// queries already in flight keep the data they resolved.
+  Status AddDataset(const std::string& name,
+                    std::shared_ptr<const TimeSeriesMatrix> data);
+  Status AddDataset(const std::string& name, TimeSeriesMatrix data);
+
+  /// Unregisters `name`. Cached sketches/windows for the data stay until
+  /// evicted (identity is content, not name).
+  Status RemoveDataset(const std::string& name);
+
+  /// Content fingerprint of a registered dataset — the key for wiring
+  /// external producers (e.g. StreamingNetworkBuilder::PublishTo) to this
+  /// server's window cache.
+  Result<uint64_t> DatasetFingerprint(const std::string& name) const;
+
+  /// Submits a query against a registered dataset; returns immediately.
+  /// The future resolves on a pool thread once the result is assembled.
+  std::future<Result<ServeResult>> Submit(const std::string& dataset,
+                                          const SlidingQuery& query);
+
+  /// Synchronous convenience: Submit + wait. Must not be called from a pool
+  /// task (i.e. from inside another query's execution).
+  Result<ServeResult> Query(const std::string& dataset,
+                            const SlidingQuery& query);
+
+  /// The window-result cache, for external producers that want live results
+  /// (streams) visible to historical queries. Thread-safe.
+  WindowResultCache* mutable_result_cache() { return &result_cache_; }
+
+  DangoronServerStats stats() const;
+
+ private:
+  struct RegisteredDataset {
+    std::shared_ptr<const TimeSeriesMatrix> data;
+    uint64_t fingerprint = 0;
+  };
+
+  /// The body of one submitted query, run as a pool task.
+  Result<ServeResult> RunQuery(std::shared_ptr<const TimeSeriesMatrix> data,
+                               uint64_t fingerprint,
+                               const SlidingQuery& query);
+
+  /// Returns the prepared sketch for (fingerprint, basic_window), building
+  /// it at most once across concurrent callers: cache hit, else join an
+  /// in-flight build, else build + publish. Sets `*shared` when this query
+  /// did not pay the build.
+  Result<std::shared_ptr<const PreparedDataset>> GetOrPrepare(
+      std::shared_ptr<const TimeSeriesMatrix> data, uint64_t fingerprint,
+      bool* shared);
+
+  const DangoronServerOptions options_;
+
+  mutable std::mutex datasets_mutex_;
+  std::unordered_map<std::string, RegisteredDataset> datasets_;
+
+  SketchCache sketch_cache_;
+  WindowResultCache result_cache_;
+
+  // In-flight deduplication. A producer task fulfills every promise it
+  // claimed before waiting on anyone else's future, so waits can never form
+  // a cycle (see RunQuery).
+  std::mutex inflight_mutex_;
+  std::unordered_map<SketchCacheKey,
+                     std::shared_future<std::shared_ptr<const PreparedDataset>>,
+                     SketchCacheKeyHash>
+      inflight_prepares_;
+  std::unordered_map<WindowKey, std::shared_future<WindowEdges>, WindowKeyHash>
+      inflight_windows_;
+
+  // Aggregate counters (guarded by stats_mutex_).
+  mutable std::mutex stats_mutex_;
+  DangoronServerStats stats_;
+
+  // Destroyed first (reverse member order): the pool's destructor drains
+  // every queued and running query task while the caches, maps, and
+  // registered datasets above are still alive.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace dangoron
+
+#endif  // DANGORON_SERVE_SERVER_H_

@@ -1,0 +1,42 @@
+#ifndef DANGORON_SERVE_SKETCH_CACHE_H_
+#define DANGORON_SERVE_SKETCH_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "serve/lru_cache.h"
+#include "serve/prepared_dataset.h"
+
+namespace dangoron {
+
+/// Identity of a prepared sketch: what the data is and at which basic-window
+/// granularity it was indexed. Two datasets with byte-identical values share
+/// one entry regardless of registration name.
+struct SketchCacheKey {
+  uint64_t fingerprint = 0;
+  int64_t basic_window = 0;
+
+  bool operator==(const SketchCacheKey&) const = default;
+};
+
+struct SketchCacheKeyHash {
+  size_t operator()(const SketchCacheKey& key) const {
+    return static_cast<size_t>(
+        MixHash(key.fingerprint ^
+                MixHash(static_cast<uint64_t>(key.basic_window))));
+  }
+};
+
+/// LRU cache of PreparedDataset handles under a byte budget (each entry
+/// costs PreparedDataset::MemoryBytes()). Eviction drops the cache's
+/// reference only: in-flight queries keep their handle alive, and when the
+/// last reference dies the index destructor returns the big pair-prefix
+/// blocks to the process-wide sketch storage recycler, so re-preparing an
+/// evicted dataset of similar shape overwrites warm pages instead of
+/// faulting fresh ones. Thread-safe.
+using SketchCache =
+    LruByteCache<SketchCacheKey, PreparedDataset, SketchCacheKeyHash>;
+
+}  // namespace dangoron
+
+#endif  // DANGORON_SERVE_SKETCH_CACHE_H_

@@ -62,6 +62,17 @@ class SketchStorageRecycler {
     }
   }
 
+  size_t retained_bytes() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return retained_bytes_;
+  }
+
+  void Trim() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    blocks_.clear();
+    retained_bytes_ = 0;
+  }
+
  private:
   // Two builds' worth (each build retires two blocks).
   static constexpr size_t kMaxBlocks = 4;
@@ -73,6 +84,12 @@ class SketchStorageRecycler {
 };
 
 }  // namespace
+
+int64_t SketchRecyclerRetainedBytes() {
+  return static_cast<int64_t>(SketchStorageRecycler::Instance().retained_bytes());
+}
+
+void TrimSketchRecycler() { SketchStorageRecycler::Instance().Trim(); }
 
 BasicWindowIndex::~BasicWindowIndex() {
   SketchStorageRecycler::Instance().Release(std::move(pair_dot_storage_),
@@ -547,6 +564,25 @@ int64_t BasicWindowIndex::MemoryBytes() const {
       (series_sum_prefix_.size() + series_sumsq_prefix_.size() +
        2 * pair_prefix_size_) *
       sizeof(double));
+}
+
+int64_t BasicWindowIndex::EstimateMemoryBytes(
+    int64_t num_series, int64_t length,
+    const BasicWindowIndexOptions& options) {
+  if (num_series <= 0 || options.basic_window <= 0 ||
+      length < options.basic_window) {
+    return 0;
+  }
+  const int64_t nb = length / options.basic_window;
+  int64_t doubles = 2 * num_series * (nb + 1);  // the two series prefixes
+  if (options.build_pair_sketches) {
+    // Mirrors Build's padded stride; MemoryBytes counts the prefix slots
+    // (not the alignment slack), so this matches the built index exactly.
+    const int64_t num_pairs = num_series * (num_series - 1) / 2;
+    const int64_t stride = (nb + 1 + kPairRowPad + 7) / 8 * 8;
+    doubles += 2 * num_pairs * stride;
+  }
+  return doubles * static_cast<int64_t>(sizeof(double));
 }
 
 }  // namespace dangoron

@@ -130,6 +130,12 @@ class BasicWindowIndex {
   /// Bytes of sketch storage (diagnostics for the build benches).
   int64_t MemoryBytes() const;
 
+  /// Bytes an index built over an `num_series x length` matrix with
+  /// `options` will hold, without building it — the sketch cache's admission
+  /// arithmetic. Matches MemoryBytes() of the built index exactly.
+  static int64_t EstimateMemoryBytes(int64_t num_series, int64_t length,
+                                     const BasicWindowIndexOptions& options);
+
  private:
   BasicWindowIndex() = default;
 
@@ -176,6 +182,17 @@ class BasicWindowIndex {
   size_t pair_prefix_size_ = 0;
   size_t pair_storage_size_ = 0;
 };
+
+/// Bytes currently parked in the process-wide sketch storage recycler (the
+/// retired pair-prefix blocks destroyed indexes leave behind for the next
+/// build). Observability hook for the serving layer's cache accounting and
+/// for tests of the eviction → recycler → rebuild composition.
+int64_t SketchRecyclerRetainedBytes();
+
+/// Drops every block the recycler retains, returning the memory to the
+/// allocator — e.g. after a serving layer mass-evicts sketches it does not
+/// expect to rebuild.
+void TrimSketchRecycler();
 
 }  // namespace dangoron
 

@@ -181,8 +181,24 @@ void StreamingNetworkBuilder::FoldBasicWindow() {
         }
       }
     }
+    if (publish_cache_ != nullptr) {
+      // The emitted edge walk is (i, j) ascending — already the canonical
+      // cached order. start_column is a multiple of b by construction.
+      auto edges = std::make_shared<std::vector<Edge>>(snapshot.edges);
+      publish_cache_->Put(
+          WindowKey::Make(publish_fingerprint_, b, ns_,
+                          snapshot.start_column / b, options_.threshold,
+                          options_.absolute),
+          edges, WindowEdgesBytes(*edges));
+    }
     ready_.push_back(std::move(snapshot));
   }
+}
+
+void StreamingNetworkBuilder::PublishTo(WindowResultCache* cache,
+                                        uint64_t dataset_fingerprint) {
+  publish_cache_ = cache;
+  publish_fingerprint_ = dataset_fingerprint;
 }
 
 Result<StreamSnapshot> StreamingNetworkBuilder::PopSnapshot() {

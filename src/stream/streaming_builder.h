@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "engine/query.h"
+#include "serve/window_result_cache.h"
 #include "ts/time_series_matrix.h"
 
 namespace dangoron {
@@ -77,6 +78,17 @@ class StreamingNetworkBuilder {
   /// Total columns appended so far.
   int64_t columns_seen() const { return columns_seen_; }
 
+  /// Publishes every snapshot emitted from now on into `cache` as dataset
+  /// `dataset_fingerprint`, keyed at this builder's geometry and threshold —
+  /// so a serving layer's historical queries reuse windows the live stream
+  /// already evaluated (the stream must be fed the dataset from column 0 for
+  /// the window numbering to line up). Values agree with the server's
+  /// sketch-evaluated windows up to floating-point roundoff; at an exact
+  /// threshold tie the two paths could round an edge differently, the usual
+  /// caveat of mixing algebraically equal evaluations. The cache must
+  /// outlive the builder; pass nullptr to detach.
+  void PublishTo(WindowResultCache* cache, uint64_t dataset_fingerprint);
+
  private:
   StreamingNetworkBuilder() = default;
 
@@ -109,6 +121,10 @@ class StreamingNetworkBuilder {
   int64_t basic_windows_seen_ = 0;
   int64_t next_window_index_ = 0;
   int64_t columns_seen_ = 0;
+
+  // Optional window-cache sink (see PublishTo); not owned.
+  WindowResultCache* publish_cache_ = nullptr;
+  uint64_t publish_fingerprint_ = 0;
 
   std::deque<StreamSnapshot> ready_;
 };

@@ -29,9 +29,9 @@ bool ReadPod(std::ifstream& in, T* value) {
 
 }  // namespace
 
-uint64_t Fnv1a64(const void* data, size_t size) {
+uint64_t Fnv1a64(const void* data, size_t size, uint64_t seed) {
   const unsigned char* bytes = static_cast<const unsigned char*>(data);
-  uint64_t hash = 0xcbf29ce484222325ULL;
+  uint64_t hash = seed;
   for (size_t i = 0; i < size; ++i) {
     hash ^= bytes[i];
     hash *= 0x100000001b3ULL;

@@ -30,8 +30,13 @@ Status SaveDataset(const TimeSeriesMatrix& matrix, const std::string& path);
 /// Loads a matrix previously written by SaveDataset.
 Result<TimeSeriesMatrix> LoadDataset(const std::string& path);
 
-/// FNV-1a 64-bit over a byte buffer (exposed for tests).
-uint64_t Fnv1a64(const void* data, size_t size);
+/// The FNV-1a 64-bit offset basis: the seed of an unchained hash.
+inline constexpr uint64_t kFnv1a64OffsetBasis = 0xcbf29ce484222325ULL;
+
+/// FNV-1a 64-bit over a byte buffer (exposed for tests). Pass a previous
+/// result as `seed` to chain multiple buffers into one hash.
+uint64_t Fnv1a64(const void* data, size_t size,
+                 uint64_t seed = kFnv1a64OffsetBasis);
 
 }  // namespace dangoron
 

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "ts/dataset_io.h"
 
 namespace dangoron {
 
@@ -116,6 +117,15 @@ int64_t TimeSeriesMatrix::CountMissing() const {
     }
   }
   return count;
+}
+
+uint64_t TimeSeriesMatrix::ContentFingerprint() const {
+  // Chained FNV-1a over the shape followed by the raw value bytes. Hashing
+  // the bit pattern (not the double value) keeps 0.0 / -0.0 and NaN
+  // payloads distinct, which is what byte-identity means here.
+  uint64_t hash = Fnv1a64(&num_series_, sizeof(num_series_));
+  hash = Fnv1a64(&length_, sizeof(length_), hash);
+  return Fnv1a64(values_.data(), values_.size() * sizeof(double), hash);
 }
 
 }  // namespace dangoron

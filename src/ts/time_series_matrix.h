@@ -81,6 +81,12 @@ class TimeSeriesMatrix {
   /// Count of missing (NaN) cells.
   int64_t CountMissing() const;
 
+  /// 64-bit content hash of shape plus raw values (FNV-1a over the value
+  /// bytes): the serving layer's dataset identity, so two registrations of
+  /// identical data share one prepared sketch. O(N * L); names are excluded
+  /// — identity is the numbers, not their labels.
+  uint64_t ContentFingerprint() const;
+
   /// Flat row-major storage (size num_series * length).
   const std::vector<double>& values() const { return values_; }
 

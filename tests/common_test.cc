@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <future>
 #include <set>
 #include <vector>
 
@@ -316,6 +317,43 @@ TEST(ThreadPoolTest, ZeroBlocksIsNoOp) {
   bool touched = false;
   pool.ParallelFor(0, [&touched](int64_t) { touched = true; });
   EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPoolTest, AsyncReturnsValueThroughFuture) {
+  ThreadPool pool(2);
+  std::future<int> sum = pool.Async([] { return 40 + 2; });
+  EXPECT_EQ(sum.get(), 42);
+}
+
+TEST(ThreadPoolTest, ParallelForIsReentrantFromPoolTasks) {
+  // The serving layer runs whole queries as pool tasks that parallelize
+  // their inner loops on the same pool; with more tasks than threads the
+  // pre-rework global-counter ParallelFor would deadlock here.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  std::vector<std::future<void>> tasks;
+  for (int t = 0; t < 8; ++t) {
+    tasks.push_back(pool.Async([&pool, &total] {
+      pool.ParallelFor(16, [&total](int64_t) { total.fetch_add(1); });
+    }));
+  }
+  for (auto& task : tasks) {
+    task.get();
+  }
+  EXPECT_EQ(total.load(), 8 * 16);
+}
+
+TEST(ThreadPoolTest, NestedParallelForCoversAllCells) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(8 * 8);
+  pool.ParallelFor(8, [&](int64_t outer) {
+    pool.ParallelFor(8, [&, outer](int64_t inner) {
+      hits[static_cast<size_t>(outer * 8 + inner)].fetch_add(1);
+    });
+  });
+  for (const auto& hit : hits) {
+    EXPECT_EQ(hit.load(), 1);
+  }
 }
 
 }  // namespace

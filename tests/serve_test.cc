@@ -1,0 +1,401 @@
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "engine/factory.h"
+#include "engine/naive_engine.h"
+#include "serve/server.h"
+#include "serve/sketch_cache.h"
+#include "serve/window_result_cache.h"
+#include "stream/streaming_builder.h"
+#include "ts/generators.h"
+
+namespace dangoron {
+namespace {
+
+TimeSeriesMatrix SmallClimate(int64_t stations, int64_t hours, uint64_t seed) {
+  ClimateSpec spec;
+  spec.num_stations = stations;
+  spec.num_hours = hours;
+  spec.seed = seed;
+  auto dataset = GenerateClimate(spec);
+  CHECK(dataset.ok());
+  return std::move(dataset->data);
+}
+
+void ExpectSeriesEqual(const CorrelationMatrixSeries& a,
+                       const CorrelationMatrixSeries& b, double tolerance) {
+  ASSERT_EQ(a.num_windows(), b.num_windows());
+  for (int64_t k = 0; k < a.num_windows(); ++k) {
+    const auto edges_a = a.WindowEdges(k);
+    const auto edges_b = b.WindowEdges(k);
+    ASSERT_EQ(edges_a.size(), edges_b.size()) << "window " << k;
+    for (size_t e = 0; e < edges_a.size(); ++e) {
+      EXPECT_EQ(edges_a[e].i, edges_b[e].i) << "window " << k;
+      EXPECT_EQ(edges_a[e].j, edges_b[e].j) << "window " << k;
+      EXPECT_NEAR(edges_a[e].value, edges_b[e].value, tolerance)
+          << "window " << k;
+    }
+  }
+}
+
+SlidingQuery MakeQuery(int64_t start, int64_t end, int64_t window,
+                       int64_t step, double threshold) {
+  SlidingQuery query;
+  query.start = start;
+  query.end = end;
+  query.window = window;
+  query.step = step;
+  query.threshold = threshold;
+  return query;
+}
+
+CorrelationMatrixSeries NaiveTruth(const TimeSeriesMatrix& data,
+                                   const SlidingQuery& query) {
+  NaiveEngine naive;
+  CHECK(naive.Prepare(data).ok());
+  auto truth = naive.Query(query);
+  CHECK(truth.ok());
+  return std::move(*truth);
+}
+
+// ------------------------------------------------------------- LRU caches --
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsedUnderByteBudget) {
+  WindowResultCache cache(300);
+  auto edges = std::make_shared<std::vector<Edge>>();
+  const auto key = [](int64_t start_bw) {
+    return WindowKey::Make(1, 24, 4, start_bw, 0.8, false);
+  };
+  cache.Put(key(0), edges, 100);
+  cache.Put(key(1), edges, 100);
+  cache.Put(key(2), edges, 100);
+  EXPECT_NE(cache.Get(key(0)), nullptr);  // bump 0: LRU order is now 1, 2, 0
+  cache.Put(key(3), edges, 100);          // evicts 1
+  EXPECT_EQ(cache.Get(key(1)), nullptr);
+  EXPECT_NE(cache.Get(key(2)), nullptr);
+  EXPECT_NE(cache.Get(key(0)), nullptr);
+  EXPECT_NE(cache.Get(key(3)), nullptr);
+
+  const LruCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 3);
+  EXPECT_EQ(stats.bytes, 300);
+  EXPECT_EQ(stats.evictions, 1);
+}
+
+TEST(LruCacheTest, OversizedEntryIsRejectedWithoutFlushingWarmEntries) {
+  WindowResultCache cache(50);
+  auto edges = std::make_shared<std::vector<Edge>>(
+      std::vector<Edge>{Edge{0, 1, 0.9}});
+  const WindowKey warm = WindowKey::Make(1, 24, 4, 7, 0.8, false);
+  cache.Put(warm, edges, 40);
+  cache.Put(WindowKey::Make(1, 24, 4, 0, 0.8, false), edges, 1000);
+  EXPECT_EQ(cache.Get(WindowKey::Make(1, 24, 4, 0, 0.8, false)), nullptr);
+  // The oversized newcomer must not have evicted the fitting entry.
+  EXPECT_NE(cache.Get(warm), nullptr);
+  EXPECT_EQ(cache.stats().entries, 1);
+  // The caller's reference is unaffected by the rejection.
+  EXPECT_EQ(edges->size(), 1u);
+}
+
+TEST(LruCacheTest, RefreshingAKeyUpdatesBytes) {
+  WindowResultCache cache(1000);
+  auto edges = std::make_shared<std::vector<Edge>>();
+  const WindowKey key = WindowKey::Make(1, 24, 4, 0, 0.8, false);
+  cache.Put(key, edges, 100);
+  cache.Put(key, edges, 250);
+  EXPECT_EQ(cache.stats().bytes, 250);
+  EXPECT_EQ(cache.stats().entries, 1);
+}
+
+// ------------------------------------------------------- basic serving ----
+
+TEST(DangoronServerTest, MatchesNaiveEngine) {
+  const int64_t b = 8;
+  TimeSeriesMatrix data = SmallClimate(6, b * 40, 4001);
+  const SlidingQuery query = MakeQuery(0, b * 40, b * 6, b * 2, 0.7);
+  const CorrelationMatrixSeries truth = NaiveTruth(data, query);
+
+  DangoronServerOptions options;
+  options.num_threads = 4;
+  options.basic_window = b;
+  DangoronServer server(options);
+  ASSERT_TRUE(server.AddDataset("climate", std::move(data)).ok());
+
+  auto result = server.Query("climate", query);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectSeriesEqual(truth, result->series, 1e-8);
+  EXPECT_FALSE(result->prepared_from_cache);
+  EXPECT_EQ(result->windows_computed, query.NumWindows());
+  EXPECT_EQ(result->windows_from_cache, 0);
+
+  // Identical repeat: full cache hit, nothing recomputed.
+  auto repeat = server.Query("climate", query);
+  ASSERT_TRUE(repeat.ok());
+  ExpectSeriesEqual(truth, repeat->series, 1e-8);
+  EXPECT_TRUE(repeat->prepared_from_cache);
+  EXPECT_EQ(repeat->windows_from_cache, query.NumWindows());
+  EXPECT_EQ(repeat->windows_computed, 0);
+}
+
+TEST(DangoronServerTest, OverlappingQueryReusesWindows) {
+  const int64_t b = 8;
+  TimeSeriesMatrix data = SmallClimate(5, b * 40, 4002);
+  DangoronServerOptions options;
+  options.num_threads = 2;
+  options.basic_window = b;
+  DangoronServer server(options);
+  const TimeSeriesMatrix copy = data;
+  ASSERT_TRUE(server.AddDataset("d", std::move(data)).ok());
+
+  // Windows at starts 0, 2b, 4b, ..., 18b.
+  const SlidingQuery first = MakeQuery(0, b * 24, b * 4, b * 2, 0.6);
+  ASSERT_TRUE(server.Query("d", first).ok());
+
+  // Shifted range, same geometry: starts 10b .. 30b — the six windows at
+  // 10b, 12b, ..., 20b are already cached from the first query.
+  const SlidingQuery second = MakeQuery(b * 10, b * 34, b * 4, b * 2, 0.6);
+  auto result = server.Query("d", second);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->windows_from_cache, 6);
+  EXPECT_EQ(result->windows_computed, second.NumWindows() - 6);
+  ExpectSeriesEqual(NaiveTruth(copy, second), result->series, 1e-8);
+}
+
+TEST(DangoronServerTest, ValidatesQueriesAndDatasetNames) {
+  const int64_t b = 8;
+  DangoronServerOptions options;
+  options.basic_window = b;
+  options.num_threads = 1;
+  DangoronServer server(options);
+  ASSERT_TRUE(
+      server.AddDataset("d", SmallClimate(4, b * 20, 4003)).ok());
+
+  EXPECT_EQ(server.Query("nope", MakeQuery(0, b * 20, b * 4, b, 0.5))
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  // Unaligned window.
+  EXPECT_EQ(server.Query("d", MakeQuery(0, b * 20, b * 4 + 1, b, 0.5))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Range beyond the data.
+  EXPECT_FALSE(server.Query("d", MakeQuery(0, b * 21, b * 4, b, 0.5)).ok());
+  EXPECT_FALSE(server.AddDataset("", SmallClimate(4, b * 20, 1)).ok());
+  EXPECT_EQ(server.RemoveDataset("nope").code(), StatusCode::kNotFound);
+  EXPECT_TRUE(server.RemoveDataset("d").ok());
+}
+
+TEST(DangoronServerTest, IdenticalDataSharesOnePrepareAcrossNames) {
+  const int64_t b = 8;
+  TimeSeriesMatrix data = SmallClimate(5, b * 30, 4004);
+  const TimeSeriesMatrix copy = data;
+  DangoronServerOptions options;
+  options.basic_window = b;
+  options.num_threads = 1;
+  DangoronServer server(options);
+  ASSERT_TRUE(server.AddDataset("a", std::move(data)).ok());
+  ASSERT_TRUE(server.AddDataset("b", copy).ok());
+
+  const SlidingQuery query = MakeQuery(0, b * 30, b * 5, b, 0.7);
+  ASSERT_TRUE(server.Query("a", query).ok());
+  auto via_b = server.Query("b", query);
+  ASSERT_TRUE(via_b.ok());
+  // Same content fingerprint: the sketch (and the windows) are shared.
+  EXPECT_TRUE(via_b->prepared_from_cache);
+  EXPECT_EQ(via_b->windows_from_cache, query.NumWindows());
+  EXPECT_EQ(server.stats().prepares_built, 1);
+}
+
+// ------------------------------------------------- concurrency stress -----
+
+// N concurrent submissions, identical and overlapping, against a small
+// thread pool: every result must equal the serial NaiveEngine run, and the
+// total evaluation work must not exceed the distinct-window universe
+// (deduplication across cache hits and in-flight joins).
+TEST(DangoronServerStressTest, ConcurrentOverlappingSubmitsMatchNaive) {
+  const int64_t b = 8;
+  const int64_t length = b * 48;
+  TimeSeriesMatrix data = SmallClimate(6, length, 4005);
+  const TimeSeriesMatrix copy = data;
+
+  DangoronServerOptions options;
+  options.num_threads = 4;
+  options.basic_window = b;
+  DangoronServer server(options);
+  ASSERT_TRUE(server.AddDataset("d", std::move(data)).ok());
+
+  // 12 queries: 4 identical, plus shifted/overlapping ranges and one
+  // distinct threshold (its windows must not mix with the others').
+  std::vector<SlidingQuery> queries;
+  for (int i = 0; i < 4; ++i) {
+    queries.push_back(MakeQuery(0, length, b * 6, b * 2, 0.6));
+  }
+  for (int i = 0; i < 4; ++i) {
+    queries.push_back(
+        MakeQuery(b * 2 * i, length - b * 2 * i, b * 6, b * 2, 0.6));
+  }
+  for (int i = 0; i < 3; ++i) {
+    queries.push_back(MakeQuery(b * 4 * i, length, b * 6, b * 2, 0.6));
+  }
+  queries.push_back(MakeQuery(0, length, b * 6, b * 2, 0.85));
+
+  std::vector<std::future<Result<ServeResult>>> pending;
+  pending.reserve(queries.size());
+  for (const SlidingQuery& query : queries) {
+    pending.push_back(server.Submit("d", query));
+  }
+  for (size_t q = 0; q < queries.size(); ++q) {
+    auto result = pending[q].get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ExpectSeriesEqual(NaiveTruth(copy, queries[q]), result->series, 1e-8);
+  }
+
+  // All 0.6-threshold queries share one window universe: starts 0..42b
+  // step 2b => 22 distinct windows; the 0.85 query adds its own 22.
+  const DangoronServerStats stats = server.stats();
+  EXPECT_EQ(stats.queries, static_cast<int64_t>(queries.size()));
+  EXPECT_EQ(stats.windows_computed, 44);
+  EXPECT_EQ(stats.prepares_built, 1);
+}
+
+// Tiny byte budgets: every sketch and window is evicted almost immediately,
+// so queries keep rebuilding — results must stay correct (in-flight queries
+// hold shared_ptr references; eviction can never corrupt them), and the
+// evicted sketch storage must land in the recycler.
+TEST(DangoronServerStressTest, TinyCacheBudgetsNeverCorruptResults) {
+  const int64_t b = 8;
+  const int64_t length = b * 32;
+  TimeSeriesMatrix data_a = SmallClimate(5, length, 4006);
+  TimeSeriesMatrix data_b = SmallClimate(5, length, 4007);
+  const TimeSeriesMatrix copy_a = data_a;
+  const TimeSeriesMatrix copy_b = data_b;
+
+  DangoronServerOptions options;
+  options.num_threads = 3;
+  options.basic_window = b;
+  options.sketch_cache_bytes = 1;  // nothing survives
+  options.result_cache_bytes = 1;
+  DangoronServer server(options);
+  ASSERT_TRUE(server.AddDataset("a", std::move(data_a)).ok());
+  ASSERT_TRUE(server.AddDataset("b", std::move(data_b)).ok());
+
+  const SlidingQuery query = MakeQuery(0, length, b * 5, b * 3, 0.6);
+  const CorrelationMatrixSeries truth_a = NaiveTruth(copy_a, query);
+  const CorrelationMatrixSeries truth_b = NaiveTruth(copy_b, query);
+
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::future<Result<ServeResult>>> pending;
+    for (int i = 0; i < 3; ++i) {
+      pending.push_back(server.Submit("a", query));
+      pending.push_back(server.Submit("b", query));
+    }
+    for (size_t q = 0; q < pending.size(); ++q) {
+      auto result = pending[q].get();
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      ExpectSeriesEqual(q % 2 == 0 ? truth_a : truth_b, result->series,
+                        1e-8);
+    }
+  }
+  const DangoronServerStats stats = server.stats();
+  EXPECT_GT(stats.sketch_cache.evictions, 0);
+  EXPECT_GT(stats.result_cache.evictions, 0);
+  // Evicted sketches retire their storage through the recycler.
+  EXPECT_GT(SketchRecyclerRetainedBytes(), 0);
+}
+
+// Destroying the server with submissions still queued/running must drain
+// them (no Schedule-after-shutdown abort from inner ParallelFor helpers)
+// and leave every future resolvable.
+TEST(DangoronServerStressTest, DestructionDrainsInFlightQueries) {
+  const int64_t b = 8;
+  const int64_t length = b * 40;
+  TimeSeriesMatrix data = SmallClimate(6, length, 4010);
+  const SlidingQuery query = MakeQuery(0, length, b * 6, b * 2, 0.6);
+
+  std::vector<std::future<Result<ServeResult>>> pending;
+  {
+    DangoronServerOptions options;
+    options.num_threads = 4;
+    options.basic_window = b;
+    DangoronServer server(options);
+    ASSERT_TRUE(server.AddDataset("d", std::move(data)).ok());
+    for (int i = 0; i < 8; ++i) {
+      pending.push_back(server.Submit("d", query));
+    }
+    // Server destructs here, before any future was waited on.
+  }
+  for (auto& future : pending) {
+    auto result = future.get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->series.num_windows(), query.NumWindows());
+  }
+}
+
+// -------------------------------------------------- streaming integration --
+
+TEST(DangoronServerTest, StreamPublishedWindowsServeHistoricalQueries) {
+  const int64_t b = 8;
+  const int64_t length = b * 30;
+  TimeSeriesMatrix data = SmallClimate(5, length, 4008);
+  const TimeSeriesMatrix copy = data;
+
+  DangoronServerOptions options;
+  options.basic_window = b;
+  options.num_threads = 1;
+  DangoronServer server(options);
+  ASSERT_TRUE(server.AddDataset("live", std::move(data)).ok());
+  auto fingerprint = server.DatasetFingerprint("live");
+  ASSERT_TRUE(fingerprint.ok());
+
+  StreamingOptions stream_options;
+  stream_options.basic_window = b;
+  stream_options.window = b * 5;
+  stream_options.step = b * 2;
+  stream_options.threshold = 0.6;
+  auto builder = StreamingNetworkBuilder::Create(5, stream_options);
+  ASSERT_TRUE(builder.ok());
+  builder->PublishTo(server.mutable_result_cache(), *fingerprint);
+  ASSERT_TRUE(builder->AppendColumns(copy, 0, length).ok());
+
+  // The live stream populated every window the historical query needs.
+  const SlidingQuery query = MakeQuery(0, length, b * 5, b * 2, 0.6);
+  auto result = server.Query("live", query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->windows_from_cache, query.NumWindows());
+  EXPECT_EQ(result->windows_computed, 0);
+  ExpectSeriesEqual(NaiveTruth(copy, query), result->series, 1e-8);
+}
+
+// --------------------------------------------------------------- factory --
+
+TEST(CreateServerTest, ParsesOptionsAndRejectsUnknownKeys) {
+  auto server = CreateServer(
+      "threads=2,basic_window=8,sketch_cache_mb=16,result_cache_mb=4");
+  ASSERT_TRUE(server.ok());
+  EXPECT_EQ((*server)->options().basic_window, 8);
+  EXPECT_EQ((*server)->options().num_threads, 2);
+  EXPECT_EQ((*server)->options().sketch_cache_bytes, int64_t{16} << 20);
+  EXPECT_EQ((*server)->options().result_cache_bytes, int64_t{4} << 20);
+
+  EXPECT_FALSE(CreateServer("bogus=1").ok());
+  EXPECT_FALSE(CreateServer("basic_window=0").ok());
+  EXPECT_FALSE(CreateServer("threads=-1").ok());
+
+  // An end-to-end query through the factory-built server.
+  TimeSeriesMatrix data = SmallClimate(4, 8 * 20, 4009);
+  const TimeSeriesMatrix copy = data;
+  ASSERT_TRUE((*server)->AddDataset("d", std::move(data)).ok());
+  const SlidingQuery query = MakeQuery(0, 8 * 20, 8 * 4, 8, 0.7);
+  auto result = (*server)->Query("d", query);
+  ASSERT_TRUE(result.ok());
+  ExpectSeriesEqual(NaiveTruth(copy, query), result->series, 1e-8);
+}
+
+}  // namespace
+}  // namespace dangoron
