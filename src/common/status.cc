@@ -24,6 +24,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "IO_ERROR";
     case StatusCode::kDataLoss:
       return "DATA_LOSS";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }

@@ -25,6 +25,8 @@ enum class StatusCode : int8_t {
   kInternal = 7,
   kIoError = 8,
   kDataLoss = 9,
+  kCancelled = 10,
+  kResourceExhausted = 11,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT",
@@ -85,6 +87,14 @@ class Status {
   template <typename... Args>
   static Status DataLoss(Args&&... args) {
     return Make(StatusCode::kDataLoss, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Cancelled(Args&&... args) {
+    return Make(StatusCode::kCancelled, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status ResourceExhausted(Args&&... args) {
+    return Make(StatusCode::kResourceExhausted, std::forward<Args>(args)...);
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,12 @@
+#include "engine/correlation_engine.h"
+
+namespace dangoron {
+
+Result<CorrelationMatrixSeries> CorrelationEngine::Query(
+    const SlidingQuery& query) {
+  CollectingWindowSink sink;
+  RETURN_IF_ERROR(QueryToSink(query, &sink));
+  return sink.TakeSeries();
+}
+
+}  // namespace dangoron

@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "engine/query.h"
+#include "engine/window_sink.h"
 #include "ts/time_series_matrix.h"
 
 namespace dangoron {
@@ -13,9 +14,16 @@ namespace dangoron {
 ///
 /// Lifecycle: construct with engine-specific options, `Prepare` once against
 /// a data matrix (index/sketch construction — the paper's build phase, timed
-/// separately from queries), then `Query` any number of times. The data
+/// separately from queries), then query any number of times. The data
 /// matrix must outlive the engine. Engines are not thread-safe across
-/// concurrent Query calls; parallelism lives *inside* an engine.
+/// concurrent query calls; parallelism lives *inside* an engine.
+///
+/// The query primitive is `QueryToSink`: windows are emitted into a
+/// `WindowSink` in ascending order as they become final, so callers that
+/// consume windows incrementally (streaming serving, live export) never pay
+/// full-result materialization. `Query` survives as a thin wrapper that
+/// collects the emission into a `CorrelationMatrixSeries` — byte-identical
+/// to the pre-pipeline materialized results.
 class CorrelationEngine {
  public:
   virtual ~CorrelationEngine() = default;
@@ -26,10 +34,15 @@ class CorrelationEngine {
   /// Builds the engine's index over `data`.
   virtual Status Prepare(const TimeSeriesMatrix& data) = 0;
 
-  /// Runs one sliding query; requires a successful Prepare.
-  virtual Result<CorrelationMatrixSeries> Query(const SlidingQuery& query) = 0;
+  /// Runs one sliding query, streaming windows into `sink` (see WindowSink
+  /// for the emission contract); requires a successful Prepare. Returns
+  /// Cancelled when the sink stops the query mid-stream.
+  virtual Status QueryToSink(const SlidingQuery& query, WindowSink* sink) = 0;
 
-  /// Counters of the most recent Query.
+  /// Materializing convenience: `QueryToSink` into a CollectingWindowSink.
+  Result<CorrelationMatrixSeries> Query(const SlidingQuery& query);
+
+  /// Counters of the most recent query.
   const EngineStats& stats() const { return stats_; }
 
  protected:

@@ -172,20 +172,30 @@ Status DangoronEngine::Prepare(const TimeSeriesMatrix& data) {
   return Status::Ok();
 }
 
-Result<CorrelationMatrixSeries> DangoronEngine::Query(
-    const SlidingQuery& query) {
+Status DangoronEngine::QueryToSink(const SlidingQuery& query,
+                                   WindowSink* sink) {
   if (data_ == nullptr || !index_.has_value()) {
     return Status::FailedPrecondition("DangoronEngine: Prepare not called");
   }
   stats_.Reset();
-  return QueryPrepared(options_, *index_, query, pool_.get(), &stats_,
-                       &pivots_);
+  return QueryPreparedToSink(options_, *index_, query, pool_.get(), &stats_,
+                             sink, &pivots_);
 }
 
 Result<CorrelationMatrixSeries> DangoronEngine::QueryPrepared(
     const DangoronOptions& options, const BasicWindowIndex& index,
     const SlidingQuery& query, ThreadPool* pool, EngineStats* stats,
     std::vector<int64_t>* pivots_out) {
+  CollectingWindowSink sink;
+  RETURN_IF_ERROR(QueryPreparedToSink(options, index, query, pool, stats,
+                                      &sink, pivots_out));
+  return sink.TakeSeries();
+}
+
+Status DangoronEngine::QueryPreparedToSink(
+    const DangoronOptions& options, const BasicWindowIndex& index,
+    const SlidingQuery& query, ThreadPool* pool, EngineStats* stats,
+    WindowSink* sink, std::vector<int64_t>* pivots_out) {
   const int64_t b = options.basic_window;
   if (b != index.basic_window()) {
     return Status::InvalidArgument(
@@ -227,6 +237,7 @@ Result<CorrelationMatrixSeries> DangoronEngine::QueryPrepared(
         "DangoronEngine: query needs basic windows up to ", last_needed_bw,
         " but only ", index.num_basic_windows(), " are indexed");
   }
+  RETURN_IF_ERROR(sink->OnBegin(query, n));
 
   const int num_pool_threads = pool != nullptr ? pool->num_threads() : 1;
 
@@ -304,8 +315,6 @@ Result<CorrelationMatrixSeries> DangoronEngine::QueryPrepared(
     *pivots_out = pivots;
   }
 
-  CorrelationMatrixSeries series(query, n);
-
   // Pair-block decomposition: contiguous ranges of pair ids, processed
   // independently. Deterministic regardless of thread count.
   const int64_t num_blocks =
@@ -337,35 +346,39 @@ Result<CorrelationMatrixSeries> DangoronEngine::QueryPrepared(
     }
   }
 
-  // Deterministic merge in block order, then canonical sort by (i, j).
-  if (num_blocks == 1) {
-    for (int64_t k = 0; k < num_windows; ++k) {
-      *series.MutableWindow(k) =
-          std::move(block_windows[0][static_cast<size_t>(k)]);
-    }
-  } else {
-    for (int64_t k = 0; k < num_windows; ++k) {
-      std::vector<Edge>* out = series.MutableWindow(k);
-      size_t total = 0;
-      for (const auto& local : block_windows) {
-        total += local[static_cast<size_t>(k)].size();
-      }
-      out->reserve(total);
-      for (const auto& local : block_windows) {
-        const auto& edges = local[static_cast<size_t>(k)];
-        out->insert(out->end(), edges.begin(), edges.end());
-      }
-    }
-  }
-  series.SortWindows();
-
   for (const EngineStats& s : block_stats) {
     stats->cells_evaluated += s.cells_evaluated;
     stats->cells_jumped += s.cells_jumped;
     stats->cells_horizontal_pruned += s.cells_horizontal_pruned;
     stats->jumps += s.jumps;
   }
-  return series;
+
+  // Emit windows in order: deterministic merge in block order, then the
+  // canonical (i, j) sort — per window, so each window leaves as soon as it
+  // is assembled instead of after the whole series is stitched. Pairs are
+  // unique within a window, so the unstable sort is deterministic.
+  for (int64_t k = 0; k < num_windows; ++k) {
+    std::vector<Edge> window;
+    if (num_blocks == 1) {
+      window = std::move(block_windows[0][static_cast<size_t>(k)]);
+    } else {
+      size_t total = 0;
+      for (const auto& local : block_windows) {
+        total += local[static_cast<size_t>(k)].size();
+      }
+      window.reserve(total);
+      for (const auto& local : block_windows) {
+        const auto& edges = local[static_cast<size_t>(k)];
+        window.insert(window.end(), edges.begin(), edges.end());
+      }
+    }
+    std::sort(window.begin(), window.end(), EdgeOrder);
+    if (!sink->OnWindow(k, std::move(window))) {
+      return FinishCancelled(sink, "DangoronEngine", k);
+    }
+  }
+  sink->OnFinish(Status::Ok());
+  return Status::Ok();
 }
 
 }  // namespace dangoron

@@ -61,7 +61,11 @@ class DangoronEngine : public CorrelationEngine {
     return options_.enable_jumping ? "dangoron" : "dangoron-incremental";
   }
   Status Prepare(const TimeSeriesMatrix& data) override;
-  Result<CorrelationMatrixSeries> Query(const SlidingQuery& query) override;
+  /// Pair blocks sweep every window before any window is final (jumping
+  /// couples consecutive windows along a pair), so windows are emitted in
+  /// order once the sweep completes; callers that want early windows chop
+  /// the range into sub-queries (exact mode only — the serving layer does).
+  Status QueryToSink(const SlidingQuery& query, WindowSink* sink) override;
 
   const DangoronOptions& options() const { return options_; }
 
@@ -84,6 +88,16 @@ class DangoronEngine : public CorrelationEngine {
       const DangoronOptions& options, const BasicWindowIndex& index,
       const SlidingQuery& query, ThreadPool* pool, EngineStats* stats,
       std::vector<int64_t>* pivots_out = nullptr);
+
+  /// Sink-driving form of QueryPrepared: same computation, windows emitted
+  /// to `sink` in ascending order (after the pair-block sweep; see
+  /// QueryToSink). QueryPrepared is this with a CollectingWindowSink.
+  static Status QueryPreparedToSink(const DangoronOptions& options,
+                                    const BasicWindowIndex& index,
+                                    const SlidingQuery& query,
+                                    ThreadPool* pool, EngineStats* stats,
+                                    WindowSink* sink,
+                                    std::vector<int64_t>* pivots_out = nullptr);
 
  private:
   DangoronOptions options_;

@@ -175,6 +175,12 @@ Result<std::unique_ptr<DangoronServer>> CreateServer(
       ConsumeInt(&options, "basic_window", &server_options.basic_window));
   RETURN_IF_ERROR(ConsumeInt(&options, "sketch_cache_mb", &sketch_cache_mb));
   RETURN_IF_ERROR(ConsumeInt(&options, "result_cache_mb", &result_cache_mb));
+  RETURN_IF_ERROR(ConsumeBool(&options, "refuse_oversized",
+                              &server_options.refuse_oversized_prepares));
+  RETURN_IF_ERROR(ConsumeInt(&options, "threshold_steps",
+                             &server_options.threshold_family_steps));
+  RETURN_IF_ERROR(ConsumeInt(&options, "max_streams",
+                             &server_options.max_concurrent_streams));
   RETURN_IF_ERROR(RejectLeftovers(options, "server"));
   if (threads < 0) {
     return Status::InvalidArgument("server: threads must be >= 0, got ",
@@ -186,6 +192,15 @@ Result<std::unique_ptr<DangoronServer>> CreateServer(
   }
   if (sketch_cache_mb < 0 || result_cache_mb < 0) {
     return Status::InvalidArgument("server: cache budgets must be >= 0");
+  }
+  if (server_options.threshold_family_steps < 0) {
+    return Status::InvalidArgument(
+        "server: threshold_steps must be >= 0 (0 disables family keys), got ",
+        server_options.threshold_family_steps);
+  }
+  if (server_options.max_concurrent_streams <= 0) {
+    return Status::InvalidArgument("server: max_streams must be > 0, got ",
+                                   server_options.max_concurrent_streams);
   }
   server_options.num_threads = static_cast<int32_t>(threads);
   server_options.sketch_cache_bytes = sketch_cache_mb << 20;

@@ -39,6 +39,11 @@ std::string KnownEngineNames();
 ///   basic_window=<int>       prepare granularity
 ///   sketch_cache_mb=<int>    prepared-sketch LRU budget in MiB
 ///   result_cache_mb=<int>    window-result cache budget in MiB
+///   refuse_oversized=<on|off> admission policy: refuse prepares whose
+///                            estimated footprint exceeds the sketch budget
+///   threshold_steps=<int>    threshold-family grid divisions per unit for
+///                            window cache keys (0 = exact-match keys)
+///   max_streams=<int>        cap on concurrent streaming submissions
 ///
 /// Example: CreateServer("threads=8,basic_window=24,sketch_cache_mb=512").
 Result<std::unique_ptr<DangoronServer>> CreateServer(

@@ -17,7 +17,7 @@ Status NaiveEngine::Prepare(const TimeSeriesMatrix& data) {
   return Status::Ok();
 }
 
-Result<CorrelationMatrixSeries> NaiveEngine::Query(const SlidingQuery& query) {
+Status NaiveEngine::QueryToSink(const SlidingQuery& query, WindowSink* sink) {
   if (data_ == nullptr) {
     return Status::FailedPrecondition("NaiveEngine: Prepare not called");
   }
@@ -30,27 +30,34 @@ Result<CorrelationMatrixSeries> NaiveEngine::Query(const SlidingQuery& query) {
   stats_.num_pairs = n * (n - 1) / 2;
   stats_.cells_total = stats_.num_windows * stats_.num_pairs;
 
-  CorrelationMatrixSeries series(query, n);
+  RETURN_IF_ERROR(sink->OnBegin(query, n));
   for (int64_t k = 0; k < num_windows; ++k) {
     const int64_t window_start = query.start + k * query.step;
-    std::vector<Edge>* edges = series.MutableWindow(k);
+    std::vector<Edge> edges;
     // Every pair of the window in one blocked z-normalized Gram pass; the
     // brute force stays O(N^2 * l) per window but runs at kernel speed.
-    ASSIGN_OR_RETURN(std::vector<double> matrix,
-                     ExactCorrelationMatrix(*data_, window_start,
-                                            query.window));
+    auto matrix_or = ExactCorrelationMatrix(*data_, window_start, query.window);
+    if (!matrix_or.ok()) {
+      sink->OnFinish(matrix_or.status());
+      return matrix_or.status();
+    }
+    const std::vector<double>& matrix = *matrix_or;
     for (int64_t i = 0; i < n; ++i) {
       for (int64_t j = i + 1; j < n; ++j) {
         const double c = matrix[static_cast<size_t>(i * n + j)];
         ++stats_.cells_evaluated;
         if (query.IsEdge(c)) {
-          edges->push_back(Edge{static_cast<int32_t>(i),
-                                static_cast<int32_t>(j), c});
+          edges.push_back(Edge{static_cast<int32_t>(i),
+                               static_cast<int32_t>(j), c});
         }
       }
     }
+    if (!sink->OnWindow(k, std::move(edges))) {
+      return FinishCancelled(sink, "NaiveEngine", k);
+    }
   }
-  return series;
+  sink->OnFinish(Status::Ok());
+  return Status::Ok();
 }
 
 }  // namespace dangoron

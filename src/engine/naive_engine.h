@@ -16,7 +16,9 @@ class NaiveEngine : public CorrelationEngine {
 
   std::string name() const override { return "naive"; }
   Status Prepare(const TimeSeriesMatrix& data) override;
-  Result<CorrelationMatrixSeries> Query(const SlidingQuery& query) override;
+  /// Windows are computed one at a time, so each is emitted as soon as its
+  /// brute-force pass finishes — cancellation stops the remaining passes.
+  Status QueryToSink(const SlidingQuery& query, WindowSink* sink) override;
 
  private:
   const TimeSeriesMatrix* data_ = nullptr;

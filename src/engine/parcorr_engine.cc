@@ -57,8 +57,8 @@ Status ParCorrEngine::Prepare(const TimeSeriesMatrix& data) {
   return Status::Ok();
 }
 
-Result<CorrelationMatrixSeries> ParCorrEngine::Query(
-    const SlidingQuery& query) {
+Status ParCorrEngine::QueryToSink(const SlidingQuery& query,
+                                  WindowSink* sink) {
   if (data_ == nullptr) {
     return Status::FailedPrecondition("ParCorrEngine: Prepare not called");
   }
@@ -73,7 +73,7 @@ Result<CorrelationMatrixSeries> ParCorrEngine::Query(
   stats_.num_pairs = n * (n - 1) / 2;
   stats_.cells_total = stats_.num_windows * stats_.num_pairs;
 
-  CorrelationMatrixSeries series(query, n);
+  RETURN_IF_ERROR(sink->OnBegin(query, n));
 
   // Sketches of the current window, sketch_[s * d + q], maintained
   // incrementally across sliding steps (ParCorr's core trick: the
@@ -106,7 +106,7 @@ Result<CorrelationMatrixSeries> ParCorrEngine::Query(
       add_range(a + query.window - query.step, a + query.window, +1.0);
     }
 
-    std::vector<Edge>* edges = series.MutableWindow(k);
+    std::vector<Edge> edges;
     for (int64_t i = 0; i < n; ++i) {
       const size_t pi = static_cast<size_t>(i * (length + 1));
       const double sx = sum_prefix_[pi + static_cast<size_t>(a + query.window)] -
@@ -156,13 +156,17 @@ Result<CorrelationMatrixSeries> ParCorrEngine::Query(
               continue;  // false candidate removed by verification
             }
           }
-          edges->push_back(
+          edges.push_back(
               Edge{static_cast<int32_t>(i), static_cast<int32_t>(j), c});
         }
       }
     }
+    if (!sink->OnWindow(k, std::move(edges))) {
+      return FinishCancelled(sink, "ParCorrEngine", k);
+    }
   }
-  return series;
+  sink->OnFinish(Status::Ok());
+  return Status::Ok();
 }
 
 }  // namespace dangoron

@@ -45,7 +45,9 @@ class ParCorrEngine : public CorrelationEngine {
 
   std::string name() const override { return "parcorr"; }
   Status Prepare(const TimeSeriesMatrix& data) override;
-  Result<CorrelationMatrixSeries> Query(const SlidingQuery& query) override;
+  /// The sketch slides window to window, so each window is emitted right
+  /// after its pair sweep; cancellation stops the slide.
+  Status QueryToSink(const SlidingQuery& query, WindowSink* sink) override;
 
  private:
   ParCorrOptions options_;

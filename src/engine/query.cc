@@ -69,9 +69,7 @@ std::vector<double> CorrelationMatrixSeries::ToDense(int64_t k) const {
 
 void CorrelationMatrixSeries::SortWindows() {
   for (std::vector<Edge>& window : windows_) {
-    std::sort(window.begin(), window.end(), [](const Edge& a, const Edge& b) {
-      return a.i != b.i ? a.i < b.i : a.j < b.j;
-    });
+    std::sort(window.begin(), window.end(), EdgeOrder);
   }
 }
 

@@ -57,6 +57,14 @@ inline bool operator==(const Edge& a, const Edge& b) {
   return a.i == b.i && a.j == b.j && a.value == b.value;
 }
 
+/// The canonical (i, j) ordering of a window's edges — the single
+/// definition behind both the engines' per-window emission sort and
+/// CorrelationMatrixSeries::SortWindows, so the WindowSink "sorted by
+/// (i, j)" contract cannot drift between the two.
+inline bool EdgeOrder(const Edge& a, const Edge& b) {
+  return a.i != b.i ? a.i < b.i : a.j < b.j;
+}
+
 /// The query result: a sequence of sparse thresholded correlation matrices,
 /// window k covering columns [start + k*step, start + k*step + window).
 /// Edges within a window are sorted by (i, j).

@@ -69,8 +69,8 @@ Status TsubasaEngine::Prepare(const TimeSeriesMatrix& data) {
   return Status::Ok();
 }
 
-Result<CorrelationMatrixSeries> TsubasaEngine::Query(
-    const SlidingQuery& query) {
+Status TsubasaEngine::QueryToSink(const SlidingQuery& query,
+                                  WindowSink* sink) {
   if (data_ == nullptr || !index_.has_value()) {
     return Status::FailedPrecondition("TsubasaEngine: Prepare not called");
   }
@@ -84,7 +84,7 @@ Result<CorrelationMatrixSeries> TsubasaEngine::Query(
   stats_.num_pairs = n * (n - 1) / 2;
   stats_.cells_total = stats_.num_windows * stats_.num_pairs;
 
-  CorrelationMatrixSeries series(query, n);
+  RETURN_IF_ERROR(sink->OnBegin(query, n));
   const BasicWindowIndex& index = *index_;
 
   // Reused per-window per-series moment buffers.
@@ -127,7 +127,7 @@ Result<CorrelationMatrixSeries> TsubasaEngine::Query(
       series_sumsq[static_cast<size_t>(s)] = sumsq + head.sumsq + tail.sumsq;
     }
 
-    std::vector<Edge>* edges = series.MutableWindow(k);
+    std::vector<Edge> edges;
     const double count = static_cast<double>(query.window);
     // Pair ids are contiguous along the canonical (i, j) walk.
     int64_t p = 0;
@@ -148,13 +148,17 @@ Result<CorrelationMatrixSeries> TsubasaEngine::Query(
             series_sumsq[static_cast<size_t>(j)], dot);
         ++stats_.cells_evaluated;
         if (query.IsEdge(c)) {
-          edges->push_back(
+          edges.push_back(
               Edge{static_cast<int32_t>(i), static_cast<int32_t>(j), c});
         }
       }
     }
+    if (!sink->OnWindow(k, std::move(edges))) {
+      return FinishCancelled(sink, "TsubasaEngine", k);
+    }
   }
-  return series;
+  sink->OnFinish(Status::Ok());
+  return Status::Ok();
 }
 
 Result<double> TsubasaEngine::PairCorrelation(int64_t i, int64_t j,

@@ -35,7 +35,9 @@ class TsubasaEngine : public CorrelationEngine {
 
   std::string name() const override { return "tsubasa"; }
   Status Prepare(const TimeSeriesMatrix& data) override;
-  Result<CorrelationMatrixSeries> Query(const SlidingQuery& query) override;
+  /// Each window's O(ns) recombination is independent, so windows stream
+  /// out one by one; cancellation skips the remaining recombinations.
+  Status QueryToSink(const SlidingQuery& query, WindowSink* sink) override;
 
   /// TSUBASA's headline API: exact correlation of (i, j) over an arbitrary
   /// column range [range_start, range_end), combining full basic windows

@@ -1,8 +1,12 @@
 #include "serve/server.h"
 
+#include <algorithm>
+#include <bit>
+#include <cmath>
 #include <utility>
 
 #include "engine/dangoron_engine.h"
+#include "sketch/basic_window_index.h"
 
 namespace dangoron {
 
@@ -19,6 +23,26 @@ DangoronOptions ServingEngineOptions(int64_t basic_window) {
   return options;
 }
 
+// Cache keys and the family machinery compare thresholds by bit pattern.
+bool SameThresholdBits(double a, double b) {
+  return std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b);
+}
+
+// Filters a family-threshold edge set down to `query`'s exact threshold.
+// Sound because the family threshold is <= the query's, so the cached set
+// is a superset whose values are threshold-independent (exact evaluation).
+std::vector<Edge> FilterEdges(const std::vector<Edge>& edges,
+                              const SlidingQuery& query) {
+  std::vector<Edge> out;
+  out.reserve(edges.size());
+  for (const Edge& edge : edges) {
+    if (query.IsEdge(edge.value)) {
+      out.push_back(edge);
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 DangoronServer::DangoronServer(const DangoronServerOptions& options)
@@ -28,6 +52,22 @@ DangoronServer::DangoronServer(const DangoronServerOptions& options)
       pool_(std::make_unique<ThreadPool>(options.num_threads)) {}
 
 DangoronServer::~DangoronServer() {
+  // Cancel live streams, then join their producer threads: a producer
+  // blocked on a consumer that will never drain wakes on Cancel, fulfills
+  // its claims, finishes its stream, and exits.
+  std::vector<ActiveStream> streams;
+  {
+    std::lock_guard<std::mutex> lock(streams_mutex_);
+    streams.swap(active_streams_);
+  }
+  for (ActiveStream& stream : streams) {
+    if (std::shared_ptr<WindowStreamState> state = stream.state.lock()) {
+      state->Cancel();
+    }
+    if (stream.producer.joinable()) {
+      stream.producer.join();
+    }
+  }
   // Drain before member teardown begins: in-flight query tasks schedule
   // ParallelFor helpers on the pool, which the pool's own destructor (it
   // runs with shutdown already flagged) would refuse. Wait() covers those
@@ -87,6 +127,39 @@ Result<uint64_t> DangoronServer::DatasetFingerprint(
   return it->second.fingerprint;
 }
 
+double DangoronServer::CanonicalThreshold(double threshold,
+                                          bool absolute) const {
+  const int64_t steps = options_.threshold_family_steps;
+  if (steps <= 0) {
+    return threshold;
+  }
+  // Snap down to the grid. The epsilon absorbs products like 0.7 * 20 =
+  // 13.999999999999998 landing a hair under their grid point; the guard
+  // keeps the invariant canonical <= threshold when the epsilon overshoots
+  // (a threshold just *below* a grid point must not snap up past it —
+  // filtering only removes edges, so the cached set has to be a superset).
+  const double steps_d = static_cast<double>(steps);
+  double grid = std::floor(threshold * steps_d + 1e-7);
+  double canonical = grid / steps_d;
+  if (canonical > threshold) {
+    canonical = (grid - 1.0) / steps_d;
+  }
+  // Never snap across a density cliff. At the accept-everything threshold
+  // (0 in absolute mode, -1 otherwise) a family window is a full
+  // n*(n-1)/2 clique; and in non-absolute mode, snapping a small positive
+  // threshold to 0 caches the c >= 0 half-clique (~half of all pairs on
+  // uncorrelated data) to answer a query that keeps almost none of it.
+  // Below the bottom useful grid step, fall back to exact-match keys.
+  const double accept_all = absolute ? 0.0 : -1.0;
+  if (canonical <= accept_all && threshold > accept_all) {
+    return threshold;
+  }
+  if (!absolute && threshold > 0.0 && canonical <= 0.0) {
+    return threshold;
+  }
+  return std::max(canonical, accept_all);
+}
+
 std::future<Result<ServeResult>> DangoronServer::Submit(
     const std::string& dataset, const SlidingQuery& query) {
   RegisteredDataset registered;
@@ -94,6 +167,7 @@ std::future<Result<ServeResult>> DangoronServer::Submit(
     std::lock_guard<std::mutex> lock(datasets_mutex_);
     auto it = datasets_.find(dataset);
     if (it == datasets_.end()) {
+      RecordQueryStats(ServeResult{}, /*streaming=*/false);
       std::promise<Result<ServeResult>> failed;
       failed.set_value(
           Status::NotFound("Submit: unknown dataset '", dataset, "'"));
@@ -106,6 +180,70 @@ std::future<Result<ServeResult>> DangoronServer::Submit(
                        query]() mutable -> Result<ServeResult> {
     return RunQuery(std::move(data), fingerprint, query);
   });
+}
+
+std::unique_ptr<WindowStream> DangoronServer::SubmitStreaming(
+    const std::string& dataset, const SlidingQuery& query,
+    const StreamingSubmitOptions& stream_options) {
+  auto state = std::make_shared<WindowStreamState>(
+      stream_options.queue_capacity);
+  RegisteredDataset registered;
+  {
+    std::lock_guard<std::mutex> lock(datasets_mutex_);
+    auto it = datasets_.find(dataset);
+    if (it == datasets_.end()) {
+      RecordQueryStats(ServeResult{}, /*streaming=*/true);
+      state->Finish(Status::NotFound("SubmitStreaming: unknown dataset '",
+                                     dataset, "'"),
+                    StreamingSummary{});
+      return std::make_unique<WindowStream>(std::move(state));
+    }
+    registered = it->second;
+  }
+  // The producer gets a dedicated thread, not a pool task: delivery blocks
+  // on the consumer by design (backpressure), and blocking must never pin a
+  // compute thread (a 1-thread pool would otherwise wedge under
+  // submit-stream, query, drain). Pair-block evaluation inside still runs
+  // on the shared pool. Threads are admission-capped and reaped here.
+  {
+    std::lock_guard<std::mutex> lock(streams_mutex_);
+    // Reap producers whose stream already finished (join is then
+    // instantaneous), and keep the live ones. A plain loop, not erase_if:
+    // joining the thread is a side effect the remove_if predicate contract
+    // does not allow.
+    std::vector<ActiveStream> live;
+    live.reserve(active_streams_.size() + 1);
+    for (ActiveStream& active : active_streams_) {
+      const std::shared_ptr<WindowStreamState> stream_state =
+          active.state.lock();
+      if (stream_state != nullptr && !stream_state->finished()) {
+        live.push_back(std::move(active));
+      } else if (active.producer.joinable()) {
+        active.producer.join();
+      }
+    }
+    active_streams_ = std::move(live);
+    if (static_cast<int64_t>(active_streams_.size()) >=
+        options_.max_concurrent_streams) {
+      RecordQueryStats(ServeResult{}, /*streaming=*/true);
+      state->Finish(
+          Status::ResourceExhausted(
+              "SubmitStreaming: ", active_streams_.size(),
+              " streams already live (max_concurrent_streams = ",
+              options_.max_concurrent_streams,
+              "); drain or cancel existing streams first"),
+          StreamingSummary{});
+      return std::make_unique<WindowStream>(std::move(state));
+    }
+    std::thread producer([this, data = std::move(registered.data),
+                          fingerprint = registered.fingerprint, query,
+                          stream_options, state]() mutable {
+      RunStreamingQuery(std::move(data), fingerprint, query, stream_options,
+                        std::move(state));
+    });
+    active_streams_.push_back(ActiveStream{std::move(producer), state});
+  }
+  return std::make_unique<WindowStream>(std::move(state));
 }
 
 Result<ServeResult> DangoronServer::Query(const std::string& dataset,
@@ -122,6 +260,30 @@ Result<std::shared_ptr<const PreparedDataset>> DangoronServer::GetOrPrepare(
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.prepares_shared;
     return cached;
+  }
+
+  // Admission policy: an index that can never fit the budget would be built
+  // only to be evicted on insertion (and would flush every warm sketch's
+  // LRU position on its way through the build's memory pressure). Refuse
+  // up front from the closed-form estimate instead.
+  if (options_.refuse_oversized_prepares) {
+    BasicWindowIndexOptions index_options;
+    index_options.basic_window = options_.basic_window;
+    index_options.build_pair_sketches = true;
+    const int64_t estimate =
+        BasicWindowIndex::EstimateMemoryBytes(data->num_series(),
+                                              data->length(), index_options) +
+        static_cast<int64_t>(data->values().size() * sizeof(double));
+    if (estimate > sketch_cache_.byte_budget()) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.prepares_refused;
+      }
+      return Status::ResourceExhausted(
+          "DangoronServer: prepare refused by admission policy — estimated ",
+          estimate, " bytes exceeds the sketch-cache budget of ",
+          sketch_cache_.byte_budget(), " bytes");
+    }
   }
 
   std::promise<std::shared_ptr<const PreparedDataset>> promise;
@@ -181,9 +343,11 @@ Result<std::shared_ptr<const PreparedDataset>> DangoronServer::GetOrPrepare(
   return prepared;
 }
 
-Result<ServeResult> DangoronServer::RunQuery(
-    std::shared_ptr<const TimeSeriesMatrix> data, uint64_t fingerprint,
-    const SlidingQuery& query) {
+Status DangoronServer::RunWindowPlan(
+    const std::shared_ptr<const TimeSeriesMatrix>& data, uint64_t fingerprint,
+    const SlidingQuery& query, int64_t max_batch_windows,
+    WindowStreamState* stream, std::vector<WindowEdges>* got_out,
+    ServeResult* out, bool* exact_family_out) {
   RETURN_IF_ERROR(query.Validate(data->length()));
   const int64_t b = options_.basic_window;
   if (query.start % b != 0 || query.window % b != 0 || query.step % b != 0) {
@@ -194,11 +358,9 @@ Result<ServeResult> DangoronServer::RunQuery(
         " step=", query.step, ")");
   }
 
-  ServeResult out;
   ASSIGN_OR_RETURN(std::shared_ptr<const PreparedDataset> prepared,
-                   GetOrPrepare(data, fingerprint, &out.prepared_from_cache));
+                   GetOrPrepare(data, fingerprint, &out->prepared_from_cache));
 
-  const int64_t n = data->num_series();
   const int64_t num_windows = query.NumWindows();
   const int64_t ns = query.window / b;
   const int64_t m = query.step / b;
@@ -210,132 +372,247 @@ Result<ServeResult> DangoronServer::RunQuery(
         base_w0 + (num_windows - 1) * m + ns, " but only ",
         prepared->index().num_basic_windows(), " are indexed");
   }
-  auto key_for = [&](int64_t k) {
-    return WindowKey::Make(fingerprint, b, ns, base_w0 + k * m,
-                           query.threshold, query.absolute);
-  };
 
-  // Triage every window under one lock: cached, claimed by us, or in flight
-  // on a concurrent query. Claims are registered before any evaluation so
-  // an identical concurrent submission joins instead of recomputing.
-  std::vector<WindowEdges> got(static_cast<size_t>(num_windows));
-  std::vector<int64_t> mine;
-  struct Join {
-    int64_t k = 0;
-    std::shared_future<WindowEdges> future;
-  };
-  std::vector<Join> joins;
-  std::vector<std::promise<WindowEdges>> promises;
-  {
-    std::lock_guard<std::mutex> lock(inflight_mutex_);
-    for (int64_t k = 0; k < num_windows; ++k) {
-      if (auto cached = result_cache_.Get(key_for(k))) {
-        got[static_cast<size_t>(k)] = std::move(cached);
-        ++out.windows_from_cache;
-        continue;
-      }
-      auto it = inflight_windows_.find(key_for(k));
-      if (it != inflight_windows_.end()) {
-        joins.push_back(Join{k, it->second});
-      } else {
-        mine.push_back(k);
-      }
-    }
-    promises.resize(mine.size());
-    for (size_t idx = 0; idx < mine.size(); ++idx) {
-      inflight_windows_.emplace(key_for(mine[idx]),
-                                promises[idx].get_future().share());
-    }
+  // Threshold-family canonicalization: evaluate/cache at the family
+  // threshold, filter back up to the query's on delivery/assembly.
+  const double canonical =
+      CanonicalThreshold(query.threshold, query.absolute);
+  const bool exact_family = SameThresholdBits(canonical, query.threshold);
+  if (exact_family_out != nullptr) {
+    *exact_family_out = exact_family;
   }
+  SlidingQuery eval = query;
+  eval.threshold = canonical;
 
-  // Evaluate claimed windows in maximal contiguous runs — one QueryPrepared
-  // per run keeps the pair-block sweep batched — and fulfill each window's
-  // promise as it lands. Every claim is fulfilled (with null on failure)
-  // before this task waits on anyone else's future: that ordering is the
-  // no-deadlock invariant of the dedup protocol.
+  auto key_for = [&](int64_t k) {
+    return WindowKey::Make(fingerprint, b, ns, base_w0 + k * m, canonical,
+                           query.absolute);
+  };
+
+  std::vector<WindowEdges>& got = *got_out;
+  got.assign(static_cast<size_t>(num_windows), nullptr);
+
+  // In-order streaming delivery of the contiguous finished prefix. Pushing
+  // may block on the consumer (backpressure); a false return means the
+  // stream was cancelled. Filtering from the family threshold to the
+  // query's happens here, at the delivery edge — the cache keeps the
+  // family-threshold superset.
+  int64_t next_deliver = 0;
+  bool delivery_cancelled = false;
+  auto deliver_ready = [&]() {
+    if (stream == nullptr || delivery_cancelled) {
+      return;
+    }
+    while (next_deliver < num_windows &&
+           got[static_cast<size_t>(next_deliver)] != nullptr) {
+      WindowEdges edges = got[static_cast<size_t>(next_deliver)];
+      if (!exact_family) {
+        edges = std::make_shared<const std::vector<Edge>>(
+            FilterEdges(*edges, query));
+      }
+      if (!stream->Push(StreamedWindow{next_deliver, std::move(edges)})) {
+        delivery_cancelled = true;
+        return;
+      }
+      // Streaming never assembles a series, so drop the plan's reference
+      // once delivered: peak memory is the queue plus the in-flight batch,
+      // not the whole result (the cache keeps its own budgeted reference).
+      got[static_cast<size_t>(next_deliver)] = nullptr;
+      ++next_deliver;
+    }
+  };
+  auto plan_cancelled = [&]() {
+    return delivery_cancelled || (stream != nullptr && stream->cancelled());
+  };
+
   const DangoronOptions engine_options = ServingEngineOptions(b);
-  auto retire = [&](size_t idx, WindowEdges edges) {
+  // One engine pass over windows [k0, k0 + count) at the family threshold.
+  auto evaluate_range =
+      [&](int64_t k0, int64_t count) -> Result<CorrelationMatrixSeries> {
+    SlidingQuery sub = eval;
+    sub.start = query.start + k0 * query.step;
+    sub.end = sub.start + (count - 1) * query.step + query.window;
+    return DangoronEngine::QueryPrepared(engine_options, prepared->index(),
+                                         sub, pool_.get(), nullptr);
+  };
+
+  // Walk the windows in order, resolving each from the cache, a concurrent
+  // query's in-flight claim, or our own evaluation. Claims are taken *per
+  // batch*, immediately before evaluating, and fulfilled (cache Put +
+  // promise) the moment the batch lands — so this task never holds an
+  // unfulfilled claim across anything that blocks (a join wait, or a
+  // delivery push stuck on a slow stream consumer). That is the no-deadlock
+  // invariant of the dedup protocol: joiners wait only on claims whose
+  // evaluation is already running, never on another query's consumer.
+  // `max_batch_windows` caps a batch so streaming consumers see windows at
+  // batch cadence, not full-query latency; each window is published to the
+  // result cache as it lands, so even a cancelled plan leaves a reusable
+  // prefix.
+  int64_t k = 0;
+  while (k < num_windows) {
+    if (plan_cancelled()) {
+      return Status::Cancelled("DangoronServer: stream cancelled mid-plan");
+    }
+    if (k < next_deliver || got[static_cast<size_t>(k)] != nullptr) {
+      ++k;  // already resolved (and possibly delivered + released)
+      continue;
+    }
+
+    // Resolve window k under the dedup lock; if it is free, claim the
+    // maximal contiguous free run from k (capped at the batch size).
+    std::shared_future<WindowEdges> join;
+    std::vector<std::promise<WindowEdges>> claims;
     {
       std::lock_guard<std::mutex> lock(inflight_mutex_);
-      inflight_windows_.erase(key_for(mine[idx]));
+      if (auto cached = result_cache_.Get(key_for(k))) {
+        got[static_cast<size_t>(k)] = std::move(cached);
+        ++out->windows_from_cache;
+      } else if (auto it = inflight_windows_.find(key_for(k));
+                 it != inflight_windows_.end()) {
+        join = it->second;
+      } else {
+        const int64_t cap =
+            max_batch_windows > 0 ? max_batch_windows : num_windows;
+        int64_t claimed = 1;
+        while (claimed < cap && k + claimed < num_windows) {
+          const WindowKey key = key_for(k + claimed);
+          if (auto cached = result_cache_.Get(key)) {
+            // Stash the probe hit so the main loop never re-reads it.
+            got[static_cast<size_t>(k + claimed)] = std::move(cached);
+            ++out->windows_from_cache;
+            break;
+          }
+          if (inflight_windows_.find(key) != inflight_windows_.end()) {
+            break;
+          }
+          ++claimed;
+        }
+        claims = std::vector<std::promise<WindowEdges>>(
+            static_cast<size_t>(claimed));
+        for (int64_t d = 0; d < claimed; ++d) {
+          inflight_windows_.emplace(
+              key_for(k + d),
+              claims[static_cast<size_t>(d)].get_future().share());
+        }
+      }
     }
-    promises[idx].set_value(std::move(edges));
-  };
-  Status failure = Status::Ok();
-  size_t idx = 0;
-  while (idx < mine.size() && failure.ok()) {
-    size_t run_end = idx + 1;
-    while (run_end < mine.size() &&
-           mine[run_end] == mine[run_end - 1] + 1) {
-      ++run_end;
+
+    if (got[static_cast<size_t>(k)] != nullptr) {
+      deliver_ready();
+      ++k;
+      continue;
     }
-    const int64_t k0 = mine[idx];
-    const int64_t k1 = mine[run_end - 1];
-    SlidingQuery sub = query;
-    sub.start = query.start + k0 * query.step;
-    sub.end = sub.start + (k1 - k0) * query.step + query.window;
-    auto series_or = DangoronEngine::QueryPrepared(
-        engine_options, prepared->index(), sub, pool_.get(), nullptr);
-    if (!series_or.ok()) {
-      failure = series_or.status();
-      break;
-    }
-    for (size_t r = idx; r < run_end; ++r) {
-      const int64_t k = mine[r];
-      auto edges = std::make_shared<std::vector<Edge>>(
-          std::move(*series_or->MutableWindow(k - k0)));
-      result_cache_.Put(key_for(k), edges, WindowEdgesBytes(*edges));
-      retire(r, edges);
+
+    if (join.valid()) {
+      // Wait holding no claims. A null result means the claimant failed (or
+      // was cancelled) after claiming; evaluate the window ourselves rather
+      // than inheriting its error.
+      WindowEdges edges = join.get();
+      if (edges == nullptr) {
+        ASSIGN_OR_RETURN(CorrelationMatrixSeries single,
+                         evaluate_range(k, 1));
+        edges = std::make_shared<std::vector<Edge>>(
+            std::move(*single.MutableWindow(0)));
+        result_cache_.Put(key_for(k), edges, WindowEdgesBytes(*edges));
+        ++out->windows_computed;
+      } else {
+        ++out->windows_joined;
+      }
       got[static_cast<size_t>(k)] = std::move(edges);
-      ++out.windows_computed;
+      deliver_ready();
+      ++k;
+      continue;
     }
-    idx = run_end;
-  }
-  if (!failure.ok()) {
-    for (size_t r = idx; r < mine.size(); ++r) {
-      retire(r, nullptr);
-    }
-    return failure;
-  }
 
-  // Join windows claimed by concurrent queries. A null result means that
-  // query failed after claiming; evaluate the window ourselves rather than
-  // inheriting its error.
-  for (Join& join : joins) {
-    WindowEdges edges = join.future.get();
-    if (edges == nullptr) {
-      SlidingQuery sub = query;
-      sub.start = query.start + join.k * query.step;
-      sub.end = sub.start + query.window;
-      ASSIGN_OR_RETURN(CorrelationMatrixSeries single,
-                       DangoronEngine::QueryPrepared(
-                           engine_options, prepared->index(), sub,
-                           pool_.get(), nullptr));
-      edges = std::make_shared<std::vector<Edge>>(
-          std::move(*single.MutableWindow(0)));
-      result_cache_.Put(key_for(join.k), edges, WindowEdgesBytes(*edges));
-      ++out.windows_computed;
-    } else {
-      ++out.windows_joined;
+    // Evaluate the claimed batch [k, k + claims.size()) and fulfill every
+    // claim before anything can block again.
+    const int64_t claimed = static_cast<int64_t>(claims.size());
+    auto retire = [&](int64_t d, WindowEdges edges) {
+      {
+        std::lock_guard<std::mutex> lock(inflight_mutex_);
+        inflight_windows_.erase(key_for(k + d));
+      }
+      claims[static_cast<size_t>(d)].set_value(std::move(edges));
+    };
+    auto series_or = evaluate_range(k, claimed);
+    if (!series_or.ok()) {
+      for (int64_t d = 0; d < claimed; ++d) {
+        retire(d, nullptr);
+      }
+      return series_or.status();
     }
-    got[static_cast<size_t>(join.k)] = std::move(edges);
+    for (int64_t d = 0; d < claimed; ++d) {
+      auto edges = std::make_shared<std::vector<Edge>>(
+          std::move(*series_or->MutableWindow(d)));
+      result_cache_.Put(key_for(k + d), edges, WindowEdgesBytes(*edges));
+      retire(d, edges);
+      got[static_cast<size_t>(k + d)] = std::move(edges);
+      ++out->windows_computed;
+    }
+    deliver_ready();
+    k += claimed;
   }
+  if (plan_cancelled()) {
+    return Status::Cancelled("DangoronServer: stream cancelled mid-plan");
+  }
+  return Status::Ok();
+}
 
-  // Assemble the response from the shared per-window edge sets.
+Result<ServeResult> DangoronServer::RunQuery(
+    std::shared_ptr<const TimeSeriesMatrix> data, uint64_t fingerprint,
+    const SlidingQuery& query) {
+  ServeResult out;
+  std::vector<WindowEdges> got;
+  bool exact_family = true;
+  const Status plan = RunWindowPlan(data, fingerprint, query,
+                                    /*max_batch_windows=*/0,
+                                    /*stream=*/nullptr, &got, &out,
+                                    &exact_family);
+  RecordQueryStats(out, /*streaming=*/false);
+  RETURN_IF_ERROR(plan);
+
+  // Assemble the response from the shared per-window edge sets, filtering
+  // family-threshold sets down to the query's exact threshold.
+  const int64_t n = data->num_series();
   CorrelationMatrixSeries series(query, n);
-  for (int64_t k = 0; k < num_windows; ++k) {
-    *series.MutableWindow(k) = *got[static_cast<size_t>(k)];
+  for (int64_t k = 0; k < query.NumWindows(); ++k) {
+    const std::vector<Edge>& edges = *got[static_cast<size_t>(k)];
+    *series.MutableWindow(k) =
+        exact_family ? edges : FilterEdges(edges, query);
   }
   out.series = std::move(series);
-
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.queries;
-    stats_.windows_computed += out.windows_computed;
-    stats_.windows_from_cache += out.windows_from_cache;
-    stats_.windows_joined += out.windows_joined;
-  }
   return out;
+}
+
+void DangoronServer::RunStreamingQuery(
+    std::shared_ptr<const TimeSeriesMatrix> data, uint64_t fingerprint,
+    const SlidingQuery& query, const StreamingSubmitOptions& stream_options,
+    std::shared_ptr<WindowStreamState> stream) {
+  ServeResult out;
+  std::vector<WindowEdges> got;
+  Status status =
+      RunWindowPlan(data, fingerprint, query, stream_options.max_batch_windows,
+                    stream.get(), &got, &out, nullptr);
+  RecordQueryStats(out, /*streaming=*/true);
+  StreamingSummary summary;
+  summary.prepared_from_cache = out.prepared_from_cache;
+  summary.windows_from_cache = out.windows_from_cache;
+  summary.windows_computed = out.windows_computed;
+  summary.windows_joined = out.windows_joined;
+  stream->Finish(std::move(status), summary);
+}
+
+void DangoronServer::RecordQueryStats(const ServeResult& out, bool streaming) {
+  // Every submission counts, successful or not, and the window counters
+  // reflect the work actually done — one accounting rule for both paths.
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.queries;
+  if (streaming) {
+    ++stats_.streaming_queries;
+  }
+  stats_.windows_computed += out.windows_computed;
+  stats_.windows_from_cache += out.windows_from_cache;
+  stats_.windows_joined += out.windows_joined;
 }
 
 DangoronServerStats DangoronServer::stats() const {

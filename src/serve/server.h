@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #include "engine/query.h"
 #include "serve/sketch_cache.h"
 #include "serve/window_result_cache.h"
+#include "serve/window_stream.h"
 #include "ts/time_series_matrix.h"
 
 namespace dangoron {
@@ -34,6 +36,30 @@ struct DangoronServerOptions {
 
   /// Byte budget of the per-window edge-set cache.
   int64_t result_cache_bytes = int64_t{64} << 20;
+
+  /// Admission policy: when true, a prepare whose estimated footprint
+  /// (BasicWindowIndex::EstimateMemoryBytes + data) exceeds the sketch-cache
+  /// byte budget is refused with ResourceExhausted *before* building,
+  /// instead of building an index that the cache evicts immediately. Off by
+  /// default: small deployments may prefer paying thrash over refusing.
+  bool refuse_oversized_prepares = false;
+
+  /// Admission cap on concurrent streaming submissions: each live stream
+  /// owns a dedicated producer thread, so past this many unfinished streams
+  /// SubmitStreaming fails terminally with ResourceExhausted instead of
+  /// spawning unbounded threads.
+  int64_t max_concurrent_streams = 64;
+
+  /// Threshold-family window caching: thresholds are snapped down to a grid
+  /// of `threshold_family_steps` divisions per unit (20 = 0.05 apart) for
+  /// evaluation and cache keys, and results are filtered back up to the
+  /// query's exact threshold on assembly. A window evaluated at family
+  /// threshold beta_c answers every query threshold in [beta_c, beta_c +
+  /// 1/steps), so threshold-sweep clients multiply their hit rates instead
+  /// of fragmenting the cache. Results are unchanged — exact evaluation's
+  /// values are threshold-independent; the threshold only filters. 0
+  /// disables (exact-match keys).
+  int64_t threshold_family_steps = 20;
 };
 
 /// Per-query outcome: the result series plus where its pieces came from.
@@ -49,9 +75,14 @@ struct ServeResult {
 
 /// Aggregate server counters (monotonic since construction).
 struct DangoronServerStats {
+  /// Submissions processed (materialized + streaming), successful or not;
+  /// window counters reflect the work actually done, so a failed or
+  /// cancelled submission contributes what it computed before stopping.
   int64_t queries = 0;
+  int64_t streaming_queries = 0;  ///< of which SubmitStreaming
   int64_t prepares_built = 0;      ///< index builds actually paid
   int64_t prepares_shared = 0;     ///< sketch cache or in-flight dedup hits
+  int64_t prepares_refused = 0;    ///< rejected by the admission policy
   int64_t windows_computed = 0;
   int64_t windows_from_cache = 0;
   int64_t windows_joined = 0;
@@ -67,13 +98,18 @@ struct DangoronServerStats {
 ///   BasicWindowIndex) are constructed once, deduplicated even across
 ///   *concurrent* first queries, held in an LRU sketch cache under a byte
 ///   budget, and shared read-only; eviction composes with the sketch
-///   storage recycler (see SketchCache).
+///   storage recycler (see SketchCache). An optional admission policy
+///   refuses prepares that could never fit the budget.
 /// - Per-window edge sets are cached and deduplicated: overlapping queries
-///   (same dataset / basic window / threshold / window size, overlapping
-///   ranges) reuse each other's windows instead of re-walking pair blocks,
-///   and N identical concurrent submissions evaluate each window once.
+///   (same dataset / basic window / threshold family, overlapping ranges)
+///   reuse each other's windows instead of re-walking pair blocks, and N
+///   identical concurrent submissions evaluate each window once. Windows
+///   land in the cache *as they are evaluated*, so even a cancelled or
+///   still-running query's prefix is reusable.
 /// - Queries run as tasks on one shared ThreadPool and parallelize their
-///   pair blocks on the same pool (`Submit` returns a future immediately).
+///   pair blocks on the same pool. `Submit` materializes the full series;
+///   `SubmitStreaming` delivers windows one by one through a bounded
+///   backpressured queue the moment each is final (see WindowStream).
 ///
 /// Queries are answered in exact incremental mode (no Eq. 2 jumping):
 /// jumping makes a window's result depend on the query's range, which would
@@ -85,7 +121,8 @@ struct DangoronServerStats {
 class DangoronServer {
  public:
   explicit DangoronServer(const DangoronServerOptions& options = {});
-  /// Drains in-flight queries before tearing down shared state.
+  /// Cancels still-active streams, then drains in-flight queries before
+  /// tearing down shared state.
   ~DangoronServer();
 
   DangoronServer(const DangoronServer&) = delete;
@@ -114,10 +151,27 @@ class DangoronServer {
   std::future<Result<ServeResult>> Submit(const std::string& dataset,
                                           const SlidingQuery& query);
 
+  /// Streaming submission: windows are delivered through the returned
+  /// handle's bounded queue in ascending order as they are evaluated (or
+  /// read from cache), so consumers see the first window at
+  /// time-to-first-window instead of full-query latency. Every window is
+  /// published to the shared window cache the moment it lands, so a
+  /// cancelled (or merely slower) stream leaves a reusable prefix for the
+  /// next overlapping query. Errors surface as the stream's terminal
+  /// status; this call itself never blocks.
+  std::unique_ptr<WindowStream> SubmitStreaming(
+      const std::string& dataset, const SlidingQuery& query,
+      const StreamingSubmitOptions& stream_options = {});
+
   /// Synchronous convenience: Submit + wait. Must not be called from a pool
   /// task (i.e. from inside another query's execution).
   Result<ServeResult> Query(const std::string& dataset,
                             const SlidingQuery& query);
+
+  /// The family threshold `threshold` is evaluated and cached at (itself,
+  /// when `threshold_family_steps` is 0 or the threshold already sits on
+  /// the grid). Exposed so external cache producers can key compatibly.
+  double CanonicalThreshold(double threshold, bool absolute) const;
 
   /// The window-result cache, for external producers that want live results
   /// (streams) visible to historical queries. Thread-safe.
@@ -131,15 +185,48 @@ class DangoronServer {
     uint64_t fingerprint = 0;
   };
 
-  /// The body of one submitted query, run as a pool task.
+  /// The shared core of materialized and streaming submissions: walks the
+  /// query's windows in order, resolving each from the result cache, a
+  /// concurrent query's in-flight claim, or its own evaluation in
+  /// contiguous batches of at most `max_batch_windows` (0 = unbounded).
+  /// Claims are taken per batch and fulfilled (cache Put + promise) as the
+  /// batch lands, so the task never holds an unfulfilled claim across a
+  /// join wait or a blocking stream delivery — the no-deadlock invariant.
+  /// When `stream` is non-null, the contiguous prefix is delivered in order
+  /// through the stream's bounded queue (filtered from the family threshold
+  /// to the query's) and released from `got` after delivery; otherwise
+  /// `got` retains the family-threshold edge set per window for assembly.
+  /// `exact_family_out` (optional) reports whether the query threshold sits
+  /// on the family grid (no assembly filtering needed). Returns Cancelled
+  /// when the stream cancels mid-plan; cached windows computed before that
+  /// remain reusable.
+  Status RunWindowPlan(const std::shared_ptr<const TimeSeriesMatrix>& data,
+                       uint64_t fingerprint, const SlidingQuery& query,
+                       int64_t max_batch_windows, WindowStreamState* stream,
+                       std::vector<WindowEdges>* got, ServeResult* out,
+                       bool* exact_family_out);
+
+  /// The body of one materialized query, run as a pool task.
   Result<ServeResult> RunQuery(std::shared_ptr<const TimeSeriesMatrix> data,
                                uint64_t fingerprint,
                                const SlidingQuery& query);
 
+  /// The body of one streaming query, run as a pool task; always finishes
+  /// `stream`.
+  void RunStreamingQuery(std::shared_ptr<const TimeSeriesMatrix> data,
+                         uint64_t fingerprint, const SlidingQuery& query,
+                         const StreamingSubmitOptions& stream_options,
+                         std::shared_ptr<WindowStreamState> stream);
+
+  /// Folds one submission's accounting into the aggregate counters — the
+  /// single rule both the materialized and streaming paths use.
+  void RecordQueryStats(const ServeResult& out, bool streaming);
+
   /// Returns the prepared sketch for (fingerprint, basic_window), building
   /// it at most once across concurrent callers: cache hit, else join an
-  /// in-flight build, else build + publish. Sets `*shared` when this query
-  /// did not pay the build.
+  /// in-flight build, else build + publish — unless the admission policy
+  /// refuses the build. Sets `*shared` when this query did not pay the
+  /// build.
   Result<std::shared_ptr<const PreparedDataset>> GetOrPrepare(
       std::shared_ptr<const TimeSeriesMatrix> data, uint64_t fingerprint,
       bool* shared);
@@ -152,9 +239,11 @@ class DangoronServer {
   SketchCache sketch_cache_;
   WindowResultCache result_cache_;
 
-  // In-flight deduplication. A producer task fulfills every promise it
-  // claimed before waiting on anyone else's future, so waits can never form
-  // a cycle (see RunQuery).
+  // In-flight deduplication. Claims are taken per evaluation batch and
+  // fulfilled as the batch lands, before the claiming task can block on
+  // anything — another query's future or a stream consumer's queue — so a
+  // joiner only ever waits on an evaluation that is actively running (see
+  // RunWindowPlan); no wait cycle and no dependence on consumer progress.
   std::mutex inflight_mutex_;
   std::unordered_map<SketchCacheKey,
                      std::shared_future<std::shared_ptr<const PreparedDataset>>,
@@ -162,6 +251,21 @@ class DangoronServer {
       inflight_prepares_;
   std::unordered_map<WindowKey, std::shared_future<WindowEdges>, WindowKeyHash>
       inflight_windows_;
+
+  // Live streaming submissions. Each runs on a dedicated producer thread —
+  // not a pool task — because delivery legitimately blocks on the consumer
+  // (backpressure): on the pool, every undrained stream would pin a compute
+  // thread, and a 1-thread pool would wedge outright under the
+  // submit-stream-then-query-then-drain pattern. Inner pair-block
+  // parallelism still runs on the shared pool (ParallelFor is
+  // caller-helping, so external callers compose). Destruction cancels the
+  // streams, then joins the threads (guarded by streams_mutex_).
+  std::mutex streams_mutex_;
+  struct ActiveStream {
+    std::thread producer;
+    std::weak_ptr<WindowStreamState> state;
+  };
+  std::vector<ActiveStream> active_streams_;
 
   // Aggregate counters (guarded by stats_mutex_).
   mutable std::mutex stats_mutex_;

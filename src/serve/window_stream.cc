@@ -1,0 +1,72 @@
+#include "serve/window_stream.h"
+
+#include <utility>
+
+namespace dangoron {
+
+WindowStreamState::WindowStreamState(int64_t queue_capacity)
+    : capacity_(queue_capacity > 0 ? queue_capacity : 1) {}
+
+bool WindowStreamState::Push(StreamedWindow window) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  can_push_.wait(lock, [this] {
+    return cancelled_ || static_cast<int64_t>(queue_.size()) < capacity_;
+  });
+  if (cancelled_) {
+    return false;
+  }
+  queue_.push_back(std::move(window));
+  can_pop_.notify_one();
+  return true;
+}
+
+void WindowStreamState::Finish(Status status, const StreamingSummary& summary) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  finished_ = true;
+  status_ = std::move(status);
+  summary_ = summary;
+  can_pop_.notify_all();
+  can_push_.notify_all();
+}
+
+bool WindowStreamState::cancelled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cancelled_;
+}
+
+std::optional<StreamedWindow> WindowStreamState::Next() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  can_pop_.wait(lock, [this] { return finished_ || !queue_.empty(); });
+  if (!queue_.empty()) {
+    StreamedWindow window = std::move(queue_.front());
+    queue_.pop_front();
+    can_push_.notify_one();
+    return window;
+  }
+  return std::nullopt;
+}
+
+void WindowStreamState::Cancel() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cancelled_ = true;
+  queue_.clear();  // release every slot so a blocked producer wakes now
+  can_push_.notify_all();
+  can_pop_.notify_all();
+}
+
+Status WindowStreamState::status() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return status_;
+}
+
+StreamingSummary WindowStreamState::summary() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return summary_;
+}
+
+bool WindowStreamState::finished() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return finished_;
+}
+
+}  // namespace dangoron

@@ -1,0 +1,156 @@
+#ifndef DANGORON_SERVE_WINDOW_STREAM_H_
+#define DANGORON_SERVE_WINDOW_STREAM_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "common/status.h"
+#include "serve/window_result_cache.h"
+
+namespace dangoron {
+
+/// Per-stream knobs of `DangoronServer::SubmitStreaming`.
+struct StreamingSubmitOptions {
+  /// Capacity of the bounded delivery queue between the query task and the
+  /// consumer. When it is full the producer blocks (backpressure): a slow
+  /// consumer bounds the stream's memory at `queue_capacity` windows instead
+  /// of the whole result.
+  int64_t queue_capacity = 8;
+
+  /// Maximum windows evaluated per engine batch before delivery. Smaller
+  /// batches shrink time-to-first-window; larger ones amortize the
+  /// pair-block sweep. Serving evaluates exactly (no jumping), so batching
+  /// never changes results.
+  int64_t max_batch_windows = 4;
+};
+
+/// One delivered window of a streaming submission.
+struct StreamedWindow {
+  int64_t window_index = 0;
+  /// The window's edge set, sorted by (i, j) and thresholded at the
+  /// *query's* threshold (family-cached windows are filtered before
+  /// delivery). Shared immutably with the server's window cache.
+  WindowEdges edges;
+};
+
+/// Source accounting of one streaming submission (the streaming face of
+/// `ServeResult`); complete once the stream finished.
+struct StreamingSummary {
+  bool prepared_from_cache = false;
+  int64_t windows_from_cache = 0;
+  int64_t windows_computed = 0;
+  int64_t windows_joined = 0;
+};
+
+/// The shared channel between a streaming query task (producer) and the
+/// consumer-facing `WindowStream` handle: a bounded FIFO of finished windows
+/// plus the terminal status. Server-internal — consumers use `WindowStream`;
+/// it is public only so the server and tests can drive the producer side.
+///
+/// Producer protocol: any number of `Push` calls (ascending window indices),
+/// then exactly one `Finish`. `Push` blocks while the queue is full and the
+/// stream is live; it returns false once the stream is cancelled, which is
+/// the producer's signal to stop. `cancelled()` lets a producer poll between
+/// batches so evaluation (not just delivery) stops early.
+class WindowStreamState {
+ public:
+  explicit WindowStreamState(int64_t queue_capacity);
+
+  // --- producer side (the server's streaming query task) ---
+
+  /// Enqueues one window; blocks while the queue is full. Returns false
+  /// when the stream is cancelled (the window is dropped).
+  bool Push(StreamedWindow window);
+
+  /// Terminal: publishes the stream's status and accounting, wakes everyone.
+  void Finish(Status status, const StreamingSummary& summary);
+
+  bool cancelled() const;
+
+  // --- consumer side (via WindowStream) ---
+
+  /// Pops the next window; blocks until one is available or the stream is
+  /// terminal. After `Cancel`, blocks until the producer acknowledged (its
+  /// `Finish`), so a nullopt return always means the producer is done.
+  std::optional<StreamedWindow> Next();
+
+  /// Requests cancellation: drops queued windows (releasing their slots so
+  /// a blocked producer wakes immediately) and makes further Push fail.
+  void Cancel();
+
+  /// Terminal status — Ok for a fully delivered stream, Cancelled after
+  /// `Cancel`, the failure otherwise. Meaningful once `Next` returned
+  /// nullopt (i.e. after the producer's Finish).
+  Status status() const;
+
+  /// Source accounting; meaningful once `Next` returned nullopt.
+  StreamingSummary summary() const;
+
+  bool finished() const;
+
+ private:
+  const int64_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable can_push_;
+  std::condition_variable can_pop_;
+  std::deque<StreamedWindow> queue_;
+  bool cancelled_ = false;
+  bool finished_ = false;
+  Status status_ = Status::Ok();
+  StreamingSummary summary_;
+};
+
+/// Consumer handle of one `DangoronServer::SubmitStreaming` call. Windows
+/// arrive in ascending window_index order, each exactly once; drain with
+///
+///   while (auto window = stream->Next()) { consume(*window); }
+///   RETURN_IF_ERROR(stream->status());
+///
+/// The producer runs on a dedicated thread (not the server's compute
+/// pool), so a full queue blocks only that stream — never a pool thread —
+/// and claims are fulfilled before delivery can block, so other queries
+/// never depend on this consumer's pace. `Next` must still not be called
+/// from inside a server pool task (the same rule as the synchronous
+/// `Query`).
+///
+/// Destroying the handle cancels an unfinished stream, so an abandoned
+/// stream finishes promptly instead of idling behind a queue nobody reads.
+class WindowStream {
+ public:
+  explicit WindowStream(std::shared_ptr<WindowStreamState> state)
+      : state_(std::move(state)) {}
+  ~WindowStream() {
+    if (state_ != nullptr && !state_->finished()) {
+      state_->Cancel();
+    }
+  }
+
+  WindowStream(const WindowStream&) = delete;
+  WindowStream& operator=(const WindowStream&) = delete;
+
+  /// Blocks for the next window; nullopt once the stream is terminal (the
+  /// producer finished, failed, or acknowledged cancellation).
+  std::optional<StreamedWindow> Next() { return state_->Next(); }
+
+  /// Mid-stream cancellation: already-queued windows are dropped, the
+  /// producer stops at its next batch boundary, and every window it already
+  /// computed stays in the server's cache for the next overlapping query.
+  void Cancel() { state_->Cancel(); }
+
+  /// Terminal status; meaningful once Next() returned nullopt.
+  Status status() const { return state_->status(); }
+
+  /// Source accounting; meaningful once Next() returned nullopt.
+  StreamingSummary summary() const { return state_->summary(); }
+
+ private:
+  std::shared_ptr<WindowStreamState> state_;
+};
+
+}  // namespace dangoron
+
+#endif  // DANGORON_SERVE_WINDOW_STREAM_H_

@@ -181,24 +181,49 @@ void StreamingNetworkBuilder::FoldBasicWindow() {
         }
       }
     }
-    if (publish_cache_ != nullptr) {
+    if (sink_ != nullptr) {
       // The emitted edge walk is (i, j) ascending — already the canonical
-      // cached order. start_column is a multiple of b by construction.
-      auto edges = std::make_shared<std::vector<Edge>>(snapshot.edges);
-      publish_cache_->Put(
-          WindowKey::Make(publish_fingerprint_, b, ns_,
-                          snapshot.start_column / b, options_.threshold,
-                          options_.absolute),
-          edges, WindowEdgesBytes(*edges));
+      // sink order — and the edges move straight into the sink: one buffer,
+      // shared onward (e.g. into a server's window cache) without a copy.
+      // A false return detaches the sink; the window it cancelled on was
+      // consumed by the sink (same ownership rule as the engines') and is
+      // counted in sink_cancelled_window(), not requeued — zero-copy
+      // emission means the builder no longer holds those edges.
+      if (!sink_->OnWindow(snapshot.window_index,
+                           std::move(snapshot.edges))) {
+        sink_cancelled_window_ = snapshot.window_index;
+        sink_ = nullptr;  // later snapshots queue internally again
+        publish_sink_.reset();
+      }
+    } else {
+      ready_.push_back(std::move(snapshot));
     }
-    ready_.push_back(std::move(snapshot));
   }
+}
+
+void StreamingNetworkBuilder::EmitTo(WindowSink* sink) {
+  sink_ = sink;
+  publish_sink_.reset();
+  sink_cancelled_window_ = -1;  // a fresh sink session has lost nothing
 }
 
 void StreamingNetworkBuilder::PublishTo(WindowResultCache* cache,
                                         uint64_t dataset_fingerprint) {
-  publish_cache_ = cache;
-  publish_fingerprint_ = dataset_fingerprint;
+  sink_cancelled_window_ = -1;  // a fresh sink session has lost nothing
+  if (cache == nullptr) {
+    sink_ = nullptr;
+    publish_sink_.reset();
+    return;
+  }
+  CacheWindowSink::FixedGeometry geometry;
+  geometry.window_bws = ns_;
+  geometry.step_bws = m_;
+  geometry.start0_bw = 0;  // the stream is fed from column 0 by contract
+  geometry.threshold = options_.threshold;
+  geometry.absolute = options_.absolute;
+  publish_sink_ = std::make_unique<CacheWindowSink>(
+      cache, dataset_fingerprint, options_.basic_window, geometry);
+  sink_ = publish_sink_.get();
 }
 
 Result<StreamSnapshot> StreamingNetworkBuilder::PopSnapshot() {

@@ -3,11 +3,14 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "common/status.h"
 #include "engine/query.h"
+#include "engine/window_sink.h"
+#include "serve/cache_sink.h"
 #include "serve/window_result_cache.h"
 #include "ts/time_series_matrix.h"
 
@@ -67,7 +70,8 @@ class StreamingNetworkBuilder {
   Status AppendColumns(const TimeSeriesMatrix& matrix, int64_t start,
                        int64_t count);
 
-  /// Number of snapshots ready to be popped.
+  /// Number of snapshots ready to be popped (always 0 while a sink is
+  /// attached — the sink is the consumer; see EmitTo).
   int64_t ReadySnapshots() const {
     return static_cast<int64_t>(ready_.size());
   }
@@ -78,11 +82,33 @@ class StreamingNetworkBuilder {
   /// Total columns appended so far.
   int64_t columns_seen() const { return columns_seen_; }
 
+  /// Routes every window emitted from now on into `sink` — the same
+  /// `WindowSink` pipeline the offline engines drive — instead of the
+  /// internal ready queue, so live consumption never double-buffers edges.
+  /// The stream is open-ended: the builder drives `OnWindow` only (window
+  /// indices ascend with the builder's numbering; no OnBegin/OnFinish). A
+  /// false return from OnWindow detaches the sink; later snapshots queue
+  /// internally again, and the window the sink cancelled on belongs to the
+  /// sink (zero-copy emission — it is not requeued; see
+  /// sink_cancelled_window()). The sink must outlive the builder or be
+  /// detached (pass nullptr) first.
+  void EmitTo(WindowSink* sink);
+
+  /// Index of the window a sink consumed while cancelling (-1 if none):
+  /// the one emission that is in neither the sink's output nor the ready
+  /// queue, so fallback consumers can account for it.
+  int64_t sink_cancelled_window() const { return sink_cancelled_window_; }
+
   /// Publishes every snapshot emitted from now on into `cache` as dataset
   /// `dataset_fingerprint`, keyed at this builder's geometry and threshold —
   /// so a serving layer's historical queries reuse windows the live stream
   /// already evaluated (the stream must be fed the dataset from column 0 for
-  /// the window numbering to line up). Values agree with the server's
+  /// the window numbering to line up). Implemented as EmitTo with an owned
+  /// CacheWindowSink: published snapshots go to the cache *instead of* the
+  /// ready queue (no double-buffering — pre-pipeline behavior kept both
+  /// copies). To interoperate with a server running threshold-family keys,
+  /// pick a stream threshold on the server's grid (see
+  /// DangoronServer::CanonicalThreshold). Values agree with the server's
   /// sketch-evaluated windows up to floating-point roundoff; at an exact
   /// threshold tie the two paths could round an edge differently, the usual
   /// caveat of mixing algebraically equal evaluations. The cache must
@@ -122,9 +148,11 @@ class StreamingNetworkBuilder {
   int64_t next_window_index_ = 0;
   int64_t columns_seen_ = 0;
 
-  // Optional window-cache sink (see PublishTo); not owned.
-  WindowResultCache* publish_cache_ = nullptr;
-  uint64_t publish_fingerprint_ = 0;
+  // Attached emission sink (see EmitTo); not owned. When PublishTo wired a
+  // cache, publish_sink_ owns the adapter and sink_ points at it.
+  WindowSink* sink_ = nullptr;
+  std::unique_ptr<CacheWindowSink> publish_sink_;
+  int64_t sink_cancelled_window_ = -1;
 
   std::deque<StreamSnapshot> ready_;
 };

@@ -96,5 +96,46 @@ TEST(ExportTest, UnwritablePathIsIoError) {
             StatusCode::kIoError);
 }
 
+CorrelationMatrixSeries SampleSeries() {
+  SlidingQuery query;
+  query.start = 0;
+  query.end = 30;
+  query.window = 10;
+  query.step = 10;
+  CorrelationMatrixSeries series(query, 3);
+  series.MutableWindow(0)->push_back(Edge{0, 2, 0.88});
+  series.MutableWindow(1)->push_back(Edge{1, 2, 0.93});
+  series.MutableWindow(2)->push_back(Edge{0, 1, -0.91});
+  return series;
+}
+
+// The sink-driven export path writes the identical file the materialized
+// WriteSeriesCsv writes — the same rows at window cadence, never holding
+// the series.
+TEST(ExportTest, SeriesCsvSinkMatchesMaterializedWriter) {
+  const CorrelationMatrixSeries series = SampleSeries();
+  TempDir dir;
+  const std::string materialized_path = dir.File("materialized.csv");
+  ASSERT_TRUE(WriteSeriesCsv(series, materialized_path).ok());
+
+  const std::string streamed_path = dir.File("streamed.csv");
+  SeriesCsvSink sink(streamed_path);
+  ASSERT_TRUE(sink.status().ok());
+  ASSERT_TRUE(ReplayToSink(series, &sink).ok());
+  ASSERT_TRUE(sink.status().ok());
+
+  EXPECT_EQ(Slurp(streamed_path), Slurp(materialized_path));
+}
+
+TEST(ExportTest, SeriesCsvSinkSurfacesOpenFailureAsRootCause) {
+  SeriesCsvSink sink("/nonexistent_dir_xyz/out.csv");
+  EXPECT_EQ(sink.status().code(), StatusCode::kIoError);
+  // A bounded producer aborts at OnBegin with the IoError itself, not a
+  // generic cancellation.
+  EXPECT_EQ(ReplayToSink(SampleSeries(), &sink).code(),
+            StatusCode::kIoError);
+  EXPECT_EQ(sink.status().code(), StatusCode::kIoError);
+}
+
 }  // namespace
 }  // namespace dangoron

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <future>
 #include <memory>
 #include <thread>
@@ -372,20 +373,385 @@ TEST(DangoronServerTest, StreamPublishedWindowsServeHistoricalQueries) {
   ExpectSeriesEqual(NaiveTruth(copy, query), result->series, 1e-8);
 }
 
+// ------------------------------------------------- streaming submissions --
+
+// Windows arrive in ascending order, exactly once each, and the delivered
+// edge sets equal the serial NaiveEngine truth; a repeat stream is pure
+// cache and a family-shifted threshold reuses the same cached windows
+// through delivery-time filtering.
+TEST(StreamingSubmitTest, DeliversWindowsInOrderMatchingNaive) {
+  const int64_t b = 8;
+  const int64_t length = b * 44;
+  TimeSeriesMatrix data = SmallClimate(6, length, 5001);
+  const TimeSeriesMatrix copy = data;
+
+  DangoronServerOptions options;
+  options.num_threads = 3;
+  options.basic_window = b;
+  DangoronServer server(options);
+  ASSERT_TRUE(server.AddDataset("d", std::move(data)).ok());
+
+  const SlidingQuery query = MakeQuery(0, length, b * 6, b * 2, 0.6);
+  const CorrelationMatrixSeries truth = NaiveTruth(copy, query);
+
+  StreamingSubmitOptions stream_options;
+  stream_options.queue_capacity = 3;
+  stream_options.max_batch_windows = 4;
+  auto stream = server.SubmitStreaming("d", query, stream_options);
+  int64_t expected_index = 0;
+  while (auto window = stream->Next()) {
+    ASSERT_EQ(window->window_index, expected_index);
+    const auto expected = truth.WindowEdges(window->window_index);
+    ASSERT_EQ(window->edges->size(), expected.size())
+        << "window " << window->window_index;
+    for (size_t e = 0; e < expected.size(); ++e) {
+      EXPECT_EQ((*window->edges)[e].i, expected[e].i);
+      EXPECT_EQ((*window->edges)[e].j, expected[e].j);
+      EXPECT_NEAR((*window->edges)[e].value, expected[e].value, 1e-8);
+    }
+    ++expected_index;
+  }
+  ASSERT_TRUE(stream->status().ok()) << stream->status().ToString();
+  EXPECT_EQ(expected_index, query.NumWindows());
+  EXPECT_EQ(stream->summary().windows_computed, query.NumWindows());
+
+  // Identical repeat: every window from cache, no evaluation.
+  auto repeat = server.SubmitStreaming("d", query, stream_options);
+  int64_t repeated = 0;
+  while (auto window = repeat->Next()) {
+    ++repeated;
+  }
+  ASSERT_TRUE(repeat->status().ok());
+  EXPECT_EQ(repeated, query.NumWindows());
+  EXPECT_EQ(repeat->summary().windows_from_cache, query.NumWindows());
+  EXPECT_EQ(repeat->summary().windows_computed, 0);
+
+  // Family threshold: 0.63 snaps to the 0.6 family — same cached windows,
+  // filtered up to 0.63 at the delivery edge.
+  SlidingQuery swept = query;
+  swept.threshold = 0.63;
+  const CorrelationMatrixSeries swept_truth = NaiveTruth(copy, swept);
+  auto family = server.SubmitStreaming("d", swept, stream_options);
+  int64_t k = 0;
+  while (auto window = family->Next()) {
+    const auto expected = swept_truth.WindowEdges(k);
+    ASSERT_EQ(window->edges->size(), expected.size()) << "window " << k;
+    for (size_t e = 0; e < expected.size(); ++e) {
+      EXPECT_EQ((*window->edges)[e].i, expected[e].i);
+      EXPECT_EQ((*window->edges)[e].j, expected[e].j);
+      EXPECT_NEAR((*window->edges)[e].value, expected[e].value, 1e-8);
+    }
+    ++k;
+  }
+  ASSERT_TRUE(family->status().ok());
+  EXPECT_EQ(family->summary().windows_from_cache, query.NumWindows());
+  EXPECT_EQ(family->summary().windows_computed, 0);
+}
+
+// Mid-stream cancellation: queued slots are released (the blocked producer
+// wakes and acknowledges), the windows evaluated before the cancel stay in
+// the result cache, and a follow-up identical query reuses that prefix.
+TEST(StreamingSubmitTest, CancellationLeavesReusableCachedPrefix) {
+  const int64_t b = 8;
+  const int64_t length = b * 44;  // 20 windows
+  TimeSeriesMatrix data = SmallClimate(6, length, 5002);
+  const TimeSeriesMatrix copy = data;
+
+  DangoronServerOptions options;
+  options.num_threads = 2;
+  options.basic_window = b;
+  DangoronServer server(options);
+  ASSERT_TRUE(server.AddDataset("d", std::move(data)).ok());
+
+  const SlidingQuery query = MakeQuery(0, length, b * 6, b * 2, 0.6);
+  const int64_t num_windows = query.NumWindows();
+  ASSERT_GE(num_windows, 12);
+
+  StreamingSubmitOptions stream_options;
+  stream_options.queue_capacity = 1;   // tight: the producer blocks early
+  stream_options.max_batch_windows = 1;
+  auto stream = server.SubmitStreaming("d", query, stream_options);
+  for (int consumed = 0; consumed < 2; ++consumed) {
+    auto window = stream->Next();
+    ASSERT_TRUE(window.has_value());
+    EXPECT_EQ(window->window_index, consumed);
+  }
+  stream->Cancel();
+  // Draining after Cancel joins the producer: nullopt only after its Finish.
+  while (stream->Next().has_value()) {
+  }
+  EXPECT_EQ(stream->status().code(), StatusCode::kCancelled);
+  const int64_t computed_before_cancel = stream->summary().windows_computed;
+  EXPECT_GE(computed_before_cancel, 2);
+  EXPECT_LT(computed_before_cancel, num_windows);
+
+  // The follow-up identical query starts from the cancelled stream's cached
+  // prefix — dedup pays off even though the stream never completed.
+  auto result = server.Query("d", query);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectSeriesEqual(NaiveTruth(copy, query), result->series, 1e-8);
+  EXPECT_EQ(result->windows_from_cache, computed_before_cancel);
+  EXPECT_EQ(result->windows_computed, num_windows - computed_before_cancel);
+}
+
+// Backpressure: a deliberately slow consumer on a tiny queue must never
+// deadlock the pool-resident producer, nor a concurrent materialized query
+// that joins the stream's claimed windows.
+TEST(StreamingSubmitTest, SlowConsumerBackpressureNeverDeadlocks) {
+  const int64_t b = 8;
+  const int64_t length = b * 36;
+  TimeSeriesMatrix data = SmallClimate(5, length, 5003);
+  const TimeSeriesMatrix copy = data;
+
+  DangoronServerOptions options;
+  options.num_threads = 2;
+  options.basic_window = b;
+  DangoronServer server(options);
+  ASSERT_TRUE(server.AddDataset("d", std::move(data)).ok());
+
+  const SlidingQuery query = MakeQuery(0, length, b * 5, b * 2, 0.6);
+  StreamingSubmitOptions stream_options;
+  stream_options.queue_capacity = 1;
+  stream_options.max_batch_windows = 1;
+  auto stream = server.SubmitStreaming("d", query, stream_options);
+
+  // A concurrent identical materialized query joins the stream's in-flight
+  // claims; its completion depends on this consumer draining — which it
+  // does, slowly.
+  auto concurrent = server.Submit("d", query);
+
+  int64_t delivered = 0;
+  while (auto window = stream->Next()) {
+    ++delivered;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(stream->status().ok()) << stream->status().ToString();
+  EXPECT_EQ(delivered, query.NumWindows());
+
+  auto joined = concurrent.get();
+  ASSERT_TRUE(joined.ok()) << joined.status().ToString();
+  ExpectSeriesEqual(NaiveTruth(copy, query), joined->series, 1e-8);
+}
+
+// The claim protocol must never make a materialized query's future depend
+// on a stream consumer's progress: claims are taken per evaluation batch,
+// so a single thread may submit a stream, then block on a materialized
+// result for the same windows *before* draining the stream. With upfront
+// whole-plan claiming this deadlocks permanently — and with producers as
+// pool tasks, a 1-thread pool (the hardest case, used here) would wedge
+// even without claims, the blocked producer pinning the only worker.
+TEST(StreamingSubmitTest, MaterializedJoinBeforeDrainingStreamDoesNotDeadlock) {
+  const int64_t b = 8;
+  const int64_t length = b * 40;
+  TimeSeriesMatrix data = SmallClimate(5, length, 5007);
+  const TimeSeriesMatrix copy = data;
+
+  DangoronServerOptions options;
+  options.num_threads = 1;
+  options.basic_window = b;
+  DangoronServer server(options);
+  ASSERT_TRUE(server.AddDataset("d", std::move(data)).ok());
+
+  const SlidingQuery query = MakeQuery(0, length, b * 5, b * 2, 0.6);
+  StreamingSubmitOptions stream_options;
+  stream_options.queue_capacity = 1;  // the producer blocks almost at once
+  stream_options.max_batch_windows = 1;
+  auto stream = server.SubmitStreaming("d", query, stream_options);
+
+  // Block on the materialized result first — the stream is NOT drained yet.
+  auto materialized = server.Query("d", query);
+  ASSERT_TRUE(materialized.ok()) << materialized.status().ToString();
+  ExpectSeriesEqual(NaiveTruth(copy, query), materialized->series, 1e-8);
+
+  // Now drain the stream; it completes normally.
+  int64_t delivered = 0;
+  while (auto window = stream->Next()) {
+    ++delivered;
+  }
+  ASSERT_TRUE(stream->status().ok()) << stream->status().ToString();
+  EXPECT_EQ(delivered, query.NumWindows());
+}
+
+// Each live stream owns a producer thread, so the count is admission-capped.
+TEST(StreamingSubmitTest, ConcurrentStreamCapRefusesTerminally) {
+  const int64_t b = 8;
+  const int64_t length = b * 40;
+  TimeSeriesMatrix data = SmallClimate(5, length, 5008);
+
+  DangoronServerOptions options;
+  options.num_threads = 2;
+  options.basic_window = b;
+  options.max_concurrent_streams = 1;
+  DangoronServer server(options);
+  ASSERT_TRUE(server.AddDataset("d", std::move(data)).ok());
+
+  const SlidingQuery query = MakeQuery(0, length, b * 5, b, 0.6);
+  StreamingSubmitOptions stream_options;
+  stream_options.queue_capacity = 1;  // first stream stays live, undrained
+  auto first = server.SubmitStreaming("d", query, stream_options);
+  auto refused = server.SubmitStreaming("d", query, stream_options);
+  EXPECT_FALSE(refused->Next().has_value());
+  EXPECT_EQ(refused->status().code(), StatusCode::kResourceExhausted);
+
+  // Finishing the first stream frees the slot.
+  first->Cancel();
+  while (first->Next().has_value()) {
+  }
+  auto admitted = server.SubmitStreaming("d", query, stream_options);
+  int64_t delivered = 0;
+  while (admitted->Next().has_value()) {
+    ++delivered;
+  }
+  EXPECT_TRUE(admitted->status().ok()) << admitted->status().ToString();
+  EXPECT_EQ(delivered, query.NumWindows());
+}
+
+TEST(StreamingSubmitTest, UnknownDatasetFailsTerminally) {
+  DangoronServerOptions options;
+  options.basic_window = 8;
+  options.num_threads = 1;
+  DangoronServer server(options);
+  auto stream = server.SubmitStreaming("nope", MakeQuery(0, 80, 40, 8, 0.5));
+  EXPECT_FALSE(stream->Next().has_value());
+  EXPECT_EQ(stream->status().code(), StatusCode::kNotFound);
+}
+
+// Destroying the server with an unconsumed stream must cancel it rather
+// than wait forever on a consumer that never drains.
+TEST(StreamingSubmitTest, ServerDestructionCancelsUnconsumedStreams) {
+  const int64_t b = 8;
+  const int64_t length = b * 40;
+  TimeSeriesMatrix data = SmallClimate(5, length, 5004);
+  const SlidingQuery query = MakeQuery(0, length, b * 5, b, 0.6);
+
+  std::unique_ptr<WindowStream> stream;
+  {
+    DangoronServerOptions options;
+    options.num_threads = 2;
+    options.basic_window = b;
+    DangoronServer server(options);
+    ASSERT_TRUE(server.AddDataset("d", std::move(data)).ok());
+    StreamingSubmitOptions stream_options;
+    stream_options.queue_capacity = 1;
+    stream = server.SubmitStreaming("d", query, stream_options);
+    // Destructs here with the queue full and nobody consuming.
+  }
+  while (stream->Next().has_value()) {
+  }
+  EXPECT_EQ(stream->status().code(), StatusCode::kCancelled);
+}
+
+// ------------------------------------------------------ admission policy --
+
+TEST(DangoronServerTest, AdmissionPolicyRefusesOversizedPrepares) {
+  const int64_t b = 8;
+  TimeSeriesMatrix data = SmallClimate(6, b * 32, 5005);
+
+  DangoronServerOptions options;
+  options.num_threads = 1;
+  options.basic_window = b;
+  options.sketch_cache_bytes = 1024;  // no index of this shape can fit
+  options.refuse_oversized_prepares = true;
+  DangoronServer server(options);
+  ASSERT_TRUE(server.AddDataset("d", std::move(data)).ok());
+
+  const SlidingQuery query = MakeQuery(0, b * 32, b * 5, b * 2, 0.6);
+  auto result = server.Query("d", query);
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  const DangoronServerStats stats = server.stats();
+  EXPECT_EQ(stats.prepares_refused, 1);
+  EXPECT_EQ(stats.prepares_built, 0);
+
+  // Streaming submissions hit the same gate, surfaced terminally.
+  auto stream = server.SubmitStreaming("d", query);
+  EXPECT_FALSE(stream->Next().has_value());
+  EXPECT_EQ(stream->status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(server.stats().prepares_refused, 2);
+}
+
+// ------------------------------------------------ threshold-family cache --
+
+// A window evaluated at the canonical family threshold answers every query
+// threshold above it: sweep clients share one cached window universe and
+// every result still matches the exact naive run at its own threshold.
+TEST(DangoronServerTest, ThresholdFamilyMultipliesCacheHits) {
+  const int64_t b = 8;
+  const int64_t length = b * 36;
+  TimeSeriesMatrix data = SmallClimate(6, length, 5006);
+  const TimeSeriesMatrix copy = data;
+
+  DangoronServerOptions options;
+  options.num_threads = 2;
+  options.basic_window = b;
+  DangoronServer server(options);
+  ASSERT_TRUE(server.AddDataset("d", std::move(data)).ok());
+
+  // 0.62 and 0.64 share family 0.60; 0.68 lives in family 0.65.
+  EXPECT_EQ(server.CanonicalThreshold(0.62, false),
+            server.CanonicalThreshold(0.64, false));
+  EXPECT_NE(server.CanonicalThreshold(0.62, false),
+            server.CanonicalThreshold(0.68, false));
+
+  SlidingQuery query = MakeQuery(0, length, b * 5, b * 2, 0.62);
+  auto first = server.Query("d", query);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->windows_computed, query.NumWindows());
+  ExpectSeriesEqual(NaiveTruth(copy, query), first->series, 1e-8);
+
+  query.threshold = 0.64;
+  auto swept = server.Query("d", query);
+  ASSERT_TRUE(swept.ok());
+  EXPECT_EQ(swept->windows_from_cache, query.NumWindows());
+  EXPECT_EQ(swept->windows_computed, 0);
+  ExpectSeriesEqual(NaiveTruth(copy, query), swept->series, 1e-8);
+
+  query.threshold = 0.68;  // different family: evaluated afresh
+  auto other_family = server.Query("d", query);
+  ASSERT_TRUE(other_family.ok());
+  EXPECT_EQ(other_family->windows_computed, query.NumWindows());
+  ExpectSeriesEqual(NaiveTruth(copy, query), other_family->series, 1e-8);
+
+  // Grid thresholds snap to themselves bit-exactly, so the stream-publish
+  // interop of StreamPublishedWindowsServeHistoricalQueries keeps working.
+  EXPECT_EQ(server.CanonicalThreshold(0.6, false), 0.6);
+  EXPECT_EQ(server.CanonicalThreshold(0.85, false), 0.85);
+
+  // Below the bottom grid step the snap would land on the accept-everything
+  // threshold (full cliques per cached window); those fall back to exact
+  // keys instead.
+  EXPECT_EQ(server.CanonicalThreshold(0.04, true), 0.04);
+  EXPECT_EQ(server.CanonicalThreshold(0.04, false), 0.04);  // c >= 0 cliff
+  EXPECT_EQ(server.CanonicalThreshold(-0.98, false), -0.98);
+  EXPECT_EQ(server.CanonicalThreshold(0.0, true), 0.0);
+  EXPECT_EQ(server.CanonicalThreshold(0.0, false), 0.0);
+  EXPECT_EQ(server.CanonicalThreshold(-1.0, false), -1.0);
+
+  // Disabling families restores exact-match keys.
+  DangoronServerOptions exact_options = options;
+  exact_options.threshold_family_steps = 0;
+  DangoronServer exact_server(exact_options);
+  EXPECT_EQ(exact_server.CanonicalThreshold(0.62, false), 0.62);
+}
+
 // --------------------------------------------------------------- factory --
 
 TEST(CreateServerTest, ParsesOptionsAndRejectsUnknownKeys) {
   auto server = CreateServer(
-      "threads=2,basic_window=8,sketch_cache_mb=16,result_cache_mb=4");
+      "threads=2,basic_window=8,sketch_cache_mb=16,result_cache_mb=4,"
+      "refuse_oversized=on,threshold_steps=10");
   ASSERT_TRUE(server.ok());
   EXPECT_EQ((*server)->options().basic_window, 8);
   EXPECT_EQ((*server)->options().num_threads, 2);
   EXPECT_EQ((*server)->options().sketch_cache_bytes, int64_t{16} << 20);
   EXPECT_EQ((*server)->options().result_cache_bytes, int64_t{4} << 20);
+  EXPECT_TRUE((*server)->options().refuse_oversized_prepares);
+  EXPECT_EQ((*server)->options().threshold_family_steps, 10);
 
   EXPECT_FALSE(CreateServer("bogus=1").ok());
   EXPECT_FALSE(CreateServer("basic_window=0").ok());
   EXPECT_FALSE(CreateServer("threads=-1").ok());
+  EXPECT_FALSE(CreateServer("threshold_steps=-5").ok());
+  EXPECT_FALSE(CreateServer("max_streams=0").ok());
 
   // An end-to-end query through the factory-built server.
   TimeSeriesMatrix data = SmallClimate(4, 8 * 20, 4009);

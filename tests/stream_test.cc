@@ -4,6 +4,7 @@
 
 #include "common/rng.h"
 #include "engine/dangoron_engine.h"
+#include "engine/window_sink.h"
 #include "stream/streaming_builder.h"
 #include "ts/generators.h"
 
@@ -177,6 +178,74 @@ TEST(StreamingBuilderTest, IncrementalFeedMatchesBulkFeed) {
       EXPECT_DOUBLE_EQ(a->edges[e].value, b->edges[e].value);
     }
   }
+}
+
+// Counts sink deliveries from the open-ended (no OnBegin) stream producer.
+class CountingSink : public WindowSink {
+ public:
+  bool OnWindow(int64_t window_index, std::vector<Edge> edges) override {
+    indices.push_back(window_index);
+    edge_counts.push_back(static_cast<int64_t>(edges.size()));
+    return accept;
+  }
+  bool accept = true;
+  std::vector<int64_t> indices;
+  std::vector<int64_t> edge_counts;
+};
+
+// EmitTo routes snapshots through the window pipeline instead of the
+// internal ready queue: one buffer, no PopSnapshot double-buffering.
+TEST(StreamingBuilderTest, EmitToStreamsWindowsWithoutQueueing) {
+  Rng rng(7);
+  TimeSeriesMatrix data = GenerateWhiteNoise(4, 32 * 4, &rng);
+  StreamingOptions options = SmallOptions();
+  options.threshold = 0.0;  // dense: every pair is an edge
+
+  auto queued = StreamingNetworkBuilder::Create(4, options);
+  ASSERT_TRUE(queued.ok());
+  ASSERT_TRUE(queued->AppendColumns(data, 0, data.length()).ok());
+  const int64_t expected_snapshots = queued->ReadySnapshots();
+  ASSERT_GT(expected_snapshots, 2);
+
+  auto streamed = StreamingNetworkBuilder::Create(4, options);
+  ASSERT_TRUE(streamed.ok());
+  CountingSink sink;
+  streamed->EmitTo(&sink);
+  ASSERT_TRUE(streamed->AppendColumns(data, 0, data.length()).ok());
+
+  EXPECT_EQ(streamed->ReadySnapshots(), 0);  // the sink is the consumer
+  ASSERT_EQ(static_cast<int64_t>(sink.indices.size()), expected_snapshots);
+  for (int64_t k = 0; k < expected_snapshots; ++k) {
+    auto snapshot = queued->PopSnapshot();
+    ASSERT_TRUE(snapshot.ok());
+    EXPECT_EQ(sink.indices[static_cast<size_t>(k)], snapshot->window_index);
+    EXPECT_EQ(sink.edge_counts[static_cast<size_t>(k)],
+              static_cast<int64_t>(snapshot->edges.size()));
+  }
+}
+
+// A sink that cancels detaches: later snapshots queue internally again.
+TEST(StreamingBuilderTest, CancellingSinkDetachesAndRequeues) {
+  Rng rng(8);
+  TimeSeriesMatrix data = GenerateWhiteNoise(3, 32 * 4, &rng);
+  StreamingOptions options = SmallOptions();
+  options.threshold = 0.0;
+
+  auto builder = StreamingNetworkBuilder::Create(3, options);
+  ASSERT_TRUE(builder.ok());
+  CountingSink sink;
+  sink.accept = false;  // cancel at the first delivery
+  builder->EmitTo(&sink);
+  ASSERT_TRUE(builder->AppendColumns(data, 0, data.length()).ok());
+
+  EXPECT_EQ(sink.indices.size(), 1u);
+  // The cancelled window belongs to the sink and is accounted for; every
+  // snapshot after the detach is queued for PopSnapshot again.
+  EXPECT_EQ(builder->sink_cancelled_window(), sink.indices[0]);
+  EXPECT_GT(builder->ReadySnapshots(), 0);
+  auto next = builder->PopSnapshot();
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next->window_index, sink.indices[0] + 1);
 }
 
 TEST(StreamingBuilderTest, PartialTailIsBuffered) {
