@@ -180,11 +180,16 @@ void WriteServingComparisonJson(const char* path) {
 
     // Cold streaming submit: time-to-first-window vs draining everything.
     // Fresh server per rep, so the first window pays prepare + its first
-    // evaluation batch — the latency a streaming client actually observes.
+    // evaluation run — the latency a streaming client actually observes.
+    // Measured (and gated) only at n >= 128: below that the cold query is
+    // prepare-dominated, so the ttfw < cold_full margin is a few dozen
+    // microseconds of evaluation difference between two separately-prepared
+    // servers — pure scheduler noise, not a code property.
+    const bool measure_streaming = n >= 128;
     double ttfw_s = 1e300;
     double stream_total_s = 1e300;
     int64_t stream_windows = 0;
-    for (int rep = 0; rep < 3; ++rep) {
+    for (int rep = 0; measure_streaming && rep < 3; ++rep) {
       DangoronServer server(BenchServerOptions());
       CHECK(server.AddDataset("d", data).ok());
       Stopwatch timer;
@@ -215,29 +220,39 @@ void WriteServingComparisonJson(const char* path) {
                  "%s  {\"bench\": \"serving_cold_warm\", \"n_series\": %lld, "
                  "\"num_basic_windows\": %lld, \"basic_window\": %lld,\n"
                  "   \"cold_ms\": %.3f, \"warm_ms\": %.3f, "
-                 "\"warm_speedup\": %.1f},\n",
+                 "\"warm_speedup\": %.1f}",
                  first ? "" : ",\n", static_cast<long long>(n),
                  static_cast<long long>(nb),
                  static_cast<long long>(kBasicWindow), cold_s * 1e3,
                  warm_s * 1e3, cold_s / warm_s);
-    std::fprintf(out,
-                 "  {\"bench\": \"serving_streaming\", \"n_series\": %lld, "
-                 "\"num_basic_windows\": %lld, \"basic_window\": %lld,\n"
-                 "   \"windows\": %lld, \"ttfw_ms\": %.3f, "
-                 "\"stream_total_ms\": %.3f, \"cold_full_ms\": %.3f, "
-                 "\"ttfw_fraction\": %.4f}",
-                 static_cast<long long>(n), static_cast<long long>(nb),
-                 static_cast<long long>(kBasicWindow),
-                 static_cast<long long>(stream_windows), ttfw_s * 1e3,
-                 stream_total_s * 1e3, cold_s * 1e3, ttfw_s / cold_s);
     first = false;
-    std::fprintf(stderr,
-                 "serving n=%lld: cold %.2f ms, warm %.3f ms (%.0fx), "
-                 "ttfw %.3f ms over %lld windows (%.1f%% of full)\n",
-                 static_cast<long long>(n), cold_s * 1e3, warm_s * 1e3,
-                 cold_s / warm_s, ttfw_s * 1e3,
-                 static_cast<long long>(stream_windows),
-                 100.0 * ttfw_s / cold_s);
+    if (measure_streaming) {
+      std::fprintf(out,
+                   ",\n  {\"bench\": \"serving_streaming\", \"n_series\": "
+                   "%lld, \"num_basic_windows\": %lld, \"basic_window\": "
+                   "%lld,\n"
+                   "   \"windows\": %lld, \"ttfw_ms\": %.3f, "
+                   "\"stream_total_ms\": %.3f, \"cold_full_ms\": %.3f, "
+                   "\"ttfw_fraction\": %.4f}",
+                   static_cast<long long>(n), static_cast<long long>(nb),
+                   static_cast<long long>(kBasicWindow),
+                   static_cast<long long>(stream_windows), ttfw_s * 1e3,
+                   stream_total_s * 1e3, cold_s * 1e3, ttfw_s / cold_s);
+      std::fprintf(stderr,
+                   "serving n=%lld: cold %.2f ms, warm %.3f ms (%.0fx), "
+                   "ttfw %.3f ms over %lld windows (%.1f%% of full)\n",
+                   static_cast<long long>(n), cold_s * 1e3, warm_s * 1e3,
+                   cold_s / warm_s, ttfw_s * 1e3,
+                   static_cast<long long>(stream_windows),
+                   100.0 * ttfw_s / cold_s);
+    } else {
+      std::fprintf(stderr,
+                   "serving n=%lld: cold %.2f ms, warm %.3f ms (%.0fx); "
+                   "streaming ttfw skipped (prepare-dominated below "
+                   "n=128)\n",
+                   static_cast<long long>(n), cold_s * 1e3, warm_s * 1e3,
+                   cold_s / warm_s);
+    }
   }
   std::fprintf(out, "\n]\n");
   std::fclose(out);

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Bench-regression gate for the blocked sketch-build kernel and serving.
+"""Bench-regression gate for the blocked kernels, query sweep, and serving.
 
 Compares freshly measured bench JSON against the committed baselines and
 fails (exit 1) when a hardware-normalized number regressed by more than the
@@ -14,6 +14,12 @@ measured *within one run*:
   microarchitectures: a fresh speedup below (1 - tolerance) x the baseline
   speedup means the blocked kernel lost ground in hardware-normalized
   terms, i.e. a real code regression rather than a slower runner.
+- query sweep (BENCH_query.json): the exact-mode (jump=off) query's
+  vectorized window-major sweep vs the scalar pair-major cell loop, same
+  hardware-normalized treatment — plus two absolute within-run properties:
+  speedup >= MIN_SWEEP_SPEEDUP at n_series >= 256 (the acceptance bar of
+  the sweep kernel) and time-to-first-window strictly below the full sweep
+  (the engine-level streaming property).
 - serving (BENCH_serving.json): the warm/cold speedup of repeat queries
   (what the caches buy) and the streaming path's time-to-first-window
   (what the window pipeline buys). Both serving gates are *within-run*
@@ -25,6 +31,8 @@ measured *within one run*:
 Usage:
   check_bench_regression.py --baseline BENCH_kernels.json \
       --fresh build/BENCH_kernels.json [--tolerance 0.25] \
+      [--query-baseline BENCH_query.json \
+       --query-fresh build/BENCH_query.json] \
       [--serving-baseline BENCH_serving.json \
        --serving-fresh build/BENCH_serving.json]
 """
@@ -38,6 +46,14 @@ import sys
 # cold on every machine measured (>100x even on a 1-vCPU VM); a broken
 # cache path collapses it to ~1x.
 MIN_WARM_SPEEDUP = 25.0
+
+# Absolute floor for the sweep-vs-scalar exact-query speedup at
+# n_series >= 256: the vectorized banded sweep wins >= ~2.5x on measured
+# machines; a sweep that cannot hold 2x over the deliberately plain scalar
+# loop has lost its reason to exist (the band/kernel regressed), regardless
+# of the runner.
+MIN_SWEEP_SPEEDUP = 2.0
+MIN_SWEEP_SPEEDUP_N = 256
 
 
 def load_entries(path, key_fields):
@@ -79,6 +95,37 @@ def gate_kernels(baseline_path, fresh_path, tolerance, failures):
             continue
         check_ratio_floor("kernel", key, base_entry, fresh_entry, "speedup",
                           tolerance, failures)
+
+
+def gate_query(baseline_path, fresh_path, tolerance, failures):
+    baseline = load_entries(baseline_path, ("bench", "n_series"))
+    fresh = load_entries(fresh_path, ("bench", "n_series"))
+    for key, base_entry in sorted(baseline.items()):
+        bench, n = key
+        fresh_entry = fresh.get(key)
+        if fresh_entry is None:
+            failures.append(f"{bench} n={n}: missing from fresh run")
+            print(f"{bench:<20} {str(key):>14} {'-':>13} {'-':>14} "
+                  f"{'-':>8}  MISSING")
+            continue
+        # Hardware-normalized floor against the committed baseline, like the
+        # build kernels.
+        check_ratio_floor(bench, key, base_entry, fresh_entry, "speedup",
+                          tolerance, failures)
+        # Absolute acceptance floor at scale: the sweep must hold >= 2x over
+        # the scalar cell loop where it matters.
+        if n >= MIN_SWEEP_SPEEDUP_N and \
+                fresh_entry["speedup"] < MIN_SWEEP_SPEEDUP:
+            failures.append(
+                f"{bench} n={n}: speedup {fresh_entry['speedup']:.3f} < "
+                f"absolute floor {MIN_SWEEP_SPEEDUP:.1f}")
+        # Engine-level streaming: first window strictly before the full
+        # sweep (the fraction itself is informational — band/num_windows).
+        if fresh_entry["ttfw_ms"] >= fresh_entry["full_ms"]:
+            failures.append(
+                f"{bench} n={n}: engine ttfw {fresh_entry['ttfw_ms']:.3f} ms "
+                f"is not below the full sweep "
+                f"{fresh_entry['full_ms']:.3f} ms")
 
 
 def gate_serving(baseline_path, fresh_path, failures):
@@ -135,6 +182,10 @@ def main():
                         help="JSON emitted by this run's bench_microkernels")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed fractional speedup loss (default 0.25)")
+    parser.add_argument("--query-baseline",
+                        help="committed BENCH_query.json")
+    parser.add_argument("--query-fresh",
+                        help="JSON emitted by this run's bench_query_time")
     parser.add_argument("--serving-baseline",
                         help="committed BENCH_serving.json")
     parser.add_argument("--serving-fresh",
@@ -143,6 +194,13 @@ def main():
 
     failures = []
     gate_kernels(args.baseline, args.fresh, args.tolerance, failures)
+    if args.query_baseline and args.query_fresh:
+        gate_query(args.query_baseline, args.query_fresh, args.tolerance,
+                   failures)
+    elif args.query_baseline or args.query_fresh:
+        print("need both --query-baseline and --query-fresh",
+              file=sys.stderr)
+        return 2
     if args.serving_baseline and args.serving_fresh:
         gate_serving(args.serving_baseline, args.serving_fresh, failures)
     elif args.serving_baseline or args.serving_fresh:

@@ -6,10 +6,47 @@
 #include "common/logging.h"
 #include "common/math_utils.h"
 #include "corr/block_kernel.h"
+#include "corr/sweep_kernel.h"
 
 namespace dangoron {
 
 namespace {
+
+// The scalar exact cell both scalar paths (pair-major loop, window-major
+// pruned leg) share — and whose operation sequence the vectorized sweep
+// kernel mirrors lane for lane: one definition, so the bit-identity
+// contract between the paths cannot drift. `sums` / `invs` point at the
+// window's row of the hoisted moment arrays.
+inline double ExactCellCorrelation(const BasicWindowIndex& index, int64_t pair,
+                                   int64_t w0, int64_t ns, const double* sums,
+                                   const double* invs, double inv_count,
+                                   int64_t i, int64_t j) {
+  const double cov =
+      index.DotRange(pair, w0, w0 + ns) - sums[i] * sums[j] * inv_count;
+  return ClampCorrelation(cov * invs[i] * invs[j]);
+}
+
+// Horizontal pruning decision for one cell: intersect the
+// triangle-inequality intervals across pivots; the cell is pruned when the
+// intersected interval cannot contain an edge value (in absolute mode that
+// requires the whole interval inside (-beta, beta)). `pc_base` points at
+// the window's pivot-correlation block [p * n + s].
+inline bool HorizontallyPruned(const double* pc_base, int64_t P, int64_t n,
+                               double beta, bool absolute, int64_t i,
+                               int64_t j) {
+  double upper = 1.0;
+  double lower = -1.0;
+  const double* pc = pc_base;
+  for (int64_t p = 0; p < P; ++p, pc += n) {
+    const HorizontalBound hb = HorizontalBoundFromPivot(pc[i], pc[j]);
+    upper = std::min(upper, hb.upper);
+    lower = std::max(lower, hb.lower);
+    if (upper < beta && (!absolute || lower > -beta)) {
+      break;
+    }
+  }
+  return upper < beta && (!absolute || lower > -beta);
+}
 
 // Processes pairs [pair_begin, pair_end) sequentially, filling
 // `local_windows` (one edge vector per window) and `local_stats`.
@@ -45,37 +82,18 @@ void ProcessPairBlock(const DangoronOptions& options,
     while (k < num_windows) {
       const int64_t w0 = base_w0 + k * m;
 
-      if (P > 0) {
-        // Horizontal pruning: intersect the triangle-inequality intervals
-        // across pivots; if the intersected interval cannot contain an
-        // edge value, this cell is pruned. In absolute mode that requires
-        // the whole interval inside (-beta, beta).
-        double upper = 1.0;
-        double lower = -1.0;
-        const double* pc = pivot_corrs.data() + k * P * n;
-        for (int64_t p = 0; p < P; ++p, pc += n) {
-          const HorizontalBound hb = HorizontalBoundFromPivot(pc[i], pc[j]);
-          upper = std::min(upper, hb.upper);
-          lower = std::max(lower, hb.lower);
-          if (upper < beta && (!query.absolute || lower > -beta)) {
-            break;
-          }
-        }
-        if (upper < beta && (!query.absolute || lower > -beta)) {
-          ++local_stats->cells_horizontal_pruned;
-          ++k;
-          continue;
-        }
+      if (P > 0 && HorizontallyPruned(pivot_corrs.data() + k * P * n, P, n,
+                                      beta, query.absolute, i, j)) {
+        ++local_stats->cells_horizontal_pruned;
+        ++k;
+        continue;
       }
 
       // O(1) exact range correlation from the dot prefix and the hoisted
       // moments: no divide or sqrt per cell.
-      const double* sums = range_sum.data() + k * n;
-      const double cov = index.DotRange(pair, w0, w0 + ns) -
-                         sums[i] * sums[j] * inv_count;
-      const double corr = ClampCorrelation(
-          cov * range_inv_css[static_cast<size_t>(k * n + i)] *
-          range_inv_css[static_cast<size_t>(k * n + j)]);
+      const double corr = ExactCellCorrelation(
+          index, pair, w0, ns, range_sum.data() + k * n,
+          range_inv_css.data() + k * n, inv_count, i, j);
       ++local_stats->cells_evaluated;
 
       int64_t max_steps = num_windows - 1 - k;
@@ -136,6 +154,128 @@ void ProcessPairBlock(const DangoronOptions& options,
       j = i + 1;
     }
   }
+}
+
+// Window-major exact sweep (jumping off): windows advance in bands of
+// kSweepWindowBand; within a band, pair tiles run in parallel through the
+// vectorized sweep kernel (or the scalar pruned cell loop when horizontal
+// pruning is on), then each of the band's windows is assembled flat —
+// already sorted — and emitted in order. The engine itself streams:
+// OnWindow(0) leaves after band/num_windows of the sweep instead of after
+// all of it, while the band keeps each pair's dot-prefix cache lines hot
+// across its windows (pure per-window order is memory-bound at N >= 256;
+// see kSweepWindowBand). The tile decomposition is fixed (kSweepTilePairs),
+// not thread-derived, and cells are independent, so results are identical
+// for every thread count — and bit-identical to the pair-major scalar loop
+// (the kernel mirrors its per-cell operation sequence exactly).
+Status RunWindowMajorSweep(const DangoronOptions& options,
+                           const BasicWindowIndex& index,
+                           const SlidingQuery& query, ThreadPool* pool,
+                           EngineStats* stats, WindowSink* sink,
+                           int64_t base_w0, int64_t ns, int64_t m,
+                           const std::vector<double>& range_sum,
+                           const std::vector<double>& range_inv_css,
+                           const std::vector<double>& pivot_corrs) {
+  const int64_t n = index.num_series();
+  const int64_t num_windows = query.NumWindows();
+  const int64_t num_pairs = n * (n - 1) / 2;
+  const int64_t num_tiles =
+      std::max<int64_t>(int64_t{1}, CeilDiv(num_pairs, kSweepTilePairs));
+  const int num_pool_threads = pool != nullptr ? pool->num_threads() : 1;
+  const double beta = query.threshold;
+  const double inv_count = 1.0 / static_cast<double>(query.window);
+  const int64_t P = options.horizontal_pruning ? options.num_pivots : 0;
+
+  SweepEdgeArena arena(num_tiles, kSweepWindowBand);
+  std::vector<EngineStats> tile_stats(static_cast<size_t>(num_tiles));
+  auto fold_tile_stats = [&]() {
+    for (const EngineStats& s : tile_stats) {
+      stats->cells_evaluated += s.cells_evaluated;
+      stats->cells_horizontal_pruned += s.cells_horizontal_pruned;
+    }
+  };
+
+  SweepView view;
+  view.dot_prefix = index.PairDotPrefix();
+  view.row_stride = index.PairDotRowStride();
+  view.range_sum = range_sum.data();
+  view.range_inv_css = range_inv_css.data();
+  view.num_series = n;
+  view.inv_count = inv_count;
+  view.threshold = beta;
+  view.absolute = query.absolute;
+
+  for (int64_t band_begin = 0; band_begin < num_windows;
+       band_begin += kSweepWindowBand) {
+    const int64_t band_end =
+        std::min(num_windows, band_begin + kSweepWindowBand);
+    arena.BeginBand();
+
+    auto run_tile = [&](int64_t t) {
+      const int64_t pair_begin = t * kSweepTilePairs;
+      const int64_t pair_end =
+          std::min(num_pairs, pair_begin + kSweepTilePairs);
+      if (pair_begin >= pair_end) {
+        return;  // no pairs at all (single-series data)
+      }
+      int64_t i = 0;
+      int64_t j = 0;
+      BasicWindowIndex::PairFromId(pair_begin, n, &i, &j);
+      EngineStats* local = &tile_stats[static_cast<size_t>(t)];
+      std::vector<Edge>* out_windows = arena.tile_windows(t);
+      if (P == 0) {
+        SweepWindowBandPairRange(view, base_w0, ns, m, band_begin, band_end,
+                                 pair_begin, pair_end, i, j, out_windows);
+        local->cells_evaluated +=
+            (pair_end - pair_begin) * (band_end - band_begin);
+        return;
+      }
+      // Pruned cells are inherently branchy (per-cell pivot-interval
+      // intersection), so this leg stays scalar — the same shared cell
+      // helpers as the pair-major loop, visited in window-major order for
+      // the streaming emission.
+      for (int64_t pair = pair_begin; pair < pair_end; ++pair) {
+        for (int64_t k = band_begin; k < band_end; ++k) {
+          if (HorizontallyPruned(pivot_corrs.data() + k * P * n, P, n, beta,
+                                 query.absolute, i, j)) {
+            ++local->cells_horizontal_pruned;
+            continue;
+          }
+          const double corr = ExactCellCorrelation(
+              index, pair, base_w0 + k * m, ns, range_sum.data() + k * n,
+              range_inv_css.data() + k * n, inv_count, i, j);
+          ++local->cells_evaluated;
+          if (query.IsEdge(corr)) {
+            out_windows[k - band_begin].push_back(Edge{
+                static_cast<int32_t>(i), static_cast<int32_t>(j), corr});
+          }
+        }
+        ++j;
+        if (j >= n) {
+          ++i;
+          j = i + 1;
+        }
+      }
+    };
+
+    if (pool != nullptr && num_pool_threads > 1 && num_tiles > 1) {
+      pool->ParallelFor(num_tiles, run_tile);
+    } else {
+      for (int64_t t = 0; t < num_tiles; ++t) {
+        run_tile(t);
+      }
+    }
+
+    for (int64_t k = band_begin; k < band_end; ++k) {
+      if (!sink->OnWindow(k, arena.AssembleWindow(k - band_begin))) {
+        fold_tile_stats();
+        return FinishCancelled(sink, "DangoronEngine", k);
+      }
+    }
+  }
+  fold_tile_stats();
+  sink->OnFinish(Status::Ok());
+  return Status::Ok();
 }
 
 }  // namespace
@@ -313,6 +453,17 @@ Status DangoronEngine::QueryPreparedToSink(
   }
   if (pivots_out != nullptr) {
     *pivots_out = pivots;
+  }
+
+  // Exact mode goes window-major through the sweep kernel: windows are
+  // emitted while the sweep runs. The jumping path below must stay
+  // pair-major — a jump decision at window k determines whether windows
+  // k+1.. are even evaluated for that pair — and doubles as the scalar
+  // differential oracle when use_sweep_kernel is off.
+  if (!options.enable_jumping && options.use_sweep_kernel) {
+    return RunWindowMajorSweep(options, index, query, pool, stats, sink,
+                               base_w0, ns, m, range_sum, range_inv_css,
+                               pivot_corrs);
   }
 
   // Pair-block decomposition: contiguous ranges of pair ids, processed

@@ -38,6 +38,17 @@ struct DangoronOptions {
   /// Number of pivot series when horizontal pruning is on.
   int32_t num_pivots = 8;
 
+  /// Exact-mode (jumping off) queries run window-major through the
+  /// vectorized sweep kernel (corr/sweep_kernel.h): each window's pair
+  /// sweep is SIMD and branch-free, and the window is emitted to the sink
+  /// the moment it completes — the engine itself streams. Turn off to run
+  /// the scalar pair-major cell loop instead: the differential oracle of
+  /// the sweep tests and the baseline of bench_query_time's
+  /// BENCH_query.json. Both paths emit bit-identical edges. Ignored when
+  /// jumping is on (jumping couples consecutive windows along a pair, so
+  /// that path stays pair-major by construction).
+  bool use_sweep_kernel = true;
+
   /// Worker threads (pair-block parallelism; results are deterministic and
   /// identical to the single-threaded run).
   int32_t num_threads = 1;
@@ -61,10 +72,14 @@ class DangoronEngine : public CorrelationEngine {
     return options_.enable_jumping ? "dangoron" : "dangoron-incremental";
   }
   Status Prepare(const TimeSeriesMatrix& data) override;
-  /// Pair blocks sweep every window before any window is final (jumping
-  /// couples consecutive windows along a pair), so windows are emitted in
-  /// order once the sweep completes; callers that want early windows chop
-  /// the range into sub-queries (exact mode only — the serving layer does).
+  /// Emission timing depends on the mode. Exact mode (jumping off) runs
+  /// window-major in bands of corr/sweep_kernel.h's kSweepWindowBand: each
+  /// band's windows are emitted as soon as the band's pair sweep completes,
+  /// so the first window leaves after ~band/num_windows of the work —
+  /// engine-level streaming, no sub-query chopping needed. With jumping
+  /// on, pair blocks sweep every window before any window is final
+  /// (jumping couples consecutive windows along a pair), so windows are
+  /// emitted in order only once the sweep completes.
   Status QueryToSink(const SlidingQuery& query, WindowSink* sink) override;
 
   const DangoronOptions& options() const { return options_; }

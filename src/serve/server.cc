@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <functional>
 #include <utility>
 
 #include "engine/dangoron_engine.h"
@@ -10,7 +11,61 @@
 
 namespace dangoron {
 
+void FulfillWindowClaim(const WindowClaimPtr& claim, WindowEdges edges) {
+  {
+    std::lock_guard<std::mutex> lock(claim->waker.m);
+    claim->done = true;
+    claim->edges = std::move(edges);
+  }
+  claim->waker.cv.notify_all();
+}
+
+WindowEdges WaitForWindowClaim(const WindowClaimPtr& claim,
+                               WindowStreamState* stream, bool* cancelled) {
+  *cancelled = false;
+  if (stream != nullptr) {
+    // Alias the waker to the claim so the registration keeps it alive even
+    // if the claimant retires the claim while we sleep.
+    stream->AddCancelWaker(std::shared_ptr<CancelWaker>(claim, &claim->waker));
+  }
+  WindowEdges edges;
+  {
+    std::unique_lock<std::mutex> lock(claim->waker.m);
+    // The predicate reads the stream's cancel flag under the waker's lock;
+    // Cancel() notifies through that lock (see CancelWaker), so the wait
+    // wakes on fulfillment *or* cancellation, whichever is first.
+    claim->waker.cv.wait(lock, [&] {
+      return claim->done || (stream != nullptr && stream->cancelled());
+    });
+    if (claim->done) {
+      edges = claim->edges;
+    } else {
+      *cancelled = true;
+    }
+  }
+  if (stream != nullptr) {
+    stream->RemoveCancelWaker(&claim->waker);
+  }
+  return edges;
+}
+
 namespace {
+
+// Bridges the exact engine's native window emission into a callback; the
+// callback returns false to cancel the producing query.
+class CallbackWindowSink final : public WindowSink {
+ public:
+  explicit CallbackWindowSink(
+      std::function<bool(int64_t, std::vector<Edge>)> on_window)
+      : on_window_(std::move(on_window)) {}
+
+  bool OnWindow(int64_t window_index, std::vector<Edge> edges) override {
+    return on_window_(window_index, std::move(edges));
+  }
+
+ private:
+  std::function<bool(int64_t, std::vector<Edge>)> on_window_;
+};
 
 // The evaluation mode of the serving layer: exact incremental — a window's
 // edge set must not depend on the query range it was computed for, or
@@ -392,14 +447,21 @@ Status DangoronServer::RunWindowPlan(
   std::vector<WindowEdges>& got = *got_out;
   got.assign(static_cast<size_t>(num_windows), nullptr);
 
-  // In-order streaming delivery of the contiguous finished prefix. Pushing
-  // may block on the consumer (backpressure); a false return means the
-  // stream was cancelled. Filtering from the family threshold to the
-  // query's happens here, at the delivery edge — the cache keeps the
-  // family-threshold superset.
+  // In-order streaming delivery of the contiguous finished prefix.
+  // Filtering from the family threshold to the query's happens here, at the
+  // delivery edge — the cache keeps the family-threshold superset. The
+  // blocking form waits out backpressure and therefore may only run while
+  // this task holds no unfulfilled claims; the non-blocking form runs from
+  // inside the evaluation sink (claims outstanding) and simply stops at a
+  // full queue, leaving the rest for the next blocking edge.
   int64_t next_deliver = 0;
   bool delivery_cancelled = false;
-  auto deliver_ready = [&]() {
+  // Memo of the head window's family-to-query filtered copy: a full queue
+  // fails TryPush repeatedly on the same head window, and refiltering it on
+  // every attempt would be O(windows landed) redundant copies.
+  int64_t filtered_index = -1;
+  WindowEdges filtered_edges;
+  auto deliver_ready = [&](bool blocking) {
     if (stream == nullptr || delivery_cancelled) {
       return;
     }
@@ -407,15 +469,26 @@ Status DangoronServer::RunWindowPlan(
            got[static_cast<size_t>(next_deliver)] != nullptr) {
       WindowEdges edges = got[static_cast<size_t>(next_deliver)];
       if (!exact_family) {
-        edges = std::make_shared<const std::vector<Edge>>(
-            FilterEdges(*edges, query));
+        if (filtered_index != next_deliver) {
+          filtered_edges = std::make_shared<const std::vector<Edge>>(
+              FilterEdges(*edges, query));
+          filtered_index = next_deliver;
+        }
+        edges = filtered_edges;
       }
-      if (!stream->Push(StreamedWindow{next_deliver, std::move(edges)})) {
-        delivery_cancelled = true;
+      StreamedWindow window{next_deliver, std::move(edges)};
+      const bool pushed = blocking ? stream->Push(std::move(window))
+                                   : stream->TryPush(std::move(window));
+      if (!pushed) {
+        // A blocking Push fails only on cancellation; TryPush also fails on
+        // a full queue, which is not terminal.
+        if (blocking || stream->cancelled()) {
+          delivery_cancelled = true;
+        }
         return;
       }
       // Streaming never assembles a series, so drop the plan's reference
-      // once delivered: peak memory is the queue plus the in-flight batch,
+      // once delivered: peak memory is the queue plus the in-flight run,
       // not the whole result (the cache keeps its own budgeted reference).
       got[static_cast<size_t>(next_deliver)] = nullptr;
       ++next_deliver;
@@ -426,28 +499,22 @@ Status DangoronServer::RunWindowPlan(
   };
 
   const DangoronOptions engine_options = ServingEngineOptions(b);
-  // One engine pass over windows [k0, k0 + count) at the family threshold.
-  auto evaluate_range =
-      [&](int64_t k0, int64_t count) -> Result<CorrelationMatrixSeries> {
-    SlidingQuery sub = eval;
-    sub.start = query.start + k0 * query.step;
-    sub.end = sub.start + (count - 1) * query.step + query.window;
-    return DangoronEngine::QueryPrepared(engine_options, prepared->index(),
-                                         sub, pool_.get(), nullptr);
-  };
 
   // Walk the windows in order, resolving each from the cache, a concurrent
   // query's in-flight claim, or our own evaluation. Claims are taken *per
-  // batch*, immediately before evaluating, and fulfilled (cache Put +
-  // promise) the moment the batch lands — so this task never holds an
-  // unfulfilled claim across anything that blocks (a join wait, or a
-  // delivery push stuck on a slow stream consumer). That is the no-deadlock
-  // invariant of the dedup protocol: joiners wait only on claims whose
-  // evaluation is already running, never on another query's consumer.
-  // `max_batch_windows` caps a batch so streaming consumers see windows at
-  // batch cadence, not full-query latency; each window is published to the
-  // result cache as it lands, so even a cancelled plan leaves a reusable
-  // prefix.
+  // run*, immediately before evaluating, and fulfilled (cache Put + claim
+  // wake) window by window as the exact engine's window-major sweep emits —
+  // so this task never holds an unfulfilled claim across anything that
+  // blocks (a join wait, or a delivery push stuck on a slow stream
+  // consumer; in-run delivery is non-blocking TryPush). That is the
+  // no-deadlock invariant of the dedup protocol: joiners wait only on
+  // claims whose evaluation is actively running — and at window cadence,
+  // since a claim is fulfilled the moment its window lands, not when the
+  // whole run does. The engine's native emission is also what replaced the
+  // old chop-into-`max_batch_windows`-sub-queries workaround: consumers see
+  // the first window after one window's sweep, and each window is published
+  // to the result cache as it lands, so even a cancelled plan leaves a
+  // reusable prefix.
   int64_t k = 0;
   while (k < num_windows) {
     if (plan_cancelled()) {
@@ -459,9 +526,9 @@ Status DangoronServer::RunWindowPlan(
     }
 
     // Resolve window k under the dedup lock; if it is free, claim the
-    // maximal contiguous free run from k (capped at the batch size).
-    std::shared_future<WindowEdges> join;
-    std::vector<std::promise<WindowEdges>> claims;
+    // maximal contiguous free run from k (capped at max_batch_windows).
+    WindowClaimPtr join;
+    std::vector<WindowClaimPtr> claims;
     {
       std::lock_guard<std::mutex> lock(inflight_mutex_);
       if (auto cached = result_cache_.Get(key_for(k))) {
@@ -487,30 +554,41 @@ Status DangoronServer::RunWindowPlan(
           }
           ++claimed;
         }
-        claims = std::vector<std::promise<WindowEdges>>(
-            static_cast<size_t>(claimed));
+        claims.reserve(static_cast<size_t>(claimed));
         for (int64_t d = 0; d < claimed; ++d) {
-          inflight_windows_.emplace(
-              key_for(k + d),
-              claims[static_cast<size_t>(d)].get_future().share());
+          claims.push_back(std::make_shared<WindowClaim>());
+          inflight_windows_.emplace(key_for(k + d), claims.back());
         }
       }
     }
 
     if (got[static_cast<size_t>(k)] != nullptr) {
-      deliver_ready();
+      deliver_ready(/*blocking=*/true);
       ++k;
       continue;
     }
 
-    if (join.valid()) {
-      // Wait holding no claims. A null result means the claimant failed (or
-      // was cancelled) after claiming; evaluate the window ourselves rather
+    if (join != nullptr) {
+      // Wait holding no claims — and cancellably: a streaming plan wakes on
+      // its own stream's Cancel instead of waiting out the foreign
+      // evaluation. A null result means the claimant failed (or was
+      // cancelled) after claiming; evaluate the window ourselves rather
       // than inheriting its error.
-      WindowEdges edges = join.get();
+      bool join_cancelled = false;
+      WindowEdges edges = WaitForWindowClaim(join, stream, &join_cancelled);
+      if (join_cancelled) {
+        return Status::Cancelled(
+            "DangoronServer: stream cancelled while joining a claimed "
+            "window");
+      }
       if (edges == nullptr) {
+        SlidingQuery sub = eval;
+        sub.start = query.start + k * query.step;
+        sub.end = sub.start + query.window;
         ASSIGN_OR_RETURN(CorrelationMatrixSeries single,
-                         evaluate_range(k, 1));
+                         DangoronEngine::QueryPrepared(
+                             engine_options, prepared->index(), sub,
+                             pool_.get(), nullptr));
         edges = std::make_shared<std::vector<Edge>>(
             std::move(*single.MutableWindow(0)));
         result_cache_.Put(key_for(k), edges, WindowEdgesBytes(*edges));
@@ -519,37 +597,53 @@ Status DangoronServer::RunWindowPlan(
         ++out->windows_joined;
       }
       got[static_cast<size_t>(k)] = std::move(edges);
-      deliver_ready();
+      deliver_ready(/*blocking=*/true);
       ++k;
       continue;
     }
 
-    // Evaluate the claimed batch [k, k + claims.size()) and fulfill every
-    // claim before anything can block again.
+    // Evaluate the claimed run [k, k + claims.size()) in one engine pass,
+    // riding the exact engine's native window-major emission: each window
+    // is cached, its claim fulfilled, and delivery attempted the moment
+    // the engine emits it.
     const int64_t claimed = static_cast<int64_t>(claims.size());
     auto retire = [&](int64_t d, WindowEdges edges) {
       {
         std::lock_guard<std::mutex> lock(inflight_mutex_);
         inflight_windows_.erase(key_for(k + d));
       }
-      claims[static_cast<size_t>(d)].set_value(std::move(edges));
+      FulfillWindowClaim(claims[static_cast<size_t>(d)], std::move(edges));
     };
-    auto series_or = evaluate_range(k, claimed);
-    if (!series_or.ok()) {
-      for (int64_t d = 0; d < claimed; ++d) {
-        retire(d, nullptr);
-      }
-      return series_or.status();
-    }
-    for (int64_t d = 0; d < claimed; ++d) {
-      auto edges = std::make_shared<std::vector<Edge>>(
-          std::move(*series_or->MutableWindow(d)));
+    int64_t landed = 0;
+    CallbackWindowSink run_sink([&](int64_t d, std::vector<Edge> raw) {
+      auto edges = std::make_shared<std::vector<Edge>>(std::move(raw));
       result_cache_.Put(key_for(k + d), edges, WindowEdgesBytes(*edges));
       retire(d, edges);
       got[static_cast<size_t>(k + d)] = std::move(edges);
       ++out->windows_computed;
+      ++landed;
+      deliver_ready(/*blocking=*/false);
+      return !plan_cancelled();
+    });
+    SlidingQuery sub = eval;
+    sub.start = query.start + k * query.step;
+    sub.end = sub.start + (claimed - 1) * query.step + query.window;
+    const Status eval_status = DangoronEngine::QueryPreparedToSink(
+        engine_options, prepared->index(), sub, pool_.get(),
+        /*stats=*/nullptr, &run_sink);
+    if (!eval_status.ok()) {
+      // Engine failure or sink-driven cancellation mid-run: fulfill the
+      // remaining claims with null so joiners re-evaluate instead of
+      // hanging or inheriting our outcome.
+      for (int64_t d = landed; d < claimed; ++d) {
+        retire(d, nullptr);
+      }
+      if (eval_status.code() == StatusCode::kCancelled) {
+        return Status::Cancelled("DangoronServer: stream cancelled mid-plan");
+      }
+      return eval_status;
     }
-    deliver_ready();
+    deliver_ready(/*blocking=*/true);
     k += claimed;
   }
   if (plan_cancelled()) {

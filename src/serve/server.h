@@ -62,6 +62,32 @@ struct DangoronServerOptions {
   int64_t threshold_family_steps = 20;
 };
 
+/// One claimed in-flight window evaluation: the claimant fulfills it (edge
+/// set, or null on failure/cancellation) exactly once; joiners block on the
+/// embedded waker's condition variable. Streaming joiners additionally
+/// register the waker with their stream so Cancel() aborts the wait (see
+/// CancelWaker) — the join is cancellable without polling.
+struct WindowClaim {
+  CancelWaker waker;
+  // Guarded by waker.m.
+  bool done = false;
+  WindowEdges edges;
+};
+using WindowClaimPtr = std::shared_ptr<WindowClaim>;
+
+/// Fulfills `claim` and wakes every joiner. Call after retiring the claim
+/// from the in-flight map so new queries resolve through the cache.
+void FulfillWindowClaim(const WindowClaimPtr& claim, WindowEdges edges);
+
+/// Blocks until `claim` is fulfilled or `stream` (nullable) is cancelled,
+/// whichever happens first; wakes on either event via condition variables
+/// (no polling). Returns the claim's edges (null when the claimant failed)
+/// and sets `*cancelled` when the wait was abandoned because the stream
+/// cancelled. Exposed as a free function so the cancellable-wait protocol
+/// is unit-testable without a server.
+WindowEdges WaitForWindowClaim(const WindowClaimPtr& claim,
+                               WindowStreamState* stream, bool* cancelled);
+
 /// Per-query outcome: the result series plus where its pieces came from.
 struct ServeResult {
   CorrelationMatrixSeries series;
@@ -188,14 +214,21 @@ class DangoronServer {
   /// The shared core of materialized and streaming submissions: walks the
   /// query's windows in order, resolving each from the result cache, a
   /// concurrent query's in-flight claim, or its own evaluation in
-  /// contiguous batches of at most `max_batch_windows` (0 = unbounded).
-  /// Claims are taken per batch and fulfilled (cache Put + promise) as the
-  /// batch lands, so the task never holds an unfulfilled claim across a
-  /// join wait or a blocking stream delivery — the no-deadlock invariant.
-  /// When `stream` is non-null, the contiguous prefix is delivered in order
-  /// through the stream's bounded queue (filtered from the family threshold
-  /// to the query's) and released from `got` after delivery; otherwise
-  /// `got` retains the family-threshold edge set per window for assembly.
+  /// contiguous claimed runs of at most `max_batch_windows` (0 =
+  /// unbounded). Evaluation drives the exact engine's native window
+  /// emission: each window is cache-Put and its claim fulfilled the moment
+  /// the engine emits it — mid-run, not at run end — so joiners and
+  /// overlapping queries see windows at window cadence, and the task never
+  /// holds an unfulfilled claim across a blocking wait (delivery inside a
+  /// run uses non-blocking TryPush; blocking backpressure delivery happens
+  /// only between runs, with no claims held — the no-deadlock invariant).
+  /// Join waits are cancellable: a streaming plan blocked on another
+  /// query's claim wakes on its own stream's Cancel (see WaitForWindowClaim)
+  /// instead of waiting out the foreign evaluation. When `stream` is
+  /// non-null, the contiguous prefix is delivered in order through the
+  /// stream's bounded queue (filtered from the family threshold to the
+  /// query's) and released from `got` after delivery; otherwise `got`
+  /// retains the family-threshold edge set per window for assembly.
   /// `exact_family_out` (optional) reports whether the query threshold sits
   /// on the family grid (no assembly filtering needed). Returns Cancelled
   /// when the stream cancels mid-plan; cached windows computed before that
@@ -239,17 +272,19 @@ class DangoronServer {
   SketchCache sketch_cache_;
   WindowResultCache result_cache_;
 
-  // In-flight deduplication. Claims are taken per evaluation batch and
-  // fulfilled as the batch lands, before the claiming task can block on
-  // anything — another query's future or a stream consumer's queue — so a
-  // joiner only ever waits on an evaluation that is actively running (see
-  // RunWindowPlan); no wait cycle and no dependence on consumer progress.
+  // In-flight deduplication. Window claims are taken per evaluation run and
+  // fulfilled window by window as the engine emits, before the claiming
+  // task can block on anything — another query's claim or a stream
+  // consumer's queue — so a joiner only ever waits on an evaluation that is
+  // actively running (see RunWindowPlan); no wait cycle and no dependence
+  // on consumer progress. Streaming joiners can additionally abandon the
+  // wait on cancellation (WaitForWindowClaim + CancelWaker).
   std::mutex inflight_mutex_;
   std::unordered_map<SketchCacheKey,
                      std::shared_future<std::shared_ptr<const PreparedDataset>>,
                      SketchCacheKeyHash>
       inflight_prepares_;
-  std::unordered_map<WindowKey, std::shared_future<WindowEdges>, WindowKeyHash>
+  std::unordered_map<WindowKey, WindowClaimPtr, WindowKeyHash>
       inflight_windows_;
 
   // Live streaming submissions. Each runs on a dedicated producer thread —

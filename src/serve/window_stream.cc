@@ -20,6 +20,35 @@ bool WindowStreamState::Push(StreamedWindow window) {
   return true;
 }
 
+bool WindowStreamState::TryPush(StreamedWindow window) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (cancelled_ || static_cast<int64_t>(queue_.size()) >= capacity_) {
+    return false;
+  }
+  queue_.push_back(std::move(window));
+  can_pop_.notify_one();
+  return true;
+}
+
+void WindowStreamState::AddCancelWaker(std::shared_ptr<CancelWaker> waker) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (cancelled_) {
+    return;  // the waiter's wait predicate observes cancelled() first
+  }
+  cancel_wakers_.push_back(std::move(waker));
+}
+
+void WindowStreamState::RemoveCancelWaker(const CancelWaker* waker) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t i = 0; i < cancel_wakers_.size(); ++i) {
+    if (cancel_wakers_[i].get() == waker) {
+      cancel_wakers_[i] = std::move(cancel_wakers_.back());
+      cancel_wakers_.pop_back();
+      return;
+    }
+  }
+}
+
 void WindowStreamState::Finish(Status status, const StreamingSummary& summary) {
   std::lock_guard<std::mutex> lock(mutex_);
   finished_ = true;
@@ -47,11 +76,24 @@ std::optional<StreamedWindow> WindowStreamState::Next() {
 }
 
 void WindowStreamState::Cancel() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  cancelled_ = true;
-  queue_.clear();  // release every slot so a blocked producer wakes now
-  can_push_.notify_all();
-  can_pop_.notify_all();
+  std::vector<std::shared_ptr<CancelWaker>> wakers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cancelled_ = true;
+    queue_.clear();  // release every slot so a blocked producer wakes now
+    can_push_.notify_all();
+    can_pop_.notify_all();
+    wakers.swap(cancel_wakers_);
+  }
+  // Wake registered join waiters outside our lock (their wait predicates
+  // call cancelled(), which takes it). The empty lock/unlock of each
+  // waker's mutex pins down the waiter: it is either not yet asleep (its
+  // predicate will see cancelled()) or asleep with m released (the notify
+  // reaches it) — never between predicate and sleep while we notify.
+  for (const std::shared_ptr<CancelWaker>& waker : wakers) {
+    { std::lock_guard<std::mutex> pin(waker->m); }
+    waker->cv.notify_all();
+  }
 }
 
 Status WindowStreamState::status() const {

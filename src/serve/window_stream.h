@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "common/status.h"
 #include "serve/window_result_cache.h"
@@ -21,10 +22,17 @@ struct StreamingSubmitOptions {
   /// of the whole result.
   int64_t queue_capacity = 8;
 
-  /// Maximum windows evaluated per engine batch before delivery. Smaller
-  /// batches shrink time-to-first-window; larger ones amortize the
-  /// pair-block sweep. Serving evaluates exactly (no jumping), so batching
-  /// never changes results.
+  /// Cap on the contiguous window run one engine pass claims and evaluates
+  /// (0 = unbounded). Within a run the exact engine emits natively window
+  /// by window — each window is cached, claim-fulfilled, and delivered
+  /// (non-blocking) the moment it lands — but delivery only *waits* for a
+  /// slow consumer between runs, so the cap is what bounds a stream's
+  /// undelivered backlog at queue_capacity plus one run of windows (0
+  /// trades that bound for maximal sweep-band locality: the whole run is
+  /// evaluated even if the consumer stalls, and the result accumulates
+  /// until delivered). It also bounds claim granularity toward concurrent
+  /// identical queries and the stream's cancel latency. Serving evaluates
+  /// exactly (no jumping), so run chopping never changes results.
   int64_t max_batch_windows = 4;
 };
 
@@ -44,6 +52,20 @@ struct StreamingSummary {
   int64_t windows_from_cache = 0;
   int64_t windows_computed = 0;
   int64_t windows_joined = 0;
+};
+
+/// A condition variable a consumer blocked on something *other than* the
+/// stream's own queue registers with the stream, so `Cancel` can wake it:
+/// the cancellable-join primitive behind DangoronServer's claimed-window
+/// waits (a joiner sleeps on its claim's cv; without registration only the
+/// claim's fulfiller could wake it, and a cancelled stream would stay
+/// blocked until the foreign evaluation finished). Waiters hold `m` while
+/// waiting on `cv` with a predicate that re-checks the stream's cancel
+/// flag; `Cancel` notifies through the lock so a waiter between predicate
+/// check and sleep cannot miss it.
+struct CancelWaker {
+  std::mutex m;
+  std::condition_variable cv;
 };
 
 /// The shared channel between a streaming query task (producer) and the
@@ -66,10 +88,29 @@ class WindowStreamState {
   /// when the stream is cancelled (the window is dropped).
   bool Push(StreamedWindow window);
 
+  /// Non-blocking Push: enqueues and returns true only when a queue slot is
+  /// free and the stream is live; returns false (window untouched in
+  /// effect — callers keep their copy) when the queue is full or the
+  /// stream is cancelled, distinguishable via `cancelled()`. Lets a
+  /// producer that currently holds unfulfilled evaluation claims deliver
+  /// opportunistically without violating the rule that claims are never
+  /// held across a blocking wait.
+  bool TryPush(StreamedWindow window);
+
   /// Terminal: publishes the stream's status and accounting, wakes everyone.
   void Finish(Status status, const StreamingSummary& summary);
 
   bool cancelled() const;
+
+  /// Registers `waker` to be notified by `Cancel` (see CancelWaker). A
+  /// no-op on an already-cancelled stream — the waiter's predicate sees
+  /// `cancelled()` before it can sleep. Wakers are one-shot: Cancel takes
+  /// the registered set with it.
+  void AddCancelWaker(std::shared_ptr<CancelWaker> waker);
+
+  /// Unregisters a waker once its wait resolved (claim fulfilled) so the
+  /// stream does not accumulate dead registrations.
+  void RemoveCancelWaker(const CancelWaker* waker);
 
   // --- consumer side (via WindowStream) ---
 
@@ -98,6 +139,7 @@ class WindowStreamState {
   std::condition_variable can_push_;
   std::condition_variable can_pop_;
   std::deque<StreamedWindow> queue_;
+  std::vector<std::shared_ptr<CancelWaker>> cancel_wakers_;
   bool cancelled_ = false;
   bool finished_ = false;
   Status status_ = Status::Ok();

@@ -99,6 +99,14 @@ class BasicWindowIndex {
     return pair_dot_prefix_[Px(p, hi)] - pair_dot_prefix_[Px(p, lo)];
   }
 
+  /// Raw view of the pair dot-prefix block for the window-major sweep
+  /// kernel (corr/sweep_kernel.h): prefix slot w of pair p sits at
+  /// `PairDotPrefix()[p * PairDotRowStride() + w]`, so DotRange(p, lo, hi)
+  /// is the hi/lo slot difference. Requires pair sketches; valid while the
+  /// index is alive.
+  const double* PairDotPrefix() const { return pair_dot_prefix_ + kPairRowPad; }
+  int64_t PairDotRowStride() const { return pair_row_stride_; }
+
   /// Pearson correlation of the pair within basic window `w` (the `c_i` of
   /// Eq. 1 / Eq. 2); 0 when either side is constant in the window.
   double PairWindowCorrelation(int64_t p, int64_t w) const;

@@ -46,6 +46,7 @@ Result<StreamingNetworkBuilder> StreamingNetworkBuilder::Create(
   builder.window_series_sumsq_.assign(static_cast<size_t>(num_series), 0.0);
   builder.window_pair_dot_.assign(static_cast<size_t>(builder.num_pairs_),
                                   0.0);
+  builder.emit_threshold_ = options.threshold;
   return builder;
 }
 
@@ -173,8 +174,8 @@ void StreamingNetworkBuilder::FoldBasicWindow() {
             window_pair_dot_[static_cast<size_t>(p)]);
         const bool is_edge =
             options_.absolute
-                ? (c <= -options_.threshold || c >= options_.threshold)
-                : c >= options_.threshold;
+                ? (c <= -emit_threshold_ || c >= emit_threshold_)
+                : c >= emit_threshold_;
         if (is_edge) {
           snapshot.edges.push_back(
               Edge{static_cast<int32_t>(i), static_cast<int32_t>(j), c});
@@ -194,6 +195,7 @@ void StreamingNetworkBuilder::FoldBasicWindow() {
         sink_cancelled_window_ = snapshot.window_index;
         sink_ = nullptr;  // later snapshots queue internally again
         publish_sink_.reset();
+        emit_threshold_ = options_.threshold;  // family publishing ends too
       }
     } else {
       ready_.push_back(std::move(snapshot));
@@ -204,26 +206,52 @@ void StreamingNetworkBuilder::FoldBasicWindow() {
 void StreamingNetworkBuilder::EmitTo(WindowSink* sink) {
   sink_ = sink;
   publish_sink_.reset();
+  emit_threshold_ = options_.threshold;
   sink_cancelled_window_ = -1;  // a fresh sink session has lost nothing
 }
 
 void StreamingNetworkBuilder::PublishTo(WindowResultCache* cache,
                                         uint64_t dataset_fingerprint) {
+  // The builder's own threshold was validated by Create; no re-check.
+  AttachPublishSink(cache, dataset_fingerprint, options_.threshold);
+}
+
+Status StreamingNetworkBuilder::PublishTo(WindowResultCache* cache,
+                                          uint64_t dataset_fingerprint,
+                                          double publish_threshold) {
+  if (publish_threshold < -1.0 || publish_threshold > 1.0 ||
+      (options_.absolute && publish_threshold < 0.0)) {
+    return Status::InvalidArgument(
+        "PublishTo: publish threshold ", publish_threshold,
+        " outside the valid range ",
+        options_.absolute ? "[0, 1] of absolute mode" : "[-1, 1]");
+  }
+  AttachPublishSink(cache, dataset_fingerprint, publish_threshold);
+  return Status::Ok();
+}
+
+void StreamingNetworkBuilder::AttachPublishSink(WindowResultCache* cache,
+                                                uint64_t dataset_fingerprint,
+                                                double publish_threshold) {
   sink_cancelled_window_ = -1;  // a fresh sink session has lost nothing
   if (cache == nullptr) {
     sink_ = nullptr;
     publish_sink_.reset();
+    emit_threshold_ = options_.threshold;
     return;
   }
   CacheWindowSink::FixedGeometry geometry;
   geometry.window_bws = ns_;
   geometry.step_bws = m_;
   geometry.start0_bw = 0;  // the stream is fed from column 0 by contract
-  geometry.threshold = options_.threshold;
+  geometry.threshold = publish_threshold;
   geometry.absolute = options_.absolute;
   publish_sink_ = std::make_unique<CacheWindowSink>(
       cache, dataset_fingerprint, options_.basic_window, geometry);
   sink_ = publish_sink_.get();
+  // Evaluate emitted windows at the publish threshold so the key's promise
+  // — "exactly the edges clearing it" — holds (cache-key soundness).
+  emit_threshold_ = publish_threshold;
 }
 
 Result<StreamSnapshot> StreamingNetworkBuilder::PopSnapshot() {

@@ -115,12 +115,36 @@ class StreamingNetworkBuilder {
   /// outlive the builder; pass nullptr to detach.
   void PublishTo(WindowResultCache* cache, uint64_t dataset_fingerprint);
 
+  /// Family-threshold publishing: like PublishTo above, but emitted windows
+  /// are *evaluated and keyed* at `publish_threshold` instead of the
+  /// builder's own threshold — pass the server's grid value
+  /// (`DangoronServer::CanonicalThreshold(options.threshold,
+  /// options.absolute)`) and the live stream warms the server's
+  /// threshold-family caches even when the alert threshold is off-grid.
+  /// The cache-key soundness rule holds by construction: the set keyed at
+  /// `publish_threshold` contains exactly the edges clearing it (the
+  /// builder evaluates at that value); with publish_threshold <= the alert
+  /// threshold each published window is a superset of the alert edges, the
+  /// same superset-then-filter contract the server's family cache uses.
+  /// Detaching (nullptr cache, EmitTo, or a cancelling sink) restores
+  /// emission at the builder's own threshold. Fails on a threshold outside
+  /// [-1, 1] (or outside [0, 1] in absolute mode) without touching the
+  /// current sink.
+  Status PublishTo(WindowResultCache* cache, uint64_t dataset_fingerprint,
+                   double publish_threshold);
+
  private:
   StreamingNetworkBuilder() = default;
 
   // Folds the completed basic window in pending_ into the rolling state and
   // emits a snapshot when a window boundary is crossed.
   void FoldBasicWindow();
+
+  // The shared attach/detach body of both PublishTo forms (threshold
+  // already validated).
+  void AttachPublishSink(WindowResultCache* cache,
+                         uint64_t dataset_fingerprint,
+                         double publish_threshold);
 
   int64_t num_series_ = 0;
   int64_t num_pairs_ = 0;
@@ -147,6 +171,11 @@ class StreamingNetworkBuilder {
   int64_t basic_windows_seen_ = 0;
   int64_t next_window_index_ = 0;
   int64_t columns_seen_ = 0;
+
+  // Threshold snapshots are currently evaluated at: the builder's own
+  // threshold, except while a family-threshold publish sink is attached
+  // (see the three-argument PublishTo), when it is the publish threshold.
+  double emit_threshold_ = 0.0;
 
   // Attached emission sink (see EmitTo); not owned. When PublishTo wired a
   // cache, publish_sink_ owns the adapter and sink_ points at it.

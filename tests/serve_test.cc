@@ -763,5 +763,140 @@ TEST(CreateServerTest, ParsesOptionsAndRejectsUnknownKeys) {
   ExpectSeriesEqual(NaiveTruth(copy, query), result->series, 1e-8);
 }
 
+// ------------------------------------------------- cancellable join waits --
+
+TEST(WindowClaimTest, FulfilledClaimWakesJoiner) {
+  auto claim = std::make_shared<WindowClaim>();
+  WindowStreamState stream(/*queue_capacity=*/1);
+
+  std::thread joiner([&] {
+    bool cancelled = true;
+    WindowEdges edges = WaitForWindowClaim(claim, &stream, &cancelled);
+    EXPECT_FALSE(cancelled);
+    ASSERT_NE(edges, nullptr);
+    EXPECT_EQ(edges->size(), 1u);
+  });
+  auto edges = std::make_shared<std::vector<Edge>>();
+  edges->push_back(Edge{0, 1, 0.9});
+  FulfillWindowClaim(claim, edges);
+  joiner.join();
+
+  // A joiner arriving after fulfillment returns immediately.
+  bool cancelled = true;
+  WindowEdges late = WaitForWindowClaim(claim, &stream, &cancelled);
+  EXPECT_FALSE(cancelled);
+  ASSERT_NE(late, nullptr);
+}
+
+// The satellite property: a streaming query blocked on another query's
+// claimed window aborts on its own stream's Cancel instead of waiting for
+// the foreign evaluation to resolve the claim.
+TEST(WindowClaimTest, StreamCancelAbortsJoinWaitWithoutFulfillment) {
+  auto claim = std::make_shared<WindowClaim>();
+  auto stream = std::make_shared<WindowStreamState>(/*queue_capacity=*/1);
+
+  bool cancelled = false;
+  WindowEdges edges = std::make_shared<std::vector<Edge>>();
+  std::thread joiner([&] {
+    edges = WaitForWindowClaim(claim, stream.get(), &cancelled);
+  });
+  // The claim is never fulfilled while the joiner waits; only Cancel can
+  // release it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  stream->Cancel();
+  joiner.join();
+  EXPECT_TRUE(cancelled);
+  EXPECT_EQ(edges, nullptr);
+
+  // Fulfilling afterwards is harmless (the claimant always fulfills), and
+  // a fresh joiner on the same claim gets the result.
+  FulfillWindowClaim(claim, std::make_shared<std::vector<Edge>>());
+  bool late_cancelled = true;
+  EXPECT_NE(WaitForWindowClaim(claim, stream.get(), &late_cancelled),
+            nullptr);
+  EXPECT_FALSE(late_cancelled);
+}
+
+TEST(WindowClaimTest, CancelBeforeWaitReturnsImmediately) {
+  auto claim = std::make_shared<WindowClaim>();
+  WindowStreamState stream(/*queue_capacity=*/1);
+  stream.Cancel();
+  bool cancelled = false;
+  EXPECT_EQ(WaitForWindowClaim(claim, &stream, &cancelled), nullptr);
+  EXPECT_TRUE(cancelled);
+}
+
+TEST(WindowClaimTest, MaterializedJoinersIgnoreStreams) {
+  // A null stream is the materialized path: the wait is not cancellable
+  // and resolves only through fulfillment.
+  auto claim = std::make_shared<WindowClaim>();
+  std::thread fulfiller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    FulfillWindowClaim(claim, std::make_shared<std::vector<Edge>>());
+  });
+  bool cancelled = true;
+  EXPECT_NE(WaitForWindowClaim(claim, nullptr, &cancelled), nullptr);
+  EXPECT_FALSE(cancelled);
+  fulfiller.join();
+}
+
+// ------------------------------------- family-threshold stream publishing --
+
+// A live stream whose alert threshold is off the server's family grid warms
+// the family cache by evaluating and keying published windows at the
+// canonical grid value; the server's off-grid historical query then runs
+// entirely from cache, filtered up to its exact threshold at assembly.
+TEST(DangoronServerTest, FamilyPublishedStreamWarmsOffGridQueries) {
+  const int64_t b = 8;
+  const int64_t length = b * 30;
+  TimeSeriesMatrix data = SmallClimate(5, length, 4010);
+  const TimeSeriesMatrix copy = data;
+
+  DangoronServerOptions options;
+  options.basic_window = b;
+  options.num_threads = 1;
+  DangoronServer server(options);
+  ASSERT_TRUE(server.AddDataset("live", std::move(data)).ok());
+  auto fingerprint = server.DatasetFingerprint("live");
+  ASSERT_TRUE(fingerprint.ok());
+
+  const double alert_threshold = 0.63;  // off the 0.05 grid
+  const double canonical =
+      server.CanonicalThreshold(alert_threshold, /*absolute=*/false);
+  EXPECT_NE(canonical, alert_threshold);
+
+  StreamingOptions stream_options;
+  stream_options.basic_window = b;
+  stream_options.window = b * 5;
+  stream_options.step = b * 2;
+  stream_options.threshold = alert_threshold;
+  auto builder = StreamingNetworkBuilder::Create(5, stream_options);
+  ASSERT_TRUE(builder.ok());
+  ASSERT_TRUE(builder
+                  ->PublishTo(server.mutable_result_cache(), *fingerprint,
+                              canonical)
+                  .ok());
+  ASSERT_TRUE(builder->AppendColumns(copy, 0, length).ok());
+
+  // Off-grid historical query: every window resolves from the published
+  // family supersets — zero evaluation — and matches the exact truth at
+  // the query's own threshold.
+  const SlidingQuery query =
+      MakeQuery(0, length, b * 5, b * 2, alert_threshold);
+  auto result = server.Query("live", query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->windows_from_cache, query.NumWindows());
+  EXPECT_EQ(result->windows_computed, 0);
+  ExpectSeriesEqual(NaiveTruth(copy, query), result->series, 1e-8);
+
+  // The family's grid value itself also rides the published windows (its
+  // canonical threshold is the published key, bit-exactly).
+  const SlidingQuery grid_query = MakeQuery(0, length, b * 5, b * 2, 0.6);
+  auto grid_result = server.Query("live", grid_query);
+  ASSERT_TRUE(grid_result.ok());
+  EXPECT_EQ(grid_result->windows_computed, 0);
+  ExpectSeriesEqual(NaiveTruth(copy, grid_query), grid_result->series, 1e-8);
+}
+
 }  // namespace
 }  // namespace dangoron

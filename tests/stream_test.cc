@@ -263,5 +263,65 @@ TEST(StreamingBuilderTest, PartialTailIsBuffered) {
   EXPECT_EQ(builder->ReadySnapshots(), 1);  // only the window at column 32
 }
 
+TEST(StreamingBuilderTest, FamilyPublishThresholdValidatedAndResetOnDetach) {
+  Rng rng(13);
+  TimeSeriesMatrix data = GenerateWhiteNoise(3, 32 * 4, &rng);
+  StreamingOptions options = SmallOptions();
+  options.threshold = 0.73;  // the off-grid alert threshold
+
+  auto builder = StreamingNetworkBuilder::Create(3, options);
+  ASSERT_TRUE(builder.ok());
+  WindowResultCache cache(int64_t{1} << 20);
+
+  // Out-of-range publish thresholds are rejected without touching the sink.
+  EXPECT_FALSE(builder->PublishTo(&cache, 1, 1.5).ok());
+  EXPECT_EQ(builder->ReadySnapshots(), 0);
+
+  // Publish at the family grid value below the alert threshold: published
+  // windows are evaluated at it (supersets of the alert edges).
+  ASSERT_TRUE(builder->PublishTo(&cache, 1, 0.7).ok());
+  ASSERT_TRUE(builder->AppendColumns(data, 0, data.length()).ok());
+  const auto published = cache.Get(WindowKey::Make(1, 8, 4, 0, 0.7, false));
+  ASSERT_NE(published, nullptr);
+  for (const Edge& edge : *published) {
+    EXPECT_GE(edge.value, 0.7);
+  }
+
+  // Detaching restores the builder's own threshold for queued snapshots.
+  builder->PublishTo(nullptr, 1);
+  ASSERT_TRUE(builder->AppendColumns(data, 0, data.length()).ok());
+  ASSERT_GT(builder->ReadySnapshots(), 0);
+  // Continue the detached builder's own numbering; its snapshots threshold
+  // at 0.73 again: every reported edge clears the alert threshold.
+  while (builder->ReadySnapshots() > 0) {
+    auto snapshot = builder->PopSnapshot();
+    ASSERT_TRUE(snapshot.ok());
+    for (const Edge& edge : snapshot->edges) {
+      EXPECT_TRUE(edge.value >= 0.73 || edge.value <= -0.73);
+    }
+  }
+}
+
+// Absolute-mode family publishing keys and evaluates |corr| >= grid.
+TEST(StreamingBuilderTest, FamilyPublishAbsoluteMode) {
+  Rng rng(14);
+  TimeSeriesMatrix data = GenerateWhiteNoise(3, 32 * 4, &rng);
+  StreamingOptions options = SmallOptions();
+  options.threshold = 0.42;
+  options.absolute = true;
+
+  auto builder = StreamingNetworkBuilder::Create(3, options);
+  ASSERT_TRUE(builder.ok());
+  WindowResultCache cache(int64_t{1} << 20);
+  EXPECT_FALSE(builder->PublishTo(&cache, 2, -0.1).ok());  // invalid when abs
+  ASSERT_TRUE(builder->PublishTo(&cache, 2, 0.4).ok());
+  ASSERT_TRUE(builder->AppendColumns(data, 0, data.length()).ok());
+  const auto published = cache.Get(WindowKey::Make(2, 8, 4, 0, 0.4, true));
+  ASSERT_NE(published, nullptr);
+  for (const Edge& edge : *published) {
+    EXPECT_TRUE(edge.value >= 0.4 || edge.value <= -0.4);
+  }
+}
+
 }  // namespace
 }  // namespace dangoron

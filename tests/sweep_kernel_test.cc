@@ -1,0 +1,281 @@
+// Differential and property tests of the window-major exact sweep kernel
+// (corr/sweep_kernel.h) as driven by DangoronEngine in exact mode: the
+// vectorized sweep must emit *bit-identical* edges to the scalar pair-major
+// cell loop (use_sweep_kernel=false, the oracle) for every threshold mode,
+// degenerate input, tile-remainder shape, and thread count — and match
+// NaiveEngine within the usual sketch-combination tolerance. The engine-level
+// time-to-first-window property (a cancelled-at-window-0 query does one
+// window's work, not the whole sweep's) is asserted via EngineStats.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "corr/sweep_kernel.h"
+#include "engine/dangoron_engine.h"
+#include "engine/naive_engine.h"
+#include "engine/window_sink.h"
+#include "ts/generators.h"
+
+namespace dangoron {
+namespace {
+
+constexpr int64_t kBasicWindow = 8;
+
+TimeSeriesMatrix RandomWalkData(int64_t n, int64_t length, uint64_t seed) {
+  Rng rng(seed);
+  TimeSeriesMatrix data(n, length);
+  for (int64_t s = 0; s < n; ++s) {
+    double level = rng.NextGaussian();
+    for (int64_t t = 0; t < length; ++t) {
+      level += 0.3 * rng.NextGaussian();
+      data.Set(s, t, level);
+    }
+  }
+  return data;
+}
+
+SlidingQuery SweepQuery(int64_t length, double threshold, bool absolute) {
+  SlidingQuery query;
+  query.start = 0;
+  query.end = length;
+  query.window = kBasicWindow * 5;
+  query.step = kBasicWindow * 2;
+  query.threshold = threshold;
+  query.absolute = absolute;
+  return query;
+}
+
+CorrelationMatrixSeries RunDangoron(const TimeSeriesMatrix& data,
+                                    const SlidingQuery& query, bool sweep,
+                                    int32_t threads,
+                                    EngineStats* stats_out = nullptr) {
+  DangoronOptions options;
+  options.basic_window = kBasicWindow;
+  options.enable_jumping = false;
+  options.use_sweep_kernel = sweep;
+  options.num_threads = threads;
+  DangoronEngine engine(options);
+  CHECK(engine.Prepare(data).ok());
+  auto result = engine.Query(query);
+  CHECK(result.ok());
+  if (stats_out != nullptr) {
+    *stats_out = engine.stats();
+  }
+  return std::move(*result);
+}
+
+// The load-bearing differential property: bitwise-equal edges (operator==
+// on Edge compares the double exactly), not tolerance-equal.
+void ExpectBitIdentical(const CorrelationMatrixSeries& sweep,
+                        const CorrelationMatrixSeries& scalar) {
+  ASSERT_EQ(sweep.num_windows(), scalar.num_windows());
+  for (int64_t k = 0; k < sweep.num_windows(); ++k) {
+    const auto a = sweep.WindowEdges(k);
+    const auto b = scalar.WindowEdges(k);
+    ASSERT_EQ(a.size(), b.size()) << "window " << k;
+    for (size_t e = 0; e < a.size(); ++e) {
+      EXPECT_EQ(a[e], b[e]) << "window " << k << " edge " << e;
+    }
+  }
+}
+
+void ExpectMatchesNaive(const CorrelationMatrixSeries& got,
+                        const TimeSeriesMatrix& data,
+                        const SlidingQuery& query) {
+  NaiveEngine naive;
+  CHECK(naive.Prepare(data).ok());
+  auto truth = naive.Query(query);
+  CHECK(truth.ok());
+  ASSERT_EQ(got.num_windows(), truth->num_windows());
+  for (int64_t k = 0; k < got.num_windows(); ++k) {
+    const auto a = got.WindowEdges(k);
+    const auto b = truth->WindowEdges(k);
+    ASSERT_EQ(a.size(), b.size()) << "window " << k;
+    for (size_t e = 0; e < a.size(); ++e) {
+      EXPECT_EQ(a[e].i, b[e].i) << "window " << k;
+      EXPECT_EQ(a[e].j, b[e].j) << "window " << k;
+      EXPECT_NEAR(a[e].value, b[e].value, 1e-8) << "window " << k;
+    }
+  }
+}
+
+TEST(SweepKernelTest, BitIdenticalToScalarPairMajorAcrossThresholds) {
+  const int64_t length = kBasicWindow * 24;
+  // n=19 makes every fixed-i run hit a non-multiple-of-8 vector tail.
+  const TimeSeriesMatrix data = RandomWalkData(19, length, 71001);
+  for (const bool absolute : {false, true}) {
+    for (const double threshold : {0.1, 0.35, 0.8}) {
+      SCOPED_TRACE(testing::Message()
+                   << "absolute=" << absolute << " threshold=" << threshold);
+      const SlidingQuery query = SweepQuery(length, threshold, absolute);
+      const auto sweep = RunDangoron(data, query, /*sweep=*/true, 1);
+      const auto scalar = RunDangoron(data, query, /*sweep=*/false, 1);
+      ExpectBitIdentical(sweep, scalar);
+      ExpectMatchesNaive(sweep, data, query);
+    }
+  }
+}
+
+TEST(SweepKernelTest, NegativeThresholdAcceptsEveryPairIdentically) {
+  const int64_t length = kBasicWindow * 12;
+  const int64_t n = 9;
+  const TimeSeriesMatrix data = RandomWalkData(n, length, 71002);
+  SlidingQuery query = SweepQuery(length, -1.0, /*absolute=*/false);
+  const auto sweep = RunDangoron(data, query, /*sweep=*/true, 1);
+  const auto scalar = RunDangoron(data, query, /*sweep=*/false, 1);
+  ExpectBitIdentical(sweep, scalar);
+  // Accept-everything: each window is the full clique.
+  for (int64_t k = 0; k < sweep.num_windows(); ++k) {
+    EXPECT_EQ(static_cast<int64_t>(sweep.WindowEdges(k).size()),
+              n * (n - 1) / 2);
+  }
+}
+
+TEST(SweepKernelTest, DegenerateSeriesProduceNoSpuriousEdges) {
+  const int64_t length = kBasicWindow * 16;
+  TimeSeriesMatrix data = RandomWalkData(13, length, 71003);
+  // Series 3: dead sensor (constant everywhere). Series 7: flatlines for a
+  // stretch covering some windows but not others.
+  for (int64_t t = 0; t < length; ++t) {
+    data.Set(3, t, 42.0);
+  }
+  for (int64_t t = kBasicWindow * 4; t < kBasicWindow * 10; ++t) {
+    data.Set(7, t, -1.5);
+  }
+  for (const bool absolute : {false, true}) {
+    SCOPED_TRACE(absolute);
+    const SlidingQuery query = SweepQuery(length, 0.2, absolute);
+    const auto sweep = RunDangoron(data, query, /*sweep=*/true, 1);
+    const auto scalar = RunDangoron(data, query, /*sweep=*/false, 1);
+    ExpectBitIdentical(sweep, scalar);
+    ExpectMatchesNaive(sweep, data, query);
+    // A degenerate series correlates at exactly 0, which never clears a
+    // positive threshold: series 3 must be edgeless in every window.
+    for (int64_t k = 0; k < sweep.num_windows(); ++k) {
+      for (const Edge& edge : sweep.WindowEdges(k)) {
+        EXPECT_NE(edge.i, 3);
+        EXPECT_NE(edge.j, 3);
+      }
+    }
+  }
+}
+
+TEST(SweepKernelTest, TileRemainderPairCountsAndThreadCounts) {
+  const int64_t length = kBasicWindow * 20;
+  // n=48 -> 1128 pairs: two sweep tiles with a 104-pair remainder tile,
+  // plus plenty of split fixed-i runs at the tile boundary.
+  const TimeSeriesMatrix data = RandomWalkData(48, length, 71004);
+  const SlidingQuery query = SweepQuery(length, 0.3, /*absolute=*/true);
+  const auto scalar = RunDangoron(data, query, /*sweep=*/false, 1);
+  for (const int32_t threads : {1, 4}) {
+    SCOPED_TRACE(threads);
+    const auto sweep = RunDangoron(data, query, /*sweep=*/true, threads);
+    ExpectBitIdentical(sweep, scalar);
+  }
+}
+
+TEST(SweepKernelTest, WindowMajorPruningMatchesPairMajorDecisions) {
+  const int64_t length = kBasicWindow * 20;
+  const TimeSeriesMatrix data = RandomWalkData(16, length, 71005);
+  SlidingQuery query = SweepQuery(length, 0.75, /*absolute=*/false);
+
+  DangoronOptions options;
+  options.basic_window = kBasicWindow;
+  options.enable_jumping = false;
+  options.horizontal_pruning = true;
+  options.num_pivots = 4;
+
+  options.use_sweep_kernel = true;
+  DangoronEngine window_major(options);
+  ASSERT_TRUE(window_major.Prepare(data).ok());
+  auto sweep = window_major.Query(query);
+  ASSERT_TRUE(sweep.ok());
+
+  options.use_sweep_kernel = false;
+  DangoronEngine pair_major(options);
+  ASSERT_TRUE(pair_major.Prepare(data).ok());
+  auto scalar = pair_major.Query(query);
+  ASSERT_TRUE(scalar.ok());
+
+  ExpectBitIdentical(*sweep, *scalar);
+  // Same per-cell pruning decisions, just visited in window-major order.
+  EXPECT_EQ(window_major.stats().cells_horizontal_pruned,
+            pair_major.stats().cells_horizontal_pruned);
+  EXPECT_EQ(window_major.stats().cells_evaluated,
+            pair_major.stats().cells_evaluated);
+}
+
+TEST(SweepKernelTest, SingleSeriesDataYieldsEmptyWindows) {
+  // No pairs at all: the sweep must emit every window empty rather than
+  // touching the (nonexistent) pair id space.
+  const int64_t length = kBasicWindow * 12;
+  const TimeSeriesMatrix data = RandomWalkData(1, length, 71007);
+  const SlidingQuery query = SweepQuery(length, 0.5, /*absolute=*/false);
+  const auto sweep = RunDangoron(data, query, /*sweep=*/true, 1);
+  ASSERT_EQ(sweep.num_windows(), query.NumWindows());
+  for (int64_t k = 0; k < sweep.num_windows(); ++k) {
+    EXPECT_TRUE(sweep.WindowEdges(k).empty());
+  }
+}
+
+// Cancels the query after `cancel_after + 1` windows arrived.
+class CancelAfterSink : public WindowSink {
+ public:
+  explicit CancelAfterSink(int64_t cancel_after)
+      : cancel_after_(cancel_after) {}
+  bool OnWindow(int64_t window_index, std::vector<Edge> edges) override {
+    (void)edges;
+    last_index_ = window_index;
+    ++windows_;
+    return windows_ <= cancel_after_;
+  }
+  void OnFinish(const Status& status) override { final_status_ = status; }
+
+  int64_t windows() const { return windows_; }
+  int64_t last_index() const { return last_index_; }
+  const Status& final_status() const { return final_status_; }
+
+ private:
+  int64_t cancel_after_ = 0;
+  int64_t windows_ = 0;
+  int64_t last_index_ = -1;
+  Status final_status_ = Status::Ok();
+};
+
+// The engine-level time-to-first-window property: in exact mode the first
+// window is delivered after one *band* of the pair sweep, not after the
+// whole sweep — asserted deterministically through the evaluated-cell
+// counter of a query cancelled at window 0.
+TEST(SweepKernelTest, ExactModeDeliversFirstWindowBeforeFullSweep) {
+  const int64_t length = kBasicWindow * 80;
+  const int64_t n = 12;
+  const TimeSeriesMatrix data = RandomWalkData(n, length, 71006);
+  const SlidingQuery query = SweepQuery(length, 0.5, /*absolute=*/false);
+  const int64_t num_windows = query.NumWindows();
+  ASSERT_GT(num_windows, 2 * kSweepWindowBand);
+
+  DangoronOptions options;
+  options.basic_window = kBasicWindow;
+  options.enable_jumping = false;
+  DangoronEngine engine(options);
+  ASSERT_TRUE(engine.Prepare(data).ok());
+
+  CancelAfterSink sink(/*cancel_after=*/0);
+  EXPECT_EQ(engine.QueryToSink(query, &sink).code(), StatusCode::kCancelled);
+  EXPECT_EQ(sink.windows(), 1);
+  EXPECT_EQ(sink.last_index(), 0);
+  EXPECT_EQ(sink.final_status().code(), StatusCode::kCancelled);
+  // Exactly one band's pairs were evaluated — a small fixed fraction of
+  // the full sweep, independent of how many windows the query spans.
+  const int64_t pairs = n * (n - 1) / 2;
+  EXPECT_EQ(engine.stats().cells_evaluated, pairs * kSweepWindowBand);
+  EXPECT_LT(engine.stats().cells_evaluated, engine.stats().cells_total);
+}
+
+}  // namespace
+}  // namespace dangoron
