@@ -2,16 +2,24 @@
 //
 // Usage:
 //   run_query <data.{csv,dgrn}> <engine>[:options] <window> <step> <beta>
-//             [abs] [out.csv]
+//             [abs] [tier=exact|approx|auto] [deadline=<ms>] [out.csv]
 //
 //   engine: naive | tsubasa | dangoron | parcorr, with factory options,
-//           e.g. "dangoron:basic_window=24,jump=on,threads=4"
+//           e.g. "dangoron:basic_window=24,jump=on,threads=4" — or
+//           "serve[:server-options]" to run through DangoronServer's
+//           QueryRequest surface (e.g. "serve:basic_window=24,threads=4"),
+//           which is what the tier/deadline flags drive
 //   abs:    pass the literal token 'abs' for |corr| >= beta edges
+//   tier:   serve only — service tier of the request (default: the
+//           server's default_tier, i.e. exact unless configured)
+//   deadline: serve only — deadline in milliseconds (admission + auto tier)
 //   out:    long-format CSV (window,i,j,correlation)
 //
-// Example:
+// Examples:
 //   ./build/examples/tomborg_generate 32 4096 block pink 1 /tmp/d.csv
 //   ./build/examples/run_query /tmp/d.csv dangoron 512 128 0.8 /tmp/net.csv
+//   ./build/examples/run_query /tmp/d.csv serve:basic_window=128 512 128 \
+//       0.8 tier=approx deadline=50 /tmp/net.csv
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,6 +29,7 @@
 #include "common/strings.h"
 #include "engine/factory.h"
 #include "network/export.h"
+#include "serve/server.h"
 #include "ts/csv.h"
 #include "ts/dataset_io.h"
 #include "ts/resample.h"
@@ -28,11 +37,79 @@
 namespace dangoron {
 namespace {
 
+// Runs `query` through a DangoronServer built from `server_options`,
+// printing the request's tier/source accounting instead of EngineStats.
+int RunServe(const TimeSeriesMatrix& data, const std::string& server_options,
+             SlidingQuery query, const std::string& tier_flag,
+             int64_t deadline_ms, const std::string& out_path) {
+  auto server = CreateServer(server_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "server: %s\n", server.status().ToString().c_str());
+    return 1;
+  }
+  if (Status status = (*server)->AddDataset("data", data); !status.ok()) {
+    std::fprintf(stderr, "AddDataset: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  QueryRequest request;
+  request.dataset = "data";
+  request.query = query;
+  request.options.deadline_ms = deadline_ms;
+  if (!tier_flag.empty()) {
+    auto tier = ParseServeTier(tier_flag);
+    if (!tier.ok()) {
+      std::fprintf(stderr, "tier: %s\n", tier.status().ToString().c_str());
+      return 1;
+    }
+    request.options.tier = *tier;
+  }
+
+  std::printf("data: %lld series x %lld points; engine: serve; query: %s\n",
+              static_cast<long long>(data.num_series()),
+              static_cast<long long>(data.length()),
+              query.ToString().c_str());
+
+  Stopwatch watch;
+  auto result = (*server)->Query(request);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const double seconds = watch.ElapsedSeconds();
+
+  std::printf(
+      "served %.3f s by the %s tier; %lld windows, %lld edges "
+      "(prepare %s; %lld computed, %lld cached, %lld joined; "
+      "%lld cells jumped in %lld jumps)\n",
+      seconds, std::string(ServeTierName(result->tier_used)).c_str(),
+      static_cast<long long>(result->series.num_windows()),
+      static_cast<long long>(result->series.TotalEdges()),
+      result->prepared_from_cache ? "shared" : "built",
+      static_cast<long long>(result->windows_computed),
+      static_cast<long long>(result->windows_from_cache),
+      static_cast<long long>(result->windows_joined),
+      static_cast<long long>(result->cells_jumped),
+      static_cast<long long>(result->jumps));
+
+  if (!out_path.empty()) {
+    if (Status status = WriteSeriesCsv(result->series, out_path);
+        !status.ok()) {
+      std::fprintf(stderr, "export: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 6) {
     std::fprintf(stderr,
                  "usage: %s <data.{csv,dgrn}> <engine>[:opts] <window> "
-                 "<step> <beta> [abs] [out.csv]\n  engines: %s\n",
+                 "<step> <beta> [abs] [tier=exact|approx|auto] "
+                 "[deadline=<ms>] [out.csv]\n  engines: %s, or "
+                 "serve[:server-options]\n",
                  argv[0], KnownEngineNames().c_str());
     return 2;
   }
@@ -64,11 +141,6 @@ int Run(int argc, char** argv) {
     engine_name = engine_spec.substr(0, colon);
     engine_options = engine_spec.substr(colon + 1);
   }
-  auto engine = CreateEngine(engine_name, engine_options);
-  if (!engine.ok()) {
-    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
-    return 1;
-  }
 
   SlidingQuery query;
   query.start = 0;
@@ -76,18 +148,62 @@ int Run(int argc, char** argv) {
   query.window = std::atoll(argv[3]);
   query.step = std::atoll(argv[4]);
   query.threshold = std::atof(argv[5]);
-  int next_arg = 6;
-  if (argc > next_arg && std::string(argv[next_arg]) == "abs") {
-    query.absolute = true;
-    ++next_arg;
-  }
-  const std::string out_path = argc > next_arg ? argv[next_arg] : "";
 
-  std::printf("data: %lld series x %lld points; engine: %s; query: %s%s\n",
+  // Trailing flags, position-free (the historical 'abs then out.csv' order
+  // keeps working): 'abs', 'tier=...', 'deadline=...', else the out path.
+  std::string tier_flag;
+  std::string out_path;
+  int64_t deadline_ms = 0;
+  for (int a = 6; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "abs") {
+      query.absolute = true;
+    } else if (arg.rfind("tier=", 0) == 0) {
+      tier_flag = arg.substr(5);
+    } else if (arg.rfind("deadline=", 0) == 0) {
+      char* end = nullptr;
+      deadline_ms = std::strtoll(arg.c_str() + 9, &end, 10);
+      if (end == arg.c_str() + 9 || *end != '\0' || deadline_ms < 0) {
+        std::fprintf(stderr,
+                     "deadline= wants a non-negative millisecond count, "
+                     "got '%s'\n",
+                     arg.c_str() + 9);
+        return 2;
+      }
+    } else if (arg.find('=') != std::string::npos) {
+      // A key=value-shaped token that matched no known flag is a typo'd
+      // flag, not an output path — dropping it silently would change the
+      // query's semantics (e.g. run without the intended deadline).
+      std::fprintf(stderr, "unknown flag '%s' (known: abs, tier=, deadline=)\n",
+                   arg.c_str());
+      return 2;
+    } else {
+      out_path = arg;
+    }
+  }
+
+  if (engine_name == "serve") {
+    return RunServe(*data, engine_options, query, tier_flag, deadline_ms,
+                    out_path);
+  }
+  if (!tier_flag.empty() || deadline_ms != 0) {
+    std::fprintf(stderr,
+                 "tier=/deadline= are QueryRequest options: use the 'serve' "
+                 "engine (got engine '%s')\n",
+                 engine_name.c_str());
+    return 2;
+  }
+
+  auto engine = CreateEngine(engine_name, engine_options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("data: %lld series x %lld points; engine: %s; query: %s\n",
               static_cast<long long>(data->num_series()),
               static_cast<long long>(data->length()),
-              (*engine)->name().c_str(), query.ToString().c_str(),
-              query.absolute ? " (absolute)" : "");
+              (*engine)->name().c_str(), query.ToString().c_str());
 
   Stopwatch prepare_watch;
   if (Status status = (*engine)->Prepare(*data); !status.ok()) {

@@ -10,6 +10,9 @@
 //   5. Stream a query's windows as they are evaluated (SubmitStreaming):
 //      the first window arrives at time-to-first-window, far before the
 //      materialized result would.
+//   6. Speak the full QueryRequest surface: an approx-tier request (Eq. 2
+//      jumping, bypassing the shared window cache), an auto-tier request
+//      under a deadline, and the tier/jump accounting they report.
 //
 // Build and run:
 //   cmake -B build && cmake --build build
@@ -173,11 +176,60 @@ int main() {
       "windows %.2f ms\n",
       static_cast<long long>(streamed), ttfw_ms, total_ms);
 
+  // 6. The QueryRequest surface: tiers and deadlines. An approx-tier
+  // request answers with Eq. 2 temporal jumping — the paper's core
+  // optimization — sharing the prepared sketch with the exact tier but
+  // bypassing the shared window cache (jumped windows depend on the
+  // request's range, so they must never be published). An auto-tier
+  // request with a deadline lets the server pick: approx when the deadline
+  // is tighter than its exact-cost estimate.
+  QueryRequest approx_request;
+  approx_request.dataset = "climate-live";
+  approx_request.query = query;
+  approx_request.options.tier = ServeTier::kApprox;
+  Stopwatch approx_timer;
+  auto approx = server.Query(approx_request);
+  if (!approx.ok()) {
+    std::fprintf(stderr, "approx query failed: %s\n",
+                 approx.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "approx tier:                 windows=%lld  %.2f ms  tier=%s  "
+      "jumped %lld of %lld cells in %lld jumps\n",
+      static_cast<long long>(approx->series.num_windows()),
+      approx_timer.ElapsedSeconds() * 1e3,
+      std::string(ServeTierName(approx->tier_used)).c_str(),
+      static_cast<long long>(approx->cells_jumped),
+      static_cast<long long>(approx->series.num_windows() *
+                             data.num_series() * (data.num_series() - 1) / 2),
+      static_cast<long long>(approx->jumps));
+
+  // Auto under a tight deadline, twice: the streamed range above left every
+  // window of this query cached, so the cost estimate discounts them all
+  // and the server stays exact even at 1 ms — while an uncached threshold
+  // family prices a full sweep above the deadline and routes to approx.
+  QueryRequest auto_request = approx_request;
+  auto_request.options.tier = ServeTier::kAuto;
+  auto_request.options.deadline_ms = 1;
+  auto warm_auto = server.Query(auto_request);
+  if (warm_auto.ok()) {
+    std::printf("auto, 1 ms deadline, warm:   served by the %s tier\n",
+                std::string(ServeTierName(warm_auto->tier_used)).c_str());
+  }
+  auto_request.query.threshold = 0.8;  // an uncached threshold family
+  auto cold_auto = server.Query(auto_request);
+  if (cold_auto.ok()) {
+    std::printf("auto, 1 ms deadline, cold:   served by the %s tier\n",
+                std::string(ServeTierName(cold_auto->tier_used)).c_str());
+  }
+
   const DangoronServerStats stats = server.stats();
   std::printf(
-      "\nserver totals: queries=%lld prepares_built=%lld "
+      "\nserver totals: queries=%lld (approx=%lld) prepares_built=%lld "
       "prepares_shared=%lld windows computed=%lld cached=%lld joined=%lld\n",
       static_cast<long long>(stats.queries),
+      static_cast<long long>(stats.queries_approx),
       static_cast<long long>(stats.prepares_built),
       static_cast<long long>(stats.prepares_shared),
       static_cast<long long>(stats.windows_computed),

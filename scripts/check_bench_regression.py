@@ -21,12 +21,16 @@ measured *within one run*:
   the sweep kernel) and time-to-first-window strictly below the full sweep
   (the engine-level streaming property).
 - serving (BENCH_serving.json): the warm/cold speedup of repeat queries
-  (what the caches buy) and the streaming path's time-to-first-window
-  (what the window pipeline buys). Both serving gates are *within-run*
-  absolute properties — warm_speedup above a hardware-robust floor, ttfw
-  strictly below full-query latency — because cold latency parallelizes
-  with core count while warm cache hits do not, so baseline-relative
-  ratios would gate on the runner's hardware, not the code.
+  (what the caches buy), the streaming path's time-to-first-window (what
+  the window pipeline buys), and the approx tier's latency against the
+  exact tier on uncached windows (what Eq. 2 jumping buys a
+  deadline-bound client — an approx tier slower than exact has lost its
+  reason to exist). All serving gates are *within-run* absolute
+  properties — warm_speedup above a hardware-robust floor, ttfw strictly
+  below full-query latency, approx at or below exact uncached — because
+  cold latency parallelizes with core count while warm cache hits do not,
+  so baseline-relative ratios would gate on the runner's hardware, not
+  the code.
 
 Usage:
   check_bench_regression.py --baseline BENCH_kernels.json \
@@ -157,6 +161,23 @@ def gate_serving(baseline_path, fresh_path, failures):
                     f"{bench} n={n}: warm_speedup {fresh_speedup:.1f} < "
                     f"absolute floor {floor:.1f} (baseline "
                     f"{base_entry['warm_speedup']:.1f} is informational)")
+        elif bench == "serving_tiers":
+            # Hard acceptance: the approx (Eq. 2 jumping) tier must answer
+            # at or below the exact tier's uncached latency — both measured
+            # within this run against one warm sketch, so the ratio is
+            # hardware-independent. The speedup magnitude is informational
+            # (it tracks how much the workload's correlations sit below
+            # threshold); approx > exact means the jumping path regressed.
+            ok = fresh_entry["approx_ms"] <= fresh_entry["exact_uncached_ms"]
+            print(f"{bench:<20} {str(key):>14} "
+                  f"{base_entry['approx_speedup']:>13.2f} "
+                  f"{fresh_entry['approx_speedup']:>14.2f} {'>= 1.0':>8}  "
+                  f"{'ok' if ok else 'REGRESSED'}")
+            if not ok:
+                failures.append(
+                    f"{bench} n={n}: approx {fresh_entry['approx_ms']:.3f} ms "
+                    f"is above the exact uncached latency "
+                    f"{fresh_entry['exact_uncached_ms']:.3f} ms")
         elif bench == "serving_streaming":
             # Hard acceptance: first window strictly before the full query.
             # The fraction itself is informational only — it shifts with the

@@ -28,6 +28,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "CANCELLED";
     case StatusCode::kResourceExhausted:
       return "RESOURCE_EXHAUSTED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

@@ -27,6 +27,7 @@ enum class StatusCode : int8_t {
   kDataLoss = 9,
   kCancelled = 10,
   kResourceExhausted = 11,
+  kDeadlineExceeded = 12,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT",
@@ -95,6 +96,10 @@ class Status {
   template <typename... Args>
   static Status ResourceExhausted(Args&&... args) {
     return Make(StatusCode::kResourceExhausted, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status DeadlineExceeded(Args&&... args) {
+    return Make(StatusCode::kDeadlineExceeded, std::forward<Args>(args)...);
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -183,6 +183,16 @@ Result<std::unique_ptr<DangoronServer>> CreateServer(
                              &server_options.threshold_family_steps));
   RETURN_IF_ERROR(ConsumeInt(&options, "max_streams",
                              &server_options.max_concurrent_streams));
+  RETURN_IF_ERROR(Consume(&options, "admission", [&](const std::string& v) {
+    ASSIGN_OR_RETURN(server_options.admission, ParseAdmissionPolicy(v));
+    return Status::Ok();
+  }));
+  RETURN_IF_ERROR(ConsumeInt(&options, "admission_queue",
+                             &server_options.admission_queue_limit));
+  RETURN_IF_ERROR(Consume(&options, "default_tier", [&](const std::string& v) {
+    ASSIGN_OR_RETURN(server_options.default_tier, ParseServeTier(v));
+    return Status::Ok();
+  }));
   RETURN_IF_ERROR(RejectLeftovers(options, "server"));
   if (threads < 0) {
     return Status::InvalidArgument("server: threads must be >= 0, got ",
@@ -203,6 +213,11 @@ Result<std::unique_ptr<DangoronServer>> CreateServer(
   if (server_options.max_concurrent_streams <= 0) {
     return Status::InvalidArgument("server: max_streams must be > 0, got ",
                                    server_options.max_concurrent_streams);
+  }
+  if (server_options.admission_queue_limit <= 0) {
+    return Status::InvalidArgument(
+        "server: admission_queue must be > 0, got ",
+        server_options.admission_queue_limit);
   }
   server_options.num_threads = static_cast<int32_t>(threads);
   server_options.sketch_cache_bytes = sketch_cache_mb << 20;

@@ -1,0 +1,220 @@
+#include "serve/admission_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dangoron {
+
+PrepareAdmissionQueue::PrepareAdmissionQueue(SketchCache* cache,
+                                             int64_t max_parked)
+    : cache_(cache), max_parked_(max_parked) {}
+
+bool PrepareAdmissionQueue::TryReserveLocked(int64_t estimate,
+                                             const SketchCacheKey& key) {
+  const int64_t budget = cache_->byte_budget();
+  auto free_bytes = [&]() {
+    return budget - cache_->stats().bytes - reserved_bytes_;
+  };
+  int64_t free_now = free_bytes();
+  if (estimate > free_now) {
+    // Reclaim: evict idle LRU entries (pinned entries are skipped — the
+    // cache dropping its reference to them would free nothing; the
+    // request's own key is skipped — reclaiming the sketch this request
+    // is being admitted FOR would force a pointless rebuild).
+    cache_->EvictIdleLru(estimate - free_now, &key);
+    free_now = free_bytes();
+  }
+  if (estimate <= free_now) {
+    reserved_bytes_ += estimate;
+    return true;
+  }
+  return false;
+}
+
+void PrepareAdmissionQueue::RemoveParkedLocked(
+    const std::shared_ptr<Parked>& entry) {
+  parked_.erase(std::remove(parked_.begin(), parked_.end(), entry),
+                parked_.end());
+}
+
+Status PrepareAdmissionQueue::Admit(
+    int64_t estimate, const SketchCacheKey& key,
+    std::chrono::steady_clock::time_point deadline, WindowStreamState* stream,
+    const std::function<void()>& on_first_park,
+    std::shared_ptr<const PreparedDataset>* cached_out) {
+  cached_out->reset();
+  const bool has_deadline =
+      deadline != std::chrono::steady_clock::time_point::max();
+  std::shared_ptr<Parked> me;
+  bool waker_registered = false;
+  // Shared exit: unparking happens under `mutex_` at the decision site
+  // (a departing parked entry may unblock the new head, so it notifies);
+  // the stream waker is unregistered outside it (RemoveCancelWaker takes
+  // the stream's own lock — never hold both).
+  auto finish = [&](Status status) {
+    if (me != nullptr) {
+      if (waker_registered) {
+        stream->RemoveCancelWaker(&me->waker);
+      }
+      NotifyReleased();  // FIFO: whoever is head now gets to re-check
+    }
+    return status;
+  };
+
+  while (true) {
+    bool admitted = false;
+    bool first_park = false;
+    Status failure = Status::Ok();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      // FIFO: only the queue head may reserve, and new arrivals do not
+      // barge past parked requests into freed budget — otherwise a steady
+      // trickle of small prepares starves a large parked one.
+      const bool my_turn =
+          me == nullptr ? parked_.empty() : parked_.front() == me;
+      if (shutdown_) {
+        failure =
+            Status::ResourceExhausted("admission queue: server shutting down");
+      } else if (cache_->Contains(key) &&
+                 (*cached_out = cache_->Get(key)) != nullptr) {
+        // A concurrent build published the sketch this request wants while
+        // it waited: admit for free — no reservation, and crucially no
+        // reclaim round that could have evicted that very entry. The
+        // Contains gate keeps per-wake polling out of the cache's hit/miss
+        // accounting; Get runs only on an actual landing (its recency bump
+        // and hit are the real use). A Get miss after Contains — evicted
+        // in the window between the two — just falls through.
+        admitted = true;
+      } else if (estimate > cache_->byte_budget()) {
+        // Refuse BEFORE any reclaim attempt: a request that can never be
+        // admitted must not flush the warm idle sketches on its way out.
+        failure = Status::ResourceExhausted(
+            "admission queue: estimated ", estimate,
+            " bytes exceeds the sketch-cache budget of ",
+            cache_->byte_budget(), " bytes — no eviction can admit it");
+      } else if (my_turn && TryReserveLocked(estimate, key)) {
+        admitted = true;
+      } else if (me == nullptr) {
+        if (static_cast<int64_t>(parked_.size()) >= max_parked_) {
+          return Status::ResourceExhausted(
+              "admission queue: ", parked_.size(),
+              " prepares already parked (admission_queue = ", max_parked_,
+              "); retry later or raise the sketch-cache budget");
+        }
+        me = std::make_shared<Parked>();
+        parked_.push_back(me);
+        first_park = true;
+      }
+      if (admitted || !failure.ok()) {
+        RemoveParkedLocked(me);  // no-op when never parked (me == nullptr)
+      }
+    }
+    if (admitted || !failure.ok()) {
+      return finish(std::move(failure));  // Ok when admitted
+    }
+    if (first_park && on_first_park != nullptr) {
+      on_first_park();
+    }
+
+    if (stream != nullptr && !waker_registered) {
+      // Alias the waker to the entry so Cancel's notification keeps it
+      // alive; a no-op on an already-cancelled stream (the predicate below
+      // sees cancelled() before sleeping).
+      stream->AddCancelWaker(std::shared_ptr<CancelWaker>(me, &me->waker));
+      waker_registered = true;
+    }
+
+    bool cancelled = false;
+    bool timed_out = false;
+    {
+      std::unique_lock<std::mutex> wl(me->waker.m);
+      auto woken = [&] {
+        return me->notified || (stream != nullptr && stream->cancelled());
+      };
+      if (has_deadline) {
+        timed_out = !me->waker.cv.wait_until(wl, deadline, woken);
+      } else {
+        me->waker.cv.wait(wl, woken);
+      }
+      cancelled = stream != nullptr && stream->cancelled();
+      me->notified = false;
+    }
+    if (cancelled) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        RemoveParkedLocked(me);
+      }
+      return finish(Status::Cancelled(
+          "admission queue: stream cancelled while parked"));
+    }
+    if (timed_out) {
+      // One final budget check: the freeing event may have landed exactly
+      // at the deadline without a notification reaching us in time.
+      bool reserved = false;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!shutdown_) {
+          if (cache_->Contains(key) &&
+              (*cached_out = cache_->Get(key)) != nullptr) {
+            reserved = true;  // admitted via the cache, nothing reserved
+          } else {
+            reserved = parked_.front() == me && TryReserveLocked(estimate, key);
+          }
+        }
+        RemoveParkedLocked(me);
+      }
+      if (reserved) {
+        return finish(Status::Ok());
+      }
+      return finish(Status::DeadlineExceeded(
+          "admission queue: deadline passed while parked for ", estimate,
+          " bytes of sketch-cache budget"));
+    }
+  }
+}
+
+void PrepareAdmissionQueue::Release(int64_t estimate) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    reserved_bytes_ -= estimate;
+  }
+  NotifyReleased();
+}
+
+void PrepareAdmissionQueue::NotifyReleased() {
+  std::vector<std::shared_ptr<Parked>> parked;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (parked_.empty()) {
+      return;
+    }
+    parked = parked_;
+  }
+  for (const std::shared_ptr<Parked>& entry : parked) {
+    {
+      std::lock_guard<std::mutex> lock(entry->waker.m);
+      entry->notified = true;
+    }
+    entry->waker.cv.notify_all();
+  }
+}
+
+void PrepareAdmissionQueue::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  NotifyReleased();  // parked waiters re-check and observe shutdown_
+}
+
+int64_t PrepareAdmissionQueue::reserved_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return reserved_bytes_;
+}
+
+int64_t PrepareAdmissionQueue::parked() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int64_t>(parked_.size());
+}
+
+}  // namespace dangoron

@@ -1,0 +1,125 @@
+#ifndef DANGORON_SERVE_ADMISSION_QUEUE_H_
+#define DANGORON_SERVE_ADMISSION_QUEUE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/sketch_cache.h"
+#include "serve/window_stream.h"
+
+namespace dangoron {
+
+/// Bounded deadline-aware wait queue for prepares that do not fit the free
+/// sketch-cache budget — the `AdmissionPolicy::kQueue` half of the serving
+/// layer's admission control. Where the refuse policy rejects an oversized
+/// prepare outright, this queue *parks* the request until budget frees up:
+///
+/// - Budget accounting: free = cache budget − bytes retained by the cache −
+///   bytes reserved by admitted builds still in flight. A request fits when
+///   its estimate fits the free budget; before parking, the queue reclaims
+///   budget by evicting *idle* LRU cache entries (entries no in-flight
+///   query holds — evicting a pinned entry frees nothing). The request's
+///   own cache key is never reclaimed, and every admission round first
+///   checks whether that key landed in the cache while waiting — a
+///   concurrent build of the same sketch admits for free instead of being
+///   evicted to make room for its own duplicate.
+/// - Ordering: FIFO. While any request is parked, new arrivals park behind
+///   it instead of barging into freed budget, and only the queue head may
+///   reserve — so a steady trickle of small prepares cannot starve a large
+///   parked one. (The flip side, head-of-line blocking, is bounded by the
+///   head's deadline or cancellation; a head that leaves wakes the rest.)
+/// - Wakeups: `NotifyReleased` — called by the server when a query releases
+///   its prepared handle, when the cache evicts on insertion, and when a
+///   reservation is released — re-checks every parked request. Parked
+///   streaming requests additionally register a `CancelWaker` on their
+///   stream, so `Cancel` aborts the wait immediately (the same protocol as
+///   claimed-window joins).
+/// - Exits: admitted (Ok, with `estimate` bytes reserved — the caller MUST
+///   `Release` once the built entry is published to the cache, the build
+///   failed, or it joined another build; no reservation is taken when
+///   `*cached_out` is set instead); DeadlineExceeded when the request's
+///   deadline passes while parked; Cancelled when its stream is cancelled;
+///   ResourceExhausted when the estimate exceeds the *total* budget (no
+///   eviction can ever admit it), when `max_parked` requests are already
+///   waiting (the bound), or after `Shutdown`.
+///
+/// An estimate that fits the free budget is admitted immediately (when
+/// nothing is parked ahead of it) without touching the parked list, so the
+/// fast path is one mutex acquisition. Thread-safe.
+class PrepareAdmissionQueue {
+ public:
+  /// `cache` must outlive the queue. `max_parked` bounds the parked list.
+  PrepareAdmissionQueue(SketchCache* cache, int64_t max_parked);
+
+  PrepareAdmissionQueue(const PrepareAdmissionQueue&) = delete;
+  PrepareAdmissionQueue& operator=(const PrepareAdmissionQueue&) = delete;
+
+  /// Blocks until `estimate` bytes can be reserved against the sketch-cache
+  /// budget for the prepare identified by `key`, `deadline` passes
+  /// (time_point::max() = wait indefinitely), `stream` (nullable) is
+  /// cancelled, or the queue shuts down. If the sketch for `key` lands in
+  /// the cache while waiting (a concurrent build), returns Ok with
+  /// `*cached_out` set and NO reservation taken. `on_first_park`
+  /// (nullable) fires once, the moment the request enters the parked
+  /// list — *before* the wait, so `prepares_queued`-style accounting
+  /// observes a request that is still parked.
+  Status Admit(int64_t estimate, const SketchCacheKey& key,
+               std::chrono::steady_clock::time_point deadline,
+               WindowStreamState* stream,
+               const std::function<void()>& on_first_park,
+               std::shared_ptr<const PreparedDataset>* cached_out);
+
+  /// Releases a reservation taken by a successful `Admit` and wakes parked
+  /// requests. Call exactly once per admitted request, after the built
+  /// entry was published to the cache (its bytes now count against the
+  /// cache), the build failed, or the request joined another in-flight
+  /// build.
+  void Release(int64_t estimate);
+
+  /// Wakes every parked request to re-check the budget. The server calls
+  /// this when a query releases its prepared handle (the entry may now be
+  /// idle-evictable) and wires it as the sketch cache's eviction listener.
+  void NotifyReleased();
+
+  /// Fails every parked (and future) `Admit` with ResourceExhausted; used
+  /// by server teardown so no parked task outlives the pool drain.
+  void Shutdown();
+
+  /// Bytes reserved by admitted builds not yet published/released.
+  int64_t reserved_bytes() const;
+  /// Requests currently parked.
+  int64_t parked() const;
+
+ private:
+  struct Parked {
+    CancelWaker waker;
+    // Guarded by waker.m: set by NotifyReleased/Shutdown so a waiter that
+    // failed its budget check under `mutex_` cannot miss a wake between
+    // releasing `mutex_` and sleeping on `waker.cv` (it was already listed).
+    bool notified = false;
+  };
+
+  /// Budget check under `mutex_`: reserves and returns true when `estimate`
+  /// fits `budget − cache bytes − reserved`, reclaiming idle LRU entries
+  /// (never `key`'s own) first if needed.
+  bool TryReserveLocked(int64_t estimate, const SketchCacheKey& key);
+
+  void RemoveParkedLocked(const std::shared_ptr<Parked>& entry);
+
+  SketchCache* const cache_;
+  const int64_t max_parked_;
+
+  mutable std::mutex mutex_;
+  int64_t reserved_bytes_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::shared_ptr<Parked>> parked_;
+};
+
+}  // namespace dangoron
+
+#endif  // DANGORON_SERVE_ADMISSION_QUEUE_H_

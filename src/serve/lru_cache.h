@@ -2,11 +2,13 @@
 #define DANGORON_SERVE_LRU_CACHE_H_
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 namespace dangoron {
 
@@ -50,41 +52,122 @@ class LruByteCache {
   }
 
   /// Inserts (or refreshes) `value` at a cost of `bytes`, then evicts from
-  /// the least recently used end until the budget holds.
+  /// the least recently used end until the budget holds. Every displaced
+  /// value — evicted, or replaced by a refresh — is released after the
+  /// lock is dropped, and the eviction listener fires after it (evictions
+  /// only, not refreshes), so value destructors and listeners may re-enter
+  /// the cache.
   void Put(const Key& key, std::shared_ptr<const V> value, int64_t bytes) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (bytes > byte_budget_) {
-      // An entry that can never fit must not flush the warm entries on its
-      // way through; reject it (dropping any stale version under the key).
-      auto it = map_.find(key);
-      if (it != map_.end()) {
-        stats_.bytes -= it->second->bytes;
-        lru_.erase(it->second);
-        map_.erase(it);
+    std::vector<std::shared_ptr<const V>> displaced;
+    bool evicted_any = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (bytes > byte_budget_) {
+        // An entry that can never fit must not flush the warm entries on
+        // its way through; reject it (dropping any stale version under the
+        // key).
+        auto it = map_.find(key);
+        if (it != map_.end()) {
+          stats_.bytes -= it->second->bytes;
+          displaced.push_back(std::move(it->second->value));
+          lru_.erase(it->second);
+          map_.erase(it);
+          evicted_any = true;  // listener fires only when bytes were freed
+        }
+        ++stats_.evictions;  // the rejection itself counts, displaced or not
+        stats_.entries = static_cast<int64_t>(lru_.size());
+      } else {
+        auto it = map_.find(key);
+        if (it != map_.end()) {
+          stats_.bytes += bytes - it->second->bytes;
+          displaced.push_back(std::move(it->second->value));
+          it->second->value = std::move(value);
+          it->second->bytes = bytes;
+          lru_.splice(lru_.end(), lru_, it->second);
+        } else {
+          lru_.push_back(Entry{key, std::move(value), bytes});
+          map_.emplace(key, std::prev(lru_.end()));
+          stats_.bytes += bytes;
+          ++stats_.insertions;
+        }
+        while (stats_.bytes > byte_budget_ && !lru_.empty()) {
+          stats_.bytes -= lru_.front().bytes;
+          displaced.push_back(std::move(lru_.front().value));
+          map_.erase(lru_.front().key);
+          lru_.pop_front();
+          ++stats_.evictions;
+          evicted_any = true;
+        }
+        stats_.entries = static_cast<int64_t>(lru_.size());
       }
-      ++stats_.evictions;
+    }
+    if (evicted_any && eviction_listener_ != nullptr) {
+      eviction_listener_();
+    }
+  }
+
+  /// Evicts least-recently-used *idle* entries — entries whose value the
+  /// cache alone references (`use_count() == 1`), so eviction actually
+  /// frees their bytes — until at least `bytes_needed` have been freed.
+  /// All-or-nothing: when the idle entries together cannot cover
+  /// `bytes_needed`, nothing is evicted and 0 is returned — partial
+  /// reclamation would flush warm sketches without admitting anyone (every
+  /// wakeup of a large parked prepare would otherwise sacrifice whatever
+  /// small entry just went idle). Returns the bytes freed. Entries pinned
+  /// by in-flight readers are skipped: dropping the cache's reference to
+  /// them would release nothing. `skip_key` (nullable) marks one key as
+  /// untouchable — the admission queue passes the key it is reclaiming FOR,
+  /// so a request never evicts the very sketch it needs. Does NOT fire the
+  /// eviction listener — the caller initiated the eviction and re-checks
+  /// on its own.
+  int64_t EvictIdleLru(int64_t bytes_needed, const Key* skip_key = nullptr) {
+    std::vector<std::shared_ptr<const V>> evicted;
+    int64_t freed = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto reclaimable = [&](const Entry& entry) {
+        return entry.value.use_count() == 1 &&
+               (skip_key == nullptr || !(entry.key == *skip_key));
+      };
+      int64_t idle_bytes = 0;
+      for (const Entry& entry : lru_) {
+        if (reclaimable(entry)) {
+          idle_bytes += entry.bytes;
+        }
+      }
+      if (idle_bytes < bytes_needed) {
+        return 0;
+      }
+      for (auto it = lru_.begin(); it != lru_.end() && freed < bytes_needed;) {
+        if (!reclaimable(*it)) {
+          ++it;
+          continue;
+        }
+        freed += it->bytes;
+        stats_.bytes -= it->bytes;
+        ++stats_.evictions;
+        evicted.push_back(std::move(it->value));
+        map_.erase(it->key);
+        it = lru_.erase(it);
+      }
       stats_.entries = static_cast<int64_t>(lru_.size());
-      return;
     }
-    auto it = map_.find(key);
-    if (it != map_.end()) {
-      stats_.bytes += bytes - it->second->bytes;
-      it->second->value = std::move(value);
-      it->second->bytes = bytes;
-      lru_.splice(lru_.end(), lru_, it->second);
-    } else {
-      lru_.push_back(Entry{key, std::move(value), bytes});
-      map_.emplace(key, std::prev(lru_.end()));
-      stats_.bytes += bytes;
-      ++stats_.insertions;
-    }
-    while (stats_.bytes > byte_budget_ && !lru_.empty()) {
-      stats_.bytes -= lru_.front().bytes;
-      map_.erase(lru_.front().key);
-      lru_.pop_front();
-      ++stats_.evictions;
-    }
-    stats_.entries = static_cast<int64_t>(lru_.size());
+    return freed;
+  }
+
+  /// Registers `listener`, called (outside the cache lock, from the
+  /// Put-calling thread) whenever an insertion evicted at least one entry —
+  /// the hook a budget-waiting admission queue uses to re-check. Set once,
+  /// before concurrent use.
+  void SetEvictionListener(std::function<void()> listener) {
+    eviction_listener_ = std::move(listener);
+  }
+
+  /// True when `key` is cached; no recency bump, no hit/miss accounting —
+  /// the read-only probe behind cache-coverage cost estimates.
+  bool Contains(const Key& key) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return map_.find(key) != map_.end();
   }
 
   int64_t byte_budget() const { return byte_budget_; }
@@ -106,6 +189,7 @@ class LruByteCache {
   std::list<Entry> lru_;  // front = least recently used
   std::unordered_map<Key, typename std::list<Entry>::iterator, KeyHash> map_;
   LruCacheStats stats_;
+  std::function<void()> eviction_listener_;
 };
 
 /// splitmix64 finalizer — the mixing step of the cache key hashes.

@@ -1,0 +1,52 @@
+#include "serve/query_request.h"
+
+namespace dangoron {
+
+std::string_view ServeTierName(ServeTier tier) {
+  switch (tier) {
+    case ServeTier::kExact:
+      return "exact";
+    case ServeTier::kApprox:
+      return "approx";
+    case ServeTier::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+std::string_view AdmissionPolicyName(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kRefuse:
+      return "refuse";
+    case AdmissionPolicy::kQueue:
+      return "queue";
+  }
+  return "unknown";
+}
+
+Result<ServeTier> ParseServeTier(const std::string& text) {
+  if (text == "exact") {
+    return ServeTier::kExact;
+  }
+  if (text == "approx") {
+    return ServeTier::kApprox;
+  }
+  if (text == "auto") {
+    return ServeTier::kAuto;
+  }
+  return Status::InvalidArgument("unknown serve tier '", text,
+                                 "' (expected exact, approx, or auto)");
+}
+
+Result<AdmissionPolicy> ParseAdmissionPolicy(const std::string& text) {
+  if (text == "refuse") {
+    return AdmissionPolicy::kRefuse;
+  }
+  if (text == "queue") {
+    return AdmissionPolicy::kQueue;
+  }
+  return Status::InvalidArgument("unknown admission policy '", text,
+                                 "' (expected refuse or queue)");
+}
+
+}  // namespace dangoron

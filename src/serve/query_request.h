@@ -1,0 +1,117 @@
+#ifndef DANGORON_SERVE_QUERY_REQUEST_H_
+#define DANGORON_SERVE_QUERY_REQUEST_H_
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "engine/query.h"
+
+namespace dangoron {
+
+/// Service tier of one submission.
+///
+/// - `kExact`: incremental exact evaluation (no Eq. 2 jumping) through the
+///   shared window-result cache — byte-stable results that match NaiveEngine
+///   under every cache interleaving, and every evaluated window is reusable
+///   by overlapping queries. The historical default.
+/// - `kApprox`: Eq. 2 temporal jumping per request — the paper's core
+///   optimization, for latency-critical clients. Shares the prepared sketch
+///   with the exact tier but *bypasses the window-result cache entirely*
+///   (reads and writes): a jumped window's edge set depends on the query's
+///   range, so publishing it would poison cross-query reuse.
+/// - `kAuto`: the server picks — approx when the request's deadline is
+///   tighter than its estimate of the exact evaluation cost, exact
+///   otherwise (and always exact without a deadline).
+enum class ServeTier : int8_t {
+  kExact = 0,
+  kApprox = 1,
+  kAuto = 2,
+};
+
+/// Admission policy for a prepare that does not fit the sketch-cache budget.
+///
+/// - `kRefuse`: reject with ResourceExhausted up front (the PR 3 policy;
+///   only active when the server's `refuse_oversized_prepares` is on —
+///   otherwise oversized prepares are built and immediately evicted).
+/// - `kQueue`: park the request in a bounded deadline-aware wait queue until
+///   sketch-cache evictions (or released in-flight handles) free enough
+///   budget, the request's deadline passes (DeadlineExceeded), or its
+///   stream is cancelled.
+enum class AdmissionPolicy : int8_t {
+  kRefuse = 0,
+  kQueue = 1,
+};
+
+std::string_view ServeTierName(ServeTier tier);
+std::string_view AdmissionPolicyName(AdmissionPolicy policy);
+Result<ServeTier> ParseServeTier(const std::string& text);
+Result<AdmissionPolicy> ParseAdmissionPolicy(const std::string& text);
+
+/// Canonical defaults of the per-stream delivery knobs — the single source
+/// of truth both `ServeOptions` here and the legacy
+/// `StreamingSubmitOptions` (serve/window_stream.h) default from, so the
+/// two submission surfaces cannot silently diverge.
+inline constexpr int64_t kDefaultStreamQueueCapacity = 8;
+inline constexpr int64_t kDefaultMaxBatchWindows = 4;
+
+/// Per-request serving options. Unset optionals fall back to the server's
+/// configured defaults (`default_tier` / `admission` in
+/// DangoronServerOptions), so a default-constructed ServeOptions reproduces
+/// the server's historical behavior exactly.
+struct ServeOptions {
+  /// Service tier; unset -> the server's `default_tier` (exact by default).
+  std::optional<ServeTier> tier;
+
+  /// Soft latency budget in milliseconds, measured from submission; 0 = no
+  /// deadline. The deadline governs admission (a queued request is refused
+  /// with DeadlineExceeded once it passes; a request whose deadline already
+  /// passed when its task starts fails the same way) and the `kAuto` tier
+  /// choice. It does not hard-kill an evaluation already running.
+  int64_t deadline_ms = 0;
+
+  /// Admission policy for oversized prepares; unset -> the server's
+  /// `admission` default (refuse by default).
+  std::optional<AdmissionPolicy> admission;
+
+  // Streaming-delivery knobs (SubmitStreaming only; the per-stream
+  // StreamingSubmitOptions folded into the request surface — same meanings
+  // and defaults as serve/window_stream.h).
+  /// Capacity of the bounded delivery queue (backpressure bound).
+  int64_t queue_capacity = kDefaultStreamQueueCapacity;
+  /// Cap on the contiguous window run one engine pass claims (0 =
+  /// unbounded); bounds the undelivered backlog, claim granularity, and
+  /// cancel latency. Exact tier only — the approx tier takes no claims.
+  int64_t max_batch_windows = kDefaultMaxBatchWindows;
+};
+
+/// One submission against the serving layer: the dataset to query, the
+/// sliding-window question, and how to serve it. This is the server's
+/// primary entry point (`Submit` / `SubmitStreaming` / `Query` all take
+/// one); the bare `(dataset, query)` overloads are thin wrappers building a
+/// default request. Plain data, cheap to copy — and the unit a sharding
+/// router would serialize to fan a query out across server processes.
+struct QueryRequest {
+  std::string dataset;
+  SlidingQuery query;
+  ServeOptions options;
+};
+
+/// The absolute deadline of `options` measured from `now`;
+/// time_point::max() when the request has none.
+inline std::chrono::steady_clock::time_point RequestDeadline(
+    const ServeOptions& options,
+    std::chrono::steady_clock::time_point now =
+        std::chrono::steady_clock::now()) {
+  if (options.deadline_ms <= 0) {
+    return std::chrono::steady_clock::time_point::max();
+  }
+  return now + std::chrono::milliseconds(options.deadline_ms);
+}
+
+}  // namespace dangoron
+
+#endif  // DANGORON_SERVE_QUERY_REQUEST_H_

@@ -6,6 +6,7 @@
 #include <functional>
 #include <utility>
 
+#include "common/stopwatch.h"
 #include "engine/dangoron_engine.h"
 #include "sketch/basic_window_index.h"
 
@@ -83,6 +84,20 @@ bool SameThresholdBits(double a, double b) {
   return std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b);
 }
 
+// Seed of the exact-cost ns/cell estimate behind kAuto: deliberately
+// pessimistic (the measured sweep runs well under 1 ns/cell at scale) so a
+// fresh server facing a tight deadline picks the approx tier — the
+// latency-safe error — until warm exact queries teach it the real rate.
+constexpr double kExactCostSeedNsPerCell = 50.0;
+
+// EWMA weight of a new warm-query ns/cell observation.
+constexpr double kExactCostAlpha = 0.3;
+
+bool DeadlinePassed(std::chrono::steady_clock::time_point deadline) {
+  return deadline != std::chrono::steady_clock::time_point::max() &&
+         std::chrono::steady_clock::now() >= deadline;
+}
+
 // Filters a family-threshold edge set down to `query`'s exact threshold.
 // Sound because the family threshold is <= the query's, so the cached set
 // is a superset whose values are threshold-independent (exact evaluation).
@@ -104,7 +119,15 @@ DangoronServer::DangoronServer(const DangoronServerOptions& options)
     : options_(options),
       sketch_cache_(options.sketch_cache_bytes),
       result_cache_(options.result_cache_bytes),
-      pool_(std::make_unique<ThreadPool>(options.num_threads)) {}
+      admission_queue_(&sketch_cache_, options.admission_queue_limit),
+      exact_cell_ns_(kExactCostSeedNsPerCell),
+      pool_(std::make_unique<ThreadPool>(options.num_threads)) {
+  // Insertions that evict sketches free budget a parked prepare may now
+  // claim (the listener fires outside the cache lock — see LruByteCache).
+  sketch_cache_.SetEvictionListener([this] {
+    admission_queue_.NotifyReleased();
+  });
+}
 
 DangoronServer::~DangoronServer() {
   // Cancel live streams, then join their producer threads: a producer
@@ -123,6 +146,9 @@ DangoronServer::~DangoronServer() {
       stream.producer.join();
     }
   }
+  // Fail every parked (and future) admission wait: a queued prepare whose
+  // budget will never free must not hold the pool drain below hostage.
+  admission_queue_.Shutdown();
   // Drain before member teardown begins: in-flight query tasks schedule
   // ParallelFor helpers on the pool, which the pool's own destructor (it
   // runs with shutdown already flagged) would refuse. Wait() covers those
@@ -215,45 +241,148 @@ double DangoronServer::CanonicalThreshold(double threshold,
   return std::max(canonical, accept_all);
 }
 
-std::future<Result<ServeResult>> DangoronServer::Submit(
-    const std::string& dataset, const SlidingQuery& query) {
-  RegisteredDataset registered;
+Result<DangoronServer::RequestContext> DangoronServer::ResolveRequest(
+    const QueryRequest& request, const char* api) const {
+  RequestContext ctx;
   {
     std::lock_guard<std::mutex> lock(datasets_mutex_);
-    auto it = datasets_.find(dataset);
+    auto it = datasets_.find(request.dataset);
     if (it == datasets_.end()) {
-      RecordQueryStats(ServeResult{}, /*streaming=*/false);
-      std::promise<Result<ServeResult>> failed;
-      failed.set_value(
-          Status::NotFound("Submit: unknown dataset '", dataset, "'"));
-      return failed.get_future();
+      return Status::NotFound(api, ": unknown dataset '", request.dataset,
+                              "'");
     }
-    registered = it->second;
+    ctx.data = it->second.data;
+    ctx.fingerprint = it->second.fingerprint;
   }
-  return pool_->Async([this, data = std::move(registered.data),
-                       fingerprint = registered.fingerprint,
-                       query]() mutable -> Result<ServeResult> {
-    return RunQuery(std::move(data), fingerprint, query);
-  });
+  ctx.query = request.query;
+  ctx.tier = request.options.tier.value_or(options_.default_tier);
+  ctx.admission = request.options.admission.value_or(options_.admission);
+  ctx.deadline = RequestDeadline(request.options);
+  return ctx;
+}
+
+ServeTier DangoronServer::ResolveTier(const RequestContext& ctx) const {
+  if (ctx.tier != ServeTier::kAuto) {
+    return ctx.tier;
+  }
+  if (ctx.deadline == std::chrono::steady_clock::time_point::max()) {
+    return ServeTier::kExact;  // no latency pressure: reuse-friendly exact
+  }
+  if (!ctx.query.Validate(ctx.data->length()).ok()) {
+    // An invalid query must not reach the cost estimate: a bogus range
+    // (e.g. end = 2^50) would make its per-window probe loop effectively
+    // unbounded. Route to exact — the plan rejects it with the real error.
+    return ServeTier::kExact;
+  }
+  const double remaining_ms =
+      std::chrono::duration<double, std::milli>(
+          ctx.deadline - std::chrono::steady_clock::now())
+          .count();
+  return EstimateExactCostMs(ctx) > remaining_ms ? ServeTier::kApprox
+                                                 : ServeTier::kExact;
+}
+
+double DangoronServer::EstimateExactCostMs(const RequestContext& ctx) const {
+  const int64_t num_series = ctx.data->num_series();
+  const SlidingQuery& query = ctx.query;
+  // Discount windows the result cache already holds: a warm range is a
+  // near-free exact answer and must not be routed to approx just because
+  // the full recompute would miss the deadline. Contains() probes are
+  // read-only (no recency bump), one hashtable lookup per window —
+  // negligible next to either tier's evaluation. An unaligned query gets
+  // no discount (it is about to fail validation anyway).
+  const int64_t b = options_.basic_window;
+  int64_t windows_to_price = query.NumWindows();
+  if (query.start % b == 0 && query.window % b == 0 && query.step % b == 0 &&
+      windows_to_price > 0) {
+    const double canonical =
+        CanonicalThreshold(query.threshold, query.absolute);
+    int64_t cached = 0;
+    for (int64_t k = 0; k < query.NumWindows(); ++k) {
+      if (result_cache_.Contains(
+              QueryWindowKey(ctx.fingerprint, b, query, k, canonical))) {
+        ++cached;
+      }
+    }
+    windows_to_price -= cached;
+  }
+  const double pairs =
+      static_cast<double>(num_series) * static_cast<double>(num_series - 1) /
+      2.0;
+  const double cells = pairs * static_cast<double>(windows_to_price);
+  double cell_ns;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    cell_ns = exact_cell_ns_;
+  }
+  return cells * cell_ns / 1e6;
+}
+
+int64_t DangoronServer::EstimatePrepareBytes(
+    const TimeSeriesMatrix& data) const {
+  BasicWindowIndexOptions index_options;
+  index_options.basic_window = options_.basic_window;
+  index_options.build_pair_sketches = true;
+  return BasicWindowIndex::EstimateMemoryBytes(data.num_series(),
+                                               data.length(), index_options) +
+         static_cast<int64_t>(data.values().size() * sizeof(double));
+}
+
+Status DangoronServer::CheckQueryAligned(const SlidingQuery& query) const {
+  const int64_t b = options_.basic_window;
+  if (query.start % b != 0 || query.window % b != 0 || query.step % b != 0) {
+    return Status::InvalidArgument(
+        "DangoronServer: query start/window/step must be multiples of the "
+        "server basic window ",
+        b, " (got start=", query.start, " window=", query.window,
+        " step=", query.step, ")");
+  }
+  return Status::Ok();
+}
+
+Status DangoronServer::CheckIndexCoverage(const SlidingQuery& query,
+                                          const BasicWindowIndex& index) const {
+  const int64_t b = options_.basic_window;
+  const int64_t last_needed_bw =
+      query.start / b + (query.NumWindows() - 1) * (query.step / b) +
+      query.window / b;
+  if (last_needed_bw > index.num_basic_windows()) {
+    return Status::OutOfRange(
+        "DangoronServer: query needs basic windows up to ", last_needed_bw,
+        " but only ", index.num_basic_windows(), " are indexed");
+  }
+  return Status::Ok();
+}
+
+std::future<Result<ServeResult>> DangoronServer::Submit(
+    const QueryRequest& request) {
+  Result<RequestContext> ctx = ResolveRequest(request, "Submit");
+  if (!ctx.ok()) {
+    RecordQueryStats(ServeResult{}, /*streaming=*/false);
+    std::promise<Result<ServeResult>> failed;
+    failed.set_value(ctx.status());
+    return failed.get_future();
+  }
+  return pool_->Async(
+      [this, ctx = std::move(*ctx)]() -> Result<ServeResult> {
+        return RunQuery(ctx);
+      });
+}
+
+std::future<Result<ServeResult>> DangoronServer::Submit(
+    const std::string& dataset, const SlidingQuery& query) {
+  return Submit(QueryRequest{dataset, query, ServeOptions{}});
 }
 
 std::unique_ptr<WindowStream> DangoronServer::SubmitStreaming(
-    const std::string& dataset, const SlidingQuery& query,
-    const StreamingSubmitOptions& stream_options) {
+    const QueryRequest& request) {
   auto state = std::make_shared<WindowStreamState>(
-      stream_options.queue_capacity);
-  RegisteredDataset registered;
-  {
-    std::lock_guard<std::mutex> lock(datasets_mutex_);
-    auto it = datasets_.find(dataset);
-    if (it == datasets_.end()) {
-      RecordQueryStats(ServeResult{}, /*streaming=*/true);
-      state->Finish(Status::NotFound("SubmitStreaming: unknown dataset '",
-                                     dataset, "'"),
-                    StreamingSummary{});
-      return std::make_unique<WindowStream>(std::move(state));
-    }
-    registered = it->second;
+      request.options.queue_capacity);
+  Result<RequestContext> resolved = ResolveRequest(request, "SubmitStreaming");
+  if (!resolved.ok()) {
+    RecordQueryStats(ServeResult{}, /*streaming=*/true);
+    state->Finish(resolved.status(), StreamingSummary{});
+    return std::make_unique<WindowStream>(std::move(state));
   }
   // The producer gets a dedicated thread, not a pool task: delivery blocks
   // on the consumer by design (backpressure), and blocking must never pin a
@@ -290,15 +419,27 @@ std::unique_ptr<WindowStream> DangoronServer::SubmitStreaming(
           StreamingSummary{});
       return std::make_unique<WindowStream>(std::move(state));
     }
-    std::thread producer([this, data = std::move(registered.data),
-                          fingerprint = registered.fingerprint, query,
-                          stream_options, state]() mutable {
-      RunStreamingQuery(std::move(data), fingerprint, query, stream_options,
-                        std::move(state));
+    std::thread producer([this, ctx = std::move(*resolved),
+                          max_batch = request.options.max_batch_windows,
+                          state]() mutable {
+      RunStreamingQuery(ctx, max_batch, std::move(state));
     });
     active_streams_.push_back(ActiveStream{std::move(producer), state});
   }
   return std::make_unique<WindowStream>(std::move(state));
+}
+
+std::unique_ptr<WindowStream> DangoronServer::SubmitStreaming(
+    const std::string& dataset, const SlidingQuery& query,
+    const StreamingSubmitOptions& stream_options) {
+  QueryRequest request{dataset, query, ServeOptions{}};
+  request.options.queue_capacity = stream_options.queue_capacity;
+  request.options.max_batch_windows = stream_options.max_batch_windows;
+  return SubmitStreaming(request);
+}
+
+Result<ServeResult> DangoronServer::Query(const QueryRequest& request) {
+  return Submit(request).get();
 }
 
 Result<ServeResult> DangoronServer::Query(const std::string& dataset,
@@ -308,7 +449,9 @@ Result<ServeResult> DangoronServer::Query(const std::string& dataset,
 
 Result<std::shared_ptr<const PreparedDataset>> DangoronServer::GetOrPrepare(
     std::shared_ptr<const TimeSeriesMatrix> data, uint64_t fingerprint,
-    bool* shared) {
+    AdmissionPolicy admission,
+    std::chrono::steady_clock::time_point deadline,
+    WindowStreamState* stream, bool* shared) {
   const SketchCacheKey key{fingerprint, options_.basic_window};
   if (auto cached = sketch_cache_.Get(key)) {
     *shared = true;
@@ -317,30 +460,83 @@ Result<std::shared_ptr<const PreparedDataset>> DangoronServer::GetOrPrepare(
     return cached;
   }
 
-  // Admission policy: an index that can never fit the budget would be built
-  // only to be evicted on insertion (and would flush every warm sketch's
-  // LRU position on its way through the build's memory pressure). Refuse
-  // up front from the closed-form estimate instead.
-  if (options_.refuse_oversized_prepares) {
-    BasicWindowIndexOptions index_options;
-    index_options.basic_window = options_.basic_window;
-    index_options.build_pair_sketches = true;
-    const int64_t estimate =
-        BasicWindowIndex::EstimateMemoryBytes(data->num_series(),
-                                              data->length(), index_options) +
-        static_cast<int64_t>(data->values().size() * sizeof(double));
-    if (estimate > sketch_cache_.byte_budget()) {
-      {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++stats_.prepares_refused;
+  // Join an already-admitted in-flight build before any admission check:
+  // joining costs no budget, so it must never park or refuse.
+  {
+    std::shared_future<std::shared_ptr<const PreparedDataset>> join;
+    {
+      std::lock_guard<std::mutex> lock(inflight_mutex_);
+      auto it = inflight_prepares_.find(key);
+      if (it != inflight_prepares_.end()) {
+        join = it->second;
       }
-      return Status::ResourceExhausted(
-          "DangoronServer: prepare refused by admission policy — estimated ",
-          estimate, " bytes exceeds the sketch-cache budget of ",
-          sketch_cache_.byte_budget(), " bytes");
+    }
+    if (join.valid()) {
+      if (auto prepared = join.get()) {
+        *shared = true;
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.prepares_shared;
+        return prepared;
+      }
+      // The producer's build failed; fall through to admission + own build.
     }
   }
 
+  // Admission control. An index that can never fit the budget would be
+  // built only to be evicted on insertion (and would flush every warm
+  // sketch's LRU position on its way through the build's memory pressure);
+  // one that fits the budget but not the currently *free* budget would
+  // thrash warm sketches pinned by in-flight queries. The refuse policy
+  // rejects the former up front from the closed-form estimate (its
+  // historical behavior, gated on refuse_oversized_prepares); the queue
+  // policy reserves budget — reclaiming idle LRU entries, else parking
+  // until evictions or released handles free enough, the deadline passes,
+  // or the stream cancels.
+  const int64_t estimate = EstimatePrepareBytes(*data);
+  bool queued_reservation = false;
+  if (admission == AdmissionPolicy::kQueue) {
+    std::shared_ptr<const PreparedDataset> landed;
+    const Status admitted = admission_queue_.Admit(
+        estimate, key, deadline, stream,
+        [this] {
+          // At park time, not on return: stats must show a request that is
+          // *currently* parked.
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.prepares_queued;
+        },
+        &landed);
+    if (!admitted.ok()) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      if (admitted.code() == StatusCode::kResourceExhausted) {
+        ++stats_.prepares_refused;
+      } else if (admitted.code() == StatusCode::kDeadlineExceeded) {
+        ++stats_.deadline_exceeded;
+      }
+      return admitted;
+    }
+    if (landed != nullptr) {
+      // A concurrent build published this sketch while we waited; the
+      // queue admitted through the cache with no reservation taken.
+      *shared = true;
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.prepares_shared;
+      return landed;
+    }
+    queued_reservation = true;
+  } else if (options_.refuse_oversized_prepares &&
+             estimate > sketch_cache_.byte_budget()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.prepares_refused;
+    }
+    return Status::ResourceExhausted(
+        "DangoronServer: prepare refused by admission policy — estimated ",
+        estimate, " bytes exceeds the sketch-cache budget of ",
+        sketch_cache_.byte_budget(), " bytes");
+  }
+  // From here every return path under a queued admission must Release the
+  // reservation: once the built entry is Put (its bytes then count against
+  // the cache), the build failed, or we joined another build after all.
   std::promise<std::shared_ptr<const PreparedDataset>> promise;
   std::shared_future<std::shared_ptr<const PreparedDataset>> join;
   bool producer = false;
@@ -359,6 +555,9 @@ Result<std::shared_ptr<const PreparedDataset>> DangoronServer::GetOrPrepare(
     // Another query is building this sketch right now; its task fulfills
     // the future before it waits on anything, so this cannot cycle.
     if (auto prepared = join.get()) {
+      if (queued_reservation) {
+        admission_queue_.Release(estimate);  // joined: no budget consumed
+      }
       *shared = true;
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.prepares_shared;
@@ -387,6 +586,11 @@ Result<std::shared_ptr<const PreparedDataset>> DangoronServer::GetOrPrepare(
   } else if (prepared != nullptr) {
     sketch_cache_.Put(key, prepared, prepared->MemoryBytes());
   }
+  if (queued_reservation) {
+    // The Put above converted the reservation into cache-accounted bytes
+    // (or the build failed); either way the reservation retires here.
+    admission_queue_.Release(estimate);
+  }
   if (!prepared_or.ok()) {
     return prepared_or.status();
   }
@@ -399,34 +603,27 @@ Result<std::shared_ptr<const PreparedDataset>> DangoronServer::GetOrPrepare(
 }
 
 Status DangoronServer::RunWindowPlan(
-    const std::shared_ptr<const TimeSeriesMatrix>& data, uint64_t fingerprint,
-    const SlidingQuery& query, int64_t max_batch_windows,
+    const RequestContext& ctx, int64_t max_batch_windows,
     WindowStreamState* stream, std::vector<WindowEdges>* got_out,
-    ServeResult* out, bool* exact_family_out) {
+    ServeResult* out, bool* exact_family_out, double* prepare_seconds_out) {
+  const std::shared_ptr<const TimeSeriesMatrix>& data = ctx.data;
+  const uint64_t fingerprint = ctx.fingerprint;
+  const SlidingQuery& query = ctx.query;
   RETURN_IF_ERROR(query.Validate(data->length()));
   const int64_t b = options_.basic_window;
-  if (query.start % b != 0 || query.window % b != 0 || query.step % b != 0) {
-    return Status::InvalidArgument(
-        "DangoronServer: query start/window/step must be multiples of the "
-        "server basic window ",
-        b, " (got start=", query.start, " window=", query.window,
-        " step=", query.step, ")");
-  }
+  RETURN_IF_ERROR(CheckQueryAligned(query));
 
+  Stopwatch prepare_timer;
   ASSIGN_OR_RETURN(std::shared_ptr<const PreparedDataset> prepared,
-                   GetOrPrepare(data, fingerprint, &out->prepared_from_cache));
+                   GetOrPrepare(data, fingerprint, ctx.admission,
+                                ctx.deadline, stream,
+                                &out->prepared_from_cache));
+  if (prepare_seconds_out != nullptr) {
+    *prepare_seconds_out = prepare_timer.ElapsedSeconds();
+  }
+  RETURN_IF_ERROR(CheckIndexCoverage(query, prepared->index()));
 
   const int64_t num_windows = query.NumWindows();
-  const int64_t ns = query.window / b;
-  const int64_t m = query.step / b;
-  const int64_t base_w0 = query.start / b;
-  if (base_w0 + (num_windows - 1) * m + ns >
-      prepared->index().num_basic_windows()) {
-    return Status::OutOfRange(
-        "DangoronServer: query needs basic windows up to ",
-        base_w0 + (num_windows - 1) * m + ns, " but only ",
-        prepared->index().num_basic_windows(), " are indexed");
-  }
 
   // Threshold-family canonicalization: evaluate/cache at the family
   // threshold, filter back up to the query's on delivery/assembly.
@@ -440,8 +637,7 @@ Status DangoronServer::RunWindowPlan(
   eval.threshold = canonical;
 
   auto key_for = [&](int64_t k) {
-    return WindowKey::Make(fingerprint, b, ns, base_w0 + k * m, canonical,
-                           query.absolute);
+    return QueryWindowKey(fingerprint, b, query, k, canonical);
   };
 
   std::vector<WindowEdges>& got = *got_out;
@@ -652,47 +848,174 @@ Status DangoronServer::RunWindowPlan(
   return Status::Ok();
 }
 
-Result<ServeResult> DangoronServer::RunQuery(
-    std::shared_ptr<const TimeSeriesMatrix> data, uint64_t fingerprint,
-    const SlidingQuery& query) {
+Status DangoronServer::RunApproxPlan(const RequestContext& ctx,
+                                     WindowStreamState* stream,
+                                     ServeResult* out,
+                                     CorrelationMatrixSeries* series_out) {
+  const SlidingQuery& query = ctx.query;
+  RETURN_IF_ERROR(query.Validate(ctx.data->length()));
+  const int64_t b = options_.basic_window;
+  RETURN_IF_ERROR(CheckQueryAligned(query));
+
+  // The approx tier shares the prepared sketch with the exact tier — one
+  // index serves both — but from here on it never touches the
+  // window-result cache: no Get (the jump pattern must not depend on what
+  // exact queries happened to cache), no Put (a jumped window's edge set
+  // depends on this query's range; publishing it would poison exact
+  // reuse), and no claims (nothing here is joinable).
+  ASSIGN_OR_RETURN(std::shared_ptr<const PreparedDataset> prepared,
+                   GetOrPrepare(ctx.data, ctx.fingerprint, ctx.admission,
+                                ctx.deadline, stream,
+                                &out->prepared_from_cache));
+  RETURN_IF_ERROR(CheckIndexCoverage(query, prepared->index()));
+  const int64_t num_windows = query.NumWindows();
+
+  DangoronOptions engine_options = ServingEngineOptions(b);
+  engine_options.enable_jumping = true;  // the tier's whole point
+
+  EngineStats engine_stats;
+  Status status;
+  if (stream == nullptr) {
+    CollectingWindowSink sink;
+    status = DangoronEngine::QueryPreparedToSink(
+        engine_options, prepared->index(), query, pool_.get(), &engine_stats,
+        &sink);
+    if (status.ok()) {
+      *series_out = sink.TakeSeries();
+      out->windows_computed = num_windows;
+    }
+  } else {
+    // Blocking delivery is safe here: this path holds no window claims, so
+    // a slow consumer stalls only its own producer thread. Push returns
+    // false on cancellation, which cancels the engine run through the sink
+    // protocol.
+    CallbackWindowSink sink([&](int64_t k, std::vector<Edge> edges) {
+      auto shared_edges =
+          std::make_shared<std::vector<Edge>>(std::move(edges));
+      if (!stream->Push(StreamedWindow{k, std::move(shared_edges)})) {
+        return false;
+      }
+      ++out->windows_computed;
+      return true;
+    });
+    status = DangoronEngine::QueryPreparedToSink(
+        engine_options, prepared->index(), query, pool_.get(), &engine_stats,
+        &sink);
+  }
+  out->cells_jumped = engine_stats.cells_jumped;
+  out->jumps = engine_stats.jumps;
+  if (status.code() == StatusCode::kCancelled) {
+    return Status::Cancelled(
+        "DangoronServer: stream cancelled mid-approx-plan");
+  }
+  return status;
+}
+
+Result<ServeResult> DangoronServer::RunQuery(const RequestContext& ctx) {
+  if (DeadlinePassed(ctx.deadline)) {
+    // Attribute the failure to the tier that would have served it, so
+    // per-tier deadline accounting stays truthful.
+    ServeResult failed;
+    failed.tier_used = ResolveTier(ctx);
+    RecordQueryStats(failed, /*streaming=*/false);
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.deadline_exceeded;
+    return Status::DeadlineExceeded(
+        "DangoronServer: request deadline passed before the query started");
+  }
+
+  if (ResolveTier(ctx) == ServeTier::kApprox) {
+    ServeResult out;
+    out.tier_used = ServeTier::kApprox;
+    CorrelationMatrixSeries series;
+    const Status plan = RunApproxPlan(ctx, /*stream=*/nullptr, &out, &series);
+    admission_queue_.NotifyReleased();  // the prepared handle is released
+    RecordQueryStats(out, /*streaming=*/false);
+    RETURN_IF_ERROR(plan);
+    out.series = std::move(series);
+    return out;
+  }
+
   ServeResult out;
   std::vector<WindowEdges> got;
   bool exact_family = true;
-  const Status plan = RunWindowPlan(data, fingerprint, query,
-                                    /*max_batch_windows=*/0,
+  double prepare_seconds = 0.0;
+  Stopwatch plan_timer;
+  const Status plan = RunWindowPlan(ctx, /*max_batch_windows=*/0,
                                     /*stream=*/nullptr, &got, &out,
-                                    &exact_family);
+                                    &exact_family, &prepare_seconds);
+  const double plan_ns =
+      (plan_timer.ElapsedSeconds() - prepare_seconds) * 1e9;
+  admission_queue_.NotifyReleased();  // the prepared handle is released
   RecordQueryStats(out, /*streaming=*/false);
+  // Teach the kAuto cost model from warm queries that actually evaluated
+  // everything themselves: streaming queries fold consumer pace into the
+  // elapsed time, and a query that joined or cache-read windows folds
+  // foreign evaluation waits into plan_ns while dividing by only its own
+  // computed windows — any of which would inflate the sample arbitrarily.
+  // Prepare time — a cold build, an in-flight build join, or an
+  // admission-queue park — is subtracted outright (prepare_seconds).
+  if (plan.ok() && out.windows_computed > 0 && out.windows_joined == 0 &&
+      out.windows_from_cache == 0) {
+    const double pairs = static_cast<double>(ctx.data->num_series()) *
+                         static_cast<double>(ctx.data->num_series() - 1) /
+                         2.0;
+    const double cells = static_cast<double>(out.windows_computed) * pairs;
+    if (cells > 0 && plan_ns > 0) {
+      const double observed = plan_ns / cells;
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      exact_cell_ns_ = (1.0 - kExactCostAlpha) * exact_cell_ns_ +
+                       kExactCostAlpha * observed;
+    }
+  }
   RETURN_IF_ERROR(plan);
 
   // Assemble the response from the shared per-window edge sets, filtering
   // family-threshold sets down to the query's exact threshold.
-  const int64_t n = data->num_series();
-  CorrelationMatrixSeries series(query, n);
-  for (int64_t k = 0; k < query.NumWindows(); ++k) {
+  const int64_t n = ctx.data->num_series();
+  CorrelationMatrixSeries series(ctx.query, n);
+  for (int64_t k = 0; k < ctx.query.NumWindows(); ++k) {
     const std::vector<Edge>& edges = *got[static_cast<size_t>(k)];
     *series.MutableWindow(k) =
-        exact_family ? edges : FilterEdges(edges, query);
+        exact_family ? edges : FilterEdges(edges, ctx.query);
   }
   out.series = std::move(series);
   return out;
 }
 
 void DangoronServer::RunStreamingQuery(
-    std::shared_ptr<const TimeSeriesMatrix> data, uint64_t fingerprint,
-    const SlidingQuery& query, const StreamingSubmitOptions& stream_options,
+    const RequestContext& ctx, int64_t max_batch_windows,
     std::shared_ptr<WindowStreamState> stream) {
   ServeResult out;
-  std::vector<WindowEdges> got;
-  Status status =
-      RunWindowPlan(data, fingerprint, query, stream_options.max_batch_windows,
-                    stream.get(), &got, &out, nullptr);
+  Status status = Status::Ok();
+  if (DeadlinePassed(ctx.deadline)) {
+    out.tier_used = ResolveTier(ctx);  // truthful per-tier attribution
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.deadline_exceeded;
+    }
+    status = Status::DeadlineExceeded(
+        "DangoronServer: request deadline passed before the stream started");
+  } else {
+    if (ResolveTier(ctx) == ServeTier::kApprox) {
+      out.tier_used = ServeTier::kApprox;
+      status = RunApproxPlan(ctx, stream.get(), &out, /*series_out=*/nullptr);
+    } else {
+      std::vector<WindowEdges> got;
+      status = RunWindowPlan(ctx, max_batch_windows, stream.get(), &got, &out,
+                             nullptr);
+    }
+    admission_queue_.NotifyReleased();  // the prepared handle is released
+  }
   RecordQueryStats(out, /*streaming=*/true);
   StreamingSummary summary;
+  summary.tier_used = out.tier_used;
   summary.prepared_from_cache = out.prepared_from_cache;
   summary.windows_from_cache = out.windows_from_cache;
   summary.windows_computed = out.windows_computed;
   summary.windows_joined = out.windows_joined;
+  summary.cells_jumped = out.cells_jumped;
+  summary.jumps = out.jumps;
   stream->Finish(std::move(status), summary);
 }
 
@@ -703,6 +1026,9 @@ void DangoronServer::RecordQueryStats(const ServeResult& out, bool streaming) {
   ++stats_.queries;
   if (streaming) {
     ++stats_.streaming_queries;
+  }
+  if (out.tier_used == ServeTier::kApprox) {
+    ++stats_.queries_approx;
   }
   stats_.windows_computed += out.windows_computed;
   stats_.windows_from_cache += out.windows_from_cache;

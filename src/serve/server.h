@@ -1,6 +1,7 @@
 #ifndef DANGORON_SERVE_SERVER_H_
 #define DANGORON_SERVE_SERVER_H_
 
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -13,6 +14,8 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "engine/query.h"
+#include "serve/admission_queue.h"
+#include "serve/query_request.h"
 #include "serve/sketch_cache.h"
 #include "serve/window_result_cache.h"
 #include "serve/window_stream.h"
@@ -60,6 +63,22 @@ struct DangoronServerOptions {
   /// values are threshold-independent; the threshold only filters. 0
   /// disables (exact-match keys).
   int64_t threshold_family_steps = 20;
+
+  /// Tier served to requests that leave `ServeOptions::tier` unset — the
+  /// bare `(dataset, query)` wrapper overloads among them. The exact
+  /// default keeps every pre-request call site byte-identical.
+  ServeTier default_tier = ServeTier::kExact;
+
+  /// Admission policy for requests that leave `ServeOptions::admission`
+  /// unset. With `kRefuse`, oversized prepares are refused outright (only
+  /// when `refuse_oversized_prepares` is also on — the historical gate);
+  /// with `kQueue`, they park in the deadline-aware admission queue until
+  /// sketch-cache budget frees up.
+  AdmissionPolicy admission = AdmissionPolicy::kRefuse;
+
+  /// Bound on concurrently parked prepares in the admission queue; requests
+  /// past it fail with ResourceExhausted instead of growing the queue.
+  int64_t admission_queue_limit = 16;
 };
 
 /// One claimed in-flight window evaluation: the claimant fulfills it (edge
@@ -91,12 +110,19 @@ WindowEdges WaitForWindowClaim(const WindowClaimPtr& claim,
 /// Per-query outcome: the result series plus where its pieces came from.
 struct ServeResult {
   CorrelationMatrixSeries series;
+  /// The tier that actually answered (`kAuto` requests resolve to one of
+  /// the two before evaluation; never `kAuto` here).
+  ServeTier tier_used = ServeTier::kExact;
   /// The prepared sketch was a cache (or in-flight dedup) hit — this query
   /// paid no index build.
   bool prepared_from_cache = false;
   int64_t windows_from_cache = 0;  ///< served from the window-result cache
   int64_t windows_computed = 0;    ///< evaluated by this query
   int64_t windows_joined = 0;      ///< awaited from a concurrent query
+  /// Eq. 2 jump accounting from EngineStats (approx tier only — the exact
+  /// tier never jumps): pair-window cells skipped, and jump decisions.
+  int64_t cells_jumped = 0;
+  int64_t jumps = 0;
 };
 
 /// Aggregate server counters (monotonic since construction).
@@ -106,9 +132,12 @@ struct DangoronServerStats {
   /// cancelled submission contributes what it computed before stopping.
   int64_t queries = 0;
   int64_t streaming_queries = 0;  ///< of which SubmitStreaming
+  int64_t queries_approx = 0;      ///< served by the approx (jumping) tier
   int64_t prepares_built = 0;      ///< index builds actually paid
   int64_t prepares_shared = 0;     ///< sketch cache or in-flight dedup hits
   int64_t prepares_refused = 0;    ///< rejected by the admission policy
+  int64_t prepares_queued = 0;     ///< parked in the admission queue
+  int64_t deadline_exceeded = 0;   ///< requests failed on their deadline
   int64_t windows_computed = 0;
   int64_t windows_from_cache = 0;
   int64_t windows_joined = 0;
@@ -118,14 +147,16 @@ struct DangoronServerStats {
 
 /// Multi-tenant serving layer over the Dangoron sketch machinery: callers
 /// register datasets once and submit any number of concurrent
-/// `SlidingQuery`s; the server shares everything shareable between them.
+/// `QueryRequest`s; the server shares everything shareable between them.
 ///
 /// - `PreparedDataset` handles (dataset fingerprint -> built
 ///   BasicWindowIndex) are constructed once, deduplicated even across
 ///   *concurrent* first queries, held in an LRU sketch cache under a byte
 ///   budget, and shared read-only; eviction composes with the sketch
-///   storage recycler (see SketchCache). An optional admission policy
-///   refuses prepares that could never fit the budget.
+///   storage recycler (see SketchCache). Admission control handles prepares
+///   that do not fit the budget: refused outright, or parked in a bounded
+///   deadline-aware queue (see PrepareAdmissionQueue and
+///   `ServeOptions::admission`).
 /// - Per-window edge sets are cached and deduplicated: overlapping queries
 ///   (same dataset / basic window / threshold family, overlapping ranges)
 ///   reuse each other's windows instead of re-walking pair blocks, and N
@@ -137,11 +168,19 @@ struct DangoronServerStats {
 ///   `SubmitStreaming` delivers windows one by one through a bounded
 ///   backpressured queue the moment each is final (see WindowStream).
 ///
-/// Queries are answered in exact incremental mode (no Eq. 2 jumping):
+/// Service tiers (`ServeOptions::tier`): the exact tier answers in exact
+/// incremental mode (no Eq. 2 jumping) through the shared window cache —
 /// jumping makes a window's result depend on the query's range, which would
 /// poison cross-query reuse; exactness is also what makes results
 /// byte-stable under every cache hit/miss/eviction interleaving (values
-/// match NaiveEngine up to floating-point roundoff).
+/// match NaiveEngine up to floating-point roundoff). The approx tier runs
+/// Eq. 2 jumping per request for latency-critical clients: it shares the
+/// prepared sketch but bypasses the window cache entirely (never reads it,
+/// never writes it — range-dependent windows must not be published), so
+/// approx traffic cannot perturb exact results. `kAuto` picks approx when
+/// the request's deadline is tighter than the server's estimate of the
+/// exact evaluation cost (a running estimate learned from warm exact
+/// queries, pessimistically seeded), exact otherwise.
 ///
 /// Thread-safe: every public method may be called from any thread.
 class DangoronServer {
@@ -172,25 +211,37 @@ class DangoronServer {
   /// server's window cache.
   Result<uint64_t> DatasetFingerprint(const std::string& name) const;
 
-  /// Submits a query against a registered dataset; returns immediately.
-  /// The future resolves on a pool thread once the result is assembled.
-  std::future<Result<ServeResult>> Submit(const std::string& dataset,
-                                          const SlidingQuery& query);
+  /// Submits a request; returns immediately. The future resolves on a pool
+  /// thread once the result is assembled. The request carries the service
+  /// tier, deadline, and admission preference (`ServeOptions`); a
+  /// default-constructed `ServeOptions` reproduces the server's configured
+  /// defaults (exact tier, refuse admission, no deadline out of the box).
+  std::future<Result<ServeResult>> Submit(const QueryRequest& request);
 
-  /// Streaming submission: windows are delivered through the returned
-  /// handle's bounded queue in ascending order as they are evaluated (or
-  /// read from cache), so consumers see the first window at
-  /// time-to-first-window instead of full-query latency. Every window is
-  /// published to the shared window cache the moment it lands, so a
-  /// cancelled (or merely slower) stream leaves a reusable prefix for the
-  /// next overlapping query. Errors surface as the stream's terminal
-  /// status; this call itself never blocks.
-  std::unique_ptr<WindowStream> SubmitStreaming(
-      const std::string& dataset, const SlidingQuery& query,
-      const StreamingSubmitOptions& stream_options = {});
+  /// Streaming submission of a request: windows are delivered through the
+  /// returned handle's bounded queue in ascending order as they are
+  /// evaluated (or, exact tier, read from cache), so consumers see the
+  /// first window at time-to-first-window instead of full-query latency.
+  /// Exact tier: every window is published to the shared window cache the
+  /// moment it lands, so a cancelled (or merely slower) stream leaves a
+  /// reusable prefix for the next overlapping query. Approx tier: windows
+  /// are jumped per request and delivered without touching the window
+  /// cache. Errors surface as the stream's terminal status; this call
+  /// itself never blocks.
+  std::unique_ptr<WindowStream> SubmitStreaming(const QueryRequest& request);
 
   /// Synchronous convenience: Submit + wait. Must not be called from a pool
   /// task (i.e. from inside another query's execution).
+  Result<ServeResult> Query(const QueryRequest& request);
+
+  /// Back-compat wrappers: build a request with default `ServeOptions`
+  /// (server-default tier and admission, no deadline) — byte-identical
+  /// behavior to the pre-request API for default-configured servers.
+  std::future<Result<ServeResult>> Submit(const std::string& dataset,
+                                          const SlidingQuery& query);
+  std::unique_ptr<WindowStream> SubmitStreaming(
+      const std::string& dataset, const SlidingQuery& query,
+      const StreamingSubmitOptions& stream_options = {});
   Result<ServeResult> Query(const std::string& dataset,
                             const SlidingQuery& query);
 
@@ -211,8 +262,53 @@ class DangoronServer {
     uint64_t fingerprint = 0;
   };
 
-  /// The shared core of materialized and streaming submissions: walks the
-  /// query's windows in order, resolving each from the result cache, a
+  /// One submission, resolved at Submit time: the dataset snapshot it will
+  /// run against plus its ServeOptions with the server defaults and the
+  /// absolute deadline applied. `tier` may still be kAuto — it resolves to
+  /// exact/approx when the task starts (the cost estimate should see the
+  /// freshest measurements, and the remaining deadline budget is what the
+  /// task actually has).
+  struct RequestContext {
+    std::shared_ptr<const TimeSeriesMatrix> data;
+    uint64_t fingerprint = 0;
+    SlidingQuery query;
+    ServeTier tier = ServeTier::kExact;
+    AdmissionPolicy admission = AdmissionPolicy::kRefuse;
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
+  };
+
+  /// Resolves `request` against the dataset registry and the server's
+  /// defaults; `api` names the calling entry point in error messages.
+  Result<RequestContext> ResolveRequest(const QueryRequest& request,
+                                        const char* api) const;
+
+  /// Final tier of a task about to run: kAuto picks approx when the
+  /// remaining deadline budget is tighter than EstimateExactCostMs, exact
+  /// otherwise (and always exact without a deadline).
+  ServeTier ResolveTier(const RequestContext& ctx) const;
+
+  /// Estimated exact-tier evaluation cost of the request: uncached cells x
+  /// the running ns/cell estimate (learned from warm materialized exact
+  /// queries, pessimistically seeded — see kExactCostSeedNsPerCell).
+  /// Windows already in the result cache are discounted — a warm range is
+  /// a near-free exact answer. Excludes prepare cost: both tiers share the
+  /// prepared sketch, so it cannot differentiate them.
+  double EstimateExactCostMs(const RequestContext& ctx) const;
+
+  /// The closed-form admission estimate of preparing `data`: index bytes
+  /// plus the data matrix — the same number the sketch cache is charged.
+  int64_t EstimatePrepareBytes(const TimeSeriesMatrix& data) const;
+
+  /// The query preconditions both tiers share — and must keep rejecting
+  /// identically: basic-window alignment (checked before any prepare is
+  /// paid) and, once prepared, coverage of the indexed basic windows.
+  Status CheckQueryAligned(const SlidingQuery& query) const;
+  Status CheckIndexCoverage(const SlidingQuery& query,
+                            const BasicWindowIndex& index) const;
+
+  /// The exact-tier core of materialized and streaming submissions: walks
+  /// the query's windows in order, resolving each from the result cache, a
   /// concurrent query's in-flight claim, or its own evaluation in
   /// contiguous claimed runs of at most `max_batch_windows` (0 =
   /// unbounded). Evaluation drives the exact engine's native window
@@ -233,22 +329,36 @@ class DangoronServer {
   /// on the family grid (no assembly filtering needed). Returns Cancelled
   /// when the stream cancels mid-plan; cached windows computed before that
   /// remain reusable.
-  Status RunWindowPlan(const std::shared_ptr<const TimeSeriesMatrix>& data,
-                       uint64_t fingerprint, const SlidingQuery& query,
-                       int64_t max_batch_windows, WindowStreamState* stream,
+  /// `prepare_seconds_out` (optional) reports the time spent inside
+  /// GetOrPrepare — including any in-flight build join or admission-queue
+  /// park — so the caller's cost-model sample can subtract waits that are
+  /// not evaluation.
+  Status RunWindowPlan(const RequestContext& ctx, int64_t max_batch_windows,
+                       WindowStreamState* stream,
                        std::vector<WindowEdges>* got, ServeResult* out,
-                       bool* exact_family_out);
+                       bool* exact_family_out,
+                       double* prepare_seconds_out = nullptr);
 
-  /// The body of one materialized query, run as a pool task.
-  Result<ServeResult> RunQuery(std::shared_ptr<const TimeSeriesMatrix> data,
-                               uint64_t fingerprint,
-                               const SlidingQuery& query);
+  /// The approx-tier core shared by the materialized and streaming paths:
+  /// runs the request through the Eq. 2 jumping engine against the shared
+  /// prepared sketch, *never touching the window-result cache* (jumped
+  /// windows are range-dependent — publishing them would poison exact
+  /// reuse, and reading cached exact windows would make the jump pattern
+  /// cache-dependent). With `stream` null the series is materialized into
+  /// `series_out`; otherwise each window is delivered through the stream's
+  /// bounded queue (blocking is safe — this path holds no claims).
+  Status RunApproxPlan(const RequestContext& ctx, WindowStreamState* stream,
+                       ServeResult* out, CorrelationMatrixSeries* series_out);
 
-  /// The body of one streaming query, run as a pool task; always finishes
-  /// `stream`.
-  void RunStreamingQuery(std::shared_ptr<const TimeSeriesMatrix> data,
-                         uint64_t fingerprint, const SlidingQuery& query,
-                         const StreamingSubmitOptions& stream_options,
+  /// The body of one materialized request, run as a pool task: deadline
+  /// pre-check, tier resolution, then the exact plan + assembly or the
+  /// approx plan.
+  Result<ServeResult> RunQuery(const RequestContext& ctx);
+
+  /// The body of one streaming request, run on its dedicated producer
+  /// thread; always finishes `stream`.
+  void RunStreamingQuery(const RequestContext& ctx,
+                         int64_t max_batch_windows,
                          std::shared_ptr<WindowStreamState> stream);
 
   /// Folds one submission's accounting into the aggregate counters — the
@@ -257,12 +367,17 @@ class DangoronServer {
 
   /// Returns the prepared sketch for (fingerprint, basic_window), building
   /// it at most once across concurrent callers: cache hit, else join an
-  /// in-flight build, else build + publish — unless the admission policy
-  /// refuses the build. Sets `*shared` when this query did not pay the
-  /// build.
+  /// in-flight build, else admission control, else build + publish. Under
+  /// `AdmissionPolicy::kQueue` a build that does not fit the free
+  /// sketch-cache budget parks in the admission queue until evictions free
+  /// budget, `deadline` passes (DeadlineExceeded), or `stream` (nullable)
+  /// is cancelled; under `kRefuse` the historical refuse-oversized check
+  /// applies. Sets `*shared` when this query did not pay the build.
   Result<std::shared_ptr<const PreparedDataset>> GetOrPrepare(
       std::shared_ptr<const TimeSeriesMatrix> data, uint64_t fingerprint,
-      bool* shared);
+      AdmissionPolicy admission,
+      std::chrono::steady_clock::time_point deadline,
+      WindowStreamState* stream, bool* shared);
 
   const DangoronServerOptions options_;
 
@@ -271,6 +386,14 @@ class DangoronServer {
 
   SketchCache sketch_cache_;
   WindowResultCache result_cache_;
+
+  // Deadline-aware wait queue for oversized prepares under
+  // AdmissionPolicy::kQueue; wired as sketch_cache_'s eviction listener and
+  // notified whenever a task releases its prepared handle. Declared after
+  // the cache it accounts against (constructed later, destroyed earlier);
+  // the destructor calls Shutdown() before draining the pool so no parked
+  // task can outlive teardown.
+  PrepareAdmissionQueue admission_queue_;
 
   // In-flight deduplication. Window claims are taken per evaluation run and
   // fulfilled window by window as the engine emits, before the claiming
@@ -302,9 +425,16 @@ class DangoronServer {
   };
   std::vector<ActiveStream> active_streams_;
 
-  // Aggregate counters (guarded by stats_mutex_).
+  // Aggregate counters (guarded by stats_mutex_), plus the running exact
+  // ns/cell estimate behind kAuto's tier choice: an EWMA over materialized
+  // exact queries that evaluated every window themselves (prepare time —
+  // builds, joins, admission parks — subtracted; joined/cache-read plans
+  // skipped), seeded pessimistically so a fresh server under tight
+  // deadlines leans approx — the latency-safe direction — until real
+  // measurements arrive.
   mutable std::mutex stats_mutex_;
   DangoronServerStats stats_;
+  double exact_cell_ns_;
 
   // Destroyed first (reverse member order): the pool's destructor drains
   // every queued and running query task while the caches, maps, and

@@ -47,6 +47,22 @@ struct WindowKeyHash {
   }
 };
 
+/// Cache key of window k of an *aligned* sliding query (start/window/step
+/// multiples of `basic_window`) at `threshold` — callers pass the canonical
+/// family threshold, not the query's raw one. The single geometry rule
+/// behind every key the serving layer derives from a query (the window
+/// plan's resolution loop and the kAuto cost probe must agree bit for bit,
+/// or cache reuse silently breaks); CacheWindowSink encodes the same rule
+/// for open-ended producers via FixedGeometry.
+inline WindowKey QueryWindowKey(uint64_t fingerprint, int64_t basic_window,
+                                const SlidingQuery& query, int64_t k,
+                                double threshold) {
+  return WindowKey::Make(fingerprint, basic_window,
+                         query.window / basic_window,
+                         (query.start + k * query.step) / basic_window,
+                         threshold, query.absolute);
+}
+
 /// A window's thresholded edge set, shared immutably between the cache and
 /// every query assembling a result from it. Sorted by (i, j).
 using WindowEdges = std::shared_ptr<const std::vector<Edge>>;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "serve/query_request.h"
 #include "serve/window_result_cache.h"
 
 namespace dangoron {
@@ -20,7 +21,7 @@ struct StreamingSubmitOptions {
   /// consumer. When it is full the producer blocks (backpressure): a slow
   /// consumer bounds the stream's memory at `queue_capacity` windows instead
   /// of the whole result.
-  int64_t queue_capacity = 8;
+  int64_t queue_capacity = kDefaultStreamQueueCapacity;
 
   /// Cap on the contiguous window run one engine pass claims and evaluates
   /// (0 = unbounded). Within a run the exact engine emits natively window
@@ -33,7 +34,7 @@ struct StreamingSubmitOptions {
   /// until delivered). It also bounds claim granularity toward concurrent
   /// identical queries and the stream's cancel latency. Serving evaluates
   /// exactly (no jumping), so run chopping never changes results.
-  int64_t max_batch_windows = 4;
+  int64_t max_batch_windows = kDefaultMaxBatchWindows;
 };
 
 /// One delivered window of a streaming submission.
@@ -48,10 +49,16 @@ struct StreamedWindow {
 /// Source accounting of one streaming submission (the streaming face of
 /// `ServeResult`); complete once the stream finished.
 struct StreamingSummary {
+  /// The tier that actually served the stream (`kAuto` resolves to one of
+  /// the two before evaluation starts; never `kAuto` here).
+  ServeTier tier_used = ServeTier::kExact;
   bool prepared_from_cache = false;
   int64_t windows_from_cache = 0;
   int64_t windows_computed = 0;
   int64_t windows_joined = 0;
+  /// Eq. 2 jump accounting (approx tier only; see EngineStats).
+  int64_t cells_jumped = 0;
+  int64_t jumps = 0;
 };
 
 /// A condition variable a consumer blocked on something *other than* the

@@ -1,0 +1,323 @@
+// Unit tests of PrepareAdmissionQueue: budget reservation against the
+// sketch cache, idle-LRU reclamation (pinned entries are skipped), parked
+// waits woken by NotifyReleased / Release, deadline expiry, stream
+// cancellation via the CancelWaker protocol, the parked-list bound, and
+// shutdown. The serve_test suite covers the same machinery end-to-end
+// through DangoronServer.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "common/logging.h"
+#include "serve/admission_queue.h"
+#include "serve/prepared_dataset.h"
+#include "serve/sketch_cache.h"
+#include "serve/window_stream.h"
+#include "ts/generators.h"
+
+namespace dangoron {
+namespace {
+
+constexpr auto kNoDeadline = std::chrono::steady_clock::time_point::max();
+
+// A tiny real PreparedDataset to populate the cache with (the cache is
+// charged whatever byte cost the test passes, not its true size).
+std::shared_ptr<const PreparedDataset> TinyPrepared(uint64_t seed) {
+  Rng rng(seed);
+  auto data = std::make_shared<const TimeSeriesMatrix>(
+      GenerateWhiteNoise(3, 32, &rng));
+  auto prepared = PreparedDataset::Create(data, /*basic_window=*/8,
+                                          /*pool=*/nullptr);
+  CHECK(prepared.ok());
+  return *prepared;
+}
+
+SketchCacheKey Key(uint64_t fingerprint) {
+  return SketchCacheKey{fingerprint, 8};
+}
+
+// Admit under a key no test caches (the cached-landing path has its own
+// test), recording whether the request parked.
+Status AdmitSimple(PrepareAdmissionQueue* queue, int64_t estimate,
+                   std::chrono::steady_clock::time_point deadline,
+                   WindowStreamState* stream, bool* parked) {
+  std::shared_ptr<const PreparedDataset> landed;
+  const Status status = queue->Admit(
+      estimate, Key(999), deadline, stream, [parked] { *parked = true; },
+      &landed);
+  EXPECT_EQ(landed, nullptr);
+  return status;
+}
+
+TEST(PrepareAdmissionQueueTest, FittingEstimateAdmitsWithoutParking) {
+  SketchCache cache(100);
+  PrepareAdmissionQueue queue(&cache, /*max_parked=*/4);
+
+  bool parked = false;
+  ASSERT_TRUE(AdmitSimple(&queue, 60, kNoDeadline, nullptr, &parked).ok());
+  EXPECT_FALSE(parked);
+  EXPECT_EQ(queue.reserved_bytes(), 60);
+  // A second request that fits the remainder is also immediate.
+  ASSERT_TRUE(AdmitSimple(&queue, 40, kNoDeadline, nullptr, &parked).ok());
+  EXPECT_FALSE(parked);
+  EXPECT_EQ(queue.reserved_bytes(), 100);
+  queue.Release(60);
+  queue.Release(40);
+  EXPECT_EQ(queue.reserved_bytes(), 0);
+}
+
+TEST(PrepareAdmissionQueueTest, NeverFittingEstimateRefusedImmediately) {
+  SketchCache cache(100);
+  PrepareAdmissionQueue queue(&cache, /*max_parked=*/4);
+
+  bool parked = false;
+  const Status status = AdmitSimple(&queue, 101, kNoDeadline, nullptr, &parked);
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_FALSE(parked);
+  EXPECT_EQ(queue.parked(), 0);
+}
+
+TEST(PrepareAdmissionQueueTest, ReclaimsIdleLruButSkipsPinnedEntries) {
+  SketchCache cache(100);
+  PrepareAdmissionQueue queue(&cache, /*max_parked=*/4);
+
+  auto pinned = TinyPrepared(1);  // we hold a reference: not evictable
+  cache.Put(Key(1), pinned, 50);
+  cache.Put(Key(2), TinyPrepared(2), 40);  // idle: cache holds the only ref
+
+  // 45 bytes fit only by evicting the idle entry; the pinned one stays.
+  bool parked = false;
+  ASSERT_TRUE(AdmitSimple(&queue, 45, kNoDeadline, nullptr, &parked).ok());
+  EXPECT_FALSE(parked);
+  EXPECT_EQ(cache.Get(Key(2)), nullptr);   // idle entry reclaimed
+  EXPECT_NE(cache.Get(Key(1)), nullptr);   // pinned entry survived
+  queue.Release(45);
+}
+
+TEST(PrepareAdmissionQueueTest, ParksUntilReleaseFreesBudget) {
+  SketchCache cache(100);
+  PrepareAdmissionQueue queue(&cache, /*max_parked=*/4);
+
+  bool first_parked = false;
+  ASSERT_TRUE(AdmitSimple(&queue, 80, kNoDeadline, nullptr, &first_parked).ok());
+  EXPECT_FALSE(first_parked);
+
+  Status second = Status::Ok();
+  bool second_parked = false;
+  std::thread waiter([&] {
+    second = AdmitSimple(&queue, 80, kNoDeadline, nullptr, &second_parked);
+  });
+  while (queue.parked() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Releasing the first reservation frees the budget and wakes the waiter.
+  queue.Release(80);
+  waiter.join();
+  EXPECT_TRUE(second.ok()) << second.ToString();
+  EXPECT_TRUE(second_parked);
+  EXPECT_EQ(queue.parked(), 0);
+  EXPECT_EQ(queue.reserved_bytes(), 80);
+  queue.Release(80);
+}
+
+TEST(PrepareAdmissionQueueTest, ParkedRequestExpiresAtDeadline) {
+  SketchCache cache(100);
+  PrepareAdmissionQueue queue(&cache, /*max_parked=*/4);
+
+  auto pinned = TinyPrepared(3);
+  cache.Put(Key(3), pinned, 90);  // pinned: nothing can be reclaimed
+
+  bool parked = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(50);
+  const Status status = AdmitSimple(&queue, 50, deadline, nullptr, &parked);
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(parked);
+  EXPECT_EQ(queue.parked(), 0);
+  EXPECT_EQ(queue.reserved_bytes(), 0);
+}
+
+TEST(PrepareAdmissionQueueTest, StreamCancellationWakesParkedRequest) {
+  SketchCache cache(100);
+  PrepareAdmissionQueue queue(&cache, /*max_parked=*/4);
+
+  auto pinned = TinyPrepared(4);
+  cache.Put(Key(4), pinned, 90);
+
+  WindowStreamState stream(/*queue_capacity=*/1);
+  Status status = Status::Ok();
+  bool parked = false;
+  std::thread waiter([&] {
+    status = AdmitSimple(&queue, 50, kNoDeadline, &stream, &parked);
+  });
+  while (queue.parked() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stream.Cancel();
+  waiter.join();
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_TRUE(parked);
+  EXPECT_EQ(queue.parked(), 0);
+  EXPECT_EQ(queue.reserved_bytes(), 0);
+}
+
+TEST(PrepareAdmissionQueueTest, ParkedListIsBounded) {
+  SketchCache cache(100);
+  PrepareAdmissionQueue queue(&cache, /*max_parked=*/1);
+
+  auto pinned = TinyPrepared(5);
+  cache.Put(Key(5), pinned, 90);
+
+  WindowStreamState stream(/*queue_capacity=*/1);
+  Status first = Status::Ok();
+  bool first_parked = false;
+  std::thread waiter([&] {
+    first = AdmitSimple(&queue, 50, kNoDeadline, &stream, &first_parked);
+  });
+  while (queue.parked() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  bool second_parked = false;
+  const Status second = AdmitSimple(&queue, 50, kNoDeadline, nullptr, &second_parked);
+  EXPECT_EQ(second.code(), StatusCode::kResourceExhausted);
+  EXPECT_FALSE(second_parked);
+
+  stream.Cancel();
+  waiter.join();
+  EXPECT_EQ(first.code(), StatusCode::kCancelled);
+}
+
+TEST(PrepareAdmissionQueueTest, ShutdownFailsParkedAndFutureRequests) {
+  SketchCache cache(100);
+  PrepareAdmissionQueue queue(&cache, /*max_parked=*/4);
+
+  auto pinned = TinyPrepared(6);
+  cache.Put(Key(6), pinned, 90);
+
+  Status status = Status::Ok();
+  bool parked = false;
+  std::thread waiter([&] {
+    status = AdmitSimple(&queue, 50, kNoDeadline, nullptr, &parked);
+  });
+  while (queue.parked() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  queue.Shutdown();
+  waiter.join();
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+
+  bool late_parked = false;
+  EXPECT_EQ(AdmitSimple(&queue, 1, kNoDeadline, nullptr, &late_parked).code(),
+            StatusCode::kResourceExhausted);
+}
+
+// A request parked for a sketch that a concurrent build publishes while it
+// waits admits straight through the cache: Ok, `landed` set, and no budget
+// reserved — instead of reclaiming room to rebuild its own duplicate.
+TEST(PrepareAdmissionQueueTest, SameKeyLandingAdmitsThroughCache) {
+  SketchCache cache(100);
+  PrepareAdmissionQueue queue(&cache, /*max_parked=*/4);
+
+  auto pinned = TinyPrepared(10);
+  cache.Put(Key(10), pinned, 90);  // budget pinned: the request must park
+
+  Status status = Status::Ok();
+  std::shared_ptr<const PreparedDataset> landed;
+  bool parked = false;
+  std::thread waiter([&] {
+    status = queue.Admit(50, Key(42), kNoDeadline, nullptr,
+                         [&] { parked = true; }, &landed);
+  });
+  while (queue.parked() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // The "concurrent build" publishes Key(42) (fits alongside the pinned
+  // entry is irrelevant — landing admits regardless of budget), then the
+  // server's Release-path notification fires.
+  auto built = TinyPrepared(42);
+  cache.Put(Key(42), built, 5);
+  queue.NotifyReleased();
+  waiter.join();
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_TRUE(parked);
+  ASSERT_NE(landed, nullptr);
+  EXPECT_EQ(landed, built);
+  EXPECT_EQ(queue.reserved_bytes(), 0);  // admitted via the cache
+}
+
+// FIFO: while a request is parked, a newly arriving request that would fit
+// the free budget parks behind it instead of barging — and both admit in
+// order once the pin drops.
+TEST(PrepareAdmissionQueueTest, NewArrivalsDoNotBargePastParkedRequests) {
+  SketchCache cache(100);
+  PrepareAdmissionQueue queue(&cache, /*max_parked=*/4);
+
+  auto pinned = TinyPrepared(11);
+  cache.Put(Key(11), pinned, 90);
+
+  Status head = Status::Ok();
+  bool head_parked = false;
+  std::thread head_waiter([&] {
+    head = AdmitSimple(&queue, 50, kNoDeadline, nullptr, &head_parked);
+  });
+  while (queue.parked() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // 5 bytes fit the free budget (10), but the queue is not empty: FIFO
+  // parks the newcomer behind the head.
+  Status second = Status::Ok();
+  bool second_parked = false;
+  std::thread second_waiter([&] {
+    second = AdmitSimple(&queue, 5, kNoDeadline, nullptr, &second_parked);
+  });
+  while (queue.parked() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Unpin: the head reclaims the idle entry and admits; its departure
+  // wakes the second, which then fits the remainder.
+  pinned.reset();
+  queue.NotifyReleased();
+  head_waiter.join();
+  second_waiter.join();
+  EXPECT_TRUE(head.ok()) << head.ToString();
+  EXPECT_TRUE(second.ok()) << second.ToString();
+  EXPECT_TRUE(head_parked);
+  EXPECT_TRUE(second_parked);
+  EXPECT_EQ(queue.reserved_bytes(), 55);
+  queue.Release(50);
+  queue.Release(5);
+}
+
+// An insertion-driven eviction (cache Put over budget) fires the eviction
+// listener outside the cache lock; wired to NotifyReleased it admits a
+// parked request without any explicit Release call.
+TEST(PrepareAdmissionQueueTest, PutEvictionListenerWakesParkedRequest) {
+  SketchCache cache(100);
+  PrepareAdmissionQueue queue(&cache, /*max_parked=*/4);
+  cache.SetEvictionListener([&] { queue.NotifyReleased(); });
+
+  auto pinned = TinyPrepared(7);
+  cache.Put(Key(7), pinned, 90);  // pinned: the park below cannot reclaim it
+  Status status = Status::Ok();
+  bool parked = false;
+  std::thread waiter([&] {
+    status = AdmitSimple(&queue, 80, kNoDeadline, nullptr, &parked);
+  });
+  while (queue.parked() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Drop the pin, then insert a small entry that evicts the big one (LRU):
+  // the listener wakes the parked request, which now fits.
+  pinned.reset();
+  cache.Put(Key(8), TinyPrepared(8), 15);
+  waiter.join();
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_TRUE(parked);
+  EXPECT_EQ(queue.reserved_bytes(), 80);
+}
+
+}  // namespace
+}  // namespace dangoron

@@ -84,6 +84,32 @@ TEST(SlidingQueryTest, ValidateCatchesBadQueries) {
   EXPECT_FALSE(query.Validate(100).ok());  // range < window
 }
 
+TEST(SlidingQueryTest, ToStringIncludesAbsoluteFlag) {
+  SlidingQuery query;
+  query.start = 0;
+  query.end = 100;
+  query.window = 20;
+  query.step = 10;
+  EXPECT_NE(query.ToString().find("abs=off"), std::string::npos);
+  query.absolute = true;
+  EXPECT_NE(query.ToString().find("abs=on"), std::string::npos);
+}
+
+TEST(SlidingQueryTest, ValidateReportsOffendingFieldValues) {
+  SlidingQuery query;
+  query.start = 90;  // range [90, 100) of 10 columns < window 20
+  query.end = 100;
+  query.window = 20;
+  query.step = 10;
+  const Status status = query.Validate(100);
+  ASSERT_FALSE(status.ok());
+  // The multi-field failure names every participating value, not just one.
+  EXPECT_NE(status.message().find("90"), std::string::npos);
+  EXPECT_NE(status.message().find("100"), std::string::npos);
+  EXPECT_NE(status.message().find("20"), std::string::npos);
+  EXPECT_NE(status.message().find(query.ToString()), std::string::npos);
+}
+
 TEST(CorrelationSeriesTest, ToDenseRoundTrip) {
   SlidingQuery query;
   query.start = 0;

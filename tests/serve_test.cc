@@ -7,11 +7,13 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "engine/dangoron_engine.h"
 #include "engine/factory.h"
 #include "engine/naive_engine.h"
 #include "serve/server.h"
 #include "serve/sketch_cache.h"
 #include "serve/window_result_cache.h"
+#include "sketch/basic_window_index.h"
 #include "stream/streaming_builder.h"
 #include "ts/generators.h"
 
@@ -747,11 +749,22 @@ TEST(CreateServerTest, ParsesOptionsAndRejectsUnknownKeys) {
   EXPECT_TRUE((*server)->options().refuse_oversized_prepares);
   EXPECT_EQ((*server)->options().threshold_family_steps, 10);
 
+  // The request-surface keys: admission policy, queue bound, default tier.
+  auto queued = CreateServer(
+      "basic_window=8,admission=queue,admission_queue=4,default_tier=auto");
+  ASSERT_TRUE(queued.ok());
+  EXPECT_EQ((*queued)->options().admission, AdmissionPolicy::kQueue);
+  EXPECT_EQ((*queued)->options().admission_queue_limit, 4);
+  EXPECT_EQ((*queued)->options().default_tier, ServeTier::kAuto);
+
   EXPECT_FALSE(CreateServer("bogus=1").ok());
   EXPECT_FALSE(CreateServer("basic_window=0").ok());
   EXPECT_FALSE(CreateServer("threads=-1").ok());
   EXPECT_FALSE(CreateServer("threshold_steps=-5").ok());
   EXPECT_FALSE(CreateServer("max_streams=0").ok());
+  EXPECT_FALSE(CreateServer("admission=sometimes").ok());
+  EXPECT_FALSE(CreateServer("admission_queue=0").ok());
+  EXPECT_FALSE(CreateServer("default_tier=fast").ok());
 
   // An end-to-end query through the factory-built server.
   TimeSeriesMatrix data = SmallClimate(4, 8 * 20, 4009);
@@ -896,6 +909,418 @@ TEST(DangoronServerTest, FamilyPublishedStreamWarmsOffGridQueries) {
   ASSERT_TRUE(grid_result.ok());
   EXPECT_EQ(grid_result->windows_computed, 0);
   ExpectSeriesEqual(NaiveTruth(copy, grid_query), grid_result->series, 1e-8);
+}
+
+// ------------------------------------------------------------ serve tiers --
+
+// The closed-form admission estimate the server charges a prepare — the
+// number the admission tests size cache budgets against (exact: the
+// estimate matches the built index's MemoryBytes).
+int64_t PrepareEstimate(const TimeSeriesMatrix& data, int64_t basic_window) {
+  BasicWindowIndexOptions index_options;
+  index_options.basic_window = basic_window;
+  index_options.build_pair_sketches = true;
+  return BasicWindowIndex::EstimateMemoryBytes(data.num_series(),
+                                               data.length(), index_options) +
+         static_cast<int64_t>(data.values().size() * sizeof(double));
+}
+
+// Polls `counter` until it reaches `expected` — the sync point for
+// observing a request parked in the admission queue from the outside.
+template <typename Fn>
+bool WaitForCount(Fn counter, int64_t expected) {
+  for (int i = 0; i < 2000; ++i) {
+    if (counter() >= expected) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return false;
+}
+
+// The acceptance property of the tier split: an approx request never
+// touches the shared window-result cache (a following exact request on the
+// same range recomputes everything and matches NaiveEngine), while both
+// tiers share one prepared sketch.
+TEST(ServeTierTest, ApproxBypassesWindowCacheAndSharesSketch) {
+  const int64_t b = 8;
+  const int64_t length = b * 40;
+  TimeSeriesMatrix data = SmallClimate(6, length, 6001);
+  const TimeSeriesMatrix copy = data;
+
+  DangoronServerOptions options;
+  options.num_threads = 2;
+  options.basic_window = b;
+  DangoronServer server(options);
+  ASSERT_TRUE(server.AddDataset("d", std::move(data)).ok());
+
+  const SlidingQuery query = MakeQuery(0, length, b * 6, b * 2, 0.6);
+
+  QueryRequest approx_request{"d", query, ServeOptions{}};
+  approx_request.options.tier = ServeTier::kApprox;
+  auto approx = server.Query(approx_request);
+  ASSERT_TRUE(approx.ok()) << approx.status().ToString();
+  EXPECT_EQ(approx->tier_used, ServeTier::kApprox);
+  EXPECT_EQ(approx->windows_computed, query.NumWindows());
+  EXPECT_EQ(approx->windows_from_cache, 0);
+  // Nothing was published: the window cache is untouched.
+  EXPECT_EQ(server.stats().result_cache.entries, 0);
+  EXPECT_EQ(server.stats().result_cache.insertions, 0);
+  EXPECT_EQ(server.stats().queries_approx, 1);
+
+  // The approx result is the deterministic Eq. 2 jumping run — identical to
+  // driving the engine directly against its own build of the same index.
+  DangoronOptions engine_options;
+  engine_options.basic_window = b;
+  engine_options.enable_jumping = true;
+  DangoronEngine engine(engine_options);
+  ASSERT_TRUE(engine.Prepare(copy).ok());
+  auto jumped = engine.Query(query);
+  ASSERT_TRUE(jumped.ok());
+  ExpectSeriesEqual(*jumped, approx->series, 0.0);
+
+  // An exact query on the same range finds no cached windows, recomputes,
+  // and matches the naive truth — approx traffic cannot perturb it.
+  QueryRequest exact_request{"d", query, ServeOptions{}};
+  exact_request.options.tier = ServeTier::kExact;
+  auto exact = server.Query(exact_request);
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  EXPECT_EQ(exact->tier_used, ServeTier::kExact);
+  EXPECT_EQ(exact->windows_from_cache, 0);
+  EXPECT_EQ(exact->windows_computed, query.NumWindows());
+  EXPECT_TRUE(exact->prepared_from_cache);  // one sketch serves both tiers
+  ExpectSeriesEqual(NaiveTruth(copy, query), exact->series, 1e-8);
+  EXPECT_EQ(server.stats().prepares_built, 1);
+  EXPECT_EQ(server.stats().queries_approx, 1);
+}
+
+// Streaming approx submissions deliver the jumped windows in order through
+// the bounded queue, report the tier and jump accounting in the summary,
+// and leave the window cache untouched.
+TEST(ServeTierTest, StreamingApproxDeliversJumpedWindows) {
+  const int64_t b = 8;
+  const int64_t length = b * 40;
+  TimeSeriesMatrix data = SmallClimate(6, length, 6002);
+  const TimeSeriesMatrix copy = data;
+
+  DangoronServerOptions options;
+  options.num_threads = 2;
+  options.basic_window = b;
+  DangoronServer server(options);
+  ASSERT_TRUE(server.AddDataset("d", std::move(data)).ok());
+
+  const SlidingQuery query = MakeQuery(0, length, b * 6, b * 2, 0.6);
+  DangoronOptions engine_options;
+  engine_options.basic_window = b;
+  engine_options.enable_jumping = true;
+  DangoronEngine engine(engine_options);
+  ASSERT_TRUE(engine.Prepare(copy).ok());
+  auto truth = engine.Query(query);
+  ASSERT_TRUE(truth.ok());
+
+  QueryRequest request{"d", query, ServeOptions{}};
+  request.options.tier = ServeTier::kApprox;
+  request.options.queue_capacity = 2;
+  auto stream = server.SubmitStreaming(request);
+  int64_t expected_index = 0;
+  while (auto window = stream->Next()) {
+    ASSERT_EQ(window->window_index, expected_index);
+    const auto expected = truth->WindowEdges(window->window_index);
+    ASSERT_EQ(window->edges->size(), expected.size())
+        << "window " << window->window_index;
+    for (size_t e = 0; e < expected.size(); ++e) {
+      EXPECT_EQ((*window->edges)[e].i, expected[e].i);
+      EXPECT_EQ((*window->edges)[e].j, expected[e].j);
+      EXPECT_EQ((*window->edges)[e].value, expected[e].value);
+    }
+    ++expected_index;
+  }
+  ASSERT_TRUE(stream->status().ok()) << stream->status().ToString();
+  EXPECT_EQ(expected_index, query.NumWindows());
+  EXPECT_EQ(stream->summary().tier_used, ServeTier::kApprox);
+  EXPECT_EQ(stream->summary().windows_computed, query.NumWindows());
+  EXPECT_EQ(server.stats().result_cache.entries, 0);
+  EXPECT_EQ(server.stats().queries_approx, 1);
+}
+
+// kAuto resolves against the request's deadline and the server's exact-cost
+// estimate: a fresh server's estimate is pessimistically seeded, so a
+// problem of ~2M cells estimates far above a 10 ms deadline (approx) and
+// far below a 60 s one (exact); no deadline is always exact.
+TEST(ServeTierTest, AutoTierFollowsDeadlinePressure) {
+  const int64_t b = 8;
+  const int64_t length = b * 66;
+  TimeSeriesMatrix data = SmallClimate(256, length, 6003);
+
+  DangoronServerOptions options;
+  options.num_threads = 0;
+  options.basic_window = b;
+  DangoronServer server(options);
+  ASSERT_TRUE(server.AddDataset("d", std::move(data)).ok());
+
+  const SlidingQuery query = MakeQuery(0, length, b * 5, b, 0.7);
+  QueryRequest request{"d", query, ServeOptions{}};
+  request.options.tier = ServeTier::kAuto;
+
+  request.options.deadline_ms = 10;
+  auto tight = server.Query(request);
+  ASSERT_TRUE(tight.ok()) << tight.status().ToString();
+  EXPECT_EQ(tight->tier_used, ServeTier::kApprox);
+
+  request.options.deadline_ms = 60'000;
+  auto generous = server.Query(request);
+  ASSERT_TRUE(generous.ok()) << generous.status().ToString();
+  EXPECT_EQ(generous->tier_used, ServeTier::kExact);
+
+  request.options.deadline_ms = 0;  // no deadline: reuse-friendly exact
+  auto unhurried = server.Query(request);
+  ASSERT_TRUE(unhurried.ok());
+  EXPECT_EQ(unhurried->tier_used, ServeTier::kExact);
+
+  // The exact queries above cached every window of this range: the same
+  // tight deadline now resolves exact — the cost estimate discounts
+  // cache-covered windows, so a warm range is never routed to approx.
+  request.options.deadline_ms = 10;
+  auto warm_tight = server.Query(request);
+  ASSERT_TRUE(warm_tight.ok());
+  EXPECT_EQ(warm_tight->tier_used, ServeTier::kExact);
+  EXPECT_EQ(warm_tight->windows_from_cache, query.NumWindows());
+}
+
+// A request whose deadline has already passed when its task starts fails
+// with DeadlineExceeded instead of running: the 1-thread FIFO pool is
+// saturated with a train of full evaluations (distinct threshold families,
+// so none rides the window cache), and the doomed request — queued behind
+// all of them with a 1 ms deadline — can only start long after it passed.
+TEST(ServeTierTest, ExpiredDeadlineFailsBeforeRunning) {
+  const int64_t b = 8;
+  const int64_t length = b * 60;
+  TimeSeriesMatrix data = SmallClimate(128, length, 6004);
+
+  DangoronServerOptions options;
+  options.num_threads = 1;
+  options.basic_window = b;
+  DangoronServer server(options);
+  ASSERT_TRUE(server.AddDataset("d", std::move(data)).ok());
+
+  std::vector<std::future<Result<ServeResult>>> train;
+  for (int i = 0; i < 6; ++i) {
+    train.push_back(
+        server.Submit("d", MakeQuery(0, length, b * 6, b, 0.5 + 0.05 * i)));
+  }
+  QueryRequest request{"d", MakeQuery(0, length, b * 6, b, 0.9),
+                       ServeOptions{}};
+  request.options.deadline_ms = 1;
+  auto doomed = server.Submit(request);
+  for (auto& pending : train) {
+    ASSERT_TRUE(pending.get().ok());
+  }
+  auto result = doomed.get();
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(server.stats().deadline_exceeded, 1);
+}
+
+// -------------------------------------------------------- queued admission --
+
+// An oversized prepare under admission=queue parks until the pinning stream
+// releases the warm sketch, then admits by evicting the now-idle entry —
+// instead of the refuse policy's outright rejection.
+TEST(QueuedAdmissionTest, OversizedPrepareParksThenAdmitsAfterEviction) {
+  const int64_t b = 8;
+  const int64_t length = b * 44;
+  TimeSeriesMatrix data_a = SmallClimate(5, length, 6005);
+  TimeSeriesMatrix data_b = SmallClimate(5, length, 6006);
+  const TimeSeriesMatrix copy_b = data_b;
+  const int64_t estimate = PrepareEstimate(data_a, b);
+  ASSERT_EQ(estimate, PrepareEstimate(data_b, b));  // same shape
+
+  DangoronServerOptions options;
+  options.num_threads = 2;
+  options.basic_window = b;
+  options.sketch_cache_bytes = estimate + estimate / 2;  // fits one, not two
+  options.admission = AdmissionPolicy::kQueue;
+  DangoronServer server(options);
+  ASSERT_TRUE(server.AddDataset("a", std::move(data_a)).ok());
+  ASSERT_TRUE(server.AddDataset("b", std::move(data_b)).ok());
+
+  const SlidingQuery query = MakeQuery(0, length, b * 6, b * 2, 0.6);
+  ASSERT_TRUE(server.Query("a", query).ok());  // A prepared and cached
+
+  // A live stream pins A's sketch: its producer holds the prepared handle
+  // while blocked on the tiny undrained delivery queue.
+  StreamingSubmitOptions stream_options;
+  stream_options.queue_capacity = 1;
+  stream_options.max_batch_windows = 1;
+  auto pin = server.SubmitStreaming("a", query, stream_options);
+  ASSERT_TRUE(pin->Next().has_value());
+
+  // B does not fit next to A, and A is pinned — the request parks.
+  auto parked = server.Submit(QueryRequest{"b", query, ServeOptions{}});
+  ASSERT_TRUE(WaitForCount(
+      [&] { return server.stats().prepares_queued; }, 1));
+  EXPECT_EQ(server.stats().prepares_built, 1);
+
+  // Releasing the stream frees A's handle; the parked request wakes, evicts
+  // the now-idle entry, and completes.
+  pin->Cancel();
+  while (pin->Next().has_value()) {
+  }
+  auto admitted = parked.get();
+  ASSERT_TRUE(admitted.ok()) << admitted.status().ToString();
+  ExpectSeriesEqual(NaiveTruth(copy_b, query), admitted->series, 1e-8);
+
+  const DangoronServerStats stats = server.stats();
+  EXPECT_EQ(stats.prepares_queued, 1);
+  EXPECT_EQ(stats.prepares_built, 2);
+  EXPECT_EQ(stats.deadline_exceeded, 0);
+}
+
+// A parked request whose deadline passes is refused with DeadlineExceeded
+// while the budget stays pinned.
+TEST(QueuedAdmissionTest, ParkedPrepareRefusedAtDeadline) {
+  const int64_t b = 8;
+  const int64_t length = b * 44;
+  TimeSeriesMatrix data_a = SmallClimate(5, length, 6007);
+  TimeSeriesMatrix data_b = SmallClimate(5, length, 6008);
+  const int64_t estimate = PrepareEstimate(data_a, b);
+
+  DangoronServerOptions options;
+  options.num_threads = 2;
+  options.basic_window = b;
+  options.sketch_cache_bytes = estimate + estimate / 2;
+  options.admission = AdmissionPolicy::kQueue;
+  DangoronServer server(options);
+  ASSERT_TRUE(server.AddDataset("a", std::move(data_a)).ok());
+  ASSERT_TRUE(server.AddDataset("b", std::move(data_b)).ok());
+
+  const SlidingQuery query = MakeQuery(0, length, b * 6, b * 2, 0.6);
+  ASSERT_TRUE(server.Query("a", query).ok());
+  StreamingSubmitOptions stream_options;
+  stream_options.queue_capacity = 1;
+  stream_options.max_batch_windows = 1;
+  auto pin = server.SubmitStreaming("a", query, stream_options);
+  ASSERT_TRUE(pin->Next().has_value());
+
+  QueryRequest request{"b", query, ServeOptions{}};
+  request.options.deadline_ms = 100;
+  auto result = server.Query(request);
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+
+  const DangoronServerStats stats = server.stats();
+  EXPECT_EQ(stats.prepares_queued, 1);
+  EXPECT_EQ(stats.deadline_exceeded, 1);
+  EXPECT_EQ(stats.prepares_built, 1);  // B never built
+
+  pin->Cancel();
+  while (pin->Next().has_value()) {
+  }
+}
+
+// Cancelling a parked *streaming* request wakes it out of the admission
+// queue promptly (the CancelWaker protocol), while the pinning stream is
+// still live — the wake did not come from budget freeing up.
+TEST(QueuedAdmissionTest, CancelledStreamLeavesQueuePromptly) {
+  const int64_t b = 8;
+  const int64_t length = b * 44;
+  TimeSeriesMatrix data_a = SmallClimate(5, length, 6009);
+  TimeSeriesMatrix data_b = SmallClimate(5, length, 6010);
+  const int64_t estimate = PrepareEstimate(data_a, b);
+
+  DangoronServerOptions options;
+  options.num_threads = 2;
+  options.basic_window = b;
+  options.sketch_cache_bytes = estimate + estimate / 2;
+  options.admission = AdmissionPolicy::kQueue;
+  DangoronServer server(options);
+  ASSERT_TRUE(server.AddDataset("a", std::move(data_a)).ok());
+  ASSERT_TRUE(server.AddDataset("b", std::move(data_b)).ok());
+
+  const SlidingQuery query = MakeQuery(0, length, b * 6, b * 2, 0.6);
+  ASSERT_TRUE(server.Query("a", query).ok());
+  StreamingSubmitOptions stream_options;
+  stream_options.queue_capacity = 1;
+  stream_options.max_batch_windows = 1;
+  auto pin = server.SubmitStreaming("a", query, stream_options);
+  ASSERT_TRUE(pin->Next().has_value());
+
+  auto parked = server.SubmitStreaming(QueryRequest{"b", query, ServeOptions{}});
+  ASSERT_TRUE(WaitForCount(
+      [&] { return server.stats().prepares_queued; }, 1));
+  parked->Cancel();
+  while (parked->Next().has_value()) {
+  }
+  EXPECT_EQ(parked->status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(server.stats().prepares_built, 1);
+
+  pin->Cancel();
+  while (pin->Next().has_value()) {
+  }
+}
+
+// The admission queue is bounded: past admission_queue_limit parked
+// prepares, further oversized requests are refused outright.
+TEST(QueuedAdmissionTest, BoundedQueueRefusesPastLimit) {
+  const int64_t b = 8;
+  const int64_t length = b * 44;
+  TimeSeriesMatrix data_a = SmallClimate(5, length, 6011);
+  TimeSeriesMatrix data_b = SmallClimate(5, length, 6012);
+  const TimeSeriesMatrix copy_b = data_b;
+  const int64_t estimate = PrepareEstimate(data_a, b);
+
+  DangoronServerOptions options;
+  options.num_threads = 3;
+  options.basic_window = b;
+  options.sketch_cache_bytes = estimate + estimate / 2;
+  options.admission = AdmissionPolicy::kQueue;
+  options.admission_queue_limit = 1;
+  DangoronServer server(options);
+  ASSERT_TRUE(server.AddDataset("a", std::move(data_a)).ok());
+  ASSERT_TRUE(server.AddDataset("b", std::move(data_b)).ok());
+
+  const SlidingQuery query = MakeQuery(0, length, b * 6, b * 2, 0.6);
+  ASSERT_TRUE(server.Query("a", query).ok());
+  StreamingSubmitOptions stream_options;
+  stream_options.queue_capacity = 1;
+  stream_options.max_batch_windows = 1;
+  auto pin = server.SubmitStreaming("a", query, stream_options);
+  ASSERT_TRUE(pin->Next().has_value());
+
+  auto parked = server.Submit(QueryRequest{"b", query, ServeOptions{}});
+  ASSERT_TRUE(WaitForCount(
+      [&] { return server.stats().prepares_queued; }, 1));
+  auto refused = server.Query(QueryRequest{"b", query, ServeOptions{}});
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_GE(server.stats().prepares_refused, 1);
+
+  pin->Cancel();
+  while (pin->Next().has_value()) {
+  }
+  auto admitted = parked.get();
+  ASSERT_TRUE(admitted.ok()) << admitted.status().ToString();
+  ExpectSeriesEqual(NaiveTruth(copy_b, query), admitted->series, 1e-8);
+}
+
+// A prepare that exceeds the *total* budget can never be admitted by any
+// eviction: the queue refuses it immediately instead of parking forever.
+TEST(QueuedAdmissionTest, NeverFittingPrepareRefusedImmediately) {
+  const int64_t b = 8;
+  TimeSeriesMatrix data = SmallClimate(6, b * 32, 6013);
+
+  DangoronServerOptions options;
+  options.num_threads = 1;
+  options.basic_window = b;
+  options.sketch_cache_bytes = 1024;
+  options.admission = AdmissionPolicy::kQueue;
+  DangoronServer server(options);
+  ASSERT_TRUE(server.AddDataset("d", std::move(data)).ok());
+
+  const SlidingQuery query = MakeQuery(0, b * 32, b * 5, b * 2, 0.6);
+  QueryRequest request{"d", query, ServeOptions{}};
+  request.options.admission = AdmissionPolicy::kQueue;
+  auto result = server.Query(request);
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(server.stats().prepares_refused, 1);
+  EXPECT_EQ(server.stats().prepares_queued, 0);
 }
 
 }  // namespace
