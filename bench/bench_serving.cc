@@ -12,6 +12,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
@@ -314,6 +315,85 @@ void WriteServingComparisonJson(const char* path) {
                    cold_s / warm_s);
     }
   }
+
+  // Hard-deadline cancellation latency: how long past its deadline a
+  // streaming exact query keeps running before it terminates. The sweep is
+  // stalled with an injected per-band delay that dominates the band cost,
+  // so the delay *is* the band width and the overshoot should track band
+  // cadence: the mid-run check fires at the next band boundary, i.e.
+  // within ~2 band-widths of the deadline (the acceptance bar
+  // check_bench_regression.py gates). Emitted as a skipped row when the
+  // failpoint sites are compiled out (DANGORON_FAILPOINTS=OFF).
+#if DANGORON_FAILPOINTS_ENABLED
+  {
+    const int64_t n = 128;
+    const double band_delay_ms = 10.0;
+    const double deadline_ms = 15.0;
+    TimeSeriesMatrix data = BenchData(n, nb, 14);
+    const SlidingQuery query = BenchQuery(nb);
+    double overshoot_s = 1e300;
+    double total_s = 1e300;
+    int64_t delivered = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+      DangoronServer server(BenchServerOptions());
+      CHECK(server.AddDataset("d", data).ok());
+      // Warm the sketch with a disjoint threshold family so the measured
+      // run spends its deadline in the sweep, not the prepare.
+      SlidingQuery prepare_query = query;
+      prepare_query.end = prepare_query.start + prepare_query.window;
+      prepare_query.threshold = 0.95;
+      CHECK(server.Query("d", prepare_query).ok());
+
+      CHECK(FailpointRegistry::Instance()
+                .Configure("sweep.band=delay:" +
+                           std::to_string(static_cast<int64_t>(band_delay_ms)))
+                .ok());
+      QueryRequest request{"d", query, ServeOptions{}};
+      request.options.tier = ServeTier::kExact;
+      request.options.deadline_ms = static_cast<int64_t>(deadline_ms);
+      Stopwatch timer;
+      auto stream = server.SubmitStreaming(request);
+      int64_t windows = 0;
+      while (stream->Next()) {
+        ++windows;
+      }
+      const double elapsed_s = timer.ElapsedSeconds();
+      FailpointRegistry::Instance().DisarmAll();
+      CHECK(stream->status().code() == StatusCode::kDeadlineExceeded);
+      if (elapsed_s < total_s) {
+        total_s = elapsed_s;
+        overshoot_s = elapsed_s - deadline_ms * 1e-3;
+        delivered = windows;
+      }
+    }
+    const double overshoot_ms = overshoot_s * 1e3;
+    const double overshoot_bands = overshoot_ms / band_delay_ms;
+    std::fprintf(out,
+                 ",\n  {\"bench\": \"hard_deadline_cancel\", \"n_series\": "
+                 "%lld, \"num_basic_windows\": %lld, \"basic_window\": "
+                 "%lld,\n"
+                 "   \"deadline_ms\": %.1f, \"band_delay_ms\": %.1f, "
+                 "\"total_ms\": %.3f, \"overshoot_ms\": %.3f, "
+                 "\"overshoot_bands\": %.2f, \"windows_delivered\": %lld}",
+                 static_cast<long long>(n), static_cast<long long>(nb),
+                 static_cast<long long>(kBasicWindow), deadline_ms,
+                 band_delay_ms, total_s * 1e3, overshoot_ms, overshoot_bands,
+                 static_cast<long long>(delivered));
+    std::fprintf(stderr,
+                 "hard deadline n=%lld: deadline %.0f ms, terminated at "
+                 "%.3f ms (overshoot %.3f ms = %.2f band-widths), %lld "
+                 "windows delivered\n",
+                 static_cast<long long>(n), deadline_ms, total_s * 1e3,
+                 overshoot_ms, overshoot_bands,
+                 static_cast<long long>(delivered));
+  }
+#else
+  std::fprintf(out,
+               ",\n  {\"bench\": \"hard_deadline_cancel\", \"n_series\": 128, "
+               "\"skipped\": true}");
+  std::fprintf(stderr,
+               "hard deadline: skipped (DANGORON_FAILPOINTS=OFF)\n");
+#endif  // DANGORON_FAILPOINTS_ENABLED
   std::fprintf(out, "\n]\n");
   std::fclose(out);
 }

@@ -2,18 +2,27 @@
 //
 // Usage:
 //   run_query <data.{csv,dgrn}> <engine>[:options] <window> <step> <beta>
-//             [abs] [tier=exact|approx|auto] [deadline=<ms>] [out.csv]
+//             [abs] [tier=exact|approx|auto] [deadline=<ms>]
+//             [degrade=off|auto] [out.csv]
 //
 //   engine: naive | tsubasa | dangoron | parcorr, with factory options,
 //           e.g. "dangoron:basic_window=24,jump=on,threads=4" — or
 //           "serve[:server-options]" to run through DangoronServer's
 //           QueryRequest surface (e.g. "serve:basic_window=24,threads=4"),
-//           which is what the tier/deadline flags drive
+//           which is what the tier/deadline/degrade flags drive
 //   abs:    pass the literal token 'abs' for |corr| >= beta edges
 //   tier:   serve only — service tier of the request (default: the
 //           server's default_tier, i.e. exact unless configured)
-//   deadline: serve only — deadline in milliseconds (admission + auto tier)
+//   deadline: serve only — deadline in milliseconds (admission, auto tier,
+//           and hard mid-run enforcement; 0 = no deadline)
+//   degrade: serve only — degradation policy under pressure (auto serves
+//           approx instead of failing a blown deadline estimate or a
+//           mid-query resource exhaustion)
 //   out:    long-format CSV (window,i,j,correlation)
+//
+// Exit codes: 0 success, 1 generic failure, 2 usage error, 3 the query
+// failed on its deadline (DeadlineExceeded), 4 it was cancelled
+// (Cancelled) — so scripted callers can tell a latency miss from a bug.
 //
 // Examples:
 //   ./build/examples/tomborg_generate 32 4096 block pink 1 /tmp/d.csv
@@ -37,11 +46,26 @@
 namespace dangoron {
 namespace {
 
+// Distinct exit codes for the failure modes a scripted caller reacts to
+// differently: a deadline miss wants a retry with a looser budget or the
+// approx tier; a cancellation is usually the caller's own doing.
+int ExitCodeFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kDeadlineExceeded:
+      return 3;
+    case StatusCode::kCancelled:
+      return 4;
+    default:
+      return 1;
+  }
+}
+
 // Runs `query` through a DangoronServer built from `server_options`,
 // printing the request's tier/source accounting instead of EngineStats.
 int RunServe(const TimeSeriesMatrix& data, const std::string& server_options,
              SlidingQuery query, const std::string& tier_flag,
-             int64_t deadline_ms, const std::string& out_path) {
+             int64_t deadline_ms, const std::string& degrade_flag,
+             const std::string& out_path) {
   auto server = CreateServer(server_options);
   if (!server.ok()) {
     std::fprintf(stderr, "server: %s\n", server.status().ToString().c_str());
@@ -55,7 +79,9 @@ int RunServe(const TimeSeriesMatrix& data, const std::string& server_options,
   QueryRequest request;
   request.dataset = "data";
   request.query = query;
-  request.options.deadline_ms = deadline_ms;
+  if (deadline_ms > 0) {
+    request.options.deadline_ms = deadline_ms;  // 0 stays "no deadline"
+  }
   if (!tier_flag.empty()) {
     auto tier = ParseServeTier(tier_flag);
     if (!tier.ok()) {
@@ -63,6 +89,15 @@ int RunServe(const TimeSeriesMatrix& data, const std::string& server_options,
       return 1;
     }
     request.options.tier = *tier;
+  }
+  if (!degrade_flag.empty()) {
+    auto degrade = ParseDegradePolicy(degrade_flag);
+    if (!degrade.ok()) {
+      std::fprintf(stderr, "degrade: %s\n",
+                   degrade.status().ToString().c_str());
+      return 1;
+    }
+    request.options.degrade = *degrade;
   }
 
   std::printf("data: %lld series x %lld points; engine: serve; query: %s\n",
@@ -74,15 +109,16 @@ int RunServe(const TimeSeriesMatrix& data, const std::string& server_options,
   auto result = (*server)->Query(request);
   if (!result.ok()) {
     std::fprintf(stderr, "query: %s\n", result.status().ToString().c_str());
-    return 1;
+    return ExitCodeFor(result.status());
   }
   const double seconds = watch.ElapsedSeconds();
 
   std::printf(
-      "served %.3f s by the %s tier; %lld windows, %lld edges "
+      "served %.3f s by the %s tier%s; %lld windows, %lld edges "
       "(prepare %s; %lld computed, %lld cached, %lld joined; "
       "%lld cells jumped in %lld jumps)\n",
       seconds, std::string(ServeTierName(result->tier_used)).c_str(),
+      result->degraded ? " (degraded)" : "",
       static_cast<long long>(result->series.num_windows()),
       static_cast<long long>(result->series.TotalEdges()),
       result->prepared_from_cache ? "shared" : "built",
@@ -108,8 +144,8 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s <data.{csv,dgrn}> <engine>[:opts] <window> "
                  "<step> <beta> [abs] [tier=exact|approx|auto] "
-                 "[deadline=<ms>] [out.csv]\n  engines: %s, or "
-                 "serve[:server-options]\n",
+                 "[deadline=<ms>] [degrade=off|auto] [out.csv]\n"
+                 "  engines: %s, or serve[:server-options]\n",
                  argv[0], KnownEngineNames().c_str());
     return 2;
   }
@@ -152,6 +188,7 @@ int Run(int argc, char** argv) {
   // Trailing flags, position-free (the historical 'abs then out.csv' order
   // keeps working): 'abs', 'tier=...', 'deadline=...', else the out path.
   std::string tier_flag;
+  std::string degrade_flag;
   std::string out_path;
   int64_t deadline_ms = 0;
   for (int a = 6; a < argc; ++a) {
@@ -160,6 +197,8 @@ int Run(int argc, char** argv) {
       query.absolute = true;
     } else if (arg.rfind("tier=", 0) == 0) {
       tier_flag = arg.substr(5);
+    } else if (arg.rfind("degrade=", 0) == 0) {
+      degrade_flag = arg.substr(8);
     } else if (arg.rfind("deadline=", 0) == 0) {
       char* end = nullptr;
       deadline_ms = std::strtoll(arg.c_str() + 9, &end, 10);
@@ -174,7 +213,9 @@ int Run(int argc, char** argv) {
       // A key=value-shaped token that matched no known flag is a typo'd
       // flag, not an output path — dropping it silently would change the
       // query's semantics (e.g. run without the intended deadline).
-      std::fprintf(stderr, "unknown flag '%s' (known: abs, tier=, deadline=)\n",
+      std::fprintf(stderr,
+                   "unknown flag '%s' (known: abs, tier=, deadline=, "
+                   "degrade=)\n",
                    arg.c_str());
       return 2;
     } else {
@@ -184,12 +225,12 @@ int Run(int argc, char** argv) {
 
   if (engine_name == "serve") {
     return RunServe(*data, engine_options, query, tier_flag, deadline_ms,
-                    out_path);
+                    degrade_flag, out_path);
   }
-  if (!tier_flag.empty() || deadline_ms != 0) {
+  if (!tier_flag.empty() || !degrade_flag.empty() || deadline_ms != 0) {
     std::fprintf(stderr,
-                 "tier=/deadline= are QueryRequest options: use the 'serve' "
-                 "engine (got engine '%s')\n",
+                 "tier=/deadline=/degrade= are QueryRequest options: use the "
+                 "'serve' engine (got engine '%s')\n",
                  engine_name.c_str());
     return 2;
   }

@@ -25,7 +25,9 @@ measured *within one run*:
   the window pipeline buys), and the approx tier's latency against the
   exact tier on uncached windows (what Eq. 2 jumping buys a
   deadline-bound client — an approx tier slower than exact has lost its
-  reason to exist). All serving gates are *within-run* absolute
+  reason to exist), plus the hard-deadline cancellation overshoot (how far
+  past its deadline a mid-run abort terminates, gated at two band-widths
+  of the injected per-band delay). All serving gates are *within-run* absolute
   properties — warm_speedup above a hardware-robust floor, ttfw strictly
   below full-query latency, approx at or below exact uncached — because
   cold latency parallelizes with core count while warm cache hits do not,
@@ -193,6 +195,31 @@ def gate_serving(baseline_path, fresh_path, failures):
                     f"{bench} n={n}: ttfw {fresh_entry['ttfw_ms']:.3f} ms is "
                     f"not below full-query latency "
                     f"{fresh_entry['cold_full_ms']:.3f} ms")
+        elif bench == "hard_deadline_cancel":
+            # Hard acceptance: a mid-run deadline abort must land within two
+            # band-widths of the deadline (the sweep checks the deadline at
+            # band granularity, so one band of in-flight work plus delivery
+            # is the design bound). The injected band delay dominates real
+            # band cost, making the bound hardware-independent; a small
+            # absolute floor absorbs scheduler jitter on near-zero
+            # overshoots. Skipped rows (DANGORON_FAILPOINTS=OFF builds)
+            # pass vacuously.
+            if base_entry.get("skipped") or fresh_entry.get("skipped"):
+                print(f"{bench:<20} {str(key):>14} {'-':>13} {'-':>14} "
+                      f"{'-':>8}  skipped (failpoints off)")
+                continue
+            overshoot_bands = fresh_entry["overshoot_bands"]
+            overshoot_ms = fresh_entry["overshoot_ms"]
+            ok = overshoot_bands <= 2.0 or overshoot_ms <= 5.0
+            print(f"{bench:<20} {str(key):>14} "
+                  f"{base_entry['overshoot_bands']:>13.2f} "
+                  f"{overshoot_bands:>14.2f} {'<= 2.0':>8}  "
+                  f"{'ok' if ok else 'REGRESSED'}")
+            if not ok:
+                failures.append(
+                    f"{bench} n={n}: deadline overshoot "
+                    f"{overshoot_ms:.3f} ms = {overshoot_bands:.2f} "
+                    f"band-widths, above the 2-band cancellation bound")
 
 
 def main():

@@ -1,0 +1,299 @@
+#include "common/failpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace dangoron {
+
+namespace {
+
+// Count of armed failpoints across the process: the dormant fast path is
+// one relaxed load of this counter (see FailpointsArmed).
+std::atomic<int64_t> g_armed_failpoints{0};
+
+uint64_t Fnv1aHash(std::string_view text) {
+  uint64_t hash = 1469598103934665603ull;
+  for (const char c : text) {
+    hash = (hash ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+  }
+  return hash;
+}
+
+Result<StatusCode> ParseErrorCode(const std::string& text) {
+  if (text.empty() || text == "internal") {
+    return StatusCode::kInternal;
+  }
+  if (text == "ioerror") {
+    return StatusCode::kIoError;
+  }
+  if (text == "resource_exhausted") {
+    return StatusCode::kResourceExhausted;
+  }
+  if (text == "cancelled") {
+    return StatusCode::kCancelled;
+  }
+  if (text == "deadline_exceeded") {
+    return StatusCode::kDeadlineExceeded;
+  }
+  if (text == "failed_precondition") {
+    return StatusCode::kFailedPrecondition;
+  }
+  return Status::InvalidArgument(
+      "failpoint: unknown error code '", text,
+      "' (known: internal, ioerror, resource_exhausted, cancelled, "
+      "deadline_exceeded, failed_precondition)");
+}
+
+}  // namespace
+
+Failpoint::Failpoint(std::string name)
+    : name_(std::move(name)), rng_(Fnv1aHash(name_)) {}
+
+Status Failpoint::Set(const std::string& spec) {
+  // Grammar: kind[:arg][*count][%percent]. Suffixes are peeled right to
+  // left so an arg can never contain '*' or '%'.
+  std::string body = std::string(Trim(spec));
+  int32_t percent = 100;
+  int64_t count = -1;
+  if (const size_t pct = body.rfind('%'); pct != std::string::npos) {
+    ASSIGN_OR_RETURN(int64_t parsed, ParseInt64(body.substr(pct + 1)));
+    if (parsed < 1 || parsed > 100) {
+      return Status::InvalidArgument("failpoint '", name_, "': %percent of ",
+                                     parsed, " outside [1, 100]");
+    }
+    percent = static_cast<int32_t>(parsed);
+    body = body.substr(0, pct);
+  }
+  if (const size_t star = body.rfind('*'); star != std::string::npos) {
+    ASSIGN_OR_RETURN(count, ParseInt64(body.substr(star + 1)));
+    if (count <= 0) {
+      return Status::InvalidArgument("failpoint '", name_, "': *count of ",
+                                     count, " must be > 0");
+    }
+    body = body.substr(0, star);
+  }
+  std::string kind = body;
+  std::string arg;
+  if (const size_t colon = body.find(':'); colon != std::string::npos) {
+    kind = body.substr(0, colon);
+    arg = body.substr(colon + 1);
+  }
+
+  Action action;
+  StatusCode error_code = StatusCode::kInternal;
+  int64_t delay_ms = 0;
+  if (kind == "off") {
+    Disarm();
+    return Status::Ok();
+  } else if (kind == "error") {
+    action = Action::kError;
+    ASSIGN_OR_RETURN(error_code, ParseErrorCode(arg));
+  } else if (kind == "delay") {
+    action = Action::kDelay;
+    if (arg.empty()) {
+      return Status::InvalidArgument("failpoint '", name_,
+                                     "': delay wants delay:<ms>");
+    }
+    ASSIGN_OR_RETURN(delay_ms, ParseInt64(arg));
+    if (delay_ms < 0) {
+      return Status::InvalidArgument("failpoint '", name_,
+                                     "': delay of ", delay_ms, " ms is < 0");
+    }
+  } else if (kind == "wake") {
+    action = Action::kWake;
+    if (!arg.empty()) {
+      return Status::InvalidArgument("failpoint '", name_,
+                                     "': wake takes no argument");
+    }
+  } else {
+    return Status::InvalidArgument(
+        "failpoint '", name_, "': unknown action '", kind,
+        "' (known: error[:code], delay:<ms>, wake, off)");
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (action_ == Action::kOff) {
+    g_armed_failpoints.fetch_add(1, std::memory_order_relaxed);
+  }
+  action_ = action;
+  error_code_ = error_code;
+  delay_ms_ = delay_ms;
+  remaining_ = count;
+  percent_ = percent;
+  return Status::Ok();
+}
+
+void Failpoint::Disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DisarmLocked();
+}
+
+void Failpoint::DisarmLocked() {
+  if (action_ != Action::kOff) {
+    g_armed_failpoints.fetch_sub(1, std::memory_order_relaxed);
+  }
+  action_ = Action::kOff;
+  remaining_ = -1;
+}
+
+bool Failpoint::ShouldTriggerLocked() {
+  if (percent_ < 100 &&
+      rng_.NextBounded(100) >= static_cast<uint64_t>(percent_)) {
+    return false;
+  }
+  if (remaining_ > 0 && --remaining_ == 0) {
+    // Last charge: trigger now, then auto-disarm so the site returns to
+    // the zero-cost dormant path.
+    ++hits_;
+    const Action action = action_;
+    const StatusCode code = error_code_;
+    const int64_t delay = delay_ms_;
+    DisarmLocked();
+    // Restore the consumed action for this one firing.
+    action_fired_ = action;
+    error_code_ = code;
+    delay_ms_ = delay;
+    return true;
+  }
+  ++hits_;
+  action_fired_ = action_;
+  return true;
+}
+
+Status Failpoint::Fire() {
+  Action action;
+  StatusCode code;
+  int64_t delay_ms;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (action_ != Action::kError && action_ != Action::kDelay) {
+      return Status::Ok();
+    }
+    if (!ShouldTriggerLocked()) {
+      return Status::Ok();
+    }
+    action = action_fired_;
+    code = error_code_;
+    delay_ms = delay_ms_;
+  }
+  if (action == Action::kDelay) {
+    // Sleep outside the lock so concurrent firings of the same site are
+    // delayed in parallel, not serialized.
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    return Status::Ok();
+  }
+  return Status(code, "failpoint '" + name_ + "' injected " +
+                          std::string(StatusCodeToString(code)));
+}
+
+bool Failpoint::FireWake() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (action_ != Action::kWake) {
+    return false;
+  }
+  return ShouldTriggerLocked();
+}
+
+int64_t Failpoint::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+bool Failpoint::armed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return action_ != Action::kOff;
+}
+
+FailpointRegistry& FailpointRegistry::Instance() {
+  // Leaked singleton: failpoints may fire from detached producer threads
+  // during process teardown, so the registry must never be destroyed.
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+FailpointRegistry::FailpointRegistry() {
+  if (const char* env = std::getenv("DANGORON_FAILPOINTS");
+      env != nullptr && env[0] != '\0') {
+    // Applied best-effort: a malformed env spec must not abort the process,
+    // but it should be loud — silently ignoring it would make a chaos run
+    // look fault-free.
+    if (Status status = Configure(env); !status.ok()) {
+      std::fprintf(stderr, "DANGORON_FAILPOINTS: %s\n",
+                   status.ToString().c_str());
+    }
+  }
+}
+
+Failpoint* FailpointRegistry::GetOrCreate(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::unique_ptr<Failpoint>& failpoint : failpoints_) {
+    if (failpoint->name() == site) {
+      return failpoint.get();
+    }
+  }
+  failpoints_.push_back(std::make_unique<Failpoint>(std::string(site)));
+  return failpoints_.back().get();
+}
+
+Status FailpointRegistry::Configure(const std::string& spec) {
+  if (Trim(spec).empty()) {
+    return Status::Ok();
+  }
+  for (const std::string& item : Split(spec, ';')) {
+    if (Trim(item).empty()) {
+      continue;  // tolerate a trailing ';'
+    }
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos || Trim(item.substr(0, eq)).empty()) {
+      return Status::InvalidArgument("failpoint spec '", item,
+                                     "' (expected site=action)");
+    }
+    RETURN_IF_ERROR(GetOrCreate(Trim(item.substr(0, eq)))
+                        ->Set(item.substr(eq + 1)));
+  }
+  return Status::Ok();
+}
+
+void FailpointRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::unique_ptr<Failpoint>& failpoint : failpoints_) {
+    failpoint->Disarm();
+  }
+}
+
+std::vector<std::string> FailpointRegistry::ArmedSites() const {
+  std::vector<std::string> armed;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::unique_ptr<Failpoint>& failpoint : failpoints_) {
+    if (failpoint->armed()) {
+      armed.push_back(failpoint->name());
+    }
+  }
+  return armed;
+}
+
+bool FailpointsArmed() {
+  // The DANGORON_FAILPOINTS env arming runs in the registry constructor,
+  // but sites consult this fast path *before* touching the registry — so a
+  // binary that never calls Instance() explicitly would otherwise leave the
+  // env spec unapplied and every site permanently dormant. Force the
+  // construction once; after initialization this is the guard-flag check
+  // plus the relaxed load.
+  static const bool env_applied = (FailpointRegistry::Instance(), true);
+  (void)env_applied;
+  return g_armed_failpoints.load(std::memory_order_relaxed) > 0;
+}
+
+Status FailpointFire(std::string_view site) {
+  return FailpointRegistry::Instance().GetOrCreate(site)->Fire();
+}
+
+bool FailpointFireWake(std::string_view site) {
+  return FailpointRegistry::Instance().GetOrCreate(site)->FireWake();
+}
+
+}  // namespace dangoron

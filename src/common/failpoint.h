@@ -1,0 +1,186 @@
+#ifndef DANGORON_COMMON_FAILPOINT_H_
+#define DANGORON_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+// Compile gate: sites compile to nothing when 0 (set by the CMake option
+// DANGORON_FAILPOINTS=OFF); defaults to enabled — the runtime cost of a
+// dormant site is one relaxed atomic load of a process-global counter.
+#ifndef DANGORON_FAILPOINTS_ENABLED
+#define DANGORON_FAILPOINTS_ENABLED 1
+#endif
+
+namespace dangoron {
+
+/// One named fault-injection site (RocksDB/TiKV style). A failpoint is
+/// dormant until armed with an action spec; instrumented code fires it at
+/// the site and the configured action happens:
+///
+/// - `error[:code]` — Fire() returns a Status of the named code (default
+///   internal; known: internal, ioerror, resource_exhausted, cancelled,
+///   deadline_exceeded, failed_precondition), which the site propagates as
+///   if the real operation had failed.
+/// - `delay:<ms>` — Fire() sleeps for the given milliseconds, then returns
+///   Ok: widens race windows and slows instrumented stages without changing
+///   results.
+/// - `wake` — FireWake() returns true: the site simulates a spurious
+///   condition (a full queue, a spurious wakeup) once per trigger.
+/// - `off` — disarm.
+///
+/// Triggers compose with two optional suffixes: `*N` limits the action to
+/// the next N firings (the site auto-disarms after), and `%P` fires with
+/// probability P percent per evaluation (deterministic per-failpoint PCG
+/// stream, so a seeded chaos schedule replays identically). Example spec:
+/// `error:ioerror*2%50`.
+///
+/// Thread-safe; sites are cheap to fire while dormant (see
+/// FailpointsArmed).
+class Failpoint {
+ public:
+  enum class Action : int8_t { kOff = 0, kError = 1, kDelay = 2, kWake = 3 };
+
+  explicit Failpoint(std::string name);
+
+  Failpoint(const Failpoint&) = delete;
+  Failpoint& operator=(const Failpoint&) = delete;
+
+  /// Arms the failpoint from an action spec (`error:ioerror*2`, `delay:5`,
+  /// `wake%10`, `off`); replaces any previous action.
+  Status Set(const std::string& spec);
+
+  /// Returns to dormancy (equivalent to Set("off")).
+  void Disarm();
+
+  /// Fires the error/delay actions: returns the injected Status (error), or
+  /// Ok after sleeping (delay) / when dormant / when the action is `wake`
+  /// (wake actions only fire through FireWake, so one site can host either
+  /// kind of instrumentation).
+  Status Fire();
+
+  /// Fires the wake action: true when a spurious event should be simulated.
+  bool FireWake();
+
+  const std::string& name() const { return name_; }
+  /// Times any action actually triggered (count- and probability-gated).
+  int64_t hits() const;
+  bool armed() const;
+
+ private:
+  // True (and consumes one count) when the action should trigger now.
+  bool ShouldTriggerLocked();
+  void DisarmLocked();
+
+  const std::string name_;
+  mutable std::mutex mutex_;
+  Action action_ = Action::kOff;
+  // The action of the firing being prepared: a count-exhausted trigger
+  // disarms the site under the lock but still fires this one time.
+  Action action_fired_ = Action::kOff;
+  StatusCode error_code_ = StatusCode::kInternal;
+  int64_t delay_ms_ = 0;
+  int64_t remaining_ = -1;  // -1 = unlimited
+  int32_t percent_ = 100;
+  int64_t hits_ = 0;
+  Rng rng_;  // deterministic per-site stream behind `%P`
+};
+
+/// Process-wide registry of failpoints, keyed by site name. Sites register
+/// lazily at first use; pointers are stable for the process lifetime.
+/// Construction reads the `DANGORON_FAILPOINTS` environment variable once
+/// and applies it as a Configure spec, so a test binary (or the chaos
+/// harness) can arm sites without touching code.
+class FailpointRegistry {
+ public:
+  static FailpointRegistry& Instance();
+
+  /// The failpoint named `site`, creating a dormant one on first use.
+  Failpoint* GetOrCreate(std::string_view site);
+
+  /// Applies a whole schedule: `site=action` pairs separated by `;`, e.g.
+  /// `serve.prepare=error:ioerror*2;sweep.band=delay:3`. Stops at the first
+  /// malformed entry (earlier entries stay armed).
+  Status Configure(const std::string& spec);
+
+  /// Disarms every registered failpoint (test teardown).
+  void DisarmAll();
+
+  /// Names of currently armed failpoints.
+  std::vector<std::string> ArmedSites() const;
+
+ private:
+  FailpointRegistry();
+
+  mutable std::mutex mutex_;
+  // Pointer-stable values: sites cache the pointer across firings.
+  std::vector<std::unique_ptr<Failpoint>> failpoints_;
+};
+
+/// Fast dormancy check: true when any failpoint in the process is armed.
+/// One relaxed atomic load — the full cost of an instrumented site in a
+/// production run with no faults configured.
+bool FailpointsArmed();
+
+/// Slow-path helpers behind the macros (registry lookup + fire). Call only
+/// after FailpointsArmed() returned true.
+Status FailpointFire(std::string_view site);
+bool FailpointFireWake(std::string_view site);
+
+}  // namespace dangoron
+
+#if DANGORON_FAILPOINTS_ENABLED
+
+/// Statement form: injects a `return <error>` at the site when armed with
+/// an error action (delay actions sleep, then fall through).
+#define DANGORON_FAILPOINT(site)                            \
+  do {                                                      \
+    if (::dangoron::FailpointsArmed()) {                    \
+      ::dangoron::Status failpoint_status =                 \
+          ::dangoron::FailpointFire(site);                  \
+      if (!failpoint_status.ok()) {                         \
+        return failpoint_status;                            \
+      }                                                     \
+    }                                                       \
+  } while (0)
+
+/// Expression form for call sites that handle the Status themselves.
+#define DANGORON_FAILPOINT_STATUS(site)          \
+  (::dangoron::FailpointsArmed()                 \
+       ? ::dangoron::FailpointFire(site)         \
+       : ::dangoron::Status::Ok())
+
+/// Fire-and-forget form (delay sites in void contexts).
+#define DANGORON_FAILPOINT_HIT(site)                  \
+  do {                                                \
+    if (::dangoron::FailpointsArmed()) {              \
+      ::dangoron::FailpointFire(site);                \
+    }                                                 \
+  } while (0)
+
+/// Spurious-event form: true when the site should simulate one (wake
+/// action) — a full queue, a stray wakeup.
+#define DANGORON_FAILPOINT_WAKE(site) \
+  (::dangoron::FailpointsArmed() && ::dangoron::FailpointFireWake(site))
+
+#else  // !DANGORON_FAILPOINTS_ENABLED
+
+#define DANGORON_FAILPOINT(site) \
+  do {                           \
+  } while (0)
+#define DANGORON_FAILPOINT_STATUS(site) (::dangoron::Status::Ok())
+#define DANGORON_FAILPOINT_HIT(site) \
+  do {                               \
+  } while (0)
+#define DANGORON_FAILPOINT_WAKE(site) (false)
+
+#endif  // DANGORON_FAILPOINTS_ENABLED
+
+#endif  // DANGORON_COMMON_FAILPOINT_H_

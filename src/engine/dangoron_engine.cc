@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/math_utils.h"
 #include "corr/block_kernel.h"
@@ -207,6 +208,16 @@ Status RunWindowMajorSweep(const DangoronOptions& options,
 
   for (int64_t band_begin = 0; band_begin < num_windows;
        band_begin += kSweepWindowBand) {
+    // Band boundary is the sweep's cancellation cadence, so it is also the
+    // fault-injection site: an injected delay stretches every band (how
+    // deadline tests make a sweep provably slow), an injected error aborts
+    // the sweep through the same terminal OnFinish path as a real failure.
+    if (Status injected = DANGORON_FAILPOINT_STATUS("sweep.band");
+        !injected.ok()) {
+      fold_tile_stats();
+      sink->OnFinish(injected);
+      return injected;
+    }
     const int64_t band_end =
         std::min(num_windows, band_begin + kSweepWindowBand);
     arena.BeginBand();

@@ -193,6 +193,10 @@ Result<std::unique_ptr<DangoronServer>> CreateServer(
     ASSIGN_OR_RETURN(server_options.default_tier, ParseServeTier(v));
     return Status::Ok();
   }));
+  RETURN_IF_ERROR(Consume(&options, "degrade", [&](const std::string& v) {
+    ASSIGN_OR_RETURN(server_options.degrade, ParseDegradePolicy(v));
+    return Status::Ok();
+  }));
   RETURN_IF_ERROR(RejectLeftovers(options, "server"));
   if (threads < 0) {
     return Status::InvalidArgument("server: threads must be >= 0, got ",

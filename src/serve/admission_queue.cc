@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/failpoint.h"
+
 namespace dangoron {
 
 PrepareAdmissionQueue::PrepareAdmissionQueue(SketchCache* cache,
@@ -43,6 +45,10 @@ Status PrepareAdmissionQueue::Admit(
     const std::function<void()>& on_first_park,
     std::shared_ptr<const PreparedDataset>* cached_out) {
   cached_out->reset();
+  // Fires before any registration or reservation, so an injected failure
+  // (typically error:resource_exhausted, to drive degradation paths) can
+  // never leak a parked entry or reserved bytes.
+  DANGORON_FAILPOINT("admission.admit");
   const bool has_deadline =
       deadline != std::chrono::steady_clock::time_point::max();
   std::shared_ptr<Parked> me;
@@ -127,9 +133,14 @@ Status PrepareAdmissionQueue::Admit(
     bool cancelled = false;
     bool timed_out = false;
     {
+      // wake: a spurious pass through the re-check loop (must be harmless);
+      // delay/error (via Fire inside FireWake's registry) are not modeled
+      // here — the park path only ever waits or re-checks.
+      const bool spurious = DANGORON_FAILPOINT_WAKE("admission.park");
       std::unique_lock<std::mutex> wl(me->waker.m);
       auto woken = [&] {
-        return me->notified || (stream != nullptr && stream->cancelled());
+        return spurious || me->notified ||
+               (stream != nullptr && stream->cancelled());
       };
       if (has_deadline) {
         timed_out = !me->waker.cv.wait_until(wl, deadline, woken);

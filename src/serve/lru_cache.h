@@ -10,6 +10,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/failpoint.h"
+
 namespace dangoron {
 
 /// Counters a byte-budgeted cache exposes for the server's stats surface.
@@ -101,8 +103,29 @@ class LruByteCache {
         stats_.entries = static_cast<int64_t>(lru_.size());
       }
     }
+    if (evicted_any) {
+      // Fires outside the lock, so a delay/wake here widens the window
+      // between the eviction and its notification — the race chaos tests
+      // need to hit reliably.
+      DANGORON_FAILPOINT_HIT("cache.evict");
+    }
     if (evicted_any && eviction_listener_ != nullptr) {
-      eviction_listener_();
+      // Reentrancy guard: a listener is free to call back into this cache
+      // (Get/Put/EvictIdleLru take the lock fresh), but when a nested Put
+      // evicts again we must not recurse into the listener — listener ->
+      // Put -> listener -> ... has no depth bound. The nested eviction's
+      // notification coalesces into the notification already running,
+      // which is sound for its only use (admission re-check: the listener
+      // runs after the nested eviction freed its bytes). Thread-local and
+      // per-instantiation: one pointer per (Key, V) cache type marks the
+      // cache this thread is currently notifying for.
+      static thread_local const void* firing = nullptr;
+      if (firing != this) {
+        const void* const prior = firing;
+        firing = this;
+        eviction_listener_();
+        firing = prior;
+      }
     }
   }
 

@@ -49,4 +49,47 @@ Result<AdmissionPolicy> ParseAdmissionPolicy(const std::string& text) {
                                  "' (expected refuse or queue)");
 }
 
+std::string_view DegradePolicyName(DegradePolicy policy) {
+  switch (policy) {
+    case DegradePolicy::kOff:
+      return "off";
+    case DegradePolicy::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+Result<DegradePolicy> ParseDegradePolicy(const std::string& text) {
+  if (text == "off") {
+    return DegradePolicy::kOff;
+  }
+  if (text == "auto") {
+    return DegradePolicy::kAuto;
+  }
+  return Status::InvalidArgument("unknown degrade policy '", text,
+                                 "' (expected off or auto)");
+}
+
+Status QueryRequest::Validate() const {
+  if (dataset.empty()) {
+    return Status::InvalidArgument("QueryRequest: empty dataset name");
+  }
+  if (options.deadline_ms.has_value() && *options.deadline_ms <= 0) {
+    return Status::InvalidArgument(
+        "QueryRequest: deadline_ms must be > 0 when set, got ",
+        *options.deadline_ms, " (leave it unset for no deadline)");
+  }
+  if (options.queue_capacity <= 0) {
+    return Status::InvalidArgument(
+        "QueryRequest: queue_capacity must be > 0, got ",
+        options.queue_capacity);
+  }
+  if (options.max_batch_windows < 0) {
+    return Status::InvalidArgument(
+        "QueryRequest: max_batch_windows must be >= 0 (0 = unbounded), got ",
+        options.max_batch_windows);
+  }
+  return Status::Ok();
+}
+
 }  // namespace dangoron

@@ -46,10 +46,29 @@ enum class AdmissionPolicy : int8_t {
   kQueue = 1,
 };
 
+/// Graceful-degradation policy of an exact-tier request under pressure.
+///
+/// - `kOff`: a blown deadline estimate or a mid-query ResourceExhausted
+///   surfaces as the failure it is (the historical behavior).
+/// - `kAuto`: the server degrades exact -> approx instead of failing: a
+///   request whose deadline is tighter than the exact cost estimate is
+///   served approx up front, and an exact plan that fails with
+///   ResourceExhausted mid-query (admission refusal, budget pressure) is
+///   retried on the approx tier while the deadline still has budget.
+///   Degraded requests report `tier_used = kApprox` and bump the server's
+///   `degraded_to_approx` counter — a late exact answer is worse than an
+///   on-time approximate one, but the substitution is never silent.
+enum class DegradePolicy : int8_t {
+  kOff = 0,
+  kAuto = 1,
+};
+
 std::string_view ServeTierName(ServeTier tier);
 std::string_view AdmissionPolicyName(AdmissionPolicy policy);
+std::string_view DegradePolicyName(DegradePolicy policy);
 Result<ServeTier> ParseServeTier(const std::string& text);
 Result<AdmissionPolicy> ParseAdmissionPolicy(const std::string& text);
+Result<DegradePolicy> ParseDegradePolicy(const std::string& text);
 
 /// Canonical defaults of the per-stream delivery knobs — the single source
 /// of truth both `ServeOptions` here and the legacy
@@ -66,16 +85,24 @@ struct ServeOptions {
   /// Service tier; unset -> the server's `default_tier` (exact by default).
   std::optional<ServeTier> tier;
 
-  /// Soft latency budget in milliseconds, measured from submission; 0 = no
-  /// deadline. The deadline governs admission (a queued request is refused
-  /// with DeadlineExceeded once it passes; a request whose deadline already
-  /// passed when its task starts fails the same way) and the `kAuto` tier
-  /// choice. It does not hard-kill an evaluation already running.
-  int64_t deadline_ms = 0;
+  /// Latency budget in milliseconds, measured from submission; unset = no
+  /// deadline (set values must be > 0 — `Validate` rejects the rest). The
+  /// deadline governs admission (a queued request is refused with
+  /// DeadlineExceeded once it passes; a request whose deadline already
+  /// passed when its task starts fails the same way), the `kAuto` tier
+  /// choice, and — since the hard-deadline work — evaluation itself: an
+  /// exact sweep checks the deadline at band/window cadence and aborts
+  /// mid-run with DeadlineExceeded, delivering (and caching) every window
+  /// completed before it.
+  std::optional<int64_t> deadline_ms;
 
   /// Admission policy for oversized prepares; unset -> the server's
   /// `admission` default (refuse by default).
   std::optional<AdmissionPolicy> admission;
+
+  /// Degradation policy under pressure (exact tier only); unset -> the
+  /// server's `degrade` default (off by default).
+  std::optional<DegradePolicy> degrade;
 
   // Streaming-delivery knobs (SubmitStreaming only; the per-stream
   // StreamingSubmitOptions folded into the request surface — same meanings
@@ -98,6 +125,14 @@ struct QueryRequest {
   std::string dataset;
   SlidingQuery query;
   ServeOptions options;
+
+  /// Structural validation of the request envelope — the checks that need
+  /// no server state (the query itself is validated against the dataset at
+  /// plan time): non-empty dataset name, a set deadline_ms > 0, a positive
+  /// queue capacity, a non-negative batch cap. Called by the server on
+  /// every submission; exposed so clients can reject bad requests before
+  /// paying a round trip.
+  Status Validate() const;
 };
 
 /// The absolute deadline of `options` measured from `now`;
@@ -106,10 +141,10 @@ inline std::chrono::steady_clock::time_point RequestDeadline(
     const ServeOptions& options,
     std::chrono::steady_clock::time_point now =
         std::chrono::steady_clock::now()) {
-  if (options.deadline_ms <= 0) {
+  if (!options.deadline_ms.has_value() || *options.deadline_ms <= 0) {
     return std::chrono::steady_clock::time_point::max();
   }
-  return now + std::chrono::milliseconds(options.deadline_ms);
+  return now + std::chrono::milliseconds(*options.deadline_ms);
 }
 
 }  // namespace dangoron

@@ -1,11 +1,16 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
+#include <chrono>
 #include <cmath>
 #include <functional>
+#include <thread>
 #include <utility>
 
+#include "common/failpoint.h"
+#include "common/rng.h"
 #include "common/stopwatch.h"
 #include "engine/dangoron_engine.h"
 #include "sketch/basic_window_index.h"
@@ -22,8 +27,13 @@ void FulfillWindowClaim(const WindowClaimPtr& claim, WindowEdges edges) {
 }
 
 WindowEdges WaitForWindowClaim(const WindowClaimPtr& claim,
-                               WindowStreamState* stream, bool* cancelled) {
+                               WindowStreamState* stream, bool* cancelled,
+                               const DeadlineToken& deadline,
+                               bool* deadline_hit) {
   *cancelled = false;
+  if (deadline_hit != nullptr) {
+    *deadline_hit = false;
+  }
   if (stream != nullptr) {
     // Alias the waker to the claim so the registration keeps it alive even
     // if the claimant retires the claim while we sleep.
@@ -34,14 +44,26 @@ WindowEdges WaitForWindowClaim(const WindowClaimPtr& claim,
     std::unique_lock<std::mutex> lock(claim->waker.m);
     // The predicate reads the stream's cancel flag under the waker's lock;
     // Cancel() notifies through that lock (see CancelWaker), so the wait
-    // wakes on fulfillment *or* cancellation, whichever is first.
-    claim->waker.cv.wait(lock, [&] {
+    // wakes on fulfillment *or* cancellation, whichever is first — and a
+    // deadline bounds the sleep (no extra wake machinery: the foreign
+    // claimant owes us nothing at our deadline).
+    auto resolved = [&] {
       return claim->done || (stream != nullptr && stream->cancelled());
-    });
+    };
+    if (deadline.has_deadline()) {
+      claim->waker.cv.wait_until(lock, deadline.deadline(), resolved);
+    } else {
+      claim->waker.cv.wait(lock, resolved);
+    }
     if (claim->done) {
       edges = claim->edges;
-    } else {
+    } else if (stream != nullptr && stream->cancelled()) {
       *cancelled = true;
+    } else {
+      // Neither fulfilled nor cancelled: the deadline bounded the wait.
+      if (deadline_hit != nullptr) {
+        *deadline_hit = true;
+      }
     }
   }
   if (stream != nullptr) {
@@ -93,9 +115,17 @@ constexpr double kExactCostSeedNsPerCell = 50.0;
 // EWMA weight of a new warm-query ns/cell observation.
 constexpr double kExactCostAlpha = 0.3;
 
-bool DeadlinePassed(std::chrono::steady_clock::time_point deadline) {
-  return deadline != std::chrono::steady_clock::time_point::max() &&
-         std::chrono::steady_clock::now() >= deadline;
+// Bounded retry of transient prepare failures: attempts beyond the first,
+// with jittered exponential backoff (1, 2, 4 ms nominal) capped by the
+// request's remaining deadline.
+constexpr int kPrepareMaxRetries = 3;
+
+// A transient prepare failure worth retrying. ResourceExhausted is
+// deliberately absent: backoff cannot free a byte budget, and the
+// degradation path wants to see it promptly.
+bool PrepareRetryable(const Status& status) {
+  return status.code() == StatusCode::kIoError ||
+         status.code() == StatusCode::kInternal;
 }
 
 // Filters a family-threshold edge set down to `query`'s exact threshold.
@@ -243,6 +273,9 @@ double DangoronServer::CanonicalThreshold(double threshold,
 
 Result<DangoronServer::RequestContext> DangoronServer::ResolveRequest(
     const QueryRequest& request, const char* api) const {
+  if (Status valid = request.Validate(); !valid.ok()) {
+    return Status(valid.code(), std::string(api) + ": " + valid.message());
+  }
   RequestContext ctx;
   {
     std::lock_guard<std::mutex> lock(datasets_mutex_);
@@ -257,7 +290,8 @@ Result<DangoronServer::RequestContext> DangoronServer::ResolveRequest(
   ctx.query = request.query;
   ctx.tier = request.options.tier.value_or(options_.default_tier);
   ctx.admission = request.options.admission.value_or(options_.admission);
-  ctx.deadline = RequestDeadline(request.options);
+  ctx.degrade = request.options.degrade.value_or(options_.degrade);
+  ctx.deadline = DeadlineToken(RequestDeadline(request.options));
   return ctx;
 }
 
@@ -265,7 +299,7 @@ ServeTier DangoronServer::ResolveTier(const RequestContext& ctx) const {
   if (ctx.tier != ServeTier::kAuto) {
     return ctx.tier;
   }
-  if (ctx.deadline == std::chrono::steady_clock::time_point::max()) {
+  if (!ctx.deadline.has_deadline()) {
     return ServeTier::kExact;  // no latency pressure: reuse-friendly exact
   }
   if (!ctx.query.Validate(ctx.data->length()).ok()) {
@@ -274,12 +308,9 @@ ServeTier DangoronServer::ResolveTier(const RequestContext& ctx) const {
     // unbounded. Route to exact — the plan rejects it with the real error.
     return ServeTier::kExact;
   }
-  const double remaining_ms =
-      std::chrono::duration<double, std::milli>(
-          ctx.deadline - std::chrono::steady_clock::now())
-          .count();
-  return EstimateExactCostMs(ctx) > remaining_ms ? ServeTier::kApprox
-                                                 : ServeTier::kExact;
+  return EstimateExactCostMs(ctx) > ctx.deadline.remaining_ms()
+             ? ServeTier::kApprox
+             : ServeTier::kExact;
 }
 
 double DangoronServer::EstimateExactCostMs(const RequestContext& ctx) const {
@@ -449,8 +480,7 @@ Result<ServeResult> DangoronServer::Query(const std::string& dataset,
 
 Result<std::shared_ptr<const PreparedDataset>> DangoronServer::GetOrPrepare(
     std::shared_ptr<const TimeSeriesMatrix> data, uint64_t fingerprint,
-    AdmissionPolicy admission,
-    std::chrono::steady_clock::time_point deadline,
+    AdmissionPolicy admission, const DeadlineToken& deadline,
     WindowStreamState* stream, bool* shared) {
   const SketchCacheKey key{fingerprint, options_.basic_window};
   if (auto cached = sketch_cache_.Get(key)) {
@@ -497,7 +527,7 @@ Result<std::shared_ptr<const PreparedDataset>> DangoronServer::GetOrPrepare(
   if (admission == AdmissionPolicy::kQueue) {
     std::shared_ptr<const PreparedDataset> landed;
     const Status admitted = admission_queue_.Admit(
-        estimate, key, deadline, stream,
+        estimate, key, deadline.deadline(), stream,
         [this] {
           // At park time, not on return: stats must show a request that is
           // *currently* parked.
@@ -567,9 +597,37 @@ Result<std::shared_ptr<const PreparedDataset>> DangoronServer::GetOrPrepare(
     // one failure does not poison every waiter with an opaque error.
   }
 
-  auto prepared_or =
-      PreparedDataset::Create(std::move(data), options_.basic_window,
-                              pool_.get(), fingerprint);
+  // One build attempt: the failpoint fires first so injected faults take
+  // the same retry/failure path a real build fault would.
+  auto build_once = [&]() -> Result<std::shared_ptr<const PreparedDataset>> {
+    DANGORON_FAILPOINT("serve.prepare");
+    return PreparedDataset::Create(data, options_.basic_window, pool_.get(),
+                                   fingerprint);
+  };
+  auto prepared_or = build_once();
+  int retries = 0;
+  // Deterministic jitter: no wall-clock seeding (a per-process counter
+  // varies the stream across requests), and the nominal 1/2/4 ms backoff
+  // is scaled by [0.5, 1.5) then clipped to the remaining deadline.
+  static std::atomic<uint64_t> retry_seq{0};
+  Rng jitter(fingerprint ^ (retry_seq.fetch_add(1) + 0x9e3779b97f4a7c15ull));
+  while (!prepared_or.ok() && PrepareRetryable(prepared_or.status()) &&
+         retries < kPrepareMaxRetries && !deadline.expired() &&
+         (stream == nullptr || !stream->cancelled())) {
+    ++retries;
+    double backoff_ms = static_cast<double>(int64_t{1} << (retries - 1)) *
+                        (0.5 + jitter.NextDouble());
+    if (deadline.has_deadline()) {
+      backoff_ms = std::min(backoff_ms, std::max(0.0, deadline.remaining_ms()));
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(backoff_ms));
+    prepared_or = build_once();
+  }
+  if (retries > 0) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.prepare_retries += retries;
+  }
   std::shared_ptr<const PreparedDataset> prepared =
       prepared_or.ok() ? *prepared_or : nullptr;
   if (producer) {
@@ -605,7 +663,11 @@ Result<std::shared_ptr<const PreparedDataset>> DangoronServer::GetOrPrepare(
 Status DangoronServer::RunWindowPlan(
     const RequestContext& ctx, int64_t max_batch_windows,
     WindowStreamState* stream, std::vector<WindowEdges>* got_out,
-    ServeResult* out, bool* exact_family_out, double* prepare_seconds_out) {
+    ServeResult* out, bool* exact_family_out, double* prepare_seconds_out,
+    int64_t* next_deliver_out) {
+  if (next_deliver_out != nullptr) {
+    *next_deliver_out = 0;
+  }
   const std::shared_ptr<const TimeSeriesMatrix>& data = ctx.data;
   const uint64_t fingerprint = ctx.fingerprint;
   const SlidingQuery& query = ctx.query;
@@ -652,6 +714,9 @@ Status DangoronServer::RunWindowPlan(
   // full queue, leaving the rest for the next blocking edge.
   int64_t next_deliver = 0;
   bool delivery_cancelled = false;
+  // Deadline blown while blocked delivering to a slow consumer (the only
+  // blocking edge a deadline can interrupt besides claim joins).
+  bool deadline_blown = false;
   // Memo of the head window's family-to-query filtered copy: a full queue
   // fails TryPush repeatedly on the same head window, and refiltering it on
   // every attempt would be O(windows landed) redundant copies.
@@ -673,12 +738,25 @@ Status DangoronServer::RunWindowPlan(
         edges = filtered_edges;
       }
       StreamedWindow window{next_deliver, std::move(edges)};
-      const bool pushed = blocking ? stream->Push(std::move(window))
-                                   : stream->TryPush(std::move(window));
-      if (!pushed) {
-        // A blocking Push fails only on cancellation; TryPush also fails on
-        // a full queue, which is not terminal.
-        if (blocking || stream->cancelled()) {
+      if (blocking) {
+        // Deadline-bounded backpressure: the terminal DeadlineExceeded is
+        // itself a delivery the consumer is waiting on, so the producer
+        // must not block past the abort point (PushUntil with
+        // time_point::max() is plain Push).
+        switch (stream->PushUntil(std::move(window),
+                                  ctx.deadline.deadline())) {
+          case PushResult::kPushed:
+            break;
+          case PushResult::kCancelled:
+            delivery_cancelled = true;
+            return;
+          case PushResult::kDeadlineExceeded:
+            deadline_blown = true;
+            return;
+        }
+      } else if (!stream->TryPush(std::move(window))) {
+        // TryPush also fails on a full queue, which is not terminal.
+        if (stream->cancelled()) {
           delivery_cancelled = true;
         }
         return;
@@ -692,6 +770,30 @@ Status DangoronServer::RunWindowPlan(
   };
   auto plan_cancelled = [&]() {
     return delivery_cancelled || (stream != nullptr && stream->cancelled());
+  };
+  // Every return funnels through here so the caller learns the resume
+  // point: for a streaming plan the first undelivered window, for a
+  // materialized one the windows retained in `got` speak for themselves.
+  auto finish_plan = [&](Status status) {
+    if (next_deliver_out != nullptr) {
+      *next_deliver_out = next_deliver;
+    }
+    return status;
+  };
+  // Hard mid-run deadline abort: the only site that counts a deadline as
+  // "fired mid-evaluation" (pre-start and admission checks count plain
+  // deadline_exceeded elsewhere). Every window already delivered stayed
+  // delivered, every window already computed stayed cached — the abort
+  // loses only the future.
+  auto deadline_abort = [&](const char* where) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.deadline_exceeded;
+      ++stats_.deadline_aborted_mid_run;
+    }
+    return Status::DeadlineExceeded("DangoronServer: deadline expired ",
+                                    where, " — completed ", next_deliver,
+                                    " of ", num_windows, " windows");
   };
 
   const DangoronOptions engine_options = ServingEngineOptions(b);
@@ -714,7 +816,16 @@ Status DangoronServer::RunWindowPlan(
   int64_t k = 0;
   while (k < num_windows) {
     if (plan_cancelled()) {
-      return Status::Cancelled("DangoronServer: stream cancelled mid-plan");
+      return finish_plan(
+          Status::Cancelled("DangoronServer: stream cancelled mid-plan"));
+    }
+    // Per-window deadline check — no claims are held here, so aborting is
+    // always safe; claimed-run evaluation re-checks at band cadence below.
+    if (deadline_blown) {
+      return finish_plan(deadline_abort("delivering under backpressure"));
+    }
+    if (ctx.deadline.expired()) {
+      return finish_plan(deadline_abort("mid-plan"));
     }
     if (k < next_deliver || got[static_cast<size_t>(k)] != nullptr) {
       ++k;  // already resolved (and possibly delivered + released)
@@ -771,20 +882,27 @@ Status DangoronServer::RunWindowPlan(
       // cancelled) after claiming; evaluate the window ourselves rather
       // than inheriting its error.
       bool join_cancelled = false;
-      WindowEdges edges = WaitForWindowClaim(join, stream, &join_cancelled);
+      bool join_deadline = false;
+      WindowEdges edges = WaitForWindowClaim(join, stream, &join_cancelled,
+                                             ctx.deadline, &join_deadline);
       if (join_cancelled) {
-        return Status::Cancelled(
+        return finish_plan(Status::Cancelled(
             "DangoronServer: stream cancelled while joining a claimed "
-            "window");
+            "window"));
+      }
+      if (join_deadline) {
+        return finish_plan(deadline_abort("joining a claimed window"));
       }
       if (edges == nullptr) {
         SlidingQuery sub = eval;
         sub.start = query.start + k * query.step;
         sub.end = sub.start + query.window;
-        ASSIGN_OR_RETURN(CorrelationMatrixSeries single,
-                         DangoronEngine::QueryPrepared(
-                             engine_options, prepared->index(), sub,
-                             pool_.get(), nullptr));
+        auto single_or = DangoronEngine::QueryPrepared(
+            engine_options, prepared->index(), sub, pool_.get(), nullptr);
+        if (!single_or.ok()) {
+          return finish_plan(single_or.status());
+        }
+        CorrelationMatrixSeries single = std::move(*single_or);
         edges = std::make_shared<std::vector<Edge>>(
             std::move(*single.MutableWindow(0)));
         result_cache_.Put(key_for(k), edges, WindowEdgesBytes(*edges));
@@ -811,14 +929,28 @@ Status DangoronServer::RunWindowPlan(
       FulfillWindowClaim(claims[static_cast<size_t>(d)], std::move(edges));
     };
     int64_t landed = 0;
+    bool deadline_hit_mid_run = false;
     CallbackWindowSink run_sink([&](int64_t d, std::vector<Edge> raw) {
       auto edges = std::make_shared<std::vector<Edge>>(std::move(raw));
-      result_cache_.Put(key_for(k + d), edges, WindowEdgesBytes(*edges));
+      if (Status put_fault =
+              DANGORON_FAILPOINT_STATUS("serve.window_cache.put");
+          put_fault.ok()) {
+        result_cache_.Put(key_for(k + d), edges, WindowEdgesBytes(*edges));
+      }
+      // An injected Put failure skips only the publication: the claim is
+      // still retired with real edges, so joiners and this plan stay
+      // correct — the window is merely not reusable by later queries.
       retire(d, edges);
       got[static_cast<size_t>(k + d)] = std::move(edges);
       ++out->windows_computed;
       ++landed;
       deliver_ready(/*blocking=*/false);
+      // The engine emits at band cadence, so this is the hard deadline's
+      // mid-sweep granularity: at most ~one band of work past the deadline.
+      if (ctx.deadline.expired()) {
+        deadline_hit_mid_run = true;
+        return false;
+      }
       return !plan_cancelled();
     });
     SlidingQuery sub = eval;
@@ -828,34 +960,59 @@ Status DangoronServer::RunWindowPlan(
         engine_options, prepared->index(), sub, pool_.get(),
         /*stats=*/nullptr, &run_sink);
     if (!eval_status.ok()) {
-      // Engine failure or sink-driven cancellation mid-run: fulfill the
-      // remaining claims with null so joiners re-evaluate instead of
-      // hanging or inheriting our outcome.
+      // Engine failure, sink-driven cancellation, or deadline abort
+      // mid-run: fulfill the remaining claims with null so joiners
+      // re-evaluate instead of hanging or inheriting our outcome.
       for (int64_t d = landed; d < claimed; ++d) {
         retire(d, nullptr);
       }
-      if (eval_status.code() == StatusCode::kCancelled) {
-        return Status::Cancelled("DangoronServer: stream cancelled mid-plan");
+      if (deadline_hit_mid_run) {
+        return finish_plan(deadline_abort("mid-sweep"));
       }
-      return eval_status;
+      if (eval_status.code() == StatusCode::kCancelled) {
+        return finish_plan(
+            Status::Cancelled("DangoronServer: stream cancelled mid-plan"));
+      }
+      return finish_plan(eval_status);
     }
     deliver_ready(/*blocking=*/true);
     k += claimed;
   }
-  if (plan_cancelled()) {
-    return Status::Cancelled("DangoronServer: stream cancelled mid-plan");
+  if (deadline_blown) {
+    return finish_plan(deadline_abort("delivering under backpressure"));
   }
-  return Status::Ok();
+  if (plan_cancelled()) {
+    return finish_plan(
+        Status::Cancelled("DangoronServer: stream cancelled mid-plan"));
+  }
+  return finish_plan(Status::Ok());
 }
 
 Status DangoronServer::RunApproxPlan(const RequestContext& ctx,
                                      WindowStreamState* stream,
                                      ServeResult* out,
-                                     CorrelationMatrixSeries* series_out) {
-  const SlidingQuery& query = ctx.query;
-  RETURN_IF_ERROR(query.Validate(ctx.data->length()));
+                                     CorrelationMatrixSeries* series_out,
+                                     int64_t first_window) {
+  const SlidingQuery& full_query = ctx.query;
+  RETURN_IF_ERROR(full_query.Validate(ctx.data->length()));
   const int64_t b = options_.basic_window;
-  RETURN_IF_ERROR(CheckQueryAligned(query));
+  RETURN_IF_ERROR(CheckQueryAligned(full_query));
+  // Degradation continuation: evaluate only the window suffix from
+  // `first_window`, delivering under the original indices — the exact plan
+  // already delivered [0, first_window). Streaming only: a materialized
+  // degrade reruns the whole range (its exact prefix was retained, not
+  // delivered, and jumping is range-dependent anyway).
+  SlidingQuery query = full_query;
+  if (first_window > 0) {
+    if (stream == nullptr) {
+      return Status::Internal(
+          "RunApproxPlan: window-suffix continuation requires a stream");
+    }
+    if (first_window >= full_query.NumWindows()) {
+      return Status::Ok();  // everything already delivered
+    }
+    query.start = full_query.start + first_window * full_query.step;
+  }
 
   // The approx tier shares the prepared sketch with the exact tier — one
   // index serves both — but from here on it never touches the
@@ -886,21 +1043,48 @@ Status DangoronServer::RunApproxPlan(const RequestContext& ctx,
     }
   } else {
     // Blocking delivery is safe here: this path holds no window claims, so
-    // a slow consumer stalls only its own producer thread. Push returns
-    // false on cancellation, which cancels the engine run through the sink
-    // protocol.
+    // a slow consumer stalls only its own producer thread — but the
+    // request's deadline still bounds it (PushUntil), and each emitted
+    // window re-checks the clock: the approx tier enforces the hard
+    // deadline at window cadence.
+    bool deadline_hit = false;
     CallbackWindowSink sink([&](int64_t k, std::vector<Edge> edges) {
       auto shared_edges =
           std::make_shared<std::vector<Edge>>(std::move(edges));
-      if (!stream->Push(StreamedWindow{k, std::move(shared_edges)})) {
-        return false;
+      switch (stream->PushUntil(
+          StreamedWindow{first_window + k, std::move(shared_edges)},
+          ctx.deadline.deadline())) {
+        case PushResult::kPushed:
+          break;
+        case PushResult::kCancelled:
+          return false;
+        case PushResult::kDeadlineExceeded:
+          deadline_hit = true;
+          return false;
       }
       ++out->windows_computed;
+      if (ctx.deadline.expired()) {
+        deadline_hit = true;
+        return false;
+      }
       return true;
     });
     status = DangoronEngine::QueryPreparedToSink(
         engine_options, prepared->index(), query, pool_.get(), &engine_stats,
         &sink);
+    if (deadline_hit) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.deadline_exceeded;
+        ++stats_.deadline_aborted_mid_run;
+      }
+      out->cells_jumped = engine_stats.cells_jumped;
+      out->jumps = engine_stats.jumps;
+      return Status::DeadlineExceeded(
+          "DangoronServer: deadline expired mid-approx-plan — delivered ",
+          out->windows_computed, " of ",
+          full_query.NumWindows() - first_window, " windows");
+    }
   }
   out->cells_jumped = engine_stats.cells_jumped;
   out->jumps = engine_stats.jumps;
@@ -912,7 +1096,7 @@ Status DangoronServer::RunApproxPlan(const RequestContext& ctx,
 }
 
 Result<ServeResult> DangoronServer::RunQuery(const RequestContext& ctx) {
-  if (DeadlinePassed(ctx.deadline)) {
+  if (ctx.deadline.expired()) {
     // Attribute the failure to the tier that would have served it, so
     // per-tier deadline accounting stays truthful.
     ServeResult failed;
@@ -924,9 +1108,20 @@ Result<ServeResult> DangoronServer::RunQuery(const RequestContext& ctx) {
         "DangoronServer: request deadline passed before the query started");
   }
 
-  if (ResolveTier(ctx) == ServeTier::kApprox) {
+  // Graceful degradation, pre-run leg: an explicitly exact request whose
+  // deadline the exact cost estimate already misses is served approx up
+  // front under degrade=auto — a late exact answer is worse than an
+  // on-time approximate one (kAuto's own estimate-driven approx choice is
+  // selection, not degradation, and is not flagged).
+  const bool degrade_estimate =
+      ctx.tier == ServeTier::kExact &&
+      ctx.degrade == DegradePolicy::kAuto && ctx.deadline.has_deadline() &&
+      EstimateExactCostMs(ctx) > ctx.deadline.remaining_ms();
+
+  if (degrade_estimate || ResolveTier(ctx) == ServeTier::kApprox) {
     ServeResult out;
     out.tier_used = ServeTier::kApprox;
+    out.degraded = degrade_estimate;
     CorrelationMatrixSeries series;
     const Status plan = RunApproxPlan(ctx, /*stream=*/nullptr, &out, &series);
     admission_queue_.NotifyReleased();  // the prepared handle is released
@@ -968,6 +1163,34 @@ Result<ServeResult> DangoronServer::RunQuery(const RequestContext& ctx) {
                        kExactCostAlpha * observed;
     }
   }
+  // Graceful degradation, mid-run leg: an exact plan that died of resource
+  // exhaustion (admission refusal, budget pressure — real or injected) is
+  // rerun whole on the approx tier while the deadline still has budget.
+  // Only ResourceExhausted: other failures would fail approx identically,
+  // and a mid-run DeadlineExceeded means the budget is already gone.
+  if (plan.code() == StatusCode::kResourceExhausted &&
+      ctx.degrade == DegradePolicy::kAuto && ctx.tier != ServeTier::kApprox &&
+      !ctx.deadline.expired()) {
+    ServeResult degraded_out;
+    degraded_out.tier_used = ServeTier::kApprox;
+    degraded_out.degraded = true;
+    CorrelationMatrixSeries series;
+    const Status fallback =
+        RunApproxPlan(ctx, /*stream=*/nullptr, &degraded_out, &series);
+    admission_queue_.NotifyReleased();
+    {
+      // The submission was already counted by the RecordQueryStats above
+      // (one query, its exact-attempt window counters); fold in only what
+      // the fallback adds — not a second `queries` tick.
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.queries_approx;
+      ++stats_.degraded_to_approx;
+      stats_.windows_computed += degraded_out.windows_computed;
+    }
+    RETURN_IF_ERROR(fallback);
+    degraded_out.series = std::move(series);
+    return degraded_out;
+  }
   RETURN_IF_ERROR(plan);
 
   // Assemble the response from the shared per-window edge sets, filtering
@@ -988,7 +1211,7 @@ void DangoronServer::RunStreamingQuery(
     std::shared_ptr<WindowStreamState> stream) {
   ServeResult out;
   Status status = Status::Ok();
-  if (DeadlinePassed(ctx.deadline)) {
+  if (ctx.deadline.expired()) {
     out.tier_used = ResolveTier(ctx);  // truthful per-tier attribution
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -997,13 +1220,32 @@ void DangoronServer::RunStreamingQuery(
     status = Status::DeadlineExceeded(
         "DangoronServer: request deadline passed before the stream started");
   } else {
-    if (ResolveTier(ctx) == ServeTier::kApprox) {
+    // Pre-run degradation leg — same rule as the materialized path.
+    const bool degrade_estimate =
+        ctx.tier == ServeTier::kExact &&
+        ctx.degrade == DegradePolicy::kAuto && ctx.deadline.has_deadline() &&
+        EstimateExactCostMs(ctx) > ctx.deadline.remaining_ms();
+    if (degrade_estimate || ResolveTier(ctx) == ServeTier::kApprox) {
       out.tier_used = ServeTier::kApprox;
+      out.degraded = degrade_estimate;
       status = RunApproxPlan(ctx, stream.get(), &out, /*series_out=*/nullptr);
     } else {
       std::vector<WindowEdges> got;
+      int64_t next_deliver = 0;
       status = RunWindowPlan(ctx, max_batch_windows, stream.get(), &got, &out,
-                             nullptr);
+                             nullptr, nullptr, &next_deliver);
+      // Mid-run degradation leg: the exact plan died of resource
+      // exhaustion with deadline budget left — continue on the approx tier
+      // from the first undelivered window, under the original indices, so
+      // the consumer still sees one ascending exactly-once sequence.
+      if (status.code() == StatusCode::kResourceExhausted &&
+          ctx.degrade == DegradePolicy::kAuto && !ctx.deadline.expired() &&
+          !stream->cancelled()) {
+        out.tier_used = ServeTier::kApprox;
+        out.degraded = true;
+        status = RunApproxPlan(ctx, stream.get(), &out,
+                               /*series_out=*/nullptr, next_deliver);
+      }
     }
     admission_queue_.NotifyReleased();  // the prepared handle is released
   }
@@ -1016,6 +1258,7 @@ void DangoronServer::RunStreamingQuery(
   summary.windows_joined = out.windows_joined;
   summary.cells_jumped = out.cells_jumped;
   summary.jumps = out.jumps;
+  summary.degraded = out.degraded;
   stream->Finish(std::move(status), summary);
 }
 
@@ -1030,6 +1273,9 @@ void DangoronServer::RecordQueryStats(const ServeResult& out, bool streaming) {
   if (out.tier_used == ServeTier::kApprox) {
     ++stats_.queries_approx;
   }
+  if (out.degraded) {
+    ++stats_.degraded_to_approx;
+  }
   stats_.windows_computed += out.windows_computed;
   stats_.windows_from_cache += out.windows_from_cache;
   stats_.windows_joined += out.windows_joined;
@@ -1040,6 +1286,14 @@ DangoronServerStats DangoronServer::stats() const {
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     snapshot = stats_;
+  }
+  {
+    // Leak check surface: claims still registered by in-flight plans. On a
+    // quiesced server this must read zero — every plan retires its claims
+    // on success, failure, cancellation, and deadline abort alike.
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    snapshot.inflight_window_claims =
+        static_cast<int64_t>(inflight_windows_.size());
   }
   snapshot.sketch_cache = sketch_cache_.stats();
   snapshot.result_cache = result_cache_.stats();

@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "engine/query.h"
@@ -79,6 +80,14 @@ struct DangoronServerOptions {
   /// Bound on concurrently parked prepares in the admission queue; requests
   /// past it fail with ResourceExhausted instead of growing the queue.
   int64_t admission_queue_limit = 16;
+
+  /// Degradation policy for requests that leave `ServeOptions::degrade`
+  /// unset. With `kAuto`, an exact-tier request under pressure — deadline
+  /// tighter than the exact cost estimate, or a mid-query
+  /// ResourceExhausted — is served on the approx tier instead of failing
+  /// (reported via `tier_used` and the `degraded_to_approx` counter). Off
+  /// by default: degradation changes answers, so it is strictly opt-in.
+  DegradePolicy degrade = DegradePolicy::kOff;
 };
 
 /// One claimed in-flight window evaluation: the claimant fulfills it (edge
@@ -98,14 +107,19 @@ using WindowClaimPtr = std::shared_ptr<WindowClaim>;
 /// from the in-flight map so new queries resolve through the cache.
 void FulfillWindowClaim(const WindowClaimPtr& claim, WindowEdges edges);
 
-/// Blocks until `claim` is fulfilled or `stream` (nullable) is cancelled,
-/// whichever happens first; wakes on either event via condition variables
-/// (no polling). Returns the claim's edges (null when the claimant failed)
-/// and sets `*cancelled` when the wait was abandoned because the stream
-/// cancelled. Exposed as a free function so the cancellable-wait protocol
-/// is unit-testable without a server.
+/// Blocks until `claim` is fulfilled, `stream` (nullable) is cancelled, or
+/// `deadline` expires, whichever happens first; wakes on fulfillment and
+/// cancellation via condition variables (no polling), and times out at the
+/// deadline. Returns the claim's edges (null when the claimant failed) and
+/// sets `*cancelled` when the wait was abandoned because the stream
+/// cancelled, `*deadline_hit` (nullable) when it was abandoned because the
+/// deadline passed. The defaults reproduce the historical deadline-free
+/// wait. Exposed as a free function so the cancellable-wait protocol is
+/// unit-testable without a server.
 WindowEdges WaitForWindowClaim(const WindowClaimPtr& claim,
-                               WindowStreamState* stream, bool* cancelled);
+                               WindowStreamState* stream, bool* cancelled,
+                               const DeadlineToken& deadline = DeadlineToken(),
+                               bool* deadline_hit = nullptr);
 
 /// Per-query outcome: the result series plus where its pieces came from.
 struct ServeResult {
@@ -123,6 +137,10 @@ struct ServeResult {
   /// tier never jumps): pair-window cells skipped, and jump decisions.
   int64_t cells_jumped = 0;
   int64_t jumps = 0;
+  /// The request asked exact but was served approx by `DegradePolicy::kAuto`
+  /// (blown deadline estimate or mid-query resource exhaustion). Never set
+  /// by kAuto's own tier choice — that is selection, not degradation.
+  bool degraded = false;
 };
 
 /// Aggregate server counters (monotonic since construction).
@@ -138,9 +156,22 @@ struct DangoronServerStats {
   int64_t prepares_refused = 0;    ///< rejected by the admission policy
   int64_t prepares_queued = 0;     ///< parked in the admission queue
   int64_t deadline_exceeded = 0;   ///< requests failed on their deadline
+  /// Of `deadline_exceeded`: requests whose deadline fired *mid-evaluation*
+  /// — the hard-deadline abort path, not the pre-start or admission checks.
+  int64_t deadline_aborted_mid_run = 0;
+  /// Exact requests served approx by `DegradePolicy::kAuto` (see
+  /// ServeResult::degraded).
+  int64_t degraded_to_approx = 0;
+  /// Transient prepare failures absorbed by the bounded retry loop
+  /// (successful or not — each attempt after the first counts).
+  int64_t prepare_retries = 0;
   int64_t windows_computed = 0;
   int64_t windows_from_cache = 0;
   int64_t windows_joined = 0;
+  /// Snapshot (not monotonic): window claims currently registered in the
+  /// in-flight map. Zero on a quiesced server — the chaos suite's leak
+  /// check: a claim that survives its query was never retired.
+  int64_t inflight_window_claims = 0;
   LruCacheStats sketch_cache;
   LruCacheStats result_cache;
 };
@@ -274,8 +305,8 @@ class DangoronServer {
     SlidingQuery query;
     ServeTier tier = ServeTier::kExact;
     AdmissionPolicy admission = AdmissionPolicy::kRefuse;
-    std::chrono::steady_clock::time_point deadline =
-        std::chrono::steady_clock::time_point::max();
+    DegradePolicy degrade = DegradePolicy::kOff;
+    DeadlineToken deadline;
   };
 
   /// Resolves `request` against the dataset registry and the server's
@@ -332,12 +363,20 @@ class DangoronServer {
   /// `prepare_seconds_out` (optional) reports the time spent inside
   /// GetOrPrepare — including any in-flight build join or admission-queue
   /// park — so the caller's cost-model sample can subtract waits that are
-  /// not evaluation.
+  /// not evaluation. The request's deadline is enforced *mid-plan*: the
+  /// walk checks it per window, claimed-run evaluation checks it at the
+  /// engine's band cadence, and claim joins / backpressure delivery time
+  /// out on it — a blown deadline aborts with DeadlineExceeded after
+  /// delivering (and caching) every window completed before it.
+  /// `next_deliver_out` (optional) reports the first window index NOT yet
+  /// delivered/retained when the plan stops early — the resume point a
+  /// degrading caller continues an approx plan from.
   Status RunWindowPlan(const RequestContext& ctx, int64_t max_batch_windows,
                        WindowStreamState* stream,
                        std::vector<WindowEdges>* got, ServeResult* out,
                        bool* exact_family_out,
-                       double* prepare_seconds_out = nullptr);
+                       double* prepare_seconds_out = nullptr,
+                       int64_t* next_deliver_out = nullptr);
 
   /// The approx-tier core shared by the materialized and streaming paths:
   /// runs the request through the Eq. 2 jumping engine against the shared
@@ -347,8 +386,13 @@ class DangoronServer {
   /// cache-dependent). With `stream` null the series is materialized into
   /// `series_out`; otherwise each window is delivered through the stream's
   /// bounded queue (blocking is safe — this path holds no claims).
+  /// `first_window` > 0 evaluates only the query's window suffix starting
+  /// there (delivered under the original indices) — the degradation path's
+  /// continuation after an exact plan already delivered a prefix. The
+  /// deadline is enforced at window cadence on the streaming path.
   Status RunApproxPlan(const RequestContext& ctx, WindowStreamState* stream,
-                       ServeResult* out, CorrelationMatrixSeries* series_out);
+                       ServeResult* out, CorrelationMatrixSeries* series_out,
+                       int64_t first_window = 0);
 
   /// The body of one materialized request, run as a pool task: deadline
   /// pre-check, tier resolution, then the exact plan + assembly or the
@@ -372,11 +416,15 @@ class DangoronServer {
   /// sketch-cache budget parks in the admission queue until evictions free
   /// budget, `deadline` passes (DeadlineExceeded), or `stream` (nullable)
   /// is cancelled; under `kRefuse` the historical refuse-oversized check
-  /// applies. Sets `*shared` when this query did not pay the build.
+  /// applies. Transient build failures (IoError, Internal — injected or
+  /// real) are retried up to kPrepareMaxRetries times with jittered
+  /// exponential backoff bounded by the remaining deadline;
+  /// ResourceExhausted is never retried (it feeds degradation, and backoff
+  /// cannot free a budget). Sets `*shared` when this query did not pay the
+  /// build.
   Result<std::shared_ptr<const PreparedDataset>> GetOrPrepare(
       std::shared_ptr<const TimeSeriesMatrix> data, uint64_t fingerprint,
-      AdmissionPolicy admission,
-      std::chrono::steady_clock::time_point deadline,
+      AdmissionPolicy admission, const DeadlineToken& deadline,
       WindowStreamState* stream, bool* shared);
 
   const DangoronServerOptions options_;
@@ -402,7 +450,7 @@ class DangoronServer {
   // actively running (see RunWindowPlan); no wait cycle and no dependence
   // on consumer progress. Streaming joiners can additionally abandon the
   // wait on cancellation (WaitForWindowClaim + CancelWaker).
-  std::mutex inflight_mutex_;
+  mutable std::mutex inflight_mutex_;  // mutable: stats() snapshots claims
   std::unordered_map<SketchCacheKey,
                      std::shared_future<std::shared_ptr<const PreparedDataset>>,
                      SketchCacheKeyHash>

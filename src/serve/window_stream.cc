@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/failpoint.h"
+
 namespace dangoron {
 
 WindowStreamState::WindowStreamState(int64_t queue_capacity)
@@ -20,7 +22,31 @@ bool WindowStreamState::Push(StreamedWindow window) {
   return true;
 }
 
+PushResult WindowStreamState::PushUntil(
+    StreamedWindow window, std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto have_slot = [this] {
+    return cancelled_ || static_cast<int64_t>(queue_.size()) < capacity_;
+  };
+  if (deadline == std::chrono::steady_clock::time_point::max()) {
+    can_push_.wait(lock, have_slot);
+  } else if (!can_push_.wait_until(lock, deadline, have_slot)) {
+    return PushResult::kDeadlineExceeded;
+  }
+  if (cancelled_) {
+    return PushResult::kCancelled;
+  }
+  queue_.push_back(std::move(window));
+  can_pop_.notify_one();
+  return PushResult::kPushed;
+}
+
 bool WindowStreamState::TryPush(StreamedWindow window) {
+  // Armed as a "consumer is slow" fault: the push fails as if the queue
+  // were full, forcing the producer down its claim-safe fallback path.
+  if (DANGORON_FAILPOINT_WAKE("stream.try_push")) {
+    return false;
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   if (cancelled_ || static_cast<int64_t>(queue_.size()) >= capacity_) {
     return false;

@@ -1,6 +1,7 @@
 #ifndef DANGORON_SERVE_WINDOW_STREAM_H_
 #define DANGORON_SERVE_WINDOW_STREAM_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -59,6 +60,8 @@ struct StreamingSummary {
   /// Eq. 2 jump accounting (approx tier only; see EngineStats).
   int64_t cells_jumped = 0;
   int64_t jumps = 0;
+  /// The request asked exact but degrade=auto served (part of) it approx.
+  bool degraded = false;
 };
 
 /// A condition variable a consumer blocked on something *other than* the
@@ -73,6 +76,13 @@ struct StreamingSummary {
 struct CancelWaker {
   std::mutex m;
   std::condition_variable cv;
+};
+
+/// Outcome of a deadline-aware blocking push (`PushUntil`).
+enum class PushResult : int8_t {
+  kPushed = 0,
+  kCancelled = 1,          ///< the stream was cancelled; stop producing
+  kDeadlineExceeded = 2,   ///< the deadline passed while blocked on a slot
 };
 
 /// The shared channel between a streaming query task (producer) and the
@@ -94,6 +104,14 @@ class WindowStreamState {
   /// Enqueues one window; blocks while the queue is full. Returns false
   /// when the stream is cancelled (the window is dropped).
   bool Push(StreamedWindow window);
+
+  /// Deadline-aware Push: additionally gives up with kDeadlineExceeded when
+  /// `deadline` passes while blocked on a full queue (time_point::max() =
+  /// wait indefinitely, i.e. plain Push). A producer serving a hard
+  /// deadline must not let a slow consumer hold it past the abort point —
+  /// the terminal status is itself a delivery the consumer is waiting for.
+  PushResult PushUntil(StreamedWindow window,
+                       std::chrono::steady_clock::time_point deadline);
 
   /// Non-blocking Push: enqueues and returns true only when a queue slot is
   /// free and the stream is live; returns false (window untouched in

@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "engine/dangoron_engine.h"
 #include "engine/factory.h"
@@ -1072,7 +1073,7 @@ TEST(ServeTierTest, AutoTierFollowsDeadlinePressure) {
   ASSERT_TRUE(generous.ok()) << generous.status().ToString();
   EXPECT_EQ(generous->tier_used, ServeTier::kExact);
 
-  request.options.deadline_ms = 0;  // no deadline: reuse-friendly exact
+  request.options.deadline_ms.reset();  // no deadline: reuse-friendly exact
   auto unhurried = server.Query(request);
   ASSERT_TRUE(unhurried.ok());
   EXPECT_EQ(unhurried->tier_used, ServeTier::kExact);
@@ -1321,6 +1322,367 @@ TEST(QueuedAdmissionTest, NeverFittingPrepareRefusedImmediately) {
   EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
   EXPECT_EQ(server.stats().prepares_refused, 1);
   EXPECT_EQ(server.stats().prepares_queued, 0);
+}
+
+// -------------------------------------------------------------- robustness --
+
+#if DANGORON_FAILPOINTS_ENABLED
+constexpr bool kServeFailpointsCompiled = true;
+#else
+constexpr bool kServeFailpointsCompiled = false;
+#endif
+
+// Serving-stack tests that arm failpoints: every test starts and ends
+// dormant so schedules cannot leak across tests (or into the rest of the
+// suite), and the whole fixture skips when sites are compiled out.
+class ServeFailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!kServeFailpointsCompiled) {
+      GTEST_SKIP() << "failpoints compiled out (DANGORON_FAILPOINTS=OFF)";
+    }
+    FailpointRegistry::Instance().DisarmAll();
+  }
+  void TearDown() override { FailpointRegistry::Instance().DisarmAll(); }
+};
+
+// The request surface rejects a non-positive deadline up front — naming the
+// offending value — instead of treating it as an instantly-expired clock.
+TEST(DangoronServerTest, RejectsNonPositiveDeadlineNamingTheValue) {
+  QueryRequest bare;
+  bare.dataset = "d";
+  bare.options.deadline_ms = -5;
+  const Status invalid = bare.Validate();
+  EXPECT_FALSE(invalid.ok());
+  EXPECT_NE(invalid.message().find("-5"), std::string::npos)
+      << invalid.ToString();
+  bare.options.deadline_ms = 0;
+  EXPECT_FALSE(bare.Validate().ok());
+  bare.options.deadline_ms.reset();  // unset means no deadline: valid
+  EXPECT_TRUE(bare.Validate().ok());
+
+  const int64_t b = 8;
+  DangoronServerOptions options;
+  options.num_threads = 1;
+  options.basic_window = b;
+  DangoronServer server(options);
+  ASSERT_TRUE(server.AddDataset("d", SmallClimate(3, b * 10, 7001)).ok());
+  QueryRequest request{"d", MakeQuery(0, b * 10, b * 2, b, 0.7),
+                       ServeOptions{}};
+  request.options.deadline_ms = -5;
+  auto result = server.Query(request);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("-5"), std::string::npos)
+      << result.status().ToString();
+
+  // The streaming surface fails the same way, terminally.
+  auto stream = server.SubmitStreaming(request);
+  EXPECT_FALSE(stream->Next().has_value());
+  EXPECT_EQ(stream->status().code(), StatusCode::kInvalidArgument);
+}
+
+// A joiner blocked on a claim nobody fulfills gives up at its deadline —
+// the third exit of the cancellable join wait, next to fulfillment and
+// stream cancellation.
+TEST(WindowClaimTest, DeadlineAbandonsUnfulfilledJoinWait) {
+  auto claim = std::make_shared<WindowClaim>();
+  WindowStreamState stream(/*queue_capacity=*/1);
+  bool cancelled = false;
+  bool deadline_hit = false;
+  WindowEdges edges = WaitForWindowClaim(claim, &stream, &cancelled,
+                                         DeadlineToken::After(20),
+                                         &deadline_hit);
+  EXPECT_EQ(edges, nullptr);
+  EXPECT_FALSE(cancelled);
+  EXPECT_TRUE(deadline_hit);
+
+  // Fulfillment still wins over a not-yet-expired deadline, and a late
+  // joiner with a deadline sees the fulfilled result immediately.
+  FulfillWindowClaim(claim, std::make_shared<std::vector<Edge>>());
+  bool late_deadline = true;
+  EXPECT_NE(WaitForWindowClaim(claim, &stream, &cancelled,
+                               DeadlineToken::After(20), &late_deadline),
+            nullptr);
+  EXPECT_FALSE(late_deadline);
+}
+
+// An eviction listener may call back into the cache (the admission queue's
+// re-check pattern), and a nested Put that evicts again must coalesce into
+// the running notification instead of recursing listener -> Put ->
+// listener without a depth bound.
+TEST(LruCacheTest, EvictionListenerMayReenterWithoutRecursing) {
+  WindowResultCache cache(250);
+  auto edges = std::make_shared<std::vector<Edge>>();
+  const auto key = [](int64_t start_bw) {
+    return WindowKey::Make(1, 24, 4, start_bw, 0.8, false);
+  };
+  int notifications = 0;
+  cache.SetEvictionListener([&] {
+    ++notifications;
+    // This Put itself evicts (the budget is already full): recursion here
+    // would re-enter the listener and never terminate.
+    cache.Put(key(1000 + notifications), edges, 100);
+  });
+  cache.Put(key(0), edges, 100);
+  cache.Put(key(1), edges, 100);
+  cache.Put(key(2), edges, 100);  // evicts key(0); listener evicts key(1)
+  EXPECT_EQ(notifications, 1);
+  const LruCacheStats stats = cache.stats();
+  EXPECT_LE(stats.bytes, 250);
+  EXPECT_EQ(stats.bytes, stats.entries * 100);  // byte accounting intact
+  EXPECT_EQ(stats.evictions, 2);
+}
+
+// The hard-deadline acceptance path: a streaming exact query whose sweep is
+// stalled (injected band delay) far past a short deadline terminates with
+// DeadlineExceeded promptly after the band boundary — after delivering the
+// ascending prefix of windows that completed, which stays cache-reusable.
+TEST_F(ServeFailpointTest, HardDeadlineAbortsMidSweepLeavingReusablePrefix) {
+  const int64_t b = 8;
+  const int64_t length = b * 40;
+  TimeSeriesMatrix data = SmallClimate(6, length, 7002);
+
+  DangoronServerOptions options;
+  options.num_threads = 2;
+  options.basic_window = b;
+  DangoronServer server(options);
+  ASSERT_TRUE(server.AddDataset("d", std::move(data)).ok());
+  const SlidingQuery query = MakeQuery(0, length, b * 6, b, 0.6);
+
+  // Every sweep band stalls 100 ms; a 25 ms deadline is blown inside the
+  // first band, so the abort must come from the mid-run enforcement.
+  ASSERT_TRUE(
+      FailpointRegistry::Instance().Configure("sweep.band=delay:100").ok());
+  QueryRequest request{"d", query, ServeOptions{}};
+  request.options.tier = ServeTier::kExact;
+  request.options.deadline_ms = 25;
+  auto stream = server.SubmitStreaming(request);
+  int64_t next_index = 0;
+  while (auto window = stream->Next()) {
+    EXPECT_EQ(window->window_index, next_index);  // an ascending prefix
+    ++next_index;
+  }
+  EXPECT_EQ(stream->status().code(), StatusCode::kDeadlineExceeded)
+      << stream->status().ToString();
+  EXPECT_LT(next_index, query.NumWindows());  // it really stopped early
+  const DangoronServerStats stats = server.stats();
+  EXPECT_EQ(stats.deadline_exceeded, 1);
+  EXPECT_EQ(stats.deadline_aborted_mid_run, 1);
+  EXPECT_EQ(stats.inflight_window_claims, 0);  // no leaked claims
+
+  // The completed prefix is already in the window cache: disarm the fault
+  // and the follow-up exact query re-reads it instead of recomputing.
+  FailpointRegistry::Instance().DisarmAll();
+  auto warm = server.Query("d", query);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_GE(warm->windows_from_cache, next_index);
+}
+
+// Graceful degradation, pre-run leg: an *explicitly* exact request whose
+// deadline the (pessimistically seeded) exact cost estimate already misses
+// is served approx on time under degrade=auto — and flagged, unlike kAuto's
+// own tier selection.
+TEST(ServeDegradeTest, ExplicitExactServedApproxUnderTightDeadline) {
+  const int64_t b = 8;
+  const int64_t length = b * 66;
+  TimeSeriesMatrix data = SmallClimate(256, length, 7003);
+
+  DangoronServerOptions options;
+  options.num_threads = 0;
+  options.basic_window = b;
+  DangoronServer server(options);
+  ASSERT_TRUE(server.AddDataset("d", std::move(data)).ok());
+
+  const SlidingQuery query = MakeQuery(0, length, b * 5, b, 0.7);
+  QueryRequest request{"d", query, ServeOptions{}};
+  request.options.tier = ServeTier::kExact;
+  request.options.degrade = DegradePolicy::kAuto;
+  request.options.deadline_ms = 10;
+  auto result = server.Query(request);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->tier_used, ServeTier::kApprox);
+  EXPECT_TRUE(result->degraded);
+  EXPECT_EQ(server.stats().degraded_to_approx, 1);
+  EXPECT_EQ(server.stats().queries_approx, 1);
+
+  // Without degrade (the default), the same request is never silently
+  // degraded: it runs exact — finishing in time or failing its deadline.
+  QueryRequest strict = request;
+  strict.options.degrade = DegradePolicy::kOff;
+  auto undegraded = server.Query(strict);
+  if (undegraded.ok()) {
+    EXPECT_EQ(undegraded->tier_used, ServeTier::kExact);
+    EXPECT_FALSE(undegraded->degraded);
+  } else {
+    EXPECT_EQ(undegraded.status().code(), StatusCode::kDeadlineExceeded);
+  }
+  EXPECT_EQ(server.stats().degraded_to_approx, 1);  // unchanged
+}
+
+// Transient prepare faults (IoError here) are absorbed by the bounded
+// jittered retry loop: the query succeeds, the retries are counted, and
+// exactly one build is ever paid.
+TEST_F(ServeFailpointTest, TransientPrepareFailuresAreRetriedAndAbsorbed) {
+  const int64_t b = 8;
+  TimeSeriesMatrix data = SmallClimate(4, b * 20, 7004);
+  const TimeSeriesMatrix copy = data;
+  DangoronServerOptions options;
+  options.num_threads = 1;
+  options.basic_window = b;
+  DangoronServer server(options);
+  ASSERT_TRUE(server.AddDataset("d", std::move(data)).ok());
+  ASSERT_TRUE(FailpointRegistry::Instance()
+                  .Configure("serve.prepare=error:ioerror*2")
+                  .ok());
+  const SlidingQuery query = MakeQuery(0, b * 20, b * 4, b, 0.7);
+  auto result = server.Query("d", query);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectSeriesEqual(NaiveTruth(copy, query), result->series, 1e-8);
+  const DangoronServerStats stats = server.stats();
+  EXPECT_EQ(stats.prepare_retries, 2);
+  EXPECT_EQ(stats.prepares_built, 1);
+}
+
+// A persistent prepare fault exhausts the retry budget and surfaces as the
+// failure it is — and does not poison the server: once the fault clears,
+// the next query builds and serves normally.
+TEST_F(ServeFailpointTest, PersistentPrepareFailureExhaustsBoundedRetries) {
+  const int64_t b = 8;
+  TimeSeriesMatrix data = SmallClimate(4, b * 20, 7005);
+  const TimeSeriesMatrix copy = data;
+  DangoronServerOptions options;
+  options.num_threads = 1;
+  options.basic_window = b;
+  DangoronServer server(options);
+  ASSERT_TRUE(server.AddDataset("d", std::move(data)).ok());
+  ASSERT_TRUE(FailpointRegistry::Instance()
+                  .Configure("serve.prepare=error:ioerror")
+                  .ok());
+  const SlidingQuery query = MakeQuery(0, b * 20, b * 4, b, 0.7);
+  auto result = server.Query("d", query);
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(server.stats().prepare_retries, 3);  // kPrepareMaxRetries
+  EXPECT_EQ(server.stats().prepares_built, 0);
+
+  FailpointRegistry::Instance().DisarmAll();
+  auto recovered = server.Query("d", query);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  ExpectSeriesEqual(NaiveTruth(copy, query), recovered->series, 1e-8);
+  EXPECT_EQ(server.stats().prepares_built, 1);
+}
+
+// Graceful degradation, mid-run leg: a prepare that dies of (injected)
+// resource exhaustion — which is never retried; backoff cannot free a
+// budget — falls back to the approx tier under degrade=auto and still
+// answers, with the deterministic jumping result.
+TEST_F(ServeFailpointTest, MidQueryResourceExhaustionDegradesToApprox) {
+  const int64_t b = 8;
+  const int64_t length = b * 40;
+  TimeSeriesMatrix data = SmallClimate(6, length, 7006);
+  const TimeSeriesMatrix copy = data;
+  DangoronServerOptions options;
+  options.num_threads = 2;
+  options.basic_window = b;
+  DangoronServer server(options);
+  ASSERT_TRUE(server.AddDataset("d", std::move(data)).ok());
+  // Count-limited to the exact attempt: the degraded re-prepare succeeds.
+  ASSERT_TRUE(FailpointRegistry::Instance()
+                  .Configure("serve.prepare=error:resource_exhausted*1")
+                  .ok());
+  const SlidingQuery query = MakeQuery(0, length, b * 6, b * 2, 0.6);
+  QueryRequest request{"d", query, ServeOptions{}};
+  request.options.tier = ServeTier::kExact;
+  request.options.degrade = DegradePolicy::kAuto;
+  auto result = server.Query(request);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->tier_used, ServeTier::kApprox);
+  EXPECT_TRUE(result->degraded);
+  const DangoronServerStats stats = server.stats();
+  EXPECT_EQ(stats.degraded_to_approx, 1);
+  EXPECT_EQ(stats.queries_approx, 1);
+  EXPECT_EQ(stats.queries, 1);  // the fallback is not a second query
+  EXPECT_EQ(stats.prepare_retries, 0);  // ResourceExhausted never retries
+
+  DangoronOptions engine_options;
+  engine_options.basic_window = b;
+  engine_options.enable_jumping = true;
+  DangoronEngine engine(engine_options);
+  ASSERT_TRUE(engine.Prepare(copy).ok());
+  auto jumped = engine.Query(query);
+  ASSERT_TRUE(jumped.ok());
+  ExpectSeriesEqual(*jumped, result->series, 0.0);
+}
+
+// Spurious full-queue reports from the opportunistic delivery path must
+// never drop or reorder a window: the blocking between-runs delivery picks
+// up whatever TryPush spuriously refused.
+TEST_F(ServeFailpointTest, SpuriousPushFailuresNeverDropOrReorderWindows) {
+  const int64_t b = 8;
+  const int64_t length = b * 40;
+  TimeSeriesMatrix data = SmallClimate(5, length, 7007);
+  const TimeSeriesMatrix copy = data;
+  DangoronServerOptions options;
+  options.num_threads = 2;
+  options.basic_window = b;
+  DangoronServer server(options);
+  ASSERT_TRUE(server.AddDataset("d", std::move(data)).ok());
+  ASSERT_TRUE(
+      FailpointRegistry::Instance().Configure("stream.try_push=wake%50").ok());
+  const SlidingQuery query = MakeQuery(0, length, b * 6, b * 2, 0.6);
+  const CorrelationMatrixSeries truth = NaiveTruth(copy, query);
+  auto stream = server.SubmitStreaming("d", query);
+  int64_t next_index = 0;
+  while (auto window = stream->Next()) {
+    ASSERT_EQ(window->window_index, next_index);
+    const auto expected = truth.WindowEdges(next_index);
+    ASSERT_EQ(window->edges->size(), expected.size())
+        << "window " << next_index;
+    for (size_t e = 0; e < expected.size(); ++e) {
+      EXPECT_EQ((*window->edges)[e].i, expected[e].i);
+      EXPECT_EQ((*window->edges)[e].j, expected[e].j);
+      EXPECT_NEAR((*window->edges)[e].value, expected[e].value, 1e-8);
+    }
+    ++next_index;
+  }
+  ASSERT_TRUE(stream->status().ok()) << stream->status().ToString();
+  EXPECT_EQ(next_index, query.NumWindows());
+}
+
+// A consumer that cancels and drains concurrently with server destruction:
+// teardown cancels active streams and joins producers while the consumer
+// races it through the same stream state — no deadlock, no use-after-free
+// (the state is shared ownership), and the stream still reaches a terminal
+// status. Run under TSan for the memory-order half of the claim.
+TEST(StreamingSubmitTest, DrainAfterCancelRacesServerTeardown) {
+  const int64_t b = 8;
+  const int64_t length = b * 40;
+  const TimeSeriesMatrix data = SmallClimate(5, length, 7008);
+  const SlidingQuery query = MakeQuery(0, length, b * 6, b, 0.6);
+
+  for (int round = 0; round < 8; ++round) {
+    DangoronServerOptions options;
+    options.num_threads = 2;
+    options.basic_window = b;
+    auto server = std::make_unique<DangoronServer>(options);
+    ASSERT_TRUE(server->AddDataset("d", data).ok());
+
+    StreamingSubmitOptions stream_options;
+    stream_options.queue_capacity = 1;  // the producer blocks on delivery
+    stream_options.max_batch_windows = 1;
+    auto stream = server->SubmitStreaming("d", query, stream_options);
+    ASSERT_TRUE(stream->Next().has_value());
+
+    std::thread consumer([&] {
+      stream->Cancel();
+      while (stream->Next().has_value()) {
+      }
+    });
+    server.reset();  // races the cancel + drain
+    consumer.join();
+    const StatusCode code = stream->status().code();
+    EXPECT_TRUE(code == StatusCode::kOk || code == StatusCode::kCancelled)
+        << stream->status().ToString();
+  }
 }
 
 }  // namespace
