@@ -1,0 +1,269 @@
+// Wire front-end loadgen: N concurrent TCP connections against a WireServer,
+// each submitting a stream of warm QueryRequests, measuring per-request
+// latency and time-to-first-window distributions (p50/p99). This is a
+// closed-loop load generator, not a google-benchmark microbench — the
+// numbers of record go to BENCH_wire.json, gated by
+// scripts/check_bench_regression.py with within-run hardware-robust bounds
+// (failures, delivered-window accounting, ttfw < total ordering), not
+// absolute milliseconds.
+//
+// Flags: --connections=<n> (default 32), --requests=<per connection,
+// default 8), --wire_comparison=off to skip the JSON.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "net/wire_server.h"
+#include "serve/server.h"
+#include "ts/generators.h"
+#include "wire/client.h"
+
+namespace dangoron {
+namespace {
+
+constexpr int64_t kBasicWindow = 24;
+constexpr int64_t kNumBasicWindows = 90;
+constexpr int64_t kNumSeries = 64;
+
+SlidingQuery BenchQuery() {
+  SlidingQuery query;
+  query.start = 0;
+  query.end = kNumBasicWindows * kBasicWindow;
+  query.window = 30 * kBasicWindow;
+  query.step = kBasicWindow;
+  query.threshold = 0.7;
+  return query;
+}
+
+double PercentileMs(std::vector<double>* sorted_ms, double p) {
+  if (sorted_ms->empty()) {
+    return 0.0;
+  }
+  std::sort(sorted_ms->begin(), sorted_ms->end());
+  const double rank = p / 100.0 * static_cast<double>(sorted_ms->size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted_ms->size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return (*sorted_ms)[lo] * (1.0 - frac) + (*sorted_ms)[hi] * frac;
+}
+
+struct LoadResult {
+  std::vector<double> total_ms;
+  std::vector<double> ttfw_ms;
+  int64_t failures = 0;
+  int64_t window_mismatches = 0;
+  double wall_s = 0.0;
+};
+
+// One client: its own TCP connection, `requests` sequential warm queries.
+void RunClient(int port, int requests, int64_t expected_windows,
+               std::vector<double>* total_ms, std::vector<double>* ttfw_ms,
+               std::atomic<int64_t>* failures,
+               std::atomic<int64_t>* window_mismatches) {
+  auto client = WireClient::ConnectTcp("127.0.0.1", port);
+  if (!client.ok()) {
+    failures->fetch_add(requests);
+    return;
+  }
+  const SlidingQuery query = BenchQuery();
+  for (int r = 0; r < requests; ++r) {
+    WireRequest request;
+    request.dataset = "d";
+    request.query = query;
+    Stopwatch watch;
+    if (!(*client)->Submit(request).ok()) {
+      failures->fetch_add(1);
+      return;  // the connection is unusable past a transport error
+    }
+    int64_t windows = 0;
+    double first_ms = 0.0;
+    bool transport_ok = true;
+    while (true) {
+      auto window = (*client)->Next();
+      if (!window.ok()) {
+        transport_ok = false;
+        break;
+      }
+      if (!window->has_value()) {
+        break;
+      }
+      if (windows == 0) {
+        first_ms = watch.ElapsedSeconds() * 1e3;
+      }
+      ++windows;
+    }
+    if (!transport_ok || !(*client)->result_status().ok()) {
+      failures->fetch_add(1);
+      if (!transport_ok) {
+        return;
+      }
+      continue;
+    }
+    if (windows != expected_windows ||
+        (*client)->summary().windows_delivered != windows) {
+      window_mismatches->fetch_add(1);
+      continue;
+    }
+    total_ms->push_back(watch.ElapsedSeconds() * 1e3);
+    ttfw_ms->push_back(first_ms);
+  }
+}
+
+LoadResult RunLoad(int port, int connections, int requests,
+                   int64_t expected_windows) {
+  std::vector<std::vector<double>> totals(connections);
+  std::vector<std::vector<double>> firsts(connections);
+  std::atomic<int64_t> failures{0};
+  std::atomic<int64_t> window_mismatches{0};
+  std::vector<std::thread> clients;
+  clients.reserve(connections);
+  Stopwatch wall;
+  for (int c = 0; c < connections; ++c) {
+    clients.emplace_back(RunClient, port, requests, expected_windows,
+                         &totals[c], &firsts[c], &failures,
+                         &window_mismatches);
+  }
+  for (std::thread& client : clients) {
+    client.join();
+  }
+  LoadResult result;
+  result.wall_s = wall.ElapsedSeconds();
+  for (int c = 0; c < connections; ++c) {
+    result.total_ms.insert(result.total_ms.end(), totals[c].begin(),
+                           totals[c].end());
+    result.ttfw_ms.insert(result.ttfw_ms.end(), firsts[c].begin(),
+                          firsts[c].end());
+  }
+  result.failures = failures.load();
+  result.window_mismatches = window_mismatches.load();
+  return result;
+}
+
+int RunBench(int connections, int requests, bool write_json) {
+  Rng rng(17);
+  DangoronServerOptions server_options;
+  server_options.num_threads = 0;
+  server_options.basic_window = kBasicWindow;
+  DangoronServer server(server_options);
+  CHECK(server
+            .AddDataset("d", GenerateWhiteNoise(
+                                 kNumSeries, kNumBasicWindows * kBasicWindow,
+                                 &rng))
+            .ok());
+  const SlidingQuery query = BenchQuery();
+  auto warm = server.Query("d", query);  // sketch + every window cached
+  CHECK(warm.ok());
+  const int64_t expected_windows = warm->series.num_windows();
+
+  WireServerOptions wire_options;
+  wire_options.port = 0;  // ephemeral
+  wire_options.worker_threads = connections;  // one in-flight per connection
+  wire_options.max_connections = connections + 8;
+  WireServer wire(&server, wire_options);
+  CHECK(wire.Start().ok());
+
+  LoadResult load =
+      RunLoad(wire.port(), connections, requests, expected_windows);
+  wire.Stop();
+  const WireServerStats stats = wire.stats();
+
+  const double p50 = PercentileMs(&load.total_ms, 50.0);
+  const double p99 = PercentileMs(&load.total_ms, 99.0);
+  const double ttfw_p50 = PercentileMs(&load.ttfw_ms, 50.0);
+  const double ttfw_p99 = PercentileMs(&load.ttfw_ms, 99.0);
+  const int64_t total_requests =
+      static_cast<int64_t>(connections) * requests;
+  const double rps =
+      load.wall_s > 0.0
+          ? static_cast<double>(load.total_ms.size()) / load.wall_s
+          : 0.0;
+
+  std::fprintf(stderr,
+               "wire load: %d connections x %d requests, %lld windows each "
+               "(%lld series): p50 %.3f ms, p99 %.3f ms, ttfw p50 %.3f ms, "
+               "ttfw p99 %.3f ms, %.0f req/s, %lld failures, "
+               "%lld mismatches; lanes high=%lld medium=%lld low=%lld\n",
+               connections, requests,
+               static_cast<long long>(expected_windows),
+               static_cast<long long>(kNumSeries), p50, p99, ttfw_p50,
+               ttfw_p99, rps, static_cast<long long>(load.failures),
+               static_cast<long long>(load.window_mismatches),
+               static_cast<long long>(stats.lanes.executed[0]),
+               static_cast<long long>(stats.lanes.executed[1]),
+               static_cast<long long>(stats.lanes.executed[2]));
+
+  if (write_json) {
+    std::FILE* out = std::fopen("BENCH_wire.json", "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write BENCH_wire.json\n");
+      return 1;
+    }
+    std::fprintf(
+        out,
+        "[\n  {\"bench\": \"wire_load\", \"connections\": %d, "
+        "\"requests_per_connection\": %d, \"total_requests\": %lld,\n"
+        "   \"n_series\": %lld, \"windows_per_request\": %lld, "
+        "\"completed\": %lld, \"failures\": %lld, "
+        "\"window_mismatches\": %lld,\n"
+        "   \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"ttfw_p50_ms\": %.3f, "
+        "\"ttfw_p99_ms\": %.3f, \"throughput_rps\": %.1f, "
+        "\"wall_s\": %.3f,\n"
+        "   \"lane_high\": %lld, \"lane_medium\": %lld, \"lane_low\": "
+        "%lld, \"bytes_out\": %lld}\n]\n",
+        connections, requests, static_cast<long long>(total_requests),
+        static_cast<long long>(kNumSeries),
+        static_cast<long long>(expected_windows),
+        static_cast<long long>(load.total_ms.size()),
+        static_cast<long long>(load.failures),
+        static_cast<long long>(load.window_mismatches), p50, p99, ttfw_p50,
+        ttfw_p99, rps, load.wall_s,
+        static_cast<long long>(stats.lanes.executed[0]),
+        static_cast<long long>(stats.lanes.executed[1]),
+        static_cast<long long>(stats.lanes.executed[2]),
+        static_cast<long long>(stats.bytes_out));
+    std::fclose(out);
+    std::fprintf(stderr, "wrote BENCH_wire.json\n");
+  }
+  return (load.failures == 0 && load.window_mismatches == 0) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace dangoron
+
+int main(int argc, char** argv) {
+  int connections = 32;
+  int requests = 8;
+  bool write_json = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg.rfind("--connections=", 0) == 0) {
+      connections = std::atoi(arg.data() + 14);
+    } else if (arg.rfind("--requests=", 0) == 0) {
+      requests = std::atoi(arg.data() + 11);
+    } else if (arg == "--wire_comparison=off") {
+      write_json = false;
+    } else if (arg == "--wire_comparison=on") {
+      write_json = true;
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag '%s' (known: --connections=, --requests=, "
+                   "--wire_comparison=on|off)\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+  if (connections < 1 || requests < 1) {
+    std::fprintf(stderr, "connections and requests must be >= 1\n");
+    return 2;
+  }
+  return dangoron::RunBench(connections, requests, write_json);
+}

@@ -1,0 +1,299 @@
+// dangoron_serverd: the library over the network — a daemon speaking the
+// framed wire protocol (docs/WIRE_PROTOCOL.md), and the matching
+// command-line client.
+//
+// Serve:
+//   dangoron_serverd serve <data.{csv,dgrn}> [name=data] [port=7311]
+//                    [server=<options>] [workers=<n>]
+//     Loads the dataset, registers it under `name`, and serves QueryRequests
+//     on `port` until SIGINT/SIGTERM. `server=` is the same option string
+//     CreateServer takes everywhere else (e.g. server=basic_window=24).
+//     port=0 binds an ephemeral port (printed on stdout).
+//
+// Query:
+//   dangoron_serverd query <host> <port> <dataset> <window> <step> <beta>
+//                    [abs] [tier=...] [deadline=<ms>] [degrade=off|auto]
+//                    [out.csv]
+//     Submits one request, streams the per-window results as they arrive,
+//     prints the terminal summary. Flags and exit codes are run_query's
+//     (examples/serve_flags.h) — the wire adds transport, not semantics:
+//     the same query against the same server answers byte-identically to an
+//     in-process Submit.
+//
+// Quickstart (two terminals):
+//   ./build/tomborg_generate 32 4096 block pink 1 /tmp/d.csv
+//   ./build/dangoron_serverd serve /tmp/d.csv port=7311 &
+//   ./build/dangoron_serverd query 127.0.0.1 7311 data 512 128 0.8 \
+//       deadline=250 /tmp/net.csv
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "engine/factory.h"
+#include "net/wire_server.h"
+#include "serve/server.h"
+#include "serve_flags.h"
+#include "ts/csv.h"
+#include "ts/dataset_io.h"
+#include "ts/resample.h"
+#include "wire/client.h"
+
+namespace dangoron {
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s serve <data.{csv,dgrn}> [name=data] [port=7311]\n"
+      "          [server=<options>] [workers=<n>]\n"
+      "       %s query <host> <port> <dataset> <window> <step> <beta>\n"
+      "          %s [out.csv]\n"
+      "query flags:\n%s"
+      "exit codes:\n%s",
+      argv0, argv0, ServeFlagUsage().c_str(), ServeFlagHelp("  ").c_str(),
+      ExitCodeHelp("  ").c_str());
+  return 2;
+}
+
+Result<TimeSeriesMatrix> LoadData(const std::string& path) {
+  Result<TimeSeriesMatrix> data =
+      EndsWith(path, ".dgrn") ? LoadDataset(path) : LoadCsv(path);
+  RETURN_IF_ERROR(data.status());
+  if (data->CountMissing() > 0) {
+    RETURN_IF_ERROR(InterpolateMissing(&*data));
+  }
+  return data;
+}
+
+int RunServe(int argc, char** argv) {
+  if (argc < 3) {
+    return Usage(argv[0]);
+  }
+  const std::string data_path = argv[2];
+  std::string name = "data";
+  std::string server_options;
+  WireServerOptions wire_options;
+  wire_options.port = 7311;
+  for (int a = 3; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg.rfind("name=", 0) == 0) {
+      name = arg.substr(5);
+    } else if (arg.rfind("port=", 0) == 0) {
+      wire_options.port = std::atoi(arg.c_str() + 5);
+    } else if (arg.rfind("server=", 0) == 0) {
+      server_options = arg.substr(7);
+    } else if (arg.rfind("workers=", 0) == 0) {
+      wire_options.worker_threads = std::atoi(arg.c_str() + 8);
+    } else {
+      std::fprintf(stderr, "unknown serve argument '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  Result<TimeSeriesMatrix> data = LoadData(data_path);
+  if (!data.ok()) {
+    std::fprintf(stderr, "load: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  auto server = CreateServer(server_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "server: %s\n", server.status().ToString().c_str());
+    return 1;
+  }
+  if (Status status = (*server)->AddDataset(name, std::move(*data));
+      !status.ok()) {
+    std::fprintf(stderr, "AddDataset: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  WireServer wire(server->get(), wire_options);
+  if (Status status = wire.Start(); !status.ok()) {
+    std::fprintf(stderr, "start: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("serving dataset '%s' on %s:%d (fingerprint %llu)\n",
+              name.c_str(), wire_options.bind_address.c_str(), wire.port(),
+              static_cast<unsigned long long>(
+                  *(*server)->DatasetFingerprint(name)));
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  sigset_t empty;
+  sigemptyset(&empty);
+  while (g_stop == 0) {
+    sigsuspend(&empty);  // sleep until a signal arrives
+  }
+
+  wire.Stop();
+  const WireServerStats stats = wire.stats();
+  std::printf(
+      "shutting down: %lld connections, %lld requests "
+      "(lanes high=%lld medium=%lld low=%lld), %lld cancels, "
+      "%lld disconnect-cancels, %lld protocol errors, "
+      "%lld bytes in, %lld bytes out\n",
+      static_cast<long long>(stats.connections_accepted +
+                             stats.connections_adopted),
+      static_cast<long long>(stats.requests),
+      static_cast<long long>(stats.lanes.executed[0]),
+      static_cast<long long>(stats.lanes.executed[1]),
+      static_cast<long long>(stats.lanes.executed[2]),
+      static_cast<long long>(stats.cancel_frames),
+      static_cast<long long>(stats.disconnect_cancels),
+      static_cast<long long>(stats.protocol_errors),
+      static_cast<long long>(stats.bytes_in),
+      static_cast<long long>(stats.bytes_out));
+  return 0;
+}
+
+int RunQuery(int argc, char** argv) {
+  if (argc < 8) {
+    return Usage(argv[0]);
+  }
+  const std::string host = argv[2];
+  const int port = std::atoi(argv[3]);
+
+  WireRequest request;
+  request.dataset = argv[4];
+  request.query.start = 0;
+  request.query.end = 0;  // 0 = the dataset's full range (server-side)
+  request.query.window = std::atoll(argv[5]);
+  request.query.step = std::atoll(argv[6]);
+  request.query.threshold = std::atof(argv[7]);
+
+  ParsedServeFlags flags;
+  std::string out_path;
+  for (int a = 8; a < argc; ++a) {
+    const std::string arg = argv[a];
+    std::string error;
+    switch (ParseServeFlag(arg, &flags, &error)) {
+      case ServeFlagParse::kMatched:
+        break;
+      case ServeFlagParse::kError:
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 2;
+      case ServeFlagParse::kNoMatch:
+        out_path = arg;
+        break;
+    }
+  }
+  if (Status status =
+          ApplyServeFlags(flags, &request.query, &request.options);
+      !status.ok()) {
+    std::fprintf(stderr, "flags: %s\n", status.ToString().c_str());
+    return 2;
+  }
+
+  auto client = WireClient::ConnectTcp(host, port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect: %s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  Stopwatch watch;
+  if (Status status = (*client)->Submit(request); !status.ok()) {
+    std::fprintf(stderr, "submit: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  std::FILE* out = nullptr;
+  if (!out_path.empty()) {
+    out = std::fopen(out_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fprintf(out, "window,i,j,correlation\n");
+  }
+
+  double ttfw_ms = 0.0;
+  int64_t windows = 0;
+  int64_t edges = 0;
+  while (true) {
+    auto window = (*client)->Next();
+    if (!window.ok()) {
+      std::fprintf(stderr, "stream: %s\n",
+                   window.status().ToString().c_str());
+      if (out != nullptr) {
+        std::fclose(out);
+      }
+      return 1;
+    }
+    if (!window->has_value()) {
+      break;  // terminal status frame
+    }
+    if (windows == 0) {
+      ttfw_ms = watch.ElapsedSeconds() * 1e3;
+    }
+    ++windows;
+    edges += static_cast<int64_t>((*window)->edges->size());
+    if (out != nullptr) {
+      for (const Edge& edge : *(*window)->edges) {
+        std::fprintf(out, "%lld,%d,%d,%.17g\n",
+                     static_cast<long long>((*window)->window_index), edge.i,
+                     edge.j, edge.value);
+      }
+    }
+  }
+  if (out != nullptr) {
+    std::fclose(out);
+  }
+  const double total_ms = watch.ElapsedSeconds() * 1e3;
+
+  const Status& verdict = (*client)->result_status();
+  const WireSummary& summary = (*client)->summary();
+  if (!verdict.ok()) {
+    std::fprintf(stderr, "query: %s\n", verdict.ToString().c_str());
+    return ExitCodeFor(verdict);
+  }
+  std::printf(
+      "served %.3f ms by the %s tier%s over the wire; first window %.3f ms; "
+      "%lld windows, %lld edges (prepare %s; %lld computed, %lld cached, "
+      "%lld joined; %lld cells jumped in %lld jumps)\n",
+      total_ms, std::string(ServeTierName(summary.tier_used)).c_str(),
+      summary.degraded ? " (degraded)" : "", ttfw_ms,
+      static_cast<long long>(windows), static_cast<long long>(edges),
+      summary.prepared_from_cache ? "shared" : "built",
+      static_cast<long long>(summary.windows_computed),
+      static_cast<long long>(summary.windows_from_cache),
+      static_cast<long long>(summary.windows_joined),
+      static_cast<long long>(summary.cells_jumped),
+      static_cast<long long>(summary.jumps));
+  if (summary.windows_delivered != windows) {
+    std::fprintf(stderr,
+                 "frame accounting mismatch: server sent %lld windows, "
+                 "client saw %lld\n",
+                 static_cast<long long>(summary.windows_delivered),
+                 static_cast<long long>(windows));
+    return 1;
+  }
+  if (!out_path.empty()) {
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage(argv[0]);
+  }
+  if (std::strcmp(argv[1], "serve") == 0) {
+    return RunServe(argc, argv);
+  }
+  if (std::strcmp(argv[1], "query") == 0) {
+    return RunQuery(argc, argv);
+  }
+  return Usage(argv[0]);
+}
+
+}  // namespace
+}  // namespace dangoron
+
+int main(int argc, char** argv) { return dangoron::Run(argc, argv); }

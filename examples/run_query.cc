@@ -23,6 +23,8 @@
 // Exit codes: 0 success, 1 generic failure, 2 usage error, 3 the query
 // failed on its deadline (DeadlineExceeded), 4 it was cancelled
 // (Cancelled) — so scripted callers can tell a latency miss from a bug.
+// The flag and exit-code tables live in examples/serve_flags.h, shared with
+// serving_demo and dangoron_serverd; the help text renders from them.
 //
 // Examples:
 //   ./build/examples/tomborg_generate 32 4096 block pink 1 /tmp/d.csv
@@ -39,6 +41,7 @@
 #include "engine/factory.h"
 #include "network/export.h"
 #include "serve/server.h"
+#include "serve_flags.h"
 #include "ts/csv.h"
 #include "ts/dataset_io.h"
 #include "ts/resample.h"
@@ -46,25 +49,10 @@
 namespace dangoron {
 namespace {
 
-// Distinct exit codes for the failure modes a scripted caller reacts to
-// differently: a deadline miss wants a retry with a looser budget or the
-// approx tier; a cancellation is usually the caller's own doing.
-int ExitCodeFor(const Status& status) {
-  switch (status.code()) {
-    case StatusCode::kDeadlineExceeded:
-      return 3;
-    case StatusCode::kCancelled:
-      return 4;
-    default:
-      return 1;
-  }
-}
-
 // Runs `query` through a DangoronServer built from `server_options`,
 // printing the request's tier/source accounting instead of EngineStats.
 int RunServe(const TimeSeriesMatrix& data, const std::string& server_options,
-             SlidingQuery query, const std::string& tier_flag,
-             int64_t deadline_ms, const std::string& degrade_flag,
+             SlidingQuery query, const ParsedServeFlags& flags,
              const std::string& out_path) {
   auto server = CreateServer(server_options);
   if (!server.ok()) {
@@ -79,25 +67,10 @@ int RunServe(const TimeSeriesMatrix& data, const std::string& server_options,
   QueryRequest request;
   request.dataset = "data";
   request.query = query;
-  if (deadline_ms > 0) {
-    request.options.deadline_ms = deadline_ms;  // 0 stays "no deadline"
-  }
-  if (!tier_flag.empty()) {
-    auto tier = ParseServeTier(tier_flag);
-    if (!tier.ok()) {
-      std::fprintf(stderr, "tier: %s\n", tier.status().ToString().c_str());
-      return 1;
-    }
-    request.options.tier = *tier;
-  }
-  if (!degrade_flag.empty()) {
-    auto degrade = ParseDegradePolicy(degrade_flag);
-    if (!degrade.ok()) {
-      std::fprintf(stderr, "degrade: %s\n",
-                   degrade.status().ToString().c_str());
-      return 1;
-    }
-    request.options.degrade = *degrade;
+  if (Status status = ApplyServeFlags(flags, &request.query, &request.options);
+      !status.ok()) {
+    std::fprintf(stderr, "flags: %s\n", status.ToString().c_str());
+    return 2;
   }
 
   std::printf("data: %lld series x %lld points; engine: serve; query: %s\n",
@@ -143,10 +116,12 @@ int Run(int argc, char** argv) {
   if (argc < 6) {
     std::fprintf(stderr,
                  "usage: %s <data.{csv,dgrn}> <engine>[:opts] <window> "
-                 "<step> <beta> [abs] [tier=exact|approx|auto] "
-                 "[deadline=<ms>] [degrade=off|auto] [out.csv]\n"
-                 "  engines: %s, or serve[:server-options]\n",
-                 argv[0], KnownEngineNames().c_str());
+                 "<step> <beta> %s [out.csv]\n"
+                 "  engines: %s, or serve[:server-options]\n"
+                 "flags (serve engine, except abs):\n%s"
+                 "exit codes:\n%s",
+                 argv[0], ServeFlagUsage().c_str(), KnownEngineNames().c_str(),
+                 ServeFlagHelp("  ").c_str(), ExitCodeHelp("  ").c_str());
     return 2;
   }
   const std::string data_path = argv[1];
@@ -186,48 +161,29 @@ int Run(int argc, char** argv) {
   query.threshold = std::atof(argv[5]);
 
   // Trailing flags, position-free (the historical 'abs then out.csv' order
-  // keeps working): 'abs', 'tier=...', 'deadline=...', else the out path.
-  std::string tier_flag;
-  std::string degrade_flag;
+  // keeps working): the shared serve-flag table, else the out path.
+  ParsedServeFlags flags;
   std::string out_path;
-  int64_t deadline_ms = 0;
   for (int a = 6; a < argc; ++a) {
     const std::string arg = argv[a];
-    if (arg == "abs") {
-      query.absolute = true;
-    } else if (arg.rfind("tier=", 0) == 0) {
-      tier_flag = arg.substr(5);
-    } else if (arg.rfind("degrade=", 0) == 0) {
-      degrade_flag = arg.substr(8);
-    } else if (arg.rfind("deadline=", 0) == 0) {
-      char* end = nullptr;
-      deadline_ms = std::strtoll(arg.c_str() + 9, &end, 10);
-      if (end == arg.c_str() + 9 || *end != '\0' || deadline_ms < 0) {
-        std::fprintf(stderr,
-                     "deadline= wants a non-negative millisecond count, "
-                     "got '%s'\n",
-                     arg.c_str() + 9);
+    std::string error;
+    switch (ParseServeFlag(arg, &flags, &error)) {
+      case ServeFlagParse::kMatched:
+        break;
+      case ServeFlagParse::kError:
+        std::fprintf(stderr, "%s\n", error.c_str());
         return 2;
-      }
-    } else if (arg.find('=') != std::string::npos) {
-      // A key=value-shaped token that matched no known flag is a typo'd
-      // flag, not an output path — dropping it silently would change the
-      // query's semantics (e.g. run without the intended deadline).
-      std::fprintf(stderr,
-                   "unknown flag '%s' (known: abs, tier=, deadline=, "
-                   "degrade=)\n",
-                   arg.c_str());
-      return 2;
-    } else {
-      out_path = arg;
+      case ServeFlagParse::kNoMatch:
+        out_path = arg;
+        break;
     }
   }
+  query.absolute = flags.absolute;
 
   if (engine_name == "serve") {
-    return RunServe(*data, engine_options, query, tier_flag, deadline_ms,
-                    degrade_flag, out_path);
+    return RunServe(*data, engine_options, query, flags, out_path);
   }
-  if (!tier_flag.empty() || !degrade_flag.empty() || deadline_ms != 0) {
+  if (flags.any_serve_option()) {
     std::fprintf(stderr,
                  "tier=/deadline=/degrade= are QueryRequest options: use the "
                  "'serve' engine (got engine '%s')\n",

@@ -1,0 +1,190 @@
+#ifndef DANGORON_EXAMPLES_SERVE_FLAGS_H_
+#define DANGORON_EXAMPLES_SERVE_FLAGS_H_
+
+// The one table behind every serve-facing command line in examples/:
+// run_query, serving_demo, and dangoron_serverd all render their usage text,
+// parse their trailing flags, and pick their exit codes from here, so the
+// three tools cannot drift apart (the drift this header was introduced to
+// fix). README.md's quickstart documents the same flags and codes.
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "common/status.h"
+#include "engine/query.h"
+#include "serve/query_request.h"
+
+namespace dangoron {
+
+// ------------------------------------------------------------ flag table --
+
+struct ServeFlagSpec {
+  const char* usage;  ///< as shown in a usage line, e.g. "tier=exact|..."
+  const char* help;   ///< one-line explanation
+};
+
+inline constexpr ServeFlagSpec kServeFlagSpecs[] = {
+    {"abs", "threshold on |corr| >= beta instead of signed corr >= beta"},
+    {"tier=exact|approx|auto",
+     "service tier of the request (default: the server's default tier, "
+     "exact unless configured; auto picks by deadline budget)"},
+    {"deadline=<ms>",
+     "deadline in milliseconds: admission, auto-tier choice, and hard "
+     "mid-run enforcement (0 = no deadline)"},
+    {"degrade=off|auto",
+     "degradation under pressure: auto serves approx instead of failing a "
+     "blown deadline estimate or a mid-query resource exhaustion"},
+};
+
+/// "[abs] [tier=exact|approx|auto] [deadline=<ms>] [degrade=off|auto]"
+inline std::string ServeFlagUsage() {
+  std::string usage;
+  for (const ServeFlagSpec& spec : kServeFlagSpecs) {
+    if (!usage.empty()) {
+      usage += ' ';
+    }
+    usage += '[';
+    usage += spec.usage;
+    usage += ']';
+  }
+  return usage;
+}
+
+/// One "  token:  help" line per flag, each prefixed with `indent`.
+inline std::string ServeFlagHelp(const char* indent) {
+  std::string help;
+  for (const ServeFlagSpec& spec : kServeFlagSpecs) {
+    help += indent;
+    help += spec.usage;
+    help += ": ";
+    help += spec.help;
+    help += '\n';
+  }
+  return help;
+}
+
+// ------------------------------------------------------------ exit codes --
+
+struct ExitCodeSpec {
+  int code;
+  const char* meaning;
+};
+
+/// Why 3 and 4 exist: a scripted caller reacts differently to a latency
+/// miss (retry with a looser budget or the approx tier) than to its own
+/// cancellation or to a real bug.
+inline constexpr ExitCodeSpec kExitCodeSpecs[] = {
+    {0, "success"},
+    {1, "generic failure (load, engine, query, or export error)"},
+    {2, "usage error (bad arguments or an unknown flag)"},
+    {3, "the query failed on its deadline (DeadlineExceeded)"},
+    {4, "the query was cancelled (Cancelled)"},
+};
+
+inline int ExitCodeFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kDeadlineExceeded:
+      return 3;
+    case StatusCode::kCancelled:
+      return 4;
+    default:
+      return 1;
+  }
+}
+
+/// One "  N  meaning" line per exit code, each prefixed with `indent`.
+inline std::string ExitCodeHelp(const char* indent) {
+  std::string help;
+  for (const ExitCodeSpec& spec : kExitCodeSpecs) {
+    help += indent;
+    help += std::to_string(spec.code);
+    help += "  ";
+    help += spec.meaning;
+    help += '\n';
+  }
+  return help;
+}
+
+// --------------------------------------------------------------- parsing --
+
+/// Accumulated trailing serve flags of one command line.
+struct ParsedServeFlags {
+  bool absolute = false;
+  std::string tier;     ///< raw token; empty = server default
+  std::string degrade;  ///< raw token; empty = server default
+  int64_t deadline_ms = 0;  ///< 0 = no deadline
+
+  bool any_serve_option() const {
+    return !tier.empty() || !degrade.empty() || deadline_ms != 0;
+  }
+};
+
+enum class ServeFlagParse {
+  kMatched,  ///< consumed into `flags`
+  kNoMatch,  ///< not one of ours (e.g. an output path)
+  kError,    ///< one of ours with a bad value, or a typo'd key=value
+};
+
+/// Parses one trailing argument against the flag table. A key=value-shaped
+/// token that matches no known flag is an error, not kNoMatch — dropping a
+/// typo'd flag silently would change the query's semantics (e.g. run
+/// without the intended deadline).
+inline ServeFlagParse ParseServeFlag(const std::string& arg,
+                                     ParsedServeFlags* flags,
+                                     std::string* error) {
+  if (arg == "abs") {
+    flags->absolute = true;
+    return ServeFlagParse::kMatched;
+  }
+  if (arg.rfind("tier=", 0) == 0) {
+    flags->tier = arg.substr(5);
+    return ServeFlagParse::kMatched;
+  }
+  if (arg.rfind("degrade=", 0) == 0) {
+    flags->degrade = arg.substr(8);
+    return ServeFlagParse::kMatched;
+  }
+  if (arg.rfind("deadline=", 0) == 0) {
+    char* end = nullptr;
+    const char* value = arg.c_str() + 9;
+    flags->deadline_ms = std::strtoll(value, &end, 10);
+    if (end == value || *end != '\0' || flags->deadline_ms < 0) {
+      *error = "deadline= wants a non-negative millisecond count, got '" +
+               std::string(value) + "'";
+      return ServeFlagParse::kError;
+    }
+    return ServeFlagParse::kMatched;
+  }
+  if (arg.find('=') != std::string::npos) {
+    *error = "unknown flag '" + arg + "' (known: abs, tier=, deadline=, "
+             "degrade=)";
+    return ServeFlagParse::kError;
+  }
+  return ServeFlagParse::kNoMatch;
+}
+
+/// Resolves the parsed flags into the query and the request options
+/// (validating the tier/degrade tokens).
+inline Status ApplyServeFlags(const ParsedServeFlags& flags,
+                              SlidingQuery* query, ServeOptions* options) {
+  query->absolute = flags.absolute;
+  if (flags.deadline_ms > 0) {
+    options->deadline_ms = flags.deadline_ms;  // 0 stays "no deadline"
+  }
+  if (!flags.tier.empty()) {
+    Result<ServeTier> tier = ParseServeTier(flags.tier);
+    RETURN_IF_ERROR(tier.status());
+    options->tier = *tier;
+  }
+  if (!flags.degrade.empty()) {
+    Result<DegradePolicy> degrade = ParseDegradePolicy(flags.degrade);
+    RETURN_IF_ERROR(degrade.status());
+    options->degrade = *degrade;
+  }
+  return Status::Ok();
+}
+
+}  // namespace dangoron
+
+#endif  // DANGORON_EXAMPLES_SERVE_FLAGS_H_

@@ -34,13 +34,24 @@ measured *within one run*:
   so baseline-relative ratios would gate on the runner's hardware, not
   the code.
 
+- wire (BENCH_wire.json): the network front end's loadgen. Latency
+  percentiles are machine-dependent, so the gates are within-run
+  invariants that hold on any hardware: zero transport failures and zero
+  delivered-window accounting mismatches across all requests, every
+  request completed, time-to-first-window at or below total latency at
+  both gated percentiles (the streaming property — equality only when
+  every response is a single flush), and the loadgen actually exercised
+  the acceptance-criteria concurrency (>= 32 connections).
+
 Usage:
   check_bench_regression.py --baseline BENCH_kernels.json \
       --fresh build/BENCH_kernels.json [--tolerance 0.25] \
       [--query-baseline BENCH_query.json \
        --query-fresh build/BENCH_query.json] \
       [--serving-baseline BENCH_serving.json \
-       --serving-fresh build/BENCH_serving.json]
+       --serving-fresh build/BENCH_serving.json] \
+      [--wire-baseline BENCH_wire.json \
+       --wire-fresh build/BENCH_wire.json]
 """
 
 import argparse
@@ -222,6 +233,60 @@ def gate_serving(baseline_path, fresh_path, failures):
                     f"band-widths, above the 2-band cancellation bound")
 
 
+# The acceptance-criteria concurrency of the wire front end: the committed
+# loadgen run must drive at least this many concurrent connections.
+MIN_WIRE_CONNECTIONS = 32
+
+
+def gate_wire(baseline_path, fresh_path, failures):
+    baseline = load_entries(baseline_path, ("bench", "connections"))
+    fresh = load_entries(fresh_path, ("bench", "connections"))
+    for key, base_entry in sorted(baseline.items()):
+        bench, connections = key
+        fresh_entry = fresh.get(key)
+        if fresh_entry is None:
+            failures.append(f"{bench} c={connections}: missing from fresh run")
+            print(f"{bench:<20} {str(key):>14} {'-':>13} {'-':>14} "
+                  f"{'-':>8}  MISSING")
+            continue
+        # Correctness invariants of the run itself: every request completed,
+        # none failed, and every response delivered exactly the windows its
+        # terminal status claimed. These hold on any hardware; a miss is a
+        # wire-layer bug (lost frames, leaked streams), never a slow runner.
+        problems = []
+        if fresh_entry["connections"] < MIN_WIRE_CONNECTIONS:
+            problems.append(
+                f"only {fresh_entry['connections']} connections, "
+                f"acceptance floor is {MIN_WIRE_CONNECTIONS}")
+        if fresh_entry["failures"] != 0:
+            problems.append(f"{fresh_entry['failures']} transport failures")
+        if fresh_entry["window_mismatches"] != 0:
+            problems.append(
+                f"{fresh_entry['window_mismatches']} delivered-window "
+                f"accounting mismatches")
+        if fresh_entry["completed"] != fresh_entry["total_requests"]:
+            problems.append(
+                f"completed {fresh_entry['completed']} of "
+                f"{fresh_entry['total_requests']} requests")
+        # Streaming property at both gated percentiles: the first window of
+        # a response cannot arrive after its last (<= because a short warm
+        # response can land in one flush, making the two equal).
+        for percentile in ("p50", "p99"):
+            ttfw = fresh_entry[f"ttfw_{percentile}_ms"]
+            total = fresh_entry[f"{percentile}_ms"]
+            if ttfw > total:
+                problems.append(
+                    f"ttfw_{percentile} {ttfw:.3f} ms above total "
+                    f"{percentile} {total:.3f} ms")
+        ok = not problems
+        print(f"{bench:<20} {str(key):>14} "
+              f"{base_entry['p50_ms']:>13.3f} "
+              f"{fresh_entry['p50_ms']:>14.3f} {'invariant':>9}  "
+              f"{'ok' if ok else 'REGRESSED'}")
+        for problem in problems:
+            failures.append(f"{bench} c={connections}: {problem}")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
@@ -238,6 +303,10 @@ def main():
                         help="committed BENCH_serving.json")
     parser.add_argument("--serving-fresh",
                         help="JSON emitted by this run's bench_serving")
+    parser.add_argument("--wire-baseline",
+                        help="committed BENCH_wire.json")
+    parser.add_argument("--wire-fresh",
+                        help="JSON emitted by this run's bench_wire")
     args = parser.parse_args()
 
     failures = []
@@ -254,6 +323,11 @@ def main():
     elif args.serving_baseline or args.serving_fresh:
         print("need both --serving-baseline and --serving-fresh",
               file=sys.stderr)
+        return 2
+    if args.wire_baseline and args.wire_fresh:
+        gate_wire(args.wire_baseline, args.wire_fresh, failures)
+    elif args.wire_baseline or args.wire_fresh:
+        print("need both --wire-baseline and --wire-fresh", file=sys.stderr)
         return 2
 
     if failures:

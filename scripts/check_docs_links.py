@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Checks every relative link in the repository's Markdown docs.
+
+Walks all tracked *.md files (skipping build trees), extracts inline
+Markdown links and image references, and verifies that every relative
+target exists on disk — including `#fragment` anchors against the target
+file's headings. External links (http/https/mailto) are not fetched; a
+docs build must not depend on the network.
+
+Exit 0 when every link resolves, 1 otherwise (one line per broken link).
+
+Usage:
+  check_docs_links.py [repo_root]
+"""
+
+import os
+import re
+import sys
+
+# [text](target) — target captured up to the closing paren; nested parens
+# do not occur in this repo's docs.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+SKIP_DIRS = {"build", ".git", ".ccache", "third_party"}
+# Per-PR scratch files, not documentation.
+SKIP_FILES = {"ISSUE.md"}
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_anchor(heading):
+    """GitHub's heading -> anchor slug: lowercase, strip punctuation,
+    spaces to hyphens. Close enough for the headings used here."""
+    # Drop inline code ticks and links, keep their text.
+    heading = heading.replace("`", "")
+    heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    slug = []
+    for ch in heading.strip().lower():
+        if ch.isalnum():
+            slug.append(ch)
+        elif ch in " -_":
+            slug.append("-" if ch in " -" else ch)
+    return "".join(slug)
+
+
+def anchors_of(path, cache={}):
+    if path not in cache:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        cache[path] = {github_anchor(h) for h in HEADING_RE.findall(text)}
+    return cache[path]
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md") and name not in SKIP_FILES:
+                yield os.path.join(dirpath, name)
+
+
+def check_file(md_path, root, errors):
+    with open(md_path, encoding="utf-8") as f:
+        text = f.read()
+    # Ignore links inside fenced code blocks — they are examples, not
+    # navigation.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    rel_md = os.path.relpath(md_path, root)
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL_PREFIXES):
+            continue
+        path_part, _, fragment = target.partition("#")
+        if not path_part:  # same-file anchor
+            resolved = md_path
+        else:
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(md_path), path_part))
+        if not os.path.exists(resolved):
+            errors.append(f"{rel_md}: broken link -> {target}")
+            continue
+        if fragment and resolved.endswith(".md"):
+            if fragment not in anchors_of(resolved):
+                errors.append(
+                    f"{rel_md}: missing anchor -> {target} "
+                    f"(no heading slugs to '{fragment}')")
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    errors = []
+    count = 0
+    for md_path in sorted(markdown_files(root)):
+        count += 1
+        check_file(md_path, root, errors)
+    if errors:
+        print(f"docs link check FAILED ({len(errors)} broken links "
+              f"across {count} files):", file=sys.stderr)
+        for error in errors:
+            print(f"  - {error}", file=sys.stderr)
+        return 1
+    print(f"docs link check passed: {count} Markdown files, "
+          f"all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,94 @@
+#include "net/task_lanes.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dangoron {
+
+std::string_view TaskLaneName(TaskLane lane) {
+  switch (lane) {
+    case TaskLane::kHigh:
+      return "high";
+    case TaskLane::kMedium:
+      return "medium";
+    case TaskLane::kLow:
+      return "low";
+  }
+  return "unknown";
+}
+
+LanedTaskPool::LanedTaskPool(int32_t num_threads) {
+  const int32_t threads = std::max<int32_t>(1, num_threads);
+  workers_.reserve(static_cast<size_t>(threads));
+  for (int32_t t = 0; t < threads; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+LanedTaskPool::~LanedTaskPool() { Shutdown(); }
+
+bool LanedTaskPool::Post(TaskLane lane, std::function<void()> task) {
+  const auto l = static_cast<size_t>(lane);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) {
+      return false;
+    }
+    lanes_[l].push_back(std::move(task));
+    ++stats_.posted[l];
+  }
+  work_cv_.notify_one();
+  return true;
+}
+
+void LanedTaskPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+}
+
+TaskLaneStats LanedTaskPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TaskLaneStats snapshot = stats_;
+  for (int l = 0; l < kNumTaskLanes; ++l) {
+    snapshot.queued[l] = static_cast<int64_t>(lanes_[l].size());
+  }
+  return snapshot;
+}
+
+void LanedTaskPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    // Strict priority scan: the highest non-empty lane wins every time a
+    // worker frees up; lower lanes only drain in the gaps.
+    int lane = -1;
+    for (int l = 0; l < kNumTaskLanes; ++l) {
+      if (!lanes_[l].empty()) {
+        lane = l;
+        break;
+      }
+    }
+    if (lane < 0) {
+      if (shutdown_) {
+        return;  // drained — shutdown completes only after queued work ran
+      }
+      work_cv_.wait(lock);
+      continue;
+    }
+    std::function<void()> task = std::move(lanes_[lane].front());
+    lanes_[lane].pop_front();
+    ++stats_.executed[lane];
+    lock.unlock();
+    task();
+    lock.lock();
+  }
+}
+
+}  // namespace dangoron

@@ -238,6 +238,29 @@ Result<uint64_t> DangoronServer::DatasetFingerprint(
   return it->second.fingerprint;
 }
 
+Result<int64_t> DangoronServer::DatasetLength(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(datasets_mutex_);
+  auto it = datasets_.find(name);
+  if (it == datasets_.end()) {
+    return Status::NotFound("DatasetLength: unknown dataset '", name, "'");
+  }
+  return it->second.data->length();
+}
+
+bool DangoronServer::HasPreparedSketch(const std::string& dataset) const {
+  uint64_t fingerprint = 0;
+  {
+    std::lock_guard<std::mutex> lock(datasets_mutex_);
+    auto it = datasets_.find(dataset);
+    if (it == datasets_.end()) {
+      return false;
+    }
+    fingerprint = it->second.fingerprint;
+  }
+  return sketch_cache_.Contains(
+      SketchCacheKey{fingerprint, options_.basic_window});
+}
+
 double DangoronServer::CanonicalThreshold(double threshold,
                                           bool absolute) const {
   const int64_t steps = options_.threshold_family_steps;
@@ -1250,6 +1273,11 @@ void DangoronServer::RunStreamingQuery(
     admission_queue_.NotifyReleased();  // the prepared handle is released
   }
   RecordQueryStats(out, /*streaming=*/true);
+  if (status.code() == StatusCode::kCancelled) {
+    // Consumer Cancel — or, through the wire layer, a client disconnect.
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.streams_cancelled;
+  }
   StreamingSummary summary;
   summary.tier_used = out.tier_used;
   summary.prepared_from_cache = out.prepared_from_cache;

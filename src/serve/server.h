@@ -159,6 +159,11 @@ struct DangoronServerStats {
   /// Of `deadline_exceeded`: requests whose deadline fired *mid-evaluation*
   /// — the hard-deadline abort path, not the pre-start or admission checks.
   int64_t deadline_aborted_mid_run = 0;
+  /// Streaming submissions that finished Cancelled — consumer Cancel calls
+  /// and, through the network front end, client disconnects (the wire
+  /// layer maps a dropped connection to Cancel, so this is where a
+  /// mid-stream disconnect becomes visible server-side).
+  int64_t streams_cancelled = 0;
   /// Exact requests served approx by `DegradePolicy::kAuto` (see
   /// ServeResult::degraded).
   int64_t degraded_to_approx = 0;
@@ -241,6 +246,18 @@ class DangoronServer {
   /// external producers (e.g. StreamingNetworkBuilder::PublishTo) to this
   /// server's window cache.
   Result<uint64_t> DatasetFingerprint(const std::string& name) const;
+
+  /// Series length (number of columns) of a registered dataset. The wire
+  /// layer resolves a request's `end = 0` to this — a remote client can ask
+  /// for "the whole range" without knowing the series length.
+  Result<int64_t> DatasetLength(const std::string& name) const;
+
+  /// True when `dataset` is registered and its sketch is currently resident
+  /// in the prepared-sketch cache — i.e. a query against it skips the
+  /// prepare. A pure peek: no recency bump, no hit/miss accounting. The
+  /// network front end's lane classifier uses it to route warm requests to
+  /// the high-priority lane and cold prepares to the low one.
+  bool HasPreparedSketch(const std::string& dataset) const;
 
   /// Submits a request; returns immediately. The future resolves on a pool
   /// thread once the result is assembled. The request carries the service

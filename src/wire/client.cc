@@ -1,0 +1,142 @@
+#include "wire/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace dangoron {
+
+Result<std::unique_ptr<WireClient>> WireClient::ConnectTcp(
+    const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError("wire client: socket(): ", std::string(std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("wire client: bad IPv4 address '", host,
+                                   "'");
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError("wire client: connect(", host, ":", port,
+                           "): ", std::string(std::strerror(err)));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<WireClient>(new WireClient(fd));
+}
+
+std::unique_ptr<WireClient> WireClient::Adopt(int fd) {
+  return std::unique_ptr<WireClient>(new WireClient(fd));
+}
+
+WireClient::~WireClient() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Status WireClient::WriteAll(const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::IoError("wire client: send(): ", std::string(std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status WireClient::Submit(const WireRequest& request) {
+  if (in_flight_) {
+    return Status::FailedPrecondition(
+        "wire client: drain the previous request to its terminal status "
+        "before submitting another");
+  }
+  std::string out;
+  if (!sent_preamble_) {
+    AppendPreamble(&out);
+  }
+  EncodeRequestFrame(request, &out);
+  RETURN_IF_ERROR(WriteAll(out));
+  sent_preamble_ = true;
+  in_flight_ = true;
+  result_status_ = Status::Ok();
+  summary_ = WireSummary{};
+  return Status::Ok();
+}
+
+Status WireClient::Cancel() {
+  std::string out;
+  EncodeCancelFrame(&out);
+  return WriteAll(out);
+}
+
+Result<std::optional<StreamedWindow>> WireClient::Next() {
+  if (!in_flight_) {
+    return Status::FailedPrecondition(
+        "wire client: no request in flight (call Submit first)");
+  }
+  uint8_t chunk[64 * 1024];
+  while (true) {
+    Frame frame;
+    bool have = false;
+    RETURN_IF_ERROR(reader_.Next(&frame, &have));
+    if (have) {
+      switch (frame.type) {
+        case FrameType::kWindow: {
+          StreamedWindow window;
+          auto edges = std::make_shared<std::vector<Edge>>();
+          RETURN_IF_ERROR(DecodeWindowPayload(frame.payload,
+                                              &window.window_index,
+                                              edges.get()));
+          window.edges = std::move(edges);
+          return std::optional<StreamedWindow>(std::move(window));
+        }
+        case FrameType::kStatus: {
+          RETURN_IF_ERROR(DecodeStatusPayload(frame.payload, &result_status_,
+                                              &summary_));
+          in_flight_ = false;
+          return std::optional<StreamedWindow>();
+        }
+        default:
+          return Status::DataLoss(
+              "wire client: unexpected frame type ",
+              static_cast<int>(frame.type),
+              " from the server (only window/status flow this way)");
+      }
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::IoError("wire client: recv(): ", std::string(std::strerror(errno)));
+    }
+    if (n == 0) {
+      return Status::DataLoss(
+          "wire client: connection closed before the terminal status frame");
+    }
+    reader_.Feed(chunk, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace dangoron

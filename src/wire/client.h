@@ -1,0 +1,95 @@
+#ifndef DANGORON_WIRE_CLIENT_H_
+#define DANGORON_WIRE_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "serve/window_stream.h"
+#include "wire/wire_format.h"
+
+namespace dangoron {
+
+/// Blocking client of the Dangoron wire protocol — the peer of
+/// net/WireServer, and the reference implementation of the client side of
+/// docs/WIRE_PROTOCOL.md. One connection carries any number of requests,
+/// sequentially (submit, drain to the terminal status, submit again).
+///
+///   auto client = WireClient::ConnectTcp("127.0.0.1", port);
+///   RETURN_IF_ERROR((*client)->Submit(request));
+///   while (true) {
+///     auto window = (*client)->Next();          // blocks on the socket
+///     RETURN_IF_ERROR(window.status());         // transport/protocol error
+///     if (!window->has_value()) break;          // terminal status received
+///     consume(**window);
+///   }
+///   (*client)->result_status();                 // the server's verdict
+///
+/// Transport errors (socket closed, protocol violation) surface from
+/// `Next`/`Submit`; the *server's* outcome for the request — Ok, Cancelled,
+/// DeadlineExceeded, ... — arrives in the terminal status frame and is read
+/// via `result_status()`/`summary()`, mirroring WindowStream's
+/// status()/summary() split. Not thread-safe: one thread per connection
+/// (`Cancel` being the documented exception).
+class WireClient {
+ public:
+  /// Connects to a WireServer over TCP (TCP_NODELAY set — window frames are
+  /// latency-sensitive).
+  static Result<std::unique_ptr<WireClient>> ConnectTcp(
+      const std::string& host, int port);
+
+  /// Adopts an already-connected socket (e.g. one end of a socketpair —
+  /// how the end-to-end tests drive a server without binding ports). Takes
+  /// ownership of `fd`.
+  static std::unique_ptr<WireClient> Adopt(int fd);
+
+  ~WireClient();
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+
+  /// Sends one request frame (preceded by the connection preamble on the
+  /// first call). Fails if a previous request has not been drained to its
+  /// terminal status.
+  Status Submit(const WireRequest& request);
+
+  /// Blocks for the next window frame. Returns:
+  /// - a StreamedWindow: one decoded window (ascending indices);
+  /// - nullopt: the terminal status frame arrived — the request is done,
+  ///   see `result_status()` / `summary()`;
+  /// - error Status: the transport or protocol failed (connection closed
+  ///   mid-stream, corrupt frame) — the connection is unusable.
+  Result<std::optional<StreamedWindow>> Next();
+
+  /// Sends a cancel frame for the in-flight request. The server still
+  /// finishes the stream with a terminal status (normally Cancelled), so
+  /// keep draining `Next` afterwards. Safe to call from another thread
+  /// while one is blocked in `Next` — the write path is independent.
+  Status Cancel();
+
+  /// The terminal status of the last drained request; meaningful once
+  /// `Next` returned nullopt.
+  const Status& result_status() const { return result_status_; }
+
+  /// The server's accounting for the last drained request; meaningful once
+  /// `Next` returned nullopt.
+  const WireSummary& summary() const { return summary_; }
+
+ private:
+  explicit WireClient(int fd) : fd_(fd) {}
+
+  /// Writes all of `data` to the socket (EINTR-safe, SIGPIPE-suppressed).
+  Status WriteAll(const std::string& data);
+
+  int fd_ = -1;
+  FrameReader reader_{/*expect_preamble=*/false};
+  bool sent_preamble_ = false;
+  bool in_flight_ = false;
+  Status result_status_;
+  WireSummary summary_;
+};
+
+}  // namespace dangoron
+
+#endif  // DANGORON_WIRE_CLIENT_H_

@@ -1,0 +1,561 @@
+// Wire format tests: varint/fixed64 primitives, frame round-trips (property
+// style over randomized inputs), rejection of truncated/corrupt/oversized
+// bytes, incremental FrameReader behavior — and golden byte fixtures that
+// pin the exact encoding docs/WIRE_PROTOCOL.md specifies. If a golden test
+// fails, either the code or the spec regressed: fix the mismatch, and if
+// the change is intentional, bump kWireVersion and update the spec.
+
+#include "wire/wire_format.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dangoron {
+namespace {
+
+std::span<const uint8_t> Bytes(const std::string& s) {
+  return {reinterpret_cast<const uint8_t*>(s.data()), s.size()};
+}
+
+// ----------------------------------------------------------- primitives --
+
+TEST(WireVarintTest, RoundTripEdgeCasesAndRandom) {
+  std::vector<uint64_t> values = {0,
+                                  1,
+                                  127,
+                                  128,
+                                  16383,
+                                  16384,
+                                  (uint64_t{1} << 32) - 1,
+                                  uint64_t{1} << 32,
+                                  std::numeric_limits<uint64_t>::max()};
+  Rng rng(1);
+  for (int v = 0; v < 200; ++v) {
+    values.push_back(rng.NextU64() >> (v % 64));
+  }
+  for (const uint64_t value : values) {
+    std::string buffer;
+    PutVarint(value, &buffer);
+    EXPECT_LE(buffer.size(), 10u);
+    size_t pos = 0;
+    uint64_t decoded = 0;
+    ASSERT_TRUE(GetVarint(Bytes(buffer), &pos, &decoded));
+    EXPECT_EQ(decoded, value);
+    EXPECT_EQ(pos, buffer.size());
+  }
+}
+
+TEST(WireVarintTest, RejectsTruncationAndOverlength) {
+  std::string buffer;
+  PutVarint(std::numeric_limits<uint64_t>::max(), &buffer);
+  for (size_t cut = 0; cut < buffer.size(); ++cut) {
+    size_t pos = 0;
+    uint64_t decoded = 0;
+    EXPECT_FALSE(
+        GetVarint(Bytes(buffer.substr(0, cut)), &pos, &decoded));
+  }
+  // Eleven continuation bytes: malformed no matter what follows.
+  std::string overlong(11, static_cast<char>(0x80));
+  size_t pos = 0;
+  uint64_t decoded = 0;
+  EXPECT_FALSE(GetVarint(Bytes(overlong), &pos, &decoded));
+  // A 10th byte carrying more than the top bit overflows 64 bits.
+  std::string overflow(9, static_cast<char>(0x80));
+  overflow.push_back(0x02);
+  pos = 0;
+  EXPECT_FALSE(GetVarint(Bytes(overflow), &pos, &decoded));
+}
+
+TEST(WireFixed64Test, RoundTripIncludingNaNPayloads) {
+  const double values[] = {0.0,
+                           -0.0,
+                           1.0,
+                           -0.5,
+                           std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::quiet_NaN(),
+                           std::bit_cast<double>(uint64_t{0x7ff80000deadbeef}),
+                           std::numeric_limits<double>::denorm_min()};
+  for (const double value : values) {
+    std::string buffer;
+    PutFixed64(std::bit_cast<uint64_t>(value), &buffer);
+    ASSERT_EQ(buffer.size(), 8u);
+    size_t pos = 0;
+    uint64_t bits = 0;
+    ASSERT_TRUE(GetFixed64(Bytes(buffer), &pos, &bits));
+    // Bit equality, not value equality: NaN payloads must survive.
+    EXPECT_EQ(bits, std::bit_cast<uint64_t>(value));
+  }
+  size_t pos = 0;
+  uint64_t bits = 0;
+  std::string short_buffer(7, '\0');
+  EXPECT_FALSE(GetFixed64(Bytes(short_buffer), &pos, &bits));
+}
+
+// -------------------------------------------------------- request frames --
+
+WireRequest FullRequest() {
+  WireRequest request;
+  request.dataset = "climate/europe";
+  request.expected_fingerprint = 0x123456789abcdef0;
+  request.query.start = 24;
+  request.query.end = 24 * 90;
+  request.query.window = 24 * 30;
+  request.query.step = 24;
+  request.query.threshold = 0.85;
+  request.query.absolute = true;
+  request.options.tier = ServeTier::kAuto;
+  request.options.deadline_ms = 250;
+  request.options.admission = AdmissionPolicy::kQueue;
+  request.options.degrade = DegradePolicy::kAuto;
+  request.options.queue_capacity = 16;
+  request.options.max_batch_windows = 2;
+  return request;
+}
+
+void ExpectRequestsEqual(const WireRequest& a, const WireRequest& b) {
+  EXPECT_EQ(a.dataset, b.dataset);
+  EXPECT_EQ(a.expected_fingerprint, b.expected_fingerprint);
+  EXPECT_EQ(a.query.start, b.query.start);
+  EXPECT_EQ(a.query.end, b.query.end);
+  EXPECT_EQ(a.query.window, b.query.window);
+  EXPECT_EQ(a.query.step, b.query.step);
+  EXPECT_EQ(std::bit_cast<uint64_t>(a.query.threshold),
+            std::bit_cast<uint64_t>(b.query.threshold));
+  EXPECT_EQ(a.query.absolute, b.query.absolute);
+  EXPECT_EQ(a.options.tier, b.options.tier);
+  EXPECT_EQ(a.options.deadline_ms, b.options.deadline_ms);
+  EXPECT_EQ(a.options.admission, b.options.admission);
+  EXPECT_EQ(a.options.degrade, b.options.degrade);
+  EXPECT_EQ(a.options.queue_capacity, b.options.queue_capacity);
+  EXPECT_EQ(a.options.max_batch_windows, b.options.max_batch_windows);
+}
+
+TEST(WireRequestTest, RoundTripAllOptionsSet) {
+  const WireRequest request = FullRequest();
+  std::string frame;
+  EncodeRequestFrame(request, &frame);
+  ASSERT_GT(frame.size(), static_cast<size_t>(kFrameHeaderBytes));
+  EXPECT_EQ(frame[0], static_cast<char>(FrameType::kRequest));
+  WireRequest decoded;
+  ASSERT_TRUE(DecodeRequestPayload(
+                  Bytes(frame).subspan(kFrameHeaderBytes), &decoded)
+                  .ok());
+  ExpectRequestsEqual(request, decoded);
+}
+
+TEST(WireRequestTest, RoundTripDefaults) {
+  WireRequest request;
+  request.dataset = "d";
+  request.query.window = 24;
+  request.query.step = 24;
+  request.query.end = 48;
+  request.query.threshold = 0.5;
+  std::string frame;
+  EncodeRequestFrame(request, &frame);
+  WireRequest decoded;
+  ASSERT_TRUE(DecodeRequestPayload(
+                  Bytes(frame).subspan(kFrameHeaderBytes), &decoded)
+                  .ok());
+  ExpectRequestsEqual(request, decoded);
+  EXPECT_FALSE(decoded.options.tier.has_value());
+  EXPECT_FALSE(decoded.options.deadline_ms.has_value());
+}
+
+TEST(WireRequestTest, RejectsTruncationAtEveryByte) {
+  std::string frame;
+  EncodeRequestFrame(FullRequest(), &frame);
+  const auto payload = Bytes(frame).subspan(kFrameHeaderBytes);
+  WireRequest decoded;
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_FALSE(
+        DecodeRequestPayload(payload.subspan(0, cut), &decoded).ok())
+        << "accepted a request truncated to " << cut << " bytes";
+  }
+}
+
+TEST(WireRequestTest, RejectsTrailingBytesAndBadEnums) {
+  std::string frame;
+  EncodeRequestFrame(FullRequest(), &frame);
+  std::string with_tail = frame + '\0';
+  WireRequest decoded;
+  EXPECT_FALSE(DecodeRequestPayload(
+                   Bytes(with_tail).subspan(kFrameHeaderBytes), &decoded)
+                   .ok());
+
+  // Corrupt the tier byte. Its offset is fixed from the end for this
+  // request: the tail is tier(1) deadline varint(2, since zigzag(250)=500)
+  // admission(1) degrade(1) qcap(1) batch(1), so tier sits 7 from the end.
+  std::string corrupt = frame;
+  corrupt[corrupt.size() - 7] = 3;  // the tier byte: only 0/1/2 are valid
+  EXPECT_FALSE(DecodeRequestPayload(
+                   Bytes(corrupt).subspan(kFrameHeaderBytes), &decoded)
+                   .ok());
+}
+
+// --------------------------------------------------------- window frames --
+
+TEST(WireWindowTest, RoundTripRandomEdgeSets) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = 2 + static_cast<int>(rng.NextU64() % 40);
+    std::vector<Edge> edges;
+    for (int32_t i = 0; i < n; ++i) {
+      for (int32_t j = i + 1; j < n; ++j) {
+        if (rng.NextU64() % 3 == 0) {
+          Edge edge;
+          edge.i = i;
+          edge.j = j;
+          edge.value = rng.NextGaussian();
+          if (rng.NextU64() % 16 == 0) {
+            edge.value = std::numeric_limits<double>::quiet_NaN();
+          }
+          edges.push_back(edge);
+        }
+      }
+    }
+    const int64_t index = static_cast<int64_t>(rng.NextU64() % 100000);
+    std::string frame;
+    EncodeWindowFrame(index, edges, &frame);
+    int64_t decoded_index = -1;
+    std::vector<Edge> decoded;
+    ASSERT_TRUE(DecodeWindowPayload(Bytes(frame).subspan(kFrameHeaderBytes),
+                                    &decoded_index, &decoded)
+                    .ok());
+    EXPECT_EQ(decoded_index, index);
+    ASSERT_EQ(decoded.size(), edges.size());
+    for (size_t e = 0; e < edges.size(); ++e) {
+      EXPECT_EQ(decoded[e].i, edges[e].i);
+      EXPECT_EQ(decoded[e].j, edges[e].j);
+      EXPECT_EQ(std::bit_cast<uint64_t>(decoded[e].value),
+                std::bit_cast<uint64_t>(edges[e].value));
+    }
+  }
+}
+
+TEST(WireWindowTest, RoundTripEmptyWindow) {
+  std::string frame;
+  EncodeWindowFrame(42, {}, &frame);
+  int64_t index = -1;
+  std::vector<Edge> decoded;
+  ASSERT_TRUE(DecodeWindowPayload(Bytes(frame).subspan(kFrameHeaderBytes),
+                                  &index, &decoded)
+                  .ok());
+  EXPECT_EQ(index, 42);
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(WireWindowTest, RejectsImpossibleEdgeCount) {
+  // A count announcing far more edges than the payload could hold must be
+  // rejected before any allocation happens.
+  std::string payload;
+  PutVarint(0, &payload);                    // window index
+  PutVarint(uint64_t{1} << 40, &payload);    // absurd edge count
+  int64_t index = 0;
+  std::vector<Edge> decoded;
+  EXPECT_FALSE(DecodeWindowPayload(Bytes(payload), &index, &decoded).ok());
+}
+
+TEST(WireWindowTest, RejectsOrderingViolations) {
+  int64_t index = 0;
+  std::vector<Edge> decoded;
+
+  // di == 0 && second == 0 would repeat the previous edge.
+  std::string repeat;
+  PutVarint(0, &repeat);  // index
+  PutVarint(2, &repeat);  // two edges
+  PutVarint(1, &repeat);  // di=1 -> i=1
+  PutVarint(2, &repeat);  // j=2
+  PutFixed64(std::bit_cast<uint64_t>(0.5), &repeat);
+  PutVarint(0, &repeat);  // di=0
+  PutVarint(0, &repeat);  // dj=0: duplicate (1,2)
+  PutFixed64(std::bit_cast<uint64_t>(0.5), &repeat);
+  EXPECT_FALSE(DecodeWindowPayload(Bytes(repeat), &index, &decoded).ok());
+
+  // j <= i violates the upper-triangle canonical form.
+  std::string diagonal;
+  PutVarint(0, &diagonal);
+  PutVarint(1, &diagonal);
+  PutVarint(3, &diagonal);  // di=3 -> i=3
+  PutVarint(3, &diagonal);  // j=3 == i
+  PutFixed64(std::bit_cast<uint64_t>(0.5), &diagonal);
+  EXPECT_FALSE(DecodeWindowPayload(Bytes(diagonal), &index, &decoded).ok());
+
+  // A delta past the int32 index range must not wrap.
+  std::string huge;
+  PutVarint(0, &huge);
+  PutVarint(1, &huge);
+  PutVarint(uint64_t{1} << 40, &huge);  // di astronomically large
+  PutVarint(1, &huge);
+  PutFixed64(std::bit_cast<uint64_t>(0.5), &huge);
+  EXPECT_FALSE(DecodeWindowPayload(Bytes(huge), &index, &decoded).ok());
+}
+
+TEST(WireWindowTest, RejectsTruncatedEdges) {
+  std::vector<Edge> edges(3);
+  edges[0] = {0, 1, 0.5};
+  edges[1] = {0, 2, -0.5};
+  edges[2] = {1, 2, 0.25};
+  std::string frame;
+  EncodeWindowFrame(7, edges, &frame);
+  const auto payload = Bytes(frame).subspan(kFrameHeaderBytes);
+  int64_t index = 0;
+  std::vector<Edge> decoded;
+  for (size_t cut = 2; cut < payload.size(); ++cut) {
+    EXPECT_FALSE(
+        DecodeWindowPayload(payload.subspan(0, cut), &index, &decoded).ok())
+        << "accepted a window truncated to " << cut << " bytes";
+  }
+}
+
+// --------------------------------------------------------- status frames --
+
+TEST(WireStatusTest, RoundTripEveryCode) {
+  WireSummary summary;
+  summary.tier_used = ServeTier::kApprox;
+  summary.prepared_from_cache = true;
+  summary.degraded = true;
+  summary.windows_delivered = 61;
+  summary.windows_from_cache = 11;
+  summary.windows_computed = 50;
+  summary.windows_joined = 3;
+  summary.cells_jumped = 12345;
+  summary.jumps = 77;
+  for (int code = 0; code <= 12; ++code) {
+    const Status status(static_cast<StatusCode>(code),
+                        code == 0 ? "" : "something happened");
+    std::string frame;
+    EncodeStatusFrame(status, summary, &frame);
+    EXPECT_EQ(frame[0], static_cast<char>(FrameType::kStatus));
+    Status decoded_status;
+    WireSummary decoded;
+    ASSERT_TRUE(DecodeStatusPayload(Bytes(frame).subspan(kFrameHeaderBytes),
+                                    &decoded_status, &decoded)
+                    .ok());
+    EXPECT_EQ(decoded_status.code(), status.code());
+    EXPECT_EQ(decoded_status.message(), status.message());
+    EXPECT_EQ(decoded.tier_used, summary.tier_used);
+    EXPECT_EQ(decoded.prepared_from_cache, summary.prepared_from_cache);
+    EXPECT_EQ(decoded.degraded, summary.degraded);
+    EXPECT_EQ(decoded.windows_delivered, summary.windows_delivered);
+    EXPECT_EQ(decoded.windows_from_cache, summary.windows_from_cache);
+    EXPECT_EQ(decoded.windows_computed, summary.windows_computed);
+    EXPECT_EQ(decoded.windows_joined, summary.windows_joined);
+    EXPECT_EQ(decoded.cells_jumped, summary.cells_jumped);
+    EXPECT_EQ(decoded.jumps, summary.jumps);
+  }
+}
+
+TEST(WireStatusTest, RejectsUnknownCodeTierAndFlags) {
+  std::string frame;
+  EncodeStatusFrame(Status::Ok(), WireSummary{}, &frame);
+  Status status;
+  WireSummary summary;
+
+  std::string bad_code = frame;
+  bad_code[kFrameHeaderBytes] = 13;  // one past kDeadlineExceeded
+  EXPECT_FALSE(DecodeStatusPayload(
+                   Bytes(bad_code).subspan(kFrameHeaderBytes), &status,
+                   &summary)
+                   .ok());
+
+  std::string bad_tier = frame;
+  bad_tier[kFrameHeaderBytes + 2] = 2;  // kAuto never terminal
+  EXPECT_FALSE(DecodeStatusPayload(
+                   Bytes(bad_tier).subspan(kFrameHeaderBytes), &status,
+                   &summary)
+                   .ok());
+
+  std::string bad_flags = frame;
+  bad_flags[kFrameHeaderBytes + 3] = 4;  // only bits 0-1 defined
+  EXPECT_FALSE(DecodeStatusPayload(
+                   Bytes(bad_flags).subspan(kFrameHeaderBytes), &status,
+                   &summary)
+                   .ok());
+}
+
+// ------------------------------------------------------- golden fixtures --
+
+// These pin the bytes docs/WIRE_PROTOCOL.md writes out longhand. They are
+// the compatibility contract: a failure here is a wire format change.
+
+TEST(WireGoldenTest, Preamble) {
+  std::string preamble;
+  AppendPreamble(&preamble);
+  const uint8_t expected[] = {'D', 'G', 'R', 'N', 0x01};
+  ASSERT_EQ(preamble.size(), sizeof(expected));
+  EXPECT_EQ(std::memcmp(preamble.data(), expected, sizeof(expected)), 0);
+  EXPECT_TRUE(CheckPreamble(Bytes(preamble)).ok());
+  EXPECT_FALSE(CheckPreamble(Bytes(std::string("DGRM\x01"))).ok());
+  EXPECT_FALSE(CheckPreamble(Bytes(std::string("DGRN\x02"))).ok());
+}
+
+TEST(WireGoldenTest, RequestFrame) {
+  // dataset "d", no fingerprint, query [0, 48) window 24 step 24 at
+  // threshold 0.5 signed, no per-request options, default stream knobs
+  // (queue 8, batch 4).
+  WireRequest request;
+  request.dataset = "d";
+  request.query.end = 48;
+  request.query.window = 24;
+  request.query.step = 24;
+  request.query.threshold = 0.5;
+  std::string frame;
+  EncodeRequestFrame(request, &frame);
+  const uint8_t expected[] = {
+      0x01, 0x13, 0x00, 0x00, 0x00,              // header: kRequest, 19 bytes
+      0x01, 'd',                                 // dataset
+      0x00,                                      // fingerprint 0
+      0x00,                                      // start zigzag(0)
+      0x60,                                      // end zigzag(48) = 96
+      0x30,                                      // window zigzag(24) = 48
+      0x30,                                      // step zigzag(24) = 48
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xe0, 0x3f,  // 0.5 bits LE
+      0x00,                                      // absolute = false
+      0x00,                                      // presence bitmap: none
+      0x10,                                      // queue_capacity zigzag(8)
+      0x08,                                      // max_batch zigzag(4)
+  };
+  ASSERT_EQ(frame.size(), sizeof(expected));
+  EXPECT_EQ(std::memcmp(frame.data(), expected, sizeof(expected)), 0);
+}
+
+TEST(WireGoldenTest, WindowFrame) {
+  // Window 3 with edges (0,2,1.0), (0,3,-0.5), (2,5,0.25): the first two
+  // share row 0 (di=0, dj deltas), the third jumps rows (raw j).
+  std::vector<Edge> edges(3);
+  edges[0] = {0, 2, 1.0};
+  edges[1] = {0, 3, -0.5};
+  edges[2] = {2, 5, 0.25};
+  std::string frame;
+  EncodeWindowFrame(3, edges, &frame);
+  const uint8_t expected[] = {
+      0x02, 0x20, 0x00, 0x00, 0x00,  // header: kWindow, 32 bytes
+      0x03,                          // window index 3
+      0x03,                          // 3 edges
+      0x00, 0x03,                    // di=0, dj=2-(-1)=3 -> (0,2)
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xf0, 0x3f,  // 1.0
+      0x00, 0x01,                    // di=0, dj=1 -> (0,3)
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xe0, 0xbf,  // -0.5
+      0x02, 0x05,                    // di=2, raw j=5 -> (2,5)
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xd0, 0x3f,  // 0.25
+  };
+  ASSERT_EQ(frame.size(), sizeof(expected));
+  EXPECT_EQ(std::memcmp(frame.data(), expected, sizeof(expected)), 0);
+}
+
+TEST(WireGoldenTest, StatusAndCancelFrames) {
+  WireSummary summary;
+  summary.windows_delivered = 2;
+  std::string frame;
+  EncodeStatusFrame(Status::Ok(), summary, &frame);
+  const uint8_t expected[] = {
+      0x03, 0x0a, 0x00, 0x00, 0x00,  // header: kStatus, 10 bytes
+      0x00,                          // code kOk
+      0x00,                          // empty message
+      0x00,                          // tier_used kExact
+      0x00,                          // flags
+      0x04,                          // windows_delivered zigzag(2)
+      0x00, 0x00, 0x00, 0x00, 0x00,  // remaining counters 0
+  };
+  ASSERT_EQ(frame.size(), sizeof(expected));
+  EXPECT_EQ(std::memcmp(frame.data(), expected, sizeof(expected)), 0);
+
+  std::string cancel;
+  EncodeCancelFrame(&cancel);
+  const uint8_t expected_cancel[] = {0x04, 0x00, 0x00, 0x00, 0x00};
+  ASSERT_EQ(cancel.size(), sizeof(expected_cancel));
+  EXPECT_EQ(std::memcmp(cancel.data(), expected_cancel,
+                        sizeof(expected_cancel)),
+            0);
+}
+
+// ----------------------------------------------------------- FrameReader --
+
+TEST(FrameReaderTest, ReassemblesByteByByte) {
+  std::string stream;
+  AppendPreamble(&stream);
+  EncodeRequestFrame(FullRequest(), &stream);
+  std::vector<Edge> edges(1);
+  edges[0] = {0, 1, 0.5};
+  EncodeWindowFrame(9, edges, &stream);
+  EncodeCancelFrame(&stream);
+
+  FrameReader reader(/*expect_preamble=*/true);
+  std::vector<FrameType> seen;
+  for (const char byte : stream) {
+    reader.Feed(reinterpret_cast<const uint8_t*>(&byte), 1);
+    while (true) {
+      Frame frame;
+      bool have = false;
+      ASSERT_TRUE(reader.Next(&frame, &have).ok());
+      if (!have) {
+        break;
+      }
+      seen.push_back(frame.type);
+    }
+  }
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], FrameType::kRequest);
+  EXPECT_EQ(seen[1], FrameType::kWindow);
+  EXPECT_EQ(seen[2], FrameType::kCancel);
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(FrameReaderTest, RejectsBadPreamble) {
+  FrameReader reader(/*expect_preamble=*/true);
+  const uint8_t junk[] = {'H', 'T', 'T', 'P', '/'};
+  reader.Feed(junk, sizeof(junk));
+  Frame frame;
+  bool have = false;
+  EXPECT_FALSE(reader.Next(&frame, &have).ok());
+}
+
+TEST(FrameReaderTest, RejectsUnknownTypeAndOversizedPayload) {
+  {
+    FrameReader reader(/*expect_preamble=*/false);
+    const uint8_t bad_type[] = {0x09, 0x00, 0x00, 0x00, 0x00};
+    reader.Feed(bad_type, sizeof(bad_type));
+    Frame frame;
+    bool have = false;
+    EXPECT_FALSE(reader.Next(&frame, &have).ok());
+  }
+  {
+    FrameReader reader(/*expect_preamble=*/false);
+    // A kWindow header announcing 4 GiB - 1: rejected from the header
+    // alone — no allocation, no waiting for the bytes.
+    const uint8_t oversized[] = {0x02, 0xff, 0xff, 0xff, 0xff};
+    reader.Feed(oversized, sizeof(oversized));
+    Frame frame;
+    bool have = false;
+    EXPECT_FALSE(reader.Next(&frame, &have).ok());
+  }
+}
+
+TEST(FrameReaderTest, CompactsConsumedPrefix) {
+  FrameReader reader(/*expect_preamble=*/false);
+  std::string status_frame;
+  EncodeStatusFrame(Status::Ok(), WireSummary{}, &status_frame);
+  for (int repeat = 0; repeat < 1000; ++repeat) {
+    reader.Feed(reinterpret_cast<const uint8_t*>(status_frame.data()),
+                status_frame.size());
+    Frame frame;
+    bool have = false;
+    ASSERT_TRUE(reader.Next(&frame, &have).ok());
+    ASSERT_TRUE(have);
+    EXPECT_EQ(frame.type, FrameType::kStatus);
+    // Drained after every frame: the buffer must not grow with history.
+    EXPECT_EQ(reader.buffered(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace dangoron
