@@ -135,6 +135,9 @@ Status WireServer::Start() {
       Stop();
       return status;
     }
+    listener_armed_ = true;
+    // Reserved so ShedPendingConnection can accept under fd exhaustion.
+    spare_fd_ = open("/dev/null", O_RDONLY | O_CLOEXEC);
   }
 
   int32_t workers = options_.worker_threads;
@@ -197,10 +200,15 @@ void WireServer::Stop() {
   for (const ConnectionPtr& conn : orphans) {
     close(conn->fd);
   }
+  if (spare_fd_ >= 0) {
+    close(spare_fd_);
+    spare_fd_ = -1;
+  }
   if (listen_fd_ >= 0) {
     close(listen_fd_);
     listen_fd_ = -1;
   }
+  listener_armed_ = false;
   if (wake_fd_ >= 0) {
     close(wake_fd_);
     wake_fd_ = -1;
@@ -319,7 +327,16 @@ void WireServer::AcceptNew() {
     const int fd = accept4(listen_fd_, nullptr, nullptr,
                            SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
-      return;  // EAGAIN or transient error — epoll will re-arm
+      if (errno == EINTR || errno == ECONNABORTED) {
+        continue;  // this connection is gone; the next one may be fine
+      }
+      if (errno == EMFILE || errno == ENFILE) {
+        // Out of fds. The listener is level-triggered, so simply returning
+        // would leave the pending connection queued, EPOLLIN asserted, and
+        // the IO loop spinning at 100% CPU. Shed the connection instead.
+        ShedPendingConnection();
+      }
+      return;  // EAGAIN/EWOULDBLOCK (backlog drained) or transient error
     }
     const int one = 1;
     setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -327,6 +344,32 @@ void WireServer::AcceptNew() {
     conn->fd = fd;
     RegisterConnection(std::move(conn), /*adopted=*/false);
   }
+}
+
+void WireServer::ShedPendingConnection() {
+  // Release the reserved fd so accept has a slot, take the pending
+  // connection, close it immediately (the peer sees a clean RST/EOF rather
+  // than a connect that hangs forever), then re-reserve.
+  if (spare_fd_ >= 0) {
+    close(spare_fd_);
+    spare_fd_ = -1;
+  }
+  const int fd =
+      accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+  if (fd >= 0) {
+    close(fd);
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.connections_rejected;
+  } else if (errno == EMFILE || errno == ENFILE) {
+    // Even the freed slot was not enough (system-wide exhaustion). Disarm
+    // the listener so the loop sleeps instead of spinning; CloseConnection
+    // re-arms it as soon as any fd frees up.
+    if (listener_armed_ &&
+        epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr) == 0) {
+      listener_armed_ = false;
+    }
+  }
+  spare_fd_ = open("/dev/null", O_RDONLY | O_CLOEXEC);
 }
 
 void WireServer::RegisterConnection(ConnectionPtr conn, bool adopted) {
@@ -597,6 +640,16 @@ void WireServer::CloseConnection(const ConnectionPtr& conn) {
   epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
   close(conn->fd);
   connections_.erase(conn->fd);
+  if (!listener_armed_ && listen_fd_ >= 0) {
+    // An fd just freed up: re-arm the listener that ShedPendingConnection
+    // disarmed under system-wide fd exhaustion.
+    epoll_event event{};
+    event.events = EPOLLIN;
+    event.data.fd = listen_fd_;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &event) == 0) {
+      listener_armed_ = true;
+    }
+  }
   std::lock_guard<std::mutex> lock(stats_mutex_);
   stats_.connections_active = static_cast<int64_t>(connections_.size());
 }

@@ -139,6 +139,12 @@ class WireServer {
   void IoLoop();
   void HandleWake();
   void AcceptNew();
+  /// fd-exhaustion path of AcceptNew: closes the reserved spare fd, accepts
+  /// the pending connection into the freed slot and closes it (counted as
+  /// rejected), then re-reserves. Without this the level-triggered listener
+  /// spins the IO loop at 100% CPU under EMFILE/ENFILE. If even the freed
+  /// slot cannot accept, the listener is disarmed until a connection closes.
+  void ShedPendingConnection();
   void RegisterConnection(ConnectionPtr conn, bool adopted);
   void HandleReadable(const ConnectionPtr& conn);
   void HandleFrame(const ConnectionPtr& conn, const Frame& frame);
@@ -169,6 +175,8 @@ class WireServer {
   int epoll_fd_ = -1;
   int wake_fd_ = -1;
   int listen_fd_ = -1;
+  int spare_fd_ = -1;           ///< reserved for ShedPendingConnection
+  bool listener_armed_ = false;  ///< IO-thread: listener in the epoll set
   int bound_port_ = 0;
   std::thread io_thread_;
   std::unique_ptr<LanedTaskPool> pool_;

@@ -87,7 +87,9 @@ void PutFixed64(uint64_t value, std::string* out) {
 }
 
 bool GetFixed64(std::span<const uint8_t> data, size_t* pos, uint64_t* value) {
-  if (*pos + 8 > data.size()) {
+  // Overflow-safe for any caller-supplied *pos (the additive form would
+  // wrap for *pos within 8 of SIZE_MAX).
+  if (data.size() < 8 || *pos > data.size() - 8) {
     return false;
   }
   uint64_t result = 0;
@@ -194,8 +196,11 @@ Status DecodeRequestPayload(std::span<const uint8_t> payload,
   *out = WireRequest{};
   size_t pos = 0;
   uint64_t name_len = 0;
+  // Subtract rather than add: `pos + name_len` wraps for a hostile varint
+  // near 2^64 and would pass the check (pos <= payload.size() always holds
+  // after a successful GetVarint, so the subtraction cannot underflow).
   if (!GetVarint(payload, &pos, &name_len) ||
-      pos + name_len > payload.size()) {
+      name_len > payload.size() - pos) {
     return Truncated("request dataset");
   }
   out->dataset.assign(reinterpret_cast<const char*>(payload.data() + pos),
@@ -312,9 +317,10 @@ Status DecodeWindowPayload(std::span<const uint8_t> payload,
     return Truncated("window header");
   }
   *window_index = static_cast<int64_t>(index);
-  // Every edge costs >= 3 payload bytes; a count announcing more edges than
-  // the payload could hold is corruption, caught before reserving memory.
-  if (num_edges > payload.size() / 3 + 1) {
+  // Every edge costs >= 10 payload bytes (two varints of at least one byte
+  // each plus the fixed64 value); a count announcing more edges than the
+  // payload could hold is corruption, caught before reserving memory.
+  if (num_edges > payload.size() / 10 + 1) {
     return Status::DataLoss("wire: window edge count ", num_edges,
                             " impossible for a ", payload.size(),
                             "-byte payload");
@@ -387,9 +393,12 @@ Status DecodeStatusPayload(std::span<const uint8_t> payload, Status* status,
   size_t pos = 0;
   uint64_t code = 0;
   uint64_t message_len = 0;
+  // `message_len > size - pos`, never `pos + message_len > size`: the
+  // addition wraps for a hostile varint near 2^64 and the std::string
+  // construction below would throw length_error out of the decoder.
   if (!GetVarint(payload, &pos, &code) ||
       !GetVarint(payload, &pos, &message_len) ||
-      pos + message_len > payload.size()) {
+      message_len > payload.size() - pos) {
     return Truncated("status header");
   }
   if (code > static_cast<uint64_t>(StatusCode::kDeadlineExceeded)) {

@@ -14,6 +14,7 @@
 #include <condition_variable>
 #include <cstring>
 #include <functional>
+#include <limits>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -449,6 +450,52 @@ TEST_F(WireE2ETest, BadMagicIsAProtocolError) {
   close(raw);
 
   EXPECT_TRUE(PollFor([&] { return wire.stats().protocol_errors >= 1; }));
+  wire.Stop();
+}
+
+TEST_F(WireE2ETest, HostileRequestLengthIsAProtocolErrorNotACrash) {
+  // Regression: a request frame whose dataset-length varint encodes a
+  // value near 2^64 once wrapped the decoder's bounds check and threw an
+  // uncaught std::length_error on the IO thread — a handful of hostile
+  // bytes after connect took the whole daemon down. It must instead be a
+  // per-connection protocol error that leaves the server serving.
+  WireServerOptions options;
+  options.port = -1;
+  WireServer wire(&server_, options);
+  ASSERT_TRUE(wire.Start().ok());
+  int raw = -1;
+  ConnectOverSocketpair(&wire, &raw);
+  ASSERT_GE(raw, 0);
+
+  std::string bytes;
+  AppendPreamble(&bytes);
+  std::string payload;
+  PutVarint(std::numeric_limits<uint64_t>::max(), &payload);  // dataset len
+  payload.append(30, 'x');
+  AppendFrameHeader(FrameType::kRequest, payload.size(), &bytes);
+  bytes.append(payload);
+  ASSERT_EQ(send(raw, bytes.data(), bytes.size(), 0),
+            static_cast<ssize_t>(bytes.size()));
+
+  // The connection dies as a protocol error...
+  EXPECT_TRUE(PollFor([&] { return wire.stats().protocol_errors >= 1; }));
+  close(raw);
+
+  // ...and the server is still alive: a fresh connection runs the same
+  // query to a clean Ok status.
+  auto client = ConnectOverSocketpair(&wire);
+  WireRequest request;
+  request.dataset = "d";
+  request.query = TestQuery();
+  ASSERT_TRUE(client->Submit(request).ok());
+  while (true) {
+    auto window = client->Next();
+    ASSERT_TRUE(window.ok());
+    if (!window->has_value()) {
+      break;
+    }
+  }
+  EXPECT_TRUE(client->result_status().ok());
   wire.Stop();
 }
 

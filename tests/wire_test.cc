@@ -182,6 +182,23 @@ TEST(WireRequestTest, RejectsTruncationAtEveryByte) {
   }
 }
 
+TEST(WireRequestTest, RejectsHostileDatasetLength) {
+  // A dataset length near 2^64 once made `pos + name_len` wrap, pass the
+  // bounds check, and throw std::length_error out of the decoder — a
+  // remote crash of the IO thread. It must come back as a plain error.
+  for (const uint64_t hostile :
+       {std::numeric_limits<uint64_t>::max(),
+        std::numeric_limits<uint64_t>::max() - 9,
+        uint64_t{1} << 63}) {
+    std::string payload;
+    PutVarint(hostile, &payload);
+    payload.append(40, 'x');
+    WireRequest decoded;
+    EXPECT_FALSE(DecodeRequestPayload(Bytes(payload), &decoded).ok())
+        << "accepted dataset length " << hostile;
+  }
+}
+
 TEST(WireRequestTest, RejectsTrailingBytesAndBadEnums) {
   std::string frame;
   EncodeRequestFrame(FullRequest(), &frame);
@@ -262,6 +279,18 @@ TEST(WireWindowTest, RejectsImpossibleEdgeCount) {
   int64_t index = 0;
   std::vector<Edge> decoded;
   EXPECT_FALSE(DecodeWindowPayload(Bytes(payload), &index, &decoded).ok());
+
+  // The plausibility bound tracks the true >= 10 bytes/edge minimum: a
+  // count the payload could hold at 5 bytes/edge but not at 10 must be
+  // rejected up front (from the count, not later from a truncated edge).
+  std::string loose;
+  PutVarint(0, &loose);
+  PutVarint(20, &loose);  // claims 20 edges in a ~100-byte payload
+  loose.append(100, '\0');
+  Status status = DecodeWindowPayload(Bytes(loose), &index, &decoded);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("impossible"), std::string::npos)
+      << status.message();
 }
 
 TEST(WireWindowTest, RejectsOrderingViolations) {
@@ -351,6 +380,23 @@ TEST(WireStatusTest, RoundTripEveryCode) {
     EXPECT_EQ(decoded.windows_joined, summary.windows_joined);
     EXPECT_EQ(decoded.cells_jumped, summary.cells_jumped);
     EXPECT_EQ(decoded.jumps, summary.jumps);
+  }
+}
+
+TEST(WireStatusTest, RejectsHostileMessageLength) {
+  // Client-side twin of RejectsHostileDatasetLength: a malicious server
+  // must not be able to crash a WireClient with a wrapping message length.
+  for (const uint64_t hostile :
+       {std::numeric_limits<uint64_t>::max(),
+        std::numeric_limits<uint64_t>::max() - 9}) {
+    std::string payload;
+    PutVarint(0, &payload);        // code kOk
+    PutVarint(hostile, &payload);  // message length
+    payload.append(20, 'x');
+    Status status;
+    WireSummary summary;
+    EXPECT_FALSE(DecodeStatusPayload(Bytes(payload), &status, &summary).ok())
+        << "accepted message length " << hostile;
   }
 }
 
