@@ -20,22 +20,44 @@
 //     the same query against the same server answers byte-identically to an
 //     in-process Submit.
 //
-// Quickstart (two terminals):
+// Route:
+//   dangoron_serverd route <data.{csv,dgrn}> [shard=<host:port>]...
+//                    [spawn=<K>] [base-port=7312] [name=data] [port=7411]
+//                    [server=<options>]
+//     Fronts K shard backends (each a `serve` process holding the full
+//     dataset) with a ShardRouter: every client request splits into K
+//     disjoint pair-range requests and the K window streams merge back in
+//     window order (src/router/README.md). The data file is loaded only
+//     for its series count (the pair split) and content fingerprint (pinned
+//     onto every shard request), then dropped — the router holds no data.
+//     `spawn=K` forks K `serve` children on base-port..base-port+K-1
+//     instead of (or in addition to) explicit shard= endpoints. Exit code 5
+//     means a shard backend never came up.
+//
+// Quickstart (single-process shards, two terminals):
 //   ./build/tomborg_generate 32 4096 block pink 1 /tmp/d.csv
-//   ./build/dangoron_serverd serve /tmp/d.csv port=7311 &
-//   ./build/dangoron_serverd query 127.0.0.1 7311 data 512 128 0.8 \
+//   ./build/dangoron_serverd route /tmp/d.csv spawn=2 port=7411 &
+//   ./build/dangoron_serverd query 127.0.0.1 7411 data 512 128 0.8 \
 //       deadline=250 /tmp/net.csv
 
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/stopwatch.h"
 #include "common/strings.h"
 #include "engine/factory.h"
 #include "net/wire_server.h"
+#include "router/router_server.h"
+#include "router/shard_router.h"
 #include "serve/server.h"
 #include "serve_flags.h"
 #include "ts/csv.h"
@@ -56,10 +78,13 @@ int Usage(const char* argv0) {
       "          [server=<options>] [workers=<n>]\n"
       "       %s query <host> <port> <dataset> <window> <step> <beta>\n"
       "          %s [out.csv]\n"
+      "       %s route <data.{csv,dgrn}> [shard=<host:port>]... [spawn=<K>]\n"
+      "          [base-port=7312] [name=data] [port=7411] "
+      "[server=<options>]\n"
       "query flags:\n%s"
       "exit codes:\n%s",
-      argv0, argv0, ServeFlagUsage().c_str(), ServeFlagHelp("  ").c_str(),
-      ExitCodeHelp("  ").c_str());
+      argv0, argv0, ServeFlagUsage().c_str(), argv0,
+      ServeFlagHelp("  ").c_str(), ExitCodeHelp("  ").c_str());
   return 2;
 }
 
@@ -151,6 +176,184 @@ int RunServe(int argc, char** argv) {
       static_cast<long long>(stats.protocol_errors),
       static_cast<long long>(stats.bytes_in),
       static_cast<long long>(stats.bytes_out));
+  return 0;
+}
+
+/// SIGTERMs and reaps every spawned shard child; idempotent.
+void StopChildren(std::vector<pid_t>* children) {
+  for (pid_t pid : *children) {
+    ::kill(pid, SIGTERM);
+  }
+  for (pid_t pid : *children) {
+    ::waitpid(pid, nullptr, 0);
+  }
+  children->clear();
+}
+
+int RunRoute(int argc, char** argv) {
+  if (argc < 3) {
+    return Usage(argv[0]);
+  }
+  const std::string data_path = argv[2];
+  std::string name = "data";
+  std::string server_options;
+  int port = 7411;
+  int spawn = 0;
+  int base_port = 7312;
+  std::vector<ShardEndpoint> shards;
+  for (int a = 3; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg.rfind("name=", 0) == 0) {
+      name = arg.substr(5);
+    } else if (arg.rfind("port=", 0) == 0) {
+      port = std::atoi(arg.c_str() + 5);
+    } else if (arg.rfind("shard=", 0) == 0) {
+      const std::string spec = arg.substr(6);
+      const size_t colon = spec.rfind(':');
+      ShardEndpoint endpoint;
+      if (colon != std::string::npos) {
+        endpoint.host = spec.substr(0, colon);
+        endpoint.port = std::atoi(spec.c_str() + colon + 1);
+      }
+      if (colon == std::string::npos || endpoint.host.empty() ||
+          endpoint.port <= 0) {
+        std::fprintf(stderr, "shard= wants host:port, got '%s'\n",
+                     spec.c_str());
+        return 2;
+      }
+      shards.push_back(endpoint);
+    } else if (arg.rfind("spawn=", 0) == 0) {
+      spawn = std::atoi(arg.c_str() + 6);
+    } else if (arg.rfind("base-port=", 0) == 0) {
+      base_port = std::atoi(arg.c_str() + 10);
+    } else if (arg.rfind("server=", 0) == 0) {
+      server_options = arg.substr(7);
+    } else {
+      std::fprintf(stderr, "unknown route argument '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (shards.empty() && spawn <= 0) {
+    std::fprintf(stderr,
+                 "route needs shard=<host:port> backends or spawn=<K>\n");
+    return 2;
+  }
+
+  // The data file is read only for the pair-split geometry and the content
+  // fingerprint pinned onto every shard request; the matrix itself is
+  // dropped at the end of this scope — the router holds no data.
+  int64_t num_series = 0;
+  uint64_t fingerprint = 0;
+  {
+    Result<TimeSeriesMatrix> data = LoadData(data_path);
+    if (!data.ok()) {
+      std::fprintf(stderr, "load: %s\n", data.status().ToString().c_str());
+      return 1;
+    }
+    num_series = data->num_series();
+    fingerprint = data->ContentFingerprint();
+  }
+
+  std::vector<pid_t> children;
+  for (int s = 0; s < spawn; ++s) {
+    const int shard_port = base_port + s;
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::perror("fork");
+      StopChildren(&children);
+      return 1;
+    }
+    if (pid == 0) {
+      std::vector<std::string> args = {argv[0], "serve", data_path,
+                                       "name=" + name,
+                                       "port=" + std::to_string(shard_port)};
+      if (!server_options.empty()) {
+        args.push_back("server=" + server_options);
+      }
+      std::vector<char*> child_argv;
+      for (std::string& a : args) {
+        child_argv.push_back(a.data());
+      }
+      child_argv.push_back(nullptr);
+      ::execv("/proc/self/exe", child_argv.data());
+      std::perror("execv");
+      ::_exit(127);
+    }
+    children.push_back(pid);
+    shards.push_back({"127.0.0.1", shard_port});
+  }
+
+  // Fail fast (exit code 5) instead of failing the first query: every
+  // shard must accept a connection before the router starts listening.
+  // Spawned children need a beat to load the dataset and bind.
+  for (size_t s = 0; s < shards.size(); ++s) {
+    WireClientOptions probe;
+    probe.connect_timeout_ms = 250;
+    Status last = Status::Ok();
+    bool up = false;
+    for (int attempt = 0; attempt < 40; ++attempt) {
+      Result<std::unique_ptr<WireClient>> client =
+          WireClient::ConnectTcp(shards[s].host, shards[s].port, probe);
+      if (client.ok()) {
+        up = true;  // the probe connection closes with the client
+        break;
+      }
+      last = client.status();
+      std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    }
+    if (!up) {
+      const Status status = Status::Unavailable(
+          "shard ", s, " (", shards[s].host, ":", shards[s].port,
+          ") never came up: ", last.message());
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      StopChildren(&children);
+      return ExitCodeFor(status);
+    }
+  }
+
+  ShardRouterOptions router_options;
+  router_options.shards = shards;
+  ShardRouter router(router_options);
+
+  RouterServerOptions front_options;
+  front_options.port = port;
+  RouterServer front(&router, front_options);
+  front.RegisterDataset(name, num_series, fingerprint);
+  if (Status status = front.Start(); !status.ok()) {
+    std::fprintf(stderr, "start: %s\n", status.ToString().c_str());
+    StopChildren(&children);
+    return 1;
+  }
+  std::printf(
+      "routing dataset '%s' (%lld series, fingerprint %llu) across %zu "
+      "shards on %s:%d\n",
+      name.c_str(), static_cast<long long>(num_series),
+      static_cast<unsigned long long>(fingerprint), shards.size(),
+      front_options.bind_address.c_str(), front.bound_port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  sigset_t empty;
+  sigemptyset(&empty);
+  while (g_stop == 0) {
+    sigsuspend(&empty);  // sleep until a signal arrives
+  }
+
+  front.Stop();
+  const RouterServerStats stats = front.stats();
+  std::printf(
+      "shutting down: %lld connections, %lld requests, %lld cancels, "
+      "%lld disconnect-cancels, %lld protocol errors, %lld shard "
+      "failures\n",
+      static_cast<long long>(stats.connections_accepted +
+                             stats.connections_adopted),
+      static_cast<long long>(stats.requests),
+      static_cast<long long>(stats.cancel_frames),
+      static_cast<long long>(stats.disconnect_cancels),
+      static_cast<long long>(stats.protocol_errors),
+      static_cast<long long>(stats.shard_failures));
+  StopChildren(&children);
   return 0;
 }
 
@@ -289,6 +492,9 @@ int Run(int argc, char** argv) {
   }
   if (std::strcmp(argv[1], "query") == 0) {
     return RunQuery(argc, argv);
+  }
+  if (std::strcmp(argv[1], "route") == 0) {
+    return RunRoute(argc, argv);
   }
   return Usage(argv[0]);
 }

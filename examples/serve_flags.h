@@ -71,15 +71,17 @@ struct ExitCodeSpec {
   const char* meaning;
 };
 
-/// Why 3 and 4 exist: a scripted caller reacts differently to a latency
-/// miss (retry with a looser budget or the approx tier) than to its own
-/// cancellation or to a real bug.
+/// Why 3-5 exist: a scripted caller reacts differently to a latency miss
+/// (retry with a looser budget or the approx tier), to its own
+/// cancellation, or to an unreachable shard backend (retry once the shard
+/// is back, or page the operator) than to a real bug.
 inline constexpr ExitCodeSpec kExitCodeSpecs[] = {
     {0, "success"},
     {1, "generic failure (load, engine, query, or export error)"},
     {2, "usage error (bad arguments or an unknown flag)"},
     {3, "the query failed on its deadline (DeadlineExceeded)"},
     {4, "the query was cancelled (Cancelled)"},
+    {5, "a shard backend was unreachable (Unavailable)"},
 };
 
 inline int ExitCodeFor(const Status& status) {
@@ -88,6 +90,8 @@ inline int ExitCodeFor(const Status& status) {
       return 3;
     case StatusCode::kCancelled:
       return 4;
+    case StatusCode::kUnavailable:
+      return 5;
     default:
       return 1;
   }

@@ -43,6 +43,15 @@ measured *within one run*:
   every response is a single flush), and the loadgen actually exercised
   the acceptance-criteria concurrency (>= 32 connections).
 
+- wire shard scaling (--wire-shard-scaling, same BENCH_wire.json): the
+  "wire_shard_cold" rows measure the same query served cold through a
+  1-shard and a K-shard ShardRouter fan-out, within one run. Correctness
+  invariants (zero failures/mismatches, every request completed, every
+  shard saw every request) gate on any hardware; the scaling ratio —
+  K=4 cold throughput >= 2.5x the K=1 row — only gates when the run had
+  at least 4 cores (rows mark themselves "skipped" otherwise, where the
+  ratio measures scheduler timeslicing, not the router's fan-out).
+
 Usage:
   check_bench_regression.py --baseline BENCH_kernels.json \
       --fresh build/BENCH_kernels.json [--tolerance 0.25] \
@@ -239,10 +248,11 @@ MIN_WIRE_CONNECTIONS = 32
 
 
 def gate_wire(baseline_path, fresh_path, failures):
-    baseline = load_entries(baseline_path, ("bench", "connections"))
-    fresh = load_entries(fresh_path, ("bench", "connections"))
-    for key, base_entry in sorted(baseline.items()):
-        bench, connections = key
+    baseline = load_entries(baseline_path, ("bench", "connections", "shards"))
+    fresh = load_entries(fresh_path, ("bench", "connections", "shards"))
+    for key, base_entry in sorted(
+            (k, v) for k, v in baseline.items() if k[0] == "wire_load"):
+        bench, connections, _ = key
         fresh_entry = fresh.get(key)
         if fresh_entry is None:
             failures.append(f"{bench} c={connections}: missing from fresh run")
@@ -287,6 +297,90 @@ def gate_wire(baseline_path, fresh_path, failures):
             failures.append(f"{bench} c={connections}: {problem}")
 
 
+# The router's acceptance bar: cold exact throughput at K=4 shards must be
+# at least this multiple of the K=1 row, measured within one run on a
+# machine with >= 4 cores (below that the shards timeslice one core and the
+# ratio measures the scheduler).
+MIN_SHARD_SCALING = 2.5
+SHARD_SCALING_K = 4
+
+
+def gate_wire_shard_scaling(baseline_path, fresh_path, failures):
+    baseline = load_entries(baseline_path, ("bench", "shards"))
+    fresh = load_entries(fresh_path, ("bench", "shards"))
+    fresh_by_k = {}
+    for key, base_entry in sorted(
+            (k, v) for k, v in baseline.items() if k[0] == "wire_shard_cold"):
+        bench, shards = key
+        fresh_entry = fresh.get(key)
+        if fresh_entry is None:
+            failures.append(f"{bench} K={shards}: missing from fresh run")
+            print(f"{bench:<20} {str(key):>14} {'-':>13} {'-':>14} "
+                  f"{'-':>8}  MISSING")
+            continue
+        fresh_by_k[shards] = fresh_entry
+        # Correctness invariants gate on any hardware, skipped or not: a
+        # failure or a shard that missed a request is a router bug, never a
+        # slow runner.
+        problems = []
+        if fresh_entry["failures"] != 0:
+            problems.append(f"{fresh_entry['failures']} failures")
+        if fresh_entry["window_mismatches"] != 0:
+            problems.append(
+                f"{fresh_entry['window_mismatches']} delivered-window "
+                f"accounting mismatches")
+        if fresh_entry["completed"] != fresh_entry["total_requests"]:
+            problems.append(
+                f"completed {fresh_entry['completed']} of "
+                f"{fresh_entry['total_requests']} requests")
+        per_shard = fresh_entry["per_shard_requests"]
+        if len(per_shard) != shards or \
+                any(n != fresh_entry["total_requests"] for n in per_shard):
+            problems.append(
+                f"per-shard request counts {per_shard} != "
+                f"{fresh_entry['total_requests']} on each of {shards} shards")
+        for percentile in ("p50", "p99"):
+            ttfw = fresh_entry[f"ttfw_{percentile}_ms"]
+            total = fresh_entry[f"{percentile}_ms"]
+            if ttfw > total:
+                problems.append(
+                    f"ttfw_{percentile} {ttfw:.3f} ms above total "
+                    f"{percentile} {total:.3f} ms")
+        ok = not problems
+        print(f"{bench:<20} {str(key):>14} "
+              f"{base_entry['throughput_rps']:>13.2f} "
+              f"{fresh_entry['throughput_rps']:>14.2f} {'invariant':>9}  "
+              f"{'ok' if ok else 'REGRESSED'}")
+        for problem in problems:
+            failures.append(f"{bench} K={shards}: {problem}")
+
+    one = fresh_by_k.get(1)
+    gated = fresh_by_k.get(SHARD_SCALING_K)
+    if one is None or gated is None:
+        failures.append(
+            f"wire_shard_cold: need both K=1 and K={SHARD_SCALING_K} rows "
+            f"for the scaling gate, have K={sorted(fresh_by_k)}")
+        return
+    if one.get("skipped") or gated.get("skipped"):
+        print(f"{'wire_shard_scaling':<20} {'K=' + str(SHARD_SCALING_K):>14} "
+              f"{'-':>13} {'-':>14} {'-':>8}  skipped "
+              f"(only {gated.get('cores')} cores)")
+        return
+    ratio = (gated["throughput_rps"] / one["throughput_rps"]
+             if one["throughput_rps"] > 0 else 0.0)
+    ok = ratio >= MIN_SHARD_SCALING
+    print(f"{'wire_shard_scaling':<20} {'K=' + str(SHARD_SCALING_K):>14} "
+          f"{one['throughput_rps']:>13.2f} {gated['throughput_rps']:>14.2f} "
+          f"{'>= ' + format(MIN_SHARD_SCALING, '.1f') + 'x':>8}  "
+          f"{'ok' if ok else 'REGRESSED'}")
+    if not ok:
+        failures.append(
+            f"wire_shard_cold: K={SHARD_SCALING_K} cold throughput "
+            f"{gated['throughput_rps']:.2f} rps is {ratio:.2f}x the K=1 "
+            f"row ({one['throughput_rps']:.2f} rps), below the "
+            f"{MIN_SHARD_SCALING:.1f}x scaling floor")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
@@ -307,6 +401,9 @@ def main():
                         help="committed BENCH_wire.json")
     parser.add_argument("--wire-fresh",
                         help="JSON emitted by this run's bench_wire")
+    parser.add_argument("--wire-shard-scaling", action="store_true",
+                        help="also gate the wire_shard_cold rows: K=4 cold "
+                             "throughput >= 2.5x K=1 (vacuous below 4 cores)")
     args = parser.parse_args()
 
     failures = []
@@ -326,8 +423,15 @@ def main():
         return 2
     if args.wire_baseline and args.wire_fresh:
         gate_wire(args.wire_baseline, args.wire_fresh, failures)
+        if args.wire_shard_scaling:
+            gate_wire_shard_scaling(args.wire_baseline, args.wire_fresh,
+                                    failures)
     elif args.wire_baseline or args.wire_fresh:
         print("need both --wire-baseline and --wire-fresh", file=sys.stderr)
+        return 2
+    elif args.wire_shard_scaling:
+        print("--wire-shard-scaling needs --wire-baseline/--wire-fresh",
+              file=sys.stderr)
         return 2
 
     if failures:

@@ -30,6 +30,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "RESOURCE_EXHAUSTED";
     case StatusCode::kDeadlineExceeded:
       return "DEADLINE_EXCEEDED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }

@@ -28,6 +28,10 @@ enum class StatusCode : int8_t {
   kCancelled = 10,
   kResourceExhausted = 11,
   kDeadlineExceeded = 12,
+  /// A required remote peer cannot be reached (a router's shard backend is
+  /// down or refuses connections). Retryable at the caller's discretion —
+  /// unlike kIoError, which reports a local I/O failure.
+  kUnavailable = 13,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT",
@@ -100,6 +104,10 @@ class Status {
   template <typename... Args>
   static Status DeadlineExceeded(Args&&... args) {
     return Make(StatusCode::kDeadlineExceeded, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Unavailable(Args&&... args) {
+    return Make(StatusCode::kUnavailable, std::forward<Args>(args)...);
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -180,8 +180,13 @@ Status RunWindowMajorSweep(const DangoronOptions& options,
   const int64_t n = index.num_series();
   const int64_t num_windows = query.NumWindows();
   const int64_t num_pairs = n * (n - 1) / 2;
+  // Pair-range restriction (sharding): tiles cover [pair_lo, pair_hi) only.
+  // Cells are independent, so the per-cell operation sequence — and with it
+  // the emitted edges — is identical to the same pairs' cells in an
+  // unrestricted run, whatever the tile alignment.
+  const auto [pair_lo, pair_hi] = query.PairRange(num_pairs);
   const int64_t num_tiles =
-      std::max<int64_t>(int64_t{1}, CeilDiv(num_pairs, kSweepTilePairs));
+      std::max<int64_t>(int64_t{1}, CeilDiv(pair_hi - pair_lo, kSweepTilePairs));
   const int num_pool_threads = pool != nullptr ? pool->num_threads() : 1;
   const double beta = query.threshold;
   const double inv_count = 1.0 / static_cast<double>(query.window);
@@ -223,9 +228,9 @@ Status RunWindowMajorSweep(const DangoronOptions& options,
     arena.BeginBand();
 
     auto run_tile = [&](int64_t t) {
-      const int64_t pair_begin = t * kSweepTilePairs;
+      const int64_t pair_begin = pair_lo + t * kSweepTilePairs;
       const int64_t pair_end =
-          std::min(num_pairs, pair_begin + kSweepTilePairs);
+          std::min(pair_hi, pair_begin + kSweepTilePairs);
       if (pair_begin >= pair_end) {
         return;  // no pairs at all (single-series data)
       }
@@ -374,12 +379,17 @@ Status DangoronEngine::QueryPreparedToSink(
   const int64_t n = index.num_series();
   const int64_t num_windows = query.NumWindows();
   const int64_t num_pairs = n * (n - 1) / 2;
+  // A pair-range restriction shrinks the evaluated problem; stats report
+  // the restricted size so shard-local counters add up to the full query's
+  // across a sharded deployment.
+  const auto [pair_lo, pair_hi] = query.PairRange(num_pairs);
+  const int64_t eval_pairs = pair_hi - pair_lo;
   const int64_t base_w0 = query.start / b;
   const int64_t ns = query.window / b;
   const int64_t m = query.step / b;
   stats->num_windows = num_windows;
-  stats->num_pairs = num_pairs;
-  stats->cells_total = num_windows * num_pairs;
+  stats->num_pairs = eval_pairs;
+  stats->cells_total = num_windows * eval_pairs;
 
   // The last window must be fully covered by indexed basic windows.
   const int64_t last_needed_bw = base_w0 + (num_windows - 1) * m + ns;
@@ -481,18 +491,18 @@ Status DangoronEngine::QueryPreparedToSink(
   // independently. Deterministic regardless of thread count.
   const int64_t num_blocks =
       num_pool_threads > 1
-          ? std::min<int64_t>(num_pairs,
+          ? std::min<int64_t>(eval_pairs,
                               static_cast<int64_t>(num_pool_threads) * 8)
           : 1;
-  const int64_t block_size = num_blocks > 0 ? CeilDiv(num_pairs, num_blocks) : 0;
+  const int64_t block_size = num_blocks > 0 ? CeilDiv(eval_pairs, num_blocks) : 0;
 
   std::vector<std::vector<std::vector<Edge>>> block_windows(
       static_cast<size_t>(num_blocks));
   std::vector<EngineStats> block_stats(static_cast<size_t>(num_blocks));
 
   auto run_block = [&](int64_t block) {
-    const int64_t pair_begin = block * block_size;
-    const int64_t pair_end = std::min(num_pairs, pair_begin + block_size);
+    const int64_t pair_begin = pair_lo + block * block_size;
+    const int64_t pair_end = std::min(pair_hi, pair_begin + block_size);
     auto& local = block_windows[static_cast<size_t>(block)];
     local.assign(static_cast<size_t>(num_windows), {});
     ProcessPairBlock(options, index, query, pair_begin, pair_end, base_w0, ns,

@@ -26,8 +26,9 @@ Status NaiveEngine::QueryToSink(const SlidingQuery& query, WindowSink* sink) {
 
   const int64_t n = data_->num_series();
   const int64_t num_windows = query.NumWindows();
+  const auto [pair_lo, pair_hi] = query.PairRange(n * (n - 1) / 2);
   stats_.num_windows = num_windows;
-  stats_.num_pairs = n * (n - 1) / 2;
+  stats_.num_pairs = pair_hi - pair_lo;
   stats_.cells_total = stats_.num_windows * stats_.num_pairs;
 
   RETURN_IF_ERROR(sink->OnBegin(query, n));
@@ -42,8 +43,15 @@ Status NaiveEngine::QueryToSink(const SlidingQuery& query, WindowSink* sink) {
       return matrix_or.status();
     }
     const std::vector<double>& matrix = *matrix_or;
+    // The (i, j) double loop walks pair ids in canonical ascending order, so
+    // a running counter is the pair id — the pair-range restriction (used by
+    // the sharding differential tests) filters on it.
+    int64_t pair = 0;
     for (int64_t i = 0; i < n; ++i) {
-      for (int64_t j = i + 1; j < n; ++j) {
+      for (int64_t j = i + 1; j < n; ++j, ++pair) {
+        if (pair < pair_lo || pair >= pair_hi) {
+          continue;
+        }
         const double c = matrix[static_cast<size_t>(i * n + j)];
         ++stats_.cells_evaluated;
         if (query.IsEdge(c)) {

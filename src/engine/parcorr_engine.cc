@@ -63,6 +63,12 @@ Status ParCorrEngine::QueryToSink(const SlidingQuery& query,
     return Status::FailedPrecondition("ParCorrEngine: Prepare not called");
   }
   RETURN_IF_ERROR(query.Validate(data_->length()));
+  if (query.HasPairRestriction()) {
+    return Status::InvalidArgument(
+        "ParCorrEngine: pair-range restriction is not supported (sketch "
+        "candidate generation is not pair-id-ordered); route restricted "
+        "queries to DangoronEngine");
+  }
   stats_.Reset();
 
   const int64_t n = data_->num_series();

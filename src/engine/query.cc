@@ -40,17 +40,31 @@ Status SlidingQuery::Validate(int64_t series_length) const {
         "absolute-mode threshold must be in [0, 1], got ",
         std::to_string(threshold), " (", ToString(), ")");
   }
+  if (pair_begin < 0 || pair_end < 0) {
+    return Status::InvalidArgument("pair range [", pair_begin, ", ", pair_end,
+                                   ") must be non-negative (", ToString(),
+                                   ")");
+  }
+  if (HasPairRestriction() && pair_end <= pair_begin) {
+    return Status::InvalidArgument("pair range [", pair_begin, ", ", pair_end,
+                                   ") is empty (", ToString(), ")");
+  }
   return Status::Ok();
 }
 
 std::string SlidingQuery::ToString() const {
-  return StrFormat("range=[%lld,%lld) l=%lld eta=%lld beta=%.3f abs=%s "
-                   "windows=%lld",
-                   static_cast<long long>(start), static_cast<long long>(end),
-                   static_cast<long long>(window),
-                   static_cast<long long>(step), threshold,
-                   absolute ? "on" : "off",
-                   static_cast<long long>(NumWindows()));
+  std::string text =
+      StrFormat("range=[%lld,%lld) l=%lld eta=%lld beta=%.3f abs=%s "
+                "windows=%lld",
+                static_cast<long long>(start), static_cast<long long>(end),
+                static_cast<long long>(window), static_cast<long long>(step),
+                threshold, absolute ? "on" : "off",
+                static_cast<long long>(NumWindows()));
+  if (HasPairRestriction()) {
+    text += StrFormat(" pairs=[%lld,%lld)", static_cast<long long>(pair_begin),
+                      static_cast<long long>(pair_end));
+  }
+  return text;
 }
 
 int64_t CorrelationMatrixSeries::TotalEdges() const {

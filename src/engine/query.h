@@ -1,9 +1,11 @@
 #ifndef DANGORON_ENGINE_QUERY_H_
 #define DANGORON_ENGINE_QUERY_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -24,6 +26,32 @@ struct SlidingQuery {
   /// count — the convention of climate teleconnection networks); the edge
   /// keeps the signed value. beta must then be in [0, 1].
   bool absolute = false;
+  /// Restricts evaluation to pair ids in [pair_begin, pair_end) — the
+  /// contiguous slice of the canonical pair enumeration (ascending (i, j),
+  /// see BasicWindowIndex::PairId). (0, 0) means all pairs. This is the
+  /// sharding primitive: a router splits one query into K disjoint
+  /// pair-range restrictions and concatenates the per-window edge lists in
+  /// shard order, which is exactly the global (i, j) sort. pair_end beyond
+  /// the dataset's pair count is clamped, so a splitter may over-shoot the
+  /// last slice.
+  int64_t pair_begin = 0;
+  int64_t pair_end = 0;
+
+  /// True when the query restricts the pair-id range.
+  bool HasPairRestriction() const {
+    return pair_begin != 0 || pair_end != 0;
+  }
+
+  /// The evaluated pair-id range for a dataset with `num_pairs` total pairs:
+  /// the whole range when unrestricted, the clamped restriction otherwise.
+  std::pair<int64_t, int64_t> PairRange(int64_t num_pairs) const {
+    if (!HasPairRestriction()) {
+      return {0, num_pairs};
+    }
+    const int64_t lo = std::min(pair_begin, num_pairs);
+    const int64_t hi = std::min(pair_end, num_pairs);
+    return {lo, std::max(lo, hi)};
+  }
 
   /// True when `value` clears the edge threshold under this query's rule.
   bool IsEdge(double value) const {

@@ -75,6 +75,11 @@ Status TsubasaEngine::QueryToSink(const SlidingQuery& query,
     return Status::FailedPrecondition("TsubasaEngine: Prepare not called");
   }
   RETURN_IF_ERROR(query.Validate(data_->length()));
+  if (query.HasPairRestriction()) {
+    return Status::InvalidArgument(
+        "TsubasaEngine: pair-range restriction is not supported; route "
+        "restricted queries to DangoronEngine");
+  }
   stats_.Reset();
 
   const int64_t n = data_->num_series();

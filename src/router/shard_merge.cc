@@ -1,0 +1,259 @@
+#include "router/shard_merge.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dangoron {
+
+ShardMerge::ShardMerge(std::vector<std::unique_ptr<ShardWindowSource>> sources,
+                       const ShardMergeOptions& options)
+    : sources_(std::move(sources)),
+      options_(options),
+      downstream_(std::make_shared<WindowStreamState>(
+          std::max<int64_t>(int64_t{1}, options.queue_capacity))),
+      shard_done_(sources_.size(), false),
+      watermark_(sources_.size(), 0) {
+  active_readers_ = static_cast<int>(sources_.size());
+  if (sources_.empty()) {
+    // Degenerate but legal: an empty merge is an empty Ok stream.
+    downstream_->Finish(Status::Ok(), StreamingSummary{});
+    return;
+  }
+  readers_.reserve(sources_.size());
+  for (size_t s = 0; s < sources_.size(); ++s) {
+    readers_.emplace_back([this, s] { ReaderLoop(static_cast<int>(s)); });
+  }
+}
+
+ShardMerge::~ShardMerge() {
+  Cancel();
+  for (std::thread& reader : readers_) {
+    if (reader.joinable()) {
+      reader.join();
+    }
+  }
+}
+
+std::optional<StreamedWindow> ShardMerge::Next() {
+  return downstream_->Next();
+}
+
+void ShardMerge::Cancel() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (cancelled_ || (active_readers_ == 0 && downstream_->finished())) {
+    return;
+  }
+  cancelled_ = true;
+  // Upstream cancels are best-effort pokes; each shard still finishes its
+  // stream with a terminal status, which is what unblocks the readers.
+  for (const auto& source : sources_) {
+    source->Cancel();
+  }
+  downstream_->Cancel();
+  progress_cv_.notify_all();
+}
+
+Status ShardMerge::status() const { return downstream_->status(); }
+
+WireSummary ShardMerge::summary() const {
+  WireSummary total;
+  // Per-shard terminal summaries are stable once the merge finished (every
+  // reader joined its source's terminal status before exiting).
+  for (const auto& source : sources_) {
+    const WireSummary s = source->summary();
+    total.windows_from_cache += s.windows_from_cache;
+    total.windows_computed += s.windows_computed;
+    total.windows_joined += s.windows_joined;
+    total.cells_jumped += s.cells_jumped;
+    total.jumps += s.jumps;
+    if (s.tier_used == ServeTier::kApprox) {
+      total.tier_used = ServeTier::kApprox;
+    }
+    if (s.degraded) {
+      total.degraded = true;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  total.windows_delivered = windows_merged_;
+  return total;
+}
+
+void ShardMerge::MergeFailLocked(const Status& status) {
+  if (failed_ || cancelled_) {
+    return;  // first failure wins; a cancel in flight outranks everything
+  }
+  failed_ = true;
+  fail_status_ = status;
+  for (const auto& source : sources_) {
+    source->Cancel();
+  }
+  // Unblock a consumer mid-Next and drop queued windows: a failed merge
+  // must not dribble out a partial prefix as if it were the result.
+  downstream_->Cancel();
+  progress_cv_.notify_all();
+}
+
+void ShardMerge::EmitReadyLocked(std::unique_lock<std::mutex>& lock) {
+  while (!cancelled_ && !failed_) {
+    auto it = pending_.begin();
+    if (it == pending_.end() || it->first != next_emit_ ||
+        it->second.delivered != static_cast<int>(sources_.size())) {
+      break;
+    }
+    // Concatenate in shard order — ascending pair-id ranges, so the result
+    // is already in canonical EdgeOrder.
+    StreamedWindow merged;
+    merged.window_index = it->first;
+    size_t total = 0;
+    for (const WindowEdges& part : it->second.parts) {
+      total += part == nullptr ? 0 : part->size();
+    }
+    auto edges = std::make_shared<std::vector<Edge>>();
+    edges->reserve(total);
+    for (const WindowEdges& part : it->second.parts) {
+      if (part != nullptr) {
+        edges->insert(edges->end(), part->begin(), part->end());
+      }
+    }
+    merged.edges = std::move(edges);
+    pending_.erase(it);
+    ++next_emit_;
+    ++windows_merged_;
+    progress_cv_.notify_all();
+
+    lock.unlock();
+    const bool pushed = downstream_->Push(std::move(merged));
+    lock.lock();
+    if (!pushed) {
+      // The consumer cancelled the merged stream while we were blocked on
+      // its queue; fan the cancel out to the shards.
+      if (!cancelled_) {
+        cancelled_ = true;
+        for (const auto& source : sources_) {
+          source->Cancel();
+        }
+        progress_cv_.notify_all();
+      }
+      break;
+    }
+  }
+}
+
+void ShardMerge::FinishLocked() {
+  Status terminal = Status::Ok();
+  if (failed_) {
+    terminal = fail_status_;
+  } else if (cancelled_) {
+    terminal = Status::Cancelled("shard merge cancelled");
+  } else if (!pending_.empty()) {
+    terminal = Status::Internal(
+        "shard merge: shards disagreed on the window count — ",
+        pending_.size(), " windows never completed (first stuck index ",
+        pending_.begin()->first, ")");
+  }
+  // The downstream summary mirrors the aggregate; consumers read the full
+  // per-shard rollup via ShardMerge::summary().
+  StreamingSummary summary;
+  summary.windows_computed = windows_merged_;
+  downstream_->Finish(terminal, summary);
+}
+
+void ShardMerge::ReaderLoop(int shard) {
+  ShardWindowSource* source = sources_[static_cast<size_t>(shard)].get();
+  while (true) {
+    Result<std::optional<StreamedWindow>> next = source->Next();
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!next.ok()) {
+      MergeFailLocked(Status(next.status().code(),
+                             "shard " + std::to_string(shard) + ": " +
+                                 next.status().message()));
+      break;
+    }
+    if (!next->has_value()) {
+      const Status verdict = source->result_status();
+      if (!verdict.ok() && !cancelled_) {
+        MergeFailLocked(Status(verdict.code(),
+                               "shard " + std::to_string(shard) + ": " +
+                                   verdict.message()));
+        break;
+      }
+      shard_done_[static_cast<size_t>(shard)] = true;
+      // Any window this shard never delivered can no longer complete.
+      if (!failed_ && !cancelled_ && !pending_.empty() &&
+          pending_.rbegin()->first >=
+              watermark_[static_cast<size_t>(shard)]) {
+        MergeFailLocked(Status::Internal(
+            "shard merge: shard ", shard, " finished after ",
+            watermark_[static_cast<size_t>(shard)],
+            " windows while others delivered ahead of it"));
+      }
+      break;
+    }
+    if (cancelled_ || failed_) {
+      // Keep draining a terminating stream? No — upstream Cancel already
+      // asked it to finish; dropping the handle's remaining windows is the
+      // transport's job. Just exit.
+      break;
+    }
+
+    StreamedWindow window = std::move(**next);
+    const int64_t k = window.window_index;
+    if (k != watermark_[static_cast<size_t>(shard)]) {
+      MergeFailLocked(Status::Internal(
+          "shard merge: shard ", shard, " delivered window ", k,
+          " out of order (expected ",
+          watermark_[static_cast<size_t>(shard)], ")"));
+      break;
+    }
+    watermark_[static_cast<size_t>(shard)] = k + 1;
+
+    // A window a finished shard never reached can never complete.
+    bool orphaned = false;
+    for (size_t t = 0; t < sources_.size(); ++t) {
+      if (shard_done_[t] && watermark_[t] <= k) {
+        orphaned = true;
+        break;
+      }
+    }
+    if (orphaned) {
+      MergeFailLocked(Status::Internal(
+          "shard merge: window ", k, " can never complete — a shard "
+          "finished before delivering it"));
+      break;
+    }
+
+    // Bounded skew: wait for the emission frontier before running further
+    // ahead of the slowest shard.
+    progress_cv_.wait(lock, [&] {
+      return cancelled_ || failed_ ||
+             k < next_emit_ + options_.max_skew_windows;
+    });
+    if (cancelled_ || failed_) {
+      break;
+    }
+
+    Pending& slot = pending_[k];
+    if (slot.parts.empty()) {
+      slot.parts.resize(sources_.size());
+    }
+    slot.parts[static_cast<size_t>(shard)] = std::move(window.edges);
+    ++slot.delivered;
+    if (slot.delivered == static_cast<int>(sources_.size()) &&
+        k == next_emit_ && !emitting_) {
+      emitting_ = true;
+      EmitReadyLocked(lock);
+      emitting_ = false;
+      progress_cv_.notify_all();
+    }
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (--active_readers_ == 0) {
+    // Late completions may have piled up behind an emitter that bailed on
+    // cancel/failure; the terminal path never emits, it only settles.
+    FinishLocked();
+  }
+}
+
+}  // namespace dangoron

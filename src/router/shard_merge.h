@@ -1,0 +1,151 @@
+#ifndef DANGORON_ROUTER_SHARD_MERGE_H_
+#define DANGORON_ROUTER_SHARD_MERGE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/window_stream.h"
+#include "wire/wire_format.h"
+
+namespace dangoron {
+
+/// One shard's window stream as the merge consumes it — the seam between
+/// the merge core and its transports. The production implementation wraps a
+/// WireClient draining one shard's wire response (see ShardRouter); tests
+/// drive synthetic sources with deterministic skew, errors, and delays.
+///
+/// Contract (the WindowStream/WireClient contract, restated):
+/// - `Next` blocks for the shard's next window; indices arrive ascending
+///   and consecutive from 0. nullopt means the shard stream is terminal —
+///   read the shard's verdict from `result_status()`. An error Status is a
+///   transport/protocol failure (the source is unusable).
+/// - `Cancel` is thread-safe and best-effort: it asks the upstream to
+///   finish early. After it, `Next` must still reach nullopt eventually
+///   (cancelled upstreams finish with a terminal status) — that is what
+///   lets the merge join its readers instead of abandoning them.
+class ShardWindowSource {
+ public:
+  virtual ~ShardWindowSource() = default;
+
+  virtual Result<std::optional<StreamedWindow>> Next() = 0;
+
+  /// The shard's terminal verdict; meaningful once Next returned nullopt.
+  virtual Status result_status() const = 0;
+
+  /// The shard's terminal accounting; meaningful once Next returned
+  /// nullopt.
+  virtual WireSummary summary() const = 0;
+
+  virtual void Cancel() = 0;
+};
+
+struct ShardMergeOptions {
+  /// Bounded reorder window: how many windows a fast shard may run ahead of
+  /// the slowest shard's emission frontier before its reader blocks. This
+  /// bounds the merge's buffered memory at K * max_skew_windows partial
+  /// windows under adversarial shard skew.
+  int64_t max_skew_windows = 8;
+
+  /// Capacity of the merged stream's bounded delivery queue (the same knob
+  /// as StreamingSubmitOptions::queue_capacity).
+  int64_t queue_capacity = kDefaultStreamQueueCapacity;
+};
+
+/// Merges K per-shard window streams — each carrying the same query
+/// restricted to a disjoint pair-id range — back into one window-ordered
+/// stream. Window k is emitted the moment all K shards have delivered their
+/// slice of it: the parts are concatenated in shard order, which (shards
+/// being ascending pair-id ranges) is exactly the canonical (i, j) edge
+/// order, so no re-sort happens on the hot path.
+///
+/// Semantics preserved from the single-process stream:
+/// - streaming: windows leave as they complete, never after the whole query;
+/// - backpressure: the merged stream's queue is bounded; a slow consumer
+///   blocks the emitter, the emitter's stall blocks readers at the skew
+///   bound, and the upstream transports stall behind their sockets;
+/// - cancel: `Cancel` (or destroying the merge) cancels all K upstreams and
+///   the merged stream finishes with Cancelled;
+/// - errors: the first shard failure (transport error or non-Ok terminal
+///   status) cancels the surviving shards and fails the merged stream with
+///   that status.
+///
+/// One reader thread per shard drains its source into a window-indexed
+/// pending map (the reorder heap, std::map keeps it ordered); the reader
+/// that completes the emission frontier becomes the emitter and pushes every
+/// consecutively-complete window downstream.
+class ShardMerge {
+ public:
+  ShardMerge(std::vector<std::unique_ptr<ShardWindowSource>> sources,
+             const ShardMergeOptions& options = {});
+  ~ShardMerge();
+
+  ShardMerge(const ShardMerge&) = delete;
+  ShardMerge& operator=(const ShardMerge&) = delete;
+
+  /// Blocks for the next merged window; nullopt once the merge is terminal.
+  std::optional<StreamedWindow> Next();
+
+  /// Cancels the merged stream and all K upstream shard streams.
+  void Cancel();
+
+  /// Terminal status of the merged stream; meaningful once Next returned
+  /// nullopt. Ok only when every shard finished Ok and delivered the same
+  /// window count.
+  Status status() const;
+
+  /// Aggregated shard accounting (sums of per-shard counters; degraded /
+  /// approx if any shard was); meaningful once Next returned nullopt.
+  WireSummary summary() const;
+
+  int64_t num_shards() const { return static_cast<int64_t>(sources_.size()); }
+
+ private:
+  struct Pending {
+    int delivered = 0;
+    std::vector<WindowEdges> parts;  // indexed by shard
+  };
+
+  void ReaderLoop(int shard);
+  /// Fails the merge with `status` (first failure wins) and cancels every
+  /// upstream. Caller holds mutex_.
+  void MergeFailLocked(const Status& status);
+  /// Emits every consecutively-complete window at the frontier. Caller
+  /// holds `lock`; Push runs unlocked (downstream backpressure must not
+  /// block other readers).
+  void EmitReadyLocked(std::unique_lock<std::mutex>& lock);
+  /// Called by the last reader to exit: settles the terminal status and
+  /// finishes the downstream stream.
+  void FinishLocked();
+
+  const std::vector<std::unique_ptr<ShardWindowSource>> sources_;
+  const ShardMergeOptions options_;
+  const std::shared_ptr<WindowStreamState> downstream_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable progress_cv_;
+  std::map<int64_t, Pending> pending_;
+  int64_t next_emit_ = 0;
+  bool emitting_ = false;
+  bool cancelled_ = false;
+  bool failed_ = false;
+  Status fail_status_;
+  std::vector<bool> shard_done_;
+  /// Per-shard delivered-window watermark: the next index shard s would
+  /// deliver. Once s finished, any pending window at or above its watermark
+  /// can never complete — the count-mismatch detector.
+  std::vector<int64_t> watermark_;
+  int active_readers_ = 0;
+  int64_t windows_merged_ = 0;
+  std::vector<std::thread> readers_;
+};
+
+}  // namespace dangoron
+
+#endif  // DANGORON_ROUTER_SHARD_MERGE_H_

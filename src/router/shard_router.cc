@@ -1,0 +1,125 @@
+#include "router/shard_router.h"
+
+#include <algorithm>
+
+#include "corr/sweep_kernel.h"
+
+namespace dangoron {
+
+namespace {
+
+/// ShardWindowSource over one WireClient draining one shard's response.
+class WireClientSource final : public ShardWindowSource {
+ public:
+  explicit WireClientSource(std::unique_ptr<WireClient> client)
+      : client_(std::move(client)) {}
+
+  Result<std::optional<StreamedWindow>> Next() override {
+    return client_->Next();
+  }
+
+  Status result_status() const override { return client_->result_status(); }
+
+  WireSummary summary() const override { return client_->summary(); }
+
+  void Cancel() override {
+    // WireClient::Cancel is the documented cross-thread exception; a failed
+    // cancel write means the connection is already dead, which terminates
+    // the reader through Next anyway.
+    (void)client_->Cancel();
+  }
+
+ private:
+  std::unique_ptr<WireClient> client_;
+};
+
+}  // namespace
+
+std::vector<std::pair<int64_t, int64_t>> SplitPairRanges(int64_t num_pairs,
+                                                         int shards) {
+  std::vector<std::pair<int64_t, int64_t>> ranges;
+  if (num_pairs <= 0 || shards <= 1) {
+    ranges.emplace_back(0, std::max<int64_t>(num_pairs, 0));
+    return ranges;
+  }
+  const int64_t num_tiles =
+      (num_pairs + kSweepTilePairs - 1) / kSweepTilePairs;
+  const int64_t k = std::min<int64_t>(shards, num_tiles);
+  const int64_t tiles_per_shard = num_tiles / k;
+  const int64_t remainder = num_tiles % k;
+  int64_t tile = 0;
+  for (int64_t s = 0; s < k; ++s) {
+    const int64_t take = tiles_per_shard + (s < remainder ? 1 : 0);
+    const int64_t begin = tile * kSweepTilePairs;
+    tile += take;
+    const int64_t end = std::min(num_pairs, tile * kSweepTilePairs);
+    ranges.emplace_back(begin, end);
+  }
+  return ranges;
+}
+
+Result<std::unique_ptr<WireClient>> ShardRouter::Connect(int shard) {
+  if (options_.connect_override) {
+    return options_.connect_override(shard);
+  }
+  const ShardEndpoint& endpoint =
+      options_.shards[static_cast<size_t>(shard)];
+  return WireClient::ConnectTcp(endpoint.host, endpoint.port,
+                                options_.client);
+}
+
+Result<std::unique_ptr<ShardMerge>> ShardRouter::Submit(
+    const WireRequest& request, int64_t num_pairs) {
+  const int shards = static_cast<int>(options_.shards.size());
+  if (shards == 0 && !options_.connect_override) {
+    return Status::InvalidArgument("shard router: no shards configured");
+  }
+  if (request.query.HasPairRestriction()) {
+    return Status::InvalidArgument(
+        "shard router: the request already carries a pair-range "
+        "restriction; the router owns the pair split");
+  }
+  const int fanout = shards > 0 ? shards : 1;
+  const std::vector<std::pair<int64_t, int64_t>> ranges =
+      SplitPairRanges(num_pairs, fanout);
+
+  std::vector<std::unique_ptr<ShardWindowSource>> sources;
+  sources.reserve(ranges.size());
+  for (size_t s = 0; s < ranges.size(); ++s) {
+    Result<std::unique_ptr<WireClient>> client =
+        Connect(static_cast<int>(s));
+    if (!client.ok()) {
+      // Unavailable regardless of the transport's own code: the caller's
+      // actionable fact is "shard s is unreachable", and exit-code mapping
+      // (serve_flags.h) keys off it.
+      return Status::Unavailable("shard router: shard ", s, " (",
+                                 options_.shards.empty()
+                                     ? std::string("override")
+                                     : options_.shards[s].host + ":" +
+                                           std::to_string(
+                                               options_.shards[s].port),
+                                 ") unreachable: ",
+                                 client.status().message());
+    }
+    WireRequest sub = request;  // deadline and options inherit verbatim
+    if (!(ranges[s].first == 0 && ranges[s].second == num_pairs)) {
+      sub.query.pair_begin = ranges[s].first;
+      sub.query.pair_end = ranges[s].second;
+    }
+    if (Status submitted = (*client)->Submit(sub); !submitted.ok()) {
+      return Status::Unavailable("shard router: shard ", s,
+                                 " rejected the request: ",
+                                 submitted.message());
+    }
+    sources.push_back(
+        std::make_unique<WireClientSource>(std::move(*client)));
+  }
+
+  ShardMergeOptions merge = options_.merge;
+  if (request.options.queue_capacity > 0) {
+    merge.queue_capacity = request.options.queue_capacity;
+  }
+  return std::make_unique<ShardMerge>(std::move(sources), merge);
+}
+
+}  // namespace dangoron

@@ -1,0 +1,94 @@
+#ifndef DANGORON_ROUTER_SHARD_ROUTER_H_
+#define DANGORON_ROUTER_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "router/shard_merge.h"
+#include "wire/client.h"
+#include "wire/wire_format.h"
+
+namespace dangoron {
+
+/// One shard backend (a WireServer fronting a DangoronServer that holds the
+/// full dataset — shards replicate data and split compute, see
+/// src/router/README.md).
+struct ShardEndpoint {
+  std::string host = "127.0.0.1";
+  int port = 0;
+};
+
+/// Splits [0, num_pairs) into at most `shards` contiguous ranges cut at
+/// multiples of kSweepTilePairs, balanced to within one tile. Tile-aligned
+/// cuts make every shard's sweep tiling coincide with the tiles it would
+/// run as part of an unrestricted query, so the sharded decomposition is
+/// the engine's own. Fewer ranges come back when there are fewer tiles
+/// than shards; num_pairs == 0 yields one empty range.
+std::vector<std::pair<int64_t, int64_t>> SplitPairRanges(int64_t num_pairs,
+                                                         int shards);
+
+struct ShardRouterOptions {
+  std::vector<ShardEndpoint> shards;
+
+  /// Transport timeouts for each shard connection. Defaults bound connect
+  /// and inter-frame read waits so one dead shard fails the merged query
+  /// fast (Unavailable) instead of hanging it.
+  WireClientOptions client{.connect_timeout_ms = 5000,
+                           .read_timeout_ms = 60000};
+
+  /// Merge knobs (skew bound, merged-queue capacity); the per-request
+  /// queue_capacity from ServeOptions overrides the merge queue capacity.
+  ShardMergeOptions merge;
+
+  /// Test/bench seam: when set, shard `i`'s connection comes from this
+  /// factory instead of ConnectTcp(shards[i]) — how in-process benchmarks
+  /// and tests wire the router over socketpairs without binding ports.
+  std::function<Result<std::unique_ptr<WireClient>>(int shard)>
+      connect_override;
+};
+
+/// Scatter/gather front of K WireServer shards: one WireRequest fans out as
+/// K requests over disjoint tile-aligned pair-id ranges, and the K window
+/// streams merge back into one (ShardMerge). Stateless across requests —
+/// every Submit opens fresh shard connections (a connection carries one
+/// request at a time; pooling is future work).
+///
+/// Failure semantics:
+/// - a shard that cannot be reached or refuses the request fails the
+///   submit with Unavailable naming the shard;
+/// - after submit, the first shard error (transport or terminal status —
+///   e.g. FailedPrecondition from an expected_fingerprint mismatch) cancels
+///   the surviving shards and fails the merged stream with that status;
+/// - Cancel / dropping the merge cancels all K upstream streams;
+/// - each shard request inherits the original request's deadline and
+///   options verbatim.
+class ShardRouter {
+ public:
+  explicit ShardRouter(ShardRouterOptions options)
+      : options_(std::move(options)) {}
+
+  /// Fans `request` out over the shards restricted to disjoint pair ranges
+  /// of [0, num_pairs), returns the merged window-ordered stream. The
+  /// caller supplies num_pairs = n*(n-1)/2 for the dataset's n series (the
+  /// router holds no data; see RouterServer's dataset registry).
+  Result<std::unique_ptr<ShardMerge>> Submit(const WireRequest& request,
+                                             int64_t num_pairs);
+
+  int64_t num_shards() const {
+    return static_cast<int64_t>(options_.shards.size());
+  }
+
+ private:
+  Result<std::unique_ptr<WireClient>> Connect(int shard);
+
+  const ShardRouterOptions options_;
+};
+
+}  // namespace dangoron
+
+#endif  // DANGORON_ROUTER_SHARD_ROUTER_H_

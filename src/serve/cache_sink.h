@@ -36,6 +36,8 @@ class CacheWindowSink final : public WindowSink {
     int64_t start0_bw = 0;
     double threshold = 0.0;
     bool absolute = false;
+    int64_t pair_begin = 0;  ///< pair-range restriction; (0, 0) = all pairs
+    int64_t pair_end = 0;
   };
 
   /// Engine-driven form: geometry arrives via OnBegin. The driving query's
@@ -66,6 +68,8 @@ class CacheWindowSink final : public WindowSink {
     geometry_.start0_bw = query.start / b;
     geometry_.threshold = query.threshold;
     geometry_.absolute = query.absolute;
+    geometry_.pair_begin = query.pair_begin;
+    geometry_.pair_end = query.pair_end;
     return Status::Ok();
   }
 
@@ -75,7 +79,8 @@ class CacheWindowSink final : public WindowSink {
     cache_->Put(
         WindowKey::Make(fingerprint_, basic_window_, geometry_.window_bws,
                         geometry_.start0_bw + window_index * geometry_.step_bws,
-                        geometry_.threshold, geometry_.absolute),
+                        geometry_.threshold, geometry_.absolute,
+                        geometry_.pair_begin, geometry_.pair_end),
         std::move(shared), bytes);
     ++windows_published_;
     return true;

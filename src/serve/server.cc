@@ -360,9 +360,11 @@ double DangoronServer::EstimateExactCostMs(const RequestContext& ctx) const {
     }
     windows_to_price -= cached;
   }
-  const double pairs =
-      static_cast<double>(num_series) * static_cast<double>(num_series - 1) /
-      2.0;
+  // A pair-range restriction (sharding) shrinks the evaluated slice; price
+  // what this shard will actually sweep, not the whole clique.
+  const auto [pair_lo, pair_hi] =
+      query.PairRange(num_series * (num_series - 1) / 2);
+  const double pairs = static_cast<double>(pair_hi - pair_lo);
   const double cells = pairs * static_cast<double>(windows_to_price);
   double cell_ns;
   {
@@ -1175,9 +1177,9 @@ Result<ServeResult> DangoronServer::RunQuery(const RequestContext& ctx) {
   // admission-queue park — is subtracted outright (prepare_seconds).
   if (plan.ok() && out.windows_computed > 0 && out.windows_joined == 0 &&
       out.windows_from_cache == 0) {
-    const double pairs = static_cast<double>(ctx.data->num_series()) *
-                         static_cast<double>(ctx.data->num_series() - 1) /
-                         2.0;
+    const int64_t n = ctx.data->num_series();
+    const auto [pair_lo, pair_hi] = ctx.query.PairRange(n * (n - 1) / 2);
+    const double pairs = static_cast<double>(pair_hi - pair_lo);
     const double cells = static_cast<double>(out.windows_computed) * pairs;
     if (cells > 0 && plan_ns > 0) {
       const double observed = plan_ns / cells;

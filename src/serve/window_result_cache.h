@@ -17,7 +17,11 @@ namespace dangoron {
 /// window_bws = window / b; under exact (non-jumping) evaluation its
 /// thresholded edge set depends on nothing else — not the query's range or
 /// step — which is what makes cross-query reuse sound. The threshold is
-/// keyed by bit pattern (exact-match semantics, no epsilon).
+/// keyed by bit pattern (exact-match semantics, no epsilon). A pair-range
+/// restriction (sharding) is part of the identity: a restricted window's
+/// edge set is a subset of the full one, so shard-local entries must never
+/// satisfy full-range lookups or vice versa — (0, 0) is the unrestricted
+/// key, matching SlidingQuery's encoding.
 struct WindowKey {
   uint64_t fingerprint = 0;
   int64_t basic_window = 0;
@@ -25,12 +29,16 @@ struct WindowKey {
   int64_t start_bw = 0;
   uint64_t threshold_bits = 0;
   bool absolute = false;
+  int64_t pair_begin = 0;
+  int64_t pair_end = 0;
 
   static WindowKey Make(uint64_t fingerprint, int64_t basic_window,
                         int64_t window_bws, int64_t start_bw, double threshold,
-                        bool absolute) {
+                        bool absolute, int64_t pair_begin = 0,
+                        int64_t pair_end = 0) {
     return WindowKey{fingerprint, basic_window, window_bws, start_bw,
-                     std::bit_cast<uint64_t>(threshold), absolute};
+                     std::bit_cast<uint64_t>(threshold), absolute,
+                     pair_begin, pair_end};
   }
 
   bool operator==(const WindowKey&) const = default;
@@ -43,6 +51,8 @@ struct WindowKeyHash {
     h = MixHash(h ^ static_cast<uint64_t>(key.window_bws));
     h = MixHash(h ^ static_cast<uint64_t>(key.start_bw));
     h = MixHash(h ^ key.threshold_bits);
+    h = MixHash(h ^ static_cast<uint64_t>(key.pair_begin));
+    h = MixHash(h ^ static_cast<uint64_t>(key.pair_end));
     return static_cast<size_t>(MixHash(h ^ (key.absolute ? 1u : 0u)));
   }
 };
@@ -60,7 +70,8 @@ inline WindowKey QueryWindowKey(uint64_t fingerprint, int64_t basic_window,
   return WindowKey::Make(fingerprint, basic_window,
                          query.window / basic_window,
                          (query.start + k * query.step) / basic_window,
-                         threshold, query.absolute);
+                         threshold, query.absolute, query.pair_begin,
+                         query.pair_end);
 }
 
 /// A window's thresholded edge set, shared immutably between the cache and

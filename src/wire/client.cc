@@ -1,8 +1,10 @@
 #include "wire/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -13,8 +15,28 @@
 
 namespace dangoron {
 
+namespace {
+
+// Waits for `events` on `fd` for up to `timeout_ms`, retrying EINTR without
+// extending the deadline beyond one fresh poll per interruption. Returns
+// 0 on timeout, -1 on poll failure (errno set), >0 when ready.
+int PollFd(int fd, short events, int64_t timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = events;
+  while (true) {
+    const int rc = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    if (rc < 0 && errno == EINTR) {
+      continue;
+    }
+    return rc;
+  }
+}
+
+}  // namespace
+
 Result<std::unique_ptr<WireClient>> WireClient::ConnectTcp(
-    const std::string& host, int port) {
+    const std::string& host, int port, const WireClientOptions& options) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::IoError("wire client: socket(): ", std::string(std::strerror(errno)));
@@ -27,8 +49,43 @@ Result<std::unique_ptr<WireClient>> WireClient::ConnectTcp(
     return Status::InvalidArgument("wire client: bad IPv4 address '", host,
                                    "'");
   }
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
+  if (options.connect_timeout_ms > 0) {
+    // Bounded connect: non-blocking connect, poll for writability, then
+    // read the socket's final verdict from SO_ERROR. A peer that never
+    // completes the handshake (dead host, full accept backlog) surfaces as
+    // Unavailable after the timeout instead of blocking for the kernel's
+    // multi-minute SYN retry schedule.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      if (errno != EINPROGRESS) {
+        const int err = errno;
+        ::close(fd);
+        return Status::IoError("wire client: connect(", host, ":", port,
+                               "): ", std::string(std::strerror(err)));
+      }
+      const int rc = PollFd(fd, POLLOUT, options.connect_timeout_ms);
+      if (rc == 0) {
+        ::close(fd);
+        return Status::Unavailable("wire client: connect(", host, ":", port,
+                                   ") timed out after ",
+                                   options.connect_timeout_ms, "ms");
+      }
+      int so_error = 0;
+      socklen_t len = sizeof(so_error);
+      if (rc < 0 ||
+          ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+          so_error != 0) {
+        const int err = rc < 0 ? errno : so_error;
+        ::close(fd);
+        return Status::IoError("wire client: connect(", host, ":", port,
+                               "): ", std::string(std::strerror(err)));
+      }
+    }
+    ::fcntl(fd, F_SETFL, flags);
+  } else if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                       sizeof(addr)) != 0) {
     const int err = errno;
     ::close(fd);
     return Status::IoError("wire client: connect(", host, ":", port,
@@ -36,7 +93,7 @@ Result<std::unique_ptr<WireClient>> WireClient::ConnectTcp(
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return std::unique_ptr<WireClient>(new WireClient(fd));
+  return std::unique_ptr<WireClient>(new WireClient(fd, options));
 }
 
 std::unique_ptr<WireClient> WireClient::Adopt(int fd) {
@@ -122,6 +179,17 @@ Result<std::optional<StreamedWindow>> WireClient::Next() {
               "wire client: unexpected frame type ",
               static_cast<int>(frame.type),
               " from the server (only window/status flow this way)");
+      }
+    }
+    if (options_.read_timeout_ms > 0) {
+      const int rc = PollFd(fd_, POLLIN, options_.read_timeout_ms);
+      if (rc == 0) {
+        return Status::Unavailable("wire client: no bytes from the server "
+                                   "for ", options_.read_timeout_ms, "ms");
+      }
+      if (rc < 0) {
+        return Status::IoError("wire client: poll(): ",
+                               std::string(std::strerror(errno)));
       }
     }
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);

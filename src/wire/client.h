@@ -33,12 +33,27 @@ namespace dangoron {
 /// via `result_status()`/`summary()`, mirroring WindowStream's
 /// status()/summary() split. Not thread-safe: one thread per connection
 /// (`Cancel` being the documented exception).
+/// Transport timeouts of one client connection. Both default to 0 —
+/// disabled, the historical blocking behavior — so existing callers are
+/// unaffected; the router turns them on so one dead shard fails the merged
+/// stream fast instead of hanging it.
+struct WireClientOptions {
+  /// Milliseconds to wait for the TCP connect to complete (poll()-based
+  /// non-blocking connect); expiry returns Unavailable. 0 = block forever.
+  int64_t connect_timeout_ms = 0;
+  /// Milliseconds `Next` may wait for socket readability between frames;
+  /// expiry returns Unavailable (a silent peer is indistinguishable from a
+  /// dead one). 0 = block forever.
+  int64_t read_timeout_ms = 0;
+};
+
 class WireClient {
  public:
   /// Connects to a WireServer over TCP (TCP_NODELAY set — window frames are
   /// latency-sensitive).
   static Result<std::unique_ptr<WireClient>> ConnectTcp(
-      const std::string& host, int port);
+      const std::string& host, int port,
+      const WireClientOptions& options = {});
 
   /// Adopts an already-connected socket (e.g. one end of a socketpair —
   /// how the end-to-end tests drive a server without binding ports). Takes
@@ -77,12 +92,14 @@ class WireClient {
   const WireSummary& summary() const { return summary_; }
 
  private:
-  explicit WireClient(int fd) : fd_(fd) {}
+  explicit WireClient(int fd, const WireClientOptions& options = {})
+      : fd_(fd), options_(options) {}
 
   /// Writes all of `data` to the socket (EINTR-safe, SIGPIPE-suppressed).
   Status WriteAll(const std::string& data);
 
   int fd_ = -1;
+  WireClientOptions options_;
   FrameReader reader_{/*expect_preamble=*/false};
   bool sent_preamble_ = false;
   bool in_flight_ = false;

@@ -36,11 +36,15 @@ Status Truncated(const char* what) {
   return Status::DataLoss("wire: truncated ", what, " payload");
 }
 
-// ServeOptions presence bitmap (request frame).
+// ServeOptions presence bitmap (request frame). kHasPairRange gates the
+// query's pair-id restriction (two zigzag varints) — emitted only when
+// restricted, so unrestricted requests are byte-identical to protocol
+// version 1 clients and servers.
 constexpr uint8_t kHasTier = 1u << 0;
 constexpr uint8_t kHasDeadline = 1u << 1;
 constexpr uint8_t kHasAdmission = 1u << 2;
 constexpr uint8_t kHasDegrade = 1u << 3;
+constexpr uint8_t kHasPairRange = 1u << 4;
 
 // WireSummary flag bits (status frame).
 constexpr uint8_t kSummaryPreparedFromCache = 1u << 0;
@@ -173,6 +177,7 @@ void EncodeRequestFrame(const WireRequest& request, std::string* out) {
     if (options.deadline_ms.has_value()) present |= kHasDeadline;
     if (options.admission.has_value()) present |= kHasAdmission;
     if (options.degrade.has_value()) present |= kHasDegrade;
+    if (request.query.HasPairRestriction()) present |= kHasPairRange;
     payload->push_back(static_cast<char>(present));
     if (options.tier.has_value()) {
       payload->push_back(static_cast<char>(*options.tier));
@@ -185,6 +190,10 @@ void EncodeRequestFrame(const WireRequest& request, std::string* out) {
     }
     if (options.degrade.has_value()) {
       payload->push_back(static_cast<char>(*options.degrade));
+    }
+    if (request.query.HasPairRestriction()) {
+      PutZigZag(request.query.pair_begin, payload);
+      PutZigZag(request.query.pair_end, payload);
     }
     PutZigZag(options.queue_capacity, payload);
     PutZigZag(options.max_batch_windows, payload);
@@ -230,8 +239,8 @@ Status DecodeRequestPayload(std::span<const uint8_t> payload,
     return Truncated("request options");
   }
   const uint8_t present = payload[pos++];
-  if ((present & ~(kHasTier | kHasDeadline | kHasAdmission | kHasDegrade)) !=
-      0) {
+  if ((present & ~(kHasTier | kHasDeadline | kHasAdmission | kHasDegrade |
+                   kHasPairRange)) != 0) {
     return Status::DataLoss("wire: unknown option presence bits ",
                             static_cast<int>(present));
   }
@@ -267,6 +276,18 @@ Status DecodeRequestPayload(std::span<const uint8_t> payload,
                               static_cast<int>(degrade));
     }
     out->options.degrade = static_cast<DegradePolicy>(degrade);
+  }
+  if (present & kHasPairRange) {
+    if (!GetZigZag(payload, &pos, &out->query.pair_begin) ||
+        !GetZigZag(payload, &pos, &out->query.pair_end)) {
+      return Truncated("request pair range");
+    }
+    if (out->query.pair_begin < 0 || out->query.pair_end < 0 ||
+        !out->query.HasPairRestriction()) {
+      return Status::DataLoss("wire: degenerate pair range [",
+                              out->query.pair_begin, ", ",
+                              out->query.pair_end, ")");
+    }
   }
   if (!GetZigZag(payload, &pos, &out->options.queue_capacity) ||
       !GetZigZag(payload, &pos, &out->options.max_batch_windows)) {
@@ -401,7 +422,7 @@ Status DecodeStatusPayload(std::span<const uint8_t> payload, Status* status,
       message_len > payload.size() - pos) {
     return Truncated("status header");
   }
-  if (code > static_cast<uint64_t>(StatusCode::kDeadlineExceeded)) {
+  if (code > static_cast<uint64_t>(StatusCode::kUnavailable)) {
     return Status::DataLoss("wire: unknown status code ", code);
   }
   std::string message(reinterpret_cast<const char*>(payload.data() + pos),

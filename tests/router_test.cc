@@ -1,0 +1,824 @@
+// Router tier tests: SplitPairRanges geometry, the ShardMerge core against
+// scripted sources (adversarial skew, bounded reorder memory, first-error
+// cancellation, window-count mismatches), WireClient transport timeouts,
+// and socketpair-driven end-to-end runs of the sharded path — including
+// the acceptance-critical property: a K-shard query is byte-identical to
+// the single-process stream at K in {2, 4}, and a cancel (client-driven or
+// disconnect) releases every shard with zero leaked window claims.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "corr/sweep_kernel.h"
+#include "net/wire_server.h"
+#include "router/router_server.h"
+#include "router/shard_merge.h"
+#include "router/shard_router.h"
+#include "serve/server.h"
+#include "ts/generators.h"
+#include "wire/client.h"
+#include "wire/wire_format.h"
+
+namespace dangoron {
+namespace {
+
+#if DANGORON_FAILPOINTS_ENABLED
+constexpr bool kFailpointsCompiled = true;
+#else
+constexpr bool kFailpointsCompiled = false;
+#endif
+
+// -------------------------------------------------------- SplitPairRanges --
+
+TEST(SplitPairRangesTest, CoversDisjointTileAlignedBalanced) {
+  for (const int64_t num_pairs :
+       {int64_t{0}, int64_t{1}, int64_t{1023}, int64_t{1024}, int64_t{1025},
+        int64_t{2016}, int64_t{4560}, int64_t{8128}, int64_t{100000}}) {
+    for (const int shards : {1, 2, 4, 7}) {
+      const auto ranges = SplitPairRanges(num_pairs, shards);
+      ASSERT_FALSE(ranges.empty());
+      EXPECT_LE(static_cast<int>(ranges.size()), shards);
+      // Concatenation covers [0, num_pairs) exactly, in order.
+      int64_t cursor = 0;
+      for (size_t s = 0; s < ranges.size(); ++s) {
+        EXPECT_EQ(ranges[s].first, cursor)
+            << "gap before shard " << s << " (pairs=" << num_pairs
+            << ", shards=" << shards << ")";
+        EXPECT_GE(ranges[s].second, ranges[s].first);
+        // Every interior cut sits on a tile boundary: the shard tiling is
+        // the engine's own tiling.
+        if (s + 1 < ranges.size()) {
+          EXPECT_EQ(ranges[s].second % kSweepTilePairs, 0);
+        }
+        cursor = ranges[s].second;
+      }
+      EXPECT_EQ(cursor, num_pairs);
+      // Balanced to within one tile.
+      if (ranges.size() > 1) {
+        int64_t min_tiles = std::numeric_limits<int64_t>::max();
+        int64_t max_tiles = 0;
+        for (const auto& range : ranges) {
+          const int64_t tiles =
+              (range.second - range.first + kSweepTilePairs - 1) /
+              kSweepTilePairs;
+          min_tiles = std::min(min_tiles, tiles);
+          max_tiles = std::max(max_tiles, tiles);
+        }
+        EXPECT_LE(max_tiles - min_tiles, 1);
+      }
+    }
+  }
+}
+
+TEST(SplitPairRangesTest, FewerTilesThanShardsShrinksTheFanOut) {
+  // 2016 pairs = 2 tiles: a 4-way router degrades to 2 live shards rather
+  // than sending empty ranges.
+  const auto ranges = SplitPairRanges(2016, 4);
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_EQ(ranges[0], (std::pair<int64_t, int64_t>{0, 1024}));
+  EXPECT_EQ(ranges[1], (std::pair<int64_t, int64_t>{1024, 2016}));
+}
+
+// ------------------------------------------------------- scripted sources --
+
+/// Deterministic ShardWindowSource: `windows` consecutive windows, each
+/// carrying one edge stamped with (shard, index) so merge-order assertions
+/// can tell every part apart; optional per-window delay, a blocking gate,
+/// an injected transport error, and a scripted terminal verdict.
+class ScriptedSource final : public ShardWindowSource {
+ public:
+  struct Script {
+    int64_t windows = 0;
+    int64_t delay_ms = 0;            ///< before each delivery
+    int64_t block_at = -1;           ///< Next blocks here until Release()
+    int64_t transport_error_at = -1; ///< Next returns IoError at this index
+    Status verdict = Status::Ok();   ///< terminal result_status
+  };
+
+  ScriptedSource(int shard, Script script)
+      : shard_(shard), script_(std::move(script)) {}
+
+  Result<std::optional<StreamedWindow>> Next() override {
+    int64_t index = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (script_.block_at >= 0 && next_ == script_.block_at) {
+        cv_.wait(lock, [&] { return released_ || cancelled_; });
+      }
+      if (cancelled_ || next_ >= script_.windows) {
+        finished_early_ = cancelled_ && next_ < script_.windows;
+        return std::optional<StreamedWindow>();
+      }
+      if (next_ == script_.transport_error_at) {
+        return Status::IoError("scripted transport failure");
+      }
+      index = next_++;
+    }
+    if (script_.delay_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(script_.delay_ms));
+    }
+    StreamedWindow window;
+    window.window_index = index;
+    auto edges = std::make_shared<std::vector<Edge>>();
+    Edge edge;
+    edge.i = shard_;
+    edge.j = shard_ + 1;
+    edge.value = shard_ * 1000.0 + static_cast<double>(index);
+    edges->push_back(edge);
+    window.edges = std::move(edges);
+    return std::optional<StreamedWindow>(std::move(window));
+  }
+
+  Status result_status() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (finished_early_ && script_.verdict.ok()) {
+      return Status::Cancelled("scripted source cancelled");
+    }
+    return script_.verdict;
+  }
+
+  WireSummary summary() const override {
+    WireSummary summary;
+    std::lock_guard<std::mutex> lock(mutex_);
+    summary.windows_delivered = next_;
+    summary.windows_computed = next_;
+    return summary;
+  }
+
+  void Cancel() override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cancelled_ = true;
+    ++cancels_;
+    cv_.notify_all();
+  }
+
+  void Release() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    released_ = true;
+    cv_.notify_all();
+  }
+
+  /// Windows handed to the merge so far (the skew-bound observable).
+  int64_t delivered() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return next_;
+  }
+
+  int64_t cancels() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cancels_;
+  }
+
+ private:
+  const int shard_;
+  const Script script_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  int64_t next_ = 0;
+  int64_t cancels_ = 0;
+  bool released_ = false;
+  bool cancelled_ = false;
+  bool finished_early_ = false;
+};
+
+std::vector<std::unique_ptr<ShardWindowSource>> MakeSources(
+    std::vector<ScriptedSource*>* handles,
+    const std::vector<ScriptedSource::Script>& scripts) {
+  std::vector<std::unique_ptr<ShardWindowSource>> sources;
+  for (size_t s = 0; s < scripts.size(); ++s) {
+    auto source =
+        std::make_unique<ScriptedSource>(static_cast<int>(s), scripts[s]);
+    handles->push_back(source.get());
+    sources.push_back(std::move(source));
+  }
+  return sources;
+}
+
+// ------------------------------------------------------------- ShardMerge --
+
+TEST(ShardMergeTest, MergesSkewedSourcesInWindowOrderShardOrderParts) {
+  constexpr int64_t kWindows = 20;
+  std::vector<ScriptedSource*> handles;
+  // Shard 1 is the straggler: every delivery waits a beat, so the fast
+  // shards run into the skew bound and the pending map genuinely reorders.
+  ShardMergeOptions options;
+  options.max_skew_windows = 2;
+  ShardMerge merge(
+      MakeSources(&handles, {{.windows = kWindows},
+                             {.windows = kWindows, .delay_ms = 1},
+                             {.windows = kWindows}}),
+      options);
+
+  int64_t expected_index = 0;
+  while (std::optional<StreamedWindow> window = merge.Next()) {
+    EXPECT_EQ(window->window_index, expected_index);
+    ASSERT_EQ(window->edges->size(), 3u);
+    for (int s = 0; s < 3; ++s) {
+      // Parts concatenate in shard order — the canonical edge order when
+      // shards are ascending pair ranges.
+      EXPECT_EQ((*window->edges)[static_cast<size_t>(s)].value,
+                s * 1000.0 + static_cast<double>(expected_index));
+    }
+    ++expected_index;
+  }
+  EXPECT_EQ(expected_index, kWindows);
+  EXPECT_TRUE(merge.status().ok()) << merge.status().message();
+  EXPECT_EQ(merge.summary().windows_delivered, kWindows);
+}
+
+TEST(ShardMergeTest, SkewBoundBlocksTheFastShard) {
+  constexpr int64_t kWindows = 50;
+  constexpr int64_t kSkew = 4;
+  std::vector<ScriptedSource*> handles;
+  ShardMergeOptions options;
+  options.max_skew_windows = kSkew;
+  ShardMerge merge(
+      MakeSources(&handles, {{.windows = kWindows},
+                             {.windows = kWindows, .block_at = 0}}),
+      options);
+
+  // With shard 1 stalled before its first window, nothing can emit
+  // (next_emit stays 0), so shard 0's reader must stop pulling at the skew
+  // bound instead of buffering all 50 windows.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_LE(handles[0]->delivered(), kSkew + 1)
+      << "fast shard ran past the bounded reorder window";
+
+  handles[1]->Release();
+  int64_t windows = 0;
+  while (std::optional<StreamedWindow> window = merge.Next()) {
+    EXPECT_EQ(window->window_index, windows);
+    ++windows;
+  }
+  EXPECT_EQ(windows, kWindows);
+  EXPECT_TRUE(merge.status().ok()) << merge.status().message();
+}
+
+TEST(ShardMergeTest, FirstShardFailureCancelsSurvivorsAndWins) {
+  std::vector<ScriptedSource*> handles;
+  // Shard 1 fails terminally (the fingerprint-drift shape: zero windows,
+  // FailedPrecondition verdict); shard 0 would happily stream forever.
+  ShardMerge merge(MakeSources(
+      &handles,
+      {{.windows = 1000, .delay_ms = 1},
+       {.windows = 0,
+        .verdict = Status::FailedPrecondition("dataset fingerprint "
+                                              "drifted")}}));
+
+  while (merge.Next().has_value()) {
+  }
+  EXPECT_EQ(merge.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(merge.status().message().find("shard 1:"), std::string::npos)
+      << merge.status().message();
+  EXPECT_GE(handles[0]->cancels(), 1)
+      << "the surviving shard was never released";
+}
+
+TEST(ShardMergeTest, TransportErrorFailsWithTheShardNamed) {
+  std::vector<ScriptedSource*> handles;
+  ShardMerge merge(MakeSources(
+      &handles, {{.windows = 10, .transport_error_at = 3},
+                 {.windows = 10, .delay_ms = 1}}));
+  while (merge.Next().has_value()) {
+  }
+  EXPECT_EQ(merge.status().code(), StatusCode::kIoError);
+  EXPECT_NE(merge.status().message().find("shard 0:"), std::string::npos)
+      << merge.status().message();
+  EXPECT_GE(handles[1]->cancels(), 1);
+}
+
+TEST(ShardMergeTest, WindowCountMismatchIsInternal) {
+  std::vector<ScriptedSource*> handles;
+  ShardMerge merge(
+      MakeSources(&handles, {{.windows = 3}, {.windows = 2}}));
+  int64_t windows = 0;
+  while (merge.Next().has_value()) {
+    ++windows;
+  }
+  // How many complete windows emit before the mismatch is caught is a
+  // race (0..2); the guarantee is that the stream never ends Ok.
+  EXPECT_LE(windows, 2);
+  EXPECT_EQ(merge.status().code(), StatusCode::kInternal)
+      << merge.status().message();
+}
+
+TEST(ShardMergeTest, CancelReleasesEveryUpstream) {
+  std::vector<ScriptedSource*> handles;
+  ShardMerge merge(MakeSources(&handles, {{.windows = 1000, .delay_ms = 1},
+                                          {.windows = 1000, .delay_ms = 1},
+                                          {.windows = 1000, .delay_ms = 1}}));
+  std::optional<StreamedWindow> first = merge.Next();
+  ASSERT_TRUE(first.has_value());
+  merge.Cancel();
+  while (merge.Next().has_value()) {
+  }
+  EXPECT_EQ(merge.status().code(), StatusCode::kCancelled);
+  for (ScriptedSource* source : handles) {
+    EXPECT_GE(source->cancels(), 1);
+  }
+}
+
+TEST(ShardMergeTest, EmptyMergeIsAnEmptyOkStream) {
+  ShardMerge merge({});
+  EXPECT_FALSE(merge.Next().has_value());
+  EXPECT_TRUE(merge.status().ok());
+  EXPECT_EQ(merge.num_shards(), 0);
+}
+
+// ---------------------------------------------------- WireClient timeouts --
+
+TEST(WireClientTimeoutTest, ConnectTimesOutOnANeverAcceptingListener) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listener, 0), 0);  // minimal queue, never accepted
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr),
+                          &len),
+            0);
+  const int port = ntohs(addr.sin_port);
+
+  // The kernel completes a few handshakes into the (never-drained) accept
+  // queue; once it is full, further SYNs are dropped and the connect can
+  // only hang — exactly what the timeout exists for. Keep each queued
+  // connection open so it goes on occupying its slot.
+  WireClientOptions options;
+  options.connect_timeout_ms = 200;
+  std::vector<std::unique_ptr<WireClient>> queued;
+  Status verdict = Status::Ok();
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    auto client = WireClient::ConnectTcp("127.0.0.1", port, options);
+    if (!client.ok()) {
+      verdict = client.status();
+      break;
+    }
+    queued.push_back(std::move(*client));
+  }
+  EXPECT_EQ(verdict.code(), StatusCode::kUnavailable) << verdict.ToString();
+  ::close(listener);
+}
+
+TEST(WireClientTimeoutTest, ReadTimesOutOnASilentServer) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listener, 4), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr),
+                          &len),
+            0);
+  const int port = ntohs(addr.sin_port);
+
+  // Accepts, reads, never answers: a live but silent peer — from the
+  // client's side indistinguishable from a dead one, which is the point.
+  std::thread silent_server([listener] {
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) {
+      return;
+    }
+    char buf[256];
+    while (::recv(conn, buf, sizeof(buf), 0) > 0) {
+    }
+    ::close(conn);
+  });
+
+  {
+    WireClientOptions options;
+    options.connect_timeout_ms = 1000;
+    options.read_timeout_ms = 150;
+    auto client = WireClient::ConnectTcp("127.0.0.1", port, options);
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    WireRequest request;
+    request.dataset = "d";
+    request.query.window = 24;
+    request.query.step = 24;
+    request.query.end = 96;
+    request.query.threshold = 0.5;
+    ASSERT_TRUE((*client)->Submit(request).ok());
+    auto window = (*client)->Next();
+    EXPECT_FALSE(window.ok());
+    EXPECT_EQ(window.status().code(), StatusCode::kUnavailable)
+        << window.status().ToString();
+  }  // closing the client unblocks the server thread's recv
+
+  silent_server.join();
+  ::close(listener);
+}
+
+// ------------------------------------------------------------- end to end --
+
+constexpr int64_t kBasicWindow = 24;
+// 96 series = 4560 pairs = 5 sweep tiles: enough tiles for a genuine 4-way
+// fan-out (a 2-tile dataset would silently shrink K=4 to K=2).
+constexpr int64_t kNumSeries = 96;
+
+class RouterE2ETest : public ::testing::Test {
+ protected:
+  static DangoronServerOptions ServerOptions() {
+    DangoronServerOptions options;
+    options.num_threads = 2;
+    options.basic_window = kBasicWindow;
+    return options;
+  }
+
+  SlidingQuery TestQuery() const {
+    SlidingQuery query;
+    query.start = 0;
+    query.end = length_;
+    query.window = 4 * kBasicWindow;
+    query.step = kBasicWindow;
+    query.threshold = 0.1;
+    query.absolute = true;  // dense edge sets
+    return query;
+  }
+
+  int64_t ExpectedWindows() const {
+    return (length_ - TestQuery().window) / TestQuery().step + 1;
+  }
+
+  static int64_t NumPairs() { return kNumSeries * (kNumSeries - 1) / 2; }
+
+  void AddShard(std::shared_ptr<const TimeSeriesMatrix> data) {
+    auto server = std::make_unique<DangoronServer>(ServerOptions());
+    CHECK(server->AddDataset("d", std::move(data)).ok());
+    WireServerOptions wire_options;
+    wire_options.port = -1;  // connections arrive only via AddConnection
+    auto wire = std::make_unique<WireServer>(server.get(), wire_options);
+    CHECK(wire->Start().ok());
+    servers_.push_back(std::move(server));
+    wires_.push_back(std::move(wire));
+  }
+
+  void StartShards(int shards, int64_t num_basic_windows = 8) {
+    length_ = num_basic_windows * kBasicWindow;
+    Rng rng(5);
+    data_ = std::make_shared<const TimeSeriesMatrix>(
+        GenerateWhiteNoise(kNumSeries, length_, &rng));
+    for (int s = 0; s < shards; ++s) {
+      AddShard(data_);
+    }
+  }
+
+  /// Router options whose connections are socketpairs into the in-process
+  /// shard WireServers — the whole sharded path with no network stack.
+  ShardRouterOptions RouterOptions() {
+    ShardRouterOptions options;
+    options.shards.resize(wires_.size());  // endpoints unused: override
+    options.connect_override =
+        [this](int shard) -> Result<std::unique_ptr<WireClient>> {
+      int fds[2];
+      CHECK(socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0);
+      CHECK(wires_[static_cast<size_t>(shard)]->AddConnection(fds[0]).ok());
+      return WireClient::Adopt(fds[1]);
+    };
+    return options;
+  }
+
+  WireRequest TestRequest() const {
+    WireRequest request;
+    request.dataset = "d";
+    request.query = TestQuery();
+    return request;
+  }
+
+  static bool PollFor(const std::function<bool()>& predicate) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(2);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (predicate()) {
+        return true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return predicate();
+  }
+
+  /// Drains a K-shard merge and the in-process reference stream side by
+  /// side, comparing the encoded frame bytes of every window.
+  void ExpectShardedMatchesInProcess(ShardMerge* merge) {
+    DangoronServer reference(ServerOptions());
+    ASSERT_TRUE(reference.AddDataset("d", data_).ok());
+    QueryRequest in_process;
+    in_process.dataset = "d";
+    in_process.query = TestQuery();
+    auto ref_stream = reference.SubmitStreaming(in_process);
+
+    int64_t windows = 0;
+    while (true) {
+      std::optional<StreamedWindow> merged = merge->Next();
+      auto ref = ref_stream->Next();
+      if (!merged.has_value()) {
+        EXPECT_FALSE(ref.has_value());
+        break;
+      }
+      ASSERT_TRUE(ref.has_value());
+      std::string merged_bytes;
+      std::string ref_bytes;
+      EncodeWindowFrame(merged->window_index, *merged->edges, &merged_bytes);
+      EncodeWindowFrame(ref->window_index, *ref->edges, &ref_bytes);
+      ASSERT_EQ(merged_bytes.size(), ref_bytes.size())
+          << "window " << ref->window_index;
+      ASSERT_EQ(std::memcmp(merged_bytes.data(), ref_bytes.data(),
+                            merged_bytes.size()),
+                0)
+          << "window " << ref->window_index
+          << " differs between sharded and in-process delivery";
+      ++windows;
+    }
+    EXPECT_TRUE(ref_stream->status().ok());
+    EXPECT_TRUE(merge->status().ok()) << merge->status().message();
+    EXPECT_EQ(windows, ExpectedWindows());
+    EXPECT_EQ(merge->summary().windows_delivered, windows);
+  }
+
+  int64_t length_ = 0;
+  std::shared_ptr<const TimeSeriesMatrix> data_;
+  std::vector<std::unique_ptr<DangoronServer>> servers_;
+  std::vector<std::unique_ptr<WireServer>> wires_;  // after servers_: stops
+                                                    // before they die
+};
+
+TEST_F(RouterE2ETest, TwoShardsAreByteIdenticalToInProcess) {
+  StartShards(2);
+  ShardRouter router(RouterOptions());
+  auto merge = router.Submit(TestRequest(), NumPairs());
+  ASSERT_TRUE(merge.ok()) << merge.status().message();
+  ExpectShardedMatchesInProcess(merge->get());
+  for (const auto& wire : wires_) {
+    EXPECT_EQ(wire->stats().requests, 1);  // every shard saw the fan-out
+  }
+  for (const auto& server : servers_) {
+    EXPECT_EQ(server->stats().inflight_window_claims, 0);
+  }
+}
+
+TEST_F(RouterE2ETest, FourShardsAreByteIdenticalToInProcess) {
+  StartShards(4);
+  ShardRouter router(RouterOptions());
+  auto merge = router.Submit(TestRequest(), NumPairs());
+  ASSERT_TRUE(merge.ok()) << merge.status().message();
+  ExpectShardedMatchesInProcess(merge->get());
+  for (const auto& wire : wires_) {
+    EXPECT_EQ(wire->stats().requests, 1);
+  }
+}
+
+TEST_F(RouterE2ETest, FingerprintDriftOnOneShardFailsTheQuery) {
+  StartShards(1);
+  // Shard 1's replica drifted: same name, different content.
+  Rng rng(99);
+  AddShard(std::make_shared<const TimeSeriesMatrix>(
+      GenerateWhiteNoise(kNumSeries, length_, &rng)));
+
+  ShardRouter router(RouterOptions());
+  WireRequest request = TestRequest();
+  request.expected_fingerprint = data_->ContentFingerprint();
+  auto merge = router.Submit(request, NumPairs());
+  ASSERT_TRUE(merge.ok()) << merge.status().message();
+  while ((*merge)->Next().has_value()) {
+  }
+  EXPECT_EQ((*merge)->status().code(), StatusCode::kFailedPrecondition)
+      << (*merge)->status().message();
+  EXPECT_NE((*merge)->status().message().find("shard 1:"),
+            std::string::npos)
+      << (*merge)->status().message();
+  for (const auto& server : servers_) {
+    EXPECT_TRUE(PollFor(
+        [&] { return server->stats().inflight_window_claims == 0; }));
+  }
+}
+
+TEST_F(RouterE2ETest, CancelMidStreamReleasesAllShardsWithNoLeakedClaims) {
+  StartShards(2, /*num_basic_windows=*/64);  // 61 windows: genuinely mid-
+                                             // stream when the cancel lands
+  ShardRouter router(RouterOptions());
+  WireRequest request = TestRequest();
+  request.options.queue_capacity = 2;  // tight downstream queue
+  auto merge = router.Submit(request, NumPairs());
+  ASSERT_TRUE(merge.ok()) << merge.status().message();
+
+  std::optional<StreamedWindow> first = (*merge)->Next();
+  ASSERT_TRUE(first.has_value());
+  (*merge)->Cancel();
+  while ((*merge)->Next().has_value()) {
+  }
+  EXPECT_EQ((*merge)->status().code(), StatusCode::kCancelled);
+
+  // Every shard's producer unwinds with zero leaked window claims, and the
+  // shards still serve: a fresh sharded query completes in full.
+  for (const auto& server : servers_) {
+    EXPECT_TRUE(PollFor(
+        [&] { return server->stats().inflight_window_claims == 0; }))
+        << "a shard leaked window claims after the fanned-out cancel";
+    EXPECT_TRUE(
+        PollFor([&] { return server->stats().streams_cancelled >= 1; }));
+  }
+  auto rerun = router.Submit(TestRequest(), NumPairs());
+  ASSERT_TRUE(rerun.ok());
+  int64_t windows = 0;
+  while ((*rerun)->Next().has_value()) {
+    ++windows;
+  }
+  EXPECT_TRUE((*rerun)->status().ok()) << (*rerun)->status().message();
+  EXPECT_EQ(windows, ExpectedWindows());
+}
+
+TEST_F(RouterE2ETest, TryPushSkewFailpointStillMergesByteIdentically) {
+  if (!kFailpointsCompiled) {
+    GTEST_SKIP() << "failpoints compiled out (DANGORON_FAILPOINTS=OFF)";
+  }
+  StartShards(2);
+  ShardRouter router(RouterOptions());
+  auto merge = router.Submit(TestRequest(), NumPairs());
+  ASSERT_TRUE(merge.ok()) << merge.status().message();
+
+  // Adversarial skew on the real delivery path: every shard's TryPush
+  // spuriously fails 40% of the time (process-global site), kicking the
+  // producers onto their slow claim-safe fallback at uncorrelated moments.
+  // The merged stream must not show it: same bytes, same order.
+  struct DisarmOnExit {
+    ~DisarmOnExit() { FailpointRegistry::Instance().DisarmAll(); }
+  } disarm_on_exit;
+  ASSERT_TRUE(FailpointRegistry::Instance()
+                  .Configure("stream.try_push=wake%40")
+                  .ok());
+  ExpectShardedMatchesInProcess(merge->get());
+}
+
+// ----------------------------------------------------------- RouterServer --
+
+TEST_F(RouterE2ETest, RouterServerSpeaksTheWireProtocolTransparently) {
+  StartShards(2);
+  ShardRouter router(RouterOptions());
+  RouterServerOptions options;
+  options.port = -1;
+  RouterServer front(&router, options);
+  front.RegisterDataset("d", kNumSeries, data_->ContentFingerprint());
+  ASSERT_TRUE(front.Start().ok());
+
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ASSERT_TRUE(front.AddConnection(fds[0]).ok());
+  auto client = WireClient::Adopt(fds[1]);
+
+  // A wire client cannot tell the router from a single shard: same
+  // protocol, byte-identical windows.
+  ASSERT_TRUE(client->Submit(TestRequest()).ok());
+  DangoronServer reference(ServerOptions());
+  ASSERT_TRUE(reference.AddDataset("d", data_).ok());
+  QueryRequest in_process;
+  in_process.dataset = "d";
+  in_process.query = TestQuery();
+  auto ref_stream = reference.SubmitStreaming(in_process);
+  int64_t windows = 0;
+  while (true) {
+    auto from_router = client->Next();
+    ASSERT_TRUE(from_router.ok()) << from_router.status().message();
+    auto from_ref = ref_stream->Next();
+    if (!from_router->has_value()) {
+      EXPECT_FALSE(from_ref.has_value());
+      break;
+    }
+    ASSERT_TRUE(from_ref.has_value());
+    std::string router_bytes;
+    std::string ref_bytes;
+    EncodeWindowFrame((*from_router)->window_index,
+                      *(*from_router)->edges, &router_bytes);
+    EncodeWindowFrame(from_ref->window_index, *from_ref->edges, &ref_bytes);
+    ASSERT_EQ(router_bytes, ref_bytes)
+        << "window " << from_ref->window_index;
+    ++windows;
+  }
+  EXPECT_TRUE(client->result_status().ok())
+      << client->result_status().message();
+  EXPECT_EQ(windows, ExpectedWindows());
+  EXPECT_EQ(client->summary().windows_delivered, windows);
+
+  // Unknown dataset: NotFound, and the connection stays usable.
+  WireRequest unknown = TestRequest();
+  unknown.dataset = "nope";
+  ASSERT_TRUE(client->Submit(unknown).ok());
+  auto window = client->Next();
+  ASSERT_TRUE(window.ok());
+  EXPECT_FALSE(window->has_value());
+  EXPECT_EQ(client->result_status().code(), StatusCode::kNotFound);
+
+  ASSERT_TRUE(client->Submit(TestRequest()).ok());
+  int64_t rerun_windows = 0;
+  while (true) {
+    auto rerun = client->Next();
+    ASSERT_TRUE(rerun.ok());
+    if (!rerun->has_value()) {
+      break;
+    }
+    ++rerun_windows;
+  }
+  EXPECT_TRUE(client->result_status().ok());
+  EXPECT_EQ(rerun_windows, ExpectedWindows());
+
+  front.Stop();
+  const RouterServerStats stats = front.stats();
+  EXPECT_EQ(stats.connections_adopted, 1);
+  EXPECT_EQ(stats.requests, 3);
+  EXPECT_EQ(stats.protocol_errors, 0);
+}
+
+TEST_F(RouterE2ETest, RouterServerPinsTheRegisteredFingerprint) {
+  StartShards(1);
+  Rng rng(99);
+  AddShard(std::make_shared<const TimeSeriesMatrix>(
+      GenerateWhiteNoise(kNumSeries, length_, &rng)));  // drifted replica
+
+  ShardRouter router(RouterOptions());
+  RouterServerOptions options;
+  options.port = -1;
+  RouterServer front(&router, options);
+  front.RegisterDataset("d", kNumSeries, data_->ContentFingerprint());
+  ASSERT_TRUE(front.Start().ok());
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ASSERT_TRUE(front.AddConnection(fds[0]).ok());
+  auto client = WireClient::Adopt(fds[1]);
+
+  // The client pins nothing; the router stamps the registered fingerprint
+  // onto every shard request, so the drifted shard still fails the query.
+  ASSERT_TRUE(client->Submit(TestRequest()).ok());
+  while (true) {
+    auto window = client->Next();
+    ASSERT_TRUE(window.ok());
+    if (!window->has_value()) {
+      break;
+    }
+  }
+  EXPECT_EQ(client->result_status().code(), StatusCode::kFailedPrecondition)
+      << client->result_status().message();
+  front.Stop();
+}
+
+TEST_F(RouterE2ETest, RouterServerDisconnectCancelsEveryShard) {
+  StartShards(2, /*num_basic_windows=*/64);
+  ShardRouter router(RouterOptions());
+  RouterServerOptions options;
+  options.port = -1;
+  RouterServer front(&router, options);
+  front.RegisterDataset("d", kNumSeries, data_->ContentFingerprint());
+  ASSERT_TRUE(front.Start().ok());
+
+  {
+    int fds[2];
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    ASSERT_TRUE(front.AddConnection(fds[0]).ok());
+    auto client = WireClient::Adopt(fds[1]);
+    WireRequest request = TestRequest();
+    request.options.queue_capacity = 2;
+    ASSERT_TRUE(client->Submit(request).ok());
+    auto window = client->Next();
+    ASSERT_TRUE(window.ok());
+    ASSERT_TRUE(window->has_value());
+  }  // the client vanishes mid-stream (destructor closes the socket)
+
+  EXPECT_TRUE(PollFor([&] { return front.stats().disconnect_cancels >= 1; }))
+      << "the router never mapped the disconnect to a cancel";
+  for (const auto& server : servers_) {
+    EXPECT_TRUE(PollFor(
+        [&] { return server->stats().inflight_window_claims == 0; }))
+        << "a shard leaked window claims after the client disconnect";
+  }
+  front.Stop();
+}
+
+}  // namespace
+}  // namespace dangoron

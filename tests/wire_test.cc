@@ -407,7 +407,7 @@ TEST(WireStatusTest, RejectsUnknownCodeTierAndFlags) {
   WireSummary summary;
 
   std::string bad_code = frame;
-  bad_code[kFrameHeaderBytes] = 13;  // one past kDeadlineExceeded
+  bad_code[kFrameHeaderBytes] = 14;  // one past kUnavailable
   EXPECT_FALSE(DecodeStatusPayload(
                    Bytes(bad_code).subspan(kFrameHeaderBytes), &status,
                    &summary)
