@@ -23,7 +23,7 @@
 // Route:
 //   dangoron_serverd route <data.{csv,dgrn}> [shard=<host:port>]...
 //                    [spawn=<K>] [base-port=7312] [name=data] [port=7411]
-//                    [server=<options>]
+//                    [server=<options>] [respawn=<N>]
 //     Fronts K shard backends (each a `serve` process holding the full
 //     dataset) with a ShardRouter: every client request splits into K
 //     disjoint pair-range requests and the K window streams merge back in
@@ -32,7 +32,13 @@
 //     onto every shard request), then dropped — the router holds no data.
 //     `spawn=K` forks K `serve` children on base-port..base-port+K-1
 //     instead of (or in addition to) explicit shard= endpoints. Exit code 5
-//     means a shard backend never came up.
+//     means a shard backend never came up at startup. After startup the
+//     route process supervises its children: an exited child is reaped and
+//     its exit status logged, and — up to `respawn=N` times per child
+//     (default 3; 0 = reap only) — respawned with capped backoff and
+//     re-probed for readiness before the router routes to it again.
+//     Mid-query shard deaths are ridden out by the router's failover
+//     (src/router/README.md).
 //
 // Quickstart (single-process shards, two terminals):
 //   ./build/tomborg_generate 32 4096 block pink 1 /tmp/d.csv
@@ -43,6 +49,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -52,6 +59,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
 #include "engine/factory.h"
@@ -80,7 +88,7 @@ int Usage(const char* argv0) {
       "          %s [out.csv]\n"
       "       %s route <data.{csv,dgrn}> [shard=<host:port>]... [spawn=<K>]\n"
       "          [base-port=7312] [name=data] [port=7411] "
-      "[server=<options>]\n"
+      "[server=<options>] [respawn=<N>]\n"
       "query flags:\n%s"
       "exit codes:\n%s",
       argv0, argv0, ServeFlagUsage().c_str(), argv0,
@@ -179,13 +187,67 @@ int RunServe(int argc, char** argv) {
   return 0;
 }
 
-/// SIGTERMs and reaps every spawned shard child; idempotent.
-void StopChildren(std::vector<pid_t>* children) {
-  for (pid_t pid : *children) {
-    ::kill(pid, SIGTERM);
+/// One spawn=K shard child under supervision: the router shard index it
+/// backs, its port, and the respawn bookkeeping (budget, capped backoff,
+/// readiness re-probe) the route loop drives.
+struct ShardChild {
+  pid_t pid = -1;  ///< -1 = not running (reaped, not yet respawned)
+  int shard = 0;   ///< router shard index — MarkShardUp target
+  int port = 0;
+  int respawns_left = 0;
+  int64_t backoff_ms = 250;
+  std::chrono::steady_clock::time_point respawn_at{};
+  bool waiting_respawn = false;
+  bool probing = false;
+};
+
+/// Forks one `serve` child for `port`; returns its pid (<0 on fork failure;
+/// never returns in the child).
+pid_t SpawnShard(const char* argv0, const std::string& data_path,
+                 const std::string& name, const std::string& server_options,
+                 int port) {
+  const pid_t pid = ::fork();
+  if (pid != 0) {
+    return pid;
   }
-  for (pid_t pid : *children) {
-    ::waitpid(pid, nullptr, 0);
+  std::vector<std::string> args = {argv0, "serve", data_path, "name=" + name,
+                                   "port=" + std::to_string(port)};
+  if (!server_options.empty()) {
+    args.push_back("server=" + server_options);
+  }
+  std::vector<char*> child_argv;
+  for (std::string& a : args) {
+    child_argv.push_back(a.data());
+  }
+  child_argv.push_back(nullptr);
+  ::execv("/proc/self/exe", child_argv.data());
+  std::perror("execv");
+  ::_exit(127);
+}
+
+/// Human-readable child exit: "exit code N" / "signal N".
+std::string DescribeExit(int wstatus) {
+  if (WIFEXITED(wstatus)) {
+    return "exit code " + std::to_string(WEXITSTATUS(wstatus));
+  }
+  if (WIFSIGNALED(wstatus)) {
+    return "signal " + std::to_string(WTERMSIG(wstatus));
+  }
+  return "status " + std::to_string(wstatus);
+}
+
+/// SIGTERMs and reaps every live spawned shard child; idempotent.
+void StopChildren(std::vector<ShardChild>* children) {
+  for (const ShardChild& child : *children) {
+    if (child.pid > 0) {
+      ::kill(child.pid, SIGTERM);
+    }
+  }
+  for (ShardChild& child : *children) {
+    if (child.pid > 0) {
+      ::waitpid(child.pid, nullptr, 0);
+      child.pid = -1;
+    }
   }
   children->clear();
 }
@@ -200,6 +262,7 @@ int RunRoute(int argc, char** argv) {
   int port = 7411;
   int spawn = 0;
   int base_port = 7312;
+  int respawn = 3;
   std::vector<ShardEndpoint> shards;
   for (int a = 3; a < argc; ++a) {
     const std::string arg = argv[a];
@@ -207,6 +270,8 @@ int RunRoute(int argc, char** argv) {
       name = arg.substr(5);
     } else if (arg.rfind("port=", 0) == 0) {
       port = std::atoi(arg.c_str() + 5);
+    } else if (arg.rfind("respawn=", 0) == 0) {
+      respawn = std::atoi(arg.c_str() + 8);
     } else if (arg.rfind("shard=", 0) == 0) {
       const std::string spec = arg.substr(6);
       const size_t colon = spec.rfind(':');
@@ -254,32 +319,22 @@ int RunRoute(int argc, char** argv) {
     fingerprint = data->ContentFingerprint();
   }
 
-  std::vector<pid_t> children;
+  std::vector<ShardChild> children;
   for (int s = 0; s < spawn; ++s) {
     const int shard_port = base_port + s;
-    const pid_t pid = ::fork();
+    const pid_t pid =
+        SpawnShard(argv[0], data_path, name, server_options, shard_port);
     if (pid < 0) {
       std::perror("fork");
       StopChildren(&children);
       return 1;
     }
-    if (pid == 0) {
-      std::vector<std::string> args = {argv[0], "serve", data_path,
-                                       "name=" + name,
-                                       "port=" + std::to_string(shard_port)};
-      if (!server_options.empty()) {
-        args.push_back("server=" + server_options);
-      }
-      std::vector<char*> child_argv;
-      for (std::string& a : args) {
-        child_argv.push_back(a.data());
-      }
-      child_argv.push_back(nullptr);
-      ::execv("/proc/self/exe", child_argv.data());
-      std::perror("execv");
-      ::_exit(127);
-    }
-    children.push_back(pid);
+    ShardChild child;
+    child.pid = pid;
+    child.shard = static_cast<int>(shards.size());
+    child.port = shard_port;
+    child.respawns_left = respawn;
+    children.push_back(child);
     shards.push_back({"127.0.0.1", shard_port});
   }
 
@@ -334,10 +389,105 @@ int RunRoute(int argc, char** argv) {
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
-  sigset_t empty;
-  sigemptyset(&empty);
+
+  // Supervision loop (200 ms ticks): reap exited spawn=K children so a
+  // crashed shard never lingers as a zombie and its exit status is logged;
+  // respawn with capped exponential backoff while the budget lasts
+  // (respawn=0 turns respawning off, reaping stays); re-probe readiness
+  // before telling the router the shard is routable again. Between a death
+  // and the respawned child's first ready probe, the router's own health
+  // machine keeps queries off the port (and failover keeps in-flight
+  // queries alive).
   while (g_stop == 0) {
-    sigsuspend(&empty);  // sleep until a signal arrives
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    if (g_stop != 0) {
+      break;
+    }
+    const auto now = std::chrono::steady_clock::now();
+
+    while (!children.empty()) {
+      int wstatus = 0;
+      const pid_t pid = ::waitpid(-1, &wstatus, WNOHANG);
+      if (pid <= 0) {
+        break;
+      }
+      for (ShardChild& child : children) {
+        if (child.pid != pid) {
+          continue;
+        }
+        child.pid = -1;
+        child.probing = false;
+        std::fprintf(stderr,
+                     "shard %d (127.0.0.1:%d): child %lld died (%s)%s\n",
+                     child.shard, child.port, static_cast<long long>(pid),
+                     DescribeExit(wstatus).c_str(),
+                     child.respawns_left > 0
+                         ? ""
+                         : " — not respawning (budget exhausted)");
+        if (child.respawns_left > 0) {
+          child.waiting_respawn = true;
+          child.respawn_at =
+              now + std::chrono::milliseconds(child.backoff_ms);
+        }
+        break;
+      }
+    }
+
+    for (ShardChild& child : children) {
+      if (!child.waiting_respawn || now < child.respawn_at) {
+        continue;
+      }
+      pid_t pid = -1;
+      // Chaos seam: `router.respawn=error` makes the fork fail, consuming
+      // one respawn attempt like a real fork failure.
+      if (Status injected = DANGORON_FAILPOINT_STATUS("router.respawn");
+          injected.ok()) {
+        pid = SpawnShard(argv[0], data_path, name, server_options,
+                         child.port);
+      } else {
+        std::fprintf(stderr, "shard %d: respawn failpoint: %s\n",
+                     child.shard, injected.ToString().c_str());
+      }
+      --child.respawns_left;
+      child.backoff_ms = std::min<int64_t>(child.backoff_ms * 2, 5000);
+      if (pid < 0) {
+        if (child.respawns_left > 0) {
+          child.respawn_at =
+              now + std::chrono::milliseconds(child.backoff_ms);
+        } else {
+          child.waiting_respawn = false;
+          std::fprintf(stderr,
+                       "shard %d (127.0.0.1:%d): respawn budget exhausted\n",
+                       child.shard, child.port);
+        }
+        continue;
+      }
+      child.pid = pid;
+      child.waiting_respawn = false;
+      child.probing = true;
+      std::fprintf(stderr,
+                   "shard %d (127.0.0.1:%d): respawned as pid %lld, "
+                   "probing readiness\n",
+                   child.shard, child.port, static_cast<long long>(pid));
+    }
+
+    for (ShardChild& child : children) {
+      if (!child.probing || child.pid <= 0) {
+        continue;
+      }
+      WireClientOptions probe;
+      probe.connect_timeout_ms = 100;
+      Result<std::unique_ptr<WireClient>> conn =
+          WireClient::ConnectTcp("127.0.0.1", child.port, probe);
+      if (conn.ok()) {  // the probe connection closes with the client
+        child.probing = false;
+        child.backoff_ms = 250;  // healthy again: fresh backoff next time
+        router.MarkShardUp(child.shard);
+        std::fprintf(stderr, "shard %d (127.0.0.1:%d): ready (pid %lld)\n",
+                     child.shard, child.port,
+                     static_cast<long long>(child.pid));
+      }
+    }
   }
 
   front.Stop();
@@ -345,14 +495,15 @@ int RunRoute(int argc, char** argv) {
   std::printf(
       "shutting down: %lld connections, %lld requests, %lld cancels, "
       "%lld disconnect-cancels, %lld protocol errors, %lld shard "
-      "failures\n",
+      "failures, %lld failovers\n",
       static_cast<long long>(stats.connections_accepted +
                              stats.connections_adopted),
       static_cast<long long>(stats.requests),
       static_cast<long long>(stats.cancel_frames),
       static_cast<long long>(stats.disconnect_cancels),
       static_cast<long long>(stats.protocol_errors),
-      static_cast<long long>(stats.shard_failures));
+      static_cast<long long>(stats.shard_failures),
+      static_cast<long long>(stats.failovers));
   StopChildren(&children);
   return 0;
 }

@@ -42,10 +42,13 @@ Result<StatusCode> ParseErrorCode(const std::string& text) {
   if (text == "failed_precondition") {
     return StatusCode::kFailedPrecondition;
   }
+  if (text == "unavailable") {
+    return StatusCode::kUnavailable;
+  }
   return Status::InvalidArgument(
       "failpoint: unknown error code '", text,
       "' (known: internal, ioerror, resource_exhausted, cancelled, "
-      "deadline_exceeded, failed_precondition)");
+      "deadline_exceeded, failed_precondition, unavailable)");
 }
 
 }  // namespace

@@ -27,8 +27,8 @@ namespace dangoron {
 ///
 /// - `error[:code]` — Fire() returns a Status of the named code (default
 ///   internal; known: internal, ioerror, resource_exhausted, cancelled,
-///   deadline_exceeded, failed_precondition), which the site propagates as
-///   if the real operation had failed.
+///   deadline_exceeded, failed_precondition, unavailable), which the site
+///   propagates as if the real operation had failed.
 /// - `delay:<ms>` — Fire() sleeps for the given milliseconds, then returns
 ///   Ok: widens race windows and slows instrumented stages without changing
 ///   results.

@@ -388,6 +388,11 @@ bool RouterServer::ServeRequest(int fd, FrameReader* reader,
   watcher_stop.store(true);
   watcher.join();
 
+  if (const int64_t failovers = merge->failovers(); failovers > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.failovers += failovers;
+  }
+
   if (conn_dead.load() || !write_ok) {
     return false;
   }

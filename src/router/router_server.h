@@ -38,6 +38,8 @@ struct RouterServerStats {
   int64_t disconnect_cancels = 0;
   int64_t protocol_errors = 0;
   int64_t shard_failures = 0;  ///< merged streams that ended in an error
+  int64_t failovers = 0;  ///< mid-stream shard deaths ridden out by
+                          ///< re-dispatch (queries that survived a shard)
 };
 
 /// The router tier's network face: speaks the same framed wire protocol as

@@ -5,31 +5,95 @@
 
 namespace dangoron {
 
-ShardMerge::ShardMerge(std::vector<std::unique_ptr<ShardWindowSource>> sources,
+namespace {
+
+/// Compat shim for the range-free constructor: slice i gets the unit range
+/// [i, i+1), so "covered == num_pairs" degenerates to "all K delivered".
+std::vector<ShardSlice> UnitSlices(
+    std::vector<std::unique_ptr<ShardWindowSource>> sources) {
+  std::vector<ShardSlice> slices;
+  slices.reserve(sources.size());
+  for (size_t i = 0; i < sources.size(); ++i) {
+    ShardSlice slice;
+    slice.source = std::move(sources[i]);
+    slice.pair_begin = static_cast<int64_t>(i);
+    slice.pair_end = static_cast<int64_t>(i) + 1;
+    slices.push_back(std::move(slice));
+  }
+  return slices;
+}
+
+ShardMergeOptions WithoutFailover(ShardMergeOptions options) {
+  options.failover = nullptr;
+  options.max_failovers = 0;
+  return options;
+}
+
+int64_t MaxPairEnd(const std::vector<ShardSlice>& slices) {
+  int64_t end = 0;
+  for (const ShardSlice& slice : slices) {
+    end = std::max(end, slice.pair_end);
+  }
+  return end;
+}
+
+}  // namespace
+
+ShardMerge::ShardMerge(std::vector<ShardSlice> slices, int64_t num_pairs,
                        const ShardMergeOptions& options)
-    : sources_(std::move(sources)),
-      options_(options),
+    : options_(options),
+      num_pairs_(num_pairs >= 0 ? num_pairs : MaxPairEnd(slices)),
       downstream_(std::make_shared<WindowStreamState>(
-          std::max<int64_t>(int64_t{1}, options.queue_capacity))),
-      shard_done_(sources_.size(), false),
-      watermark_(sources_.size(), 0) {
-  active_readers_ = static_cast<int>(sources_.size());
-  if (sources_.empty()) {
+          std::max<int64_t>(int64_t{1}, options.queue_capacity))) {
+  slices_.reserve(slices.size());
+  for (ShardSlice& in : slices) {
+    auto slice = std::make_unique<Slice>();
+    slice->source = std::move(in.source);
+    slice->pair_begin = in.pair_begin;
+    slice->pair_end = in.pair_end;
+    slice->label = std::move(in.label);
+    slice->shard_id = in.shard_id;
+    slice->base_window = in.base_window;
+    slice->next_window = in.base_window;
+    slices_.push_back(std::move(slice));
+  }
+  active_readers_ = static_cast<int>(slices_.size());
+  if (slices_.empty()) {
     // Degenerate but legal: an empty merge is an empty Ok stream.
     downstream_->Finish(Status::Ok(), StreamingSummary{});
     return;
   }
-  readers_.reserve(sources_.size());
-  for (size_t s = 0; s < sources_.size(); ++s) {
+  // Under the lock: a reader that dies instantly appends replacement
+  // threads to readers_ from its own thread, racing this loop otherwise.
+  std::lock_guard<std::mutex> lock(mutex_);
+  readers_.reserve(slices_.size());
+  for (size_t s = 0; s < slices_.size(); ++s) {
     readers_.emplace_back([this, s] { ReaderLoop(static_cast<int>(s)); });
   }
 }
 
+ShardMerge::ShardMerge(std::vector<std::unique_ptr<ShardWindowSource>> sources,
+                       const ShardMergeOptions& options)
+    : ShardMerge(UnitSlices(std::move(sources)), int64_t{-1},
+                 WithoutFailover(options)) {}
+
 ShardMerge::~ShardMerge() {
   Cancel();
-  for (std::thread& reader : readers_) {
-    if (reader.joinable()) {
-      reader.join();
+  // Failover grows readers_ while we drain it; swap out batches until a
+  // sweep finds it empty (cancelled_ stops new spawns, so this terminates).
+  while (true) {
+    std::vector<std::thread> batch;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      batch.swap(readers_);
+    }
+    if (batch.empty()) {
+      break;
+    }
+    for (std::thread& reader : batch) {
+      if (reader.joinable()) {
+        reader.join();
+      }
     }
   }
 }
@@ -46,8 +110,8 @@ void ShardMerge::Cancel() {
   cancelled_ = true;
   // Upstream cancels are best-effort pokes; each shard still finishes its
   // stream with a terminal status, which is what unblocks the readers.
-  for (const auto& source : sources_) {
-    source->Cancel();
+  for (const auto& slice : slices_) {
+    slice->source->Cancel();
   }
   downstream_->Cancel();
   progress_cv_.notify_all();
@@ -57,10 +121,12 @@ Status ShardMerge::status() const { return downstream_->status(); }
 
 WireSummary ShardMerge::summary() const {
   WireSummary total;
-  // Per-shard terminal summaries are stable once the merge finished (every
-  // reader joined its source's terminal status before exiting).
-  for (const auto& source : sources_) {
-    const WireSummary s = source->summary();
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Per-slice terminal summaries are stable once the merge finished (every
+  // reader joined its source's terminal status before exiting). Failed-over
+  // slices still count: their windows were delivered and merged.
+  for (const auto& slice : slices_) {
+    const WireSummary s = slice->source->summary();
     total.windows_from_cache += s.windows_from_cache;
     total.windows_computed += s.windows_computed;
     total.windows_joined += s.windows_joined;
@@ -73,9 +139,32 @@ WireSummary ShardMerge::summary() const {
       total.degraded = true;
     }
   }
-  std::lock_guard<std::mutex> lock(mutex_);
   total.windows_delivered = windows_merged_;
   return total;
+}
+
+int64_t ShardMerge::failovers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return failovers_used_;
+}
+
+int64_t ShardMerge::num_shards() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int64_t>(slices_.size());
+}
+
+Status ShardMerge::PrefixedStatus(int slice_index, const Status& status) const {
+  const Slice& slice = *slices_[static_cast<size_t>(slice_index)];
+  std::string prefix = "shard " + std::to_string(slice_index);
+  if (!slice.label.empty()) {
+    prefix += " (" + slice.label + ")";
+  }
+  return Status(status.code(), prefix + ": " + status.message());
+}
+
+bool ShardMerge::WindowCompleteLocked(const Pending& pending) const {
+  return pending.covered == num_pairs_ &&
+         (num_pairs_ > 0 || !pending.parts.empty());
 }
 
 void ShardMerge::MergeFailLocked(const Status& status) {
@@ -84,8 +173,8 @@ void ShardMerge::MergeFailLocked(const Status& status) {
   }
   failed_ = true;
   fail_status_ = status;
-  for (const auto& source : sources_) {
-    source->Cancel();
+  for (const auto& slice : slices_) {
+    slice->source->Cancel();
   }
   // Unblock a consumer mid-Next and drop queued windows: a failed merge
   // must not dribble out a partial prefix as if it were the result.
@@ -93,24 +182,108 @@ void ShardMerge::MergeFailLocked(const Status& status) {
   progress_cv_.notify_all();
 }
 
+void ShardMerge::HandleShardFailureLocked(int slice_index, const Status& cause,
+                                          bool retryable,
+                                          std::unique_lock<std::mutex>& lock) {
+  if (cancelled_ || failed_) {
+    return;
+  }
+  Slice* slice = slices_[static_cast<size_t>(slice_index)].get();
+  const bool budget = options_.failover != nullptr &&
+                      failovers_used_ < options_.max_failovers &&
+                      std::chrono::steady_clock::now() < options_.deadline;
+  if (!retryable || !budget) {
+    MergeFailLocked(cause);
+    return;
+  }
+  ++failovers_used_;
+  slice->done = true;
+  slice->failed_over = true;
+
+  ShardFailover failover;
+  failover.shard = slice_index;
+  failover.shard_id = slice->shard_id;
+  failover.label = slice->label;
+  failover.pair_begin = slice->pair_begin;
+  failover.pair_end = slice->pair_end;
+  failover.resume_window = slice->next_window;
+  failover.cause = cause;
+
+  // The hook reconnects / re-plans with its own bounded backoff — seconds,
+  // potentially. Other readers must keep draining meanwhile.
+  lock.unlock();
+  Result<std::vector<ShardSlice>> replacements = options_.failover(failover);
+  lock.lock();
+
+  if (cancelled_ || failed_) {
+    // The merge died while the hook ran; don't leak live replacement
+    // streams — cancel them and let their transports wind down unjoined
+    // (no reader was ever spawned for them).
+    if (replacements.ok()) {
+      for (ShardSlice& s : *replacements) {
+        if (s.source != nullptr) {
+          s.source->Cancel();
+        }
+      }
+    }
+    return;
+  }
+  if (!replacements.ok()) {
+    MergeFailLocked(Status(cause.code(),
+                           cause.message() + " (failover failed: " +
+                               replacements.status().message() + ")"));
+    return;
+  }
+  int64_t covered = 0;
+  for (const ShardSlice& s : *replacements) {
+    covered += s.pair_end - s.pair_begin;
+  }
+  if (replacements->empty() || covered != failover.pair_end - failover.pair_begin) {
+    MergeFailLocked(Status::Internal(
+        "shard merge: failover for shard ", slice_index,
+        " returned ranges covering ", covered, " pairs, expected ",
+        failover.pair_end - failover.pair_begin));
+    return;
+  }
+  const size_t first_new = slices_.size();
+  for (ShardSlice& s : *replacements) {
+    auto replacement = std::make_unique<Slice>();
+    replacement->source = std::move(s.source);
+    replacement->pair_begin = s.pair_begin;
+    replacement->pair_end = s.pair_end;
+    replacement->label = std::move(s.label);
+    replacement->shard_id = s.shard_id;
+    // The replacement's upstream query was re-anchored at the resume
+    // window, so its stream counts locally from 0; the merge re-bases.
+    replacement->base_window = failover.resume_window;
+    replacement->next_window = failover.resume_window;
+    slices_.push_back(std::move(replacement));
+  }
+  for (size_t s = first_new; s < slices_.size(); ++s) {
+    ++active_readers_;
+    readers_.emplace_back([this, s] { ReaderLoop(static_cast<int>(s)); });
+  }
+  progress_cv_.notify_all();
+}
+
 void ShardMerge::EmitReadyLocked(std::unique_lock<std::mutex>& lock) {
   while (!cancelled_ && !failed_) {
     auto it = pending_.begin();
     if (it == pending_.end() || it->first != next_emit_ ||
-        it->second.delivered != static_cast<int>(sources_.size())) {
+        !WindowCompleteLocked(it->second)) {
       break;
     }
-    // Concatenate in shard order — ascending pair-id ranges, so the result
-    // is already in canonical EdgeOrder.
+    // Concatenate in ascending pair-range order — which is canonical
+    // EdgeOrder, so the merged window needs no sort.
     StreamedWindow merged;
     merged.window_index = it->first;
     size_t total = 0;
-    for (const WindowEdges& part : it->second.parts) {
+    for (const auto& [begin, part] : it->second.parts) {
       total += part == nullptr ? 0 : part->size();
     }
     auto edges = std::make_shared<std::vector<Edge>>();
     edges->reserve(total);
-    for (const WindowEdges& part : it->second.parts) {
+    for (const auto& [begin, part] : it->second.parts) {
       if (part != nullptr) {
         edges->insert(edges->end(), part->begin(), part->end());
       }
@@ -129,8 +302,8 @@ void ShardMerge::EmitReadyLocked(std::unique_lock<std::mutex>& lock) {
       // its queue; fan the cancel out to the shards.
       if (!cancelled_) {
         cancelled_ = true;
-        for (const auto& source : sources_) {
-          source->Cancel();
+        for (const auto& slice : slices_) {
+          slice->source->Cancel();
         }
         progress_cv_.notify_all();
       }
@@ -158,60 +331,69 @@ void ShardMerge::FinishLocked() {
   downstream_->Finish(terminal, summary);
 }
 
-void ShardMerge::ReaderLoop(int shard) {
-  ShardWindowSource* source = sources_[static_cast<size_t>(shard)].get();
+void ShardMerge::ReaderLoop(int slice_index) {
+  Slice* slice;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    slice = slices_[static_cast<size_t>(slice_index)].get();
+  }
   while (true) {
-    Result<std::optional<StreamedWindow>> next = source->Next();
+    Result<std::optional<StreamedWindow>> next = slice->source->Next();
 
     std::unique_lock<std::mutex> lock(mutex_);
     if (!next.ok()) {
-      MergeFailLocked(Status(next.status().code(),
-                             "shard " + std::to_string(shard) + ": " +
-                                 next.status().message()));
+      // A transport/protocol failure: the shard process is gone or
+      // babbling — always a failover candidate.
+      HandleShardFailureLocked(slice_index,
+                               PrefixedStatus(slice_index, next.status()),
+                               /*retryable=*/true, lock);
       break;
     }
     if (!next->has_value()) {
-      const Status verdict = source->result_status();
+      const Status verdict = slice->source->result_status();
       if (!verdict.ok() && !cancelled_) {
-        MergeFailLocked(Status(verdict.code(),
-                               "shard " + std::to_string(shard) + ": " +
-                                   verdict.message()));
+        // Terminal Unavailable means the shard died under the query (e.g.
+        // its process was killed between frames) — retryable. Any other
+        // verdict (FailedPrecondition fingerprint drift, Internal, ...)
+        // would recur on a replacement; fail fast.
+        HandleShardFailureLocked(
+            slice_index, PrefixedStatus(slice_index, verdict),
+            /*retryable=*/verdict.code() == StatusCode::kUnavailable, lock);
         break;
       }
-      shard_done_[static_cast<size_t>(shard)] = true;
-      // Any window this shard never delivered can no longer complete.
-      if (!failed_ && !cancelled_ && !pending_.empty() &&
-          pending_.rbegin()->first >=
-              watermark_[static_cast<size_t>(shard)]) {
+      slice->done = true;
+      slice->done_ok = verdict.ok();
+      // Any window this slice never delivered can no longer complete.
+      if (!failed_ && !cancelled_ && slice->done_ok && !pending_.empty() &&
+          pending_.rbegin()->first >= slice->next_window) {
         MergeFailLocked(Status::Internal(
-            "shard merge: shard ", shard, " finished after ",
-            watermark_[static_cast<size_t>(shard)],
-            " windows while others delivered ahead of it"));
+            "shard merge: shard ", slice_index, " finished after window ",
+            slice->next_window, " while others delivered ahead of it"));
       }
       break;
     }
     if (cancelled_ || failed_) {
-      // Keep draining a terminating stream? No — upstream Cancel already
-      // asked it to finish; dropping the handle's remaining windows is the
-      // transport's job. Just exit.
+      // Upstream Cancel already asked the stream to finish; dropping its
+      // remaining windows is the transport's job. Just exit.
       break;
     }
 
     StreamedWindow window = std::move(**next);
-    const int64_t k = window.window_index;
-    if (k != watermark_[static_cast<size_t>(shard)]) {
+    const int64_t k = slice->base_window + window.window_index;
+    if (k != slice->next_window) {
       MergeFailLocked(Status::Internal(
-          "shard merge: shard ", shard, " delivered window ", k,
-          " out of order (expected ",
-          watermark_[static_cast<size_t>(shard)], ")"));
+          "shard merge: shard ", slice_index, " delivered window ", k,
+          " out of order (expected ", slice->next_window, ")"));
       break;
     }
-    watermark_[static_cast<size_t>(shard)] = k + 1;
+    slice->next_window = k + 1;
 
-    // A window a finished shard never reached can never complete.
+    // A window a finished slice never reached can never complete (ranges
+    // of failed-over slices live on through their replacements, so those
+    // don't count).
     bool orphaned = false;
-    for (size_t t = 0; t < sources_.size(); ++t) {
-      if (shard_done_[t] && watermark_[t] <= k) {
+    for (const auto& other : slices_) {
+      if (other->done_ok && other->next_window <= k) {
         orphaned = true;
         break;
       }
@@ -224,7 +406,7 @@ void ShardMerge::ReaderLoop(int shard) {
     }
 
     // Bounded skew: wait for the emission frontier before running further
-    // ahead of the slowest shard.
+    // ahead of the slowest slice.
     progress_cv_.wait(lock, [&] {
       return cancelled_ || failed_ ||
              k < next_emit_ + options_.max_skew_windows;
@@ -234,13 +416,15 @@ void ShardMerge::ReaderLoop(int shard) {
     }
 
     Pending& slot = pending_[k];
-    if (slot.parts.empty()) {
-      slot.parts.resize(sources_.size());
+    // emplace dedups by pair range: if a failover race redelivers a part
+    // the dead shard already supplied, first delivery wins and the
+    // duplicate is dropped — re-dispatch can never double-emit an edge.
+    auto [part_it, inserted] =
+        slot.parts.emplace(slice->pair_begin, std::move(window.edges));
+    if (inserted) {
+      slot.covered += slice->pair_end - slice->pair_begin;
     }
-    slot.parts[static_cast<size_t>(shard)] = std::move(window.edges);
-    ++slot.delivered;
-    if (slot.delivered == static_cast<int>(sources_.size()) &&
-        k == next_emit_ && !emitting_) {
+    if (WindowCompleteLocked(slot) && k == next_emit_ && !emitting_) {
       emitting_ = true;
       EmitReadyLocked(lock);
       emitting_ = false;

@@ -1,7 +1,11 @@
 #include "router/shard_router.h"
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
 
+#include "common/failpoint.h"
+#include "common/rng.h"
 #include "corr/sweep_kernel.h"
 
 namespace dangoron {
@@ -15,6 +19,12 @@ class WireClientSource final : public ShardWindowSource {
       : client_(std::move(client)) {}
 
   Result<std::optional<StreamedWindow>> Next() override {
+    // Chaos seam: `router.stream_read=error:...` makes a healthy shard
+    // look like it died between frames — the merge's failover trigger.
+    if (Status injected = DANGORON_FAILPOINT_STATUS("router.stream_read");
+        !injected.ok()) {
+      return injected;
+    }
     return client_->Next();
   }
 
@@ -32,6 +42,26 @@ class WireClientSource final : public ShardWindowSource {
  private:
   std::unique_ptr<WireClient> client_;
 };
+
+/// An already-terminal Ok source: the replacement for a range whose shard
+/// died after delivering every window (nothing left to resume).
+class DrainedSource final : public ShardWindowSource {
+ public:
+  Result<std::optional<StreamedWindow>> Next() override {
+    return std::optional<StreamedWindow>();
+  }
+  Status result_status() const override { return Status::Ok(); }
+  WireSummary summary() const override { return WireSummary{}; }
+  void Cancel() override {}
+};
+
+/// Number of complete query windows [start, end) holds.
+int64_t TotalWindows(const SlidingQuery& query) {
+  if (query.step <= 0 || query.end - query.start < query.window) {
+    return 0;
+  }
+  return (query.end - query.start - query.window) / query.step + 1;
+}
 
 }  // namespace
 
@@ -58,6 +88,69 @@ std::vector<std::pair<int64_t, int64_t>> SplitPairRanges(int64_t num_pairs,
   return ranges;
 }
 
+ShardRouter::ShardRouter(ShardRouterOptions options)
+    : options_(std::move(options)),
+      health_(std::max<size_t>(options_.shards.size(), size_t{1})) {}
+
+std::string ShardRouter::LabelFor(int shard) const {
+  if (options_.shards.empty()) {
+    return "override";
+  }
+  const ShardEndpoint& endpoint =
+      options_.shards[static_cast<size_t>(shard)];
+  return endpoint.host + ":" + std::to_string(endpoint.port);
+}
+
+ShardHealth ShardRouter::health(int shard) const {
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  return health_[static_cast<size_t>(shard)].state;
+}
+
+void ShardRouter::MarkShardUp(int shard) {
+  if (shard < 0 || static_cast<size_t>(shard) >= health_.size()) {
+    return;
+  }
+  RecordSuccess(shard);
+}
+
+bool ShardRouter::TryAdmit(int shard) {
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  HealthState& state = health_[static_cast<size_t>(shard)];
+  if (state.state != ShardHealth::kDown) {
+    return true;
+  }
+  const auto now = std::chrono::steady_clock::now();
+  if (now < state.open_until) {
+    return false;
+  }
+  // Half-open: admit this one probe, and push the window out so a failing
+  // shard is not hammered by every concurrent query at once.
+  state.open_until =
+      now + std::chrono::milliseconds(options_.breaker_open_ms);
+  return true;
+}
+
+void ShardRouter::RecordSuccess(int shard) {
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  HealthState& state = health_[static_cast<size_t>(shard)];
+  state.state = ShardHealth::kHealthy;
+  state.consecutive_failures = 0;
+}
+
+void ShardRouter::RecordFailure(int shard) {
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  HealthState& state = health_[static_cast<size_t>(shard)];
+  ++state.consecutive_failures;
+  if (state.consecutive_failures >= options_.failure_threshold) {
+    state.state = ShardHealth::kDown;
+    state.open_until =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(options_.breaker_open_ms);
+  } else {
+    state.state = ShardHealth::kSuspect;
+  }
+}
+
 Result<std::unique_ptr<WireClient>> ShardRouter::Connect(int shard) {
   if (options_.connect_override) {
     return options_.connect_override(shard);
@@ -66,6 +159,184 @@ Result<std::unique_ptr<WireClient>> ShardRouter::Connect(int shard) {
       options_.shards[static_cast<size_t>(shard)];
   return WireClient::ConnectTcp(endpoint.host, endpoint.port,
                                 options_.client);
+}
+
+Result<std::unique_ptr<WireClient>> ShardRouter::ConnectWithRetry(
+    int shard, std::chrono::steady_clock::time_point deadline) {
+  // Deterministic-per-process jitter stream, decorrelated across shards
+  // and attempts — the PR 6 retry idiom.
+  static std::atomic<uint64_t> retry_seq{0};
+  Rng jitter(0x8a5cd789635d2dffULL ^
+             (static_cast<uint64_t>(shard) << 32) ^
+             retry_seq.fetch_add(1, std::memory_order_relaxed));
+  int attempt = 0;
+  while (true) {
+    Result<std::unique_ptr<WireClient>> client = [&] {
+      if (Status injected = DANGORON_FAILPOINT_STATUS("router.connect");
+          !injected.ok()) {
+        return Result<std::unique_ptr<WireClient>>(std::move(injected));
+      }
+      return Connect(shard);
+    }();
+    if (client.ok()) {
+      return client;
+    }
+    ++attempt;
+    const auto now = std::chrono::steady_clock::now();
+    if (attempt > options_.connect_retries || now >= deadline) {
+      return client;
+    }
+    double backoff_ms = static_cast<double>(options_.connect_backoff_ms) *
+                        static_cast<double>(int64_t{1} << (attempt - 1)) *
+                        (0.5 + jitter.NextDouble());
+    if (deadline != std::chrono::steady_clock::time_point::max()) {
+      const double remaining_ms =
+          std::chrono::duration<double, std::milli>(deadline - now).count();
+      backoff_ms = std::min(backoff_ms, std::max(0.0, remaining_ms));
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(backoff_ms));
+  }
+}
+
+ShardFailoverFn ShardRouter::MakeFailover(
+    WireRequest base, int64_t num_pairs,
+    std::chrono::steady_clock::time_point deadline) {
+  return [this, base = std::move(base), num_pairs,
+          deadline](const ShardFailover& f)
+             -> Result<std::vector<ShardSlice>> {
+    const int fanout =
+        options_.shards.empty() ? 1
+                                : static_cast<int>(options_.shards.size());
+    const int dead =
+        (f.shard_id >= 0 && f.shard_id < fanout)
+            ? static_cast<int>(f.shard_id)
+            : -1;
+    if (dead >= 0) {
+      RecordFailure(dead);
+    }
+
+    // Re-anchor the query at the first window the dead shard never
+    // delivered: window w of the original query starts at start + w*step,
+    // and windows are functions of absolute basic-window stats, so the
+    // resumed stream's window k is bit-identical to original window
+    // resume_window + k.
+    WireRequest resumed = base;
+    resumed.query.start += f.resume_window * resumed.query.step;
+    if (base.options.deadline_ms.has_value()) {
+      const int64_t remaining_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - std::chrono::steady_clock::now())
+              .count();
+      if (remaining_ms <= 0) {
+        return Status::DeadlineExceeded(
+            "deadline exhausted before the range could be re-dispatched");
+      }
+      // The replacement gets the *remaining* budget, not a fresh one.
+      resumed.options.deadline_ms = remaining_ms;
+    }
+
+    if (f.resume_window >= TotalWindows(base.query)) {
+      // The shard died after its last window, before the terminal status:
+      // nothing left to recompute — cover the range with an empty source.
+      std::vector<ShardSlice> out;
+      ShardSlice slice;
+      slice.source = std::make_unique<DrainedSource>();
+      slice.pair_begin = f.pair_begin;
+      slice.pair_end = f.pair_end;
+      slice.label = f.label;
+      slice.shard_id = f.shard_id;
+      out.push_back(std::move(slice));
+      return out;
+    }
+
+    auto dispatch = [&](int shard, int64_t begin,
+                        int64_t end) -> Result<ShardSlice> {
+      Result<std::unique_ptr<WireClient>> client =
+          ConnectWithRetry(shard, deadline);
+      if (!client.ok()) {
+        RecordFailure(shard);
+        return client.status();
+      }
+      WireRequest sub = resumed;
+      if (!(begin == 0 && end == num_pairs)) {
+        sub.query.pair_begin = begin;
+        sub.query.pair_end = end;
+      }
+      if (Status submitted = (*client)->Submit(sub); !submitted.ok()) {
+        RecordFailure(shard);
+        return Status::Unavailable("shard ", shard, " (", LabelFor(shard),
+                                   ") rejected the re-dispatched range: ",
+                                   submitted.message());
+      }
+      RecordSuccess(shard);
+      ShardSlice slice;
+      slice.source =
+          std::make_unique<WireClientSource>(std::move(*client));
+      slice.pair_begin = begin;
+      slice.pair_end = end;
+      slice.label = LabelFor(shard);
+      slice.shard_id = shard;
+      return slice;
+    };
+
+    // Leg 1: the dead shard itself may be back (supervisor respawn, blip)
+    // — one reconnect resumes the whole range with no re-split.
+    if (dead >= 0 && TryAdmit(dead)) {
+      Result<ShardSlice> slice = dispatch(dead, f.pair_begin, f.pair_end);
+      if (slice.ok()) {
+        std::vector<ShardSlice> out;
+        out.push_back(std::move(*slice));
+        return out;
+      }
+    }
+
+    // Leg 2: split the dead range across the other admittable shards (each
+    // takeover rides a fresh connection, so one survivor can absorb
+    // several sub-ranges if its peers fail too).
+    std::vector<int> candidates;
+    for (int s = 0; s < fanout; ++s) {
+      if (s != dead && TryAdmit(s)) {
+        candidates.push_back(s);
+      }
+    }
+    if (candidates.empty()) {
+      return Status::Unavailable("no live shard to take over pairs [",
+                                 f.pair_begin, ", ", f.pair_end, ")");
+    }
+    std::vector<std::pair<int64_t, int64_t>> ranges =
+        SplitPairRanges(f.pair_end - f.pair_begin,
+                        static_cast<int>(candidates.size()));
+    std::vector<ShardSlice> out;
+    std::vector<bool> bad(candidates.size(), false);
+    Status last = Status::Ok();
+    for (size_t r = 0; r < ranges.size(); ++r) {
+      const int64_t begin = f.pair_begin + ranges[r].first;
+      const int64_t end = f.pair_begin + ranges[r].second;
+      bool placed = false;
+      for (size_t c = 0; c < candidates.size() && !placed; ++c) {
+        const size_t pick = (r + c) % candidates.size();
+        if (bad[pick]) {
+          continue;
+        }
+        Result<ShardSlice> slice = dispatch(candidates[pick], begin, end);
+        if (slice.ok()) {
+          out.push_back(std::move(*slice));
+          placed = true;
+        } else {
+          bad[pick] = true;
+          last = slice.status();
+        }
+      }
+      if (!placed) {
+        // Live replacement streams already opened for earlier sub-ranges
+        // wind down through their destructors (the shards see the
+        // disconnect and cancel).
+        return last;
+      }
+    }
+    return out;
+  };
 }
 
 Result<std::unique_ptr<ShardMerge>> ShardRouter::Submit(
@@ -80,46 +351,104 @@ Result<std::unique_ptr<ShardMerge>> ShardRouter::Submit(
         "restriction; the router owns the pair split");
   }
   const int fanout = shards > 0 ? shards : 1;
-  const std::vector<std::pair<int64_t, int64_t>> ranges =
-      SplitPairRanges(num_pairs, fanout);
-
-  std::vector<std::unique_ptr<ShardWindowSource>> sources;
-  sources.reserve(ranges.size());
-  for (size_t s = 0; s < ranges.size(); ++s) {
-    Result<std::unique_ptr<WireClient>> client =
-        Connect(static_cast<int>(s));
-    if (!client.ok()) {
-      // Unavailable regardless of the transport's own code: the caller's
-      // actionable fact is "shard s is unreachable", and exit-code mapping
-      // (serve_flags.h) keys off it.
-      return Status::Unavailable("shard router: shard ", s, " (",
-                                 options_.shards.empty()
-                                     ? std::string("override")
-                                     : options_.shards[s].host + ":" +
-                                           std::to_string(
-                                               options_.shards[s].port),
-                                 ") unreachable: ",
-                                 client.status().message());
-    }
-    WireRequest sub = request;  // deadline and options inherit verbatim
-    if (!(ranges[s].first == 0 && ranges[s].second == num_pairs)) {
-      sub.query.pair_begin = ranges[s].first;
-      sub.query.pair_end = ranges[s].second;
-    }
-    if (Status submitted = (*client)->Submit(sub); !submitted.ok()) {
-      return Status::Unavailable("shard router: shard ", s,
-                                 " rejected the request: ",
-                                 submitted.message());
-    }
-    sources.push_back(
-        std::make_unique<WireClientSource>(std::move(*client)));
+  auto deadline = std::chrono::steady_clock::time_point::max();
+  if (request.options.deadline_ms.has_value()) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(*request.options.deadline_ms);
   }
 
-  ShardMergeOptions merge = options_.merge;
-  if (request.options.queue_capacity > 0) {
-    merge.queue_capacity = request.options.queue_capacity;
+  // Plan over the shards the health machine admits; a shard that fails to
+  // connect (after its bounded retries) drops out of this query and the
+  // remainder re-plan over the survivors — each failure shrinks the set,
+  // so the loop terminates.
+  std::vector<bool> skip(static_cast<size_t>(fanout), false);
+  Status last_failure = Status::Ok();
+  while (true) {
+    std::vector<int> eligible;
+    for (int s = 0; s < fanout; ++s) {
+      if (!skip[static_cast<size_t>(s)] && TryAdmit(s)) {
+        eligible.push_back(s);
+      }
+    }
+    if (eligible.empty()) {
+      if (last_failure.ok()) {
+        return Status::Unavailable(
+            "shard router: every shard's circuit breaker is open");
+      }
+      return last_failure;
+    }
+    const std::vector<std::pair<int64_t, int64_t>> ranges =
+        SplitPairRanges(num_pairs, static_cast<int>(eligible.size()));
+
+    // Connect every shard in the plan before submitting anywhere, so a
+    // late connect failure does not leave earlier shards computing a
+    // fan-out that is about to be re-planned.
+    std::vector<std::unique_ptr<WireClient>> clients;
+    clients.reserve(ranges.size());
+    bool replan = false;
+    for (size_t s = 0; s < ranges.size() && !replan; ++s) {
+      const int shard = eligible[s];
+      Result<std::unique_ptr<WireClient>> client =
+          ConnectWithRetry(shard, deadline);
+      if (!client.ok()) {
+        RecordFailure(shard);
+        skip[static_cast<size_t>(shard)] = true;
+        last_failure = Status::Unavailable(
+            "shard router: shard ", shard, " (", LabelFor(shard),
+            ") unreachable: ", client.status().message());
+        replan = true;
+        break;
+      }
+      clients.push_back(std::move(*client));
+    }
+    if (replan) {
+      continue;  // dropped connections close in ~clients
+    }
+
+    std::vector<ShardSlice> slices;
+    slices.reserve(ranges.size());
+    for (size_t s = 0; s < ranges.size() && !replan; ++s) {
+      const int shard = eligible[s];
+      WireRequest sub = request;  // options inherit verbatim
+      if (!(ranges[s].first == 0 && ranges[s].second == num_pairs)) {
+        sub.query.pair_begin = ranges[s].first;
+        sub.query.pair_end = ranges[s].second;
+      }
+      if (Status submitted = clients[s]->Submit(sub); !submitted.ok()) {
+        RecordFailure(shard);
+        skip[static_cast<size_t>(shard)] = true;
+        last_failure = Status::Unavailable(
+            "shard router: shard ", shard, " (", LabelFor(shard),
+            ") rejected the request: ", submitted.message());
+        replan = true;
+        break;
+      }
+      ShardSlice slice;
+      slice.source = std::make_unique<WireClientSource>(
+          std::move(clients[s]));
+      slice.pair_begin = ranges[s].first;
+      slice.pair_end = ranges[s].second;
+      slice.label = LabelFor(shard);
+      slice.shard_id = shard;
+      slices.push_back(std::move(slice));
+    }
+    if (replan) {
+      continue;
+    }
+    for (size_t s = 0; s < ranges.size(); ++s) {
+      RecordSuccess(eligible[s]);  // only the shards the plan used
+    }
+
+    ShardMergeOptions merge = options_.merge;
+    if (request.options.queue_capacity > 0) {
+      merge.queue_capacity = request.options.queue_capacity;
+    }
+    merge.max_failovers = options_.max_failovers;
+    merge.deadline = deadline;
+    merge.failover = MakeFailover(request, num_pairs, deadline);
+    return std::make_unique<ShardMerge>(std::move(slices), num_pairs,
+                                        merge);
   }
-  return std::make_unique<ShardMerge>(std::move(sources), merge);
 }
 
 }  // namespace dangoron

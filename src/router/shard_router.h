@@ -1,9 +1,11 @@
 #ifndef DANGORON_ROUTER_SHARD_ROUTER_H_
 #define DANGORON_ROUTER_SHARD_ROUTER_H_
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -32,6 +34,10 @@ struct ShardEndpoint {
 std::vector<std::pair<int64_t, int64_t>> SplitPairRanges(int64_t num_pairs,
                                                          int shards);
 
+/// The router's per-shard health verdict (see ShardRouter for the
+/// transitions).
+enum class ShardHealth : int8_t { kHealthy = 0, kSuspect = 1, kDown = 2 };
+
 struct ShardRouterOptions {
   std::vector<ShardEndpoint> shards;
 
@@ -42,8 +48,34 @@ struct ShardRouterOptions {
                            .read_timeout_ms = 60000};
 
   /// Merge knobs (skew bound, merged-queue capacity); the per-request
-  /// queue_capacity from ServeOptions overrides the merge queue capacity.
+  /// queue_capacity from ServeOptions overrides the merge queue capacity,
+  /// and the router installs its own failover hook / max_failovers /
+  /// deadline (the fields here are ignored).
   ShardMergeOptions merge;
+
+  /// Extra connect attempts per shard after the first fails — the PR 6
+  /// retry shape: exponential backoff with deterministic-seeded jitter,
+  /// clipped to the request deadline.
+  int connect_retries = 2;
+
+  /// Base backoff before the first reconnect attempt (doubles per retry,
+  /// ×[0.5, 1.5) jitter).
+  int64_t connect_backoff_ms = 10;
+
+  /// Mid-stream shard deaths one query may ride out by re-dispatching the
+  /// dead shard's remaining pair range (ShardMerge failover). 0 restores
+  /// the PR 8 first-failure-fails-the-query behavior.
+  int max_failovers = 2;
+
+  /// Consecutive failures that take a shard healthy → down (one failure =
+  /// suspect). Down shards are skipped at plan time without paying their
+  /// connect timeout.
+  int failure_threshold = 2;
+
+  /// How long a down shard's circuit stays open. After expiry the next
+  /// query admits the shard once as a probe (half-open); success closes
+  /// the circuit, failure re-opens it for another window.
+  int64_t breaker_open_ms = 2000;
 
   /// Test/bench seam: when set, shard `i`'s connection comes from this
   /// factory instead of ConnectTcp(shards[i]) — how in-process benchmarks
@@ -54,28 +86,47 @@ struct ShardRouterOptions {
 
 /// Scatter/gather front of K WireServer shards: one WireRequest fans out as
 /// K requests over disjoint tile-aligned pair-id ranges, and the K window
-/// streams merge back into one (ShardMerge). Stateless across requests —
-/// every Submit opens fresh shard connections (a connection carries one
-/// request at a time; pooling is future work).
+/// streams merge back into one (ShardMerge). Connections are per-request (a
+/// connection carries one request at a time; pooling is future work), but
+/// the router itself is stateful across requests: it tracks per-shard
+/// health and must outlive every merge it returns (the merge's failover
+/// hook calls back into it).
+///
+/// Health machine (per shard, under one mutex):
+/// - healthy → suspect on one failed connect/submit/stream;
+/// - suspect → down after `failure_threshold` consecutive failures, opening
+///   the circuit for `breaker_open_ms` — planning skips the shard without
+///   paying its connect timeout;
+/// - an expired circuit admits the shard once (half-open probe); any
+///   success — or an external MarkShardUp (the supervisor's respawn+ready
+///   signal) — snaps it back to healthy.
 ///
 /// Failure semantics:
-/// - a shard that cannot be reached or refuses the request fails the
-///   submit with Unavailable naming the shard;
-/// - after submit, the first shard error (transport or terminal status —
-///   e.g. FailedPrecondition from an expected_fingerprint mismatch) cancels
-///   the surviving shards and fails the merged stream with that status;
-/// - Cancel / dropping the merge cancels all K upstream streams;
-/// - each shard request inherits the original request's deadline and
-///   options verbatim.
+/// - at submit, an unreachable shard is retried (`connect_retries`, jittered
+///   backoff clipped to the deadline), then dropped from the plan — the
+///   query proceeds over the survivors with a wider pair range each (the
+///   split is invisible in the merged bytes). Only when no shard admits a
+///   connection does Submit fail with Unavailable naming the last failure;
+/// - after submit, a shard that dies mid-stream (transport error or
+///   terminal Unavailable) has its undelivered pair range re-dispatched —
+///   reconnect to the same shard first, else split across live shards —
+///   resuming from the first window it never delivered; the merged stream
+///   is byte-identical to the unsharded run. After `max_failovers` (or at
+///   the deadline, or for non-retryable errors like FailedPrecondition
+///   fingerprint drift) the query fails with the original status prefixed
+///   `shard N (host:port):`;
+/// - Cancel / dropping the merge cancels all upstream streams;
+/// - each shard request inherits the original request's options; deadlines
+///   carry the *remaining* budget on re-dispatched legs.
 class ShardRouter {
  public:
-  explicit ShardRouter(ShardRouterOptions options)
-      : options_(std::move(options)) {}
+  explicit ShardRouter(ShardRouterOptions options);
 
   /// Fans `request` out over the shards restricted to disjoint pair ranges
   /// of [0, num_pairs), returns the merged window-ordered stream. The
   /// caller supplies num_pairs = n*(n-1)/2 for the dataset's n series (the
-  /// router holds no data; see RouterServer's dataset registry).
+  /// router holds no data; see RouterServer's dataset registry). The
+  /// router must outlive the returned merge.
   Result<std::unique_ptr<ShardMerge>> Submit(const WireRequest& request,
                                              int64_t num_pairs);
 
@@ -83,10 +134,52 @@ class ShardRouter {
     return static_cast<int64_t>(options_.shards.size());
   }
 
+  /// The health machine's current verdict for one shard (observability +
+  /// tests).
+  ShardHealth health(int shard) const;
+
+  /// External signal that a shard is back (the serverd supervisor calls
+  /// this after a respawned child passes its readiness probe): closes the
+  /// circuit immediately instead of waiting out breaker_open_ms.
+  void MarkShardUp(int shard);
+
  private:
+  struct HealthState {
+    ShardHealth state = ShardHealth::kHealthy;
+    int consecutive_failures = 0;
+    std::chrono::steady_clock::time_point open_until{};
+  };
+
   Result<std::unique_ptr<WireClient>> Connect(int shard);
 
+  /// Connect with the PR 6 retry shape: up to 1 + connect_retries
+  /// attempts, exponential jittered backoff between them, every wait
+  /// clipped to `deadline`. Fires the `router.connect` failpoint per
+  /// attempt.
+  Result<std::unique_ptr<WireClient>> ConnectWithRetry(
+      int shard, std::chrono::steady_clock::time_point deadline);
+
+  /// True when planning may route to the shard now; consumes the half-open
+  /// probe slot when the circuit just expired.
+  bool TryAdmit(int shard);
+  void RecordSuccess(int shard);
+  void RecordFailure(int shard);
+
+  /// Label for error messages: "host:port", or "override" under
+  /// connect_override with no endpoint list.
+  std::string LabelFor(int shard) const;
+
+  /// The merge's re-dispatch hook for one query: reconnect-first, else
+  /// split the dead range across admittable survivors. `base` is the
+  /// original request; `deadline` the absolute budget.
+  ShardFailoverFn MakeFailover(
+      WireRequest base, int64_t num_pairs,
+      std::chrono::steady_clock::time_point deadline);
+
   const ShardRouterOptions options_;
+
+  mutable std::mutex health_mutex_;
+  std::vector<HealthState> health_;
 };
 
 }  // namespace dangoron

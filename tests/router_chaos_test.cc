@@ -1,0 +1,371 @@
+// Randomized fault-injection chaos suite for the router tier: each
+// iteration builds a fresh 3-shard fleet behind a ShardRouter, arms a
+// random failpoint schedule over the router sites (router.connect,
+// router.stream_read) and a few backend sites, sometimes SIGKILLs a shard
+// mid-stream (in-process analog: the shard's WireServer stops and later
+// connects are refused), sometimes cancels, and checks the invariants that
+// must survive *any* interleaving of faults and failovers:
+//
+//  - termination: the merged stream always reaches a terminal status (the
+//    test finishing is the assertion; ctest's timeout is the backstop);
+//  - prefix integrity: every window the merge delivers — whether the query
+//    later fails or not — is byte-identical to the unsharded in-process
+//    run, contiguously ascending from 0, each exactly once. Faults and
+//    failover re-dispatch may truncate the stream, never corrupt it;
+//  - clean outcomes: a terminal failure carries an expected code (the
+//    injected codes, transport-death codes, Cancelled, DeadlineExceeded)
+//    — never an invariant-violation surprise like InvalidArgument;
+//  - no leaked claims: after the storm quiesces, every shard server's
+//    in-flight window-claim map is empty — dead shard included (its server
+//    outlives its sockets and must have cancelled the orphaned stream).
+//
+// Schedules are seeded, so a failure reproduces from its logged iteration
+// seed. Run under ASan and TSan (see .github/workflows/ci.yml).
+
+#include <sys/socket.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "net/wire_server.h"
+#include "router/shard_merge.h"
+#include "router/shard_router.h"
+#include "serve/server.h"
+#include "ts/generators.h"
+#include "wire/client.h"
+#include "wire/wire_format.h"
+
+namespace dangoron {
+namespace {
+
+#if DANGORON_FAILPOINTS_ENABLED
+constexpr bool kChaosFailpointsCompiled = true;
+#else
+constexpr bool kChaosFailpointsCompiled = false;
+#endif
+
+constexpr int64_t kBasicWindow = 24;
+// 96 series = 4560 pairs = 5 sweep tiles — a genuine 3-way fan-out.
+constexpr int64_t kNumSeries = 96;
+constexpr int64_t kNumBasicWindows = 16;
+constexpr int64_t kLength = kNumBasicWindows * kBasicWindow;
+constexpr int kShards = 3;
+
+SlidingQuery ChaosQuery() {
+  SlidingQuery query;
+  query.start = 0;
+  query.end = kLength;
+  query.window = 4 * kBasicWindow;
+  query.step = kBasicWindow;
+  query.threshold = 0.1;
+  query.absolute = true;  // dense edge sets
+  return query;
+}
+
+int64_t ExpectedWindows() {
+  const SlidingQuery query = ChaosQuery();
+  return (kLength - query.window) / query.step + 1;
+}
+
+DangoronServerOptions ShardServerOptions() {
+  DangoronServerOptions options;
+  options.num_threads = 2;
+  options.basic_window = kBasicWindow;
+  return options;
+}
+
+// One random action per router site: transport-death codes dominate (they
+// exercise the failover machinery), with delays mixed in to skew timing.
+std::string RandomRouterAction(Rng* rng) {
+  switch (rng->NextBounded(4)) {
+    case 0:
+    case 1: {
+      static const char* kCodes[] = {"unavailable", "ioerror"};
+      std::string spec = std::string("error:") + kCodes[rng->NextBounded(2)];
+      if (rng->NextBernoulli(0.8)) {
+        spec += "*" + std::to_string(rng->NextInt(1, 3));
+      }
+      if (rng->NextBernoulli(0.4)) {
+        spec += "%" + std::to_string(rng->NextInt(25, 90));
+      }
+      return spec;
+    }
+    case 2:
+      return "delay:" + std::to_string(rng->NextInt(1, 3));
+    default:
+      return "error:unavailable*1";
+  }
+}
+
+std::string RandomBackendAction(Rng* rng, bool wake_site) {
+  if (wake_site) {
+    return "wake%" + std::to_string(rng->NextInt(20, 80));
+  }
+  switch (rng->NextBounded(3)) {
+    case 0: {
+      std::string spec = "error:ioerror*" + std::to_string(rng->NextInt(1, 2));
+      if (rng->NextBernoulli(0.5)) {
+        spec += "%" + std::to_string(rng->NextInt(25, 75));
+      }
+      return spec;
+    }
+    case 1:
+      return "delay:" + std::to_string(rng->NextInt(1, 3));
+    default:
+      return "delay:1%" + std::to_string(rng->NextInt(25, 75));
+  }
+}
+
+// The codes a faulted routed query may legitimately end with. The injected
+// set (unavailable, ioerror, internal via backend faults), the transport-
+// death translations (DataLoss for a mid-frame EOF), plus Cancelled and
+// DeadlineExceeded. Anything else means a fault corrupted control flow.
+bool ExpectedOutcome(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+    case StatusCode::kCancelled:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kUnavailable:
+    case StatusCode::kIoError:
+    case StatusCode::kDataLoss:
+    case StatusCode::kInternal:
+    case StatusCode::kResourceExhausted:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// One iteration's fleet: K in-process shard servers behind listener-less
+/// WireServers, connected over socketpairs; killed shards refuse connects.
+class ChaosFleet {
+ public:
+  explicit ChaosFleet(std::shared_ptr<const TimeSeriesMatrix> data)
+      : dead_(kShards, false) {
+    for (int s = 0; s < kShards; ++s) {
+      auto server = std::make_unique<DangoronServer>(ShardServerOptions());
+      CHECK(server->AddDataset("d", data).ok());
+      WireServerOptions wire_options;
+      wire_options.port = -1;
+      auto wire = std::make_unique<WireServer>(server.get(), wire_options);
+      CHECK(wire->Start().ok());
+      servers_.push_back(std::move(server));
+      wires_.push_back(std::move(wire));
+    }
+  }
+
+  ShardRouterOptions RouterOptions() {
+    ShardRouterOptions options;
+    options.shards.resize(kShards);
+    options.connect_retries = 1;
+    options.connect_backoff_ms = 1;
+    options.breaker_open_ms = 50;
+    options.connect_override =
+        [this](int shard) -> Result<std::unique_ptr<WireClient>> {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (dead_[static_cast<size_t>(shard)]) {
+          return Status::Unavailable("shard ", shard, " is down (chaos)");
+        }
+      }
+      int fds[2];
+      CHECK(socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0);
+      CHECK(wires_[static_cast<size_t>(shard)]->AddConnection(fds[0]).ok());
+      return WireClient::Adopt(fds[1]);
+    };
+    return options;
+  }
+
+  void KillShard(int shard) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (dead_[static_cast<size_t>(shard)]) {
+        return;
+      }
+      dead_[static_cast<size_t>(shard)] = true;
+    }
+    wires_[static_cast<size_t>(shard)]->Stop();
+  }
+
+  /// True once every server's in-flight claim map drained; polls because a
+  /// cancelled producer retires its claims asynchronously.
+  bool ClaimsDrained() {
+    for (const auto& server : servers_) {
+      if (server->stats().inflight_window_claims != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  int64_t TotalLeakedClaims() {
+    int64_t total = 0;
+    for (const auto& server : servers_) {
+      total += server->stats().inflight_window_claims;
+    }
+    return total;
+  }
+
+ private:
+  std::vector<std::unique_ptr<DangoronServer>> servers_;
+  std::vector<std::unique_ptr<WireServer>> wires_;  // stop before servers
+  std::mutex mutex_;
+  std::vector<bool> dead_;
+};
+
+TEST(RouterChaosTest, SeededKillAndFaultSchedulesPreserveRouterInvariants) {
+  if (!kChaosFailpointsCompiled) {
+    GTEST_SKIP() << "failpoints compiled out (DANGORON_FAILPOINTS=OFF)";
+  }
+  constexpr int kIterations = 30;
+  Rng data_rng(7204);
+  auto data = std::make_shared<const TimeSeriesMatrix>(
+      GenerateWhiteNoise(kNumSeries, kLength, &data_rng));
+  const int64_t num_pairs = kNumSeries * (kNumSeries - 1) / 2;
+  const int64_t expected_windows = ExpectedWindows();
+
+  // The unsharded truth, one encoded frame per window: every delivered
+  // merged window must match its frame byte for byte.
+  std::vector<std::string> reference;
+  {
+    DangoronServer server(ShardServerOptions());
+    ASSERT_TRUE(server.AddDataset("d", data).ok());
+    QueryRequest request;
+    request.dataset = "d";
+    request.query = ChaosQuery();
+    auto stream = server.SubmitStreaming(request);
+    while (auto window = stream->Next()) {
+      std::string bytes;
+      EncodeWindowFrame(window->window_index, *window->edges, &bytes);
+      reference.push_back(std::move(bytes));
+    }
+    ASSERT_TRUE(stream->status().ok()) << stream->status().message();
+    ASSERT_EQ(static_cast<int64_t>(reference.size()), expected_windows);
+  }
+
+  for (int iteration = 0; iteration < kIterations; ++iteration) {
+    const uint64_t seed = 0xd4a90 + static_cast<uint64_t>(iteration);
+    SCOPED_TRACE("iteration " + std::to_string(iteration) + " seed " +
+                 std::to_string(seed));
+    Rng rng(seed);
+    FailpointRegistry::Instance().DisarmAll();
+
+    ChaosFleet fleet(data);
+    ShardRouterOptions options = fleet.RouterOptions();
+    options.max_failovers = static_cast<int>(rng.NextInt(0, 3));
+    ShardRouter router(options);
+
+    // Arm a random subset of the catalog (possibly empty: clean-run
+    // interleavings are part of the space).
+    if (rng.NextBernoulli(0.5)) {
+      ASSERT_TRUE(
+          FailpointRegistry::Instance()
+              .Configure("router.connect=" + RandomRouterAction(&rng))
+              .ok());
+    }
+    if (rng.NextBernoulli(0.5)) {
+      ASSERT_TRUE(
+          FailpointRegistry::Instance()
+              .Configure("router.stream_read=" + RandomRouterAction(&rng))
+              .ok());
+    }
+    struct BackendSite {
+      const char* name;
+      bool wake;
+    };
+    constexpr BackendSite kBackendSites[] = {{"serve.prepare", false},
+                                             {"sweep.band", false},
+                                             {"stream.try_push", true}};
+    for (const BackendSite& site : kBackendSites) {
+      if (rng.NextBernoulli(0.25)) {
+        ASSERT_TRUE(FailpointRegistry::Instance()
+                        .Configure(std::string(site.name) + "=" +
+                                   RandomBackendAction(&rng, site.wake))
+                        .ok());
+      }
+    }
+
+    WireRequest request;
+    request.dataset = "d";
+    request.query = ChaosQuery();
+    request.options.queue_capacity = rng.NextInt(1, 4);
+    if (rng.NextBernoulli(0.2)) {
+      request.options.deadline_ms = rng.NextInt(50, 500);
+    }
+
+    const bool kill = rng.NextBernoulli(0.5);
+    const int kill_victim = static_cast<int>(rng.NextBounded(kShards));
+    const int64_t kill_after = rng.NextInt(0, expected_windows - 1);
+    const bool cancel = rng.NextBernoulli(0.2);
+    const int64_t cancel_after = rng.NextInt(0, expected_windows - 1);
+
+    {
+      auto merge = router.Submit(request, num_pairs);
+      if (!merge.ok()) {
+        // Every shard unreachable at plan time (connect faults): a clean
+        // refusal, not a hang.
+        EXPECT_TRUE(ExpectedOutcome(merge.status()))
+            << merge.status().ToString();
+      } else {
+        bool killed = false;
+        bool cancelled = false;
+        int64_t next_index = 0;
+        while (std::optional<StreamedWindow> window = (*merge)->Next()) {
+          // Contiguously ascending, exactly once, byte-identical to the
+          // unsharded run — across kills, failovers, and re-dispatch races.
+          ASSERT_EQ(window->window_index, next_index);
+          ASSERT_LT(next_index, expected_windows);
+          std::string bytes;
+          EncodeWindowFrame(window->window_index, *window->edges, &bytes);
+          ASSERT_EQ(bytes, reference[static_cast<size_t>(next_index)])
+              << "window " << next_index
+              << " differs from the unsharded stream";
+          ++next_index;
+          if (kill && !killed && next_index > kill_after) {
+            killed = true;
+            fleet.KillShard(kill_victim);
+          }
+          if (cancel && !cancelled && next_index > cancel_after) {
+            cancelled = true;
+            (*merge)->Cancel();
+          }
+        }
+        const Status status = (*merge)->status();
+        EXPECT_TRUE(ExpectedOutcome(status)) << status.ToString();
+        if (status.ok()) {
+          EXPECT_EQ(next_index, expected_windows);
+        }
+        // A failed or cancelled merge may truncate the stream; the per-
+        // window asserts above guarantee the truncated prefix is intact.
+      }
+    }  // the merge dies here, cancelling any straggler shard streams
+
+    // Quiesce: disarm and require every claim taken during the storm to
+    // be retired.
+    FailpointRegistry::Instance().DisarmAll();
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (!fleet.ClaimsDrained() &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_EQ(fleet.TotalLeakedClaims(), 0)
+        << "a shard leaked window claims under chaos";
+  }
+  FailpointRegistry::Instance().DisarmAll();
+}
+
+}  // namespace
+}  // namespace dangoron

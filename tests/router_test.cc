@@ -7,6 +7,7 @@
 // disconnect) releases every shard with zero leaked window claims.
 
 #include <arpa/inet.h>
+#include <dirent.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -113,6 +114,10 @@ class ScriptedSource final : public ShardWindowSource {
     int64_t block_at = -1;           ///< Next blocks here until Release()
     int64_t transport_error_at = -1; ///< Next returns IoError at this index
     Status verdict = Status::Ok();   ///< terminal result_status
+    /// Added to the edge-value stamp (not window_index): a failover
+    /// replacement resuming at global window w scripts value_base = w so
+    /// its locally-indexed windows carry globally-consistent values.
+    int64_t value_base = 0;
   };
 
   ScriptedSource(int shard, Script script)
@@ -144,7 +149,8 @@ class ScriptedSource final : public ShardWindowSource {
     Edge edge;
     edge.i = shard_;
     edge.j = shard_ + 1;
-    edge.value = shard_ * 1000.0 + static_cast<double>(index);
+    edge.value =
+        shard_ * 1000.0 + static_cast<double>(script_.value_base + index);
     edges->push_back(edge);
     window.edges = std::move(edges);
     return std::optional<StreamedWindow>(std::move(window));
@@ -346,6 +352,315 @@ TEST(ShardMergeTest, EmptyMergeIsAnEmptyOkStream) {
   EXPECT_EQ(merge.num_shards(), 0);
 }
 
+// ----------------------------------------------------- ShardMerge failover --
+
+ShardSlice MakeSlice(std::unique_ptr<ShardWindowSource> source,
+                     int64_t pair_begin, int64_t pair_end,
+                     std::string label = "", int64_t shard_id = -1) {
+  ShardSlice slice;
+  slice.source = std::move(source);
+  slice.pair_begin = pair_begin;
+  slice.pair_end = pair_end;
+  slice.label = std::move(label);
+  slice.shard_id = shard_id;
+  return slice;
+}
+
+TEST(ShardMergeFailoverTest, ReconnectResumesTheDeadRangeSeamlessly) {
+  constexpr int64_t kWindows = 10;
+  std::vector<ShardSlice> slices;
+  slices.push_back(MakeSlice(
+      std::make_unique<ScriptedSource>(0, ScriptedSource::Script{
+                                              .windows = kWindows}),
+      0, 1));
+  // Shard 1 delivers windows 0..2, then its transport dies at index 3.
+  slices.push_back(MakeSlice(
+      std::make_unique<ScriptedSource>(
+          1, ScriptedSource::Script{.windows = kWindows,
+                                    .transport_error_at = 3}),
+      1, 2, "backend-1", /*shard_id=*/7));
+
+  ShardFailover seen;
+  ShardMergeOptions options;
+  options.max_failovers = 1;
+  options.failover =
+      [&](const ShardFailover& f) -> Result<std::vector<ShardSlice>> {
+    seen = f;
+    // The replacement's upstream is re-anchored at the resume window, so
+    // it indexes windows locally from 0; value_base keeps the edge stamps
+    // globally consistent so the byte-identity assertion below is real.
+    std::vector<ShardSlice> out;
+    out.push_back(MakeSlice(
+        std::make_unique<ScriptedSource>(
+            1, ScriptedSource::Script{.windows = kWindows - f.resume_window,
+                                      .value_base = f.resume_window}),
+        f.pair_begin, f.pair_end, "backend-1b", f.shard_id));
+    return out;
+  };
+
+  ShardMerge merge(std::move(slices), /*num_pairs=*/2, options);
+  int64_t expected_index = 0;
+  while (std::optional<StreamedWindow> window = merge.Next()) {
+    EXPECT_EQ(window->window_index, expected_index);
+    ASSERT_EQ(window->edges->size(), 2u);
+    // The stream the consumer sees is exactly what the healthy run would
+    // deliver: same windows, same parts, same values.
+    EXPECT_EQ((*window->edges)[0].value,
+              static_cast<double>(expected_index));
+    EXPECT_EQ((*window->edges)[1].value,
+              1000.0 + static_cast<double>(expected_index));
+    ++expected_index;
+  }
+  EXPECT_EQ(expected_index, kWindows);
+  EXPECT_TRUE(merge.status().ok()) << merge.status().message();
+  EXPECT_EQ(merge.failovers(), 1);
+
+  // The hook saw the dead shard's identity, range, and resume point.
+  EXPECT_EQ(seen.shard, 1);
+  EXPECT_EQ(seen.shard_id, 7);
+  EXPECT_EQ(seen.label, "backend-1");
+  EXPECT_EQ(seen.pair_begin, 1);
+  EXPECT_EQ(seen.pair_end, 2);
+  EXPECT_EQ(seen.resume_window, 3);
+  EXPECT_EQ(seen.cause.code(), StatusCode::kIoError);
+  EXPECT_NE(seen.cause.message().find("shard 1 (backend-1)"),
+            std::string::npos)
+      << seen.cause.message();
+}
+
+TEST(ShardMergeFailoverTest, SplitsTheDeadRangeAcrossReplacements) {
+  constexpr int64_t kWindows = 8;
+  std::vector<ShardSlice> slices;
+  slices.push_back(MakeSlice(
+      std::make_unique<ScriptedSource>(0, ScriptedSource::Script{
+                                              .windows = kWindows}),
+      0, 1));
+  // The dead shard covered two pair units; its takeover splits in two.
+  slices.push_back(MakeSlice(
+      std::make_unique<ScriptedSource>(
+          1, ScriptedSource::Script{.windows = kWindows,
+                                    .transport_error_at = 2}),
+      1, 3));
+
+  ShardMergeOptions options;
+  options.max_failovers = 1;
+  options.failover =
+      [&](const ShardFailover& f) -> Result<std::vector<ShardSlice>> {
+    std::vector<ShardSlice> out;
+    out.push_back(MakeSlice(
+        std::make_unique<ScriptedSource>(
+            1, ScriptedSource::Script{.windows = kWindows - f.resume_window,
+                                      .value_base = f.resume_window}),
+        1, 2));
+    out.push_back(MakeSlice(
+        std::make_unique<ScriptedSource>(
+            2, ScriptedSource::Script{.windows = kWindows - f.resume_window,
+                                      .value_base = f.resume_window}),
+        2, 3));
+    return out;
+  };
+
+  ShardMerge merge(std::move(slices), /*num_pairs=*/3, options);
+  int64_t expected_index = 0;
+  while (std::optional<StreamedWindow> window = merge.Next()) {
+    EXPECT_EQ(window->window_index, expected_index);
+    // Windows the dead shard delivered carry its one wide part; windows
+    // past the failover carry the two replacement parts — in ascending
+    // pair-range order either way.
+    if (expected_index < 2) {
+      ASSERT_EQ(window->edges->size(), 2u);
+    } else {
+      ASSERT_EQ(window->edges->size(), 3u);
+      EXPECT_EQ((*window->edges)[1].value,
+                1000.0 + static_cast<double>(expected_index));
+      EXPECT_EQ((*window->edges)[2].value,
+                2000.0 + static_cast<double>(expected_index));
+    }
+    EXPECT_EQ((*window->edges)[0].value,
+              static_cast<double>(expected_index));
+    ++expected_index;
+  }
+  EXPECT_EQ(expected_index, kWindows);
+  EXPECT_TRUE(merge.status().ok()) << merge.status().message();
+  EXPECT_EQ(merge.failovers(), 1);
+}
+
+TEST(ShardMergeFailoverTest, BudgetExhaustedFailsWithThePrefixedCause) {
+  constexpr int64_t kWindows = 10;
+  std::vector<ShardSlice> slices;
+  slices.push_back(MakeSlice(
+      std::make_unique<ScriptedSource>(0, ScriptedSource::Script{
+                                              .windows = kWindows}),
+      0, 1));
+  slices.push_back(MakeSlice(
+      std::make_unique<ScriptedSource>(
+          1, ScriptedSource::Script{.windows = kWindows,
+                                    .transport_error_at = 2}),
+      1, 2, "backend-1"));
+
+  std::atomic<int> hook_calls{0};
+  ShardMergeOptions options;
+  options.max_failovers = 1;
+  options.failover =
+      [&](const ShardFailover& f) -> Result<std::vector<ShardSlice>> {
+    ++hook_calls;
+    // The replacement dies too (local index 1 = global window 3): the
+    // second death finds the budget spent and must fail the merge.
+    std::vector<ShardSlice> out;
+    out.push_back(MakeSlice(
+        std::make_unique<ScriptedSource>(
+            1, ScriptedSource::Script{.windows = kWindows - f.resume_window,
+                                      .transport_error_at = 1,
+                                      .value_base = f.resume_window}),
+        f.pair_begin, f.pair_end, "replacement"));
+    return out;
+  };
+
+  ShardMerge merge(std::move(slices), /*num_pairs=*/2, options);
+  while (merge.Next().has_value()) {
+  }
+  EXPECT_EQ(hook_calls.load(), 1);
+  EXPECT_EQ(merge.failovers(), 1);
+  EXPECT_EQ(merge.status().code(), StatusCode::kIoError);
+  // The terminal error names the slice that died with no budget left —
+  // the replacement, at its fresh index past the original shards.
+  EXPECT_NE(merge.status().message().find("shard 2 (replacement)"),
+            std::string::npos)
+      << merge.status().message();
+}
+
+TEST(ShardMergeFailoverTest, TerminalUnavailableVerdictIsRetryable) {
+  constexpr int64_t kWindows = 10;
+  std::vector<ShardSlice> slices;
+  slices.push_back(MakeSlice(
+      std::make_unique<ScriptedSource>(0, ScriptedSource::Script{
+                                              .windows = kWindows}),
+      0, 1));
+  // The shard's stream ends cleanly but its verdict is Unavailable — the
+  // "process killed between frames" shape. Retryable, unlike other codes.
+  slices.push_back(MakeSlice(
+      std::make_unique<ScriptedSource>(
+          1, ScriptedSource::Script{
+                 .windows = 4,
+                 .verdict = Status::Unavailable("shard went away")}),
+      1, 2));
+
+  ShardMergeOptions options;
+  options.max_failovers = 1;
+  options.failover =
+      [&](const ShardFailover& f) -> Result<std::vector<ShardSlice>> {
+    EXPECT_EQ(f.resume_window, 4);
+    EXPECT_EQ(f.cause.code(), StatusCode::kUnavailable);
+    std::vector<ShardSlice> out;
+    out.push_back(MakeSlice(
+        std::make_unique<ScriptedSource>(
+            1, ScriptedSource::Script{.windows = kWindows - f.resume_window,
+                                      .value_base = f.resume_window}),
+        f.pair_begin, f.pair_end));
+    return out;
+  };
+
+  ShardMerge merge(std::move(slices), /*num_pairs=*/2, options);
+  int64_t windows = 0;
+  while (merge.Next().has_value()) {
+    ++windows;
+  }
+  EXPECT_EQ(windows, kWindows);
+  EXPECT_TRUE(merge.status().ok()) << merge.status().message();
+  EXPECT_EQ(merge.failovers(), 1);
+}
+
+TEST(ShardMergeFailoverTest, NonRetryableVerdictBypassesTheHook) {
+  std::atomic<int> hook_calls{0};
+  ShardMergeOptions options;
+  options.max_failovers = 2;
+  options.failover =
+      [&](const ShardFailover&) -> Result<std::vector<ShardSlice>> {
+    ++hook_calls;
+    return Status::Internal("must never be called");
+  };
+
+  std::vector<ShardSlice> slices;
+  slices.push_back(MakeSlice(
+      std::make_unique<ScriptedSource>(0, ScriptedSource::Script{
+                                              .windows = 100,
+                                              .delay_ms = 1}),
+      0, 1));
+  // Fingerprint drift would recur on any replacement: fail fast instead
+  // of burning the failover budget on a deterministic error.
+  slices.push_back(MakeSlice(
+      std::make_unique<ScriptedSource>(
+          1, ScriptedSource::Script{
+                 .windows = 0,
+                 .verdict = Status::FailedPrecondition("drifted")}),
+      1, 2));
+
+  ShardMerge merge(std::move(slices), /*num_pairs=*/2, options);
+  while (merge.Next().has_value()) {
+  }
+  EXPECT_EQ(hook_calls.load(), 0);
+  EXPECT_EQ(merge.failovers(), 0);
+  EXPECT_EQ(merge.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ShardMergeFailoverTest, HookErrorAnnotatesTheOriginalCause) {
+  ShardMergeOptions options;
+  options.max_failovers = 1;
+  options.failover =
+      [](const ShardFailover&) -> Result<std::vector<ShardSlice>> {
+    return Status::Unavailable("no live shard to take over");
+  };
+
+  std::vector<ShardSlice> slices;
+  slices.push_back(MakeSlice(
+      std::make_unique<ScriptedSource>(
+          0, ScriptedSource::Script{.windows = 5,
+                                    .transport_error_at = 1}),
+      0, 1));
+
+  ShardMerge merge(std::move(slices), /*num_pairs=*/1, options);
+  while (merge.Next().has_value()) {
+  }
+  // The stream fails with the shard's original error — the re-dispatch
+  // failure rides along as an annotation, it does not replace the cause.
+  EXPECT_EQ(merge.status().code(), StatusCode::kIoError);
+  EXPECT_NE(merge.status().message().find("scripted transport failure"),
+            std::string::npos)
+      << merge.status().message();
+  EXPECT_NE(
+      merge.status().message().find("failover failed: no live shard"),
+      std::string::npos)
+      << merge.status().message();
+}
+
+TEST(ShardMergeFailoverTest, ReplacementCoverageMismatchIsInternal) {
+  ShardMergeOptions options;
+  options.max_failovers = 1;
+  options.failover =
+      [](const ShardFailover& f) -> Result<std::vector<ShardSlice>> {
+    // Covers only half the dead range: a bug the merge must catch rather
+    // than hang waiting for pairs nobody will deliver.
+    std::vector<ShardSlice> out;
+    out.push_back(MakeSlice(std::make_unique<ScriptedSource>(
+                                1, ScriptedSource::Script{.windows = 5}),
+                            f.pair_begin, f.pair_begin + 1));
+    return out;
+  };
+
+  std::vector<ShardSlice> slices;
+  slices.push_back(MakeSlice(
+      std::make_unique<ScriptedSource>(
+          0, ScriptedSource::Script{.windows = 5,
+                                    .transport_error_at = 1}),
+      0, 2));
+
+  ShardMerge merge(std::move(slices), /*num_pairs=*/2, options);
+  while (merge.Next().has_value()) {
+  }
+  EXPECT_EQ(merge.status().code(), StatusCode::kInternal)
+      << merge.status().message();
+}
+
 // ---------------------------------------------------- WireClient timeouts --
 
 TEST(WireClientTimeoutTest, ConnectTimesOutOnANeverAcceptingListener) {
@@ -438,6 +753,54 @@ TEST(WireClientTimeoutTest, ReadTimesOutOnASilentServer) {
   ::close(listener);
 }
 
+// --------------------------------------------------- WireClient reconnect --
+
+/// Open descriptors in this process (includes the scan's own dirfd, which
+/// cancels out in before/after comparisons).
+int CountOpenFds() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) {
+    return -1;
+  }
+  int count = 0;
+  while (::readdir(dir) != nullptr) {
+    ++count;
+  }
+  ::closedir(dir);
+  return count;
+}
+
+TEST(WireClientReconnectTest, RetriedRefusedConnectsLeakNoFds) {
+  // A loopback port with nothing behind it: bind, read the port back,
+  // close — connects are refused immediately, the router's reconnect-storm
+  // shape.
+  const int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(probe, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(
+      ::bind(probe, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(probe, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  const int port = ntohs(addr.sin_port);
+  ::close(probe);
+
+  WireClientOptions options;
+  options.connect_timeout_ms = 200;
+  const int baseline = CountOpenFds();
+  ASSERT_GT(baseline, 0);
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    auto client = WireClient::ConnectTcp("127.0.0.1", port, options);
+    EXPECT_FALSE(client.ok());
+  }
+  // Every failed attempt closed its socket: a reconnect loop (ShardRouter
+  // retries, supervisor probes) must not bleed descriptors.
+  EXPECT_EQ(CountOpenFds(), baseline);
+}
+
 // ------------------------------------------------------------- end to end --
 
 constexpr int64_t kBasicWindow = 24;
@@ -494,17 +857,43 @@ class RouterE2ETest : public ::testing::Test {
 
   /// Router options whose connections are socketpairs into the in-process
   /// shard WireServers — the whole sharded path with no network stack.
+  /// Killed shards (KillShard) refuse with Unavailable, like a host whose
+  /// process is gone.
   ShardRouterOptions RouterOptions() {
     ShardRouterOptions options;
     options.shards.resize(wires_.size());  // endpoints unused: override
+    options.connect_backoff_ms = 1;        // keep reconnect retries fast
     options.connect_override =
         [this](int shard) -> Result<std::unique_ptr<WireClient>> {
+      if (IsDead(shard)) {
+        return Status::Unavailable("shard ", shard, " is down (test kill)");
+      }
       int fds[2];
       CHECK(socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0);
       CHECK(wires_[static_cast<size_t>(shard)]->AddConnection(fds[0]).ok());
       return WireClient::Adopt(fds[1]);
     };
     return options;
+  }
+
+  /// The in-process SIGKILL analog: the shard's WireServer stops (closing
+  /// its in-flight connections mid-frame) and every later connect to it is
+  /// refused.
+  void KillShard(int shard) {
+    {
+      std::lock_guard<std::mutex> lock(dead_mutex_);
+      if (dead_.size() < wires_.size()) {
+        dead_.resize(wires_.size(), false);
+      }
+      dead_[static_cast<size_t>(shard)] = true;
+    }
+    wires_[static_cast<size_t>(shard)]->Stop();
+  }
+
+  bool IsDead(int shard) {
+    std::lock_guard<std::mutex> lock(dead_mutex_);
+    return static_cast<size_t>(shard) < dead_.size() &&
+           dead_[static_cast<size_t>(shard)];
   }
 
   WireRequest TestRequest() const {
@@ -527,8 +916,12 @@ class RouterE2ETest : public ::testing::Test {
   }
 
   /// Drains a K-shard merge and the in-process reference stream side by
-  /// side, comparing the encoded frame bytes of every window.
-  void ExpectShardedMatchesInProcess(ShardMerge* merge) {
+  /// side, comparing the encoded frame bytes of every window. `on_window`
+  /// (optional) runs after each comparison — the failover tests use it to
+  /// kill a shard at a known point mid-stream.
+  void ExpectShardedMatchesInProcess(
+      ShardMerge* merge,
+      const std::function<void(int64_t)>& on_window = nullptr) {
     DangoronServer reference(ServerOptions());
     ASSERT_TRUE(reference.AddDataset("d", data_).ok());
     QueryRequest in_process;
@@ -556,6 +949,9 @@ class RouterE2ETest : public ::testing::Test {
                 0)
           << "window " << ref->window_index
           << " differs between sharded and in-process delivery";
+      if (on_window) {
+        on_window(ref->window_index);
+      }
       ++windows;
     }
     EXPECT_TRUE(ref_stream->status().ok());
@@ -569,6 +965,8 @@ class RouterE2ETest : public ::testing::Test {
   std::vector<std::unique_ptr<DangoronServer>> servers_;
   std::vector<std::unique_ptr<WireServer>> wires_;  // after servers_: stops
                                                     // before they die
+  std::mutex dead_mutex_;
+  std::vector<bool> dead_;
 };
 
 TEST_F(RouterE2ETest, TwoShardsAreByteIdenticalToInProcess) {
@@ -612,7 +1010,8 @@ TEST_F(RouterE2ETest, FingerprintDriftOnOneShardFailsTheQuery) {
   }
   EXPECT_EQ((*merge)->status().code(), StatusCode::kFailedPrecondition)
       << (*merge)->status().message();
-  EXPECT_NE((*merge)->status().message().find("shard 1:"),
+  // The failure prefix names the shard's endpoint, not just its index.
+  EXPECT_NE((*merge)->status().message().find("shard 1 ("),
             std::string::npos)
       << (*merge)->status().message();
   for (const auto& server : servers_) {
@@ -627,6 +1026,11 @@ TEST_F(RouterE2ETest, CancelMidStreamReleasesAllShardsWithNoLeakedClaims) {
   ShardRouter router(RouterOptions());
   WireRequest request = TestRequest();
   request.options.queue_capacity = 2;  // tight downstream queue
+  // Near-dense edge sets: the undelivered remainder is megabytes per
+  // shard, far past what the stream queue plus socket buffers can absorb,
+  // so no producer can slip to a clean Ok finish before the cancel frame
+  // reaches it.
+  request.query.threshold = 0.01;
   auto merge = router.Submit(request, NumPairs());
   ASSERT_TRUE(merge.ok()) << merge.status().message();
 
@@ -676,6 +1080,196 @@ TEST_F(RouterE2ETest, TryPushSkewFailpointStillMergesByteIdentically) {
                   .Configure("stream.try_push=wake%40")
                   .ok());
   ExpectShardedMatchesInProcess(merge->get());
+}
+
+// ---------------------------------------------------------- E2E failover --
+
+TEST_F(RouterE2ETest, KilledShardMidStreamFailsOverByteIdentical) {
+  // 61 windows and a skew bound of 8: when the kill lands at window 2, the
+  // dying shard has delivered at most ~10 windows — the failover genuinely
+  // resumes mid-query, and the merged bytes must not show it.
+  StartShards(3, /*num_basic_windows=*/64);
+  ShardRouter router(RouterOptions());
+  auto merge = router.Submit(TestRequest(), NumPairs());
+  ASSERT_TRUE(merge.ok()) << merge.status().message();
+
+  std::atomic<bool> killed{false};
+  ExpectShardedMatchesInProcess(merge->get(), [&](int64_t window) {
+    if (window == 2 && !killed.exchange(true)) {
+      KillShard(1);  // reconnects refuse: the range splits over survivors
+    }
+  });
+  EXPECT_TRUE(killed.load());
+  EXPECT_GE((*merge)->failovers(), 1);
+
+  // Nobody leaked a window claim: not the dead shard (its server cancelled
+  // the stream when the connection died), not the survivors that absorbed
+  // its range.
+  for (const auto& server : servers_) {
+    EXPECT_TRUE(PollFor(
+        [&] { return server->stats().inflight_window_claims == 0; }))
+        << "a shard leaked window claims across the failover";
+  }
+}
+
+TEST_F(RouterE2ETest, KilledShardWithFailoverDisabledFailsPrefixed) {
+  StartShards(3, /*num_basic_windows=*/64);
+  ShardRouterOptions options = RouterOptions();
+  options.max_failovers = 0;  // the PR 8 behavior: first death is fatal
+  ShardRouter router(options);
+  WireRequest request = TestRequest();
+  request.options.queue_capacity = 2;
+  auto merge = router.Submit(request, NumPairs());
+  ASSERT_TRUE(merge.ok()) << merge.status().message();
+
+  ASSERT_TRUE((*merge)->Next().has_value());
+  KillShard(1);
+  while ((*merge)->Next().has_value()) {
+  }
+  const Status status = (*merge)->status();
+  EXPECT_FALSE(status.ok());
+  // How the kill surfaces depends on where the read was when the socket
+  // died: mid-frame EOF (DataLoss), recv error (IoError), or a stalled
+  // read timing out (Unavailable). All are transport deaths.
+  EXPECT_TRUE(status.code() == StatusCode::kIoError ||
+              status.code() == StatusCode::kUnavailable ||
+              status.code() == StatusCode::kDataLoss)
+      << status.ToString();
+  EXPECT_NE(status.message().find("shard 1 ("), std::string::npos)
+      << status.message();
+  EXPECT_EQ((*merge)->failovers(), 0);
+
+  for (const auto& server : servers_) {
+    EXPECT_TRUE(PollFor(
+        [&] { return server->stats().inflight_window_claims == 0; }))
+        << "a shard leaked window claims after the fatal shard death";
+  }
+}
+
+TEST_F(RouterE2ETest, StreamReadFailpointFailsOverAndStaysByteIdentical) {
+  if (!kFailpointsCompiled) {
+    GTEST_SKIP() << "failpoints compiled out (DANGORON_FAILPOINTS=OFF)";
+  }
+  // 29 windows with a tight merged queue: the readers stall at the skew
+  // bound until the drain below starts, so the one-shot fault always lands
+  // while the stream is genuinely in flight.
+  StartShards(2, /*num_basic_windows=*/32);
+  ShardRouter router(RouterOptions());
+  struct DisarmOnExit {
+    ~DisarmOnExit() { FailpointRegistry::Instance().DisarmAll(); }
+  } disarm_on_exit;
+  WireRequest request = TestRequest();
+  request.options.queue_capacity = 2;
+  auto merge = router.Submit(request, NumPairs());
+  ASSERT_TRUE(merge.ok()) << merge.status().message();
+
+  // Exactly one stream read is poisoned with the shard-died code; the
+  // backend is healthy, so the failover's reconnect leg resumes the same
+  // shard from the first undelivered window.
+  ASSERT_TRUE(FailpointRegistry::Instance()
+                  .Configure("router.stream_read=error:unavailable*1")
+                  .ok());
+  ExpectShardedMatchesInProcess(merge->get());
+  EXPECT_EQ((*merge)->failovers(), 1);
+  for (const auto& server : servers_) {
+    EXPECT_TRUE(PollFor(
+        [&] { return server->stats().inflight_window_claims == 0; }));
+  }
+}
+
+TEST_F(RouterE2ETest, BreakerTripsAndSkipsTheDeadShardAtPlanTime) {
+  StartShards(3);
+  ShardRouterOptions options = RouterOptions();
+  std::atomic<int> shard1_connects{0};
+  const auto inner = options.connect_override;
+  options.connect_override =
+      [&shard1_connects,
+       inner](int shard) -> Result<std::unique_ptr<WireClient>> {
+    if (shard == 1) {
+      ++shard1_connects;
+    }
+    return inner(shard);
+  };
+  ShardRouter router(options);
+  KillShard(1);
+
+  // Each failed plan drops the dead shard, re-plans over the survivors,
+  // and still answers — byte-identical to the unsharded run.
+  auto merge = router.Submit(TestRequest(), NumPairs());
+  ASSERT_TRUE(merge.ok()) << merge.status().message();
+  ExpectShardedMatchesInProcess(merge->get());
+  EXPECT_EQ(router.health(1), ShardHealth::kSuspect);
+
+  auto again = router.Submit(TestRequest(), NumPairs());
+  ASSERT_TRUE(again.ok());
+  int64_t windows = 0;
+  while ((*again)->Next().has_value()) {
+    ++windows;
+  }
+  EXPECT_TRUE((*again)->status().ok()) << (*again)->status().message();
+  EXPECT_EQ(windows, ExpectedWindows());
+  // Two consecutive failures: the breaker opens.
+  EXPECT_EQ(router.health(1), ShardHealth::kDown);
+
+  // With the circuit open, planning skips the shard without paying its
+  // connect timeout: not a single connect attempt reaches it.
+  const int connects_before = shard1_connects.load();
+  auto skipped = router.Submit(TestRequest(), NumPairs());
+  ASSERT_TRUE(skipped.ok());
+  while ((*skipped)->Next().has_value()) {
+  }
+  EXPECT_TRUE((*skipped)->status().ok());
+  EXPECT_EQ(shard1_connects.load(), connects_before);
+
+  // The supervisor's respawn-ready signal closes the circuit immediately.
+  router.MarkShardUp(1);
+  EXPECT_EQ(router.health(1), ShardHealth::kHealthy);
+}
+
+TEST_F(RouterE2ETest, ReconnectAfterAnAbandonedStreamStartsClean) {
+  // Real TCP this time: the reconnect semantics under test are exactly
+  // what the router's failover leans on — a fresh ConnectTcp after a
+  // mid-stream abandon must carry no FrameReader state from the old
+  // connection.
+  StartShards(1);
+  WireServerOptions tcp_options;
+  tcp_options.port = 0;  // ephemeral
+  WireServer tcp(servers_[0].get(), tcp_options);
+  ASSERT_TRUE(tcp.Start().ok());
+  const int port = tcp.port();
+  WireClientOptions client_options;
+  client_options.connect_timeout_ms = 1000;
+  client_options.read_timeout_ms = 5000;
+
+  {
+    auto abandoned =
+        WireClient::ConnectTcp("127.0.0.1", port, client_options);
+    ASSERT_TRUE(abandoned.ok()) << abandoned.status().ToString();
+    WireRequest request = TestRequest();
+    request.options.queue_capacity = 1;
+    ASSERT_TRUE((*abandoned)->Submit(request).ok());
+    auto first = (*abandoned)->Next();
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(first->has_value());
+  }  // dropped mid-stream: frames half-read on the wire die with the fd
+
+  auto fresh = WireClient::ConnectTcp("127.0.0.1", port, client_options);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  ASSERT_TRUE((*fresh)->Submit(TestRequest()).ok());
+  int64_t windows = 0;
+  while (true) {
+    auto window = (*fresh)->Next();
+    ASSERT_TRUE(window.ok()) << window.status().ToString();
+    if (!window->has_value()) {
+      break;
+    }
+    EXPECT_EQ((*window)->window_index, windows);
+    ++windows;
+  }
+  EXPECT_TRUE((*fresh)->result_status().ok())
+      << (*fresh)->result_status().message();
+  EXPECT_EQ(windows, ExpectedWindows());
+  tcp.Stop();
 }
 
 // ----------------------------------------------------------- RouterServer --
