@@ -118,7 +118,7 @@ Status Failpoint::Set(const std::string& spec) {
         "' (known: error[:code], delay:<ms>, wake, off)");
   }
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (action_ == Action::kOff) {
     g_armed_failpoints.fetch_add(1, std::memory_order_relaxed);
   }
@@ -131,7 +131,7 @@ Status Failpoint::Set(const std::string& spec) {
 }
 
 void Failpoint::Disarm() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   DisarmLocked();
 }
 
@@ -172,7 +172,7 @@ Status Failpoint::Fire() {
   StatusCode code;
   int64_t delay_ms;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (action_ != Action::kError && action_ != Action::kDelay) {
       return Status::Ok();
     }
@@ -194,7 +194,7 @@ Status Failpoint::Fire() {
 }
 
 bool Failpoint::FireWake() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (action_ != Action::kWake) {
     return false;
   }
@@ -202,12 +202,12 @@ bool Failpoint::FireWake() {
 }
 
 int64_t Failpoint::hits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return hits_;
 }
 
 bool Failpoint::armed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return action_ != Action::kOff;
 }
 
@@ -232,7 +232,7 @@ FailpointRegistry::FailpointRegistry() {
 }
 
 Failpoint* FailpointRegistry::GetOrCreate(std::string_view site) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const std::unique_ptr<Failpoint>& failpoint : failpoints_) {
     if (failpoint->name() == site) {
       return failpoint.get();
@@ -262,7 +262,7 @@ Status FailpointRegistry::Configure(const std::string& spec) {
 }
 
 void FailpointRegistry::DisarmAll() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const std::unique_ptr<Failpoint>& failpoint : failpoints_) {
     failpoint->Disarm();
   }
@@ -270,7 +270,7 @@ void FailpointRegistry::DisarmAll() {
 
 std::vector<std::string> FailpointRegistry::ArmedSites() const {
   std::vector<std::string> armed;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const std::unique_ptr<Failpoint>& failpoint : failpoints_) {
     if (failpoint->armed()) {
       armed.push_back(failpoint->name());

@@ -4,13 +4,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/sync.h"
 
 // Compile gate: sites compile to nothing when 0 (set by the CMake option
 // DANGORON_FAILPOINTS=OFF); defaults to enabled — the runtime cost of a
@@ -76,21 +76,21 @@ class Failpoint {
 
  private:
   // True (and consumes one count) when the action should trigger now.
-  bool ShouldTriggerLocked();
-  void DisarmLocked();
+  bool ShouldTriggerLocked() REQUIRES(mutex_);
+  void DisarmLocked() REQUIRES(mutex_);
 
   const std::string name_;
-  mutable std::mutex mutex_;
-  Action action_ = Action::kOff;
+  mutable Mutex mutex_;
+  Action action_ GUARDED_BY(mutex_) = Action::kOff;
   // The action of the firing being prepared: a count-exhausted trigger
   // disarms the site under the lock but still fires this one time.
-  Action action_fired_ = Action::kOff;
-  StatusCode error_code_ = StatusCode::kInternal;
-  int64_t delay_ms_ = 0;
-  int64_t remaining_ = -1;  // -1 = unlimited
-  int32_t percent_ = 100;
-  int64_t hits_ = 0;
-  Rng rng_;  // deterministic per-site stream behind `%P`
+  Action action_fired_ GUARDED_BY(mutex_) = Action::kOff;
+  StatusCode error_code_ GUARDED_BY(mutex_) = StatusCode::kInternal;
+  int64_t delay_ms_ GUARDED_BY(mutex_) = 0;
+  int64_t remaining_ GUARDED_BY(mutex_) = -1;  // -1 = unlimited
+  int32_t percent_ GUARDED_BY(mutex_) = 100;
+  int64_t hits_ GUARDED_BY(mutex_) = 0;
+  Rng rng_ GUARDED_BY(mutex_);  // deterministic per-site stream behind `%P`
 };
 
 /// Process-wide registry of failpoints, keyed by site name. Sites register
@@ -119,9 +119,12 @@ class FailpointRegistry {
  private:
   FailpointRegistry();
 
-  mutable std::mutex mutex_;
+  // Lock order: the registry mutex is taken *before* any Failpoint's own
+  // mutex (DisarmAll/ArmedSites iterate under it and call into sites);
+  // nothing under a Failpoint mutex ever calls back into the registry.
+  mutable Mutex mutex_;
   // Pointer-stable values: sites cache the pointer across firings.
-  std::vector<std::unique_ptr<Failpoint>> failpoints_;
+  std::vector<std::unique_ptr<Failpoint>> failpoints_ GUARDED_BY(mutex_);
 };
 
 /// Fast dormancy check: true when any failpoint in the process is armed.

@@ -4,7 +4,8 @@
 #include <chrono>
 #include <cstdio>
 #include <ctime>
-#include <mutex>
+
+#include "common/sync.h"
 
 namespace dangoron {
 
@@ -13,8 +14,9 @@ namespace {
 std::atomic<int> g_min_severity{static_cast<int>(LogSeverity::kInfo)};
 
 // Serializes whole log lines so concurrent threads do not interleave.
-std::mutex& LogMutex() {
-  static std::mutex* mutex = new std::mutex;
+// Leaked so messages logged during static destruction stay safe.
+Mutex& LogMutex() {
+  static Mutex* mutex = new Mutex;
   return *mutex;
 }
 
@@ -72,7 +74,7 @@ LogMessage::~LogMessage() {
                     static_cast<int>(MinLogSeverity()) ||
                     severity_ == LogSeverity::kFatal;
   if (emit) {
-    std::lock_guard<std::mutex> lock(LogMutex());
+    MutexLock lock(LogMutex());
     std::cerr << stream_.str() << std::endl;
   }
   if (severity_ == LogSeverity::kFatal) {

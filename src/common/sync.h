@@ -1,0 +1,205 @@
+#ifndef DANGORON_COMMON_SYNC_H_
+#define DANGORON_COMMON_SYNC_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+/// Annotated synchronization primitives: the one place in the repository
+/// that touches `std::mutex` / `std::condition_variable` directly
+/// (`scripts/check_invariants.py` enforces this). Everything else locks
+/// through `Mutex` / `MutexLock` / `CondVar` below, so Clang's thread-safety
+/// analysis can prove at compile time which fields each lock guards
+/// (`GUARDED_BY`), which private methods expect a lock held (`REQUIRES`),
+/// and which callbacks must run *outside* a lock (`EXCLUDES`) — the lock
+/// discipline docs/ARCHITECTURE.md describes, machine-checked.
+///
+/// The attribute macros are the standard set from the Clang thread-safety
+/// documentation. They expand to `__attribute__((...))` under Clang and to
+/// nothing elsewhere, so gcc builds (and the annotations themselves) are
+/// zero-cost: `Mutex` is a bare `std::mutex` with inlined forwarding
+/// calls. The CI `static-analysis` job compiles the tree with Clang and
+/// `-Werror=thread-safety`, turning any unguarded access into a build
+/// failure; `tests/thread_safety_compile_test.cc` proves the gate fires.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define DANGORON_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#endif
+#endif
+#ifndef DANGORON_THREAD_ANNOTATION_ATTRIBUTE
+#define DANGORON_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off Clang
+#endif
+
+#define CAPABILITY(x) DANGORON_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+#define SCOPED_CAPABILITY DANGORON_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+#define GUARDED_BY(x) DANGORON_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+#define PT_GUARDED_BY(x) DANGORON_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) \
+  DANGORON_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  DANGORON_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) \
+  DANGORON_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  DANGORON_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) \
+  DANGORON_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  DANGORON_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  DANGORON_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) \
+  DANGORON_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) \
+  DANGORON_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+#define RETURN_CAPABILITY(x) \
+  DANGORON_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  DANGORON_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+namespace dangoron {
+
+class CondVar;
+
+/// A `std::mutex` carrying the `capability` attribute, so fields can be
+/// declared `GUARDED_BY(mutex_)` and methods `REQUIRES(mutex_)`. Prefer the
+/// scoped `MutexLock`; call `Lock`/`Unlock` directly only for the
+/// unlock-in-the-middle shapes (fire a callback outside the lock, then
+/// re-take it) that a scope cannot express — the analysis tracks those
+/// explicit calls intra-procedurally.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock over a `Mutex` — `std::lock_guard` with the `scoped_lockable`
+/// attribute, so the analysis knows the capability is held for exactly the
+/// scope of this object.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable over `Mutex`. The waits are deliberately
+/// predicate-free: the analysis cannot see into a predicate lambda, so
+/// call sites spell the loop out —
+///
+///   MutexLock lock(mutex_);
+///   while (!ready_) {        // ready_ is GUARDED_BY(mutex_): checked
+///     cv_.Wait(mutex_);
+///   }
+///
+/// which is also the shape that keeps every field access inside the loop
+/// visible to the guarded-by check. Internally the mutex is adopted into a
+/// `std::unique_lock` for the duration of the wait and released back, so
+/// the wait rides the native `std::condition_variable` futex path — no
+/// `condition_variable_any` indirection on the hot producer/consumer
+/// queues.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, waits, and re-acquires `mu`. Spurious
+  /// wakeups happen; always wrap in a predicate loop.
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> adopted(mu.mu_, std::adopt_lock);
+    cv_.wait(adopted);
+    adopted.release();
+  }
+
+  /// Like Wait, but returns at `deadline` at the latest. True = the
+  /// deadline passed (the caller's predicate is authoritative either way).
+  template <typename Clock, typename Duration>
+  bool WaitUntil(Mutex& mu,
+                 const std::chrono::time_point<Clock, Duration>& deadline)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> adopted(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(adopted, deadline);
+    adopted.release();
+    return status == std::cv_status::timeout;
+  }
+
+  /// Like Wait, but returns after `timeout` at the latest. True = timed
+  /// out.
+  template <typename Rep, typename Period>
+  bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> adopted(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(adopted, timeout);
+    adopted.release();
+    return status == std::cv_status::timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// A thread-identity capability: single-threaded ownership (an IO loop's
+/// connection table, a supervisor's child list) expressed in the same
+/// vocabulary as a lock, but enforced by *which thread* is running instead
+/// of by mutual exclusion. The owning thread calls `Adopt()` once;
+/// thereafter every access to a `GUARDED_BY(role)` field goes through a
+/// method annotated `REQUIRES(role)`, whose callers prove themselves with
+/// `AssertHeld()` — a compile-time capability assertion backed by a
+/// runtime thread-id check, so a refactor that moves such a call onto the
+/// wrong thread dies loudly in every build, not just under TSan.
+///
+/// Ownership may migrate at quiescent points (`Adopt` overwrites): e.g.
+/// WireServer's `Start` seeds state from the caller's thread before the IO
+/// thread exists, the IO thread adopts the role at the top of its loop,
+/// and `Stop` re-adopts after joining it.
+class CAPABILITY("role") ThreadRole {
+ public:
+  ThreadRole() = default;
+  ThreadRole(const ThreadRole&) = delete;
+  ThreadRole& operator=(const ThreadRole&) = delete;
+
+  /// Binds the role to the calling thread. Only meaningful at handoff
+  /// points where no other thread can still be acting under the role.
+  void Adopt() { holder_.store(std::this_thread::get_id(), std::memory_order_release); }
+
+  /// Dies unless the calling thread holds the role; tells the analysis the
+  /// capability is held from here on.
+  void AssertHeld() const ASSERT_CAPABILITY(this) {
+    if (holder_.load(std::memory_order_acquire) != std::this_thread::get_id()) {
+      std::fprintf(stderr,
+                   "ThreadRole::AssertHeld: called from a thread that does "
+                   "not own this role\n");
+      std::abort();
+    }
+  }
+
+ private:
+  std::atomic<std::thread::id> holder_{};
+};
+
+}  // namespace dangoron
+
+#endif  // DANGORON_COMMON_SYNC_H_

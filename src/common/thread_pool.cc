@@ -22,10 +22,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& worker : workers_) {
     worker.join();
   }
@@ -33,17 +33,19 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Schedule(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     CHECK(!shutting_down_) << "Schedule() after shutdown";
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  work_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (in_flight_ != 0) {
+    work_done_.Wait(mutex_);
+  }
 }
 
 void ThreadPool::ParallelFor(int64_t num_blocks,
@@ -66,8 +68,8 @@ void ThreadPool::ParallelFor(int64_t num_blocks,
     std::atomic<int64_t> next{0};
     std::atomic<int64_t> completed{0};
     int64_t total = 0;
-    std::mutex mutex;
-    std::condition_variable done;
+    Mutex mutex;
+    CondVar done;
   };
   auto state = std::make_shared<ForState>();
   state->total = num_blocks;
@@ -84,8 +86,8 @@ void ThreadPool::ParallelFor(int64_t num_blocks,
       (*body_ptr)(i);
       if (state->completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
           state->total) {
-        std::lock_guard<std::mutex> lock(state->mutex);
-        state->done.notify_all();
+        MutexLock lock(state->mutex);
+        state->done.NotifyAll();
       }
     }
   };
@@ -96,19 +98,20 @@ void ThreadPool::ParallelFor(int64_t num_blocks,
     Schedule(run_blocks);
   }
   run_blocks();
-  std::unique_lock<std::mutex> lock(state->mutex);
-  state->done.wait(lock, [&] {
-    return state->completed.load(std::memory_order_acquire) == state->total;
-  });
+  MutexLock lock(state->mutex);
+  while (state->completed.load(std::memory_order_acquire) != state->total) {
+    state->done.Wait(state->mutex);
+  }
 }
 
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!shutting_down_ && queue_.empty()) {
+        work_available_.Wait(mutex_);
+      }
       if (queue_.empty()) {
         // shutting_down_ is set and no work remains.
         return;
@@ -118,10 +121,10 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --in_flight_;
       if (in_flight_ == 0) {
-        work_done_.notify_all();
+        work_done_.NotifyAll();
       }
     }
   }

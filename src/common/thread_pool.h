@@ -1,16 +1,16 @@
 #ifndef DANGORON_COMMON_THREAD_POOL_H_
 #define DANGORON_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace dangoron {
 
@@ -69,12 +69,12 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable work_done_;
-  int64_t in_flight_ = 0;
-  bool shutting_down_ = false;
+  Mutex mutex_;
+  CondVar work_available_;
+  CondVar work_done_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  int64_t in_flight_ GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace dangoron

@@ -30,23 +30,23 @@ LanedTaskPool::~LanedTaskPool() { Shutdown(); }
 bool LanedTaskPool::Post(TaskLane lane, std::function<void()> task) {
   const auto l = static_cast<size_t>(lane);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (shutdown_) {
       return false;
     }
     lanes_[l].push_back(std::move(task));
     ++stats_.posted[l];
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
   return true;
 }
 
 void LanedTaskPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) {
       worker.join();
@@ -55,7 +55,7 @@ void LanedTaskPool::Shutdown() {
 }
 
 TaskLaneStats LanedTaskPool::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   TaskLaneStats snapshot = stats_;
   for (int l = 0; l < kNumTaskLanes; ++l) {
     snapshot.queued[l] = static_cast<int64_t>(lanes_[l].size());
@@ -64,7 +64,10 @@ TaskLaneStats LanedTaskPool::stats() const {
 }
 
 void LanedTaskPool::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  // Explicit Lock/Unlock instead of a scoped guard: the loop drops the lock
+  // around task() and reacquires it, a shape the scoped wrapper cannot
+  // express — thread-safety analysis tracks the manual pairing.
+  mutex_.Lock();
   while (true) {
     // Strict priority scan: the highest non-empty lane wins every time a
     // worker frees up; lower lanes only drain in the gaps.
@@ -77,17 +80,18 @@ void LanedTaskPool::WorkerLoop() {
     }
     if (lane < 0) {
       if (shutdown_) {
+        mutex_.Unlock();
         return;  // drained — shutdown completes only after queued work ran
       }
-      work_cv_.wait(lock);
+      work_cv_.Wait(mutex_);
       continue;
     }
     std::function<void()> task = std::move(lanes_[lane].front());
     lanes_[lane].pop_front();
     ++stats_.executed[lane];
-    lock.unlock();
+    mutex_.Unlock();
     task();
-    lock.lock();
+    mutex_.Lock();
   }
 }
 

@@ -1,14 +1,14 @@
 #ifndef DANGORON_NET_TASK_LANES_H_
 #define DANGORON_NET_TASK_LANES_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string_view>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace dangoron {
 
@@ -84,11 +84,11 @@ class LanedTaskPool {
  private:
   void WorkerLoop();
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::deque<std::function<void()>> lanes_[kNumTaskLanes];
-  TaskLaneStats stats_;
-  bool shutdown_ = false;
+  mutable Mutex mutex_;
+  CondVar work_cv_;
+  std::deque<std::function<void()>> lanes_[kNumTaskLanes] GUARDED_BY(mutex_);
+  TaskLaneStats stats_ GUARDED_BY(mutex_);
+  bool shutdown_ GUARDED_BY(mutex_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -49,15 +49,21 @@ struct WireServer::Connection {
   bool dead = false;          ///< torn down; ignore late wake-queue entries
   bool reject_input = false;  ///< protocol error: stop decoding frames
 
-  std::mutex mutex;
-  std::condition_variable writable_cv;
-  std::string outbuf;        ///< guarded: pending response bytes
-  size_t out_offset = 0;     ///< guarded: prefix already sent
-  bool closed = false;       ///< guarded: no more writes will be flushed
-  bool close_after_flush = false;  ///< guarded: close once outbuf drains
-  bool request_in_flight = false;  ///< guarded: one request at a time
-  bool cancel_pending = false;     ///< guarded: cancel raced the dispatch
-  std::shared_ptr<WindowStream> active_stream;  ///< guarded
+  Mutex mutex;
+  CondVar writable_cv;
+  /// Pending response bytes.
+  std::string outbuf GUARDED_BY(mutex);
+  /// Prefix of `outbuf` already sent.
+  size_t out_offset GUARDED_BY(mutex) = 0;
+  /// No more writes will be flushed.
+  bool closed GUARDED_BY(mutex) = false;
+  /// Close once `outbuf` drains.
+  bool close_after_flush GUARDED_BY(mutex) = false;
+  /// One request at a time.
+  bool request_in_flight GUARDED_BY(mutex) = false;
+  /// Cancel raced the dispatch.
+  bool cancel_pending GUARDED_BY(mutex) = false;
+  std::shared_ptr<WindowStream> active_stream GUARDED_BY(mutex);
 };
 
 WireServer::WireServer(DangoronServer* server, const WireServerOptions& options)
@@ -69,6 +75,10 @@ Status WireServer::Start() {
   if (running_.load()) {
     return Status::FailedPrecondition("wire server already started");
   }
+  // Seed the IO-thread-owned state from this thread; the IO thread takes
+  // the role over at the top of IoLoop.
+  io_role_.Adopt();
+  io_role_.AssertHeld();
 
   epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
   if (epoll_fd_ < 0) {
@@ -167,7 +177,7 @@ Status WireServer::AddConnection(int fd) {
   conn->fd = fd;
   conn->adopted = true;
   {
-    std::lock_guard<std::mutex> lock(pending_mutex_);
+    MutexLock lock(pending_mutex_);
     pending_adds_.push_back(std::move(conn));
   }
   const uint64_t one = 1;
@@ -190,10 +200,14 @@ void WireServer::Stop() {
       pool_->Shutdown();
     }
   }
+  // The IO thread (if it ever ran) has exited: this thread owns its state
+  // again for the teardown below.
+  io_role_.Adopt();
+  io_role_.AssertHeld();
   // Late adds that never reached the IO thread still own their fds.
   std::vector<ConnectionPtr> orphans;
   {
-    std::lock_guard<std::mutex> lock(pending_mutex_);
+    MutexLock lock(pending_mutex_);
     orphans.swap(pending_adds_);
     pending_flushes_.clear();
   }
@@ -220,7 +234,7 @@ void WireServer::Stop() {
 }
 
 WireServerStats WireServer::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(stats_mutex_);
   WireServerStats snapshot = stats_;
   if (pool_ != nullptr) {
     snapshot.lanes = pool_->stats();
@@ -245,6 +259,8 @@ TaskLane WireServer::ClassifyLane(const WireRequest& request) const {
 // ------------------------------------------------------------ IO thread --
 
 void WireServer::IoLoop() {
+  io_role_.Adopt();
+  io_role_.AssertHeld();
   epoll_event events[kMaxEpollEvents];
   while (!stop_requested_.load()) {
     const int n = epoll_wait(epoll_fd_, events, kMaxEpollEvents, -1);
@@ -286,11 +302,11 @@ void WireServer::IoLoop() {
   for (auto& [fd, conn] : connections_) {
     std::shared_ptr<WindowStream> stream;
     {
-      std::lock_guard<std::mutex> lock(conn->mutex);
+      MutexLock lock(conn->mutex);
       conn->closed = true;
       stream = std::move(conn->active_stream);
     }
-    conn->writable_cv.notify_all();
+    conn->writable_cv.NotifyAll();
     if (stream != nullptr) {
       stream->Cancel();
     }
@@ -306,7 +322,7 @@ void WireServer::HandleWake() {
   std::vector<ConnectionPtr> adds;
   std::vector<ConnectionPtr> flushes;
   {
-    std::lock_guard<std::mutex> lock(pending_mutex_);
+    MutexLock lock(pending_mutex_);
     adds.swap(pending_adds_);
     flushes.swap(pending_flushes_);
   }
@@ -358,7 +374,7 @@ void WireServer::ShedPendingConnection() {
       accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
   if (fd >= 0) {
     close(fd);
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     ++stats_.connections_rejected;
   } else if (errno == EMFILE || errno == ENFILE) {
     // Even the freed slot was not enough (system-wide exhaustion). Disarm
@@ -375,7 +391,7 @@ void WireServer::ShedPendingConnection() {
 void WireServer::RegisterConnection(ConnectionPtr conn, bool adopted) {
   if (static_cast<int64_t>(connections_.size()) >= options_.max_connections) {
     close(conn->fd);
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     ++stats_.connections_rejected;
     return;
   }
@@ -388,7 +404,7 @@ void WireServer::RegisterConnection(ConnectionPtr conn, bool adopted) {
   }
   const int fd = conn->fd;
   connections_[fd] = std::move(conn);
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(stats_mutex_);
   if (adopted) {
     ++stats_.connections_adopted;
   } else {
@@ -424,7 +440,7 @@ void WireServer::HandleReadable(const ConnectionPtr& conn) {
     return;
   }
   if (received > 0) {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     stats_.bytes_in += received;
   }
   while (!conn->dead && !conn->reject_input) {
@@ -453,7 +469,7 @@ void WireServer::HandleFrame(const ConnectionPtr& conn, const Frame& frame) {
       }
       bool pipelined = false;
       {
-        std::lock_guard<std::mutex> lock(conn->mutex);
+        MutexLock lock(conn->mutex);
         if (conn->request_in_flight) {
           pipelined = true;
         } else {
@@ -472,7 +488,7 @@ void WireServer::HandleFrame(const ConnectionPtr& conn, const Frame& frame) {
       }
       const TaskLane lane = ClassifyLane(request);
       {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        MutexLock lock(stats_mutex_);
         ++stats_.requests;
       }
       ConnectionPtr conn_copy = conn;
@@ -481,7 +497,7 @@ void WireServer::HandleFrame(const ConnectionPtr& conn, const Frame& frame) {
             RunRequest(std::move(conn_copy), std::move(request));
           })) {
         // Shutting down: the teardown path closes this connection.
-        std::lock_guard<std::mutex> lock(conn->mutex);
+        MutexLock lock(conn->mutex);
         conn->request_in_flight = false;
       }
       return;
@@ -489,7 +505,7 @@ void WireServer::HandleFrame(const ConnectionPtr& conn, const Frame& frame) {
     case FrameType::kCancel: {
       std::shared_ptr<WindowStream> stream;
       {
-        std::lock_guard<std::mutex> lock(conn->mutex);
+        MutexLock lock(conn->mutex);
         stream = conn->active_stream;
         if (stream == nullptr && conn->request_in_flight) {
           // The worker has the request but has not registered its stream
@@ -500,7 +516,7 @@ void WireServer::HandleFrame(const ConnectionPtr& conn, const Frame& frame) {
       if (stream != nullptr) {
         stream->Cancel();
       }
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      MutexLock lock(stats_mutex_);
       ++stats_.cancel_frames;
       return;
     }
@@ -518,12 +534,12 @@ void WireServer::HandleFrame(const ConnectionPtr& conn, const Frame& frame) {
 void WireServer::ProtocolError(const ConnectionPtr& conn,
                                const Status& status) {
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     ++stats_.protocol_errors;
   }
   std::shared_ptr<WindowStream> stream;
   {
-    std::lock_guard<std::mutex> lock(conn->mutex);
+    MutexLock lock(conn->mutex);
     stream = conn->active_stream;
     if (!conn->close_after_flush) {
       // Best-effort courtesy: tell the peer why before hanging up. Past
@@ -546,14 +562,14 @@ void WireServer::ProtocolError(const ConnectionPtr& conn,
 void WireServer::HandleDisconnect(const ConnectionPtr& conn) {
   std::shared_ptr<WindowStream> stream;
   {
-    std::lock_guard<std::mutex> lock(conn->mutex);
+    MutexLock lock(conn->mutex);
     conn->closed = true;
     stream = std::move(conn->active_stream);
   }
-  conn->writable_cv.notify_all();
+  conn->writable_cv.NotifyAll();
   if (stream != nullptr) {
     stream->Cancel();
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     ++stats_.disconnect_cancels;
   }
   CloseConnection(conn);
@@ -562,58 +578,59 @@ void WireServer::HandleDisconnect(const ConnectionPtr& conn) {
 void WireServer::FlushConnection(const ConnectionPtr& conn) {
   bool drained = false;
   bool close_now = false;
-  {
-    std::unique_lock<std::mutex> lock(conn->mutex);
-    int64_t sent = 0;
-    while (conn->out_offset < conn->outbuf.size()) {
-      const ssize_t n =
-          send(conn->fd, conn->outbuf.data() + conn->out_offset,
-               conn->outbuf.size() - conn->out_offset, MSG_NOSIGNAL);
-      if (n > 0) {
-        conn->out_offset += static_cast<size_t>(n);
-        sent += n;
-        continue;
-      }
-      if (n < 0 && errno == EINTR) {
-        continue;
-      }
-      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-        break;
-      }
-      // Peer gone mid-write.
-      lock.unlock();
-      if (sent > 0) {
-        std::lock_guard<std::mutex> slock(stats_mutex_);
-        stats_.bytes_out += sent;
-      }
-      HandleDisconnect(conn);
-      return;
+  // Explicit Lock/Unlock: the disconnect path below must drop the lock
+  // before calling into HandleDisconnect (which takes it again), a shape a
+  // scoped guard cannot express.
+  conn->mutex.Lock();
+  int64_t sent = 0;
+  while (conn->out_offset < conn->outbuf.size()) {
+    const ssize_t n =
+        send(conn->fd, conn->outbuf.data() + conn->out_offset,
+             conn->outbuf.size() - conn->out_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out_offset += static_cast<size_t>(n);
+      sent += n;
+      continue;
     }
-    drained = conn->out_offset == conn->outbuf.size();
-    if (drained) {
-      conn->outbuf.clear();
-      conn->out_offset = 0;
-    } else if (conn->out_offset > (size_t{1} << 20)) {
-      // Reclaim the sent prefix so a long stream does not grow the buffer
-      // without bound even while partially flushed.
-      conn->outbuf.erase(0, conn->out_offset);
-      conn->out_offset = 0;
+    if (n < 0 && errno == EINTR) {
+      continue;
     }
-    close_now = drained && conn->close_after_flush;
-    lock.unlock();
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      break;
+    }
+    // Peer gone mid-write.
+    conn->mutex.Unlock();
     if (sent > 0) {
-      std::lock_guard<std::mutex> slock(stats_mutex_);
+      MutexLock slock(stats_mutex_);
       stats_.bytes_out += sent;
     }
+    HandleDisconnect(conn);
+    return;
+  }
+  drained = conn->out_offset == conn->outbuf.size();
+  if (drained) {
+    conn->outbuf.clear();
+    conn->out_offset = 0;
+  } else if (conn->out_offset > (size_t{1} << 20)) {
+    // Reclaim the sent prefix so a long stream does not grow the buffer
+    // without bound even while partially flushed.
+    conn->outbuf.erase(0, conn->out_offset);
+    conn->out_offset = 0;
+  }
+  close_now = drained && conn->close_after_flush;
+  conn->mutex.Unlock();
+  if (sent > 0) {
+    MutexLock slock(stats_mutex_);
+    stats_.bytes_out += sent;
   }
   // Below the watermark again — wake a worker blocked in WriteToConnection.
-  conn->writable_cv.notify_all();
+  conn->writable_cv.NotifyAll();
   if (close_now) {
     {
-      std::lock_guard<std::mutex> lock(conn->mutex);
+      MutexLock lock(conn->mutex);
       conn->closed = true;
     }
-    conn->writable_cv.notify_all();
+    conn->writable_cv.NotifyAll();
     CloseConnection(conn);
     return;
   }
@@ -650,7 +667,7 @@ void WireServer::CloseConnection(const ConnectionPtr& conn) {
       listener_armed_ = true;
     }
   }
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(stats_mutex_);
   stats_.connections_active = static_cast<int64_t>(connections_.size());
 }
 
@@ -659,12 +676,12 @@ void WireServer::CloseConnection(const ConnectionPtr& conn) {
 bool WireServer::WriteToConnection(const ConnectionPtr& conn,
                                    const std::string& bytes) {
   {
-    std::unique_lock<std::mutex> lock(conn->mutex);
-    conn->writable_cv.wait(lock, [&] {
-      return conn->closed ||
-             static_cast<int64_t>(conn->outbuf.size() - conn->out_offset) <
-                 options_.outbuf_high_watermark;
-    });
+    MutexLock lock(conn->mutex);
+    while (!conn->closed &&
+           static_cast<int64_t>(conn->outbuf.size() - conn->out_offset) >=
+               options_.outbuf_high_watermark) {
+      conn->writable_cv.Wait(conn->mutex);
+    }
     if (conn->closed) {
       return false;
     }
@@ -676,7 +693,7 @@ bool WireServer::WriteToConnection(const ConnectionPtr& conn,
 
 void WireServer::RequestFlush(const ConnectionPtr& conn) {
   {
-    std::lock_guard<std::mutex> lock(pending_mutex_);
+    MutexLock lock(pending_mutex_);
     pending_flushes_.push_back(conn);
   }
   if (running_.load() && wake_fd_ >= 0) {
@@ -720,7 +737,7 @@ void WireServer::RunRequest(ConnectionPtr conn, WireRequest request) {
     // cancel that raced ahead of this registration left a note instead.
     bool cancel_now = false;
     {
-      std::lock_guard<std::mutex> lock(conn->mutex);
+      MutexLock lock(conn->mutex);
       if (conn->closed) {
         cancel_now = true;
       } else {
@@ -748,7 +765,7 @@ void WireServer::RunRequest(ConnectionPtr conn, WireRequest request) {
             "wire: window ", window->window_index, " encodes to ",
             frame.size() - kFrameHeaderBytes,
             " bytes, past the frame cap of ", kMaxFramePayload);
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        MutexLock lock(stats_mutex_);
         ++stats_.oversized_windows;
         break;
       }
@@ -776,7 +793,7 @@ void WireServer::RunRequest(ConnectionPtr conn, WireRequest request) {
     summary.cells_jumped = streamed.cells_jumped;
     summary.jumps = streamed.jumps;
 
-    std::lock_guard<std::mutex> lock(conn->mutex);
+    MutexLock lock(conn->mutex);
     conn->active_stream.reset();
   }
 
@@ -784,7 +801,7 @@ void WireServer::RunRequest(ConnectionPtr conn, WireRequest request) {
   EncodeStatusFrame(status, summary, &terminal);
   WriteToConnection(conn, terminal);  // best-effort on a closed connection
 
-  std::lock_guard<std::mutex> lock(conn->mutex);
+  MutexLock lock(conn->mutex);
   conn->request_in_flight = false;
 }
 

@@ -2,16 +2,15 @@
 #define DANGORON_NET_WIRE_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "net/task_lanes.h"
 #include "serve/server.h"
 #include "wire/wire_format.h"
@@ -137,27 +136,31 @@ class WireServer {
   using ConnectionPtr = std::shared_ptr<Connection>;
 
   void IoLoop();
-  void HandleWake();
-  void AcceptNew();
+  void HandleWake() REQUIRES(io_role_);
+  void AcceptNew() REQUIRES(io_role_);
   /// fd-exhaustion path of AcceptNew: closes the reserved spare fd, accepts
   /// the pending connection into the freed slot and closes it (counted as
   /// rejected), then re-reserves. Without this the level-triggered listener
   /// spins the IO loop at 100% CPU under EMFILE/ENFILE. If even the freed
   /// slot cannot accept, the listener is disarmed until a connection closes.
-  void ShedPendingConnection();
-  void RegisterConnection(ConnectionPtr conn, bool adopted);
-  void HandleReadable(const ConnectionPtr& conn);
-  void HandleFrame(const ConnectionPtr& conn, const Frame& frame);
+  void ShedPendingConnection() REQUIRES(io_role_);
+  void RegisterConnection(ConnectionPtr conn, bool adopted)
+      REQUIRES(io_role_);
+  void HandleReadable(const ConnectionPtr& conn) REQUIRES(io_role_);
+  void HandleFrame(const ConnectionPtr& conn, const Frame& frame)
+      REQUIRES(io_role_);
   /// Kills a connection that violated the protocol: best-effort error
   /// status frame, then close-after-flush.
-  void ProtocolError(const ConnectionPtr& conn, const Status& status);
+  void ProtocolError(const ConnectionPtr& conn, const Status& status)
+      REQUIRES(io_role_);
   /// Peer vanished: cancel the active stream, tear the connection down.
-  void HandleDisconnect(const ConnectionPtr& conn);
+  void HandleDisconnect(const ConnectionPtr& conn) REQUIRES(io_role_);
   /// Flushes the connection's output buffer to the socket; arms/disarms
   /// EPOLLOUT; closes once drained when close_after_flush is set.
-  void FlushConnection(const ConnectionPtr& conn);
-  void UpdateEpoll(const ConnectionPtr& conn, bool want_write);
-  void CloseConnection(const ConnectionPtr& conn);
+  void FlushConnection(const ConnectionPtr& conn) REQUIRES(io_role_);
+  void UpdateEpoll(const ConnectionPtr& conn, bool want_write)
+      REQUIRES(io_role_);
+  void CloseConnection(const ConnectionPtr& conn) REQUIRES(io_role_);
 
   /// Worker-side body of one request.
   void RunRequest(ConnectionPtr conn, WireRequest request);
@@ -175,22 +178,29 @@ class WireServer {
   int epoll_fd_ = -1;
   int wake_fd_ = -1;
   int listen_fd_ = -1;
-  int spare_fd_ = -1;           ///< reserved for ShedPendingConnection
-  bool listener_armed_ = false;  ///< IO-thread: listener in the epoll set
   int bound_port_ = 0;
   std::thread io_thread_;
   std::unique_ptr<LanedTaskPool> pool_;
 
-  // IO-thread-owned: fd -> connection (only the IO thread mutates).
-  std::unordered_map<int, ConnectionPtr> connections_;
+  // The IO thread's identity capability: single-threaded ownership of the
+  // epoll set, checked at compile time (REQUIRES on the handlers above) and
+  // at runtime (AssertHeld). Start seeds the state below from the caller's
+  // thread before the IO thread exists, IoLoop adopts the role on entry,
+  // and Stop re-adopts after joining it.
+  ThreadRole io_role_;
+  int spare_fd_ GUARDED_BY(io_role_) = -1;  ///< for ShedPendingConnection
+  /// Listener currently in the epoll set.
+  bool listener_armed_ GUARDED_BY(io_role_) = false;
+  /// fd -> connection (only the IO thread mutates).
+  std::unordered_map<int, ConnectionPtr> connections_ GUARDED_BY(io_role_);
 
   // Cross-thread handoff to the IO thread, drained on eventfd wake.
-  std::mutex pending_mutex_;
-  std::vector<ConnectionPtr> pending_adds_;
-  std::vector<ConnectionPtr> pending_flushes_;
+  Mutex pending_mutex_;
+  std::vector<ConnectionPtr> pending_adds_ GUARDED_BY(pending_mutex_);
+  std::vector<ConnectionPtr> pending_flushes_ GUARDED_BY(pending_mutex_);
 
-  mutable std::mutex stats_mutex_;
-  WireServerStats stats_;
+  mutable Mutex stats_mutex_;
+  WireServerStats stats_ GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace dangoron

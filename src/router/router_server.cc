@@ -31,7 +31,7 @@ RouterServer::~RouterServer() { Stop(); }
 
 void RouterServer::RegisterDataset(const std::string& name,
                                    int64_t num_series, uint64_t fingerprint) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   datasets_[name] =
       DatasetInfo{num_series * (num_series - 1) / 2, fingerprint};
 }
@@ -88,7 +88,7 @@ Status RouterServer::AddConnection(int fd) {
     ::close(fd);
     return Status::FailedPrecondition("router server: not running");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++stats_.connections_adopted;
   ++stats_.connections_active;
   open_fds_.push_back(fd);
@@ -110,14 +110,14 @@ void RouterServer::Stop() {
   {
     // Connection threads blocked in poll/recv wake on shutdown and exit on
     // the dead socket; they close their own fd.
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (int fd : open_fds_) {
       ::shutdown(fd, SHUT_RDWR);
     }
   }
   std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     threads.swap(connection_threads_);
   }
   for (std::thread& t : threads) {
@@ -128,7 +128,7 @@ void RouterServer::Stop() {
 }
 
 RouterServerStats RouterServer::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 
@@ -145,7 +145,7 @@ void RouterServer::AcceptLoop() {
     if (fd < 0) {
       continue;
     }
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++stats_.connections_accepted;
     if (stats_.connections_active >= options_.max_connections) {
       ::close(fd);
@@ -190,7 +190,7 @@ void RouterServer::HandleConnection(int fd) {
     Frame frame;
     bool have = false;
     if (Status decoded = reader.Next(&frame, &have); !decoded.ok()) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       ++stats_.protocol_errors;
       break;
     }
@@ -200,13 +200,13 @@ void RouterServer::HandleConnection(int fd) {
           WireRequest request;
           if (Status decoded = DecodeRequestPayload(frame.payload, &request);
               !decoded.ok()) {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             ++stats_.protocol_errors;
             alive = false;
             break;
           }
           {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             ++stats_.requests;
           }
           alive = ServeRequest(fd, &reader, request);
@@ -216,12 +216,12 @@ void RouterServer::HandleConnection(int fd) {
           // A cancel racing the terminal status of the request it aimed
           // at; nothing in flight anymore, so it is a no-op.
           {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             ++stats_.cancel_frames;
           }
           break;
         default: {
-          std::lock_guard<std::mutex> lock(mutex_);
+          MutexLock lock(mutex_);
           ++stats_.protocol_errors;
           alive = false;
           break;
@@ -249,7 +249,7 @@ void RouterServer::HandleConnection(int fd) {
     reader.Feed(chunk, static_cast<size_t>(n));
   }
   ::close(fd);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   --stats_.connections_active;
   open_fds_.erase(std::remove(open_fds_.begin(), open_fds_.end(), fd),
                   open_fds_.end());
@@ -260,7 +260,7 @@ bool RouterServer::ServeRequest(int fd, FrameReader* reader,
   DatasetInfo info;
   bool known = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = datasets_.find(request.dataset);
     if (it != datasets_.end()) {
       info = it->second;
@@ -288,7 +288,7 @@ bool RouterServer::ServeRequest(int fd, FrameReader* reader,
       router_->Submit(routed, info.num_pairs);
   if (!submitted.ok()) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       ++stats_.shard_failures;
     }
     return SendStatus(fd, submitted.status(), WireSummary{});
@@ -318,7 +318,7 @@ bool RouterServer::ServeRequest(int fd, FrameReader* reader,
         }
         conn_dead.store(true);
         merge->Cancel();
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         ++stats_.disconnect_cancels;
         return;
       }
@@ -329,7 +329,7 @@ bool RouterServer::ServeRequest(int fd, FrameReader* reader,
         if (Status decoded = reader->Next(&frame, &have); !decoded.ok()) {
           conn_dead.store(true);
           merge->Cancel();
-          std::lock_guard<std::mutex> lock(mutex_);
+          MutexLock lock(mutex_);
           ++stats_.protocol_errors;
           return;
         }
@@ -338,7 +338,7 @@ bool RouterServer::ServeRequest(int fd, FrameReader* reader,
         }
         if (frame.type == FrameType::kCancel) {
           {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             ++stats_.cancel_frames;
           }
           merge->Cancel();
@@ -347,7 +347,7 @@ bool RouterServer::ServeRequest(int fd, FrameReader* reader,
           // protocol violation, same as on a shard server.
           conn_dead.store(true);
           merge->Cancel();
-          std::lock_guard<std::mutex> lock(mutex_);
+          MutexLock lock(mutex_);
           ++stats_.protocol_errors;
           return;
         }
@@ -389,7 +389,7 @@ bool RouterServer::ServeRequest(int fd, FrameReader* reader,
   watcher.join();
 
   if (const int64_t failovers = merge->failovers(); failovers > 0) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stats_.failovers += failovers;
   }
 
@@ -402,7 +402,7 @@ bool RouterServer::ServeRequest(int fd, FrameReader* reader,
   WireSummary summary = merge->summary();
   summary.windows_delivered = windows_sent;
   if (!terminal.ok() && terminal.code() != StatusCode::kCancelled) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++stats_.shard_failures;
   }
   return SendStatus(fd, terminal, summary);

@@ -4,13 +4,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "router/shard_router.h"
 
 namespace dangoron {
@@ -115,11 +115,11 @@ class RouterServer {
   int bound_port_ = 0;
   std::thread accept_thread_;
 
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, DatasetInfo> datasets_;
-  std::vector<std::thread> connection_threads_;
-  std::vector<int> open_fds_;
-  RouterServerStats stats_;
+  mutable Mutex mutex_;
+  std::unordered_map<std::string, DatasetInfo> datasets_ GUARDED_BY(mutex_);
+  std::vector<std::thread> connection_threads_ GUARDED_BY(mutex_);
+  std::vector<int> open_fds_ GUARDED_BY(mutex_);
+  RouterServerStats stats_ GUARDED_BY(mutex_);
 };
 
 }  // namespace dangoron

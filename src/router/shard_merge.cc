@@ -65,7 +65,7 @@ ShardMerge::ShardMerge(std::vector<ShardSlice> slices, int64_t num_pairs,
   }
   // Under the lock: a reader that dies instantly appends replacement
   // threads to readers_ from its own thread, racing this loop otherwise.
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   readers_.reserve(slices_.size());
   for (size_t s = 0; s < slices_.size(); ++s) {
     readers_.emplace_back([this, s] { ReaderLoop(static_cast<int>(s)); });
@@ -84,7 +84,7 @@ ShardMerge::~ShardMerge() {
   while (true) {
     std::vector<std::thread> batch;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       batch.swap(readers_);
     }
     if (batch.empty()) {
@@ -103,7 +103,7 @@ std::optional<StreamedWindow> ShardMerge::Next() {
 }
 
 void ShardMerge::Cancel() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (cancelled_ || (active_readers_ == 0 && downstream_->finished())) {
     return;
   }
@@ -114,14 +114,14 @@ void ShardMerge::Cancel() {
     slice->source->Cancel();
   }
   downstream_->Cancel();
-  progress_cv_.notify_all();
+  progress_cv_.NotifyAll();
 }
 
 Status ShardMerge::status() const { return downstream_->status(); }
 
 WireSummary ShardMerge::summary() const {
   WireSummary total;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   // Per-slice terminal summaries are stable once the merge finished (every
   // reader joined its source's terminal status before exiting). Failed-over
   // slices still count: their windows were delivered and merged.
@@ -144,12 +144,12 @@ WireSummary ShardMerge::summary() const {
 }
 
 int64_t ShardMerge::failovers() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return failovers_used_;
 }
 
 int64_t ShardMerge::num_shards() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return static_cast<int64_t>(slices_.size());
 }
 
@@ -179,12 +179,11 @@ void ShardMerge::MergeFailLocked(const Status& status) {
   // Unblock a consumer mid-Next and drop queued windows: a failed merge
   // must not dribble out a partial prefix as if it were the result.
   downstream_->Cancel();
-  progress_cv_.notify_all();
+  progress_cv_.NotifyAll();
 }
 
 void ShardMerge::HandleShardFailureLocked(int slice_index, const Status& cause,
-                                          bool retryable,
-                                          std::unique_lock<std::mutex>& lock) {
+                                          bool retryable) {
   if (cancelled_ || failed_) {
     return;
   }
@@ -211,9 +210,9 @@ void ShardMerge::HandleShardFailureLocked(int slice_index, const Status& cause,
 
   // The hook reconnects / re-plans with its own bounded backoff — seconds,
   // potentially. Other readers must keep draining meanwhile.
-  lock.unlock();
+  mutex_.Unlock();
   Result<std::vector<ShardSlice>> replacements = options_.failover(failover);
-  lock.lock();
+  mutex_.Lock();
 
   if (cancelled_ || failed_) {
     // The merge died while the hook ran; don't leak live replacement
@@ -263,10 +262,10 @@ void ShardMerge::HandleShardFailureLocked(int slice_index, const Status& cause,
     ++active_readers_;
     readers_.emplace_back([this, s] { ReaderLoop(static_cast<int>(s)); });
   }
-  progress_cv_.notify_all();
+  progress_cv_.NotifyAll();
 }
 
-void ShardMerge::EmitReadyLocked(std::unique_lock<std::mutex>& lock) {
+void ShardMerge::EmitReadyLocked() {
   while (!cancelled_ && !failed_) {
     auto it = pending_.begin();
     if (it == pending_.end() || it->first != next_emit_ ||
@@ -292,11 +291,11 @@ void ShardMerge::EmitReadyLocked(std::unique_lock<std::mutex>& lock) {
     pending_.erase(it);
     ++next_emit_;
     ++windows_merged_;
-    progress_cv_.notify_all();
+    progress_cv_.NotifyAll();
 
-    lock.unlock();
+    mutex_.Unlock();
     const bool pushed = downstream_->Push(std::move(merged));
-    lock.lock();
+    mutex_.Lock();
     if (!pushed) {
       // The consumer cancelled the merged stream while we were blocked on
       // its queue; fan the cancel out to the shards.
@@ -305,7 +304,7 @@ void ShardMerge::EmitReadyLocked(std::unique_lock<std::mutex>& lock) {
         for (const auto& slice : slices_) {
           slice->source->Cancel();
         }
-        progress_cv_.notify_all();
+        progress_cv_.NotifyAll();
       }
       break;
     }
@@ -332,21 +331,22 @@ void ShardMerge::FinishLocked() {
 }
 
 void ShardMerge::ReaderLoop(int slice_index) {
-  Slice* slice;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    slice = slices_[static_cast<size_t>(slice_index)].get();
-  }
+  // Explicit Lock/Unlock: the loop holds mutex_ at its head and at every
+  // break, dropping it only around the blocking source->Next() — a shape a
+  // scoped guard cannot express. Thread-safety analysis checks the pairing.
+  mutex_.Lock();
+  Slice* slice = slices_[static_cast<size_t>(slice_index)].get();
   while (true) {
+    mutex_.Unlock();
     Result<std::optional<StreamedWindow>> next = slice->source->Next();
+    mutex_.Lock();
 
-    std::unique_lock<std::mutex> lock(mutex_);
     if (!next.ok()) {
       // A transport/protocol failure: the shard process is gone or
       // babbling — always a failover candidate.
       HandleShardFailureLocked(slice_index,
                                PrefixedStatus(slice_index, next.status()),
-                               /*retryable=*/true, lock);
+                               /*retryable=*/true);
       break;
     }
     if (!next->has_value()) {
@@ -358,7 +358,7 @@ void ShardMerge::ReaderLoop(int slice_index) {
         // would recur on a replacement; fail fast.
         HandleShardFailureLocked(
             slice_index, PrefixedStatus(slice_index, verdict),
-            /*retryable=*/verdict.code() == StatusCode::kUnavailable, lock);
+            /*retryable=*/verdict.code() == StatusCode::kUnavailable);
         break;
       }
       slice->done = true;
@@ -407,10 +407,10 @@ void ShardMerge::ReaderLoop(int slice_index) {
 
     // Bounded skew: wait for the emission frontier before running further
     // ahead of the slowest slice.
-    progress_cv_.wait(lock, [&] {
-      return cancelled_ || failed_ ||
-             k < next_emit_ + options_.max_skew_windows;
-    });
+    while (!cancelled_ && !failed_ &&
+           k >= next_emit_ + options_.max_skew_windows) {
+      progress_cv_.Wait(mutex_);
+    }
     if (cancelled_ || failed_) {
       break;
     }
@@ -426,18 +426,19 @@ void ShardMerge::ReaderLoop(int slice_index) {
     }
     if (WindowCompleteLocked(slot) && k == next_emit_ && !emitting_) {
       emitting_ = true;
-      EmitReadyLocked(lock);
+      EmitReadyLocked();
       emitting_ = false;
-      progress_cv_.notify_all();
+      progress_cv_.NotifyAll();
     }
   }
 
-  std::unique_lock<std::mutex> lock(mutex_);
+  // Every break above exits with mutex_ held.
   if (--active_readers_ == 0) {
     // Late completions may have piled up behind an emitter that bailed on
     // cancel/failure; the terminal path never emits, it only settles.
     FinishLocked();
   }
+  mutex_.Unlock();
 }
 
 }  // namespace dangoron

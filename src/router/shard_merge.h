@@ -2,18 +2,17 @@
 #define DANGORON_ROUTER_SHARD_MERGE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "serve/window_stream.h"
 #include "wire/wire_format.h"
 
@@ -223,48 +222,48 @@ class ShardMerge {
     int64_t covered = 0;
   };
 
-  bool WindowCompleteLocked(const Pending& pending) const;
+  bool WindowCompleteLocked(const Pending& pending) const REQUIRES(mutex_);
   void ReaderLoop(int slice_index);
   /// `shard N (label): message` — the operator-facing failure prefix.
-  Status PrefixedStatus(int slice_index, const Status& status) const;
+  Status PrefixedStatus(int slice_index, const Status& status) const
+      REQUIRES(mutex_);
   /// Shard death on slice `slice_index`: re-dispatch through the failover
   /// hook when the failure is retryable, a hook is configured, and budget
-  /// remains — else fail the merge with `cause` (already prefixed). Caller
-  /// holds `lock`; the hook runs unlocked.
+  /// remains — else fail the merge with `cause` (already prefixed). Drops
+  /// mutex_ around the hook (which may block for seconds) and re-takes it.
   void HandleShardFailureLocked(int slice_index, const Status& cause,
-                                bool retryable,
-                                std::unique_lock<std::mutex>& lock);
+                                bool retryable) REQUIRES(mutex_);
   /// Fails the merge with `status` (first failure wins) and cancels every
-  /// upstream. Caller holds mutex_.
-  void MergeFailLocked(const Status& status);
-  /// Emits every consecutively-complete window at the frontier. Caller
-  /// holds `lock`; Push runs unlocked (downstream backpressure must not
-  /// block other readers).
-  void EmitReadyLocked(std::unique_lock<std::mutex>& lock);
+  /// upstream.
+  void MergeFailLocked(const Status& status) REQUIRES(mutex_);
+  /// Emits every consecutively-complete window at the frontier. Drops
+  /// mutex_ around each Push and re-takes it (downstream backpressure must
+  /// not block other readers).
+  void EmitReadyLocked() REQUIRES(mutex_);
   /// Called by the last reader to exit: settles the terminal status and
   /// finishes the downstream stream.
-  void FinishLocked();
+  void FinishLocked() REQUIRES(mutex_);
 
   const ShardMergeOptions options_;
   const int64_t num_pairs_;
   const std::shared_ptr<WindowStreamState> downstream_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable progress_cv_;
+  mutable Mutex mutex_;
+  CondVar progress_cv_;
   /// Grows under mutex_ when a failover adds replacement slices; entries
   /// are pointer-stable (readers hold Slice*, never an index into a
   /// reallocated vector).
-  std::vector<std::unique_ptr<Slice>> slices_;
-  std::map<int64_t, Pending> pending_;
-  int64_t next_emit_ = 0;
-  bool emitting_ = false;
-  bool cancelled_ = false;
-  bool failed_ = false;
-  Status fail_status_;
-  int active_readers_ = 0;
-  int64_t windows_merged_ = 0;
-  int64_t failovers_used_ = 0;
-  std::vector<std::thread> readers_;
+  std::vector<std::unique_ptr<Slice>> slices_ GUARDED_BY(mutex_);
+  std::map<int64_t, Pending> pending_ GUARDED_BY(mutex_);
+  int64_t next_emit_ GUARDED_BY(mutex_) = 0;
+  bool emitting_ GUARDED_BY(mutex_) = false;
+  bool cancelled_ GUARDED_BY(mutex_) = false;
+  bool failed_ GUARDED_BY(mutex_) = false;
+  Status fail_status_ GUARDED_BY(mutex_);
+  int active_readers_ GUARDED_BY(mutex_) = 0;
+  int64_t windows_merged_ GUARDED_BY(mutex_) = 0;
+  int64_t failovers_used_ GUARDED_BY(mutex_) = 0;
+  std::vector<std::thread> readers_ GUARDED_BY(mutex_);
 };
 
 }  // namespace dangoron

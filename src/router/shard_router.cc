@@ -102,19 +102,25 @@ std::string ShardRouter::LabelFor(int shard) const {
 }
 
 ShardHealth ShardRouter::health(int shard) const {
-  std::lock_guard<std::mutex> lock(health_mutex_);
+  MutexLock lock(health_mutex_);
   return health_[static_cast<size_t>(shard)].state;
 }
 
 void ShardRouter::MarkShardUp(int shard) {
+  // The bounds check reads health_ too, so it belongs under the lock (the
+  // vector is sized once in the constructor, but the analysis — rightly —
+  // has no way to know that).
+  MutexLock lock(health_mutex_);
   if (shard < 0 || static_cast<size_t>(shard) >= health_.size()) {
     return;
   }
-  RecordSuccess(shard);
+  HealthState& state = health_[static_cast<size_t>(shard)];
+  state.state = ShardHealth::kHealthy;
+  state.consecutive_failures = 0;
 }
 
 bool ShardRouter::TryAdmit(int shard) {
-  std::lock_guard<std::mutex> lock(health_mutex_);
+  MutexLock lock(health_mutex_);
   HealthState& state = health_[static_cast<size_t>(shard)];
   if (state.state != ShardHealth::kDown) {
     return true;
@@ -131,14 +137,14 @@ bool ShardRouter::TryAdmit(int shard) {
 }
 
 void ShardRouter::RecordSuccess(int shard) {
-  std::lock_guard<std::mutex> lock(health_mutex_);
+  MutexLock lock(health_mutex_);
   HealthState& state = health_[static_cast<size_t>(shard)];
   state.state = ShardHealth::kHealthy;
   state.consecutive_failures = 0;
 }
 
 void ShardRouter::RecordFailure(int shard) {
-  std::lock_guard<std::mutex> lock(health_mutex_);
+  MutexLock lock(health_mutex_);
   HealthState& state = health_[static_cast<size_t>(shard)];
   ++state.consecutive_failures;
   if (state.consecutive_failures >= options_.failure_threshold) {

@@ -5,12 +5,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "router/shard_merge.h"
 #include "wire/client.h"
 #include "wire/wire_format.h"
@@ -178,8 +178,8 @@ class ShardRouter {
 
   const ShardRouterOptions options_;
 
-  mutable std::mutex health_mutex_;
-  std::vector<HealthState> health_;
+  mutable Mutex health_mutex_;
+  std::vector<HealthState> health_ GUARDED_BY(health_mutex_);
 };
 
 }  // namespace dangoron

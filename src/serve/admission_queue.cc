@@ -72,7 +72,7 @@ Status PrepareAdmissionQueue::Admit(
     bool first_park = false;
     Status failure = Status::Ok();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       // FIFO: only the queue head may reserve, and new arrivals do not
       // barge past parked requests into freed budget — otherwise a steady
       // trickle of small prepares starves a large parked one.
@@ -137,22 +137,24 @@ Status PrepareAdmissionQueue::Admit(
       // delay/error (via Fire inside FireWake's registry) are not modeled
       // here — the park path only ever waits or re-checks.
       const bool spurious = DANGORON_FAILPOINT_WAKE("admission.park");
-      std::unique_lock<std::mutex> wl(me->waker.m);
-      auto woken = [&] {
-        return spurious || me->notified ||
-               (stream != nullptr && stream->cancelled());
-      };
-      if (has_deadline) {
-        timed_out = !me->waker.cv.wait_until(wl, deadline, woken);
-      } else {
-        me->waker.cv.wait(wl, woken);
+      MutexLock wl(me->waker.m);
+      while (!spurious && !me->notified &&
+             !(stream != nullptr && stream->cancelled())) {
+        if (!has_deadline) {
+          me->waker.cv.Wait(me->waker.m);
+        } else if (me->waker.cv.WaitUntil(me->waker.m, deadline)) {
+          // Deadline passed: woken only if the event landed exactly then.
+          timed_out = !me->notified &&
+                      !(stream != nullptr && stream->cancelled());
+          break;
+        }
       }
       cancelled = stream != nullptr && stream->cancelled();
       me->notified = false;
     }
     if (cancelled) {
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         RemoveParkedLocked(me);
       }
       return finish(Status::Cancelled(
@@ -163,7 +165,7 @@ Status PrepareAdmissionQueue::Admit(
       // at the deadline without a notification reaching us in time.
       bool reserved = false;
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (!shutdown_) {
           if (cache_->Contains(key) &&
               (*cached_out = cache_->Get(key)) != nullptr) {
@@ -186,7 +188,7 @@ Status PrepareAdmissionQueue::Admit(
 
 void PrepareAdmissionQueue::Release(int64_t estimate) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     reserved_bytes_ -= estimate;
   }
   NotifyReleased();
@@ -195,7 +197,7 @@ void PrepareAdmissionQueue::Release(int64_t estimate) {
 void PrepareAdmissionQueue::NotifyReleased() {
   std::vector<std::shared_ptr<Parked>> parked;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (parked_.empty()) {
       return;
     }
@@ -203,28 +205,28 @@ void PrepareAdmissionQueue::NotifyReleased() {
   }
   for (const std::shared_ptr<Parked>& entry : parked) {
     {
-      std::lock_guard<std::mutex> lock(entry->waker.m);
+      MutexLock lock(entry->waker.m);
       entry->notified = true;
     }
-    entry->waker.cv.notify_all();
+    entry->waker.cv.NotifyAll();
   }
 }
 
 void PrepareAdmissionQueue::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
   }
   NotifyReleased();  // parked waiters re-check and observe shutdown_
 }
 
 int64_t PrepareAdmissionQueue::reserved_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return reserved_bytes_;
 }
 
 int64_t PrepareAdmissionQueue::parked() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return static_cast<int64_t>(parked_.size());
 }
 

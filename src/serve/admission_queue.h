@@ -5,10 +5,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "serve/sketch_cache.h"
 #include "serve/window_stream.h"
 
@@ -98,26 +98,31 @@ class PrepareAdmissionQueue {
  private:
   struct Parked {
     CancelWaker waker;
-    // Guarded by waker.m: set by NotifyReleased/Shutdown so a waiter that
-    // failed its budget check under `mutex_` cannot miss a wake between
-    // releasing `mutex_` and sleeping on `waker.cv` (it was already listed).
-    bool notified = false;
+    // Set by NotifyReleased/Shutdown so a waiter that failed its budget
+    // check under `mutex_` cannot miss a wake between releasing `mutex_`
+    // and sleeping on `waker.cv` (it was already listed).
+    bool notified GUARDED_BY(waker.m) = false;
   };
 
   /// Budget check under `mutex_`: reserves and returns true when `estimate`
   /// fits `budget − cache bytes − reserved`, reclaiming idle LRU entries
   /// (never `key`'s own) first if needed.
-  bool TryReserveLocked(int64_t estimate, const SketchCacheKey& key);
+  bool TryReserveLocked(int64_t estimate, const SketchCacheKey& key)
+      REQUIRES(mutex_);
 
-  void RemoveParkedLocked(const std::shared_ptr<Parked>& entry);
+  void RemoveParkedLocked(const std::shared_ptr<Parked>& entry)
+      REQUIRES(mutex_);
 
   SketchCache* const cache_;
   const int64_t max_parked_;
 
-  mutable std::mutex mutex_;
-  int64_t reserved_bytes_ = 0;
-  bool shutdown_ = false;
-  std::vector<std::shared_ptr<Parked>> parked_;
+  // Never held together with a waker's `m` or the stream's lock: Admit
+  // interleaves them strictly (budget decisions under mutex_, sleeps under
+  // waker.m), and NotifyReleased notifies from a copy of the parked list.
+  mutable Mutex mutex_;
+  int64_t reserved_bytes_ GUARDED_BY(mutex_) = 0;
+  bool shutdown_ GUARDED_BY(mutex_) = false;
+  std::vector<std::shared_ptr<Parked>> parked_ GUARDED_BY(mutex_);
 };
 
 }  // namespace dangoron

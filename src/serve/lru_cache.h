@@ -5,12 +5,12 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/failpoint.h"
+#include "common/sync.h"
 
 namespace dangoron {
 
@@ -41,8 +41,8 @@ class LruByteCache {
   LruByteCache& operator=(const LruByteCache&) = delete;
 
   /// Returns the cached value (bumping its recency) or nullptr.
-  std::shared_ptr<const V> Get(const Key& key) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_ptr<const V> Get(const Key& key) EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     auto it = map_.find(key);
     if (it == map_.end()) {
       ++stats_.misses;
@@ -59,11 +59,12 @@ class LruByteCache {
   /// lock is dropped, and the eviction listener fires after it (evictions
   /// only, not refreshes), so value destructors and listeners may re-enter
   /// the cache.
-  void Put(const Key& key, std::shared_ptr<const V> value, int64_t bytes) {
+  void Put(const Key& key, std::shared_ptr<const V> value, int64_t bytes)
+      EXCLUDES(mutex_) {
     std::vector<std::shared_ptr<const V>> displaced;
     bool evicted_any = false;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (bytes > byte_budget_) {
         // An entry that can never fit must not flush the warm entries on
         // its way through; reject it (dropping any stale version under the
@@ -143,11 +144,12 @@ class LruByteCache {
   /// so a request never evicts the very sketch it needs. Does NOT fire the
   /// eviction listener — the caller initiated the eviction and re-checks
   /// on its own.
-  int64_t EvictIdleLru(int64_t bytes_needed, const Key* skip_key = nullptr) {
+  int64_t EvictIdleLru(int64_t bytes_needed, const Key* skip_key = nullptr)
+      EXCLUDES(mutex_) {
     std::vector<std::shared_ptr<const V>> evicted;
     int64_t freed = 0;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       auto reclaimable = [&](const Entry& entry) {
         return entry.value.use_count() == 1 &&
                (skip_key == nullptr || !(entry.key == *skip_key));
@@ -188,15 +190,15 @@ class LruByteCache {
 
   /// True when `key` is cached; no recency bump, no hit/miss accounting —
   /// the read-only probe behind cache-coverage cost estimates.
-  bool Contains(const Key& key) const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool Contains(const Key& key) const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return map_.find(key) != map_.end();
   }
 
   int64_t byte_budget() const { return byte_budget_; }
 
-  LruCacheStats stats() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  LruCacheStats stats() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return stats_;
   }
 
@@ -207,11 +209,15 @@ class LruByteCache {
     int64_t bytes = 0;
   };
 
-  mutable std::mutex mutex_;
-  int64_t byte_budget_;
-  std::list<Entry> lru_;  // front = least recently used
-  std::unordered_map<Key, typename std::list<Entry>::iterator, KeyHash> map_;
-  LruCacheStats stats_;
+  mutable Mutex mutex_;
+  const int64_t byte_budget_;
+  std::list<Entry> lru_ GUARDED_BY(mutex_);  // front = least recently used
+  std::unordered_map<Key, typename std::list<Entry>::iterator, KeyHash> map_
+      GUARDED_BY(mutex_);
+  LruCacheStats stats_ GUARDED_BY(mutex_);
+  // Set once before concurrent use (SetEvictionListener), then only read:
+  // deliberately unguarded so the listener can fire outside the lock — the
+  // EXCLUDES on Put is the machine-checked half of that contract.
   std::function<void()> eviction_listener_;
 };
 

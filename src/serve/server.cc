@@ -19,11 +19,11 @@ namespace dangoron {
 
 void FulfillWindowClaim(const WindowClaimPtr& claim, WindowEdges edges) {
   {
-    std::lock_guard<std::mutex> lock(claim->waker.m);
+    MutexLock lock(claim->waker.m);
     claim->done = true;
     claim->edges = std::move(edges);
   }
-  claim->waker.cv.notify_all();
+  claim->waker.cv.NotifyAll();
 }
 
 WindowEdges WaitForWindowClaim(const WindowClaimPtr& claim,
@@ -41,19 +41,21 @@ WindowEdges WaitForWindowClaim(const WindowClaimPtr& claim,
   }
   WindowEdges edges;
   {
-    std::unique_lock<std::mutex> lock(claim->waker.m);
-    // The predicate reads the stream's cancel flag under the waker's lock;
-    // Cancel() notifies through that lock (see CancelWaker), so the wait
-    // wakes on fulfillment *or* cancellation, whichever is first — and a
-    // deadline bounds the sleep (no extra wake machinery: the foreign
-    // claimant owes us nothing at our deadline).
-    auto resolved = [&] {
-      return claim->done || (stream != nullptr && stream->cancelled());
-    };
-    if (deadline.has_deadline()) {
-      claim->waker.cv.wait_until(lock, deadline.deadline(), resolved);
-    } else {
-      claim->waker.cv.wait(lock, resolved);
+    MutexLock lock(claim->waker.m);
+    // The wait condition reads the stream's cancel flag under the waker's
+    // lock; Cancel() notifies through that lock (see CancelWaker), so the
+    // wait wakes on fulfillment *or* cancellation, whichever is first — and
+    // a deadline bounds the sleep (no extra wake machinery: the foreign
+    // claimant owes us nothing at our deadline). A WaitUntil timeout breaks
+    // out; the classification below still prefers a fulfillment or
+    // cancellation that raced in just ahead of it.
+    while (!claim->done && !(stream != nullptr && stream->cancelled())) {
+      if (!deadline.has_deadline()) {
+        claim->waker.cv.Wait(claim->waker.m);
+      } else if (claim->waker.cv.WaitUntil(claim->waker.m,
+                                           deadline.deadline())) {
+        break;
+      }
     }
     if (claim->done) {
       edges = claim->edges;
@@ -165,7 +167,7 @@ DangoronServer::~DangoronServer() {
   // its claims, finishes its stream, and exits.
   std::vector<ActiveStream> streams;
   {
-    std::lock_guard<std::mutex> lock(streams_mutex_);
+    MutexLock lock(streams_mutex_);
     streams.swap(active_streams_);
   }
   for (ActiveStream& stream : streams) {
@@ -208,7 +210,7 @@ Status DangoronServer::AddDataset(
   RegisteredDataset registered;
   registered.fingerprint = data->ContentFingerprint();
   registered.data = std::move(data);
-  std::lock_guard<std::mutex> lock(datasets_mutex_);
+  MutexLock lock(datasets_mutex_);
   datasets_[name] = std::move(registered);
   return Status::Ok();
 }
@@ -220,7 +222,7 @@ Status DangoronServer::AddDataset(const std::string& name,
 }
 
 Status DangoronServer::RemoveDataset(const std::string& name) {
-  std::lock_guard<std::mutex> lock(datasets_mutex_);
+  MutexLock lock(datasets_mutex_);
   if (datasets_.erase(name) == 0) {
     return Status::NotFound("RemoveDataset: unknown dataset '", name, "'");
   }
@@ -229,7 +231,7 @@ Status DangoronServer::RemoveDataset(const std::string& name) {
 
 Result<uint64_t> DangoronServer::DatasetFingerprint(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(datasets_mutex_);
+  MutexLock lock(datasets_mutex_);
   auto it = datasets_.find(name);
   if (it == datasets_.end()) {
     return Status::NotFound("DatasetFingerprint: unknown dataset '", name,
@@ -239,7 +241,7 @@ Result<uint64_t> DangoronServer::DatasetFingerprint(
 }
 
 Result<int64_t> DangoronServer::DatasetLength(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(datasets_mutex_);
+  MutexLock lock(datasets_mutex_);
   auto it = datasets_.find(name);
   if (it == datasets_.end()) {
     return Status::NotFound("DatasetLength: unknown dataset '", name, "'");
@@ -250,7 +252,7 @@ Result<int64_t> DangoronServer::DatasetLength(const std::string& name) const {
 bool DangoronServer::HasPreparedSketch(const std::string& dataset) const {
   uint64_t fingerprint = 0;
   {
-    std::lock_guard<std::mutex> lock(datasets_mutex_);
+    MutexLock lock(datasets_mutex_);
     auto it = datasets_.find(dataset);
     if (it == datasets_.end()) {
       return false;
@@ -301,7 +303,7 @@ Result<DangoronServer::RequestContext> DangoronServer::ResolveRequest(
   }
   RequestContext ctx;
   {
-    std::lock_guard<std::mutex> lock(datasets_mutex_);
+    MutexLock lock(datasets_mutex_);
     auto it = datasets_.find(request.dataset);
     if (it == datasets_.end()) {
       return Status::NotFound(api, ": unknown dataset '", request.dataset,
@@ -368,7 +370,7 @@ double DangoronServer::EstimateExactCostMs(const RequestContext& ctx) const {
   const double cells = pairs * static_cast<double>(windows_to_price);
   double cell_ns;
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     cell_ns = exact_cell_ns_;
   }
   return cells * cell_ns / 1e6;
@@ -446,7 +448,7 @@ std::unique_ptr<WindowStream> DangoronServer::SubmitStreaming(
   // submit-stream, query, drain). Pair-block evaluation inside still runs
   // on the shared pool. Threads are admission-capped and reaped here.
   {
-    std::lock_guard<std::mutex> lock(streams_mutex_);
+    MutexLock lock(streams_mutex_);
     // Reap producers whose stream already finished (join is then
     // instantaneous), and keep the live ones. A plain loop, not erase_if:
     // joining the thread is a side effect the remove_if predicate contract
@@ -510,7 +512,7 @@ Result<std::shared_ptr<const PreparedDataset>> DangoronServer::GetOrPrepare(
   const SketchCacheKey key{fingerprint, options_.basic_window};
   if (auto cached = sketch_cache_.Get(key)) {
     *shared = true;
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     ++stats_.prepares_shared;
     return cached;
   }
@@ -520,7 +522,7 @@ Result<std::shared_ptr<const PreparedDataset>> DangoronServer::GetOrPrepare(
   {
     std::shared_future<std::shared_ptr<const PreparedDataset>> join;
     {
-      std::lock_guard<std::mutex> lock(inflight_mutex_);
+      MutexLock lock(inflight_mutex_);
       auto it = inflight_prepares_.find(key);
       if (it != inflight_prepares_.end()) {
         join = it->second;
@@ -529,7 +531,7 @@ Result<std::shared_ptr<const PreparedDataset>> DangoronServer::GetOrPrepare(
     if (join.valid()) {
       if (auto prepared = join.get()) {
         *shared = true;
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        MutexLock lock(stats_mutex_);
         ++stats_.prepares_shared;
         return prepared;
       }
@@ -556,12 +558,12 @@ Result<std::shared_ptr<const PreparedDataset>> DangoronServer::GetOrPrepare(
         [this] {
           // At park time, not on return: stats must show a request that is
           // *currently* parked.
-          std::lock_guard<std::mutex> lock(stats_mutex_);
+          MutexLock lock(stats_mutex_);
           ++stats_.prepares_queued;
         },
         &landed);
     if (!admitted.ok()) {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      MutexLock lock(stats_mutex_);
       if (admitted.code() == StatusCode::kResourceExhausted) {
         ++stats_.prepares_refused;
       } else if (admitted.code() == StatusCode::kDeadlineExceeded) {
@@ -573,7 +575,7 @@ Result<std::shared_ptr<const PreparedDataset>> DangoronServer::GetOrPrepare(
       // A concurrent build published this sketch while we waited; the
       // queue admitted through the cache with no reservation taken.
       *shared = true;
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      MutexLock lock(stats_mutex_);
       ++stats_.prepares_shared;
       return landed;
     }
@@ -581,7 +583,7 @@ Result<std::shared_ptr<const PreparedDataset>> DangoronServer::GetOrPrepare(
   } else if (options_.refuse_oversized_prepares &&
              estimate > sketch_cache_.byte_budget()) {
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      MutexLock lock(stats_mutex_);
       ++stats_.prepares_refused;
     }
     return Status::ResourceExhausted(
@@ -596,7 +598,7 @@ Result<std::shared_ptr<const PreparedDataset>> DangoronServer::GetOrPrepare(
   std::shared_future<std::shared_ptr<const PreparedDataset>> join;
   bool producer = false;
   {
-    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    MutexLock lock(inflight_mutex_);
     auto it = inflight_prepares_.find(key);
     if (it != inflight_prepares_.end()) {
       join = it->second;
@@ -614,7 +616,7 @@ Result<std::shared_ptr<const PreparedDataset>> DangoronServer::GetOrPrepare(
         admission_queue_.Release(estimate);  // joined: no budget consumed
       }
       *shared = true;
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      MutexLock lock(stats_mutex_);
       ++stats_.prepares_shared;
       return prepared;
     }
@@ -650,7 +652,7 @@ Result<std::shared_ptr<const PreparedDataset>> DangoronServer::GetOrPrepare(
     prepared_or = build_once();
   }
   if (retries > 0) {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     stats_.prepare_retries += retries;
   }
   std::shared_ptr<const PreparedDataset> prepared =
@@ -662,7 +664,7 @@ Result<std::shared_ptr<const PreparedDataset>> DangoronServer::GetOrPrepare(
       sketch_cache_.Put(key, prepared, prepared->MemoryBytes());
     }
     {
-      std::lock_guard<std::mutex> lock(inflight_mutex_);
+      MutexLock lock(inflight_mutex_);
       inflight_prepares_.erase(key);
     }
     promise.set_value(prepared);
@@ -679,7 +681,7 @@ Result<std::shared_ptr<const PreparedDataset>> DangoronServer::GetOrPrepare(
   }
   *shared = false;
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     ++stats_.prepares_built;
   }
   return prepared;
@@ -812,7 +814,7 @@ Status DangoronServer::RunWindowPlan(
   // loses only the future.
   auto deadline_abort = [&](const char* where) {
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      MutexLock lock(stats_mutex_);
       ++stats_.deadline_exceeded;
       ++stats_.deadline_aborted_mid_run;
     }
@@ -862,7 +864,7 @@ Status DangoronServer::RunWindowPlan(
     WindowClaimPtr join;
     std::vector<WindowClaimPtr> claims;
     {
-      std::lock_guard<std::mutex> lock(inflight_mutex_);
+      MutexLock lock(inflight_mutex_);
       if (auto cached = result_cache_.Get(key_for(k))) {
         got[static_cast<size_t>(k)] = std::move(cached);
         ++out->windows_from_cache;
@@ -948,7 +950,7 @@ Status DangoronServer::RunWindowPlan(
     const int64_t claimed = static_cast<int64_t>(claims.size());
     auto retire = [&](int64_t d, WindowEdges edges) {
       {
-        std::lock_guard<std::mutex> lock(inflight_mutex_);
+        MutexLock lock(inflight_mutex_);
         inflight_windows_.erase(key_for(k + d));
       }
       FulfillWindowClaim(claims[static_cast<size_t>(d)], std::move(edges));
@@ -1099,7 +1101,7 @@ Status DangoronServer::RunApproxPlan(const RequestContext& ctx,
         &sink);
     if (deadline_hit) {
       {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        MutexLock lock(stats_mutex_);
         ++stats_.deadline_exceeded;
         ++stats_.deadline_aborted_mid_run;
       }
@@ -1127,7 +1129,7 @@ Result<ServeResult> DangoronServer::RunQuery(const RequestContext& ctx) {
     ServeResult failed;
     failed.tier_used = ResolveTier(ctx);
     RecordQueryStats(failed, /*streaming=*/false);
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     ++stats_.deadline_exceeded;
     return Status::DeadlineExceeded(
         "DangoronServer: request deadline passed before the query started");
@@ -1183,7 +1185,7 @@ Result<ServeResult> DangoronServer::RunQuery(const RequestContext& ctx) {
     const double cells = static_cast<double>(out.windows_computed) * pairs;
     if (cells > 0 && plan_ns > 0) {
       const double observed = plan_ns / cells;
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      MutexLock lock(stats_mutex_);
       exact_cell_ns_ = (1.0 - kExactCostAlpha) * exact_cell_ns_ +
                        kExactCostAlpha * observed;
     }
@@ -1207,7 +1209,7 @@ Result<ServeResult> DangoronServer::RunQuery(const RequestContext& ctx) {
       // The submission was already counted by the RecordQueryStats above
       // (one query, its exact-attempt window counters); fold in only what
       // the fallback adds — not a second `queries` tick.
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      MutexLock lock(stats_mutex_);
       ++stats_.queries_approx;
       ++stats_.degraded_to_approx;
       stats_.windows_computed += degraded_out.windows_computed;
@@ -1239,7 +1241,7 @@ void DangoronServer::RunStreamingQuery(
   if (ctx.deadline.expired()) {
     out.tier_used = ResolveTier(ctx);  // truthful per-tier attribution
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      MutexLock lock(stats_mutex_);
       ++stats_.deadline_exceeded;
     }
     status = Status::DeadlineExceeded(
@@ -1277,7 +1279,7 @@ void DangoronServer::RunStreamingQuery(
   RecordQueryStats(out, /*streaming=*/true);
   if (status.code() == StatusCode::kCancelled) {
     // Consumer Cancel — or, through the wire layer, a client disconnect.
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     ++stats_.streams_cancelled;
   }
   StreamingSummary summary;
@@ -1295,7 +1297,7 @@ void DangoronServer::RunStreamingQuery(
 void DangoronServer::RecordQueryStats(const ServeResult& out, bool streaming) {
   // Every submission counts, successful or not, and the window counters
   // reflect the work actually done — one accounting rule for both paths.
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(stats_mutex_);
   ++stats_.queries;
   if (streaming) {
     ++stats_.streaming_queries;
@@ -1314,14 +1316,14 @@ void DangoronServer::RecordQueryStats(const ServeResult& out, bool streaming) {
 DangoronServerStats DangoronServer::stats() const {
   DangoronServerStats snapshot;
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     snapshot = stats_;
   }
   {
     // Leak check surface: claims still registered by in-flight plans. On a
     // quiesced server this must read zero — every plan retires its claims
     // on success, failure, cancellation, and deadline abort alike.
-    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    MutexLock lock(inflight_mutex_);
     snapshot.inflight_window_claims =
         static_cast<int64_t>(inflight_windows_.size());
   }

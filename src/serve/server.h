@@ -5,7 +5,6 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -13,6 +12,7 @@
 
 #include "common/deadline.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "common/thread_pool.h"
 #include "engine/query.h"
 #include "serve/admission_queue.h"
@@ -97,9 +97,8 @@ struct DangoronServerOptions {
 /// CancelWaker) — the join is cancellable without polling.
 struct WindowClaim {
   CancelWaker waker;
-  // Guarded by waker.m.
-  bool done = false;
-  WindowEdges edges;
+  bool done GUARDED_BY(waker.m) = false;
+  WindowEdges edges GUARDED_BY(waker.m);
 };
 using WindowClaimPtr = std::shared_ptr<WindowClaim>;
 
@@ -446,8 +445,9 @@ class DangoronServer {
 
   const DangoronServerOptions options_;
 
-  mutable std::mutex datasets_mutex_;
-  std::unordered_map<std::string, RegisteredDataset> datasets_;
+  mutable Mutex datasets_mutex_;
+  std::unordered_map<std::string, RegisteredDataset> datasets_
+      GUARDED_BY(datasets_mutex_);
 
   SketchCache sketch_cache_;
   WindowResultCache result_cache_;
@@ -467,13 +467,13 @@ class DangoronServer {
   // actively running (see RunWindowPlan); no wait cycle and no dependence
   // on consumer progress. Streaming joiners can additionally abandon the
   // wait on cancellation (WaitForWindowClaim + CancelWaker).
-  mutable std::mutex inflight_mutex_;  // mutable: stats() snapshots claims
+  mutable Mutex inflight_mutex_;  // mutable: stats() snapshots claims
   std::unordered_map<SketchCacheKey,
                      std::shared_future<std::shared_ptr<const PreparedDataset>>,
                      SketchCacheKeyHash>
-      inflight_prepares_;
+      inflight_prepares_ GUARDED_BY(inflight_mutex_);
   std::unordered_map<WindowKey, WindowClaimPtr, WindowKeyHash>
-      inflight_windows_;
+      inflight_windows_ GUARDED_BY(inflight_mutex_);
 
   // Live streaming submissions. Each runs on a dedicated producer thread —
   // not a pool task — because delivery legitimately blocks on the consumer
@@ -483,12 +483,12 @@ class DangoronServer {
   // parallelism still runs on the shared pool (ParallelFor is
   // caller-helping, so external callers compose). Destruction cancels the
   // streams, then joins the threads (guarded by streams_mutex_).
-  std::mutex streams_mutex_;
+  Mutex streams_mutex_;
   struct ActiveStream {
     std::thread producer;
     std::weak_ptr<WindowStreamState> state;
   };
-  std::vector<ActiveStream> active_streams_;
+  std::vector<ActiveStream> active_streams_ GUARDED_BY(streams_mutex_);
 
   // Aggregate counters (guarded by stats_mutex_), plus the running exact
   // ns/cell estimate behind kAuto's tier choice: an EWMA over materialized
@@ -497,9 +497,9 @@ class DangoronServer {
   // skipped), seeded pessimistically so a fresh server under tight
   // deadlines leans approx — the latency-safe direction — until real
   // measurements arrive.
-  mutable std::mutex stats_mutex_;
-  DangoronServerStats stats_;
-  double exact_cell_ns_;
+  mutable Mutex stats_mutex_;
+  DangoronServerStats stats_ GUARDED_BY(stats_mutex_);
+  double exact_cell_ns_ GUARDED_BY(stats_mutex_);
 
   // Destroyed first (reverse member order): the pool's destructor drains
   // every queued and running query task while the caches, maps, and

@@ -10,34 +10,35 @@ WindowStreamState::WindowStreamState(int64_t queue_capacity)
     : capacity_(queue_capacity > 0 ? queue_capacity : 1) {}
 
 bool WindowStreamState::Push(StreamedWindow window) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  can_push_.wait(lock, [this] {
-    return cancelled_ || static_cast<int64_t>(queue_.size()) < capacity_;
-  });
+  MutexLock lock(mutex_);
+  while (!cancelled_ && static_cast<int64_t>(queue_.size()) >= capacity_) {
+    can_push_.Wait(mutex_);
+  }
   if (cancelled_) {
     return false;
   }
   queue_.push_back(std::move(window));
-  can_pop_.notify_one();
+  can_pop_.NotifyOne();
   return true;
 }
 
 PushResult WindowStreamState::PushUntil(
     StreamedWindow window, std::chrono::steady_clock::time_point deadline) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  const auto have_slot = [this] {
-    return cancelled_ || static_cast<int64_t>(queue_.size()) < capacity_;
-  };
-  if (deadline == std::chrono::steady_clock::time_point::max()) {
-    can_push_.wait(lock, have_slot);
-  } else if (!can_push_.wait_until(lock, deadline, have_slot)) {
-    return PushResult::kDeadlineExceeded;
+  MutexLock lock(mutex_);
+  while (!cancelled_ && static_cast<int64_t>(queue_.size()) >= capacity_) {
+    if (deadline == std::chrono::steady_clock::time_point::max()) {
+      can_push_.Wait(mutex_);
+    } else if (can_push_.WaitUntil(mutex_, deadline) && !cancelled_ &&
+               static_cast<int64_t>(queue_.size()) >= capacity_) {
+      // Timed out with the queue still full and the stream still live.
+      return PushResult::kDeadlineExceeded;
+    }
   }
   if (cancelled_) {
     return PushResult::kCancelled;
   }
   queue_.push_back(std::move(window));
-  can_pop_.notify_one();
+  can_pop_.NotifyOne();
   return PushResult::kPushed;
 }
 
@@ -47,17 +48,17 @@ bool WindowStreamState::TryPush(StreamedWindow window) {
   if (DANGORON_FAILPOINT_WAKE("stream.try_push")) {
     return false;
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (cancelled_ || static_cast<int64_t>(queue_.size()) >= capacity_) {
     return false;
   }
   queue_.push_back(std::move(window));
-  can_pop_.notify_one();
+  can_pop_.NotifyOne();
   return true;
 }
 
 void WindowStreamState::AddCancelWaker(std::shared_ptr<CancelWaker> waker) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (cancelled_) {
     return;  // the waiter's wait predicate observes cancelled() first
   }
@@ -65,7 +66,7 @@ void WindowStreamState::AddCancelWaker(std::shared_ptr<CancelWaker> waker) {
 }
 
 void WindowStreamState::RemoveCancelWaker(const CancelWaker* waker) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (size_t i = 0; i < cancel_wakers_.size(); ++i) {
     if (cancel_wakers_[i].get() == waker) {
       cancel_wakers_[i] = std::move(cancel_wakers_.back());
@@ -76,26 +77,28 @@ void WindowStreamState::RemoveCancelWaker(const CancelWaker* waker) {
 }
 
 void WindowStreamState::Finish(Status status, const StreamingSummary& summary) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   finished_ = true;
   status_ = std::move(status);
   summary_ = summary;
-  can_pop_.notify_all();
-  can_push_.notify_all();
+  can_pop_.NotifyAll();
+  can_push_.NotifyAll();
 }
 
 bool WindowStreamState::cancelled() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return cancelled_;
 }
 
 std::optional<StreamedWindow> WindowStreamState::Next() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  can_pop_.wait(lock, [this] { return finished_ || !queue_.empty(); });
+  MutexLock lock(mutex_);
+  while (!finished_ && queue_.empty()) {
+    can_pop_.Wait(mutex_);
+  }
   if (!queue_.empty()) {
     StreamedWindow window = std::move(queue_.front());
     queue_.pop_front();
-    can_push_.notify_one();
+    can_push_.NotifyOne();
     return window;
   }
   return std::nullopt;
@@ -104,11 +107,11 @@ std::optional<StreamedWindow> WindowStreamState::Next() {
 void WindowStreamState::Cancel() {
   std::vector<std::shared_ptr<CancelWaker>> wakers;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     cancelled_ = true;
     queue_.clear();  // release every slot so a blocked producer wakes now
-    can_push_.notify_all();
-    can_pop_.notify_all();
+    can_push_.NotifyAll();
+    can_pop_.NotifyAll();
     wakers.swap(cancel_wakers_);
   }
   // Wake registered join waiters outside our lock (their wait predicates
@@ -117,23 +120,23 @@ void WindowStreamState::Cancel() {
   // predicate will see cancelled()) or asleep with m released (the notify
   // reaches it) — never between predicate and sleep while we notify.
   for (const std::shared_ptr<CancelWaker>& waker : wakers) {
-    { std::lock_guard<std::mutex> pin(waker->m); }
-    waker->cv.notify_all();
+    { MutexLock pin(waker->m); }
+    waker->cv.NotifyAll();
   }
 }
 
 Status WindowStreamState::status() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return status_;
 }
 
 StreamingSummary WindowStreamState::summary() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return summary_;
 }
 
 bool WindowStreamState::finished() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return finished_;
 }
 

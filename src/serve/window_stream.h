@@ -2,15 +2,14 @@
 #define DANGORON_SERVE_WINDOW_STREAM_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "serve/query_request.h"
 #include "serve/window_result_cache.h"
 
@@ -74,8 +73,8 @@ struct StreamingSummary {
 /// flag; `Cancel` notifies through the lock so a waiter between predicate
 /// check and sleep cannot miss it.
 struct CancelWaker {
-  std::mutex m;
-  std::condition_variable cv;
+  Mutex m;
+  CondVar cv;
 };
 
 /// Outcome of a deadline-aware blocking push (`PushUntil`).
@@ -160,15 +159,15 @@ class WindowStreamState {
 
  private:
   const int64_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable can_push_;
-  std::condition_variable can_pop_;
-  std::deque<StreamedWindow> queue_;
-  std::vector<std::shared_ptr<CancelWaker>> cancel_wakers_;
-  bool cancelled_ = false;
-  bool finished_ = false;
-  Status status_ = Status::Ok();
-  StreamingSummary summary_;
+  mutable Mutex mutex_;
+  CondVar can_push_;
+  CondVar can_pop_;
+  std::deque<StreamedWindow> queue_ GUARDED_BY(mutex_);
+  std::vector<std::shared_ptr<CancelWaker>> cancel_wakers_ GUARDED_BY(mutex_);
+  bool cancelled_ GUARDED_BY(mutex_) = false;
+  bool finished_ GUARDED_BY(mutex_) = false;
+  Status status_ GUARDED_BY(mutex_) = Status::Ok();
+  StreamingSummary summary_ GUARDED_BY(mutex_);
 };
 
 /// Consumer handle of one `DangoronServer::SubmitStreaming` call. Windows

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
 #include <new>
 #include <optional>
 
 #include "common/logging.h"
+#include "common/sync.h"
 #include "common/math_utils.h"
 #include "corr/block_kernel.h"
 #include "corr/pearson.h"
@@ -30,7 +30,7 @@ class SketchStorageRecycler {
 
   std::unique_ptr<double[]> Acquire(size_t size) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       for (auto it = blocks_.begin(); it != blocks_.end(); ++it) {
         if (it->first == size) {
           std::unique_ptr<double[]> block = std::move(it->second);
@@ -47,7 +47,7 @@ class SketchStorageRecycler {
     if (block == nullptr) {
       return;
     }
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     // Keep the newest blocks: rebuild loops retire and re-acquire the same
     // sizes back to back, so recency, not first-come, is what predicts
     // reuse. Retention is strictly bounded by count and bytes — a build
@@ -63,12 +63,12 @@ class SketchStorageRecycler {
   }
 
   size_t retained_bytes() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return retained_bytes_;
   }
 
   void Trim() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     blocks_.clear();
     retained_bytes_ = 0;
   }
@@ -78,9 +78,10 @@ class SketchStorageRecycler {
   static constexpr size_t kMaxBlocks = 4;
   static constexpr size_t kMaxRetainedBytes = size_t{512} << 20;
 
-  std::mutex mutex_;
-  std::vector<std::pair<size_t, std::unique_ptr<double[]>>> blocks_;
-  size_t retained_bytes_ = 0;
+  Mutex mutex_;
+  std::vector<std::pair<size_t, std::unique_ptr<double[]>>> blocks_
+      GUARDED_BY(mutex_);
+  size_t retained_bytes_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace

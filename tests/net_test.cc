@@ -11,17 +11,16 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstring>
 #include <functional>
 #include <limits>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/sync.h"
 #include "net/task_lanes.h"
 #include "net/wire_server.h"
 #include "serve/server.h"
@@ -36,29 +35,31 @@ namespace {
 
 TEST(LanedTaskPoolTest, StrictPriorityAcrossLanes) {
   LanedTaskPool pool(1);
-  std::mutex mutex;
-  std::condition_variable cv;
+  Mutex mutex;
+  CondVar cv;
   bool release = false;
   std::vector<TaskLane> order;
 
   // Occupy the single worker so the next three posts pile up queued...
   ASSERT_TRUE(pool.Post(TaskLane::kHigh, [&] {
-    std::unique_lock<std::mutex> lock(mutex);
-    cv.wait(lock, [&] { return release; });
+    MutexLock lock(mutex);
+    while (!release) {
+      cv.Wait(mutex);
+    }
   }));
   // ...then post in worst-case order: low first, high last.
   for (const TaskLane lane :
        {TaskLane::kLow, TaskLane::kMedium, TaskLane::kHigh}) {
     ASSERT_TRUE(pool.Post(lane, [&, lane] {
-      std::lock_guard<std::mutex> lock(mutex);
+      MutexLock lock(mutex);
       order.push_back(lane);
     }));
   }
   {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     release = true;
   }
-  cv.notify_all();
+  cv.NotifyAll();
   pool.Shutdown();
 
   // The worker must have drained them highest-first regardless of arrival.

@@ -29,7 +29,6 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <string>
@@ -39,6 +38,7 @@
 #include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/sync.h"
 #include "net/wire_server.h"
 #include "router/shard_merge.h"
 #include "router/shard_router.h"
@@ -175,7 +175,7 @@ class ChaosFleet {
     options.connect_override =
         [this](int shard) -> Result<std::unique_ptr<WireClient>> {
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (dead_[static_cast<size_t>(shard)]) {
           return Status::Unavailable("shard ", shard, " is down (chaos)");
         }
@@ -190,7 +190,7 @@ class ChaosFleet {
 
   void KillShard(int shard) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (dead_[static_cast<size_t>(shard)]) {
         return;
       }
@@ -221,8 +221,8 @@ class ChaosFleet {
  private:
   std::vector<std::unique_ptr<DangoronServer>> servers_;
   std::vector<std::unique_ptr<WireServer>> wires_;  // stop before servers
-  std::mutex mutex_;
-  std::vector<bool> dead_;
+  Mutex mutex_;
+  std::vector<bool> dead_ GUARDED_BY(mutex_);
 };
 
 TEST(RouterChaosTest, SeededKillAndFaultSchedulesPreserveRouterInvariants) {

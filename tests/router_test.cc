@@ -16,11 +16,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstring>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -30,6 +28,7 @@
 #include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/sync.h"
 #include "corr/sweep_kernel.h"
 #include "net/wire_server.h"
 #include "router/router_server.h"
@@ -126,9 +125,11 @@ class ScriptedSource final : public ShardWindowSource {
   Result<std::optional<StreamedWindow>> Next() override {
     int64_t index = 0;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (script_.block_at >= 0 && next_ == script_.block_at) {
-        cv_.wait(lock, [&] { return released_ || cancelled_; });
+        while (!released_ && !cancelled_) {
+          cv_.Wait(mutex_);
+        }
       }
       if (cancelled_ || next_ >= script_.windows) {
         finished_early_ = cancelled_ && next_ < script_.windows;
@@ -157,7 +158,7 @@ class ScriptedSource final : public ShardWindowSource {
   }
 
   Status result_status() const override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (finished_early_ && script_.verdict.ok()) {
       return Status::Cancelled("scripted source cancelled");
     }
@@ -166,46 +167,46 @@ class ScriptedSource final : public ShardWindowSource {
 
   WireSummary summary() const override {
     WireSummary summary;
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     summary.windows_delivered = next_;
     summary.windows_computed = next_;
     return summary;
   }
 
   void Cancel() override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     cancelled_ = true;
     ++cancels_;
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
   void Release() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     released_ = true;
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
   /// Windows handed to the merge so far (the skew-bound observable).
   int64_t delivered() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return next_;
   }
 
   int64_t cancels() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return cancels_;
   }
 
  private:
   const int shard_;
   const Script script_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  int64_t next_ = 0;
-  int64_t cancels_ = 0;
-  bool released_ = false;
-  bool cancelled_ = false;
-  bool finished_early_ = false;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  int64_t next_ GUARDED_BY(mutex_) = 0;
+  int64_t cancels_ GUARDED_BY(mutex_) = 0;
+  bool released_ GUARDED_BY(mutex_) = false;
+  bool cancelled_ GUARDED_BY(mutex_) = false;
+  bool finished_early_ GUARDED_BY(mutex_) = false;
 };
 
 std::vector<std::unique_ptr<ShardWindowSource>> MakeSources(
@@ -881,7 +882,7 @@ class RouterE2ETest : public ::testing::Test {
   /// refused.
   void KillShard(int shard) {
     {
-      std::lock_guard<std::mutex> lock(dead_mutex_);
+      MutexLock lock(dead_mutex_);
       if (dead_.size() < wires_.size()) {
         dead_.resize(wires_.size(), false);
       }
@@ -891,7 +892,7 @@ class RouterE2ETest : public ::testing::Test {
   }
 
   bool IsDead(int shard) {
-    std::lock_guard<std::mutex> lock(dead_mutex_);
+    MutexLock lock(dead_mutex_);
     return static_cast<size_t>(shard) < dead_.size() &&
            dead_[static_cast<size_t>(shard)];
   }
@@ -965,8 +966,8 @@ class RouterE2ETest : public ::testing::Test {
   std::vector<std::unique_ptr<DangoronServer>> servers_;
   std::vector<std::unique_ptr<WireServer>> wires_;  // after servers_: stops
                                                     // before they die
-  std::mutex dead_mutex_;
-  std::vector<bool> dead_;
+  Mutex dead_mutex_;
+  std::vector<bool> dead_ GUARDED_BY(dead_mutex_);
 };
 
 TEST_F(RouterE2ETest, TwoShardsAreByteIdenticalToInProcess) {
@@ -1223,6 +1224,35 @@ TEST_F(RouterE2ETest, BreakerTripsAndSkipsTheDeadShardAtPlanTime) {
 
   // The supervisor's respawn-ready signal closes the circuit immediately.
   router.MarkShardUp(1);
+  EXPECT_EQ(router.health(1), ShardHealth::kHealthy);
+}
+
+TEST(ShardRouterHealthTest, MarkShardUpBoundsCheckIsSafeUnderConcurrency) {
+  // Regression: MarkShardUp used to read health_.size() before taking the
+  // health lock — flagged the moment the field was GUARDED_BY-annotated.
+  // The contract under test: out-of-range signals (a supervisor racing a
+  // reconfiguration) are safe no-ops, in-range signals heal the shard, and
+  // concurrent callers never race the health machine (TSan covers this
+  // test in CI).
+  ShardRouterOptions options;
+  options.shards.resize(2);
+  ShardRouter router(options);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&router, t] {
+      for (int i = 0; i < 500; ++i) {
+        router.MarkShardUp(t % 2);
+        router.MarkShardUp(-1);                // below range: no-op
+        router.MarkShardUp(2 + (i % 7));       // above range: no-op
+        (void)router.health(t % 2);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(router.health(0), ShardHealth::kHealthy);
   EXPECT_EQ(router.health(1), ShardHealth::kHealthy);
 }
 

@@ -1,0 +1,51 @@
+// Negative-compile proof that the thread-safety gate is live.
+//
+// Compiled twice by ctest under Clang with -fsyntax-only
+// -Werror=thread-safety (see CMakeLists.txt):
+//   - thread_safety_compile_test_red: with -DDANGORON_TS_TEST_VIOLATION,
+//     the accessor below reads a GUARDED_BY field without its mutex. The
+//     test asserts the compile FAILS (WILL_FAIL) — if it ever passes, the
+//     analysis has silently stopped seeing the annotations.
+//   - thread_safety_compile_test_green: without the define, the same file
+//     must compile clean, proving red's failure is the violation and not
+//     a broken include path or flag.
+//
+// Off-Clang both configurations are skipped: the attributes are no-ops
+// there, so the red build would wrongly succeed.
+
+#include <cstdint>
+
+#include "common/sync.h"
+
+namespace dangoron {
+namespace {
+
+class GuardedCounter {
+ public:
+  void Increment() {
+    MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  int64_t value() const {
+#if !defined(DANGORON_TS_TEST_VIOLATION)
+    MutexLock lock(mutex_);
+#endif
+    return value_;
+  }
+
+ private:
+  mutable Mutex mutex_;
+  int64_t value_ GUARDED_BY(mutex_) = 0;
+};
+
+// The analysis runs per function definition regardless of use; this only
+// quiets -Wunused on stricter configurations.
+[[maybe_unused]] int64_t Exercise() {
+  GuardedCounter counter;
+  counter.Increment();
+  return counter.value();
+}
+
+}  // namespace
+}  // namespace dangoron
